@@ -1,0 +1,109 @@
+// S-box implementation study: the resource axis the whole paper turns on.
+//
+// A hardware S-box is 2048 bits of asynchronous ROM on Acex (free EABs) but
+// must become logic on Cyclone — the effect that doubles the paper's
+// Cyclone LC counts.  This bench quantifies the three realizations the
+// library synthesizes (ROM macro, Shannon LUT network, composite-field
+// datapath) and what the composite option — the natural optimization the
+// paper's Cyclone port invites — would do to the Table 2 Cyclone rows.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "aes/sbox.hpp"
+#include "core/ip_synth.hpp"
+#include "fpga/device.hpp"
+#include "fpga/fitter.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/synth.hpp"
+#include "report/table.hpp"
+#include "sta/sta.hpp"
+#include "techmap/techmap.hpp"
+
+namespace core = aesip::core;
+namespace fpga = aesip::fpga;
+namespace nlist = aesip::netlist;
+namespace txm = aesip::techmap;
+using aesip::report::Table;
+using core::IpMode;
+using nlist::Bus;
+using nlist::Netlist;
+using nlist::SboxStyle;
+
+namespace {
+
+struct SboxBuild {
+  txm::MapResult mapped;
+  int levels;
+};
+
+SboxBuild build_single(SboxStyle style) {
+  Netlist nl;
+  const Bus addr = nl.add_input_bus("addr", 8);
+  Bus out;
+  switch (style) {
+    case SboxStyle::kRom:
+      out = nlist::synth_sbox_rom(nl, aesip::aes::kSBox, addr, "s");
+      break;
+    case SboxStyle::kShannon:
+      out = nlist::synth_sbox_logic(nl, aesip::aes::kSBox, addr);
+      break;
+    case SboxStyle::kComposite:
+      out = nlist::synth_sbox_composite(nl, addr, false);
+      break;
+  }
+  nl.add_output_bus(out, "s");
+  SboxBuild b{txm::map_to_luts(nl), 0};
+  constexpr aesip::sta::DelayModel kUnit{1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  b.levels = aesip::sta::analyze(b.mapped.mapped, kUnit).logic_levels;
+  return b;
+}
+
+void print_study() {
+  std::cout << "=== S-box realizations (per 2048-bit S-box) ===\n\n";
+  Table t({"Implementation", "LUTs", "ROM bits", "Logic levels", "Note"});
+  const auto rom = build_single(SboxStyle::kRom);
+  const auto shannon = build_single(SboxStyle::kShannon);
+  const auto comp = build_single(SboxStyle::kComposite);
+  t.add_row({"async ROM (Acex EAB)", std::to_string(rom.mapped.stats.luts), "2048",
+             std::to_string(rom.levels), "the paper's Acex choice"});
+  t.add_row({"Shannon LUT network", std::to_string(shannon.mapped.stats.luts), "0",
+             std::to_string(shannon.levels), "the paper's Cyclone fallback"});
+  t.add_row({"composite field GF((2^4)^2)", std::to_string(comp.mapped.stats.luts), "0",
+             std::to_string(comp.levels), "tower-field optimization"});
+  t.print(std::cout);
+
+  std::cout << "\n=== Effect on the Cyclone encrypt IP (8 S-boxes) ===\n\n";
+  Table t2({"Flavour", "LCs", "LC%", "Clk (ns)", "Throughput (Mbps)"});
+  for (const auto style : {SboxStyle::kShannon, SboxStyle::kComposite}) {
+    const auto mapped = txm::map_to_luts(core::synthesize_ip(IpMode::kEncrypt, style));
+    const auto fit = fpga::fit(mapped, fpga::ep1c20f400c6());
+    t2.add_row({style == SboxStyle::kShannon ? "Shannon (as published)" : "composite field",
+                std::to_string(fit.logic_elements), Table::fixed(fit.le_pct, 1),
+                Table::fixed(fit.timing.clock_period_ns, 1),
+                Table::fixed(fit.throughput_mbps(128, 50), 0)});
+  }
+  t2.print(std::cout);
+  std::cout << "\nThe composite S-box trades logic depth for a ~60% smaller S-box — on the\n"
+               "paper's Cyclone port, where the S-boxes are the dominant logic cost, the\n"
+               "area saving is roughly a thousand LEs on the encrypt-only device.\n\n";
+}
+
+void BM_SynthesizeShannonSbox(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(build_single(SboxStyle::kShannon));
+}
+BENCHMARK(BM_SynthesizeShannonSbox)->Unit(benchmark::kMicrosecond);
+
+void BM_SynthesizeCompositeSbox(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(build_single(SboxStyle::kComposite));
+}
+BENCHMARK(BM_SynthesizeCompositeSbox)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_study();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

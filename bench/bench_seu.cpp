@@ -1,0 +1,87 @@
+// SEU sensitivity of the IP and the cost of TMR hardening — the experiment
+// of the authors' companion work (reference [16]) plus the "hardened
+// against radiation" follow-up the paper's conclusion announces.
+//
+// Prints: outcome distribution of single-upset campaigns on the
+// unprotected vs TMR-hardened gate-level encrypt IP, and what the
+// hardening costs in logic elements and clock period on the Acex part.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/ip_synth.hpp"
+#include "fpga/device.hpp"
+#include "fpga/fitter.hpp"
+#include "report/table.hpp"
+#include "seu/campaign.hpp"
+#include "seu/tmr.hpp"
+#include "techmap/techmap.hpp"
+
+namespace core = aesip::core;
+namespace fpga = aesip::fpga;
+namespace seu = aesip::seu;
+namespace txm = aesip::techmap;
+using aesip::report::Table;
+
+namespace {
+
+void print_seu_study() {
+  std::cout << "=== Single-event-upset study (reference [16] methodology) ===\n\n";
+  const auto mapped = txm::map_to_luts(core::synthesize_ip(core::IpMode::kEncrypt, true));
+  const auto tmr = seu::harden_tmr(mapped.mapped);
+
+  constexpr int kRuns = 150;
+  const auto plain = seu::run_campaign(mapped.mapped, kRuns, 42);
+  const auto hard = seu::run_campaign(tmr.hardened, kRuns, 42);
+
+  Table t({"Design", "Injections", "Masked", "Corrupted block", "Latent (key)", "Persistent", "Hang"});
+  auto row = [&](const char* name, const seu::CampaignStats& s) {
+    auto pct = [&](std::size_t v) {
+      return std::to_string(v) + " (" + Table::fixed(100.0 * v / s.total(), 0) + "%)";
+    };
+    t.add_row({name, std::to_string(s.total()), pct(s.masked), pct(s.corrupted),
+               pct(s.latent), pct(s.persistent), pct(s.hang)});
+  };
+  row("unprotected IP", plain);
+  row("TMR-hardened IP", hard);
+  t.print(std::cout);
+
+  std::cout << "\nHardening cost (one voter LUT per flip-flop, state triplicated):\n";
+  const auto base_fit = fpga::fit(mapped, fpga::ep1k100fc484_1());
+  // Re-derive stats for the hardened netlist through a second mapping pass
+  // (it is already LUT/FF-only, so mapping is the identity + packing).
+  const auto hard_mapped = txm::map_to_luts(tmr.hardened);
+  const auto hard_fit = fpga::fit(hard_mapped, fpga::ep1k100fc484_1());
+  std::printf("  logic elements: %zu -> %zu (%.2fx)\n", base_fit.logic_elements,
+              hard_fit.logic_elements,
+              static_cast<double>(hard_fit.logic_elements) / base_fit.logic_elements);
+  std::printf("  clock period:   %.1f ns -> %.1f ns (voter in every state loop)\n",
+              base_fit.timing.clock_period_ns, hard_fit.timing.clock_period_ns);
+  std::printf("  fits EP1K100:   %s\n\n", hard_fit.fits ? "yes" : "NO");
+}
+
+void BM_CampaignRun(benchmark::State& state) {
+  static const auto mapped =
+      txm::map_to_luts(core::synthesize_ip(core::IpMode::kEncrypt, true));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        seu::run_campaign(mapped.mapped, static_cast<int>(state.range(0)), 1));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_CampaignRun)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_TmrTransform(benchmark::State& state) {
+  static const auto mapped =
+      txm::map_to_luts(core::synthesize_ip(core::IpMode::kEncrypt, true));
+  for (auto _ : state) benchmark::DoNotOptimize(seu::harden_tmr(mapped.mapped));
+}
+BENCHMARK(BM_TmrTransform)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_seu_study();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

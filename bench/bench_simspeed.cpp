@@ -1,0 +1,70 @@
+// Simulation-infrastructure performance: cycles/second of the hdl kernel
+// on the full IP, and the gate-level netlist evaluator — the ModelSim
+// replacement's own speed, relevant to anyone extending the repository.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdio>
+
+#include "core/bfm.hpp"
+#include "core/ip_synth.hpp"
+#include "core/rijndael_ip.hpp"
+#include "hdl/simulator.hpp"
+#include "netlist/eval.hpp"
+#include "techmap/techmap.hpp"
+
+namespace core = aesip::core;
+
+namespace {
+
+void BM_RtlSimCyclesPerSecond(benchmark::State& state) {
+  aesip::hdl::Simulator sim;
+  core::RijndaelIp ip(sim, core::IpMode::kBoth);
+  core::BusDriver bus(sim, ip);
+  bus.reset();
+  const std::array<std::uint8_t, 16> key{1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 1, 2, 3, 4, 5, 6};
+  bus.load_key(key);
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RtlSimCyclesPerSecond);
+
+void BM_GateLevelEvaluatorClock(benchmark::State& state) {
+  // One clock of the complete mapped encrypt IP (LUT/FF/ROM netlist).
+  static const auto mapped =
+      aesip::techmap::map_to_luts(core::synthesize_ip(core::IpMode::kEncrypt, true));
+  aesip::netlist::Evaluator ev(mapped.mapped);
+  ev.settle();
+  for (auto _ : state) ev.clock();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GateLevelEvaluatorClock);
+
+void BM_EvaluatorConstruction(benchmark::State& state) {
+  static const auto mapped =
+      aesip::techmap::map_to_luts(core::synthesize_ip(core::IpMode::kEncrypt, true));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(aesip::netlist::Evaluator(mapped.mapped));
+}
+BENCHMARK(BM_EvaluatorConstruction)->Unit(benchmark::kMicrosecond);
+
+void BM_BlockThroughRtlSim(benchmark::State& state) {
+  aesip::hdl::Simulator sim;
+  core::RijndaelIp ip(sim, core::IpMode::kEncrypt);
+  core::BusDriver bus(sim, ip);
+  bus.reset();
+  const std::array<std::uint8_t, 16> key{1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 1, 2, 3, 4, 5, 6};
+  bus.load_key(key);
+  for (auto _ : state) benchmark::DoNotOptimize(bus.process_block(key));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BlockThroughRtlSim)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Simulation kernel performance (the ModelSim substitute) ===\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Software AES performance — the context the paper's introduction sets up
+// ("at backbone communication channels ... it is not possible to lose
+// processing speed running cryptography algorithms in general software").
+//
+// Benchmarks the reference (spec-shaped) cipher, the 32-bit T-table
+// engine, the modes of operation, and the key schedule, and prints the
+// resulting software throughput next to the IP's hardware numbers.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "aes/cipher.hpp"
+#include "aes/modes.hpp"
+#include "aes/ttable.hpp"
+#include "core/table2.hpp"
+
+namespace aes = aesip::aes;
+
+namespace {
+
+const std::array<std::uint8_t, 16> kKey{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                                        0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+const std::array<std::uint8_t, 16> kBlock{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                                          0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+
+void BM_ReferenceEncryptBlock(benchmark::State& state) {
+  aes::Aes128 c(kKey);
+  std::array<std::uint8_t, 16> out{};
+  for (auto _ : state) {
+    c.encrypt_block(kBlock, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_ReferenceEncryptBlock);
+
+void BM_ReferenceDecryptBlock(benchmark::State& state) {
+  aes::Aes128 c(kKey);
+  std::array<std::uint8_t, 16> out{};
+  for (auto _ : state) {
+    c.decrypt_block(kBlock, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_ReferenceDecryptBlock);
+
+void BM_TTableEncryptBlock(benchmark::State& state) {
+  aes::TTableAes128 c(kKey);
+  std::array<std::uint8_t, 16> out{};
+  for (auto _ : state) {
+    c.encrypt_block(kBlock, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_TTableEncryptBlock);
+
+void BM_TTableDecryptBlock(benchmark::State& state) {
+  aes::TTableAes128 c(kKey);
+  std::array<std::uint8_t, 16> out{};
+  for (auto _ : state) {
+    c.decrypt_block(kBlock, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_TTableDecryptBlock);
+
+void BM_KeyExpansion(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes::expand_key(aes::Geometry::make(128, 128), kKey));
+  }
+}
+BENCHMARK(BM_KeyExpansion);
+
+void BM_CbcEncrypt(benchmark::State& state) {
+  aes::TTableAes128 c(kKey);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0xab);
+  const std::span<const std::uint8_t, 16> iv(kBlock.data(), 16);
+  for (auto _ : state) benchmark::DoNotOptimize(aes::cbc_encrypt(c, iv, data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_CbcEncrypt)->Arg(1024)->Arg(65536);
+
+void BM_CtrCrypt(benchmark::State& state) {
+  aes::TTableAes128 c(kKey);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0xab);
+  const std::span<const std::uint8_t, 16> ctr(kBlock.data(), 16);
+  for (auto _ : state) benchmark::DoNotOptimize(aes::ctr_crypt(c, ctr, data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_CtrCrypt)->Arg(65536);
+
+void BM_RijndaelWideBlock(benchmark::State& state) {
+  // Full Rijndael with 256-bit blocks (outside the AES subset).
+  std::vector<std::uint8_t> key(32, 0x5a), in(32, 0x3c), out(32);
+  auto c = aes::Rijndael::make(256, 256, key);
+  for (auto _ : state) {
+    c.encrypt_block(in, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_RijndaelWideBlock);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Software AES vs the hardware IP (paper introduction context) ===\n\n");
+  const auto rows = aesip::core::reproduce_table2();
+  std::printf("Hardware IP full-rate throughput (reproduced Table 2):\n");
+  for (const auto& r : rows)
+    std::printf("  %-8s on %-16s : %7.1f Mbps\n", r.paper.system, r.device->name.c_str(),
+                r.throughput_mbps);
+  std::printf("\nSoftware throughputs follow from the benchmarks below"
+              " (bytes_per_second).\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

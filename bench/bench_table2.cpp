@@ -1,0 +1,83 @@
+// Regenerates the paper's Table 2: performance and occupation of the three
+// IP variants on the Acex1K and Cyclone parts, printed measured-vs-paper,
+// plus google-benchmark timings of the flow stages themselves.
+//
+// Run directly: prints the table, then benchmarks synthesis / mapping /
+// fitting.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/table2.hpp"
+#include "report/table.hpp"
+#include "techmap/techmap.hpp"
+
+namespace core = aesip::core;
+namespace fpga = aesip::fpga;
+using aesip::report::Table;
+
+namespace {
+
+void print_table2() {
+  std::cout << "=== Table 2: Performance and occupation (measured | paper) ===\n\n";
+  Table t({"System", "Device", "LCs", "Memory", "Pins", "Latency(ns)", "Clk(ns)",
+           "Thrpt(Mbps)"});
+  for (const auto& r : core::reproduce_table2()) {
+    const auto& p = r.paper;
+    t.add_row({
+        p.system,
+        std::string(p.device) + " (" + r.device->name + ")",
+        std::to_string(r.fit.logic_elements) + "/" + Table::fixed(r.fit.le_pct, 0) + "% | " +
+            std::to_string(p.lcs) + "/" + std::to_string(p.lc_pct) + "%",
+        std::to_string(r.fit.memory_bits) + "/" + Table::fixed(r.fit.memory_pct, 0) + "% | " +
+            std::to_string(p.memory_bits) + "/" + std::to_string(p.memory_pct) + "%",
+        std::to_string(r.fit.pins) + " | " + std::to_string(p.pins),
+        Table::fixed(r.latency_ns, 0) + " | " + Table::fixed(p.latency_ns, 0),
+        Table::fixed(r.fit.timing.clock_period_ns, 1) + " | " + Table::fixed(p.clock_ns, 0),
+        Table::fixed(r.throughput_mbps, 0) + " | " + Table::fixed(p.throughput_mbps, 0),
+    });
+  }
+  t.print(std::cout);
+
+  // The ratio the paper calls out explicitly.
+  const auto rows = core::reproduce_table2();
+  for (const bool cyclone : {false, true}) {
+    const std::size_t base = cyclone ? 3 : 0;
+    const double enc = rows[base].throughput_mbps;
+    const double both = rows[base + 2].throughput_mbps;
+    std::printf("\n%s: combined device throughput drop vs encrypt-only: %.1f%% "
+                "(paper reports ~22%%)\n",
+                cyclone ? "Cyclone" : "Acex1K", 100.0 * (enc - both) / enc);
+  }
+  std::cout << "\nEvery cell satisfies latency = 50 cycles x Tclk and throughput = "
+               "128 bits / latency, as in the paper.\n\n";
+}
+
+void BM_SynthesizeEncrypt(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::synthesize_ip(core::IpMode::kEncrypt, true));
+}
+BENCHMARK(BM_SynthesizeEncrypt)->Unit(benchmark::kMillisecond);
+
+void BM_MapEncrypt(benchmark::State& state) {
+  const auto nl = core::synthesize_ip(core::IpMode::kEncrypt, true);
+  for (auto _ : state) benchmark::DoNotOptimize(aesip::techmap::map_to_luts(nl));
+}
+BENCHMARK(BM_MapEncrypt)->Unit(benchmark::kMillisecond);
+
+void BM_FullFlowCell(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::reproduce_table2_cell(core::IpMode::kEncrypt, fpga::ep1k100fc484_1()));
+}
+BENCHMARK(BM_FullFlowCell)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

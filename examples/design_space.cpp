@@ -1,0 +1,57 @@
+// Design-space exploration: sweep every device in the database against the
+// three IP variants and both S-box storage styles, and chart the
+// area/performance frontier the paper's mixed 32/128-bit point sits on.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "arch/cycle_model.hpp"
+#include "core/ip_synth.hpp"
+#include "fpga/device.hpp"
+#include "fpga/fitter.hpp"
+#include "report/table.hpp"
+#include "techmap/techmap.hpp"
+
+using namespace aesip;
+using report::Table;
+
+int main() {
+  std::printf("== Implementation sweep: every variant x every device ==\n\n");
+  Table t({"Device", "Variant", "S-boxes", "LCs", "LC%", "Mem bits", "Clk(ns)",
+           "Latency(ns)", "Thrpt(Mbps)", "Fits"});
+  for (const fpga::Device* dev : fpga::all_devices()) {
+    for (const auto mode :
+         {core::IpMode::kEncrypt, core::IpMode::kDecrypt, core::IpMode::kBoth}) {
+      const char* name = mode == core::IpMode::kEncrypt ? "Encrypt"
+                         : mode == core::IpMode::kDecrypt ? "Decrypt"
+                                                          : "Both";
+      const bool rom = dev->supports_async_rom;
+      const auto mapped = techmap::map_to_luts(core::synthesize_ip(mode, rom));
+      const auto fit = fpga::fit(mapped, *dev);
+      t.add_row({dev->name, name, rom ? "EAB ROM" : "logic",
+                 std::to_string(fit.logic_elements), Table::fixed(fit.le_pct, 0),
+                 std::to_string(fit.memory_bits), Table::fixed(fit.timing.clock_period_ns, 1),
+                 Table::fixed(fit.latency_ns(50), 0),
+                 Table::fixed(fit.throughput_mbps(128, 50), 0), fit.fits ? "yes" : "NO"});
+    }
+  }
+  t.print(std::cout);
+
+  std::printf("\n== Analytical frontier: cycles vs storage across datapath widths ==\n\n");
+  Table t2({"Width", "Cycles/block", "S-box bits", "Relative throughput", "Relative ROM"});
+  const double base_cycles = arch::cycles_per_block(arch::paper_mixed());
+  const double base_bits = arch::rom_bits(arch::paper_mixed());
+  for (const auto& cfg : {arch::serial8(), arch::serial16(), arch::all32(), arch::paper_mixed(),
+                          arch::full128()}) {
+    t2.add_row({cfg.name, std::to_string(arch::cycles_per_block(cfg)),
+                std::to_string(arch::rom_bits(cfg)),
+                Table::fixed(base_cycles / arch::cycles_per_block(cfg), 2) + "x",
+                Table::fixed(arch::rom_bits(cfg) / base_bits, 2) + "x"});
+  }
+  t2.print(std::cout);
+  std::printf("\nThe mixed 32/128 point gets 2.4x the throughput of all-32-bit for the\n"
+              "same 16 kbit of S-box ROM, and a fused 128-bit round would need 3x the\n"
+              "ROM for at most 1.25x the speed once the key schedule stalls it — the\n"
+              "paper's area/performance argument in one table.\n");
+  return 0;
+}

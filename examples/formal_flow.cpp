@@ -1,0 +1,73 @@
+// Formal flow: the verification story of the repository in one program.
+//
+// Synthesizes the encrypt IP, technology-maps it, PROVES the mapping
+// correct with the BDD engine (every output and register next-state
+// function), exports the mapped design to BLIF and Verilog, re-reads the
+// BLIF and proves the round trip loss-free — then shows the same machinery
+// catching an injected bug.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bdd/netlist_bdd.hpp"
+#include "core/ip_synth.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/writer.hpp"
+#include "techmap/techmap.hpp"
+
+using namespace aesip;
+
+int main(int argc, char** argv) {
+  const char* blif_path = argc > 1 ? argv[1] : "aes_ip_enc.blif";
+  const char* verilog_path = argc > 2 ? argv[2] : "aes_ip_enc.v";
+
+  std::printf("== 1. Synthesize and map the encrypt IP ==\n");
+  const netlist::Netlist ip = core::synthesize_ip(core::IpMode::kEncrypt, true);
+  const auto st = ip.stats();
+  std::printf("synthesized: %zu gates, %zu DFFs, %zu S-box ROMs, %d pins\n", st.gates, st.dffs,
+              st.roms, ip.pin_count());
+  const auto mapped = techmap::map_to_luts(ip);
+  std::printf("mapped:      %zu LUTs + %zu FFs -> %zu logic elements (%zu packed, %zu deduped)\n",
+              mapped.stats.luts, mapped.stats.dffs, mapped.stats.logic_elements,
+              mapped.stats.packed, mapped.stats.deduped_luts);
+
+  std::printf("\n== 2. Prove the mapping correct (BDD equivalence) ==\n");
+  const auto proof = bdd::prove_equivalent(ip, mapped.mapped);
+  std::printf("synthesized == mapped: %s\n", proof.equivalent ? "PROVEN" : "FAILED");
+  if (!proof.equivalent) {
+    std::printf("  mismatch: %s\n", proof.mismatch.c_str());
+    return 1;
+  }
+
+  std::printf("\n== 3. Export for external tools ==\n");
+  {
+    std::ofstream f(blif_path);
+    netlist::write_blif(mapped.mapped, f, "aes_ip_enc");
+  }
+  {
+    std::ofstream f(verilog_path);
+    netlist::write_verilog(ip, f, "aes_ip_enc");
+  }
+  std::printf("wrote %s and %s\n", blif_path, verilog_path);
+
+  std::printf("\n== 4. Prove the BLIF round trip loss-free ==\n");
+  std::ifstream back_in(blif_path);
+  const netlist::Netlist back = netlist::read_blif(back_in);
+  const auto rt = bdd::prove_equivalent(mapped.mapped, back);
+  std::printf("mapped == re-parsed BLIF: %s\n", rt.equivalent ? "PROVEN" : "FAILED");
+
+  std::printf("\n== 5. The same machinery catches a bug ==\n");
+  // Mutate one LUT mask in a copy of the BLIF text and re-check.
+  std::stringstream text;
+  netlist::write_blif(mapped.mapped, text, "aes_ip_enc");
+  std::string blif = text.str();
+  const auto pos = blif.find("10 1\n01 1\n");  // some XOR cover
+  if (pos != std::string::npos) blif.replace(pos, 4, "11 1");  // XOR -> AND-ish
+  std::istringstream bad_in(blif);
+  const netlist::Netlist bad = netlist::read_blif(bad_in);
+  const auto caught = bdd::prove_equivalent(mapped.mapped, bad);
+  std::printf("single-cover mutation detected: %s (%s)\n",
+              caught.equivalent ? "MISSED — bug!" : "yes",
+              caught.mismatch.empty() ? "-" : caught.mismatch.c_str());
+  return caught.equivalent ? 1 : 0;
+}

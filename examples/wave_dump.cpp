@@ -1,0 +1,50 @@
+// Waveform dump: trace the bus protocol and the first encryption through
+// the IP into a VCD file viewable in GTKWave — the ModelSim-style
+// inspection step of the paper's original flow.
+//
+//   $ ./wave_dump [out.vcd]
+#include <cstdio>
+#include <fstream>
+
+#include "core/bfm.hpp"
+#include "core/rijndael_ip.hpp"
+#include "hdl/simulator.hpp"
+#include "hdl/vcd.hpp"
+
+using namespace aesip;
+
+int main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "aes_ip.vcd";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+
+  hdl::Simulator sim;
+  core::RijndaelIp ip(sim, core::IpMode::kBoth);
+  hdl::VcdWriter vcd(sim, out, "aes_ip");
+  core::BusDriver bus(sim, ip);
+
+  // Configuration period, key load (40-cycle setup on the combined device),
+  // one encryption, one decryption of the result.
+  bus.reset();
+  const std::array<std::uint8_t, 16> key{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                                         0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  const std::array<std::uint8_t, 16> pt{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                                        0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  bus.load_key(key);
+  const auto ct = bus.process_block(pt, /*encrypt=*/true);
+  const auto back = bus.process_block(ct, /*encrypt=*/false);
+  sim.run(5);  // a little idle tail so the last strobe is visible
+
+  std::printf("wrote %s: %llu cycles traced\n", path,
+              static_cast<unsigned long long>(sim.cycle()));
+  std::printf("  ciphertext: ");
+  for (const auto b : ct) std::printf("%02x", b);
+  std::printf("\n  decrypted : ");
+  for (const auto b : back) std::printf("%02x", b);
+  std::printf("  (round trip %s)\n", back == pt ? "ok" : "FAILED");
+  std::printf("open with: gtkwave %s\n", path);
+  return 0;
+}

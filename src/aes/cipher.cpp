@@ -1,0 +1,48 @@
+#include "aes/cipher.hpp"
+
+#include "aes/transforms.hpp"
+
+namespace aesip::aes {
+
+Rijndael::Rijndael(const Geometry& g, std::span<const std::uint8_t> key)
+    : geometry_(g), schedule_(expand_key(g, key)) {}
+
+void Rijndael::encrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                             RoundObserver observer, void* user) const {
+  State s(geometry_.nb, in);
+  add_round_key(s, round_key_bytes(geometry_, schedule_, 0));
+  if (observer) observer(0, s, user);
+  for (int round = 1; round < geometry_.nr; ++round) {
+    sub_bytes(s);
+    shift_rows(s);
+    mix_columns(s);
+    add_round_key(s, round_key_bytes(geometry_, schedule_, round));
+    if (observer) observer(round, s, user);
+  }
+  sub_bytes(s);
+  shift_rows(s);
+  add_round_key(s, round_key_bytes(geometry_, schedule_, geometry_.nr));
+  if (observer) observer(geometry_.nr, s, user);
+  s.store(out);
+}
+
+void Rijndael::decrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                             RoundObserver observer, void* user) const {
+  State s(geometry_.nb, in);
+  add_round_key(s, round_key_bytes(geometry_, schedule_, geometry_.nr));
+  if (observer) observer(0, s, user);
+  for (int round = geometry_.nr - 1; round >= 1; --round) {
+    inv_shift_rows(s);
+    inv_sub_bytes(s);
+    add_round_key(s, round_key_bytes(geometry_, schedule_, round));
+    inv_mix_columns(s);
+    if (observer) observer(geometry_.nr - round, s, user);
+  }
+  inv_shift_rows(s);
+  inv_sub_bytes(s);
+  add_round_key(s, round_key_bytes(geometry_, schedule_, 0));
+  if (observer) observer(geometry_.nr, s, user);
+  s.store(out);
+}
+
+}  // namespace aesip::aes

@@ -1,0 +1,79 @@
+// The Rijndael block cipher — reference ("golden") implementation.
+//
+// Supports every legal Rijndael geometry: block sizes 128/192/256 and key
+// sizes 128/192/256 (nine combinations).  AES is the Nb=4 subset; AES-128
+// (the paper's target) is Geometry{4,4,10}.
+//
+// The round structure follows the paper's Figure 2: an initial AddKey, then
+// Nr-1 full rounds (ByteSub, ShiftRow, MixColumn, AddKey) and a final round
+// without MixColumn.  Decryption applies the inverse functions in inverse
+// order (AddKey, IShiftRow, IByteSub per round with IMixColumn between).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aes/key_schedule.hpp"
+#include "aes/state.hpp"
+
+namespace aesip::aes {
+
+/// Observer invoked after every round of encrypt/decrypt; used by the
+/// round-by-round conformance tests and the trace example.  `round` counts
+/// 0 (after the initial AddKey) through Nr.
+using RoundObserver = void (*)(int round, const State& s, void* user);
+
+class Rijndael {
+ public:
+  /// Schedule the cipher for `key` with the given geometry.
+  /// Precondition: key.size() == g.key_bytes().
+  Rijndael(const Geometry& g, std::span<const std::uint8_t> key);
+
+  /// Convenience: derive geometry from bit sizes.
+  static Rijndael make(int block_bits, int key_bits, std::span<const std::uint8_t> key) {
+    return Rijndael(Geometry::make(block_bits, key_bits), key);
+  }
+
+  const Geometry& geometry() const noexcept { return geometry_; }
+  std::span<const std::uint32_t> schedule() const noexcept { return schedule_; }
+
+  /// Encrypt/decrypt exactly one block (4*Nb bytes). `out` may alias `in`.
+  void encrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                     RoundObserver observer = nullptr, void* user = nullptr) const;
+  void decrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                     RoundObserver observer = nullptr, void* user = nullptr) const;
+
+  /// Round key `round` in the byte layout add_round_key consumes.
+  std::vector<std::uint8_t> round_key(int round) const {
+    return round_key_bytes(geometry_, schedule_, round);
+  }
+
+ private:
+  Geometry geometry_;
+  std::vector<std::uint32_t> schedule_;
+};
+
+/// AES-128 on 16-byte blocks — the paper's AES128 mode.
+class Aes128 {
+ public:
+  static constexpr int kBlockBytes = 16;
+  static constexpr int kKeyBytes = 16;
+  static constexpr int kRounds = 10;
+
+  explicit Aes128(std::span<const std::uint8_t> key)
+      : impl_(Geometry::make(128, 128), key) {}
+
+  void encrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out) const {
+    impl_.encrypt_block(in, out);
+  }
+  void decrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out) const {
+    impl_.decrypt_block(in, out);
+  }
+  const Rijndael& rijndael() const noexcept { return impl_; }
+
+ private:
+  Rijndael impl_;
+};
+
+}  // namespace aesip::aes

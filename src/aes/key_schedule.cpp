@@ -1,0 +1,44 @@
+#include "aes/key_schedule.hpp"
+
+#include "aes/sbox.hpp"
+#include "gf/gf256.hpp"
+
+namespace aesip::aes {
+
+std::uint32_t kstran(std::uint32_t w, int round) noexcept {
+  return sub_word(rot_word(w)) ^ gf::rcon(static_cast<unsigned>(round));
+}
+
+std::vector<std::uint32_t> expand_key(const Geometry& g, std::span<const std::uint8_t> key) {
+  std::vector<std::uint32_t> w(static_cast<std::size_t>(g.schedule_words()));
+  for (int i = 0; i < g.nk; ++i)
+    w[static_cast<std::size_t>(i)] =
+        static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i)]) |
+        (static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i + 1)]) << 8) |
+        (static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i + 2)]) << 16) |
+        (static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i + 3)]) << 24);
+  for (int i = g.nk; i < g.schedule_words(); ++i) {
+    std::uint32_t temp = w[static_cast<std::size_t>(i - 1)];
+    if (i % g.nk == 0) {
+      temp = kstran(temp, i / g.nk);
+    } else if (g.nk > 6 && i % g.nk == 4) {
+      // The 256-bit key schedule inserts an extra SubWord (FIPS-197 §5.2).
+      temp = sub_word(temp);
+    }
+    w[static_cast<std::size_t>(i)] = w[static_cast<std::size_t>(i - g.nk)] ^ temp;
+  }
+  return w;
+}
+
+std::vector<std::uint8_t> round_key_bytes(const Geometry& g,
+                                          std::span<const std::uint32_t> schedule, int round) {
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(g.block_bytes()));
+  for (int c = 0; c < g.nb; ++c) {
+    const std::uint32_t word = schedule[static_cast<std::size_t>(round * g.nb + c)];
+    for (int r = 0; r < 4; ++r)
+      out[static_cast<std::size_t>(4 * c + r)] = static_cast<std::uint8_t>(word >> (8 * r));
+  }
+  return out;
+}
+
+}  // namespace aesip::aes

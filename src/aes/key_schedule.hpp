@@ -1,0 +1,48 @@
+// Rijndael key expansion (FIPS-197 §5.2, the paper's "Round Key Function").
+//
+// The expanded schedule is Nb*(Nr+1) 32-bit words.  The hardware IP never
+// stores this array — it regenerates round keys on the fly with the KStran
+// unit — but the reference expansion is the specification both are tested
+// against, and it provides the "previous generation" baseline the paper's
+// area argument is made against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aesip::aes {
+
+/// Cipher geometry: Nb = block words, Nk = key words, Nr = rounds.
+struct Geometry {
+  int nb;  ///< block size / 32  (4, 6 or 8)
+  int nk;  ///< key size / 32    (4, 6 or 8)
+  int nr;  ///< number of rounds = max(nb, nk) + 6
+
+  static constexpr Geometry make(int block_bits, int key_bits) noexcept {
+    const int nb = block_bits / 32;
+    const int nk = key_bits / 32;
+    const int nr = (nb > nk ? nb : nk) + 6;
+    return Geometry{nb, nk, nr};
+  }
+
+  constexpr int schedule_words() const noexcept { return nb * (nr + 1); }
+  constexpr int block_bytes() const noexcept { return 4 * nb; }
+  constexpr int key_bytes() const noexcept { return 4 * nk; }
+};
+
+/// KStran (paper Fig. 3): the transformation applied to the last word of the
+/// previous key block when crossing an Nk boundary —
+/// RotWord, then SubWord (4 S-box lookups), then XOR with rcon(round).
+std::uint32_t kstran(std::uint32_t w, int round) noexcept;
+
+/// Full expansion of `key` (4*Nk bytes) into Nb*(Nr+1) words.  Words are
+/// packed little-endian byte 0 first, matching State::column_word.
+std::vector<std::uint32_t> expand_key(const Geometry& g, std::span<const std::uint8_t> key);
+
+/// Round key `round` (0..Nr) of an expanded schedule as 4*Nb bytes,
+/// column-major — the layout add_round_key consumes.
+std::vector<std::uint8_t> round_key_bytes(const Geometry& g,
+                                          std::span<const std::uint32_t> schedule, int round);
+
+}  // namespace aesip::aes

@@ -1,0 +1,22 @@
+#include "aes/modes.hpp"
+
+namespace aesip::aes {
+
+std::vector<std::uint8_t> pkcs7_pad(std::span<const std::uint8_t> data) {
+  const std::size_t pad = kBlock - (data.size() % kBlock);
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  out.insert(out.end(), pad, static_cast<std::uint8_t>(pad));
+  return out;
+}
+
+std::vector<std::uint8_t> pkcs7_unpad(std::span<const std::uint8_t> data) {
+  if (data.empty() || data.size() % kBlock != 0)
+    throw std::invalid_argument("pkcs7: length not a positive multiple of the block size");
+  const std::uint8_t pad = data.back();
+  if (pad == 0 || pad > kBlock) throw std::invalid_argument("pkcs7: bad pad byte");
+  for (std::size_t i = data.size() - pad; i < data.size(); ++i)
+    if (data[i] != pad) throw std::invalid_argument("pkcs7: inconsistent padding");
+  return std::vector<std::uint8_t>(data.begin(), data.end() - pad);
+}
+
+}  // namespace aesip::aes

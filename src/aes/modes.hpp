@@ -1,0 +1,117 @@
+// Block-cipher modes of operation (ECB, CBC, CTR) with PKCS#7 padding.
+//
+// The modes are generic over any 128-bit block cipher exposing
+// encrypt_block/decrypt_block over 16-byte spans — the reference Aes128,
+// the T-table engine, and (deliberately) the cycle-accurate hardware IP
+// model all satisfy the concept, so the examples can run CBC traffic
+// through the simulated FPGA core.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace aesip::aes {
+
+template <typename C>
+concept BlockCipher128 = requires(const C& c, std::span<const std::uint8_t> in,
+                                  std::span<std::uint8_t> out) {
+  { c.encrypt_block(in, out) };
+};
+
+template <typename C>
+concept BlockDecipher128 = requires(const C& c, std::span<const std::uint8_t> in,
+                                    std::span<std::uint8_t> out) {
+  { c.decrypt_block(in, out) };
+};
+
+inline constexpr std::size_t kBlock = 16;
+
+/// Append PKCS#7 padding (always adds 1..16 bytes, so unpad is unambiguous).
+std::vector<std::uint8_t> pkcs7_pad(std::span<const std::uint8_t> data);
+
+/// Strip PKCS#7 padding; throws std::invalid_argument on malformed padding.
+std::vector<std::uint8_t> pkcs7_unpad(std::span<const std::uint8_t> data);
+
+/// ECB over whole blocks. Precondition: data.size() % 16 == 0.
+template <BlockCipher128 C>
+std::vector<std::uint8_t> ecb_encrypt(const C& cipher, std::span<const std::uint8_t> data) {
+  if (data.size() % kBlock != 0) throw std::invalid_argument("ecb: partial block");
+  std::vector<std::uint8_t> out(data.size());
+  for (std::size_t off = 0; off < data.size(); off += kBlock)
+    cipher.encrypt_block(data.subspan(off, kBlock),
+                         std::span<std::uint8_t>(out).subspan(off, kBlock));
+  return out;
+}
+
+template <BlockDecipher128 C>
+std::vector<std::uint8_t> ecb_decrypt(const C& cipher, std::span<const std::uint8_t> data) {
+  if (data.size() % kBlock != 0) throw std::invalid_argument("ecb: partial block");
+  std::vector<std::uint8_t> out(data.size());
+  for (std::size_t off = 0; off < data.size(); off += kBlock)
+    cipher.decrypt_block(data.subspan(off, kBlock),
+                         std::span<std::uint8_t>(out).subspan(off, kBlock));
+  return out;
+}
+
+/// CBC over whole blocks (callers pad first when needed).
+template <BlockCipher128 C>
+std::vector<std::uint8_t> cbc_encrypt(const C& cipher, std::span<const std::uint8_t, kBlock> iv,
+                                      std::span<const std::uint8_t> data) {
+  if (data.size() % kBlock != 0) throw std::invalid_argument("cbc: partial block");
+  std::vector<std::uint8_t> out(data.size());
+  std::uint8_t chain[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) chain[i] = iv[i];
+  for (std::size_t off = 0; off < data.size(); off += kBlock) {
+    std::uint8_t x[kBlock];
+    for (std::size_t i = 0; i < kBlock; ++i)
+      x[i] = static_cast<std::uint8_t>(data[off + i] ^ chain[i]);
+    cipher.encrypt_block(x, std::span<std::uint8_t>(out).subspan(off, kBlock));
+    for (std::size_t i = 0; i < kBlock; ++i) chain[i] = out[off + i];
+  }
+  return out;
+}
+
+template <BlockDecipher128 C>
+std::vector<std::uint8_t> cbc_decrypt(const C& cipher, std::span<const std::uint8_t, kBlock> iv,
+                                      std::span<const std::uint8_t> data) {
+  if (data.size() % kBlock != 0) throw std::invalid_argument("cbc: partial block");
+  std::vector<std::uint8_t> out(data.size());
+  std::uint8_t chain[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) chain[i] = iv[i];
+  for (std::size_t off = 0; off < data.size(); off += kBlock) {
+    std::uint8_t plain[kBlock];
+    cipher.decrypt_block(data.subspan(off, kBlock), plain);
+    for (std::size_t i = 0; i < kBlock; ++i) {
+      out[off + i] = static_cast<std::uint8_t>(plain[i] ^ chain[i]);
+      chain[i] = data[off + i];
+    }
+  }
+  return out;
+}
+
+/// CTR mode: the counter block is big-endian-incremented over its full 128
+/// bits (the SP 800-38A example convention). Works on any length; CTR needs
+/// only the forward cipher for both directions.
+template <BlockCipher128 C>
+std::vector<std::uint8_t> ctr_crypt(const C& cipher,
+                                    std::span<const std::uint8_t, kBlock> initial_counter,
+                                    std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out(data.size());
+  std::uint8_t counter[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) counter[i] = initial_counter[i];
+  std::uint8_t keystream[kBlock];
+  for (std::size_t off = 0; off < data.size(); off += kBlock) {
+    cipher.encrypt_block(counter, keystream);
+    const std::size_t n = data.size() - off < kBlock ? data.size() - off : kBlock;
+    for (std::size_t i = 0; i < n; ++i)
+      out[off + i] = static_cast<std::uint8_t>(data[off + i] ^ keystream[i]);
+    for (int i = static_cast<int>(kBlock) - 1; i >= 0; --i)
+      if (++counter[i] != 0) break;
+  }
+  return out;
+}
+
+}  // namespace aesip::aes

@@ -1,0 +1,67 @@
+// The Rijndael substitution box, derived algebraically.
+//
+// FIPS-197 §5.1.1 defines SubBytes as the composition of the field
+// inversion in GF(2^8) and a fixed affine map over GF(2).  We generate both
+// the forward and the inverse table at compile time from that definition;
+// the published 256-entry table is pinned against this derivation in the
+// test suite, so a transcription error in either direction cannot hide.
+//
+// Each table is exactly the 256 x 8 bit ROM ("2048 bits of memory" in the
+// paper's terminology) that one hardware S-box stores.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "gf/bitmatrix.hpp"
+#include "gf/gf256.hpp"
+
+namespace aesip::aes {
+
+namespace detail {
+
+constexpr std::array<std::uint8_t, 256> make_sbox() noexcept {
+  std::array<std::uint8_t, 256> t{};
+  for (int i = 0; i < 256; ++i)
+    t[static_cast<std::size_t>(i)] =
+        gf::kSBoxAffine.apply(gf::inverse(static_cast<std::uint8_t>(i)));
+  return t;
+}
+
+constexpr std::array<std::uint8_t, 256> make_inv_sbox() noexcept {
+  constexpr auto fwd = make_sbox();
+  std::array<std::uint8_t, 256> t{};
+  for (int i = 0; i < 256; ++i) t[fwd[static_cast<std::size_t>(i)]] = static_cast<std::uint8_t>(i);
+  return t;
+}
+
+}  // namespace detail
+
+/// Forward S-box: sbox[x] = affine(inverse(x)).
+inline constexpr std::array<std::uint8_t, 256> kSBox = detail::make_sbox();
+
+/// Inverse S-box: inv_sbox[sbox[x]] = x.
+inline constexpr std::array<std::uint8_t, 256> kInvSBox = detail::make_inv_sbox();
+
+constexpr std::uint8_t sub_byte(std::uint8_t x) noexcept { return kSBox[x]; }
+constexpr std::uint8_t inv_sub_byte(std::uint8_t x) noexcept { return kInvSBox[x]; }
+
+/// Apply the forward S-box to each byte of a 32-bit word (FIPS SubWord).
+constexpr std::uint32_t sub_word(std::uint32_t w) noexcept {
+  return static_cast<std::uint32_t>(kSBox[w & 0xff]) |
+         (static_cast<std::uint32_t>(kSBox[(w >> 8) & 0xff]) << 8) |
+         (static_cast<std::uint32_t>(kSBox[(w >> 16) & 0xff]) << 16) |
+         (static_cast<std::uint32_t>(kSBox[(w >> 24) & 0xff]) << 24);
+}
+
+/// Rotate the four bytes of a word left by one byte position (FIPS RotWord,
+/// word stored little-endian byte 0 first).
+constexpr std::uint32_t rot_word(std::uint32_t w) noexcept {
+  return (w >> 8) | (w << 24);
+}
+
+static_assert(kSBox[0x00] == 0x63, "S-box anchor (FIPS-197 fig. 7)");
+static_assert(kSBox[0x53] == 0xed, "S-box anchor (FIPS-197 example)");
+static_assert(kInvSBox[0x63] == 0x00, "inverse S-box anchor");
+
+}  // namespace aesip::aes

@@ -1,0 +1,17 @@
+#include "aes/state.hpp"
+
+namespace aesip::aes {
+
+std::string State::to_hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(static_cast<std::size_t>(2 * size_bytes()));
+  for (int i = 0; i < size_bytes(); ++i) {
+    const std::uint8_t b = bytes_[static_cast<std::size_t>(i)];
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace aesip::aes

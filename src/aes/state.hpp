@@ -1,0 +1,84 @@
+// The Rijndael state: a 4-row by Nb-column matrix of bytes (the paper's
+// `state_t`, Figure 1).
+//
+// AES fixes Nb = 4 (128-bit blocks); full Rijndael also allows Nb = 6 and
+// Nb = 8 (192/256-bit blocks).  Bytes map to the matrix column-major:
+// state(r, c) = input[4*c + r], exactly as in FIPS-197 §3.4.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace aesip::aes {
+
+/// Number of 32-bit columns for a given block size in bits (128/192/256).
+constexpr int columns_for_block_bits(int bits) noexcept { return bits / 32; }
+
+class State {
+ public:
+  static constexpr int kRows = 4;
+  static constexpr int kMaxColumns = 8;
+
+  /// An all-zero state with `nb` columns (nb in {4, 6, 8}).
+  explicit State(int nb) noexcept : nb_(nb), bytes_{} {}
+
+  /// Load from a byte block of 4*nb bytes.
+  State(int nb, std::span<const std::uint8_t> block) noexcept : nb_(nb), bytes_{} {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(4 * nb_); ++i) bytes_[i] = block[i];
+  }
+
+  int columns() const noexcept { return nb_; }
+  int size_bytes() const noexcept { return 4 * nb_; }
+
+  std::uint8_t at(int row, int col) const noexcept {
+    return bytes_[static_cast<std::size_t>(4 * col + row)];
+  }
+  void set(int row, int col, std::uint8_t v) noexcept {
+    bytes_[static_cast<std::size_t>(4 * col + row)] = v;
+  }
+
+  /// Column c as a 32-bit word, byte 0 (row 0) in the low byte.
+  std::uint32_t column_word(int c) const noexcept {
+    std::uint32_t w = 0;
+    for (int r = 0; r < kRows; ++r)
+      w |= static_cast<std::uint32_t>(at(r, c)) << (8 * r);
+    return w;
+  }
+  void set_column_word(int c, std::uint32_t w) noexcept {
+    for (int r = 0; r < kRows; ++r)
+      set(r, c, static_cast<std::uint8_t>(w >> (8 * r)));
+  }
+
+  /// Serialize back to the byte block (column-major order).
+  void store(std::span<std::uint8_t> out) const noexcept {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(4 * nb_); ++i) out[i] = bytes_[i];
+  }
+
+  /// Raw access over the active 4*nb bytes.
+  std::span<const std::uint8_t> bytes() const noexcept {
+    return std::span<const std::uint8_t>(bytes_.data(), static_cast<std::size_t>(4 * nb_));
+  }
+  std::span<std::uint8_t> bytes() noexcept {
+    return std::span<std::uint8_t>(bytes_.data(), static_cast<std::size_t>(4 * nb_));
+  }
+
+  bool operator==(const State& rhs) const noexcept {
+    if (nb_ != rhs.nb_) return false;
+    for (int i = 0; i < 4 * nb_; ++i)
+      if (bytes_[static_cast<std::size_t>(i)] != rhs.bytes_[static_cast<std::size_t>(i)])
+        return false;
+    return true;
+  }
+
+  /// Hex rendering (for test failure messages and the trace examples).
+  std::string to_hex() const;
+
+ private:
+  int nb_;
+  std::array<std::uint8_t, kRows * kMaxColumns> bytes_;
+};
+
+}  // namespace aesip::aes

@@ -1,0 +1,84 @@
+#include "aes/transforms.hpp"
+
+#include "aes/sbox.hpp"
+#include "gf/gf256.hpp"
+#include "gf/poly.hpp"
+
+namespace aesip::aes {
+
+int shift_offset(int nb, int row) noexcept {
+  if (row == 0) return 0;
+  if (nb == 8) {
+    // Rijndael spec: C1..C3 = 1, 3, 4 for 256-bit blocks.
+    constexpr int kWide[4] = {0, 1, 3, 4};
+    return kWide[row];
+  }
+  return row;  // Nb = 4 and Nb = 6 use offsets 1, 2, 3
+}
+
+void sub_bytes(State& s) noexcept {
+  for (int c = 0; c < s.columns(); ++c)
+    for (int r = 0; r < State::kRows; ++r) s.set(r, c, sub_byte(s.at(r, c)));
+}
+
+void inv_sub_bytes(State& s) noexcept {
+  for (int c = 0; c < s.columns(); ++c)
+    for (int r = 0; r < State::kRows; ++r) s.set(r, c, inv_sub_byte(s.at(r, c)));
+}
+
+void shift_rows(State& s) noexcept {
+  const int nb = s.columns();
+  State t = s;
+  for (int r = 1; r < State::kRows; ++r) {
+    const int off = shift_offset(nb, r);
+    for (int c = 0; c < nb; ++c) s.set(r, c, t.at(r, (c + off) % nb));
+  }
+}
+
+void inv_shift_rows(State& s) noexcept {
+  const int nb = s.columns();
+  State t = s;
+  for (int r = 1; r < State::kRows; ++r) {
+    const int off = shift_offset(nb, r);
+    for (int c = 0; c < nb; ++c) s.set(r, (c + off) % nb, t.at(r, c));
+  }
+}
+
+namespace {
+
+void mix_columns_by(State& s, const gf::ColumnPoly& m) noexcept {
+  for (int c = 0; c < s.columns(); ++c) {
+    const gf::ColumnPoly col{s.at(0, c), s.at(1, c), s.at(2, c), s.at(3, c)};
+    const gf::ColumnPoly out = col * m;
+    for (int r = 0; r < State::kRows; ++r) s.set(r, c, out[r]);
+  }
+}
+
+std::uint32_t mix_word_by(std::uint32_t w, const gf::ColumnPoly& m) noexcept {
+  const gf::ColumnPoly col{static_cast<std::uint8_t>(w), static_cast<std::uint8_t>(w >> 8),
+                           static_cast<std::uint8_t>(w >> 16),
+                           static_cast<std::uint8_t>(w >> 24)};
+  const gf::ColumnPoly out = col * m;
+  return static_cast<std::uint32_t>(out[0]) | (static_cast<std::uint32_t>(out[1]) << 8) |
+         (static_cast<std::uint32_t>(out[2]) << 16) | (static_cast<std::uint32_t>(out[3]) << 24);
+}
+
+}  // namespace
+
+void mix_columns(State& s) noexcept { mix_columns_by(s, gf::kMixColumnPoly); }
+void inv_mix_columns(State& s) noexcept { mix_columns_by(s, gf::kInvMixColumnPoly); }
+
+std::uint32_t mix_column_word(std::uint32_t col) noexcept {
+  return mix_word_by(col, gf::kMixColumnPoly);
+}
+std::uint32_t inv_mix_column_word(std::uint32_t col) noexcept {
+  return mix_word_by(col, gf::kInvMixColumnPoly);
+}
+
+void add_round_key(State& s, std::span<const std::uint8_t> round_key) noexcept {
+  auto bytes = s.bytes();
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    bytes[i] = static_cast<std::uint8_t>(bytes[i] ^ round_key[i]);
+}
+
+}  // namespace aesip::aes

@@ -1,0 +1,44 @@
+// The four Rijndael round transformations and their inverses, on a State
+// of any legal width (Nb in {4, 6, 8}).
+//
+// These are the "five functions" of the paper's Section 3 (Byte Sub, Shift
+// Row, Mix Column, Add Key, plus the Round Key function, which lives in
+// key_schedule.hpp).  Everything here is the *reference* formulation; the
+// cycle-accurate hardware model in src/core re-implements the same maths in
+// its mixed 32/128-bit structure and is tested against these functions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "aes/state.hpp"
+
+namespace aesip::aes {
+
+/// Row-shift offset for `row` at block width `nb` (Rijndael spec table:
+/// offsets {1,2,3} for Nb=4 and Nb=6, {1,3,4} for Nb=8; row 0 never shifts).
+int shift_offset(int nb, int row) noexcept;
+
+/// SubBytes: apply the S-box to every state byte (paper Fig. 4).
+void sub_bytes(State& s) noexcept;
+void inv_sub_bytes(State& s) noexcept;
+
+/// ShiftRows: rotate row r left by shift_offset(nb, r) (paper Fig. 6 shows
+/// the inverse).
+void shift_rows(State& s) noexcept;
+void inv_shift_rows(State& s) noexcept;
+
+/// MixColumns: multiply each column by c(x) mod x^4+1 (paper Fig. 7).
+void mix_columns(State& s) noexcept;
+void inv_mix_columns(State& s) noexcept;
+
+/// AddRoundKey: XOR `round_key` (4*nb bytes, column-major like the state).
+/// Self-inverse.
+void add_round_key(State& s, std::span<const std::uint8_t> round_key) noexcept;
+
+/// Single-column MixColumn on a packed word (row 0 in the low byte); the
+/// hardware MixColumn128 block is four instances of this.
+std::uint32_t mix_column_word(std::uint32_t col) noexcept;
+std::uint32_t inv_mix_column_word(std::uint32_t col) noexcept;
+
+}  // namespace aesip::aes

@@ -1,0 +1,133 @@
+#include "aes/ttable.hpp"
+
+#include "aes/key_schedule.hpp"
+#include "aes/sbox.hpp"
+#include "aes/transforms.hpp"
+#include "gf/gf256.hpp"
+
+namespace aesip::aes {
+
+namespace {
+
+// Words pack row r of a column into bits [8r, 8r+8) (matching
+// State::column_word), so T_r[x] is column r of the MixColumn matrix times
+// S[x].
+constexpr std::uint32_t pack(std::uint8_t b0, std::uint8_t b1, std::uint8_t b2,
+                             std::uint8_t b3) noexcept {
+  return static_cast<std::uint32_t>(b0) | (static_cast<std::uint32_t>(b1) << 8) |
+         (static_cast<std::uint32_t>(b2) << 16) | (static_cast<std::uint32_t>(b3) << 24);
+}
+
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> enc{};
+  std::array<std::array<std::uint32_t, 256>, 4> dec{};
+};
+
+Tables make_tables() noexcept {
+  // MixColumn matrix rows (FIPS-197 eq. 5.6) and the inverse (eq. 5.10).
+  constexpr std::uint8_t m[4][4] = {
+      {0x02, 0x03, 0x01, 0x01},
+      {0x01, 0x02, 0x03, 0x01},
+      {0x01, 0x01, 0x02, 0x03},
+      {0x03, 0x01, 0x01, 0x02}};
+  constexpr std::uint8_t im[4][4] = {
+      {0x0e, 0x0b, 0x0d, 0x09},
+      {0x09, 0x0e, 0x0b, 0x0d},
+      {0x0d, 0x09, 0x0e, 0x0b},
+      {0x0b, 0x0d, 0x09, 0x0e}};
+  Tables t;
+  for (int x = 0; x < 256; ++x) {
+    const std::uint8_t s = kSBox[static_cast<std::size_t>(x)];
+    const std::uint8_t is = kInvSBox[static_cast<std::size_t>(x)];
+    for (int r = 0; r < 4; ++r) {
+      t.enc[static_cast<std::size_t>(r)][static_cast<std::size_t>(x)] =
+          pack(gf::mul(m[0][r], s), gf::mul(m[1][r], s), gf::mul(m[2][r], s),
+               gf::mul(m[3][r], s));
+      t.dec[static_cast<std::size_t>(r)][static_cast<std::size_t>(x)] =
+          pack(gf::mul(im[0][r], is), gf::mul(im[1][r], is), gf::mul(im[2][r], is),
+               gf::mul(im[3][r], is));
+    }
+  }
+  return t;
+}
+
+const Tables& tables() noexcept {
+  static const Tables t = make_tables();
+  return t;
+}
+
+std::uint32_t load_word(std::span<const std::uint8_t> p, int c) noexcept {
+  return pack(p[static_cast<std::size_t>(4 * c)], p[static_cast<std::size_t>(4 * c + 1)],
+              p[static_cast<std::size_t>(4 * c + 2)], p[static_cast<std::size_t>(4 * c + 3)]);
+}
+
+void store_word(std::span<std::uint8_t> p, int c, std::uint32_t w) noexcept {
+  for (int r = 0; r < 4; ++r)
+    p[static_cast<std::size_t>(4 * c + r)] = static_cast<std::uint8_t>(w >> (8 * r));
+}
+
+constexpr std::uint8_t byte_of(std::uint32_t w, int r) noexcept {
+  return static_cast<std::uint8_t>(w >> (8 * r));
+}
+
+}  // namespace
+
+TTableAes128::TTableAes128(std::span<const std::uint8_t> key) {
+  const Geometry g = Geometry::make(128, 128);
+  const auto sched = expand_key(g, key);
+  for (int i = 0; i < 44; ++i) enc_keys_[static_cast<std::size_t>(i)] = sched[static_cast<std::size_t>(i)];
+  // Equivalent inverse cipher: reverse round order and fold InvMixColumns
+  // into every key except the first and last.
+  for (int round = 0; round <= 10; ++round)
+    for (int c = 0; c < 4; ++c) {
+      std::uint32_t w = sched[static_cast<std::size_t>(4 * (10 - round) + c)];
+      if (round != 0 && round != 10) w = inv_mix_column_word(w);
+      dec_keys_[static_cast<std::size_t>(4 * round + c)] = w;
+    }
+}
+
+void TTableAes128::encrypt_block(std::span<const std::uint8_t> in,
+                                 std::span<std::uint8_t> out) const noexcept {
+  const Tables& t = tables();
+  std::uint32_t s[4];
+  for (int c = 0; c < 4; ++c) s[c] = load_word(in, c) ^ enc_keys_[static_cast<std::size_t>(c)];
+  for (int round = 1; round < kRounds; ++round) {
+    std::uint32_t n[4];
+    for (int c = 0; c < 4; ++c)
+      n[c] = t.enc[0][byte_of(s[c], 0)] ^ t.enc[1][byte_of(s[(c + 1) & 3], 1)] ^
+             t.enc[2][byte_of(s[(c + 2) & 3], 2)] ^ t.enc[3][byte_of(s[(c + 3) & 3], 3)] ^
+             enc_keys_[static_cast<std::size_t>(4 * round + c)];
+    for (int c = 0; c < 4; ++c) s[c] = n[c];
+  }
+  for (int c = 0; c < 4; ++c) {
+    const std::uint32_t w =
+        pack(kSBox[byte_of(s[c], 0)], kSBox[byte_of(s[(c + 1) & 3], 1)],
+             kSBox[byte_of(s[(c + 2) & 3], 2)], kSBox[byte_of(s[(c + 3) & 3], 3)]) ^
+        enc_keys_[static_cast<std::size_t>(40 + c)];
+    store_word(out, c, w);
+  }
+}
+
+void TTableAes128::decrypt_block(std::span<const std::uint8_t> in,
+                                 std::span<std::uint8_t> out) const noexcept {
+  const Tables& t = tables();
+  std::uint32_t s[4];
+  for (int c = 0; c < 4; ++c) s[c] = load_word(in, c) ^ dec_keys_[static_cast<std::size_t>(c)];
+  for (int round = 1; round < kRounds; ++round) {
+    std::uint32_t n[4];
+    for (int c = 0; c < 4; ++c)
+      n[c] = t.dec[0][byte_of(s[c], 0)] ^ t.dec[1][byte_of(s[(c + 3) & 3], 1)] ^
+             t.dec[2][byte_of(s[(c + 2) & 3], 2)] ^ t.dec[3][byte_of(s[(c + 1) & 3], 3)] ^
+             dec_keys_[static_cast<std::size_t>(4 * round + c)];
+    for (int c = 0; c < 4; ++c) s[c] = n[c];
+  }
+  for (int c = 0; c < 4; ++c) {
+    const std::uint32_t w =
+        pack(kInvSBox[byte_of(s[c], 0)], kInvSBox[byte_of(s[(c + 3) & 3], 1)],
+             kInvSBox[byte_of(s[(c + 2) & 3], 2)], kInvSBox[byte_of(s[(c + 1) & 3], 3)]) ^
+        dec_keys_[static_cast<std::size_t>(40 + c)];
+    store_word(out, c, w);
+  }
+}
+
+}  // namespace aesip::aes

@@ -1,0 +1,33 @@
+// T-table AES-128: the classic 32-bit software formulation.
+//
+// SubBytes + ShiftRows + MixColumns collapse into four 256-entry tables of
+// 32-bit words; one round is 16 lookups and 16 XORs.  This is the software
+// baseline the paper's introduction alludes to ("running cryptography
+// algorithms in general software") and the comparison point for the
+// bench_software harness.  Decryption uses the equivalent inverse cipher
+// (FIPS-197 §5.3.5) with InvMixColumns folded into the round keys.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aesip::aes {
+
+class TTableAes128 {
+ public:
+  static constexpr int kBlockBytes = 16;
+  static constexpr int kRounds = 10;
+
+  explicit TTableAes128(std::span<const std::uint8_t> key);
+
+  void encrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out) const noexcept;
+  void decrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out) const noexcept;
+
+ private:
+  std::array<std::uint32_t, 44> enc_keys_;
+  std::array<std::uint32_t, 44> dec_keys_;  // equivalent-inverse-cipher keys
+};
+
+}  // namespace aesip::aes

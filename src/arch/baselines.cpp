@@ -1,0 +1,43 @@
+#include "arch/baselines.hpp"
+
+namespace aesip::arch {
+
+const std::vector<LiteratureDesign>& table3_baselines() {
+  static const std::vector<LiteratureDesign> rows = [] {
+    std::vector<LiteratureDesign> v;
+
+    // [13] Mroczkowski, "Implementation of the block cipher Rijndael using
+    // Altera FPGA", Flex10KA.  A 32-bit iterative implementation; the
+    // scanned Table 3 cells are illegible, so only the configuration is
+    // modeled.
+    v.push_back(LiteratureDesign{
+        "[13] Mroczkowski", "Flex10KA", std::nullopt, std::nullopt, std::nullopt, std::nullopt,
+        std::nullopt,
+        DatapathConfig{"all-32-bit iterative", 32, 32, false, true, true}, 40.0});
+
+    // [14] Zigiotto & d'Amore, low-cost Acex1K implementation: 1965 LCs and
+    // 61.2 Mbps combined are legible in the paper text.
+    v.push_back(LiteratureDesign{
+        "[14] Zigiotto/d'Amore", "Acex1K", std::nullopt, 1965, std::nullopt, std::nullopt, 61.2,
+        DatapathConfig{"8-bit low-cost", 8, 32, false, true, true}, 20.0});
+
+    // [1] Panato, Boeira, Reis, "An IP of an Advanced Encryption Standard
+    // for Altera Devices" — the authors' own high-performance Apex20K-1
+    // design (fully parallel 128-bit round, stored round keys).
+    v.push_back(LiteratureDesign{
+        "[1] Panato et al. (high-perf)", "Apex20K-1", std::nullopt, std::nullopt, std::nullopt,
+        std::nullopt, std::nullopt,
+        DatapathConfig{"full-128-bit pipelined", 128, 128, true, true, true}, 11.0});
+
+    // [15] Altera Hammercores Rijndael processor, Apex20KE; the memory
+    // figure 57344 bits for the decrypt configuration survives in the text.
+    v.push_back(LiteratureDesign{
+        "[15] Altera Hammercores", "Apex20KE", 57344, std::nullopt, std::nullopt, std::nullopt,
+        std::nullopt,
+        DatapathConfig{"full-128-bit, T-box style", 128, 128, true, true, true}, 12.0});
+    return v;
+  }();
+  return rows;
+}
+
+}  // namespace aesip::arch

@@ -1,0 +1,50 @@
+#include "arch/cycle_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aesip::arch {
+
+DatapathConfig paper_mixed() { return {"mixed-32/128 (paper)", 32, 128, false, false, false}; }
+DatapathConfig all32() { return {"all-32-bit", 32, 32, false, false, false}; }
+DatapathConfig full128() { return {"full-128-bit", 128, 128, true, false, false}; }
+DatapathConfig serial8() { return {"byte-serial (8-bit)", 8, 32, false, false, false}; }
+DatapathConfig serial16() { return {"16-bit", 16, 32, false, false, false}; }
+
+int cycles_per_round(const DatapathConfig& c) {
+  if (c.bytesub_bits <= 0 || 128 % c.bytesub_bits != 0)
+    throw std::invalid_argument("cycle_model: ByteSub width must divide 128");
+  if (c.linear_bits != 32 && c.linear_bits != 128)
+    throw std::invalid_argument("cycle_model: linear width must be 32 or 128");
+  if (c.fused_round) return 1;
+  const int bytesub = 128 / c.bytesub_bits;
+  // At 128 bits ShiftRow+MixColumn+AddKey fuse into one cycle; at 32 bits
+  // MixColumn and AddKey each take 4 passes (ShiftRow stays free wiring) —
+  // the paper's 12-cycle all-32-bit round.
+  const int linear = c.linear_bits == 128 ? 1 : 2 * (128 / c.linear_bits);
+  return bytesub + linear;
+}
+
+int cycles_per_block(const DatapathConfig& c) { return 10 * effective_cycles_per_round(c); }
+
+int key_schedule_cycles_per_round() { return 4; }
+
+int effective_cycles_per_round(const DatapathConfig& c) {
+  if (c.stored_keys) return cycles_per_round(c);
+  return std::max(cycles_per_round(c), key_schedule_cycles_per_round());
+}
+
+int sbox_count(const DatapathConfig& c) {
+  const int data = c.bytesub_bits / 8;
+  const int kstran = 4;
+  return c.decrypt_too ? 2 * (data + kstran) : data + kstran;
+}
+
+int rom_bits(const DatapathConfig& c) { return sbox_count(c) * 2048; }
+
+double throughput_mbps(const DatapathConfig& c, double clock_ns) {
+  const double latency_ns = clock_ns * cycles_per_block(c);
+  return latency_ns > 0.0 ? 128.0 / latency_ns * 1000.0 : 0.0;
+}
+
+}  // namespace aesip::arch

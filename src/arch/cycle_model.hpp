@@ -1,0 +1,62 @@
+// Analytical architecture model: cycles, S-boxes and resource trends as a
+// function of datapath organization.
+//
+// Captures Section 4's quantitative argument — moving ByteSub to 32 bits
+// while keeping ShiftRow/MixColumn/AddKey at 128 bits cuts a round from 12
+// cycles to 5 — and Section 6's observations (larger datapaths are limited
+// by the key schedule; smaller ones pay many cycles without a compensating
+// clock gain).  Used by the ablation bench and the design-space example.
+#pragma once
+
+#include <string>
+
+namespace aesip::arch {
+
+/// A datapath organization of the AES-128 round.
+struct DatapathConfig {
+  std::string name;
+  int bytesub_bits;    ///< ByteSub slice width (8..128, multiple of 8)
+  int linear_bits;     ///< ShiftRow/MixColumn/AddKey width (32 or 128)
+  bool fused_round;    ///< true: whole round (incl. ByteSub) in one cycle
+  bool decrypt_too;    ///< device implements decryption as well
+  bool stored_keys;    ///< round keys precomputed into a RAM (no on-the-fly
+                       ///< stall, but extra storage — the alternative the
+                       ///< paper's on-the-fly choice avoids)
+};
+
+/// The paper's architecture: ByteSub32 + 128-bit linear part.
+DatapathConfig paper_mixed();
+/// The all-32-bit organization the paper compares against (12 cycles/round).
+DatapathConfig all32();
+/// Fully parallel 128-bit round (the high-performance reference [1]).
+DatapathConfig full128();
+/// Byte-serial organization (smart-card style, the paper's "8-bit" remark).
+DatapathConfig serial8();
+/// 16-bit organization (the other small variant the paper mentions).
+DatapathConfig serial16();
+
+/// Cycles for one of the ten rounds.
+int cycles_per_round(const DatapathConfig& c);
+/// Cycles for a full 128-bit block (10 rounds; initial AddKey folds into
+/// the load in every organization, as in the paper's IP).
+int cycles_per_block(const DatapathConfig& c);
+
+/// Data-path S-boxes (ByteSub width / 8, doubled when decryption needs the
+/// inverse table) plus the 4 forward S-boxes of the KStran unit (doubled on
+/// a combined device, matching the paper's 32768-bit configuration).
+int sbox_count(const DatapathConfig& c);
+/// Embedded-ROM bits when S-boxes live in memory (2048 per S-box).
+int rom_bits(const DatapathConfig& c);
+
+/// Cycles the on-the-fly key schedule needs per round key (4 at 32-bit);
+/// the round stalls when this exceeds cycles_per_round — the paper's
+/// "a 128 could be limited by the key schedule" remark.
+int key_schedule_cycles_per_round();
+
+/// Effective cycles per round including any key-schedule stall.
+int effective_cycles_per_round(const DatapathConfig& c);
+
+/// Throughput in Mbps at a given clock period for full-rate streaming.
+double throughput_mbps(const DatapathConfig& c, double clock_ns);
+
+}  // namespace aesip::arch

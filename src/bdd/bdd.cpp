@@ -1,0 +1,86 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aesip::bdd {
+
+namespace {
+constexpr std::uint32_t kTerminalVar = 0xffffffffu;
+}
+
+Manager::Manager(std::size_t node_limit) : node_limit_(node_limit) {
+  nodes_.push_back(Node{kTerminalVar, kFalse, kFalse});
+  nodes_.push_back(Node{kTerminalVar, kTrue, kTrue});
+}
+
+Ref Manager::make(std::uint32_t v, Ref lo, Ref hi) {
+  if (lo == hi) return lo;
+  if (v >= (1u << 12)) throw std::runtime_error("bdd: variable id too large");
+  const std::uint64_t key = (static_cast<std::uint64_t>(v) << 52) |
+                            (static_cast<std::uint64_t>(lo) << 26) |
+                            static_cast<std::uint64_t>(hi);
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= node_limit_ || nodes_.size() >= (1u << 26))
+    throw std::runtime_error("bdd: node limit exceeded (bad variable order?)");
+  const Ref r = static_cast<Ref>(nodes_.size());
+  nodes_.push_back(Node{v, lo, hi});
+  unique_.emplace(key, r);
+  return r;
+}
+
+Ref Manager::var(std::uint32_t v) { return make(v, kFalse, kTrue); }
+
+Ref Manager::ite(Ref i, Ref t, Ref e) {
+  if (i == kTrue) return t;
+  if (i == kFalse) return e;
+  if (t == e) return t;
+  if (t == kTrue && e == kFalse) return i;
+
+  const std::uint64_t outer = (static_cast<std::uint64_t>(i) << 32) | t;
+  auto& inner = ite_cache_[outer];
+  if (const auto it = inner.find(e); it != inner.end()) return it->second;
+
+  const std::uint32_t vi = nodes_[i].var;
+  const std::uint32_t vt = nodes_[t].var;
+  const std::uint32_t ve = nodes_[e].var;
+  const std::uint32_t top = std::min(vi, std::min(vt, ve));
+
+  const Ref i_lo = vi == top ? nodes_[i].lo : i;
+  const Ref i_hi = vi == top ? nodes_[i].hi : i;
+  const Ref t_lo = vt == top ? nodes_[t].lo : t;
+  const Ref t_hi = vt == top ? nodes_[t].hi : t;
+  const Ref e_lo = ve == top ? nodes_[e].lo : e;
+  const Ref e_hi = ve == top ? nodes_[e].hi : e;
+
+  const Ref lo = ite(i_lo, t_lo, e_lo);
+  const Ref hi = ite(i_hi, t_hi, e_hi);
+  const Ref r = make(top, lo, hi);
+  ite_cache_[outer].emplace(e, r);
+  return r;
+}
+
+bool Manager::eval(Ref r, const std::vector<std::uint64_t>& assignment) const {
+  while (r > kTrue) {
+    const Node& n = nodes_[r];
+    const bool bit = (assignment[n.var / 64] >> (n.var % 64)) & 1U;
+    r = bit ? n.hi : n.lo;
+  }
+  return r == kTrue;
+}
+
+double Manager::sat_fraction(Ref r) const {
+  std::unordered_map<Ref, double> memo;
+  auto rec = [&](auto&& self, Ref x) -> double {
+    if (x == kFalse) return 0.0;
+    if (x == kTrue) return 1.0;
+    if (const auto it = memo.find(x); it != memo.end()) return it->second;
+    const double v = 0.5 * (self(self, nodes_[x].lo) + self(self, nodes_[x].hi));
+    memo.emplace(x, v);
+    return v;
+  };
+  return rec(rec, r);
+}
+
+}  // namespace aesip::bdd

@@ -1,0 +1,68 @@
+// Reduced ordered binary decision diagrams.
+//
+// A compact BDD manager used to *prove* — not sample — that the technology
+// mapper and the TMR-style netlist transforms preserve functionality: two
+// combinational functions are equivalent iff their reduced ordered BDDs
+// are the same node.  Sequential designs are checked by treating register
+// outputs as pseudo-inputs and register D/enable pins as pseudo-outputs,
+// which is full FSM equivalence when both netlists share a state encoding
+// (the mapper preserves flip-flops one-to-one).
+//
+// Classic implementation: unique table for canonicity, ITE with memoizing,
+// complement-free (both polarities materialized).  Variable order is the
+// caller's: for the IP netlists, control state before datapath state keeps
+// the S-box compositions small.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace aesip::bdd {
+
+/// Node reference; 0 and 1 are the terminals.
+using Ref = std::uint32_t;
+inline constexpr Ref kFalse = 0;
+inline constexpr Ref kTrue = 1;
+
+class Manager {
+ public:
+  /// `node_limit` guards against ordering blow-ups (throws std::runtime_error).
+  explicit Manager(std::size_t node_limit = 20'000'000);
+
+  Ref constant(bool v) const noexcept { return v ? kTrue : kFalse; }
+
+  /// The function of input variable `v` (order = numeric order of v).
+  Ref var(std::uint32_t v);
+
+  Ref ite(Ref i, Ref t, Ref e);
+  Ref apply_not(Ref a) { return ite(a, kFalse, kTrue); }
+  Ref apply_and(Ref a, Ref b) { return ite(a, b, kFalse); }
+  Ref apply_or(Ref a, Ref b) { return ite(a, kTrue, b); }
+  Ref apply_xor(Ref a, Ref b) { return ite(a, apply_not(b), b); }
+
+  bool is_const(Ref r) const noexcept { return r <= 1; }
+
+  /// Evaluate under an assignment (bit v of `assignment[v/64]`).
+  bool eval(Ref r, const std::vector<std::uint64_t>& assignment) const;
+
+  /// Fraction of the 2^var_count assignments satisfying r.
+  double sat_fraction(Ref r) const;
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::uint32_t var;
+    Ref lo, hi;
+  };
+
+  Ref make(std::uint32_t v, Ref lo, Ref hi);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, Ref> unique_;
+  std::unordered_map<std::uint64_t, std::unordered_map<std::uint64_t, Ref>> ite_cache_;
+  std::size_t node_limit_;
+};
+
+}  // namespace aesip::bdd

@@ -1,0 +1,192 @@
+#include "bdd/netlist_bdd.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aesip::bdd {
+
+using netlist::Cell;
+using netlist::CellKind;
+using netlist::kNoNet;
+using netlist::Netlist;
+using netlist::NetId;
+
+namespace {
+
+/// Shannon-expand a 256x8 table over the (symbolic) address functions.
+Ref rom_bit(Manager& mgr, const std::array<Ref, 8>& addr,
+            const std::array<std::uint8_t, 256>& table, int bit) {
+  auto rec = [&](auto&& self, int depth, int base) -> Ref {
+    if (depth < 0)
+      return mgr.constant((table[static_cast<std::size_t>(base)] >> bit) & 1U);
+    const Ref lo = self(self, depth - 1, base);
+    const Ref hi = self(self, depth - 1, base | (1 << depth));
+    return mgr.ite(addr[static_cast<std::size_t>(depth)], hi, lo);
+  };
+  return rec(rec, 7, 0);
+}
+
+}  // namespace
+
+NetlistBdds build(Manager& mgr, const Netlist& nl,
+                  const std::map<std::string, std::uint32_t>* shared_inputs,
+                  std::uint32_t first_state_var) {
+  NetlistBdds out;
+  std::vector<Ref> f(nl.net_count(), kFalse);
+  f[nl.const0()] = kFalse;
+  f[nl.const1()] = kTrue;
+
+  std::uint32_t next_var = 0;
+  if (shared_inputs) {
+    out.input_vars = *shared_inputs;
+    next_var = first_state_var;
+    for (const auto& pi : nl.inputs()) {
+      const auto it = out.input_vars.find(pi.name);
+      if (it == out.input_vars.end())
+        throw std::invalid_argument("netlist_bdd: input '" + pi.name +
+                                    "' missing from shared variable map");
+      f[pi.net] = mgr.var(it->second);
+    }
+  } else {
+    for (const auto& pi : nl.inputs()) {
+      out.input_vars.emplace(pi.name, next_var);
+      f[pi.net] = mgr.var(next_var++);
+    }
+  }
+
+  // Flip-flop outputs are state variables, assigned in cell order.
+  const auto& cells = nl.cells();
+  for (const Cell& c : cells)
+    if (c.kind == CellKind::kDff) f[c.out] = mgr.var(next_var++);
+
+  // Combinational cells in creation (topological) order, ROMs interleaved
+  // by their first output net id.
+  struct Item {
+    NetId order_net;
+    bool is_rom;
+    std::size_t index;
+  };
+  std::vector<Item> items;
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    const Cell& c = cells[ci];
+    switch (c.kind) {
+      case CellKind::kDff:
+      case CellKind::kConst0:
+      case CellKind::kConst1:
+        break;
+      default:
+        items.push_back({c.out, false, ci});
+    }
+  }
+  for (std::size_t ri = 0; ri < nl.roms().size(); ++ri)
+    items.push_back({nl.roms()[ri].out[0], true, ri});
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.order_net < b.order_net; });
+
+  for (const Item& item : items) {
+    if (item.is_rom) {
+      const auto& rom = nl.roms()[item.index];
+      std::array<Ref, 8> addr{};
+      for (int i = 0; i < 8; ++i) addr[static_cast<std::size_t>(i)] = f[rom.addr[static_cast<std::size_t>(i)]];
+      for (int bit = 0; bit < 8; ++bit)
+        f[rom.out[static_cast<std::size_t>(bit)]] = rom_bit(mgr, addr, rom.table, bit);
+      continue;
+    }
+    const Cell& c = cells[item.index];
+    switch (c.kind) {
+      case CellKind::kNot:
+        f[c.out] = mgr.apply_not(f[c.in[0]]);
+        break;
+      case CellKind::kAnd2:
+        f[c.out] = mgr.apply_and(f[c.in[0]], f[c.in[1]]);
+        break;
+      case CellKind::kOr2:
+        f[c.out] = mgr.apply_or(f[c.in[0]], f[c.in[1]]);
+        break;
+      case CellKind::kXor2:
+        f[c.out] = mgr.apply_xor(f[c.in[0]], f[c.in[1]]);
+        break;
+      case CellKind::kMux2:
+        f[c.out] = mgr.ite(f[c.in[0]], f[c.in[2]], f[c.in[1]]);
+        break;
+      case CellKind::kLut: {
+        // Shannon over the LUT inputs.
+        auto rec = [&](auto&& self, int depth, std::uint16_t mask) -> Ref {
+          if (depth < 0) return mgr.constant(mask & 1U);
+          const int half = 1 << depth;
+          std::uint16_t lo_mask = 0, hi_mask = 0;
+          for (int idx = 0; idx < half; ++idx) {
+            if ((mask >> idx) & 1U) lo_mask = static_cast<std::uint16_t>(lo_mask | (1U << idx));
+            if ((mask >> (idx + half)) & 1U)
+              hi_mask = static_cast<std::uint16_t>(hi_mask | (1U << idx));
+          }
+          const Ref lo = self(self, depth - 1, lo_mask);
+          const Ref hi = self(self, depth - 1, hi_mask);
+          return mgr.ite(f[c.in[static_cast<std::size_t>(depth)]], hi, lo);
+        };
+        f[c.out] = c.lut_arity == 0 ? mgr.constant(c.lut_mask & 1U)
+                                    : rec(rec, c.lut_arity - 1, c.lut_mask);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  for (const auto& po : nl.outputs()) out.outputs.emplace_back(po.name, f[po.net]);
+  for (const Cell& c : cells)
+    if (c.kind == CellKind::kDff) {
+      const Ref d = f[c.in[0]];
+      const Ref q = f[c.out];
+      out.next_state.push_back(c.in[1] == kNoNet ? d : mgr.ite(f[c.in[1]], d, q));
+    }
+  return out;
+}
+
+EquivalenceResult prove_equivalent(const Netlist& a, const Netlist& b, std::size_t node_limit) {
+  EquivalenceResult r;
+  Manager mgr(node_limit);
+
+  const auto fa = build(mgr, a);
+  // State variables of b start where a's ended: inputs + a's dff count.
+  const std::uint32_t first_state =
+      static_cast<std::uint32_t>(fa.input_vars.size());
+  if (a.stats().dffs != b.stats().dffs) {
+    r.mismatch = "flip-flop counts differ (" + std::to_string(a.stats().dffs) + " vs " +
+                 std::to_string(b.stats().dffs) + ")";
+    return r;
+  }
+  if (a.inputs().size() != b.inputs().size()) {
+    r.mismatch = "input counts differ";
+    return r;
+  }
+  const auto fb = build(mgr, b, &fa.input_vars, first_state);
+
+  if (fa.outputs.size() != fb.outputs.size()) {
+    r.mismatch = "output counts differ";
+    return r;
+  }
+  // Compare outputs by name (order-insensitive).
+  std::map<std::string, Ref> b_outputs(fb.outputs.begin(), fb.outputs.end());
+  for (const auto& [name, ref] : fa.outputs) {
+    const auto it = b_outputs.find(name);
+    if (it == b_outputs.end()) {
+      r.mismatch = "output '" + name + "' missing";
+      return r;
+    }
+    if (it->second != ref) {
+      r.mismatch = "output '" + name + "' differs";
+      return r;
+    }
+  }
+  for (std::size_t i = 0; i < fa.next_state.size(); ++i) {
+    if (fa.next_state[i] != fb.next_state[i]) {
+      r.mismatch = "flip-flop " + std::to_string(i) + " next-state function differs";
+      return r;
+    }
+  }
+  r.equivalent = true;
+  return r;
+}
+
+}  // namespace aesip::bdd

@@ -1,0 +1,55 @@
+// Symbolic (BDD) semantics of a netlist + formal equivalence checking.
+//
+// build() computes one BDD per primary output and per flip-flop D/enable
+// pin.  Primary inputs get variables in port order; flip-flop outputs get
+// variables after them, in cell order — so two netlists whose flip-flops
+// correspond one-to-one (the mapper's guarantee) can be compared function
+// by function: identical BDD references <=> identical combinational
+// semantics <=> identical sequential behaviour from any common state.
+//
+// ROM macros are composed exactly (a 255-ITE Shannon expansion of the
+// table over the address functions), so ROM-flavoured and logic-flavoured
+// S-box netlists can both be built — though only like against like is
+// meaningfully compared.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "netlist/netlist.hpp"
+
+namespace aesip::bdd {
+
+struct NetlistBdds {
+  /// Primary outputs by port name.
+  std::vector<std::pair<std::string, Ref>> outputs;
+  /// Per flip-flop (cell order): the *effective* next-state function
+  /// ite(enable, D, Q) — so a clock-enable pin and an explicit hold mux
+  /// compare equal, as they should.
+  std::vector<Ref> next_state;
+  /// Input-name -> variable id used.
+  std::map<std::string, std::uint32_t> input_vars;
+};
+
+/// Build BDDs for `nl`.  If `shared_inputs` is non-null, input variables
+/// are looked up by name from it (every input must be present) and state
+/// variables start at `first_state_var`; otherwise fresh variables are
+/// assigned (inputs in port order, then flip-flops).
+NetlistBdds build(Manager& mgr, const netlist::Netlist& nl,
+                  const std::map<std::string, std::uint32_t>* shared_inputs = nullptr,
+                  std::uint32_t first_state_var = 0);
+
+struct EquivalenceResult {
+  bool equivalent = false;
+  std::string mismatch;  ///< human-readable location of the first difference
+};
+
+/// Prove two netlists equivalent: same input/output port names, flip-flops
+/// corresponding in cell order (same count), every output and every D /
+/// enable function identical.
+EquivalenceResult prove_equivalent(const netlist::Netlist& a, const netlist::Netlist& b,
+                                   std::size_t node_limit = 20'000'000);
+
+}  // namespace aesip::bdd

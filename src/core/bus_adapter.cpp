@@ -1,0 +1,203 @@
+#include "core/bus_adapter.hpp"
+
+#include <stdexcept>
+
+namespace aesip::core {
+
+namespace {
+
+std::uint32_t get_word(const hdl::Word128& w, int index, int width) {
+  std::uint32_t v = 0;
+  const int byte0 = index * width / 8;
+  for (int b = 0; b < width / 8; ++b)
+    v |= static_cast<std::uint32_t>(w.b[static_cast<std::size_t>(byte0 + b)]) << (8 * b);
+  return v;
+}
+
+void set_word(hdl::Word128& w, int index, int width, std::uint32_t v) {
+  const int byte0 = index * width / 8;
+  for (int b = 0; b < width / 8; ++b)
+    w.b[static_cast<std::size_t>(byte0 + b)] = static_cast<std::uint8_t>(v >> (8 * b));
+}
+
+}  // namespace
+
+NarrowBusIp::NarrowBusIp(hdl::Simulator& sim, IpMode mode, int width_bits)
+    : hdl::Module("narrow_bus_ip"),
+      nsetup(sim, "nsetup", 1),
+      nwr_data(sim, "nwr_data", 1),
+      nwr_key(sim, "nwr_key", 1),
+      nencdec(sim, "nencdec", 1, true),
+      ndin(sim, "ndin", width_bits),
+      ndout(sim, "ndout", width_bits),
+      ndata_ok(sim, "ndata_ok", 1),
+      width_(width_bits) {
+  if (width_bits != 8 && width_bits != 16 && width_bits != 32)
+    throw std::invalid_argument("NarrowBusIp: width must be 8, 16 or 32");
+  ip_ = std::make_unique<RijndaelIp>(sim, mode);
+  sim.add_module(*this);
+}
+
+void NarrowBusIp::evaluate() {
+  // Combinationally forwarded controls.
+  ip_->setup.write(nsetup.read());
+  ip_->encdec.write(nencdec.read());
+}
+
+void NarrowBusIp::tick() {
+  // --- inbound word assembly ---------------------------------------------------
+  bool fire_data = false;
+  bool fire_key = false;
+  if (nsetup.read()) {
+    in_count_ = 0;
+    out_remaining_ = 0;
+  } else if (nwr_data.read() || nwr_key.read()) {
+    const bool is_key = nwr_key.read();
+    if (in_count_ > 0 && is_key != in_is_key_) in_count_ = 0;  // restart on type switch
+    in_is_key_ = is_key;
+    set_word(in_shift_, in_count_, width_, ndin.read());
+    if (++in_count_ == words_per_block()) {
+      in_count_ = 0;
+      fire_data = !is_key;
+      fire_key = is_key;
+    }
+  }
+  if (fire_data || fire_key) ip_->din.write(in_shift_);
+  ip_->wr_data.write(fire_data);
+  ip_->wr_key.write(fire_key);
+
+  // --- outbound word streaming --------------------------------------------------
+  if (ip_->data_ok.read()) {
+    out_shift_ = ip_->dout.read();
+    out_remaining_ = words_per_block();
+  }
+  if (out_remaining_ > 0) {
+    ndout.write(get_word(out_shift_, words_per_block() - out_remaining_, width_));
+    ndata_ok.write(true);
+    --out_remaining_;
+  } else {
+    ndata_ok.write(false);
+  }
+}
+
+// ===== NarrowBusDriver =========================================================
+
+namespace {
+constexpr std::uint64_t kWatchdog = 10000;
+}
+
+void NarrowBusDriver::reset() {
+  nb_.nsetup.write(true);
+  sim_.step();
+  nb_.nsetup.write(false);
+  sim_.step();
+}
+
+void NarrowBusDriver::write_words(std::span<const std::uint8_t> value, bool is_key) {
+  const int w = nb_.width_bits() / 8;
+  for (int i = 0; i < nb_.words_per_block(); ++i) {
+    std::uint32_t word = 0;
+    for (int b = 0; b < w; ++b)
+      word |= static_cast<std::uint32_t>(value[static_cast<std::size_t>(i * w + b)]) << (8 * b);
+    nb_.ndin.write(word);
+    nb_.nwr_data.write(!is_key);
+    nb_.nwr_key.write(is_key);
+    sim_.step();
+  }
+  nb_.nwr_data.write(false);
+  nb_.nwr_key.write(false);
+}
+
+std::uint64_t NarrowBusDriver::load_key(std::span<const std::uint8_t> key) {
+  write_words(key, /*is_key=*/true);
+  std::uint64_t cycles = 0;
+  while (!nb_.inner().key_ready()) {
+    sim_.step();
+    if (++cycles > kWatchdog)
+      throw std::runtime_error("narrow bfm: key setup never completed");
+  }
+  return cycles;
+}
+
+std::array<std::uint8_t, 16> NarrowBusDriver::process_block(std::span<const std::uint8_t> block,
+                                                            bool encrypt) {
+  nb_.nencdec.write(encrypt);
+  write_words(block, /*is_key=*/false);
+  const std::uint64_t start = sim_.cycle();
+
+  // Wait for the result burst and reassemble it.
+  std::array<std::uint8_t, 16> out{};
+  while (!nb_.ndata_ok.read()) {
+    sim_.step();
+    if (sim_.cycle() - start > kWatchdog)
+      throw std::runtime_error("narrow bfm: block never completed");
+  }
+  last_latency_ = sim_.cycle() - start;
+  const int w = nb_.width_bits() / 8;
+  for (int i = 0; i < nb_.words_per_block(); ++i) {
+    if (!nb_.ndata_ok.read()) throw std::runtime_error("narrow bfm: result burst broke up");
+    const std::uint32_t word = nb_.ndout.read();
+    for (int b = 0; b < w; ++b)
+      out[static_cast<std::size_t>(i * w + b)] = static_cast<std::uint8_t>(word >> (8 * b));
+    sim_.step();
+  }
+  return out;
+}
+
+std::vector<std::array<std::uint8_t, 16>> NarrowBusDriver::stream(
+    std::span<const std::array<std::uint8_t, 16>> blocks, bool encrypt) {
+  std::vector<std::array<std::uint8_t, 16>> results;
+  if (blocks.empty()) return results;
+  nb_.nencdec.write(encrypt);
+
+  const int w = nb_.width_bits() / 8;
+  std::size_t feed_block = 0;
+  int feed_word = 0;
+  bool first_fired = false;
+  std::uint64_t first_fire_cycle = 0;
+  std::array<std::uint8_t, 16> partial{};
+  int collect_word = 0;
+  std::uint64_t guard = 0;
+
+  while (results.size() < blocks.size()) {
+    // Feed the next word whenever the core has room for a staged block.
+    if (feed_block < blocks.size() && !nb_.inner().data_pending()) {
+      std::uint32_t word = 0;
+      for (int b = 0; b < w; ++b)
+        word |= static_cast<std::uint32_t>(
+                    blocks[feed_block][static_cast<std::size_t>(feed_word * w + b)])
+                << (8 * b);
+      nb_.ndin.write(word);
+      nb_.nwr_data.write(true);
+      if (++feed_word == nb_.words_per_block()) {
+        feed_word = 0;
+        ++feed_block;
+        if (!first_fired) {
+          first_fired = true;
+          first_fire_cycle = sim_.cycle() + 1;  // the word that fires the core
+        }
+      }
+    } else {
+      nb_.nwr_data.write(false);
+    }
+    sim_.step();
+    nb_.nwr_data.write(false);
+
+    if (nb_.ndata_ok.read()) {
+      const std::uint32_t word = nb_.ndout.read();
+      for (int b = 0; b < w; ++b)
+        partial[static_cast<std::size_t>(collect_word * w + b)] =
+            static_cast<std::uint8_t>(word >> (8 * b));
+      if (++collect_word == nb_.words_per_block()) {
+        collect_word = 0;
+        results.push_back(partial);
+      }
+    }
+    if (++guard > kWatchdog * blocks.size())
+      throw std::runtime_error("narrow bfm: stream stalled");
+  }
+  last_stream_cycles_ = sim_.cycle() - first_fire_cycle;
+  return results;
+}
+
+}  // namespace aesip::core

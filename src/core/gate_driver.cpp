@@ -1,0 +1,71 @@
+#include "core/gate_driver.hpp"
+
+namespace aesip::core {
+
+GateIpDriver::GateIpDriver(const netlist::Netlist& nl) : ev_(nl) {
+  for (const auto& pi : nl.inputs()) by_name_[pi.name] = pi.net;
+  for (const auto& po : nl.outputs()) out_by_name_[po.name] = po.net;
+  for (int i = 0; i < 128; ++i) {
+    din_.push_back(by_name_.at("din[" + std::to_string(i) + "]"));
+    dout_.push_back(out_by_name_.at("dout[" + std::to_string(i) + "]"));
+  }
+  set("setup", false);
+  set("wr_data", false);
+  set("wr_key", false);
+  if (has_input("encdec")) set("encdec", true);
+  ev_.settle();
+}
+
+void GateIpDriver::set_din(std::span<const std::uint8_t> block) {
+  for (int k = 0; k < 16; ++k)
+    for (int b = 0; b < 8; ++b)
+      ev_.set(din_[static_cast<std::size_t>(8 * k + b)],
+              (block[static_cast<std::size_t>(k)] >> b) & 1);
+}
+
+std::array<std::uint8_t, 16> GateIpDriver::read_dout() const {
+  std::array<std::uint8_t, 16> out{};
+  for (int k = 0; k < 16; ++k)
+    for (int b = 0; b < 8; ++b)
+      if (ev_.get(dout_[static_cast<std::size_t>(8 * k + b)]))
+        out[static_cast<std::size_t>(k)] |= static_cast<std::uint8_t>(1U << b);
+  return out;
+}
+
+void GateIpDriver::clock() {
+  ev_.settle();
+  ev_.clock();
+  ++cycles_;
+}
+
+void GateIpDriver::reset() {
+  set("setup", true);
+  clock();
+  set("setup", false);
+  clock();
+}
+
+void GateIpDriver::load_key(std::span<const std::uint8_t> key, bool needs_setup) {
+  set_din(key);
+  set("wr_key", true);
+  clock();
+  set("wr_key", false);
+  if (needs_setup)
+    for (int i = 0; i < 40; ++i) clock();
+}
+
+std::optional<GateIpDriver::BlockResult> GateIpDriver::process(
+    std::span<const std::uint8_t> block, bool encrypt, int watchdog_cycles) {
+  if (has_input("encdec")) set("encdec", encrypt);
+  set_din(block);
+  set("wr_data", true);
+  clock();  // the load edge
+  set("wr_data", false);
+  for (int i = 1; i <= watchdog_cycles; ++i) {
+    clock();
+    if (data_ok()) return BlockResult{read_dout(), i};
+  }
+  return std::nullopt;
+}
+
+}  // namespace aesip::core

@@ -1,0 +1,66 @@
+// Gate-level bus driver: runs the Table 1 protocol against a synthesized
+// IP netlist (pre- or post-mapping) through the netlist evaluator.
+//
+// The gate-level twin of core::BusDriver.  Used by the conformance tests,
+// the SEU fault-injection campaigns and the power-estimation runs — all of
+// which need to poke a *netlist*, not the RTL model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "netlist/eval.hpp"
+#include "netlist/netlist.hpp"
+
+namespace aesip::core {
+
+class GateIpDriver {
+ public:
+  /// Binds to a synthesized IP netlist (must expose the Table 1 ports).
+  /// The netlist must outlive the driver.
+  explicit GateIpDriver(const netlist::Netlist& nl);
+
+  // --- raw port access -------------------------------------------------------
+  netlist::NetId input(const std::string& name) const { return by_name_.at(name); }
+  bool has_input(const std::string& name) const { return by_name_.count(name) != 0; }
+  void set(const std::string& name, bool v) { ev_.set(input(name), v); }
+  void set_din(std::span<const std::uint8_t> block);
+  std::array<std::uint8_t, 16> read_dout() const;
+  bool data_ok() const { return ev_.get(out_by_name_.at("data_ok")); }
+
+  /// One clock edge (settles first).
+  void clock();
+  std::uint64_t cycles() const noexcept { return cycles_; }
+
+  /// Direct evaluator access (fault injection, activity probes).
+  netlist::Evaluator& evaluator() noexcept { return ev_; }
+
+  // --- protocol helpers --------------------------------------------------------
+  /// Pulse `setup` for one cycle.
+  void reset();
+  /// Write a key; runs the 40 extra key-setup cycles when `needs_setup`.
+  void load_key(std::span<const std::uint8_t> key, bool needs_setup);
+
+  struct BlockResult {
+    std::array<std::uint8_t, 16> data;
+    int cycles;  ///< load edge -> data_ok
+  };
+  /// Process one block; nullopt if data_ok never rises (watchdog), which a
+  /// fault-injection campaign classifies as a hang.
+  std::optional<BlockResult> process(std::span<const std::uint8_t> block, bool encrypt,
+                                     int watchdog_cycles = 200);
+
+ private:
+  netlist::Evaluator ev_;
+  std::map<std::string, netlist::NetId> by_name_;
+  std::map<std::string, netlist::NetId> out_by_name_;
+  netlist::Bus din_;
+  netlist::Bus dout_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace aesip::core

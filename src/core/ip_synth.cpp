@@ -1,0 +1,379 @@
+#include "core/ip_synth.hpp"
+
+#include "aes/sbox.hpp"
+#include "gf/gf256.hpp"
+#include "netlist/synth.hpp"
+
+namespace aesip::core {
+
+using netlist::Bus;
+using netlist::kNoNet;
+using netlist::Netlist;
+using netlist::NetId;
+
+namespace {
+
+/// RotWord on a 32-bit bus: byte k of the result is byte (k+1) mod 4 of the
+/// input — pure wiring.
+Bus rot_word_bus(const Bus& w) {
+  Bus out;
+  out.reserve(32);
+  for (int k = 0; k < 4; ++k) {
+    const Bus b = netlist::byte_of(w, (k + 1) & 3);
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+Bus column_of(const Bus& state, int c) {
+  return Bus(state.begin() + 32 * c, state.begin() + 32 * (c + 1));
+}
+
+Bus splice_column(const Bus& state, int c, const Bus& col) {
+  Bus out = state;
+  for (int b = 0; b < 32; ++b)
+    out[static_cast<std::size_t>(32 * c + b)] = col[static_cast<std::size_t>(b)];
+  return out;
+}
+
+/// Round-constant byte as a function of the 4-bit round counter.  Forward
+/// schedule uses rcon(round); the on-the-fly inverse schedule needs
+/// rcon(11 - round).  Constant folding collapses the mux to a few LUTs.
+Bus rcon_bus(Netlist& nl, const Bus& round, bool inverse) {
+  std::vector<Bus> choices;
+  choices.push_back(nl.constant_bus(0, 8));  // round 0 unused
+  for (unsigned r = 1; r <= 10; ++r)
+    choices.push_back(nl.constant_bus(gf::rcon(inverse ? 11 - r : r), 8));
+  return nl.mux_n(round, choices);
+}
+
+/// KStran output column: rk_col0 ^ SubWord(RotWord(addr_word)) ^ rcon.
+Bus synth_kstran(Netlist& nl, const Bus& addr_word, const Bus& rk_col0, const Bus& rcon_byte,
+                 netlist::SboxStyle style, const std::string& name) {
+  const Bus rotated = rot_word_bus(addr_word);
+  const Bus sub =
+      netlist::synth_sub_word32(nl, aes::kSBox, rotated, style, /*inverse_table=*/false, name);
+  Bus col0 = nl.xor_bus(rk_col0, sub);
+  for (int b = 0; b < 8; ++b)
+    col0[static_cast<std::size_t>(b)] =
+        nl.gate_xor(col0[static_cast<std::size_t>(b)], rcon_byte[static_cast<std::size_t>(b)]);
+  return col0;
+}
+
+Bus pre_allocated_bus(Netlist& nl, int width) {
+  Bus b;
+  b.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) b.push_back(nl.new_net());
+  return b;
+}
+
+}  // namespace
+
+Netlist synthesize_ip(IpMode mode, bool sbox_as_rom) {
+  return synthesize_ip(mode, sbox_as_rom ? netlist::SboxStyle::kRom
+                                         : netlist::SboxStyle::kShannon);
+}
+
+Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style) {
+  Netlist nl;
+  const bool has_enc = mode != IpMode::kDecrypt;
+  const bool has_dec = mode != IpMode::kEncrypt;
+
+  // ===== pins (paper Table 1; clk counts, giving 261/262) ====================
+  (void)nl.add_input("clk");  // netlist clocking is implicit; the pin is real
+  const NetId setup_pin = nl.add_input("setup");
+  const NetId wr_data = nl.add_input("wr_data");
+  const NetId wr_key = nl.add_input("wr_key");
+  const Bus din = nl.add_input_bus("din", 128);
+  const NetId encdec = mode == IpMode::kBoth ? nl.add_input("encdec") : kNoNet;
+
+  // ===== bus-side registers (Data_In / Key_In processes) =====================
+  const Bus data_in_reg = nl.dff_bus(din, wr_data);
+  const Bus key_reg = nl.dff_bus(din, wr_key);
+
+  // ===== control FSM ==========================================================
+  // phase: 0 idle, 1 sub (4 ByteSub cycles), 2 mix (the 128-bit cycle),
+  // 3 key setup.  Encrypt rounds run sub->mix, decrypt rounds mix->sub.
+  const Bus phase_q = pre_allocated_bus(nl, 2);
+  const Bus round_q = pre_allocated_bus(nl, 4);
+  const Bus sub_q = pre_allocated_bus(nl, 2);
+  const NetId pending_q = nl.new_net();
+  const NetId key_valid_q = nl.new_net();
+  const NetId dec_q = mode == IpMode::kEncrypt ? nl.const0()
+                      : mode == IpMode::kDecrypt ? nl.const1()
+                                                 : nl.new_net();
+
+  // Registered decodes: phase/counter decodes are re-registered from the
+  // next-state vectors (FSM output encoding, as synthesis tools apply), so
+  // the datapath mux selects come straight off registers instead of through
+  // comparator LUTs.  Values are identical to combinational decodes every
+  // cycle; boot values of the masked decodes (sub_is) are don't-care.
+  const NetId is_sub = nl.new_net();
+  const NetId is_mix = nl.new_net();
+  const NetId is_setup = has_dec ? nl.new_net() : nl.const0();
+  const NetId sub_last = nl.new_net();
+  const NetId round_last = nl.new_net();
+  const NetId first_round = nl.new_net();
+  const NetId not_idle = nl.new_net();  // inverted so the reset state reads idle
+  const NetId is_idle = nl.gate_not(not_idle);
+  std::array<NetId, 4> sub_is{};
+  for (int v = 0; v < 4; ++v) sub_is[static_cast<std::size_t>(v)] = nl.new_net();
+
+  // finish: encrypt at the last 128-bit cycle, decrypt at the last IByteSub.
+  const NetId enc_finish = nl.gate_and(nl.gate_and(is_mix, round_last), nl.gate_not(dec_q));
+  const NetId dec_finish =
+      has_dec ? nl.gate_and(nl.gate_and(is_sub, nl.gate_and(sub_last, round_last)), dec_q)
+              : nl.const0();
+  const NetId finish = nl.gate_or(enc_finish, dec_finish);
+
+  // start: idle-or-finishing with a block available (wr_data counts this
+  // cycle — the Data_In process forwards it combinationally at start).
+  const NetId block_avail = nl.gate_or(pending_q, wr_data);
+  const NetId start = nl.gate_and(nl.gate_and(nl.gate_or(is_idle, finish), block_avail),
+                                  nl.gate_and(key_valid_q, nl.gate_not(wr_key)));
+
+  // Direction sampled at start (kBoth); constant otherwise.
+  NetId dec_next = dec_q;
+  if (mode == IpMode::kBoth) {
+    dec_next = nl.gate_mux(start, dec_q, nl.gate_not(encdec));
+    nl.add_dff_with_out(dec_q, dec_next);
+  }
+
+  // --- counters ---------------------------------------------------------------
+  const NetId advancing = nl.gate_or(is_sub, is_setup);
+  const Bus sub_inc = nl.increment(sub_q);
+  Bus sub_d = nl.mux_bus(nl.gate_and(advancing, nl.gate_not(sub_last)), nl.constant_bus(0, 2),
+                         sub_inc);
+
+  const Bus round_inc = nl.increment(round_q);
+  // Encrypt advances the round at mix; decrypt and key setup at sub_last.
+  const NetId round_adv = nl.gate_or(
+      nl.gate_and(is_mix, nl.gate_and(nl.gate_not(dec_q), nl.gate_not(round_last))),
+      nl.gate_and(nl.gate_and(advancing, sub_last),
+                  nl.gate_and(nl.gate_or(dec_q, is_setup), nl.gate_not(round_last))));
+  Bus round_d = nl.mux_bus(round_adv, round_q, round_inc);
+  round_d = nl.mux_bus(nl.gate_or(start, wr_key), round_d, nl.constant_bus(1, 4));
+
+  // --- phase transitions --------------------------------------------------------
+  const Bus kIdleV = nl.constant_bus(0, 2);
+  const Bus kSubV = nl.constant_bus(1, 2);
+  const Bus kMixV = nl.constant_bus(2, 2);
+  const Bus kSetupV = nl.constant_bus(3, 2);
+  const NetId setup_done = nl.gate_and(is_setup, nl.gate_and(sub_last, round_last));
+
+  Bus phase_d = phase_q;
+  // sub -> mix (unless this was the decrypt finish).
+  phase_d = nl.mux_bus(nl.gate_and(nl.gate_and(is_sub, sub_last), nl.gate_not(dec_finish)),
+                       phase_d, kMixV);
+  // mix -> sub (encrypt: unless finishing; decrypt: always).
+  phase_d = nl.mux_bus(nl.gate_and(is_mix, nl.gate_not(enc_finish)), phase_d, kSubV);
+  phase_d = nl.mux_bus(nl.gate_and(finish, nl.gate_not(start)), phase_d, kIdleV);
+  phase_d = nl.mux_bus(setup_done, phase_d, kIdleV);
+  // start: encrypt begins with ByteSub, decrypt with the 128-bit cycle.
+  const Bus start_phase = nl.mux_bus(dec_next, kSubV, kMixV);
+  phase_d = nl.mux_bus(start, phase_d, start_phase);
+  // A key write aborts any in-flight block: decrypt-capable devices enter
+  // key setup, encrypt-only devices return to idle with the new key live.
+  phase_d = nl.mux_bus(wr_key, phase_d, has_dec ? kSetupV : kIdleV);
+  phase_d = nl.mux_bus(setup_pin, phase_d, kIdleV);
+  sub_d = nl.mux_bus(nl.gate_or(start, nl.gate_or(wr_key, setup_pin)), sub_d,
+                     nl.constant_bus(0, 2));
+
+  // --- flags ---------------------------------------------------------------------
+  NetId pending_d = nl.gate_and(block_avail, nl.gate_not(start));
+  pending_d = nl.gate_and(pending_d, nl.gate_not(nl.gate_or(setup_pin, wr_key)));
+  NetId key_valid_d = has_dec
+                          ? nl.gate_or(setup_done, nl.gate_and(key_valid_q, nl.gate_not(wr_key)))
+                          : nl.gate_or(wr_key, key_valid_q);
+  key_valid_d = nl.gate_and(key_valid_d, nl.gate_not(setup_pin));
+
+  for (std::size_t i = 0; i < 2; ++i) nl.add_dff_with_out(phase_q[i], phase_d[i]);
+  for (std::size_t i = 0; i < 4; ++i) nl.add_dff_with_out(round_q[i], round_d[i]);
+  for (std::size_t i = 0; i < 2; ++i) nl.add_dff_with_out(sub_q[i], sub_d[i]);
+  nl.add_dff_with_out(pending_q, pending_d);
+  nl.add_dff_with_out(key_valid_q, key_valid_d);
+  // Registered decode outputs (see above).
+  nl.add_dff_with_out(is_sub, nl.eq_const(phase_d, 1));
+  nl.add_dff_with_out(is_mix, nl.eq_const(phase_d, 2));
+  if (has_dec) nl.add_dff_with_out(is_setup, nl.eq_const(phase_d, 3));
+  nl.add_dff_with_out(not_idle, nl.gate_not(nl.eq_const(phase_d, 0)));
+  nl.add_dff_with_out(sub_last, nl.eq_const(sub_d, 3));
+  nl.add_dff_with_out(round_last, nl.eq_const(round_d, 10));
+  nl.add_dff_with_out(first_round, nl.eq_const(round_d, 1));
+  for (int v = 0; v < 4; ++v)
+    nl.add_dff_with_out(sub_is[static_cast<std::size_t>(v)],
+                        nl.eq_const(sub_d, static_cast<std::uint64_t>(v)));
+
+  // ===== key datapath ==========================================================
+  const Bus round_key = pre_allocated_bus(nl, 128);
+  const Bus next_key = pre_allocated_bus(nl, 128);
+  const Bus dec_base_key = has_dec ? pre_allocated_bus(nl, 128) : Bus{};
+
+  // KStran units.  Encrypt-only: one forward bank.  Decrypt-only: one bank
+  // shared between key setup (forward addressing/rcon) and the inverse
+  // schedule.  Both: two banks, one per direction's key path (the paper's
+  // 16-S-box configuration).
+  Bus fwd_col0, inv_col0;
+  const Bus fwd_addr_word = column_of(round_key, 3);
+  const Bus inv_addr_word = column_of(next_key, 3);
+  const Bus rcon_fwd = rcon_bus(nl, round_q, false);
+  if (mode == IpMode::kEncrypt) {
+    fwd_col0 = synth_kstran(nl, fwd_addr_word, column_of(round_key, 0), rcon_fwd, style,
+                            "kstran");
+  } else if (mode == IpMode::kDecrypt) {
+    const Bus rcon_inv = rcon_bus(nl, round_q, true);
+    const Bus addr = nl.mux_bus(is_setup, inv_addr_word, fwd_addr_word);
+    const Bus rcon = nl.mux_bus(is_setup, rcon_inv, rcon_fwd);
+    const Bus shared = synth_kstran(nl, addr, column_of(round_key, 0), rcon, style, "kstran");
+    fwd_col0 = shared;
+    inv_col0 = shared;
+  } else {
+    const Bus rcon_inv = rcon_bus(nl, round_q, true);
+    fwd_col0 = synth_kstran(nl, fwd_addr_word, column_of(round_key, 0), rcon_fwd, style,
+                            "kstran_enc");
+    inv_col0 = synth_kstran(nl, inv_addr_word, column_of(round_key, 0), rcon_inv, style,
+                            "kstran_dec");
+  }
+
+  // Staging D values.
+  std::array<Bus, 4> fwd_d, inv_d;
+  fwd_d[0] = fwd_col0;
+  for (int c = 1; c < 4; ++c)
+    fwd_d[static_cast<std::size_t>(c)] =
+        nl.xor_bus(column_of(next_key, c - 1), column_of(round_key, c));
+  if (has_dec) {
+    inv_d[0] = inv_col0;
+    for (int c = 1; c < 4; ++c)
+      inv_d[static_cast<std::size_t>(c)] =
+          nl.xor_bus(column_of(round_key, c), column_of(round_key, c - 1));
+  }
+
+  // next_key registers with per-column enables.
+  const NetId fwd_staging = nl.gate_or(is_setup, nl.gate_and(is_sub, nl.gate_not(dec_q)));
+  const NetId inv_staging = has_dec ? nl.gate_and(is_sub, dec_q) : nl.const0();
+  for (int col = 0; col < 4; ++col) {
+    Bus d = fwd_d[static_cast<std::size_t>(col)];
+    NetId en = nl.gate_and(fwd_staging, sub_is[static_cast<std::size_t>(col)]);
+    if (has_dec) {
+      d = nl.mux_bus(inv_staging, d, inv_d[static_cast<std::size_t>(col)]);
+      en = nl.gate_or(en, nl.gate_and(inv_staging, sub_is[static_cast<std::size_t>(3 - col)]));
+    }
+    const Bus q = column_of(next_key, col);
+    for (int b = 0; b < 32; ++b)
+      nl.add_dff_with_out(q[static_cast<std::size_t>(b)], d[static_cast<std::size_t>(b)], en);
+  }
+
+  // Fully-staged views (the column written this cycle spliced in), used by
+  // the same-edge consumers round_key and dec_base_key.
+  const Bus staged_fwd = splice_column(next_key, 3, fwd_d[3]);
+  const Bus staged_inv = has_dec ? splice_column(next_key, 0, inv_d[0]) : Bus{};
+
+  // round_key register.
+  {
+    Bus start_val = key_reg;
+    if (mode == IpMode::kDecrypt) start_val = dec_base_key;
+    else if (mode == IpMode::kBoth) start_val = nl.mux_bus(dec_next, key_reg, dec_base_key);
+
+    Bus d = next_key;  // encrypt mix cycle
+    NetId en = nl.gate_or(start, nl.gate_and(is_mix, nl.gate_not(dec_q)));
+    if (has_dec) {
+      d = nl.mux_bus(nl.gate_and(is_setup, sub_last), d, staged_fwd);
+      d = nl.mux_bus(nl.gate_and(inv_staging, sub_last), d, staged_inv);
+      en = nl.gate_or(en, nl.gate_and(nl.gate_or(is_setup, inv_staging), sub_last));
+    }
+    d = nl.mux_bus(start, d, start_val);
+    if (has_dec) {
+      d = nl.mux_bus(wr_key, d, din);  // key setup seeds from the bus
+      en = nl.gate_or(en, wr_key);
+    }
+    for (int b = 0; b < 128; ++b)
+      nl.add_dff_with_out(round_key[static_cast<std::size_t>(b)],
+                          d[static_cast<std::size_t>(b)], en);
+  }
+
+  if (has_dec) {
+    for (int b = 0; b < 128; ++b)
+      nl.add_dff_with_out(dec_base_key[static_cast<std::size_t>(b)],
+                          staged_fwd[static_cast<std::size_t>(b)], setup_done);
+  }
+
+  // ===== state datapath =========================================================
+  const Bus state = pre_allocated_bus(nl, 128);
+
+  // Initial AddRoundKey folded into the load path; the Data_In register is
+  // forwarded when the block arrives on the starting cycle itself.
+  const Bus data_src = nl.mux_bus(wr_data, data_in_reg, din);
+  Bus load_key_sel = key_reg;
+  if (mode == IpMode::kDecrypt) load_key_sel = dec_base_key;
+  else if (mode == IpMode::kBoth) load_key_sel = nl.mux_bus(dec_next, key_reg, dec_base_key);
+  const Bus init_state = nl.xor_bus(data_src, load_key_sel);
+
+  // ByteSub slice: 4:1 column mux feeding the data S-box bank(s).
+  const std::array<Bus, 4> cols{column_of(state, 0), column_of(state, 1), column_of(state, 2),
+                                column_of(state, 3)};
+  const Bus bs_addr = nl.mux_n(sub_q, cols);
+  Bus sub_out;
+  {
+    Bus bs_out, ibs_out;
+    if (has_enc)
+      bs_out = netlist::synth_sub_word32(nl, aes::kSBox, bs_addr, style,
+                                         /*inverse_table=*/false, "bytesub");
+    if (has_dec)
+      ibs_out = netlist::synth_sub_word32(nl, aes::kInvSBox, bs_addr, style,
+                                          /*inverse_table=*/true, "inv_bytesub");
+    if (has_enc && has_dec) sub_out = nl.mux_bus(dec_q, bs_out, ibs_out);
+    else sub_out = has_enc ? bs_out : ibs_out;
+  }
+
+  // 128-bit cycle.
+  Bus mix_result_enc, mix_result_dec;
+  if (has_enc) {
+    const Bus sr = netlist::synth_shift_rows128(state, false);
+    const Bus mc = netlist::synth_mix_columns128(nl, sr, false);
+    const Bus pre = nl.mux_bus(round_last, mc, sr);  // last round skips MixColumn
+    mix_result_enc = nl.xor_bus(pre, next_key);
+  }
+  if (has_dec) {
+    const Bus ak = nl.xor_bus(state, round_key);
+    const Bus imc = netlist::synth_mix_columns128(nl, ak, true);
+    const Bus pre = nl.mux_bus(first_round, imc, state);  // round 1 skips IMixColumn
+    mix_result_dec = netlist::synth_shift_rows128(pre, true);
+  }
+  Bus mix_result;
+  if (has_enc && has_dec) mix_result = nl.mux_bus(dec_q, mix_result_enc, mix_result_dec);
+  else mix_result = has_enc ? mix_result_enc : mix_result_dec;
+
+  // State register: load / ByteSub column writeback / 128-bit result.
+  for (int col = 0; col < 4; ++col) {
+    Bus d = nl.mux_bus(is_mix, sub_out, column_of(mix_result, col));
+    d = nl.mux_bus(start, d, column_of(init_state, col));
+    const NetId en = nl.gate_or(
+        start, nl.gate_or(is_mix, nl.gate_and(is_sub, sub_is[static_cast<std::size_t>(col)])));
+    const Bus q = column_of(state, col);
+    for (int b = 0; b < 32; ++b)
+      nl.add_dff_with_out(q[static_cast<std::size_t>(b)], d[static_cast<std::size_t>(b)], en);
+  }
+
+  // ===== Out process ============================================================
+  // Encrypt result = last 128-bit cycle; decrypt result = state with the
+  // final IByteSub column spliced, XOR the original key (final AddRoundKey
+  // folded into the output path).
+  Bus result = mix_result;
+  if (has_dec) {
+    Bus dec_final = splice_column(state, 3, sub_out);
+    dec_final = nl.xor_bus(dec_final, key_reg);
+    result = has_enc ? nl.mux_bus(dec_q, mix_result, dec_final) : dec_final;
+  }
+  // A simultaneous key write or setup pulse aborts the block even on its
+  // completion cycle (the Key_In process takes precedence, as in the
+  // cycle-accurate model): the result is not emitted.
+  const NetId emit = nl.gate_and(finish, nl.gate_not(nl.gate_or(wr_key, setup_pin)));
+  const Bus out_reg = nl.dff_bus(result, emit);
+  const NetId data_ok = nl.add_dff(emit);
+
+  nl.add_output(data_ok, "data_ok");
+  nl.add_output_bus(out_reg, "dout");
+  return nl;
+}
+
+}  // namespace aesip::core

@@ -1,0 +1,43 @@
+// Structural synthesis of the three IP variants into a gate-level netlist.
+//
+// This is the "Leonardo Spectrum" step of the reproduction flow: the same
+// architecture the hdl-level RijndaelIp model executes — mixed 32/128-bit
+// datapath, on-the-fly KStran key schedule, decoupled Data_In/Key_In/Out
+// registers, the Table 1 pin interface (including clk: 261 pins, 262 with
+// enc/dec) — emitted as registers, XOR networks, muxes and S-box
+// ROMs/LUT-networks, ready for techmap + sta + fpga fitting.
+//
+// `sbox_as_rom` selects the Acex1K flavour (asynchronous EAB ROMs) or the
+// Cyclone flavour (Shannon-decomposed logic S-boxes), reproducing the
+// paper's "Cyclone embedded memory does not support asynchronous ROM"
+// effect.  The datapath blocks inside are functionally verified against
+// the reference library by the test suite (netlist evaluator); the control
+// skeleton is structural, mirroring the verified cycle-accurate model.
+#pragma once
+
+#include "core/rijndael_ip.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/synth.hpp"
+
+namespace aesip::core {
+
+/// Build the full-IP netlist for `mode`, with S-boxes as asynchronous ROM
+/// macros (`sbox_as_rom` = true) or as Shannon logic-cell networks.
+netlist::Netlist synthesize_ip(IpMode mode, bool sbox_as_rom);
+
+/// Style-selected variant: kRom (Acex), kShannon (the paper's Cyclone
+/// implementation) or kComposite (the tower-field optimization that shrinks
+/// the Cyclone S-box cost — see test_composite / EXPERIMENTS.md).
+netlist::Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style);
+
+/// Expected pin count of a variant (paper Table 2: 261, or 262 with enc/dec).
+constexpr int expected_pins(IpMode mode) noexcept {
+  return mode == IpMode::kBoth ? 262 : 261;
+}
+
+/// Expected S-box ROM bits (paper Table 2: 16384 single-direction, 32768 both).
+constexpr int expected_rom_bits(IpMode mode) noexcept {
+  return mode == IpMode::kBoth ? 32768 : 16384;
+}
+
+}  // namespace aesip::core

@@ -1,0 +1,264 @@
+#include "core/rijndael_ip.hpp"
+
+#include "aes/sbox.hpp"
+#include "aes/state.hpp"
+#include "aes/transforms.hpp"
+#include "gf/gf256.hpp"
+
+namespace aesip::core {
+
+namespace {
+
+/// 128-bit single-cycle combinational blocks (ShiftRow / MixColumn of the
+/// paper's Section 4).  Functionally identical to the reference library by
+/// construction; their gate structure lives in core/ip_synth.cpp.
+hdl::Word128 shift_rows128(const hdl::Word128& w, bool inverse) {
+  aes::State s(4, w.b);
+  if (inverse) aes::inv_shift_rows(s);
+  else aes::shift_rows(s);
+  hdl::Word128 out;
+  s.store(out.b);
+  return out;
+}
+
+hdl::Word128 mix_columns128(const hdl::Word128& w, bool inverse) {
+  aes::State s(4, w.b);
+  if (inverse) aes::inv_mix_columns(s);
+  else aes::mix_columns(s);
+  hdl::Word128 out;
+  s.store(out.b);
+  return out;
+}
+
+std::uint32_t rot_word(std::uint32_t w) noexcept { return (w >> 8) | (w << 24); }
+
+}  // namespace
+
+RijndaelIp::RijndaelIp(hdl::Simulator& sim, IpMode mode)
+    : hdl::Module("rijndael_ip"),
+      setup(sim, "setup", 1),
+      wr_data(sim, "wr_data", 1),
+      wr_key(sim, "wr_key", 1),
+      encdec(sim, "encdec", 1, true),
+      din(sim, "din", 128),
+      dout(sim, "dout", 128),
+      data_ok(sim, "data_ok", 1),
+      dbg_round(sim, "dbg_round", 8),
+      dbg_phase(sim, "dbg_phase", 8),
+      mode_(mode) {
+  if (mode_ == IpMode::kEncrypt || mode_ == IpMode::kBoth)
+    bytesub_ = std::make_unique<SubWord32Unit>(sim, "bytesub", aes::kSBox);
+  if (mode_ == IpMode::kDecrypt || mode_ == IpMode::kBoth)
+    inv_bytesub_ = std::make_unique<SubWord32Unit>(sim, "inv_bytesub", aes::kInvSBox);
+  kstran_enc_ = std::make_unique<SubWord32Unit>(sim, "kstran", aes::kSBox);
+  if (mode_ == IpMode::kBoth)
+    kstran_dec_ = std::make_unique<SubWord32Unit>(sim, "kstran_dec", aes::kSBox);
+  sim.add_module(*this);
+}
+
+int RijndaelIp::sbox_count() const noexcept {
+  int banks = 0;
+  if (bytesub_) ++banks;
+  if (inv_bytesub_) ++banks;
+  if (kstran_enc_) ++banks;
+  if (kstran_dec_) ++banks;
+  return banks * SubWord32Unit::kSBoxes;
+}
+
+void RijndaelIp::evaluate() {
+  // Drive S-box bank addresses from the current registers.  All drives are
+  // pure functions of register state, so the network settles in one delta.
+  if (bytesub_) bytesub_->addr.write(state_.column(sub_));
+  if (inv_bytesub_) inv_bytesub_->addr.write(state_.column(sub_));
+
+  const std::uint32_t fwd_addr = rot_word(round_key_.column(3));   // KStran forward
+  const std::uint32_t inv_addr = rot_word(next_key_.column(3));    // inverse schedule
+  if (mode_ == IpMode::kBoth) {
+    kstran_enc_->addr.write(fwd_addr);
+    kstran_dec_->addr.write(inv_addr);
+  } else if (mode_ == IpMode::kDecrypt) {
+    // One shared KStran bank: forward during key setup, inverse-schedule
+    // addressing while decrypting.
+    kstran_enc_->addr.write(phase_ == Phase::kKeySetup ? fwd_addr : inv_addr);
+  } else {
+    kstran_enc_->addr.write(fwd_addr);
+  }
+
+  dbg_round.write(static_cast<std::uint8_t>(round_));
+  dbg_phase.write(static_cast<std::uint8_t>(phase_));
+}
+
+void RijndaelIp::stage_forward_key(int sub, int round, std::uint32_t kstran_data) {
+  std::uint32_t col;
+  if (sub == 0) {
+    col = round_key_.column(0) ^ kstran_data ^ gf::rcon(static_cast<unsigned>(round));
+  } else {
+    col = next_key_.column(sub - 1) ^ round_key_.column(sub);
+  }
+  next_key_.set_column(sub, col);
+}
+
+void RijndaelIp::start_block() {
+  data_pending_ = false;
+  block_is_decrypt_ = mode_ == IpMode::kDecrypt || (mode_ == IpMode::kBoth && !encdec.read());
+  round_ = 1;
+  sub_ = 0;
+  if (!block_is_decrypt_) {
+    // Initial AddRoundKey folds into the load path.
+    state_ = data_in_reg_ ^ key_reg_;
+    round_key_ = key_reg_;
+    phase_ = Phase::kSub;
+  } else {
+    // Decryption starts from the round-10 key derived during key setup.
+    state_ = data_in_reg_ ^ dec_base_key_;
+    round_key_ = dec_base_key_;
+    phase_ = Phase::kMix;
+  }
+}
+
+void RijndaelIp::finish_block(const hdl::Word128& result) {
+  // Out process: register the result; data_ok strobes for one cycle.
+  dout.write(result);
+  data_ok.write(true);
+  ++blocks_done_;
+  if (data_pending_ && key_valid_) start_block();
+  else phase_ = Phase::kIdle;
+}
+
+void RijndaelIp::tick() {
+  data_ok.write(false);
+
+  if (setup.read()) {
+    // Configuration period: synchronous reset of every process.
+    phase_ = Phase::kIdle;
+    data_pending_ = false;
+    key_valid_ = false;
+    round_ = 0;
+    sub_ = 0;
+    dout.write(hdl::Word128{});
+    return;
+  }
+
+  // --- Key_In / Data_In processes ------------------------------------------
+  if (wr_key.read()) {
+    key_reg_ = din.read();
+    data_pending_ = false;  // a key change invalidates any staged block
+    if (mode_ == IpMode::kEncrypt) {
+      // Forward round keys are generated on the fly; no setup needed.
+      key_valid_ = true;
+      phase_ = Phase::kIdle;
+    } else {
+      // Derive the round-10 key: 10 rounds x 4 KStran cycles.
+      key_valid_ = false;
+      round_key_ = din.read();
+      round_ = 1;
+      sub_ = 0;
+      phase_ = Phase::kKeySetup;
+    }
+    return;
+  }
+  if (wr_data.read()) {
+    data_in_reg_ = din.read();
+    data_pending_ = true;
+  }
+
+  // --- Rijndael process ------------------------------------------------------
+  switch (phase_) {
+    case Phase::kIdle:
+      if (data_pending_ && key_valid_) start_block();
+      break;
+
+    case Phase::kKeySetup: {
+      stage_forward_key(sub_, round_, kstran_enc_->data.read());
+      if (sub_ < 3) {
+        ++sub_;
+      } else {
+        round_key_ = next_key_;
+        if (round_ < kRounds) {
+          ++round_;
+          sub_ = 0;
+        } else {
+          dec_base_key_ = next_key_;
+          key_valid_ = true;
+          phase_ = Phase::kIdle;
+        }
+      }
+      break;
+    }
+
+    case Phase::kSub: {
+      if (!block_is_decrypt_) {
+        // ByteSub32 slice + forward key schedule staging.
+        state_.set_column(sub_, bytesub_->data.read());
+        stage_forward_key(sub_, round_, kstran_enc_->data.read());
+        if (sub_ < 3) ++sub_;
+        else phase_ = Phase::kMix;
+      } else {
+        // IByteSub32 slice + inverse key schedule staging:
+        // from K_{r+1} (in round_key_) recover K_r into next_key_.
+        state_.set_column(sub_, inv_bytesub_->data.read());
+        const int inv_round = kRounds + 1 - round_;  // rcon index of K_{r+1}
+        switch (sub_) {
+          case 0:
+            next_key_.set_column(3, round_key_.column(3) ^ round_key_.column(2));
+            break;
+          case 1:
+            next_key_.set_column(2, round_key_.column(2) ^ round_key_.column(1));
+            break;
+          case 2:
+            next_key_.set_column(1, round_key_.column(1) ^ round_key_.column(0));
+            break;
+          case 3: {
+            const std::uint32_t kdata =
+                (mode_ == IpMode::kBoth ? kstran_dec_ : kstran_enc_)->data.read();
+            next_key_.set_column(
+                0, round_key_.column(0) ^ kdata ^ gf::rcon(static_cast<unsigned>(inv_round)));
+            break;
+          }
+          default:
+            break;
+        }
+        if (sub_ < 3) {
+          ++sub_;
+        } else if (round_ < kRounds) {
+          round_key_ = next_key_;
+          ++round_;
+          sub_ = 0;
+          phase_ = Phase::kMix;
+        } else {
+          // Final AddRoundKey (the original key) folds into the output path.
+          finish_block(state_ ^ key_reg_);
+        }
+      }
+      break;
+    }
+
+    case Phase::kMix: {
+      if (!block_is_decrypt_) {
+        const hdl::Word128 sr = shift_rows128(state_, false);
+        const hdl::Word128 pre = round_ < kRounds ? mix_columns128(sr, false) : sr;
+        const hdl::Word128 ns = pre ^ next_key_;
+        if (round_ < kRounds) {
+          state_ = ns;
+          round_key_ = next_key_;
+          ++round_;
+          sub_ = 0;
+          phase_ = Phase::kSub;
+        } else {
+          finish_block(ns);
+        }
+      } else {
+        if (round_ == 1) {
+          state_ = shift_rows128(state_, true);
+        } else {
+          state_ = shift_rows128(mix_columns128(state_ ^ round_key_, true), true);
+        }
+        sub_ = 0;
+        phase_ = Phase::kSub;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace aesip::core

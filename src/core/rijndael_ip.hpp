@@ -1,0 +1,122 @@
+// The paper's soft IP: cycle-accurate model of the low-area AES-128 core.
+//
+// One class generates all three products of the paper (encrypt-only,
+// decrypt-only, encrypt+decrypt) from the same methodology, exactly as the
+// paper describes.  The architecture is the mixed 32/128-bit organization
+// of Section 4:
+//
+//   * ByteSub / IByteSub run 32 bits per cycle through one 4-S-box bank
+//     (4 cycles per round),
+//   * ShiftRow + MixColumn + AddKey run as one 128-bit cycle,
+//   * 5 cycles per round, 50 cycles per block — every Table 2 entry
+//     satisfies latency = 50 x Tclk,
+//   * round keys are generated on the fly by the KStran unit (4 more
+//     S-boxes) during the four ByteSub cycles; nothing is precomputed or
+//     stored,
+//   * the initial AddRoundKey folds into the block-load path and (for
+//     decryption) the final AddRoundKey folds into the output path, which
+//     is how the initial XOR costs no extra cycle,
+//   * Data_In / Key_In / Out are independent clocked processes (paper
+//     Figs. 8/9): a new block and the previous result ride the bus while
+//     the Rijndael process is busy, so full-rate throughput equals
+//     block_size / latency.
+//
+// Decryption needs round keys in reverse order, so a key load is followed
+// by a 40-cycle key-setup pass (10 rounds x 4 KStran cycles) that derives
+// the round-10 key; during decryption the schedule then runs backwards on
+// the fly.  Encrypt-only devices skip the setup entirely.
+//
+// Interface (paper Table 1): clk/setup/wr_data/wr_key/din/enc-dec inputs,
+// data_ok/dout outputs.  data_ok is modeled as a one-cycle completion
+// strobe: it pulses on the cycle dout latches a fresh result (the paper
+// does not pin these semantics down; see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/sbox_unit.hpp"
+#include "hdl/module.hpp"
+#include "hdl/signal.hpp"
+#include "hdl/simulator.hpp"
+#include "hdl/word128.hpp"
+
+namespace aesip::core {
+
+/// Which of the paper's three devices to instantiate.
+enum class IpMode { kEncrypt, kDecrypt, kBoth };
+
+class RijndaelIp final : public hdl::Module {
+ public:
+  static constexpr int kRounds = 10;
+  static constexpr int kCyclesPerRound = 5;           // 4x ByteSub32 + 1x SR/MC/AK
+  static constexpr int kCyclesPerBlock = 50;          // 10 rounds x 5
+  static constexpr int kKeySetupCycles = 40;          // decrypt/both only
+  static constexpr int kCyclesPerRoundAll32 = 12;     // the paper's all-32-bit baseline
+
+  RijndaelIp(hdl::Simulator& sim, IpMode mode);
+
+  // --- bus interface (paper Table 1) ---------------------------------------
+  hdl::Signal<bool> setup;     ///< synchronous reset / configuration period
+  hdl::Signal<bool> wr_data;   ///< din holds a block to encrypt/decrypt
+  hdl::Signal<bool> wr_key;    ///< din holds a new cipher key
+  hdl::Signal<bool> encdec;    ///< 1 = encrypt, 0 = decrypt (kBoth only)
+  hdl::Signal<hdl::Word128> din;
+  hdl::Signal<hdl::Word128> dout;
+  hdl::Signal<bool> data_ok;   ///< one-cycle strobe: dout just latched
+
+  // --- debug/trace signals (not pins; excluded from area model) ------------
+  hdl::Signal<std::uint8_t> dbg_round;
+  hdl::Signal<std::uint8_t> dbg_phase;
+
+  // --- status for tests and benches ----------------------------------------
+  IpMode mode() const noexcept { return mode_; }
+  bool busy() const noexcept { return phase_ != Phase::kIdle; }
+  bool key_ready() const noexcept { return key_valid_; }
+  /// True while a staged block waits in the Data_In register.
+  bool data_pending() const noexcept { return data_pending_; }
+  std::uint64_t blocks_done() const noexcept { return blocks_done_; }
+  /// Physical S-boxes instantiated (8 for single-direction, 16 for both).
+  int sbox_count() const noexcept;
+
+  void evaluate() override;
+  void tick() override;
+
+ private:
+  enum class Phase : std::uint8_t { kIdle, kKeySetup, kSub, kMix };
+
+  void start_block();
+  void finish_block(const hdl::Word128& result);
+  /// Key-schedule staging step shared by encrypt rounds and key setup.
+  void stage_forward_key(int sub, int round, std::uint32_t kstran_data);
+
+  IpMode mode_;
+
+  // S-box banks. Single-direction devices have a data bank + a KStran bank
+  // (8 S-boxes = 16384 bits); the combined device has separate encrypt and
+  // decrypt data paths, each with its own KStran bank (16 = 32768 bits).
+  std::unique_ptr<SubWord32Unit> bytesub_;      // forward data bank
+  std::unique_ptr<SubWord32Unit> inv_bytesub_;  // inverse data bank
+  std::unique_ptr<SubWord32Unit> kstran_enc_;   // forward KStran bank
+  std::unique_ptr<SubWord32Unit> kstran_dec_;   // KStran bank of the decrypt path
+
+  // Bus-side registers (Data_In / Key_In / Out processes).
+  hdl::Word128 data_in_reg_;
+  hdl::Word128 key_reg_;
+  bool data_pending_ = false;
+  bool key_valid_ = false;
+
+  // Rijndael process registers.
+  hdl::Word128 state_;
+  hdl::Word128 round_key_;     // current round key (fwd) / K_{r+1} (inverse)
+  hdl::Word128 next_key_;      // staging for the key being generated
+  hdl::Word128 dec_base_key_;  // round-10 key derived by key setup
+  Phase phase_ = Phase::kIdle;
+  int round_ = 0;
+  int sub_ = 0;
+  bool block_is_decrypt_ = false;
+
+  std::uint64_t blocks_done_ = 0;
+};
+
+}  // namespace aesip::core

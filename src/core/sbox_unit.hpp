@@ -1,0 +1,49 @@
+// A bank of four S-boxes processing one 32-bit word per cycle.
+//
+// This is the unit the paper's area argument revolves around: a single
+// S-box is a 2048-bit asynchronous ROM, so processing 128 bits in parallel
+// needs 16 of them (32768 bits) while the mixed 32/128 architecture needs
+// only 4 for the data path (8192 bits) plus 4 inside KStran.  One
+// SubWord32Unit models one such bank: a combinational process that looks
+// up all four bytes of the address word in the same cycle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "hdl/module.hpp"
+#include "hdl/signal.hpp"
+#include "hdl/simulator.hpp"
+
+namespace aesip::core {
+
+class SubWord32Unit final : public hdl::Module {
+ public:
+  /// Number of physical S-boxes (2048-bit ROMs) in the bank.
+  static constexpr int kSBoxes = 4;
+
+  SubWord32Unit(hdl::Simulator& sim, std::string name,
+                const std::array<std::uint8_t, 256>& table)
+      : hdl::Module(name),
+        addr(sim, name + ".addr", 32),
+        data(sim, name + ".data", 32),
+        table_(table) {
+    sim.add_module(*this);
+  }
+
+  hdl::Signal<std::uint32_t> addr;
+  hdl::Signal<std::uint32_t> data;
+
+  void evaluate() override {
+    const std::uint32_t a = addr.read();
+    std::uint32_t d = 0;
+    for (int k = 0; k < 4; ++k)
+      d |= static_cast<std::uint32_t>(table_[(a >> (8 * k)) & 0xff]) << (8 * k);
+    data.write(d);
+  }
+
+ private:
+  const std::array<std::uint8_t, 256>& table_;
+};
+
+}  // namespace aesip::core

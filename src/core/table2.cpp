@@ -1,0 +1,46 @@
+#include "core/table2.hpp"
+
+#include "techmap/techmap.hpp"
+
+namespace aesip::core {
+
+const std::vector<PaperTable2Cell>& paper_table2() {
+  static const std::vector<PaperTable2Cell> cells{
+      {"Encrypt", "Acex1K", 2114, 42, 16384, 33, 261, 78, 700.0, 14.0, 182.0},
+      {"Decrypt", "Acex1K", 2217, 44, 16384, 33, 261, 78, 750.0, 15.0, 170.0},
+      {"Both", "Acex1K", 3222, 64, 32768, 66, 262, 78, 850.0, 17.0, 150.0},
+      {"Encrypt", "Cyclone", 4057, 20, 0, 0, 261, 87, 500.0, 10.0, 256.0},
+      {"Decrypt", "Cyclone", 4211, 20, 0, 0, 261, 87, 550.0, 11.0, 232.0},
+      {"Both", "Cyclone", 7034, 35, 0, 0, 262, 87, 650.0, 13.0, 197.0},
+  };
+  return cells;
+}
+
+Table2Row reproduce_table2_cell(IpMode mode, const fpga::Device& device) {
+  // The paper's flow decision: EABs implement the S-boxes as asynchronous
+  // ROM on Acex; Cyclone M4Ks cannot, so the S-boxes become logic.
+  const bool sbox_as_rom = device.supports_async_rom;
+  const auto mapped = techmap::map_to_luts(synthesize_ip(mode, sbox_as_rom));
+  Table2Row row{};
+  row.mode = mode;
+  row.device = &device;
+  row.fit = fpga::fit(mapped, device);
+  row.cycles_per_block = RijndaelIp::kCyclesPerBlock;
+  row.latency_ns = row.fit.latency_ns(row.cycles_per_block);
+  row.throughput_mbps = row.fit.throughput_mbps(128, row.cycles_per_block);
+
+  const int paper_index = (device.family == fpga::Family::kCyclone ? 3 : 0) +
+                          (mode == IpMode::kEncrypt ? 0 : mode == IpMode::kDecrypt ? 1 : 2);
+  row.paper = paper_table2()[static_cast<std::size_t>(paper_index)];
+  return row;
+}
+
+std::vector<Table2Row> reproduce_table2() {
+  std::vector<Table2Row> rows;
+  for (const fpga::Device* dev : {&fpga::ep1k100fc484_1(), &fpga::ep1c20f400c6()})
+    for (const IpMode mode : {IpMode::kEncrypt, IpMode::kDecrypt, IpMode::kBoth})
+      rows.push_back(reproduce_table2_cell(mode, *dev));
+  return rows;
+}
+
+}  // namespace aesip::core

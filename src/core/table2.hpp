@@ -1,0 +1,55 @@
+// End-to-end reproduction of the paper's Table 2.
+//
+// For each of the six cells ({Encrypt, Decrypt, Both} x {Acex1K EP1K100,
+// Cyclone EP1C20}) this runs the whole flow: synthesize the IP netlist
+// (ROM S-boxes on Acex, logic S-boxes on Cyclone — the async-ROM rule),
+// technology-map it, fit it on the device model, run static timing, and
+// derive latency (50 cycles x Tclk) and full-rate throughput
+// (128 bits / latency).  The paper's reported values ride along so tests
+// and benches can print measured-vs-paper side by side.
+#pragma once
+
+#include <vector>
+
+#include "core/ip_synth.hpp"
+#include "fpga/device.hpp"
+#include "fpga/fitter.hpp"
+
+namespace aesip::core {
+
+/// One reported cell of the paper's Table 2.
+struct PaperTable2Cell {
+  const char* system;      ///< "Encrypt" / "Decrypt" / "Both"
+  const char* device;      ///< "Acex1K" / "Cyclone"
+  int lcs;
+  int lc_pct;
+  int memory_bits;
+  int memory_pct;
+  int pins;
+  int pin_pct;
+  double latency_ns;
+  double clock_ns;
+  double throughput_mbps;
+};
+
+/// The 6 cells exactly as printed in the paper.
+const std::vector<PaperTable2Cell>& paper_table2();
+
+/// One reproduced cell: our flow's numbers next to the paper's.
+struct Table2Row {
+  IpMode mode;
+  const fpga::Device* device;
+  fpga::FitReport fit;
+  int cycles_per_block;      ///< always 50 (verified by the IP tests)
+  double latency_ns;         ///< cycles x clock period
+  double throughput_mbps;    ///< 128 / latency
+  PaperTable2Cell paper;     ///< the corresponding reported cell
+};
+
+/// Run the full flow for all six cells (order: Acex E/D/C, Cyclone E/D/C).
+std::vector<Table2Row> reproduce_table2();
+
+/// Run one cell.
+Table2Row reproduce_table2_cell(IpMode mode, const fpga::Device& device);
+
+}  // namespace aesip::core

@@ -1,0 +1,114 @@
+#include "fpga/device.hpp"
+
+namespace aesip::fpga {
+
+namespace {
+
+// Delay parameters (ns). t_lut/t_route_base are the two calibrated knobs
+// per family (fitted so the encrypt-only IP lands on the paper's reported
+// clock period); the rest are datasheet-order-of-magnitude constants.
+// See EXPERIMENTS.md "Timing calibration".
+constexpr sta::DelayModel kAcex1kSpeed1{
+    /*t_lut=*/0.60, /*t_rom=*/3.60, /*t_co=*/0.75, /*t_su=*/0.55,
+    /*t_route_base=*/0.70, /*t_route_fanout=*/0.035, /*t_io=*/2.00,
+    /*t_route_fanout_cap=*/0.62};
+
+constexpr sta::DelayModel kCycloneC6{
+    /*t_lut=*/0.42, /*t_rom=*/2.40, /*t_co=*/0.40, /*t_su=*/0.28,
+    /*t_route_base=*/0.48, /*t_route_fanout=*/0.025, /*t_io=*/1.80,
+    /*t_route_fanout_cap=*/0.42};
+
+}  // namespace
+
+const Device& ep1k100fc484_1() {
+  static const Device d{
+      "EP1K100FC484-1", Family::kAcex1k,
+      /*logic_elements=*/4992,
+      /*memory_bits=*/49152,  // 12 EABs x 4096 bits
+      /*memory_block_bits=*/4096,
+      /*memory_blocks=*/12,
+      /*supports_async_rom=*/true,
+      /*user_io=*/333,
+      kAcex1kSpeed1};
+  return d;
+}
+
+const Device& ep1c20f400c6() {
+  static const Device d{
+      "EP1C20F400C6", Family::kCyclone,
+      /*logic_elements=*/20060,
+      /*memory_bits=*/294912,  // 64 M4K x 4608 bits
+      /*memory_block_bits=*/4608,
+      /*memory_blocks=*/64,
+      /*supports_async_rom=*/false,
+      /*user_io=*/301,
+      kCycloneC6};
+  return d;
+}
+
+const Device& ep1k50tc144_1() {
+  static const Device d{
+      "EP1K50TC144-1", Family::kAcex1k,
+      /*logic_elements=*/2880,
+      /*memory_bits=*/40960,  // 10 EABs x 4096 bits
+      /*memory_block_bits=*/4096,
+      /*memory_blocks=*/10,
+      /*supports_async_rom=*/true,
+      /*user_io=*/102,
+      kAcex1kSpeed1};
+  return d;
+}
+
+const Device& ep1c12f324c6() {
+  static const Device d{
+      "EP1C12F324C6", Family::kCyclone,
+      /*logic_elements=*/12060,
+      /*memory_bits=*/239616,  // 52 M4K
+      /*memory_block_bits=*/4608,
+      /*memory_blocks=*/52,
+      /*supports_async_rom=*/false,
+      /*user_io=*/249,
+      kCycloneC6};
+  return d;
+}
+
+const Device& ep1c6t144c6() {
+  static const Device d{
+      "EP1C6T144C6", Family::kCyclone,
+      /*logic_elements=*/5980,
+      /*memory_bits=*/92160,  // 20 M4K
+      /*memory_block_bits=*/4608,
+      /*memory_blocks=*/20,
+      /*supports_async_rom=*/false,
+      /*user_io=*/98,
+      kCycloneC6};
+  return d;
+}
+
+const Device& ep1c3t100c6() {
+  static const Device d{
+      "EP1C3T100C6", Family::kCyclone,
+      /*logic_elements=*/2910,
+      /*memory_bits=*/59904,  // 13 M4K
+      /*memory_block_bits=*/4608,
+      /*memory_blocks=*/13,
+      /*supports_async_rom=*/false,
+      /*user_io=*/65,
+      kCycloneC6};
+  return d;
+}
+
+const std::vector<const Device*>& all_devices() {
+  static const std::vector<const Device*> v{
+      &ep1k100fc484_1(), &ep1k50tc144_1(), &ep1c20f400c6(),
+      &ep1c12f324c6(),   &ep1c6t144c6(),   &ep1c3t100c6()};
+  return v;
+}
+
+const Device* find_device(const std::string& name) {
+  for (const Device* d : all_devices())
+    if (d->name == name) return d;
+  return nullptr;
+}
+
+}  // namespace aesip::fpga

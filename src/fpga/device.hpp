@@ -1,0 +1,53 @@
+// Altera device models: the silicon targets of the paper.
+//
+// Capacities come from the public Acex 1K and Cyclone datasheets; the
+// paper's occupation percentages (42 % of LCs, 33 % of memory, 78 % of pins
+// on the EP1K100, etc.) are *computed* against these numbers, not copied.
+//
+// The architectural rule the paper hinges on is captured by
+// `supports_async_rom`: Acex 1K EABs can implement asynchronous 256x8 ROMs
+// (an S-box read is a combinational memory access), while Cyclone M4K
+// blocks are synchronous-only — so on Cyclone the S-boxes must be built
+// from logic cells, which is exactly why the paper reports Memory = 0 and
+// roughly +240 LCs per S-box on that family.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sta/sta.hpp"
+
+namespace aesip::fpga {
+
+enum class Family { kAcex1k, kCyclone };
+
+struct Device {
+  std::string name;
+  Family family;
+  int logic_elements;      ///< LEs (the paper's "LCs")
+  int memory_bits;         ///< total embedded memory bits
+  int memory_block_bits;   ///< bits per EAB (4096) / M4K (4608)
+  int memory_blocks;
+  bool supports_async_rom; ///< EAB yes, M4K no
+  int user_io;             ///< maximum user I/O pins for the package
+  sta::DelayModel timing;  ///< family + speed-grade delay parameters
+};
+
+/// EP1K100FC484-1 — the paper's Acex 1K part (speed grade -1).
+const Device& ep1k100fc484_1();
+/// EP1C20F400C6 — the paper's Cyclone part (speed grade C6, preliminary).
+const Device& ep1c20f400c6();
+
+/// Smaller family members for the design-space exploration example.
+const Device& ep1k50tc144_1();
+const Device& ep1c12f324c6();
+const Device& ep1c6t144c6();
+const Device& ep1c3t100c6();
+
+/// All devices known to the database.
+const std::vector<const Device*>& all_devices();
+
+/// Lookup by exact name; returns nullptr when unknown.
+const Device* find_device(const std::string& name);
+
+}  // namespace aesip::fpga

@@ -1,0 +1,50 @@
+#include "fpga/fitter.hpp"
+#include <algorithm>
+
+namespace aesip::fpga {
+
+FitReport fit(const techmap::MapResult& design, const Device& device) {
+  const techmap::MapStats& st = design.stats;
+  if (st.roms > 0 && !device.supports_async_rom)
+    throw FitError("fit: design uses asynchronous ROM but " + device.name +
+                   " memory blocks are synchronous-only; re-synthesize the "
+                   "S-boxes as logic");
+
+  FitReport r;
+  r.device = &device;
+  r.logic_elements = st.logic_elements;
+  r.le_pct = 100.0 * static_cast<double>(st.logic_elements) /
+             static_cast<double>(device.logic_elements);
+  r.memory_bits = st.rom_bits;
+  r.memory_pct =
+      100.0 * static_cast<double>(st.rom_bits) / static_cast<double>(device.memory_bits);
+  // S-box ROMs are 2048 bits; EABs/M4Ks pack as many as fit per block.
+  const int sboxes_per_block = device.memory_block_bits / 2048;
+  r.memory_blocks = sboxes_per_block > 0
+                        ? static_cast<int>((st.roms + static_cast<std::size_t>(sboxes_per_block) -
+                                            1) /
+                                           static_cast<std::size_t>(sboxes_per_block))
+                        : 0;
+  r.pins = st.pins;
+  r.pin_pct = 100.0 * static_cast<double>(st.pins) / static_cast<double>(device.user_io);
+
+  r.fits = st.logic_elements <= static_cast<std::size_t>(device.logic_elements) &&
+           st.rom_bits <= static_cast<std::size_t>(device.memory_bits) &&
+           r.memory_blocks <= device.memory_blocks && st.pins <= device.user_io;
+
+  // Congestion derate: routing stretches as the device fills (the place &
+  // route tool has fewer fast alternatives).  Linear above a 25 %-full
+  // knee, calibrated against the paper's encrypt-vs-both clock spread
+  // (42 % vs 64 % utilization on the Acex part).
+  sta::DelayModel timing = device.timing;
+  const double util = r.le_pct / 100.0;
+  const double derate = 1.0 + 0.5 * std::max(0.0, util - 0.25);
+  timing.t_route_base *= derate;
+  timing.t_route_fanout *= derate;
+  timing.t_route_fanout_cap *= derate;
+
+  r.timing = sta::analyze(design.mapped, timing);
+  return r;
+}
+
+}  // namespace aesip::fpga

@@ -1,0 +1,53 @@
+// Device fitting: resource accounting + timing closure on a device model.
+//
+// Mirrors the Quartus fitter step of the paper's flow: take a mapped
+// design, check it against a device's LE / embedded-memory / pin budget,
+// compute the occupation percentages of the paper's Table 2, and run
+// static timing with the device's delay model.
+#pragma once
+
+#include <stdexcept>
+
+#include "fpga/device.hpp"
+#include "sta/sta.hpp"
+#include "techmap/techmap.hpp"
+
+namespace aesip::fpga {
+
+struct FitReport {
+  const Device* device = nullptr;
+
+  std::size_t logic_elements = 0;
+  double le_pct = 0.0;
+  std::size_t memory_bits = 0;
+  double memory_pct = 0.0;
+  int memory_blocks = 0;  ///< EAB/M4K blocks consumed (2 S-boxes pack per EAB)
+  int pins = 0;
+  double pin_pct = 0.0;
+  bool fits = false;
+
+  sta::TimingReport timing;
+
+  /// Latency of a design that takes `cycles` clocks per block.
+  double latency_ns(int cycles) const { return timing.clock_period_ns * cycles; }
+  /// Full-rate throughput in Mbit/s for `block_bits` every `cycles` clocks.
+  double throughput_mbps(int block_bits, int cycles) const {
+    return latency_ns(cycles) > 0.0 ? static_cast<double>(block_bits) / latency_ns(cycles) * 1000.0
+                                    : 0.0;
+  }
+};
+
+/// Raised when the design cannot be placed on the device at all (e.g.
+/// asynchronous ROMs on a family without async-capable memory).
+class FitError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Fit a mapped design onto `device`.  Throws FitError if the design uses
+/// asynchronous ROM macros on a device that cannot implement them (the
+/// caller must re-synthesize with logic S-boxes, as the paper did for
+/// Cyclone).  Over-capacity results are returned with fits == false.
+FitReport fit(const techmap::MapResult& design, const Device& device);
+
+}  // namespace aesip::fpga

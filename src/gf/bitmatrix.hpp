@@ -1,0 +1,142 @@
+// 8x8 matrices over GF(2) and affine maps on bytes.
+//
+// The Rijndael S-box is  s = A * inverse(x) + c  where A is a fixed
+// circulant GF(2) matrix and c = 0x63.  Building the S-box from this
+// algebraic definition (rather than pasting the table) lets the tests pin
+// the published table against first principles, and lets the netlist
+// generators reason about the affine layer as XOR gates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace aesip::gf {
+
+/// An 8x8 matrix over GF(2); row i is a bitmask whose bit j is M[i][j].
+/// Vectors are bytes with bit k = coefficient of x^k (LSB-first, matching
+/// FIPS-197's bit numbering).
+class BitMatrix8 {
+ public:
+  constexpr BitMatrix8() noexcept : rows_{} {}
+  explicit constexpr BitMatrix8(const std::array<std::uint8_t, 8>& rows) noexcept
+      : rows_(rows) {}
+
+  /// Identity matrix.
+  static constexpr BitMatrix8 identity() noexcept {
+    BitMatrix8 m;
+    for (int i = 0; i < 8; ++i) m.rows_[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(1U << i);
+    return m;
+  }
+
+  /// Circulant matrix whose row i is `first_row` rotated left by i.
+  /// The Rijndael affine matrix is circulant with first row 0xF1 bits
+  /// {0,4,5,6,7}.
+  static constexpr BitMatrix8 circulant(std::uint8_t first_row) noexcept {
+    BitMatrix8 m;
+    std::uint8_t r = first_row;
+    for (int i = 0; i < 8; ++i) {
+      m.rows_[static_cast<std::size_t>(i)] = r;
+      r = static_cast<std::uint8_t>(((r << 1) | (r >> 7)) & 0xff);
+    }
+    return m;
+  }
+
+  constexpr std::uint8_t row(int i) const noexcept {
+    return rows_[static_cast<std::size_t>(i)];
+  }
+  constexpr bool at(int i, int j) const noexcept {
+    return (rows_[static_cast<std::size_t>(i)] >> j) & 1U;
+  }
+  constexpr void set(int i, int j, bool v) noexcept {
+    const std::uint8_t bit = static_cast<std::uint8_t>(1U << j);
+    auto& r = rows_[static_cast<std::size_t>(i)];
+    r = static_cast<std::uint8_t>(v ? (r | bit) : (r & ~bit));
+  }
+
+  /// Matrix-vector product over GF(2): result bit i = parity(row_i & v).
+  constexpr std::uint8_t apply(std::uint8_t v) const noexcept {
+    std::uint8_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      std::uint8_t masked = static_cast<std::uint8_t>(rows_[static_cast<std::size_t>(i)] & v);
+      // parity of masked
+      masked ^= static_cast<std::uint8_t>(masked >> 4);
+      masked ^= static_cast<std::uint8_t>(masked >> 2);
+      masked ^= static_cast<std::uint8_t>(masked >> 1);
+      if (masked & 1U) out = static_cast<std::uint8_t>(out | (1U << i));
+    }
+    return out;
+  }
+
+  constexpr BitMatrix8 operator*(const BitMatrix8& rhs) const noexcept {
+    BitMatrix8 out;
+    for (int i = 0; i < 8; ++i)
+      for (int j = 0; j < 8; ++j)
+        if (at(i, j))
+          out.rows_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+              out.rows_[static_cast<std::size_t>(i)] ^ rhs.rows_[static_cast<std::size_t>(j)]);
+    return out;
+  }
+
+  constexpr bool operator==(const BitMatrix8& rhs) const noexcept { return rows_ == rhs.rows_; }
+
+  /// Gauss-Jordan inverse; returns identity() for singular input (callers
+  /// check invertibility via `invertible()` first when it matters).
+  constexpr BitMatrix8 inverse() const noexcept {
+    std::array<std::uint16_t, 8> aug{};  // low 8 bits: M, high 8 bits: I
+    for (int i = 0; i < 8; ++i)
+      aug[static_cast<std::size_t>(i)] = static_cast<std::uint16_t>(
+          rows_[static_cast<std::size_t>(i)] | (1U << (8 + i)));
+    for (int col = 0; col < 8; ++col) {
+      int pivot = -1;
+      for (int r = col; r < 8; ++r)
+        if ((aug[static_cast<std::size_t>(r)] >> col) & 1U) { pivot = r; break; }
+      if (pivot < 0) return identity();
+      if (pivot != col) {
+        auto t = aug[static_cast<std::size_t>(col)];
+        aug[static_cast<std::size_t>(col)] = aug[static_cast<std::size_t>(pivot)];
+        aug[static_cast<std::size_t>(pivot)] = t;
+      }
+      for (int r = 0; r < 8; ++r)
+        if (r != col && ((aug[static_cast<std::size_t>(r)] >> col) & 1U))
+          aug[static_cast<std::size_t>(r)] = static_cast<std::uint16_t>(
+              aug[static_cast<std::size_t>(r)] ^ aug[static_cast<std::size_t>(col)]);
+    }
+    BitMatrix8 out;
+    for (int i = 0; i < 8; ++i)
+      out.rows_[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(aug[static_cast<std::size_t>(i)] >> 8);
+    return out;
+  }
+
+  /// True iff the matrix has an inverse. (inverse() returns identity() for
+  /// singular input, and M * I == I only if M == I, which is invertible.)
+  constexpr bool invertible() const noexcept {
+    return (*this * this->inverse()) == identity();
+  }
+
+ private:
+  std::array<std::uint8_t, 8> rows_;
+};
+
+/// Affine map y = M*x + c over GF(2)^8.
+struct Affine8 {
+  BitMatrix8 matrix;
+  std::uint8_t constant = 0;
+
+  constexpr std::uint8_t apply(std::uint8_t v) const noexcept {
+    return static_cast<std::uint8_t>(matrix.apply(v) ^ constant);
+  }
+
+  /// Inverse affine map: x = M^-1 * (y + c).
+  constexpr Affine8 inverted() const noexcept {
+    const BitMatrix8 minv = matrix.inverse();
+    return Affine8{minv, minv.apply(constant)};
+  }
+};
+
+/// The Rijndael S-box affine layer (FIPS-197 §5.1.1): circulant matrix with
+/// first row bits {0,4,5,6,7} = 0xF1 and constant 0x63.
+inline constexpr Affine8 kSBoxAffine{BitMatrix8::circulant(0xF1), 0x63};
+
+}  // namespace aesip::gf

@@ -1,0 +1,118 @@
+#include "gf/composite.hpp"
+
+#include <stdexcept>
+
+#include "gf/gf256.hpp"
+
+namespace aesip::gf {
+
+namespace gf16 {
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) noexcept {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (b & 1U) p = static_cast<std::uint8_t>(p ^ a);
+    b = static_cast<std::uint8_t>(b >> 1);
+    const bool carry = (a & 0x8) != 0;
+    a = static_cast<std::uint8_t>((a << 1) & 0xf);
+    if (carry) a = static_cast<std::uint8_t>(a ^ 0x3);  // y^4 = y + 1
+  }
+  return p;
+}
+
+std::uint8_t inverse(std::uint8_t a) noexcept {
+  if (a == 0) return 0;
+  // a^14 = a^-1 in GF(16) (group order 15).
+  std::uint8_t r = 1;
+  for (int i = 0; i < 14; ++i) r = mul(r, a);
+  return r;
+}
+
+std::uint8_t square(std::uint8_t a) noexcept { return mul(a, a); }
+
+BitMatrix8 square_matrix() noexcept {
+  BitMatrix8 m;
+  for (int j = 0; j < 4; ++j) {
+    const std::uint8_t col = square(static_cast<std::uint8_t>(1U << j));
+    for (int i = 0; i < 4; ++i)
+      if ((col >> i) & 1U) m.set(i, j, true);
+  }
+  return m;
+}
+
+BitMatrix8 mul_matrix(std::uint8_t constant) noexcept {
+  BitMatrix8 m;
+  for (int j = 0; j < 4; ++j) {
+    const std::uint8_t col = mul(constant, static_cast<std::uint8_t>(1U << j));
+    for (int i = 0; i < 4; ++i)
+      if ((col >> i) & 1U) m.set(i, j, true);
+  }
+  return m;
+}
+
+}  // namespace gf16
+
+std::uint8_t CompositeField::mul(std::uint8_t a, std::uint8_t b) const noexcept {
+  const std::uint8_t ah = a >> 4, al = a & 0xf;
+  const std::uint8_t bh = b >> 4, bl = b & 0xf;
+  // (ah x + al)(bh x + bl) with x^2 = x + lambda.
+  const std::uint8_t hh = gf16::mul(ah, bh);
+  const std::uint8_t ch = static_cast<std::uint8_t>(hh ^ gf16::mul(ah, bl) ^ gf16::mul(al, bh));
+  const std::uint8_t cl = static_cast<std::uint8_t>(gf16::mul(hh, lambda_) ^ gf16::mul(al, bl));
+  return static_cast<std::uint8_t>((ch << 4) | cl);
+}
+
+std::uint8_t CompositeField::inverse(std::uint8_t a) const noexcept {
+  const std::uint8_t ah = a >> 4, al = a & 0xf;
+  const std::uint8_t d = static_cast<std::uint8_t>(gf16::mul(gf16::square(ah), lambda_) ^
+                                                   gf16::mul(ah, al) ^ gf16::square(al));
+  const std::uint8_t dinv = gf16::inverse(d);
+  const std::uint8_t rh = gf16::mul(ah, dinv);
+  const std::uint8_t rl = gf16::mul(static_cast<std::uint8_t>(ah ^ al), dinv);
+  return static_cast<std::uint8_t>((rh << 4) | rl);
+}
+
+CompositeField::CompositeField() : lambda_(0) {
+  // lambda making x^2 + x + lambda irreducible: lambda outside {t^2 + t}.
+  bool reducible[16] = {};
+  for (std::uint8_t t = 0; t < 16; ++t)
+    reducible[gf16::square(t) ^ t] = true;
+  for (std::uint8_t l = 1; l < 16 && lambda_ == 0; ++l)
+    if (!reducible[l]) lambda_ = l;
+  if (lambda_ == 0) throw std::logic_error("composite: no irreducible extension found");
+
+  // Find a root beta of the Rijndael polynomial z^8+z^4+z^3+z+1 in the
+  // tower; the algebra map X -> beta is then a field isomorphism.
+  std::uint8_t beta = 0;
+  for (int cand = 2; cand < 256; ++cand) {
+    const auto b = static_cast<std::uint8_t>(cand);
+    auto pw = [&](int e) {
+      std::uint8_t r = 1;
+      for (int i = 0; i < e; ++i) r = mul(r, b);
+      return r;
+    };
+    const std::uint8_t value = static_cast<std::uint8_t>(pw(8) ^ pw(4) ^ pw(3) ^ b ^ 1);
+    if (value == 0) {
+      beta = b;
+      break;
+    }
+  }
+  if (beta == 0) throw std::logic_error("composite: no root of the Rijndael polynomial");
+
+  // to_: column j = beta^j (the image of X^j).
+  std::uint8_t power = 1;
+  for (int j = 0; j < 8; ++j) {
+    for (int i = 0; i < 8; ++i)
+      if ((power >> i) & 1U) to_.set(i, j, true);
+    power = mul(power, beta);
+  }
+  from_ = to_.inverse();
+  if (!to_.invertible()) throw std::logic_error("composite: isomorphism not invertible");
+}
+
+const CompositeField& composite_field() {
+  static const CompositeField f;
+  return f;
+}
+
+}  // namespace aesip::gf

@@ -1,0 +1,75 @@
+// Composite-field decomposition GF(2^8) ~ GF((2^4)^2).
+//
+// The Rijndael inversion — the expensive part of the S-box — can be
+// computed in the isomorphic tower field GF((2^4)^2), where it reduces to
+// a handful of 4-bit operations:
+//
+//   (ah x + al)^-1 = ah d^-1 x + (ah + al) d^-1,
+//   d = lambda ah^2 + ah al + al^2,
+//
+// with GF(16) squaring and the lambda scaling *linear* over GF(2), and the
+// 16-entry GF(16) inverse small enough for a single 4-LUT per bit.  This
+// is the standard low-area S-box construction (Rijmen's note; Satoh et
+// al., ASIACRYPT 2001) — exactly the kind of optimization that would
+// shrink the paper's Cyclone logic S-boxes, and the gate generator in
+// netlist/synth uses this module's matrices and formulas.
+//
+// Everything is derived, not transcribed: the isomorphism is found by
+// locating a root of the Rijndael polynomial inside the tower field, and
+// the test suite pins the construction against the table S-box for all
+// 256 inputs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "gf/bitmatrix.hpp"
+
+namespace aesip::gf {
+
+/// GF(16) with polynomial y^4 + y + 1.
+namespace gf16 {
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) noexcept;
+std::uint8_t inverse(std::uint8_t a) noexcept;  // inverse(0) == 0
+std::uint8_t square(std::uint8_t a) noexcept;
+
+/// 4x4 GF(2) matrix of the (linear) squaring map.
+BitMatrix8 square_matrix() noexcept;
+/// 4x4 GF(2) matrix of multiplication by a constant.
+BitMatrix8 mul_matrix(std::uint8_t constant) noexcept;
+
+}  // namespace gf16
+
+/// The tower field and its isomorphism with the Rijndael field.
+class CompositeField {
+ public:
+  /// Builds the tower: picks the first lambda making x^2 + x + lambda
+  /// irreducible over GF(16), then finds a root of the Rijndael polynomial
+  /// to construct the isomorphism matrices.
+  CompositeField();
+
+  std::uint8_t lambda() const noexcept { return lambda_; }
+
+  /// Map a Rijndael-field byte into the tower representation
+  /// (high nibble = ah, low nibble = al) and back.
+  std::uint8_t to_composite(std::uint8_t a) const noexcept { return to_.apply(a); }
+  std::uint8_t from_composite(std::uint8_t a) const noexcept { return from_.apply(a); }
+
+  const BitMatrix8& to_matrix() const noexcept { return to_; }
+  const BitMatrix8& from_matrix() const noexcept { return from_; }
+
+  /// Field operations computed in the tower representation.
+  std::uint8_t mul(std::uint8_t a, std::uint8_t b) const noexcept;
+  std::uint8_t inverse(std::uint8_t a) const noexcept;
+
+ private:
+  std::uint8_t lambda_;
+  BitMatrix8 to_;    // Rijndael -> tower
+  BitMatrix8 from_;  // tower -> Rijndael
+};
+
+/// Shared instance (construction is a one-time search).
+const CompositeField& composite_field();
+
+}  // namespace aesip::gf

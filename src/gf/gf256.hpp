@@ -1,0 +1,122 @@
+// Galois-field GF(2^8) arithmetic for Rijndael.
+//
+// Rijndael interprets every byte as an element of GF(2^8) represented as a
+// polynomial over GF(2) reduced modulo the irreducible polynomial
+//
+//     m(x) = x^8 + x^4 + x^3 + x + 1   (0x11b)
+//
+// This module provides the field operations from first principles plus
+// constexpr-generated log/antilog tables for the fast paths used by the
+// reference cipher and by the gate-level synthesis generators.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace aesip::gf {
+
+/// The Rijndael reduction polynomial without the x^8 term (0x1b), i.e. the
+/// value XORed into the byte when the multiplication-by-x overflows.
+inline constexpr std::uint8_t kReductionLow = 0x1b;
+
+/// Multiply a field element by x ("xtime" in FIPS-197 terminology).
+/// A left shift followed by conditional reduction with m(x).
+constexpr std::uint8_t xtime(std::uint8_t a) noexcept {
+  return static_cast<std::uint8_t>((a << 1) ^ ((a >> 7) ? kReductionLow : 0));
+}
+
+/// Carry-less ("Russian peasant") multiplication in GF(2^8).
+/// Used as the reference implementation; O(8) per product and fully
+/// constexpr so all derived tables are computed at compile time.
+constexpr std::uint8_t mul_slow(std::uint8_t a, std::uint8_t b) noexcept {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1U) p = static_cast<std::uint8_t>(p ^ a);
+    b = static_cast<std::uint8_t>(b >> 1);
+    a = xtime(a);
+  }
+  return p;
+}
+
+namespace detail {
+
+/// 0x03 generates the multiplicative group of GF(2^8); exp/log tables are
+/// built by walking its powers once at compile time.
+struct ExpLogTables {
+  std::array<std::uint8_t, 512> exp{};  // doubled to avoid a mod-255
+  std::array<std::uint8_t, 256> log{};
+};
+
+constexpr ExpLogTables make_exp_log() noexcept {
+  ExpLogTables t{};
+  std::uint8_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[static_cast<std::size_t>(i)] = x;
+    t.exp[static_cast<std::size_t>(i) + 255] = x;
+    t.log[x] = static_cast<std::uint8_t>(i);
+    x = static_cast<std::uint8_t>(mul_slow(x, 0x03));
+  }
+  t.exp[510] = t.exp[0];
+  t.exp[511] = t.exp[1];
+  return t;
+}
+
+inline constexpr ExpLogTables kTables = make_exp_log();
+
+}  // namespace detail
+
+/// Addition in GF(2^8) is XOR (characteristic 2).
+constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) noexcept {
+  return static_cast<std::uint8_t>(a ^ b);
+}
+
+/// Table-driven multiplication: a*b = g^(log a + log b).
+constexpr std::uint8_t mul(std::uint8_t a, std::uint8_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  return detail::kTables
+      .exp[static_cast<std::size_t>(detail::kTables.log[a]) + detail::kTables.log[b]];
+}
+
+/// Multiplicative inverse; inverse(0) is defined as 0 (the Rijndael S-box
+/// convention, FIPS-197 §5.1.1).
+constexpr std::uint8_t inverse(std::uint8_t a) noexcept {
+  if (a == 0) return 0;
+  return detail::kTables.exp[255 - detail::kTables.log[a]];
+}
+
+/// a / b with b != 0. Division by zero returns 0 (never used by the cipher;
+/// kept total to stay constexpr-friendly).
+constexpr std::uint8_t div(std::uint8_t a, std::uint8_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  return detail::kTables
+      .exp[static_cast<std::size_t>(detail::kTables.log[a]) + 255 - detail::kTables.log[b]];
+}
+
+/// a^n by square-and-multiply.
+constexpr std::uint8_t pow(std::uint8_t a, unsigned n) noexcept {
+  std::uint8_t r = 1;
+  std::uint8_t base = a;
+  while (n != 0) {
+    if (n & 1U) r = mul(r, base);
+    base = mul(base, base);
+    n >>= 1U;
+  }
+  return r;
+}
+
+/// Round-constant generator: rcon(i) = x^(i-1) in GF(2^8), i >= 1.
+/// rcon(1)=0x01 ... rcon(10)=0x36 are the ten constants AES-128 consumes.
+constexpr std::uint8_t rcon(unsigned i) noexcept {
+  std::uint8_t r = 1;
+  for (unsigned k = 1; k < i; ++k) r = xtime(r);
+  return r;
+}
+
+/// Degree of the GF(2) polynomial representing `a` (-1 for a == 0).
+constexpr int degree(std::uint8_t a) noexcept {
+  for (int d = 7; d >= 0; --d)
+    if (a & (1U << d)) return d;
+  return -1;
+}
+
+}  // namespace aesip::gf

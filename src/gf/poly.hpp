@@ -1,0 +1,74 @@
+// Polynomials of degree < 4 over GF(2^8), modulo x^4 + 1.
+//
+// Rijndael's MixColumn treats each state column as the polynomial
+// a(x) = a3 x^3 + a2 x^2 + a1 x + a0 and multiplies it by the fixed
+// polynomial c(x) = 03 x^3 + 01 x^2 + 01 x + 02 modulo x^4 + 1
+// (FIPS-197 §5.1.3).  x^4 + 1 is not irreducible, but c(x) is chosen
+// coprime to it, so the map is invertible with inverse
+// d(x) = 0b x^3 + 0d x^2 + 09 x + 0e.
+//
+// This module implements the ring so MixColumn/InvMixColumn in the
+// reference cipher, the RTL model and the gate-level generators all derive
+// from one algebraic definition.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "gf/gf256.hpp"
+
+namespace aesip::gf {
+
+/// Element of GF(2^8)[x] / (x^4 + 1); coef[i] multiplies x^i.
+class ColumnPoly {
+ public:
+  constexpr ColumnPoly() noexcept : coef_{} {}
+  explicit constexpr ColumnPoly(const std::array<std::uint8_t, 4>& c) noexcept : coef_(c) {}
+  constexpr ColumnPoly(std::uint8_t c0, std::uint8_t c1, std::uint8_t c2,
+                       std::uint8_t c3) noexcept
+      : coef_{c0, c1, c2, c3} {}
+
+  constexpr std::uint8_t operator[](int i) const noexcept {
+    return coef_[static_cast<std::size_t>(i)];
+  }
+  constexpr std::uint8_t& operator[](int i) noexcept {
+    return coef_[static_cast<std::size_t>(i)];
+  }
+
+  constexpr ColumnPoly operator+(const ColumnPoly& rhs) const noexcept {
+    ColumnPoly out;
+    for (int i = 0; i < 4; ++i) out[i] = add((*this)[i], rhs[i]);
+    return out;
+  }
+
+  /// Product modulo x^4 + 1: result_i = sum over j of a_j * b_{(i-j) mod 4}.
+  constexpr ColumnPoly operator*(const ColumnPoly& rhs) const noexcept {
+    ColumnPoly out;
+    for (int i = 0; i < 4; ++i) {
+      std::uint8_t acc = 0;
+      for (int j = 0; j < 4; ++j)
+        acc = add(acc, mul((*this)[j], rhs[(i - j) & 3]));
+      out[i] = acc;
+    }
+    return out;
+  }
+
+  constexpr bool operator==(const ColumnPoly& rhs) const noexcept { return coef_ == rhs.coef_; }
+
+  /// Multiplicative identity of the ring.
+  static constexpr ColumnPoly one() noexcept { return ColumnPoly{1, 0, 0, 0}; }
+
+ private:
+  std::array<std::uint8_t, 4> coef_;
+};
+
+/// MixColumn multiplier c(x) = {02, 01, 01, 03}.
+inline constexpr ColumnPoly kMixColumnPoly{0x02, 0x01, 0x01, 0x03};
+
+/// InvMixColumn multiplier d(x) = {0e, 09, 0d, 0b}, with c(x)*d(x) = 1.
+inline constexpr ColumnPoly kInvMixColumnPoly{0x0e, 0x09, 0x0d, 0x0b};
+
+static_assert(kMixColumnPoly * kInvMixColumnPoly == ColumnPoly::one(),
+              "MixColumn polynomial must invert to the FIPS-197 d(x)");
+
+}  // namespace aesip::gf

@@ -1,0 +1,33 @@
+// Module: a hardware process in the simulation kernel.
+//
+// evaluate() models a combinational process (called repeatedly until the
+// signal network settles); tick() models a clocked process (called once per
+// rising edge, before any of that edge's signal commits, so every register
+// samples pre-edge values — standard synchronous semantics).
+#pragma once
+
+#include <string>
+
+namespace aesip::hdl {
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Combinational behaviour; must be idempotent given stable inputs.
+  virtual void evaluate() {}
+
+  /// Rising-edge behaviour (register updates).
+  virtual void tick() {}
+
+ private:
+  std::string name_;
+};
+
+}  // namespace aesip::hdl

@@ -1,0 +1,84 @@
+// Signals: the wires of the simulation kernel.
+//
+// The kernel uses two-phase (read-current / write-next) semantics.  During
+// a delta iteration every combinational process reads committed values and
+// writes proposed values; the simulator then commits all signals at once
+// and repeats until the network is stable.  This gives the same
+// evaluation-order independence a VHDL simulator provides — the property
+// the paper relies on when it says the Data_In / Rijndael / Out "processes"
+// execute independently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace aesip::hdl {
+
+class Simulator;
+
+class SignalBase {
+ public:
+  SignalBase(Simulator& sim, std::string name, int bits);
+  virtual ~SignalBase() = default;
+
+  SignalBase(const SignalBase&) = delete;
+  SignalBase& operator=(const SignalBase&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  int bits() const noexcept { return bits_; }
+
+  /// Move the proposed value into the committed slot; true if it changed.
+  virtual bool commit() noexcept = 0;
+
+  /// Committed value rendered as hex, for VCD tracing.
+  virtual std::string trace_hex() const = 0;
+
+ private:
+  std::string name_;
+  int bits_;
+};
+
+namespace detail {
+std::string to_trace_hex(bool v);
+std::string to_trace_hex(std::uint8_t v);
+std::string to_trace_hex(std::uint32_t v);
+std::string to_trace_hex(std::uint64_t v);
+}  // namespace detail
+
+/// A typed signal. T needs operator== and (for tracing) a hex rendering;
+/// bool, uint8/32/64 and Word128 are supported out of the box.
+template <typename T>
+class Signal final : public SignalBase {
+ public:
+  Signal(Simulator& sim, std::string name, int bits, T initial = T{})
+      : SignalBase(sim, std::move(name), bits), cur_(initial), next_(initial) {}
+
+  /// Committed value (what every process sees this delta).
+  const T& read() const noexcept { return cur_; }
+
+  /// Propose a value for the next delta.
+  void write(const T& v) noexcept { next_ = v; }
+
+  /// Set both phases at once — initialization/reset only.
+  void force(const T& v) noexcept { cur_ = v; next_ = v; }
+
+  bool commit() noexcept override {
+    if (next_ == cur_) return false;
+    cur_ = next_;
+    return true;
+  }
+
+  std::string trace_hex() const override {
+    if constexpr (requires(const T& t) { t.to_hex(); })
+      return cur_.to_hex();
+    else
+      return detail::to_trace_hex(cur_);
+  }
+
+ private:
+  T cur_;
+  T next_;
+};
+
+}  // namespace aesip::hdl

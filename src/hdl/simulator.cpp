@@ -1,0 +1,53 @@
+#include "hdl/simulator.hpp"
+
+#include <stdexcept>
+
+#include "hdl/vcd.hpp"
+
+namespace aesip::hdl {
+
+SignalBase::SignalBase(Simulator& sim, std::string name, int bits)
+    : name_(std::move(name)), bits_(bits) {
+  sim.add_signal(*this);
+}
+
+namespace detail {
+namespace {
+std::string hex_of(std::uint64_t v, int digits) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(static_cast<std::size_t>(digits), '0');
+  for (int i = digits - 1; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_trace_hex(bool v) { return v ? "1" : "0"; }
+std::string to_trace_hex(std::uint8_t v) { return hex_of(v, 2); }
+std::string to_trace_hex(std::uint32_t v) { return hex_of(v, 8); }
+std::string to_trace_hex(std::uint64_t v) { return hex_of(v, 16); }
+}  // namespace detail
+
+void Simulator::settle() {
+  for (int delta = 0; delta < kMaxDeltas; ++delta) {
+    for (Module* m : modules_) m->evaluate();
+    bool changed = false;
+    for (SignalBase* s : signals_)
+      changed = s->commit() || changed;
+    if (!changed) return;
+  }
+  throw std::runtime_error("hdl::Simulator: combinational network did not settle");
+}
+
+void Simulator::step() {
+  settle();
+  for (Module* m : modules_) m->tick();
+  for (SignalBase* s : signals_) s->commit();
+  settle();
+  ++cycle_;
+  if (vcd_) vcd_->sample(cycle_);
+}
+
+}  // namespace aesip::hdl

@@ -1,0 +1,64 @@
+// The synchronous simulation kernel.
+//
+// One step() is a full clock cycle:
+//   1. settle combinational logic (delta loop: evaluate all, commit all,
+//      repeat until no signal changes),
+//   2. rising edge: tick() every module — registers sample pre-edge values,
+//   3. settle again so post-edge combinational outputs are visible.
+//
+// A delta-loop that does not converge within kMaxDeltas indicates a
+// combinational cycle in the model and raises an error instead of hanging.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdl/module.hpp"
+#include "hdl/signal.hpp"
+
+namespace aesip::hdl {
+
+class VcdWriter;
+
+class Simulator {
+ public:
+  static constexpr int kMaxDeltas = 64;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Modules and signals register themselves; lifetime is the caller's
+  /// responsibility and must cover the simulator's use.
+  void add_module(Module& m) { modules_.push_back(&m); }
+  void add_signal(SignalBase& s) { signals_.push_back(&s); }
+
+  /// Attach a VCD trace sink (optional; may be null to detach).
+  void set_vcd(VcdWriter* vcd) noexcept { vcd_ = vcd; }
+
+  /// Settle the combinational network without advancing the clock —
+  /// used after forcing inputs mid-cycle. Throws std::runtime_error on a
+  /// non-converging (cyclic) network.
+  void settle();
+
+  /// Advance one full clock cycle.
+  void step();
+
+  /// Advance n cycles.
+  void run(std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) step();
+  }
+
+  std::uint64_t cycle() const noexcept { return cycle_; }
+
+  const std::vector<SignalBase*>& signals() const noexcept { return signals_; }
+
+ private:
+  std::vector<Module*> modules_;
+  std::vector<SignalBase*> signals_;
+  VcdWriter* vcd_ = nullptr;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace aesip::hdl

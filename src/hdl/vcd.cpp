@@ -1,0 +1,64 @@
+#include "hdl/vcd.hpp"
+
+#include "hdl/signal.hpp"
+#include "hdl/simulator.hpp"
+
+namespace aesip::hdl {
+
+namespace {
+
+/// Short printable identifier for signal index i ('!'..'~', then 2 chars…).
+std::string vcd_id(std::size_t i) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + i % 94));
+    i /= 94;
+  } while (i != 0);
+  return id;
+}
+
+/// Hex string -> VCD binary digits (no leading-zero trimming; harmless).
+std::string hex_to_bin(const std::string& hex) {
+  std::string out;
+  out.reserve(hex.size() * 4);
+  for (char c : hex) {
+    const int v = (c >= 'a') ? c - 'a' + 10 : c - '0';
+    for (int bit = 3; bit >= 0; --bit) out.push_back((v >> bit) & 1 ? '1' : '0');
+  }
+  return out;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(Simulator& sim, std::ostream& out, std::string top_name) : out_(out) {
+  out_ << "$timescale 1ns $end\n$scope module " << top_name << " $end\n";
+  std::size_t i = 0;
+  for (SignalBase* s : sim.signals()) {
+    Entry e{s, vcd_id(i++), ""};
+    out_ << "$var wire " << s->bits() << " " << e.id << " " << s->name() << " $end\n";
+    entries_.push_back(std::move(e));
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  sim.set_vcd(this);
+  sample(0);
+}
+
+void VcdWriter::sample(std::uint64_t time) {
+  bool header_written = false;
+  for (Entry& e : entries_) {
+    std::string hex = e.signal->trace_hex();
+    if (hex == e.last_hex) continue;
+    if (!header_written) {
+      out_ << '#' << time << '\n';
+      header_written = true;
+    }
+    if (e.signal->bits() == 1) {
+      out_ << (hex == "1" ? '1' : '0') << e.id << '\n';
+    } else {
+      out_ << 'b' << hex_to_bin(hex) << ' ' << e.id << '\n';
+    }
+    e.last_hex = std::move(hex);
+  }
+}
+
+}  // namespace aesip::hdl

@@ -1,0 +1,43 @@
+// Minimal VCD (value change dump) writer.
+//
+// Emits a standard four-state-free dump of every registered signal so the
+// simulated IP can be inspected in GTKWave & co — the ModelSim-replacement
+// piece of the reproduction flow.  One timestep per clock cycle.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aesip::hdl {
+
+class Simulator;
+class SignalBase;
+
+class VcdWriter {
+ public:
+  /// Binds to `sim`'s current signal set and writes the header immediately.
+  /// `out` must outlive the writer.
+  VcdWriter(Simulator& sim, std::ostream& out, std::string top_name = "aes_ip");
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Dump all signals whose value changed since the previous sample.
+  /// Called by Simulator::step(); may also be called manually after
+  /// settle() to capture a mid-cycle view.
+  void sample(std::uint64_t time);
+
+ private:
+  struct Entry {
+    SignalBase* signal;
+    std::string id;
+    std::string last_hex;
+  };
+
+  std::ostream& out_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace aesip::hdl

@@ -1,0 +1,35 @@
+#include "hdl/word128.hpp"
+
+#include <stdexcept>
+
+namespace aesip::hdl {
+
+namespace {
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("Word128::from_hex: bad hex digit");
+}
+}  // namespace
+
+Word128 Word128::from_hex(std::string_view hex) {
+  if (hex.size() != 32) throw std::invalid_argument("Word128::from_hex: need 32 digits");
+  Word128 w;
+  for (std::size_t i = 0; i < 16; ++i)
+    w.b[i] = static_cast<std::uint8_t>((hex_digit(hex[2 * i]) << 4) | hex_digit(hex[2 * i + 1]));
+  return w;
+}
+
+std::string Word128::to_hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (const std::uint8_t byte : b) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace aesip::hdl

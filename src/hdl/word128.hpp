@@ -1,0 +1,58 @@
+// 128-bit bus value for the RTL model.
+//
+// The IP's `din`/`dout` buses and the state/key registers are 128 bits
+// wide.  Bytes are kept in FIPS order (byte 0 = first byte on the wire =
+// state(0,0)); 32-bit "columns" follow State::column_word packing, so the
+// RTL model and the reference library exchange values without reshuffling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace aesip::hdl {
+
+struct Word128 {
+  std::array<std::uint8_t, 16> b{};
+
+  static Word128 from_bytes(std::span<const std::uint8_t> s) noexcept {
+    Word128 w;
+    for (std::size_t i = 0; i < 16; ++i) w.b[i] = s[i];
+    return w;
+  }
+
+  /// Parse exactly 32 hex digits (test convenience).
+  static Word128 from_hex(std::string_view hex);
+
+  void store(std::span<std::uint8_t> out) const noexcept {
+    for (std::size_t i = 0; i < 16; ++i) out[i] = b[i];
+  }
+
+  /// Column c (bytes 4c..4c+3) as a word, byte 4c in the low 8 bits.
+  std::uint32_t column(int c) const noexcept {
+    const std::size_t o = static_cast<std::size_t>(4 * c);
+    return static_cast<std::uint32_t>(b[o]) | (static_cast<std::uint32_t>(b[o + 1]) << 8) |
+           (static_cast<std::uint32_t>(b[o + 2]) << 16) |
+           (static_cast<std::uint32_t>(b[o + 3]) << 24);
+  }
+  void set_column(int c, std::uint32_t w) noexcept {
+    const std::size_t o = static_cast<std::size_t>(4 * c);
+    b[o] = static_cast<std::uint8_t>(w);
+    b[o + 1] = static_cast<std::uint8_t>(w >> 8);
+    b[o + 2] = static_cast<std::uint8_t>(w >> 16);
+    b[o + 3] = static_cast<std::uint8_t>(w >> 24);
+  }
+
+  friend Word128 operator^(const Word128& x, const Word128& y) noexcept {
+    Word128 r;
+    for (std::size_t i = 0; i < 16; ++i) r.b[i] = static_cast<std::uint8_t>(x.b[i] ^ y.b[i]);
+    return r;
+  }
+
+  bool operator==(const Word128&) const noexcept = default;
+
+  std::string to_hex() const;
+};
+
+}  // namespace aesip::hdl

@@ -1,0 +1,312 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace aesip::netlist {
+
+int Cell::fanin_count() const noexcept {
+  switch (kind) {
+    case CellKind::kConst0:
+    case CellKind::kConst1:
+      return 0;
+    case CellKind::kNot:
+      return 1;
+    case CellKind::kAnd2:
+    case CellKind::kOr2:
+    case CellKind::kXor2:
+      return 2;
+    case CellKind::kMux2:
+      return 3;
+    case CellKind::kLut:
+      return lut_arity;
+    case CellKind::kDff:
+      return in[1] == kNoNet ? 1 : 2;
+  }
+  return 0;
+}
+
+Netlist::Netlist() {
+  const0_ = new_net();
+  const1_ = new_net();
+  Cell c0{CellKind::kConst0, {}, const0_, 0, 0};
+  Cell c1{CellKind::kConst1, {}, const1_, 0, 0};
+  driver_[const0_] = static_cast<std::int32_t>(cells_.size());
+  cells_.push_back(c0);
+  driver_[const1_] = static_cast<std::int32_t>(cells_.size());
+  cells_.push_back(c1);
+}
+
+NetId Netlist::new_net() {
+  const NetId id = static_cast<NetId>(net_names_.size());
+  net_names_.emplace_back();
+  driver_.push_back(-1);
+  return id;
+}
+
+NetId Netlist::add_input(std::string name) {
+  const NetId id = new_net();
+  inputs_.push_back(PortBit{std::move(name), id});
+  return id;
+}
+
+void Netlist::add_output(NetId n, std::string name) {
+  outputs_.push_back(PortBit{std::move(name), n});
+}
+
+Bus Netlist::add_input_bus(const std::string& name, int width) {
+  Bus b;
+  b.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) b.push_back(add_input(name + "[" + std::to_string(i) + "]"));
+  return b;
+}
+
+void Netlist::add_output_bus(const Bus& b, const std::string& name) {
+  for (std::size_t i = 0; i < b.size(); ++i)
+    add_output(b[i], name + "[" + std::to_string(i) + "]");
+}
+
+NetId Netlist::add_cell(CellKind kind, NetId a, NetId b, NetId c) {
+  const NetId out = new_net();
+  Cell cell{kind, {a, b, c, kNoNet}, out, 0, 0};
+  driver_[out] = static_cast<std::int32_t>(cells_.size());
+  cells_.push_back(cell);
+  return out;
+}
+
+NetId Netlist::gate_not(NetId a) { return add_cell(CellKind::kNot, a); }
+NetId Netlist::gate_and(NetId a, NetId b) { return add_cell(CellKind::kAnd2, a, b); }
+NetId Netlist::gate_or(NetId a, NetId b) { return add_cell(CellKind::kOr2, a, b); }
+NetId Netlist::gate_xor(NetId a, NetId b) { return add_cell(CellKind::kXor2, a, b); }
+NetId Netlist::gate_mux(NetId sel, NetId lo, NetId hi) {
+  return add_cell(CellKind::kMux2, sel, lo, hi);
+}
+
+NetId Netlist::add_lut(std::uint16_t mask, std::span<const NetId> inputs) {
+  if (inputs.size() > 4) throw std::invalid_argument("netlist: LUT arity > 4");
+  const NetId out = new_net();
+  Cell cell{CellKind::kLut, {kNoNet, kNoNet, kNoNet, kNoNet}, out, mask,
+            static_cast<std::uint8_t>(inputs.size())};
+  for (std::size_t i = 0; i < inputs.size(); ++i) cell.in[i] = inputs[i];
+  driver_[out] = static_cast<std::int32_t>(cells_.size());
+  cells_.push_back(cell);
+  return out;
+}
+
+NetId Netlist::add_dff(NetId d, NetId enable) {
+  return add_cell(CellKind::kDff, d, enable);
+}
+
+void Netlist::add_dff_with_out(NetId out, NetId d, NetId enable) {
+  Cell cell{CellKind::kDff, {d, enable, kNoNet, kNoNet}, out, 0, 0};
+  driver_[out] = static_cast<std::int32_t>(cells_.size());
+  cells_.push_back(cell);
+}
+
+Bus Netlist::add_rom(const std::array<std::uint8_t, 256>& table, const Bus& addr,
+                     std::string name) {
+  if (addr.size() != 8) throw std::invalid_argument("netlist: ROM address must be 8 bits");
+  Rom rom;
+  rom.table = table;
+  rom.name = std::move(name);
+  Bus out;
+  for (int i = 0; i < 8; ++i) {
+    rom.addr[static_cast<std::size_t>(i)] = addr[static_cast<std::size_t>(i)];
+    const NetId o = new_net();
+    rom.out[static_cast<std::size_t>(i)] = o;
+    out.push_back(o);
+  }
+  roms_.push_back(std::move(rom));
+  return out;
+}
+
+NetId Netlist::xor_tree(std::span<const NetId> nets) {
+  if (nets.empty()) return const0();
+  std::vector<NetId> level(nets.begin(), nets.end());
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    next.reserve(level.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(gate_xor(level[i], level[i + 1]));
+    if (level.size() % 2 != 0) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+Bus Netlist::xor_bus(const Bus& a, const Bus& b) {
+  assert(a.size() == b.size());
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(gate_xor(a[i], b[i]));
+  return out;
+}
+
+Bus Netlist::mux_bus(NetId sel, const Bus& lo, const Bus& hi) {
+  assert(lo.size() == hi.size());
+  Bus out;
+  out.reserve(lo.size());
+  for (std::size_t i = 0; i < lo.size(); ++i) out.push_back(gate_mux(sel, lo[i], hi[i]));
+  return out;
+}
+
+Bus Netlist::mux_n(const Bus& select, std::span<const Bus> choices) {
+  if (choices.empty()) throw std::invalid_argument("netlist: mux_n with no choices");
+  if (choices.size() == 1) return choices[0];
+  if (select.empty()) throw std::invalid_argument("netlist: mux_n select too narrow");
+  // Split on the top select bit at its binary weight; selects beyond the
+  // number of choices are undefined (as in synthesized RTL case statements).
+  const Bus lower_sel(select.begin(), select.end() - 1);
+  const std::size_t half = std::size_t{1} << lower_sel.size();
+  if (choices.size() <= half) return mux_n(lower_sel, choices);
+  const Bus lo = mux_n(lower_sel, choices.subspan(0, half));
+  const Bus hi = mux_n(lower_sel, choices.subspan(half));
+  return mux_bus(select.back(), lo, hi);
+}
+
+Bus Netlist::constant_bus(std::uint64_t value, int width) {
+  Bus out;
+  out.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i)
+    out.push_back(((value >> i) & 1U) ? const1() : const0());
+  return out;
+}
+
+Bus Netlist::xor_const(const Bus& a, std::uint64_t value) {
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out.push_back(((value >> i) & 1U) ? gate_not(a[i]) : a[i]);
+  return out;
+}
+
+NetId Netlist::eq_const(const Bus& a, std::uint64_t value) {
+  std::vector<NetId> terms;
+  terms.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    terms.push_back(((value >> i) & 1U) ? a[i] : gate_not(a[i]));
+  // AND tree
+  while (terms.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2)
+      next.push_back(gate_and(terms[i], terms[i + 1]));
+    if (terms.size() % 2 != 0) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms.empty() ? const1() : terms[0];
+}
+
+Bus Netlist::increment(const Bus& a) {
+  Bus out;
+  out.reserve(a.size());
+  NetId carry = const1();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(gate_xor(a[i], carry));
+    if (i + 1 < a.size()) carry = gate_and(a[i], carry);
+  }
+  return out;
+}
+
+Bus Netlist::dff_bus(const Bus& d, NetId enable) {
+  Bus q;
+  q.reserve(d.size());
+  for (const NetId n : d) q.push_back(add_dff(n, enable));
+  return q;
+}
+
+std::vector<std::string> Netlist::validate() const {
+  std::vector<std::string> problems;
+  const NetId n = static_cast<NetId>(net_count());
+
+  // Driver bookkeeping: driver_ covers cells; ROM outputs and inputs are
+  // driver -1.  Detect nets claimed by both a cell and a ROM, or by two
+  // ROMs, and dangling fanins.
+  std::vector<std::uint8_t> driven(net_count(), 0);
+  for (const Cell& c : cells_) {
+    if (c.out >= n) {
+      problems.push_back("cell output net out of range");
+      continue;
+    }
+    if (driven[c.out]) problems.push_back("net " + std::to_string(c.out) + " driven twice");
+    driven[c.out] = 1;
+    for (int k = 0; k < c.fanin_count(); ++k) {
+      const NetId f = c.in[static_cast<std::size_t>(k)];
+      if (f != kNoNet && f >= n)
+        problems.push_back("cell fanin net " + std::to_string(f) + " out of range");
+    }
+  }
+  for (const Rom& rom : roms_) {
+    for (const NetId a : rom.addr)
+      if (a >= n) problems.push_back("ROM address net out of range");
+    for (const NetId o : rom.out) {
+      if (o >= n) {
+        problems.push_back("ROM output net out of range");
+        continue;
+      }
+      if (driven[o]) problems.push_back("net " + std::to_string(o) + " driven twice (ROM)");
+      driven[o] = 1;
+    }
+  }
+  std::vector<std::uint8_t> is_input(net_count(), 0);
+  for (const auto& pi : inputs_) {
+    if (pi.net >= n) {
+      problems.push_back("input port net out of range");
+      continue;
+    }
+    if (driven[pi.net])
+      problems.push_back("primary input '" + pi.name + "' is also cell-driven");
+    is_input[pi.net] = 1;
+  }
+
+  // Every used net must have some driver.
+  auto check_use = [&](NetId f, const std::string& what) {
+    if (f == kNoNet || f >= n) return;
+    if (!driven[f] && !is_input[f])
+      problems.push_back(what + " reads undriven net " + std::to_string(f));
+  };
+  for (const Cell& c : cells_)
+    for (int k = 0; k < c.fanin_count(); ++k)
+      check_use(c.in[static_cast<std::size_t>(k)], "cell");
+  for (const Rom& rom : roms_)
+    for (const NetId a : rom.addr) check_use(a, "ROM");
+  for (const auto& po : outputs_) check_use(po.net, "output '" + po.name + "'");
+
+  // Unique port names.
+  std::vector<std::string> names;
+  for (const auto& pi : inputs_) names.push_back("in:" + pi.name);
+  for (const auto& po : outputs_) names.push_back("out:" + po.name);
+  std::sort(names.begin(), names.end());
+  for (std::size_t i = 1; i < names.size(); ++i)
+    if (names[i] == names[i - 1]) problems.push_back("duplicate port " + names[i]);
+
+  return problems;
+}
+
+Netlist::Stats Netlist::stats() const noexcept {
+  Stats s;
+  for (const Cell& c : cells_) {
+    switch (c.kind) {
+      case CellKind::kNot:
+      case CellKind::kAnd2:
+      case CellKind::kOr2:
+      case CellKind::kXor2:
+      case CellKind::kMux2:
+        ++s.gates;
+        break;
+      case CellKind::kLut:
+        ++s.luts;
+        break;
+      case CellKind::kDff:
+        ++s.dffs;
+        break;
+      default:
+        break;
+    }
+  }
+  s.roms = roms_.size();
+  s.rom_bits = roms_.size() * 2048;
+  return s;
+}
+
+}  // namespace aesip::netlist

@@ -1,0 +1,156 @@
+// Gate-level netlist: the synthesis target of the reproduction flow.
+//
+// The paper's LC/memory numbers come from Leonardo Spectrum + Quartus II.
+// We replace that flow with: RTL-structure generators emit primitive gates
+// (NOT/AND2/OR2/XOR2/MUX2), flip-flops, pre-mapped LUT cells and 256x8 ROM
+// macros into this netlist; techmap covers the gates into 4-input LUTs;
+// sta levelizes the mapped result; fpga fits it onto a device model.
+//
+// Nets are dense integer ids.  Every net has at most one driver.  A
+// combinational/sequential evaluator is included so each synthesized block
+// can be verified bit-for-bit against the reference library before its
+// area/timing is trusted.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace aesip::netlist {
+
+using NetId = std::uint32_t;
+inline constexpr NetId kNoNet = std::numeric_limits<NetId>::max();
+
+enum class CellKind : std::uint8_t {
+  kConst0,
+  kConst1,
+  kNot,
+  kAnd2,
+  kOr2,
+  kXor2,
+  kMux2,  ///< in0 = select, out = sel ? in2 : in1
+  kLut,   ///< pre-mapped: <=4 inputs, 16-bit truth table
+  kDff,   ///< in0 = D; out = Q. Optional in1 = clock-enable (kNoNet if always).
+};
+
+struct Cell {
+  CellKind kind;
+  std::array<NetId, 4> in{kNoNet, kNoNet, kNoNet, kNoNet};
+  NetId out = kNoNet;
+  std::uint16_t lut_mask = 0;  ///< kLut only: truth table over in[0..n)
+  std::uint8_t lut_arity = 0;  ///< kLut only
+
+  int fanin_count() const noexcept;
+};
+
+/// 256-entry byte ROM macro (one hardware S-box: 2048 bits).
+struct Rom {
+  std::array<NetId, 8> addr{};  ///< addr[0] = LSB
+  std::array<NetId, 8> out{};   ///< out[0] = LSB of the stored byte
+  std::array<std::uint8_t, 256> table{};
+  std::string name;
+};
+
+/// A bus is an ordered list of nets, bit 0 first.
+using Bus = std::vector<NetId>;
+
+class Netlist {
+ public:
+  Netlist();
+
+  // --- construction -------------------------------------------------------
+  NetId new_net();
+  NetId const0() const noexcept { return const0_; }
+  NetId const1() const noexcept { return const1_; }
+
+  /// Primary input/output (each costs a device pin).
+  NetId add_input(std::string name);
+  void add_output(NetId n, std::string name);
+  Bus add_input_bus(const std::string& name, int width);
+  void add_output_bus(const Bus& b, const std::string& name);
+
+  NetId gate_not(NetId a);
+  NetId gate_and(NetId a, NetId b);
+  NetId gate_or(NetId a, NetId b);
+  NetId gate_xor(NetId a, NetId b);
+  /// sel ? hi : lo
+  NetId gate_mux(NetId sel, NetId lo, NetId hi);
+  NetId add_lut(std::uint16_t mask, std::span<const NetId> inputs);
+  /// D flip-flop; `enable` == kNoNet means always-enabled.
+  NetId add_dff(NetId d, NetId enable = kNoNet);
+  /// D flip-flop driving a pre-allocated net (used for feedback paths and
+  /// by the technology mapper, which must create Q nets before D cones).
+  void add_dff_with_out(NetId out, NetId d, NetId enable = kNoNet);
+  /// ROM macro; returns the 8 output nets.
+  Bus add_rom(const std::array<std::uint8_t, 256>& table, const Bus& addr, std::string name);
+
+  // --- bus helpers ---------------------------------------------------------
+  /// XOR of all nets (balanced tree); empty input yields const0.
+  NetId xor_tree(std::span<const NetId> nets);
+  Bus xor_bus(const Bus& a, const Bus& b);
+  Bus mux_bus(NetId sel, const Bus& lo, const Bus& hi);
+  /// N-way mux from a binary select bus (recursively built from mux2).
+  Bus mux_n(const Bus& select, std::span<const Bus> choices);
+  Bus constant_bus(std::uint64_t value, int width);
+  /// a XOR constant: free bits where the constant is 0, NOT gates where 1.
+  Bus xor_const(const Bus& a, std::uint64_t value);
+  /// Equality comparator against a constant (AND tree over bit tests).
+  NetId eq_const(const Bus& a, std::uint64_t value);
+  /// value + 1 (ripple half-adder chain), wrapping.
+  Bus increment(const Bus& a);
+  /// Registered bus.
+  Bus dff_bus(const Bus& d, NetId enable = kNoNet);
+
+  // --- inspection ----------------------------------------------------------
+  std::size_t net_count() const noexcept { return net_names_.size(); }
+  const std::vector<Cell>& cells() const noexcept { return cells_; }
+  const std::vector<Rom>& roms() const noexcept { return roms_; }
+
+  struct PortBit {
+    std::string name;
+    NetId net;
+  };
+  const std::vector<PortBit>& inputs() const noexcept { return inputs_; }
+  const std::vector<PortBit>& outputs() const noexcept { return outputs_; }
+
+  /// Pin count = primary input bits + primary output bits.
+  int pin_count() const noexcept {
+    return static_cast<int>(inputs_.size() + outputs_.size());
+  }
+
+  struct Stats {
+    std::size_t gates = 0;  ///< primitive logic gates (pre-mapping)
+    std::size_t luts = 0;   ///< pre-mapped LUT cells
+    std::size_t dffs = 0;
+    std::size_t roms = 0;
+    std::size_t rom_bits = 0;
+  };
+  Stats stats() const noexcept;
+
+  /// Driving cell index of a net, or -1 for inputs/constants/ROM outputs.
+  const std::vector<std::int32_t>& driver() const noexcept { return driver_; }
+
+  /// Structural well-formedness check: every cell/ROM/output fanin refers
+  /// to an existing net, every used net has a driver (cell, ROM, primary
+  /// input — or a flip-flop output), no net is driven twice, and port
+  /// names are unique.  Returns a list of human-readable problems (empty =
+  /// valid).  Run by tests after every construction/transformation path.
+  std::vector<std::string> validate() const;
+
+ private:
+  NetId add_cell(CellKind kind, NetId a, NetId b = kNoNet, NetId c = kNoNet);
+
+  std::vector<Cell> cells_;
+  std::vector<Rom> roms_;
+  std::vector<std::string> net_names_;  // sized = net count (names unused, reserved)
+  std::vector<std::int32_t> driver_;
+  std::vector<PortBit> inputs_;
+  std::vector<PortBit> outputs_;
+  NetId const0_;
+  NetId const1_;
+};
+
+}  // namespace aesip::netlist

@@ -1,0 +1,292 @@
+#include "netlist/synth.hpp"
+
+#include "gf/bitmatrix.hpp"
+#include "gf/composite.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace aesip::netlist {
+
+Bus byte_of(const Bus& bus, int k) {
+  Bus out;
+  out.reserve(8);
+  for (int b = 0; b < 8; ++b) out.push_back(bus[static_cast<std::size_t>(8 * k + b)]);
+  return out;
+}
+
+Bus concat(const Bus& a, const Bus& b) {
+  Bus out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Bus synth_xtime(Netlist& nl, const Bus& a) {
+  assert(a.size() == 8);
+  const NetId msb = a[7];
+  // out = (a << 1) ^ (msb ? 0x1b : 0); 0x1b has bits 0,1,3,4.
+  Bus out(8, kNoNet);
+  out[0] = msb;
+  out[1] = nl.gate_xor(a[0], msb);
+  out[2] = a[1];
+  out[3] = nl.gate_xor(a[2], msb);
+  out[4] = nl.gate_xor(a[3], msb);
+  out[5] = a[4];
+  out[6] = a[5];
+  out[7] = a[6];
+  return out;
+}
+
+namespace {
+
+/// Bytewise XOR of several byte-buses via balanced trees.
+Bus xor_bytes(Netlist& nl, std::span<const Bus> terms) {
+  Bus out;
+  out.reserve(8);
+  std::vector<NetId> bits(terms.size());
+  for (int b = 0; b < 8; ++b) {
+    for (std::size_t t = 0; t < terms.size(); ++t) bits[t] = terms[t][static_cast<std::size_t>(b)];
+    out.push_back(nl.xor_tree(bits));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::array<Bus, 4> synth_mix_column(Netlist& nl, const std::array<Bus, 4>& a, bool inverse) {
+  std::array<Bus, 4> out;
+  if (!inverse) {
+    // b_i = a_i ^ t ^ xtime(a_i ^ a_{i+1}),  t = a0^a1^a2^a3.
+    const Bus t01 = nl.xor_bus(a[0], a[1]);
+    const Bus t23 = nl.xor_bus(a[2], a[3]);
+    const Bus t = nl.xor_bus(t01, t23);
+    for (int i = 0; i < 4; ++i) {
+      const Bus pair = nl.xor_bus(a[static_cast<std::size_t>(i)],
+                                  a[static_cast<std::size_t>((i + 1) & 3)]);
+      const Bus xt = synth_xtime(nl, pair);
+      const std::array<Bus, 3> terms{a[static_cast<std::size_t>(i)], t, xt};
+      out[static_cast<std::size_t>(i)] = xor_bytes(nl, terms);
+    }
+    return out;
+  }
+  // Inverse: shared doubling chains, 0e = 8^4^2, 0b = 8^2^1, 0d = 8^4^1,
+  // 09 = 8^1; row i of the inverse matrix is {0e,0b,0d,09} rotated right i.
+  std::array<Bus, 4> x2, x4, x8;
+  for (int i = 0; i < 4; ++i) {
+    x2[static_cast<std::size_t>(i)] = synth_xtime(nl, a[static_cast<std::size_t>(i)]);
+    x4[static_cast<std::size_t>(i)] = synth_xtime(nl, x2[static_cast<std::size_t>(i)]);
+    x8[static_cast<std::size_t>(i)] = synth_xtime(nl, x4[static_cast<std::size_t>(i)]);
+  }
+  auto mul_by = [&](std::uint8_t coef, int i) -> Bus {
+    std::vector<Bus> terms;
+    if (coef & 0x8) terms.push_back(x8[static_cast<std::size_t>(i)]);
+    if (coef & 0x4) terms.push_back(x4[static_cast<std::size_t>(i)]);
+    if (coef & 0x2) terms.push_back(x2[static_cast<std::size_t>(i)]);
+    if (coef & 0x1) terms.push_back(a[static_cast<std::size_t>(i)]);
+    return xor_bytes(nl, terms);
+  };
+  constexpr std::uint8_t kInv[4] = {0x0e, 0x0b, 0x0d, 0x09};
+  for (int i = 0; i < 4; ++i) {
+    std::array<Bus, 4> terms;
+    for (int j = 0; j < 4; ++j)
+      terms[static_cast<std::size_t>(j)] = mul_by(kInv[(j - i) & 3], j);
+    out[static_cast<std::size_t>(i)] =
+        xor_bytes(nl, std::span<const Bus>(terms.data(), terms.size()));
+  }
+  return out;
+}
+
+Bus synth_mix_columns128(Netlist& nl, const Bus& state, bool inverse) {
+  assert(state.size() == 128);
+  Bus out;
+  out.reserve(128);
+  for (int c = 0; c < 4; ++c) {
+    const std::array<Bus, 4> col{byte_of(state, 4 * c), byte_of(state, 4 * c + 1),
+                                 byte_of(state, 4 * c + 2), byte_of(state, 4 * c + 3)};
+    const std::array<Bus, 4> mixed = synth_mix_column(nl, col, inverse);
+    for (const Bus& byte : mixed) out.insert(out.end(), byte.begin(), byte.end());
+  }
+  return out;
+}
+
+Bus synth_shift_rows128(const Bus& state, bool inverse) {
+  assert(state.size() == 128);
+  Bus out(128, kNoNet);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) {
+      const int src_c = inverse ? (c + 4 - r) & 3 : (c + r) & 3;
+      for (int b = 0; b < 8; ++b)
+        out[static_cast<std::size_t>(8 * (4 * c + r) + b)] =
+            state[static_cast<std::size_t>(8 * (4 * src_c + r) + b)];
+    }
+  return out;
+}
+
+Bus synth_sbox_rom(Netlist& nl, const std::array<std::uint8_t, 256>& table, const Bus& addr,
+                   std::string name) {
+  return nl.add_rom(table, addr, std::move(name));
+}
+
+Bus synth_sbox_logic(Netlist& nl, const std::array<std::uint8_t, 256>& table, const Bus& addr) {
+  assert(addr.size() == 8);
+  const Bus lo(addr.begin(), addr.begin() + 4);
+  Bus out;
+  out.reserve(8);
+  for (int bit = 0; bit < 8; ++bit) {
+    // 16 leaves over the low nibble, one per value of the high nibble.
+    std::vector<NetId> leaves;
+    leaves.reserve(16);
+    for (int h = 0; h < 16; ++h) {
+      std::uint16_t mask = 0;
+      for (int l = 0; l < 16; ++l)
+        if ((table[static_cast<std::size_t>((h << 4) | l)] >> bit) & 1U)
+          mask = static_cast<std::uint16_t>(mask | (1U << l));
+      if (mask == 0x0000) {
+        leaves.push_back(nl.const0());
+      } else if (mask == 0xffff) {
+        leaves.push_back(nl.const1());
+      } else {
+        leaves.push_back(nl.add_lut(mask, lo));
+      }
+    }
+    // 2:1 mux tree over the high nibble, one LUT per mux.
+    for (int level = 0; level < 4; ++level) {
+      const NetId sel = addr[static_cast<std::size_t>(4 + level)];
+      std::vector<NetId> next;
+      next.reserve(leaves.size() / 2);
+      for (std::size_t i = 0; i + 1 < leaves.size(); i += 2) {
+        const std::array<NetId, 3> ins{leaves[i], leaves[i + 1], sel};
+        next.push_back(nl.add_lut(kMuxLutMask, ins));
+      }
+      leaves = std::move(next);
+    }
+    out.push_back(leaves[0]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Apply an n-output GF(2) matrix (rows of gf::BitMatrix8) as XOR trees.
+Bus apply_matrix(Netlist& nl, const gf::BitMatrix8& m, const Bus& in, int out_bits) {
+  Bus out;
+  out.reserve(static_cast<std::size_t>(out_bits));
+  for (int i = 0; i < out_bits; ++i) {
+    std::vector<NetId> terms;
+    for (std::size_t j = 0; j < in.size(); ++j)
+      if (m.at(i, static_cast<int>(j))) terms.push_back(in[j]);
+    out.push_back(nl.xor_tree(terms));
+  }
+  return out;
+}
+
+/// GF(16) multiplier (y^4 + y + 1): 16 partial-product ANDs reduced into
+/// four XOR trees.
+Bus synth_mul4(Netlist& nl, const Bus& a, const Bus& b) {
+  std::array<std::vector<NetId>, 7> m;  // coefficients of the raw product
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      m[static_cast<std::size_t>(i + j)].push_back(
+          nl.gate_and(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(j)]));
+  auto tree = [&](std::initializer_list<int> ks) {
+    std::vector<NetId> terms;
+    for (const int k : ks)
+      for (const NetId n : m[static_cast<std::size_t>(k)]) terms.push_back(n);
+    return nl.xor_tree(terms);
+  };
+  // Reduction by y^4 = y+1, y^5 = y^2+y, y^6 = y^3+y^2.
+  Bus c(4);
+  c[0] = tree({0, 4});
+  c[1] = tree({1, 4, 5});
+  c[2] = tree({2, 5, 6});
+  c[3] = tree({3, 6});
+  return c;
+}
+
+/// GF(16) inverse as four 4-input LUTs.
+Bus synth_inv4(Netlist& nl, const Bus& d) {
+  Bus out;
+  for (int bit = 0; bit < 4; ++bit) {
+    std::uint16_t mask = 0;
+    for (int v = 0; v < 16; ++v)
+      if ((gf::gf16::inverse(static_cast<std::uint8_t>(v)) >> bit) & 1U)
+        mask = static_cast<std::uint16_t>(mask | (1U << v));
+    out.push_back(nl.add_lut(mask, d));
+  }
+  return out;
+}
+
+}  // namespace
+
+Bus synth_sbox_composite(Netlist& nl, const Bus& addr, bool inverse) {
+  assert(addr.size() == 8);
+  const gf::CompositeField& cf = gf::composite_field();
+
+  // Input linear layer.  Forward S-box: map to the tower.  Inverse S-box:
+  // undo the affine first — t = Tc * Ainv * (x ^ 0x63).
+  Bus t;
+  if (!inverse) {
+    t = apply_matrix(nl, cf.to_matrix(), addr, 8);
+  } else {
+    const gf::BitMatrix8 ainv = gf::kSBoxAffine.matrix.inverse();
+    const gf::BitMatrix8 min = cf.to_matrix() * ainv;
+    t = apply_matrix(nl, min, nl.xor_const(addr, 0x63), 8);
+  }
+
+  const Bus al(t.begin(), t.begin() + 4);
+  const Bus ah(t.begin() + 4, t.end());
+
+  // d = lambda*ah^2 + ah*al + al^2; the squarings and the lambda scale are
+  // GF(2)-linear, so they synthesize as matrices.
+  const gf::BitMatrix8 sq = gf::gf16::square_matrix();
+  const gf::BitMatrix8 sq_scaled = gf::gf16::mul_matrix(cf.lambda()) * sq;
+  const Bus sa = apply_matrix(nl, sq_scaled, ah, 4);
+  const Bus sb = apply_matrix(nl, sq, al, 4);
+  const Bus p = synth_mul4(nl, ah, al);
+  const Bus d = nl.xor_bus(nl.xor_bus(sa, p), sb);
+
+  const Bus dinv = synth_inv4(nl, d);
+  const Bus rh = synth_mul4(nl, ah, dinv);
+  const Bus rl = synth_mul4(nl, nl.xor_bus(ah, al), dinv);
+  const Bus v = concat(rl, rh);  // tower representation of the inverse
+
+  // Output linear layer.  Forward: y = A * Tc^-1 * v + 0x63; inverse
+  // S-box: y = Tc^-1 * v.
+  if (!inverse) {
+    const gf::BitMatrix8 mout = gf::kSBoxAffine.matrix * cf.from_matrix();
+    return nl.xor_const(apply_matrix(nl, mout, v, 8), 0x63);
+  }
+  return apply_matrix(nl, cf.from_matrix(), v, 8);
+}
+
+Bus synth_sub_word32(Netlist& nl, const std::array<std::uint8_t, 256>& table, const Bus& word,
+                     bool as_rom, const std::string& name) {
+  return synth_sub_word32(nl, table, word, as_rom ? SboxStyle::kRom : SboxStyle::kShannon,
+                          /*inverse_table=*/false, name);
+}
+
+Bus synth_sub_word32(Netlist& nl, const std::array<std::uint8_t, 256>& table, const Bus& word,
+                     SboxStyle style, bool inverse_table, const std::string& name) {
+  assert(word.size() == 32);
+  Bus out;
+  out.reserve(32);
+  for (int k = 0; k < 4; ++k) {
+    const Bus addr = byte_of(word, k);
+    Bus sub;
+    switch (style) {
+      case SboxStyle::kRom:
+        sub = synth_sbox_rom(nl, table, addr, name + ".sbox" + std::to_string(k));
+        break;
+      case SboxStyle::kShannon:
+        sub = synth_sbox_logic(nl, table, addr);
+        break;
+      case SboxStyle::kComposite:
+        sub = synth_sbox_composite(nl, addr, inverse_table);
+        break;
+    }
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+}  // namespace aesip::netlist

@@ -1,0 +1,77 @@
+// Synthesis generators: gate-level realizations of the Rijndael datapath.
+//
+// Each generator emits the gates a synthesis tool would infer for the
+// corresponding RTL block, derived from the same GF(2^8) algebra as the
+// reference library (xtime = shift + conditional reduction, MixColumn =
+// xtime/XOR network, ShiftRow = pure wiring, S-box = 2048-bit ROM or a
+// Shannon-decomposed LUT network when the target has no asynchronous
+// memory — the Cyclone case in the paper).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace aesip::netlist {
+
+/// Slice byte `k` (bits 8k..8k+7) out of a wider bus.
+Bus byte_of(const Bus& bus, int k);
+
+/// Concatenate buses (b follows a at higher bit positions).
+Bus concat(const Bus& a, const Bus& b);
+
+/// Multiply a byte by x in GF(2^8): 3 XOR gates + wiring.
+Bus synth_xtime(Netlist& nl, const Bus& a);
+
+/// One MixColumn (or InvMixColumn) column: four input bytes -> four output
+/// bytes.  Forward uses the shared-term t = a0^a1^a2^a3 form; inverse uses
+/// shared x2/x4/x8 partial products.
+std::array<Bus, 4> synth_mix_column(Netlist& nl, const std::array<Bus, 4>& a, bool inverse);
+
+/// Full 128-bit MixColumns block (four column instances).
+Bus synth_mix_columns128(Netlist& nl, const Bus& state, bool inverse);
+
+/// ShiftRows on a 128-bit bus: pure permutation, zero gates.
+Bus synth_shift_rows128(const Bus& state, bool inverse);
+
+/// One S-box as an asynchronous ROM macro (2048 bits of embedded memory).
+Bus synth_sbox_rom(Netlist& nl, const std::array<std::uint8_t, 256>& table, const Bus& addr,
+                   std::string name);
+
+/// One S-box as logic: Shannon decomposition over the high address nibble —
+/// 16 LUT4 leaves + a 15-LUT 2:1 mux tree per output bit (31 LUTs/output
+/// worst case; structural dedup in techmap shrinks uniform leaves and
+/// shared subtrees).  This is what Quartus does on Cyclone, where M4K
+/// blocks cannot implement the paper's asynchronous ROM.
+Bus synth_sbox_logic(Netlist& nl, const std::array<std::uint8_t, 256>& table, const Bus& addr);
+
+/// One S-box through the composite-field (tower GF((2^4)^2)) datapath:
+/// input isomorphism matrix, GF(16) square/scale/multiply gates, a
+/// 4-LUT-per-bit GF(16) inverse, two output multipliers and the merged
+/// output/affine matrix.  The classic low-area alternative to the Shannon
+/// network — roughly a third of its LUTs, at more logic depth.  `inverse`
+/// selects the inverse S-box (affine applied on the input side).
+Bus synth_sbox_composite(Netlist& nl, const Bus& addr, bool inverse);
+
+/// How an S-box bank is realized.
+enum class SboxStyle {
+  kRom,        ///< asynchronous 2048-bit ROM (the Acex EAB flavour)
+  kShannon,    ///< Shannon-decomposed LUT network (the Cyclone flavour)
+  kComposite,  ///< tower-field datapath (the low-area optimization)
+};
+
+/// Four parallel S-boxes over a 32-bit word (the paper's ByteSub32 slice or
+/// the KStran SubWord stage). `as_rom` selects ROM macros vs Shannon logic.
+Bus synth_sub_word32(Netlist& nl, const std::array<std::uint8_t, 256>& table, const Bus& word,
+                     bool as_rom, const std::string& name);
+
+/// Style-selected variant; `inverse_table` tells the composite datapath
+/// which direction it implements (ROM/Shannon read it off `table`).
+Bus synth_sub_word32(Netlist& nl, const std::array<std::uint8_t, 256>& table, const Bus& word,
+                     SboxStyle style, bool inverse_table, const std::string& name);
+
+/// The truth-table mask of a 2:1 mux LUT with input order (lo, hi, sel).
+inline constexpr std::uint16_t kMuxLutMask = 0xCA;
+
+}  // namespace aesip::netlist

@@ -1,0 +1,36 @@
+// Netlist interchange: structural Verilog and BLIF writers, BLIF reader.
+//
+// The synthesized IP can leave this repository: write_verilog emits a
+// self-contained structural module (assign network, clocked always blocks,
+// ROM functions) for simulation or synthesis in standard tools, and
+// write_blif emits the academic interchange format (ABC, SIS, VTR...).
+// read_blif brings a BLIF model back as a Netlist; the round trip is
+// verified *formally* in the test suite (write -> read -> BDD equivalence
+// against the original).
+//
+// BLIF has no clock-enable on latches, so enabled flip-flops are exported
+// as an explicit hold mux in front of a plain latch — semantically
+// identical, which is exactly what the BDD next-state comparison checks.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace aesip::netlist {
+
+/// Emit structural Verilog-2001. If the netlist contains flip-flops and no
+/// input named "clk", a clk port is added.
+void write_verilog(const Netlist& nl, std::ostream& os, const std::string& module_name);
+
+/// Emit BLIF (.model/.inputs/.outputs/.names/.latch).
+void write_blif(const Netlist& nl, std::ostream& os, const std::string& model_name);
+
+/// Parse a BLIF model produced by write_blif (or any single-model BLIF
+/// using .names/.latch with 0/1/- covers). .names wider than 4 inputs are
+/// decomposed into mux trees of LUT cells.  Throws std::runtime_error on
+/// malformed input.
+Netlist read_blif(std::istream& is);
+
+}  // namespace aesip::netlist

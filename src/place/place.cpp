@@ -1,0 +1,245 @@
+#include "place/place.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace aesip::place {
+
+using netlist::Cell;
+using netlist::CellKind;
+using netlist::kNoNet;
+using netlist::Netlist;
+using netlist::NetId;
+
+namespace {
+
+struct Pin {
+  bool fixed;
+  int cell = -1;  ///< placeable LE index when !fixed
+  GridPosition pos{};
+};
+
+}  // namespace
+
+Placement anneal(const Netlist& mapped, const Options& options) {
+  const auto& cells = mapped.cells();
+
+  // ---- form logic elements (same packing rule as the techmap accounting) --
+  std::vector<int> fanout(mapped.net_count(), 0);
+  for (const Cell& c : cells)
+    for (int k = 0; k < c.fanin_count(); ++k)
+      if (c.in[static_cast<std::size_t>(k)] != kNoNet) ++fanout[c.in[static_cast<std::size_t>(k)]];
+  for (const auto& rom : mapped.roms())
+    for (const NetId a : rom.addr) ++fanout[a];
+  for (const auto& po : mapped.outputs()) ++fanout[po.net];
+
+  // le_of_net: which LE drives each net.
+  std::vector<int> le_of_net(mapped.net_count(), -1);
+  std::vector<std::vector<NetId>> le_inputs;   // nets each LE reads
+  int le_count = 0;
+
+  std::vector<int> lut_le(cells.size(), -1);
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    const Cell& c = cells[ci];
+    if (c.kind == CellKind::kLut) {
+      lut_le[ci] = le_count;
+      le_of_net[c.out] = le_count;
+      std::vector<NetId> ins;
+      for (int k = 0; k < c.lut_arity; ++k) ins.push_back(c.in[static_cast<std::size_t>(k)]);
+      le_inputs.push_back(std::move(ins));
+      ++le_count;
+    } else if (c.kind != CellKind::kDff && c.kind != CellKind::kConst0 &&
+               c.kind != CellKind::kConst1) {
+      throw std::invalid_argument("place: netlist contains unmapped primitive gates");
+    }
+  }
+  for (const Cell& c : cells) {
+    if (c.kind != CellKind::kDff) continue;
+    const std::int32_t d = mapped.driver()[c.in[0]];
+    const bool packs = d >= 0 && cells[static_cast<std::size_t>(d)].kind == CellKind::kLut &&
+                       fanout[c.in[0]] == 1;
+    if (packs) {
+      le_of_net[c.out] = lut_le[static_cast<std::size_t>(d)];
+      if (c.in[1] != kNoNet)
+        le_inputs[static_cast<std::size_t>(lut_le[static_cast<std::size_t>(d)])].push_back(
+            c.in[1]);
+    } else {
+      le_of_net[c.out] = le_count;
+      std::vector<NetId> ins{c.in[0]};
+      if (c.in[1] != kNoNet) ins.push_back(c.in[1]);
+      le_inputs.push_back(std::move(ins));
+      ++le_count;
+    }
+  }
+
+  // ---- grid and fixed pins --------------------------------------------------
+  Placement result;
+  result.cell_count = static_cast<std::size_t>(le_count);
+  const int side = std::max(
+      2, static_cast<int>(std::ceil(std::sqrt(static_cast<double>(le_count) /
+                                              std::max(0.05, options.target_fill)))));
+  result.grid_width = side;
+  result.grid_height = side;
+
+  // Per-net pins.
+  std::vector<std::vector<Pin>> net_pins(mapped.net_count());
+  auto add_cell_pin = [&](NetId n, int le) {
+    if (n == kNoNet || le < 0) return;
+    net_pins[n].push_back(Pin{false, le, {}});
+  };
+  for (NetId n = 0; n < mapped.net_count(); ++n) add_cell_pin(n, le_of_net[n]);
+  for (int le = 0; le < le_count; ++le)
+    for (const NetId n : le_inputs[static_cast<std::size_t>(le)]) add_cell_pin(n, le);
+
+  // ROM macros: a dedicated memory column on the right edge (the Acex EAB
+  // column), evenly spread.
+  const auto& roms = mapped.roms();
+  for (std::size_t ri = 0; ri < roms.size(); ++ri) {
+    const GridPosition pos{side, roms.empty() ? 0
+                                              : static_cast<int>(ri * static_cast<std::size_t>(side) /
+                                                                 std::max<std::size_t>(1, roms.size()))};
+    for (const NetId a : roms[ri].addr) net_pins[a].push_back(Pin{true, -1, pos});
+    for (const NetId o : roms[ri].out) net_pins[o].push_back(Pin{true, -1, pos});
+  }
+  // I/O pads around the perimeter.
+  {
+    const std::size_t total = mapped.inputs().size() + mapped.outputs().size();
+    std::size_t index = 0;
+    auto pad_pos = [&](std::size_t i) {
+      const double frac = static_cast<double>(i) / std::max<std::size_t>(1, total);
+      const double along = frac * 4.0;
+      const int s = static_cast<int>(along);  // side 0..3
+      const int offset = static_cast<int>((along - s) * side);
+      switch (s) {
+        case 0: return GridPosition{offset, -1};
+        case 1: return GridPosition{side, offset};
+        case 2: return GridPosition{side - offset, side};
+        default: return GridPosition{-1, side - offset};
+      }
+    };
+    for (const auto& pi : mapped.inputs())
+      net_pins[pi.net].push_back(Pin{true, -1, pad_pos(index++)});
+    for (const auto& po : mapped.outputs())
+      net_pins[po.net].push_back(Pin{true, -1, pad_pos(index++)});
+  }
+
+  // Interesting nets: at least two pins and at least one placeable pin.
+  std::vector<NetId> nets;
+  std::vector<std::vector<NetId>> nets_of_le(static_cast<std::size_t>(le_count));
+  for (NetId n = 0; n < mapped.net_count(); ++n) {
+    if (net_pins[n].size() < 2) continue;
+    bool placeable = false;
+    for (const Pin& p : net_pins[n]) placeable = placeable || !p.fixed;
+    if (!placeable) continue;
+    nets.push_back(n);
+    for (const Pin& p : net_pins[n])
+      if (!p.fixed) nets_of_le[static_cast<std::size_t>(p.cell)].push_back(n);
+  }
+  for (auto& v : nets_of_le) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  // ---- initial placement ------------------------------------------------------
+  std::mt19937 rng(options.seed);
+  const int slots = side * side;
+  std::vector<int> slot_of_cell(static_cast<std::size_t>(le_count));
+  std::vector<int> cell_of_slot(static_cast<std::size_t>(slots), -1);
+  {
+    std::vector<int> order(static_cast<std::size_t>(slots));
+    for (int i = 0; i < slots; ++i) order[static_cast<std::size_t>(i)] = i;
+    std::shuffle(order.begin(), order.end(), rng);
+    for (int le = 0; le < le_count; ++le) {
+      slot_of_cell[static_cast<std::size_t>(le)] = order[static_cast<std::size_t>(le)];
+      cell_of_slot[static_cast<std::size_t>(order[static_cast<std::size_t>(le)])] = le;
+    }
+  }
+  auto pos_of_cell = [&](int le) {
+    const int s = slot_of_cell[static_cast<std::size_t>(le)];
+    return GridPosition{s % side, s / side};
+  };
+
+  auto net_hpwl = [&](NetId n) {
+    int min_x = 1 << 30, max_x = -(1 << 30), min_y = 1 << 30, max_y = -(1 << 30);
+    for (const Pin& p : net_pins[n]) {
+      const GridPosition pos = p.fixed ? p.pos : pos_of_cell(p.cell);
+      min_x = std::min(min_x, pos.x);
+      max_x = std::max(max_x, pos.x);
+      min_y = std::min(min_y, pos.y);
+      max_y = std::max(max_y, pos.y);
+    }
+    return static_cast<double>((max_x - min_x) + (max_y - min_y));
+  };
+
+  double hpwl = 0.0;
+  for (const NetId n : nets) hpwl += net_hpwl(n);
+  result.initial_hpwl = hpwl;
+
+  // ---- simulated annealing -------------------------------------------------------
+  if (le_count > 0) {
+    double temp = options.initial_temp_scale * hpwl / static_cast<double>(le_count);
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    for (int stage = 0; stage < options.stages; ++stage) {
+      const int moves = options.moves_per_cell * le_count;
+      for (int mv = 0; mv < moves; ++mv) {
+        const int cell = static_cast<int>(rng() % static_cast<std::uint32_t>(le_count));
+        const int target = static_cast<int>(rng() % static_cast<std::uint32_t>(slots));
+        const int old_slot = slot_of_cell[static_cast<std::size_t>(cell)];
+        if (target == old_slot) continue;
+        const int other = cell_of_slot[static_cast<std::size_t>(target)];
+
+        // Affected nets: union of both cells' nets.
+        double before = 0.0;
+        for (const NetId n : nets_of_le[static_cast<std::size_t>(cell)]) before += net_hpwl(n);
+        if (other >= 0)
+          for (const NetId n : nets_of_le[static_cast<std::size_t>(other)])
+            if (std::find(nets_of_le[static_cast<std::size_t>(cell)].begin(),
+                          nets_of_le[static_cast<std::size_t>(cell)].end(),
+                          n) == nets_of_le[static_cast<std::size_t>(cell)].end())
+              before += net_hpwl(n);
+
+        // Apply.
+        slot_of_cell[static_cast<std::size_t>(cell)] = target;
+        cell_of_slot[static_cast<std::size_t>(target)] = cell;
+        cell_of_slot[static_cast<std::size_t>(old_slot)] = other;
+        if (other >= 0) slot_of_cell[static_cast<std::size_t>(other)] = old_slot;
+
+        double after = 0.0;
+        for (const NetId n : nets_of_le[static_cast<std::size_t>(cell)]) after += net_hpwl(n);
+        if (other >= 0)
+          for (const NetId n : nets_of_le[static_cast<std::size_t>(other)])
+            if (std::find(nets_of_le[static_cast<std::size_t>(cell)].begin(),
+                          nets_of_le[static_cast<std::size_t>(cell)].end(),
+                          n) == nets_of_le[static_cast<std::size_t>(cell)].end())
+              after += net_hpwl(n);
+
+        const double delta = after - before;
+        if (delta <= 0.0 || uniform(rng) < std::exp(-delta / std::max(1e-9, temp))) {
+          hpwl += delta;  // accept
+        } else {
+          // Revert.
+          slot_of_cell[static_cast<std::size_t>(cell)] = old_slot;
+          cell_of_slot[static_cast<std::size_t>(old_slot)] = cell;
+          cell_of_slot[static_cast<std::size_t>(target)] = other;
+          if (other >= 0) slot_of_cell[static_cast<std::size_t>(other)] = target;
+        }
+      }
+      temp *= options.cooling;
+    }
+  }
+
+  // Recompute exactly (incremental updates accumulate float error).
+  hpwl = 0.0;
+  result.net_length.assign(mapped.net_count(), 0.0);
+  for (const NetId n : nets) {
+    const double len = net_hpwl(n);
+    result.net_length[n] = len;
+    hpwl += len;
+  }
+  result.final_hpwl = hpwl;
+  return result;
+}
+
+}  // namespace aesip::place

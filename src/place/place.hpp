@@ -1,0 +1,57 @@
+// Placement: simulated-annealing placement of a mapped design on a 2-D
+// logic-element grid.
+//
+// The fitter's utilization derate is a coarse stand-in for what place &
+// route really does; this module provides the finer model: every logic
+// element (a LUT, an unpacked flip-flop, or a packed pair) gets a grid
+// slot, I/O pins sit on the perimeter, and a half-perimeter-wirelength
+// (HPWL) annealer shortens the nets — the VPR-style core of an FPGA
+// fitter.  The resulting per-net wirelengths can back-annotate the static
+// timing analysis (sta::analyze accepts per-net extra routing delays), so
+// clock estimates reflect actual placements rather than fanout statistics
+// alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace aesip::place {
+
+struct GridPosition {
+  int x = 0;
+  int y = 0;
+};
+
+struct Options {
+  std::uint32_t seed = 1;
+  double target_fill = 0.5;   ///< fraction of grid slots occupied
+  int stages = 60;            ///< annealing temperature stages
+  int moves_per_cell = 8;     ///< proposed moves per cell per stage
+  double initial_temp_scale = 0.05;  ///< T0 as a fraction of initial HPWL
+  double cooling = 0.9;
+};
+
+struct Placement {
+  int grid_width = 0;
+  int grid_height = 0;
+  std::size_t cell_count = 0;      ///< placeable logic elements
+  double initial_hpwl = 0.0;
+  double final_hpwl = 0.0;
+  /// Per-net half-perimeter wirelength in grid units (indexed by NetId of
+  /// the mapped netlist; nets without placeable pins have length 0).
+  std::vector<double> net_length;
+
+  double improvement() const noexcept {
+    return initial_hpwl > 0.0 ? 1.0 - final_hpwl / initial_hpwl : 0.0;
+  }
+};
+
+/// Place a mapped netlist (kLut/kDff cells + ROM macros).  Logic elements
+/// are formed exactly as the techmap LE accounting does (a flip-flop packs
+/// with its fanout-1 driving LUT); I/O bits take perimeter positions, ROM
+/// macros a dedicated column.  Deterministic for a given seed.
+Placement anneal(const netlist::Netlist& mapped, const Options& options = {});
+
+}  // namespace aesip::place

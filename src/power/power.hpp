@@ -1,0 +1,100 @@
+// Power analysis of the IP — the paper's proposed future work.
+//
+// Section 6: "As future work, we propose a power analysis of the
+// architecture.  As one of the possible applications area mobile systems,
+// this feature is very interesting."  This module implements that
+// analysis with the standard activity-based CMOS model:
+//
+//   P_dyn = 0.5 * Vdd^2 * f * sum_over_nets( C_net * toggles_per_cycle )
+//
+// Switching activity is *measured*, not guessed: a representative workload
+// runs through the gate-level netlist in the functional evaluator while a
+// probe counts every net transition.  Net capacitance follows the same
+// structural information the timing model uses (gate output + per-fanout
+// routing), with extra terms for ROM accesses, the clock tree (one load
+// per flip-flop) and I/O pads.  Per-family electrical constants reflect
+// the 2.5 V / 0.22 um Acex 1K and 1.5 V / 0.13 um Cyclone processes.
+#pragma once
+
+#include <cstdint>
+
+#include "fpga/device.hpp"
+#include "netlist/netlist.hpp"
+
+namespace aesip::power {
+
+/// Electrical constants of a device family.
+struct PowerParams {
+  double vdd;                 ///< core supply voltage (V)
+  double c_gate_pf;           ///< LUT/LE output capacitance (pF)
+  double c_route_pf;          ///< routing capacitance per fanout (pF)
+  double c_clock_pf;          ///< clock-tree capacitance per flip-flop (pF)
+  double c_io_pf;             ///< pad capacitance per switching I/O (pF)
+  double e_rom_access_pj;     ///< energy per asynchronous ROM read (pJ)
+  double static_mw;           ///< leakage + standby (mW)
+};
+
+/// Acex 1K: 2.5 V, 0.22 um — leaky pads, heavy interconnect.
+const PowerParams& acex1k_power();
+/// Cyclone: 1.5 V, 0.13 um — the voltage term alone cuts energy ~2.8x.
+const PowerParams& cyclone_power();
+/// Params for a device from the fpga:: database.
+const PowerParams& params_for(const fpga::Device& device);
+
+/// Switching-activity measurement over a workload.
+struct Activity {
+  std::uint64_t cycles = 0;
+  std::uint64_t net_toggles = 0;      ///< all net transitions observed
+  std::uint64_t ff_toggles = 0;       ///< transitions on flip-flop outputs
+  std::uint64_t rom_reads = 0;        ///< address-change-triggered reads
+  std::uint64_t io_toggles = 0;       ///< transitions on port nets
+  double weighted_cap_pf = 0.0;       ///< sum of C_net over all toggles
+};
+
+/// Probe that accumulates activity; attach to a netlist + evaluator run.
+class ActivityProbe {
+ public:
+  ActivityProbe(const netlist::Netlist& nl, const PowerParams& params);
+
+  /// Record one clock cycle's transitions (call after every clock()).
+  void sample(std::span<const std::uint8_t> net_values);
+
+  const Activity& activity() const noexcept { return activity_; }
+
+ private:
+  const netlist::Netlist& nl_;
+  const PowerParams& params_;
+  Activity activity_;
+  std::vector<std::uint8_t> previous_;
+  std::vector<float> net_cap_pf_;     ///< per-net capacitance
+  std::vector<std::uint8_t> is_ff_out_;
+  std::vector<std::uint8_t> is_io_;
+  std::vector<std::int32_t> rom_of_net_;  ///< ROM index driven by addr net, else -1
+  std::size_t ff_count_ = 0;
+};
+
+/// Power estimate at a given clock frequency.
+struct PowerReport {
+  double clock_mhz = 0.0;
+  double logic_mw = 0.0;      ///< LUT/gate output switching
+  double routing_mw = 0.0;    ///< folded into logic via weighted cap; kept for breakdown
+  double clock_mw = 0.0;      ///< clock tree (toggles every cycle)
+  double memory_mw = 0.0;     ///< ROM access energy
+  double io_mw = 0.0;         ///< pad switching
+  double static_mw = 0.0;
+  double total_mw = 0.0;
+  double energy_per_block_nj = 0.0;   ///< at 50 cycles per block
+  double energy_per_bit_pj = 0.0;     ///< per plaintext bit
+};
+
+/// Convert measured activity to power at `clock_mhz`.
+PowerReport estimate(const Activity& activity, const PowerParams& params, double clock_mhz,
+                     std::size_t ff_count, int cycles_per_block = 50);
+
+/// End-to-end convenience: run `blocks` random encryptions through the
+/// gate-level netlist (must be an encrypt-capable IP) and report power at
+/// `clock_mhz`.
+PowerReport profile_ip(const netlist::Netlist& ip_netlist, const PowerParams& params,
+                       double clock_mhz, int blocks = 8, std::uint32_t seed = 1);
+
+}  // namespace aesip::power

@@ -1,0 +1,62 @@
+#include "report/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace aesip::report {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size())
+    throw std::invalid_argument("report::Table: row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fixed(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+std::string Table::count_pct(std::size_t value, double pct) {
+  std::ostringstream os;
+  os << value << "/" << std::fixed << std::setprecision(0) << pct << "%";
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace aesip::report

@@ -1,0 +1,35 @@
+// Plain-text / CSV table rendering for the bench harnesses.
+//
+// Every bench that regenerates one of the paper's tables prints it through
+// this so the output lines up with the paper's rows for eyeball and diff
+// comparison.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aesip::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience formatting helpers.
+  static std::string fixed(double v, int decimals);
+  static std::string count_pct(std::size_t value, double pct);
+
+  /// Render with aligned columns and a rule under the header.
+  void print(std::ostream& os) const;
+  /// Render as CSV (no escaping needed for our content).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aesip::report

@@ -1,0 +1,66 @@
+// Single-event-upset fault-injection campaigns on the gate-level IP.
+//
+// Reproduces the methodology of the authors' companion paper (reference
+// [16]: inject bit flips into the design's registers during operation and
+// classify what reaches the outputs).  Each injection run:
+//
+//   1. loads a key and computes the golden result in software,
+//   2. starts a block through the full bus protocol,
+//   3. flips one randomly chosen flip-flop at one randomly chosen cycle of
+//      the 50-cycle computation,
+//   4. runs a follow-up block and classifies the outcome:
+//        masked      — both the hit block and the follow-up are correct;
+//        corrupted   — the hit block is wrong, the follow-up is clean
+//                      (the upset washed out of the round state);
+//        latent      — the hit block is *correct* but the follow-up is
+//                      wrong: the upset lodged in standby state (typically
+//                      the Key_In register, which encrypt-only devices
+//                      read only at block start) and corrupts traffic
+//                      until the key is rewritten;
+//        persistent  — both blocks wrong (key/control state corrupted);
+//        hang        — data_ok never rises (the FSM was knocked off its
+//                      one-hot walk).
+//
+// Campaigns run on any synthesized IP netlist, so the same harness
+// measures the unprotected core and the TMR-hardened one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace aesip::seu {
+
+enum class Outcome : std::uint8_t { kMasked, kCorrupted, kLatent, kPersistent, kHang };
+
+struct Injection {
+  std::size_t dff;       ///< flip-flop index hit
+  int cycle;             ///< cycle within the block (0..49) of the hit
+  Outcome outcome;
+};
+
+struct CampaignStats {
+  std::size_t masked = 0;
+  std::size_t corrupted = 0;
+  std::size_t latent = 0;
+  std::size_t persistent = 0;
+  std::size_t hang = 0;
+  std::vector<Injection> injections;
+
+  std::size_t total() const noexcept {
+    return masked + corrupted + latent + persistent + hang;
+  }
+  double silent_fraction() const noexcept {
+    return total() ? static_cast<double>(masked) / static_cast<double>(total()) : 0.0;
+  }
+};
+
+/// Run `runs` independent single-upset injections against `ip_netlist`
+/// (a synthesized encrypt-capable IP, pre- or post-mapping/TMR).
+/// Deterministic for a given seed.
+CampaignStats run_campaign(const netlist::Netlist& ip_netlist, int runs, std::uint32_t seed);
+
+const char* outcome_name(Outcome o) noexcept;
+
+}  // namespace aesip::seu

@@ -1,0 +1,90 @@
+#include "seu/tmr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace aesip::seu {
+
+using netlist::Cell;
+using netlist::CellKind;
+using netlist::kNoNet;
+using netlist::Netlist;
+using netlist::NetId;
+
+TmrResult harden_tmr(const Netlist& mapped) {
+  TmrResult result;
+  Netlist& out = result.hardened;
+
+  const auto& cells = mapped.cells();
+  std::vector<NetId> netmap(mapped.net_count(), kNoNet);
+  netmap[mapped.const0()] = out.const0();
+  netmap[mapped.const1()] = out.const1();
+  for (const auto& pi : mapped.inputs()) netmap[pi.net] = out.add_input(pi.name);
+
+  // Triplicated state: three replica Q nets per source flip-flop, plus one
+  // majority voter whose output stands in for the original Q everywhere.
+  struct Replica {
+    std::size_t cell_index;
+    std::array<NetId, 3> q;
+  };
+  std::vector<Replica> replicas;
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    const Cell& c = cells[ci];
+    if (c.kind != CellKind::kDff) continue;
+    Replica r{ci, {out.new_net(), out.new_net(), out.new_net()}};
+    const std::array<NetId, 3> ins{r.q[0], r.q[1], r.q[2]};
+    netmap[c.out] = out.add_lut(kMajorityMask, ins);
+    replicas.push_back(r);
+    ++result.stats.original_dffs;
+    ++result.stats.voters;
+  }
+
+  // Combinational cells in creation (topological) order.
+  struct Item {
+    NetId order_net;
+    bool is_rom;
+    std::size_t index;
+  };
+  std::vector<Item> items;
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    const Cell& c = cells[ci];
+    if (c.kind == CellKind::kLut) items.push_back({c.out, false, ci});
+    else if (c.kind != CellKind::kDff && c.kind != CellKind::kConst0 &&
+             c.kind != CellKind::kConst1)
+      throw std::invalid_argument("tmr: netlist contains unmapped primitive gates");
+  }
+  for (std::size_t ri = 0; ri < mapped.roms().size(); ++ri)
+    items.push_back({mapped.roms()[ri].out[0], true, ri});
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.order_net < b.order_net; });
+
+  for (const Item& item : items) {
+    if (item.is_rom) {
+      const auto& rom = mapped.roms()[item.index];
+      netlist::Bus addr;
+      for (const NetId a : rom.addr) addr.push_back(netmap[a]);
+      const netlist::Bus outs = out.add_rom(rom.table, addr, rom.name);
+      for (int i = 0; i < 8; ++i)
+        netmap[rom.out[static_cast<std::size_t>(i)]] = outs[static_cast<std::size_t>(i)];
+      continue;
+    }
+    const Cell& c = cells[item.index];
+    std::vector<NetId> ins;
+    for (int k = 0; k < c.lut_arity; ++k) ins.push_back(netmap[c.in[static_cast<std::size_t>(k)]]);
+    netmap[c.out] = out.add_lut(c.lut_mask, ins);
+  }
+
+  // Replica flip-flops: all three sample the same (voted-state-derived) D.
+  for (const Replica& r : replicas) {
+    const Cell& c = cells[r.cell_index];
+    const NetId d = netmap[c.in[0]];
+    const NetId en = c.in[1] == kNoNet ? kNoNet : netmap[c.in[1]];
+    for (const NetId q : r.q) out.add_dff_with_out(q, d, en);
+  }
+
+  for (const auto& po : mapped.outputs()) out.add_output(netmap[po.net], po.name);
+  return result;
+}
+
+}  // namespace aesip::seu

@@ -1,0 +1,40 @@
+// Triple modular redundancy: the radiation-hardening transform.
+//
+// The authors' companion work ("Testing a Rijndael VHDL Description to
+// Single Event Upsets", SIM 2002 — reference [16] of the paper) studies
+// SEU sensitivity of this IP, and the paper's conclusion announces "an
+// effort to produce a VHDL IP version hardened against radiation".  This
+// module implements the standard hardening: every flip-flop is triplicated
+// and its consumers read a majority vote of the three replicas.  Because
+// each replica's D input is computed from *voted* state, a single upset is
+// outvoted immediately and the wrong replica is rewritten at the next
+// clock edge — the design self-heals, which the test suite demonstrates by
+// exhaustive single-fault injection.
+//
+// Applies to mapped netlists (kLut / kDff / ROM cells); run after
+// techmap::map_to_luts, the point where a rad-hard flow inserts voters.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace aesip::seu {
+
+struct TmrStats {
+  std::size_t original_dffs = 0;
+  std::size_t voters = 0;  ///< one majority LUT per original flip-flop
+};
+
+struct TmrResult {
+  netlist::Netlist hardened;
+  TmrStats stats;
+};
+
+/// Majority-of-three truth table (inputs a,b,c): 0xE8.
+inline constexpr std::uint16_t kMajorityMask = 0xE8;
+
+/// Triplicate every flip-flop of `mapped` and route consumers through
+/// majority voters.  Ports, LUTs and ROM macros are preserved; throws
+/// std::invalid_argument if unmapped primitive gates remain.
+TmrResult harden_tmr(const netlist::Netlist& mapped);
+
+}  // namespace aesip::seu

@@ -1,0 +1,161 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aesip::sta {
+
+using netlist::Cell;
+using netlist::CellKind;
+using netlist::kNoNet;
+using netlist::Netlist;
+using netlist::NetId;
+
+namespace {
+
+struct NetTiming {
+  double arrival = 0.0;   ///< valid-at-consumer-pin time
+  int levels = 0;         ///< logic cells traversed so far
+  NetId from = kNoNet;    ///< critical fanin for path reconstruction
+  const char* via = "";   ///< what produced this net
+};
+
+}  // namespace
+
+TimingReport analyze(const Netlist& mapped, const DelayModel& dm) {
+  return analyze(mapped, dm, {});
+}
+
+TimingReport analyze(const Netlist& mapped, const DelayModel& dm,
+                     std::span<const double> extra_route_ns) {
+  const auto& cells = mapped.cells();
+
+  // Fanout counts drive the routing model.
+  std::vector<int> fanout(mapped.net_count(), 0);
+  for (const Cell& c : cells)
+    for (int k = 0; k < c.fanin_count(); ++k)
+      if (c.in[static_cast<std::size_t>(k)] != kNoNet) ++fanout[c.in[static_cast<std::size_t>(k)]];
+  for (const auto& rom : mapped.roms())
+    for (const NetId a : rom.addr) ++fanout[a];
+  for (const auto& po : mapped.outputs()) ++fanout[po.net];
+
+  auto route = [&](NetId n) {
+    const double extra = n < extra_route_ns.size() ? extra_route_ns[n] : 0.0;
+    return dm.t_route_base + extra +
+           std::min(dm.t_route_fanout * std::max(0, fanout[n] - 1), dm.t_route_fanout_cap);
+  };
+
+  std::vector<NetTiming> t(mapped.net_count());
+
+  // Sources: primary inputs and register outputs.
+  for (const auto& pi : mapped.inputs()) {
+    t[pi.net].arrival = dm.t_io + route(pi.net);
+    t[pi.net].via = "input";
+  }
+  for (const Cell& c : cells) {
+    if (c.kind != CellKind::kDff) continue;
+    t[c.out].arrival = dm.t_co + route(c.out);
+    t[c.out].via = "register";
+  }
+
+  // Combinational cells in topological order (= output-net order; the
+  // mapper constructs nets that way).
+  struct Item {
+    NetId order_net;
+    bool is_rom;
+    std::size_t index;
+  };
+  std::vector<Item> items;
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    const Cell& c = cells[ci];
+    if (c.kind == CellKind::kLut) items.push_back({c.out, false, ci});
+    else if (c.kind != CellKind::kDff && c.kind != CellKind::kConst0 &&
+             c.kind != CellKind::kConst1)
+      throw std::invalid_argument("sta: netlist contains unmapped primitive gates");
+  }
+  for (std::size_t ri = 0; ri < mapped.roms().size(); ++ri)
+    items.push_back({mapped.roms()[ri].out[0], true, ri});
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.order_net < b.order_net; });
+
+  for (const Item& item : items) {
+    double worst = 0.0;
+    int worst_levels = 0;
+    NetId worst_from = kNoNet;
+    auto consider = [&](NetId fanin) {
+      if (fanin == kNoNet) return;
+      if (t[fanin].arrival > worst ||
+          (t[fanin].arrival == worst && worst_from == kNoNet)) {
+        worst = t[fanin].arrival;
+        worst_levels = t[fanin].levels;
+        worst_from = fanin;
+      }
+    };
+    if (item.is_rom) {
+      const auto& rom = mapped.roms()[item.index];
+      for (const NetId a : rom.addr) consider(a);
+      for (const NetId o : rom.out) {
+        t[o].arrival = worst + dm.t_rom + route(o);
+        t[o].levels = worst_levels + 1;
+        t[o].from = worst_from;
+        t[o].via = "rom";
+      }
+    } else {
+      const Cell& c = cells[item.index];
+      for (int k = 0; k < c.lut_arity; ++k) consider(c.in[static_cast<std::size_t>(k)]);
+      t[c.out].arrival = worst + dm.t_lut + route(c.out);
+      t[c.out].levels = worst_levels + 1;
+      t[c.out].from = worst_from;
+      t[c.out].via = "lut";
+    }
+  }
+
+  // Close register paths (D + setup) and output paths (pad delay).
+  TimingReport report;
+  NetId endpoint = kNoNet;
+  double endpoint_arrival = 0.0;
+  const char* endpoint_kind = "";
+  for (const Cell& c : cells) {
+    if (c.kind != CellKind::kDff) continue;
+    for (int k = 0; k < c.fanin_count(); ++k) {
+      const NetId n = c.in[static_cast<std::size_t>(k)];
+      if (n == kNoNet) continue;
+      const double path = t[n].arrival + dm.t_su;
+      if (path > report.critical_path_ns) {
+        report.critical_path_ns = path;
+        report.logic_levels = t[n].levels;
+        endpoint = n;
+        endpoint_arrival = t[n].arrival;
+        endpoint_kind = "register D";
+      }
+    }
+  }
+  for (const auto& po : mapped.outputs()) {
+    const double path = t[po.net].arrival + dm.t_io;
+    if (path > report.critical_path_ns) {
+      report.critical_path_ns = path;
+      report.logic_levels = t[po.net].levels;
+      endpoint = po.net;
+      endpoint_arrival = t[po.net].arrival;
+      endpoint_kind = "output pad";
+    }
+  }
+  (void)endpoint_arrival;
+
+  report.clock_period_ns = report.critical_path_ns;
+  report.fmax_mhz =
+      report.clock_period_ns > 0.0 ? 1000.0 / report.clock_period_ns : 0.0;
+
+  // Reconstruct the critical path for the report.
+  std::vector<std::string> path;
+  for (NetId n = endpoint; n != kNoNet; n = t[n].from)
+    path.push_back(std::string(t[n].via) + " -> net " + std::to_string(n) + " @ " +
+                   std::to_string(t[n].arrival) + " ns");
+  std::reverse(path.begin(), path.end());
+  if (endpoint != kNoNet)
+    path.push_back(std::string("endpoint: ") + endpoint_kind);
+  report.path = std::move(path);
+  return report;
+}
+
+}  // namespace aesip::sta

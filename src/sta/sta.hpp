@@ -1,0 +1,54 @@
+// Levelized static timing analysis over a technology-mapped netlist.
+//
+// Replaces the Quartus timing analyzer in the reproduction flow.  The model
+// is the standard FPGA one: every logic element contributes a fixed LUT
+// delay, every net contributes a routing delay that grows with fanout,
+// asynchronous ROM macros contribute their access time, and register paths
+// close with clock-to-out + setup.  The per-family constants live in the
+// fpga device database; two of them (base cell and routing delay) are
+// calibrated against the paper's reported clock periods — see
+// EXPERIMENTS.md for the calibration note.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace aesip::sta {
+
+/// Delay parameters, all in nanoseconds.
+struct DelayModel {
+  double t_lut;           ///< LUT logic + LE output
+  double t_rom;           ///< asynchronous embedded-ROM access
+  double t_co;            ///< register clock-to-output
+  double t_su;            ///< register setup
+  double t_route_base;    ///< routing delay of any net
+  double t_route_fanout;  ///< additional routing delay per extra fanout
+  double t_io;            ///< pad delay applied to primary inputs/outputs
+  /// Ceiling on the per-net fanout contribution: synthesis replicates
+  /// drivers / promotes nets to low-skew lines beyond this, so routing
+  /// delay does not grow without bound on wide control fans.
+  double t_route_fanout_cap;
+};
+
+struct TimingReport {
+  double critical_path_ns = 0.0;  ///< worst register-bounded path incl. su/co
+  double clock_period_ns = 0.0;   ///< = critical path (no margin added)
+  double fmax_mhz = 0.0;
+  int logic_levels = 0;           ///< LUT/ROM cells on the critical path
+  std::vector<std::string> path;  ///< human-readable critical path trace
+};
+
+/// Analyze a mapped netlist (kLut/kDff cells + ROM macros only).
+/// Throws std::invalid_argument if unmapped primitive gates remain.
+TimingReport analyze(const netlist::Netlist& mapped, const DelayModel& dm);
+
+/// Placed-timing variant: `extra_route_ns` adds a per-net routing delay
+/// (indexed by NetId — e.g. wirelength-derived values from place::anneal),
+/// replacing the statistical fanout derate with placement-aware numbers.
+TimingReport analyze(const netlist::Netlist& mapped, const DelayModel& dm,
+                     std::span<const double> extra_route_ns);
+
+}  // namespace aesip::sta

@@ -1,0 +1,399 @@
+// Reference Rijndael library: FIPS-197 known-answer vectors, algebraic
+// S-box pinning, per-transform behaviour and the full Rijndael geometry
+// matrix (block 128/192/256 x key 128/192/256).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "aes/cipher.hpp"
+#include "aes/key_schedule.hpp"
+#include "aes/sbox.hpp"
+#include "aes/state.hpp"
+#include "aes/transforms.hpp"
+#include "aes/ttable.hpp"
+#include "gf/bitmatrix.hpp"
+#include "gf/gf256.hpp"
+
+namespace aes = aesip::aes;
+namespace gf = aesip::gf;
+
+namespace {
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2)
+    out.push_back(static_cast<std::uint8_t>(std::stoi(hex.substr(i, 2), nullptr, 16)));
+  return out;
+}
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  for (const std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+}  // namespace
+
+// --- S-box ---------------------------------------------------------------------
+
+TEST(SBox, PublishedAnchors) {
+  // Spot values from the FIPS-197 figure 7 table.
+  EXPECT_EQ(aes::kSBox[0x00], 0x63);
+  EXPECT_EQ(aes::kSBox[0x01], 0x7c);
+  EXPECT_EQ(aes::kSBox[0x10], 0xca);
+  EXPECT_EQ(aes::kSBox[0x53], 0xed);
+  EXPECT_EQ(aes::kSBox[0xff], 0x16);
+  EXPECT_EQ(aes::kSBox[0xc9], 0xdd);
+}
+
+TEST(SBox, IsBijective) {
+  std::array<bool, 256> seen{};
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_FALSE(seen[aes::kSBox[static_cast<std::size_t>(i)]]);
+    seen[aes::kSBox[static_cast<std::size_t>(i)]] = true;
+  }
+}
+
+TEST(SBox, InverseComposesToIdentity) {
+  for (int i = 0; i < 256; ++i) {
+    const auto x = static_cast<std::uint8_t>(i);
+    EXPECT_EQ(aes::inv_sub_byte(aes::sub_byte(x)), x);
+    EXPECT_EQ(aes::sub_byte(aes::inv_sub_byte(x)), x);
+  }
+}
+
+TEST(SBox, MatchesAlgebraicDefinition) {
+  for (int i = 0; i < 256; ++i) {
+    const auto x = static_cast<std::uint8_t>(i);
+    EXPECT_EQ(aes::kSBox[x], gf::kSBoxAffine.apply(gf::inverse(x)));
+  }
+}
+
+TEST(SBox, HasNoFixedPoints) {
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_NE(aes::kSBox[static_cast<std::size_t>(i)], i);
+    // and no "anti-fixed" points either (classic Rijndael property)
+    EXPECT_NE(aes::kSBox[static_cast<std::size_t>(i)], i ^ 0xff);
+  }
+}
+
+TEST(SBox, SubWordAndRotWord) {
+  // FIPS-197 Appendix A key expansion, first KStran input of AES-128:
+  // RotWord(09cf4f3c) = cf4f3c09, SubWord -> 8a84eb01.
+  const std::uint32_t w = 0x3c4fcf09;  // bytes 09 cf 4f 3c little-endian packing
+  const std::uint32_t rot = aes::rot_word(w);
+  EXPECT_EQ(rot & 0xff, 0xcfU);
+  EXPECT_EQ(aes::sub_word(rot), 0x01eb848aU);  // bytes 8a 84 eb 01
+}
+
+// --- transforms -----------------------------------------------------------------
+
+TEST(Transforms, ShiftRowsRowOffsets) {
+  aes::State s(4);
+  for (int c = 0; c < 4; ++c)
+    for (int r = 0; r < 4; ++r) s.set(r, c, static_cast<std::uint8_t>(16 * r + c));
+  aes::shift_rows(s);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c)
+      EXPECT_EQ(s.at(r, c), 16 * r + ((c + r) % 4)) << "row " << r << " col " << c;
+}
+
+TEST(Transforms, InvShiftRowsUndoes) {
+  auto bytes = random_bytes(16, 1);
+  aes::State s(4, bytes);
+  aes::State t = s;
+  aes::shift_rows(t);
+  aes::inv_shift_rows(t);
+  EXPECT_TRUE(t == s);
+}
+
+TEST(Transforms, MixColumnsKnownVector) {
+  // FIPS-197 Appendix B round 1: after ShiftRows the state is
+  // d4bf5d30 e0b452ae b84111f1 1e2798e5 (columns), MixColumns gives
+  // 046681e5 e0cb199a 48f8d37a 2806264c.
+  const auto in = from_hex("d4bf5d30e0b452aeb84111f11e2798e5");
+  aes::State s(4, in);
+  aes::mix_columns(s);
+  EXPECT_EQ(s.to_hex(), "046681e5e0cb199a48f8d37a2806264c");
+}
+
+TEST(Transforms, InvMixColumnsUndoes) {
+  for (std::uint32_t seed = 0; seed < 20; ++seed) {
+    auto bytes = random_bytes(16, 100 + seed);
+    aes::State s(4, bytes);
+    aes::State t = s;
+    aes::mix_columns(t);
+    aes::inv_mix_columns(t);
+    EXPECT_TRUE(t == s) << "seed " << seed;
+  }
+}
+
+TEST(Transforms, MixColumnWordAgreesWithState) {
+  for (std::uint32_t seed = 0; seed < 10; ++seed) {
+    auto bytes = random_bytes(16, 200 + seed);
+    aes::State s(4, bytes);
+    aes::State t = s;
+    aes::mix_columns(t);
+    for (int c = 0; c < 4; ++c)
+      EXPECT_EQ(aes::mix_column_word(s.column_word(c)), t.column_word(c));
+  }
+}
+
+TEST(Transforms, InvMixColumnWordAgreesWithState) {
+  for (std::uint32_t seed = 0; seed < 10; ++seed) {
+    auto bytes = random_bytes(16, 300 + seed);
+    aes::State s(4, bytes);
+    aes::State t = s;
+    aes::inv_mix_columns(t);
+    for (int c = 0; c < 4; ++c)
+      EXPECT_EQ(aes::inv_mix_column_word(s.column_word(c)), t.column_word(c));
+  }
+}
+
+TEST(Transforms, AddRoundKeyIsSelfInverse) {
+  auto bytes = random_bytes(16, 42);
+  auto key = random_bytes(16, 43);
+  aes::State s(4, bytes);
+  aes::State t = s;
+  aes::add_round_key(t, key);
+  aes::add_round_key(t, key);
+  EXPECT_TRUE(t == s);
+}
+
+TEST(Transforms, ShiftOffsetsPerGeometry) {
+  // Nb=4 and Nb=6 use 1,2,3; Nb=8 uses 1,3,4 (Rijndael spec).
+  for (const int nb : {4, 6}) {
+    EXPECT_EQ(aes::shift_offset(nb, 0), 0);
+    EXPECT_EQ(aes::shift_offset(nb, 1), 1);
+    EXPECT_EQ(aes::shift_offset(nb, 2), 2);
+    EXPECT_EQ(aes::shift_offset(nb, 3), 3);
+  }
+  EXPECT_EQ(aes::shift_offset(8, 1), 1);
+  EXPECT_EQ(aes::shift_offset(8, 2), 3);
+  EXPECT_EQ(aes::shift_offset(8, 3), 4);
+}
+
+// --- key schedule ----------------------------------------------------------------
+
+TEST(KeySchedule, Aes128FirstAndLastWords) {
+  // FIPS-197 Appendix A.1 for key 2b7e1516...3c.
+  const auto key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto g = aes::Geometry::make(128, 128);
+  const auto w = aes::expand_key(g, key);
+  ASSERT_EQ(w.size(), 44u);
+  // w[4] = a0fafe17 (bytes a0 fa fe 17 -> little-endian 0x17fefaa0).
+  EXPECT_EQ(w[4], 0x17fefaa0U);
+  EXPECT_EQ(w[5], 0xb12c5488U);  // 88542cb1
+  // w[43] = b6630ca6.
+  EXPECT_EQ(w[43], 0xa60c63b6U);
+}
+
+TEST(KeySchedule, KstranMatchesExpansionBoundary) {
+  const auto key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto g = aes::Geometry::make(128, 128);
+  const auto w = aes::expand_key(g, key);
+  for (int r = 1; r <= 10; ++r)
+    EXPECT_EQ(w[static_cast<std::size_t>(4 * r)],
+              w[static_cast<std::size_t>(4 * (r - 1))] ^
+                  aes::kstran(w[static_cast<std::size_t>(4 * r - 1)], r))
+        << "round " << r;
+}
+
+TEST(KeySchedule, GeometryRoundCounts) {
+  EXPECT_EQ(aes::Geometry::make(128, 128).nr, 10);
+  EXPECT_EQ(aes::Geometry::make(128, 192).nr, 12);
+  EXPECT_EQ(aes::Geometry::make(128, 256).nr, 14);
+  EXPECT_EQ(aes::Geometry::make(192, 128).nr, 12);
+  EXPECT_EQ(aes::Geometry::make(256, 128).nr, 14);
+  EXPECT_EQ(aes::Geometry::make(256, 256).nr, 14);
+}
+
+TEST(KeySchedule, ScheduleSizes) {
+  for (const int block : {128, 192, 256})
+    for (const int key_bits : {128, 192, 256}) {
+      const auto g = aes::Geometry::make(block, key_bits);
+      const auto key = random_bytes(static_cast<std::size_t>(g.key_bytes()), 7);
+      EXPECT_EQ(aes::expand_key(g, key).size(),
+                static_cast<std::size_t>(g.nb * (g.nr + 1)));
+    }
+}
+
+// --- cipher known-answer tests ----------------------------------------------------
+
+TEST(Cipher, Fips197Aes128Example) {
+  // FIPS-197 Appendix B.
+  const auto key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto pt = from_hex("3243f6a8885a308d313198a2e0370734");
+  aes::Aes128 c(key);
+  std::array<std::uint8_t, 16> ct{};
+  c.encrypt_block(pt, ct);
+  EXPECT_EQ(to_hex(ct), "3925841d02dc09fbdc118597196a0b32");
+  std::array<std::uint8_t, 16> back{};
+  c.decrypt_block(ct, back);
+  EXPECT_EQ(to_hex(back), to_hex(pt));
+}
+
+TEST(Cipher, Fips197AppendixC128) {
+  const auto key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const auto pt = from_hex("00112233445566778899aabbccddeeff");
+  aes::Aes128 c(key);
+  std::array<std::uint8_t, 16> ct{};
+  c.encrypt_block(pt, ct);
+  EXPECT_EQ(to_hex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Cipher, Fips197AppendixC192) {
+  const auto key = from_hex("000102030405060708090a0b0c0d0e0f1011121314151617");
+  const auto pt = from_hex("00112233445566778899aabbccddeeff");
+  auto c = aes::Rijndael::make(128, 192, key);
+  std::array<std::uint8_t, 16> ct{};
+  c.encrypt_block(pt, ct);
+  EXPECT_EQ(to_hex(ct), "dda97ca4864cdfe06eaf70a0ec0d7191");
+  std::array<std::uint8_t, 16> back{};
+  c.decrypt_block(ct, back);
+  EXPECT_EQ(to_hex(back), to_hex(pt));
+}
+
+TEST(Cipher, Fips197AppendixC256) {
+  const auto key =
+      from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto pt = from_hex("00112233445566778899aabbccddeeff");
+  auto c = aes::Rijndael::make(128, 256, key);
+  std::array<std::uint8_t, 16> ct{};
+  c.encrypt_block(pt, ct);
+  EXPECT_EQ(to_hex(ct), "8ea2b7ca516745bfeafc49904b496089");
+  std::array<std::uint8_t, 16> back{};
+  c.decrypt_block(ct, back);
+  EXPECT_EQ(to_hex(back), to_hex(pt));
+}
+
+TEST(Cipher, ObserverSeesAllRounds) {
+  const auto key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto pt = from_hex("3243f6a8885a308d313198a2e0370734");
+  aes::Aes128 c(key);
+  std::array<std::uint8_t, 16> ct{};
+  int rounds_seen = 0;
+  c.rijndael().encrypt_block(
+      pt, ct,
+      [](int round, const aes::State&, void* user) {
+        auto* n = static_cast<int*>(user);
+        EXPECT_EQ(round, *n);
+        ++*n;
+      },
+      &rounds_seen);
+  EXPECT_EQ(rounds_seen, 11);  // rounds 0..10
+}
+
+TEST(Cipher, ObserverRound1MatchesFips197AppendixB) {
+  const auto key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto pt = from_hex("3243f6a8885a308d313198a2e0370734");
+  aes::Aes128 c(key);
+  std::array<std::uint8_t, 16> ct{};
+  struct Ctx {
+    std::string round0, round1;
+  } ctx;
+  c.rijndael().encrypt_block(
+      pt, ct,
+      [](int round, const aes::State& s, void* user) {
+        auto* x = static_cast<Ctx*>(user);
+        if (round == 0) x->round0 = s.to_hex();
+        if (round == 1) x->round1 = s.to_hex();
+      },
+      &ctx);
+  EXPECT_EQ(ctx.round0, "193de3bea0f4e22b9ac68d2ae9f84808");  // after initial AddKey
+  EXPECT_EQ(ctx.round1, "a49c7ff2689f352b6b5bea43026a5049");  // start of round 2
+}
+
+// --- full Rijndael geometry matrix --------------------------------------------------
+
+struct GeometryCase {
+  int block_bits;
+  int key_bits;
+};
+
+class RijndaelGeometry : public ::testing::TestWithParam<GeometryCase> {};
+
+TEST_P(RijndaelGeometry, EncryptDecryptRoundTrip) {
+  const auto [block_bits, key_bits] = GetParam();
+  const auto key = random_bytes(static_cast<std::size_t>(key_bits / 8),
+                                static_cast<std::uint32_t>(block_bits * 1000 + key_bits));
+  auto c = aes::Rijndael::make(block_bits, key_bits, key);
+  for (std::uint32_t seed = 0; seed < 8; ++seed) {
+    const auto pt = random_bytes(static_cast<std::size_t>(block_bits / 8), 900 + seed);
+    std::vector<std::uint8_t> ct(pt.size()), back(pt.size());
+    c.encrypt_block(pt, ct);
+    EXPECT_NE(to_hex(ct), to_hex(pt));
+    c.decrypt_block(ct, back);
+    EXPECT_EQ(to_hex(back), to_hex(pt));
+  }
+}
+
+TEST_P(RijndaelGeometry, EncryptionIsKeyDependent) {
+  const auto [block_bits, key_bits] = GetParam();
+  const auto key1 = random_bytes(static_cast<std::size_t>(key_bits / 8), 1);
+  auto key2 = key1;
+  key2[0] ^= 1;
+  auto c1 = aes::Rijndael::make(block_bits, key_bits, key1);
+  auto c2 = aes::Rijndael::make(block_bits, key_bits, key2);
+  const auto pt = random_bytes(static_cast<std::size_t>(block_bits / 8), 2);
+  std::vector<std::uint8_t> ct1(pt.size()), ct2(pt.size());
+  c1.encrypt_block(pt, ct1);
+  c2.encrypt_block(pt, ct2);
+  EXPECT_NE(to_hex(ct1), to_hex(ct2));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGeometries, RijndaelGeometry,
+                         ::testing::Values(GeometryCase{128, 128}, GeometryCase{128, 192},
+                                           GeometryCase{128, 256}, GeometryCase{192, 128},
+                                           GeometryCase{192, 192}, GeometryCase{192, 256},
+                                           GeometryCase{256, 128}, GeometryCase{256, 192},
+                                           GeometryCase{256, 256}),
+                         [](const auto& info) {
+                           return "b" + std::to_string(info.param.block_bits) + "k" +
+                                  std::to_string(info.param.key_bits);
+                         });
+
+// --- T-table engine ------------------------------------------------------------------
+
+TEST(TTable, MatchesReferenceOnFipsVector) {
+  const auto key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const auto pt = from_hex("00112233445566778899aabbccddeeff");
+  aes::TTableAes128 t(key);
+  std::array<std::uint8_t, 16> ct{};
+  t.encrypt_block(pt, ct);
+  EXPECT_EQ(to_hex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  std::array<std::uint8_t, 16> back{};
+  t.decrypt_block(ct, back);
+  EXPECT_EQ(to_hex(back), to_hex(pt));
+}
+
+TEST(TTable, MatchesReferenceOnRandomData) {
+  for (std::uint32_t seed = 0; seed < 25; ++seed) {
+    const auto key = random_bytes(16, 5000 + seed);
+    const auto pt = random_bytes(16, 6000 + seed);
+    aes::Aes128 ref(key);
+    aes::TTableAes128 fast(key);
+    std::array<std::uint8_t, 16> a{}, b{}, da{}, db{};
+    ref.encrypt_block(pt, a);
+    fast.encrypt_block(pt, b);
+    EXPECT_EQ(to_hex(a), to_hex(b)) << "seed " << seed;
+    ref.decrypt_block(a, da);
+    fast.decrypt_block(a, db);
+    EXPECT_EQ(to_hex(da), to_hex(db)) << "seed " << seed;
+    EXPECT_EQ(to_hex(da), to_hex(pt)) << "seed " << seed;
+  }
+}

@@ -1,0 +1,104 @@
+// Analytical architecture model: the paper's 12-vs-5 cycle claim, S-box
+// budgets, key-schedule limiting, and the Table 3 baseline records.
+#include <gtest/gtest.h>
+
+#include "arch/baselines.hpp"
+#include "arch/cycle_model.hpp"
+
+namespace arch = aesip::arch;
+
+TEST(CycleModel, PaperMixedIs5CyclesPerRound) {
+  EXPECT_EQ(arch::cycles_per_round(arch::paper_mixed()), 5);
+  EXPECT_EQ(arch::cycles_per_block(arch::paper_mixed()), 50);
+}
+
+TEST(CycleModel, All32Is12CyclesPerRound) {
+  // Section 4: "decreasing the number of clock cycles needed to execute a
+  // round from 12 (in the case of all functions using 32) to 5".
+  EXPECT_EQ(arch::cycles_per_round(arch::all32()), 12);
+  EXPECT_EQ(arch::cycles_per_block(arch::all32()), 120);
+}
+
+TEST(CycleModel, MixedSavesSevenCyclesPerRound) {
+  EXPECT_EQ(arch::cycles_per_round(arch::all32()) - arch::cycles_per_round(arch::paper_mixed()),
+            7);
+}
+
+TEST(CycleModel, SmallerWidthsPayManyCycles) {
+  EXPECT_GT(arch::cycles_per_round(arch::serial16()), arch::cycles_per_round(arch::paper_mixed()));
+  EXPECT_GT(arch::cycles_per_round(arch::serial8()), arch::cycles_per_round(arch::serial16()));
+  // 16 ByteSub passes + 4 MixColumn + 4 AddKey passes at 32-bit linear width.
+  EXPECT_EQ(arch::cycles_per_round(arch::serial8()), 16 + 8);
+}
+
+TEST(CycleModel, Full128IsKeyScheduleLimited) {
+  // Section 6: "A 128 could be limited by the key schedule" — a fused round
+  // takes 1 cycle but the 32-bit on-the-fly schedule needs 4.
+  auto cfg = arch::full128();
+  EXPECT_EQ(arch::cycles_per_round(cfg), 1);
+  EXPECT_EQ(arch::effective_cycles_per_round(cfg), 4);
+  cfg.stored_keys = true;
+  EXPECT_EQ(arch::effective_cycles_per_round(cfg), 1);
+}
+
+TEST(CycleModel, MixedIsNotKeyScheduleLimited) {
+  // The paper's balance point: 4 KStran cycles hide entirely inside the 4
+  // ByteSub cycles of a 5-cycle round.
+  EXPECT_EQ(arch::effective_cycles_per_round(arch::paper_mixed()), 5);
+}
+
+TEST(CycleModel, SboxBudgets) {
+  EXPECT_EQ(arch::sbox_count(arch::paper_mixed()), 8);   // 4 data + 4 KStran
+  EXPECT_EQ(arch::rom_bits(arch::paper_mixed()), 16384);
+  auto both = arch::paper_mixed();
+  both.decrypt_too = true;
+  EXPECT_EQ(arch::sbox_count(both), 16);
+  EXPECT_EQ(arch::rom_bits(both), 32768);
+  EXPECT_EQ(arch::sbox_count(arch::full128()), 20);  // 16 data + 4 KStran
+}
+
+TEST(CycleModel, ThroughputFormula) {
+  // 128 bits / (50 x 14 ns) = 182.9 Mbps — the paper's Acex encrypt row.
+  EXPECT_NEAR(arch::throughput_mbps(arch::paper_mixed(), 14.0), 182.9, 0.1);
+  EXPECT_NEAR(arch::throughput_mbps(arch::paper_mixed(), 10.0), 256.0, 0.1);
+}
+
+TEST(CycleModel, RejectsBadGeometry) {
+  arch::DatapathConfig bad{"bad", 24, 128, false, false, false};
+  EXPECT_THROW(arch::cycles_per_round(bad), std::invalid_argument);
+  bad = arch::DatapathConfig{"bad", 32, 64, false, false, false};
+  EXPECT_THROW(arch::cycles_per_round(bad), std::invalid_argument);
+}
+
+TEST(Baselines, TableHasFourRows) {
+  const auto& rows = arch::table3_baselines();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_NE(rows[0].reference.find("Mroczkowski"), std::string::npos);
+  EXPECT_NE(rows[1].reference.find("Zigiotto"), std::string::npos);
+  EXPECT_NE(rows[2].reference.find("Panato"), std::string::npos);
+  EXPECT_NE(rows[3].reference.find("Hammercores"), std::string::npos);
+}
+
+TEST(Baselines, LegibleCellsRecorded) {
+  const auto& rows = arch::table3_baselines();
+  EXPECT_EQ(rows[1].logic_cells.value(), 1965);
+  EXPECT_NEAR(rows[1].throughput_both_mbps.value(), 61.2, 1e-9);
+  EXPECT_EQ(rows[3].memory_bits.value(), 57344);
+}
+
+TEST(Baselines, LowCostDesignIsSlowerThanPaperIp) {
+  // Shape check the Table 3 comparison hinges on: the 8-bit low-cost
+  // design's throughput (model and reported) sits far below the paper IP's
+  // 150-182 Mbps.
+  const auto& zigiotto = arch::table3_baselines()[1];
+  const double modeled =
+      arch::throughput_mbps(zigiotto.model_config, zigiotto.model_clock_ns);
+  EXPECT_LT(modeled, 150.0);
+  EXPECT_LT(zigiotto.throughput_both_mbps.value(), 150.0);
+}
+
+TEST(Baselines, HighPerfDesignIsFasterThanPaperIp) {
+  const auto& panato = arch::table3_baselines()[2];
+  const double modeled = arch::throughput_mbps(panato.model_config, panato.model_clock_ns);
+  EXPECT_GT(modeled, 256.0) << "the Apex20K full-parallel design outruns the low-area IP";
+}

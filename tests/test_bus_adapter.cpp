@@ -1,0 +1,184 @@
+// Narrow-bus adapter (the paper's "simple interface could be built using
+// 32 or 16 data bus"): functional conformance at every width, pin-count
+// savings, full-rate sustainability at 32/16 bits, and the quantified
+// 8-bit caveat.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "aes/cipher.hpp"
+#include "core/bus_adapter.hpp"
+#include "hdl/simulator.hpp"
+
+namespace core = aesip::core;
+namespace aes = aesip::aes;
+namespace hdl = aesip::hdl;
+using core::IpMode;
+
+namespace {
+
+std::array<std::uint8_t, 16> random_block(std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::array<std::uint8_t, 16> out{};
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+struct NarrowBench {
+  hdl::Simulator sim;
+  core::NarrowBusIp nb;
+  core::NarrowBusDriver bus;
+  NarrowBench(IpMode mode, int width) : nb(sim, mode, width), bus(sim, nb) { bus.reset(); }
+};
+
+}  // namespace
+
+TEST(NarrowBus, RejectsOddWidths) {
+  hdl::Simulator sim;
+  EXPECT_THROW(core::NarrowBusIp(sim, IpMode::kEncrypt, 24), std::invalid_argument);
+  EXPECT_THROW(core::NarrowBusIp(sim, IpMode::kEncrypt, 64), std::invalid_argument);
+}
+
+class NarrowBusWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(NarrowBusWidth, EncryptsFipsVector) {
+  NarrowBench b(IpMode::kEncrypt, GetParam());
+  const auto key = random_block(1);
+  const auto pt = random_block(2);
+  aes::Aes128 ref(key);
+  std::array<std::uint8_t, 16> golden{};
+  ref.encrypt_block(pt, golden);
+  b.bus.load_key(key);
+  EXPECT_EQ(b.bus.process_block(pt), golden) << "width " << GetParam();
+}
+
+TEST_P(NarrowBusWidth, DecryptRoundTripOnBothDevice) {
+  NarrowBench b(IpMode::kBoth, GetParam());
+  const auto key = random_block(3);
+  const auto pt = random_block(4);
+  b.bus.load_key(key);
+  const auto ct = b.bus.process_block(pt, true);
+  EXPECT_NE(ct, pt);
+  EXPECT_EQ(b.bus.process_block(ct, false), pt) << "width " << GetParam();
+}
+
+TEST_P(NarrowBusWidth, WordCountMatchesWidth) {
+  hdl::Simulator sim;
+  core::NarrowBusIp nb(sim, IpMode::kEncrypt, GetParam());
+  EXPECT_EQ(nb.words_per_block() * GetParam(), 128);
+}
+
+TEST_P(NarrowBusWidth, StreamMatchesReference) {
+  NarrowBench b(IpMode::kEncrypt, GetParam());
+  const auto key = random_block(5);
+  b.bus.load_key(key);
+  std::vector<std::array<std::uint8_t, 16>> blocks;
+  for (std::uint32_t i = 0; i < 6; ++i) blocks.push_back(random_block(100 + i));
+  const auto results = b.bus.stream(blocks);
+  ASSERT_EQ(results.size(), blocks.size());
+  aes::Aes128 ref(key);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    std::array<std::uint8_t, 16> expected{};
+    ref.encrypt_block(blocks[i], expected);
+    EXPECT_EQ(results[i], expected) << "width " << GetParam() << " block " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, NarrowBusWidth, ::testing::Values(8, 16, 32),
+                         [](const auto& info) { return "w" + std::to_string(info.param); });
+
+TEST(NarrowBus, PinCountsShrinkDramatically) {
+  // The whole point: 261 pins -> 69 (32-bit) / 37 (16-bit) / 21 (8-bit).
+  EXPECT_EQ(core::NarrowBusIp::pin_count(32, IpMode::kEncrypt), 69);
+  EXPECT_EQ(core::NarrowBusIp::pin_count(16, IpMode::kEncrypt), 37);
+  EXPECT_EQ(core::NarrowBusIp::pin_count(8, IpMode::kEncrypt), 21);
+  EXPECT_EQ(core::NarrowBusIp::pin_count(32, IpMode::kBoth), 70);
+  // The 16-bit combined device fits even the 65-I/O EP1C3 package that the
+  // full 262-pin interface could not.
+  EXPECT_LT(core::NarrowBusIp::pin_count(16, IpMode::kBoth), 65);
+}
+
+TEST(NarrowBus, KeySetupStillRunsOnDecryptDevice) {
+  NarrowBench b(IpMode::kDecrypt, 32);
+  const auto key = random_block(6);
+  const auto cycles = b.bus.load_key(key);
+  EXPECT_GE(cycles, 40u) << "the 40-cycle key setup is unchanged behind the adapter";
+  const auto pt = random_block(7);
+  aes::Aes128 ref(key);
+  std::array<std::uint8_t, 16> ct{};
+  ref.encrypt_block(pt, ct);
+  EXPECT_EQ(b.bus.process_block(ct, false), pt);
+}
+
+TEST(NarrowBus, FullRateAt32And16Bits) {
+  // Loading (128/W) + draining (128/W) words hides inside the 50-cycle
+  // computation at 32 and 16 bits: streaming sustains ~50 cycles/block.
+  for (const int width : {32, 16}) {
+    NarrowBench b(IpMode::kEncrypt, width);
+    b.bus.load_key(random_block(8));
+    std::vector<std::array<std::uint8_t, 16>> blocks;
+    for (std::uint32_t i = 0; i < 10; ++i) blocks.push_back(random_block(200 + i));
+    b.bus.stream(blocks);
+    const double cpb = static_cast<double>(b.bus.last_stream_cycles()) /
+                       static_cast<double>(blocks.size());
+    EXPECT_LE(cpb, 52.0) << "width " << width << " must sustain full rate";
+  }
+}
+
+TEST(NarrowBus, EightBitStillKeepsUpWithDedicatedBuses) {
+  // With separate in/out buses even 8 bits fits (16 in + 16 out < 50);
+  // the paper's caveat applies to narrower or shared buses.  Quantify:
+  NarrowBench b(IpMode::kEncrypt, 8);
+  b.bus.load_key(random_block(9));
+  std::vector<std::array<std::uint8_t, 16>> blocks;
+  for (std::uint32_t i = 0; i < 8; ++i) blocks.push_back(random_block(300 + i));
+  b.bus.stream(blocks);
+  const double cpb =
+      static_cast<double>(b.bus.last_stream_cycles()) / static_cast<double>(blocks.size());
+  EXPECT_LE(cpb, 54.0);
+  // A shared half-duplex bus would need 16 + 16 = 32 transfer cycles per
+  // block; a 4-bit one 64 > 50 — the first width that genuinely cannot
+  // keep full rate, matching the paper's "lower bus sizes" remark.
+  EXPECT_GT(2 * (128 / 4), 50);
+  EXPECT_LT(2 * (128 / 8), 50);
+}
+
+TEST(NarrowBus, SetupResetsAssembly) {
+  NarrowBench b(IpMode::kEncrypt, 32);
+  const auto key = random_block(10);
+  b.bus.load_key(key);
+  // Write two words of a block, then reset: the partial assembly must not
+  // leak into the next block.
+  b.nb.ndin.write(0xdeadbeef);
+  b.nb.nwr_data.write(true);
+  b.sim.step();
+  b.sim.step();
+  b.nb.nwr_data.write(false);
+  b.bus.reset();
+  b.bus.load_key(key);  // reset also clears the key
+  const auto pt = random_block(11);
+  aes::Aes128 ref(key);
+  std::array<std::uint8_t, 16> golden{};
+  ref.encrypt_block(pt, golden);
+  EXPECT_EQ(b.bus.process_block(pt), golden);
+}
+
+TEST(NarrowBus, TypeSwitchRestartsAssembly) {
+  // Interleaving a key write into a half-assembled data block restarts the
+  // assembly instead of mixing words of different kinds.
+  NarrowBench b(IpMode::kEncrypt, 32);
+  const auto key = random_block(12);
+  b.bus.load_key(key);
+  // Two data words, then a full key write, then a full data block.
+  b.nb.ndin.write(0x11111111);
+  b.nb.nwr_data.write(true);
+  b.sim.step();
+  b.sim.step();
+  b.nb.nwr_data.write(false);
+  b.bus.load_key(key);
+  const auto pt = random_block(13);
+  aes::Aes128 ref(key);
+  std::array<std::uint8_t, 16> golden{};
+  ref.encrypt_block(pt, golden);
+  EXPECT_EQ(b.bus.process_block(pt), golden);
+}

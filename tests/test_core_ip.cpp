@@ -1,0 +1,325 @@
+// Cycle-accurate IP model: bit-exact conformance against the reference
+// cipher for all three device variants, exact cycle counts (50 per block,
+// 40 for key setup), bus-protocol behaviour and full-rate streaming.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <random>
+#include <vector>
+
+#include "aes/cipher.hpp"
+#include "core/bfm.hpp"
+#include "core/rijndael_ip.hpp"
+#include "hdl/simulator.hpp"
+
+namespace core = aesip::core;
+namespace aes = aesip::aes;
+namespace hdl = aesip::hdl;
+
+namespace {
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2)
+    out.push_back(static_cast<std::uint8_t>(std::stoi(hex.substr(i, 2), nullptr, 16)));
+  return out;
+}
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  for (const std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 16> random_block(std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::array<std::uint8_t, 16> out{};
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+struct Bench {
+  hdl::Simulator sim;
+  core::RijndaelIp ip;
+  core::BusDriver bus;
+  explicit Bench(core::IpMode mode) : ip(sim, mode), bus(sim, ip) { bus.reset(); }
+};
+
+}  // namespace
+
+// --- functional conformance -------------------------------------------------------
+
+TEST(EncryptIp, Fips197AppendixC) {
+  Bench b(core::IpMode::kEncrypt);
+  b.bus.load_key(from_hex("000102030405060708090a0b0c0d0e0f"));
+  const auto ct = b.bus.process_block(from_hex("00112233445566778899aabbccddeeff"));
+  EXPECT_EQ(to_hex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(EncryptIp, Fips197AppendixB) {
+  Bench b(core::IpMode::kEncrypt);
+  b.bus.load_key(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const auto ct = b.bus.process_block(from_hex("3243f6a8885a308d313198a2e0370734"));
+  EXPECT_EQ(to_hex(ct), "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(DecryptIp, Fips197AppendixC) {
+  Bench b(core::IpMode::kDecrypt);
+  b.bus.load_key(from_hex("000102030405060708090a0b0c0d0e0f"));
+  const auto pt =
+      b.bus.process_block(from_hex("69c4e0d86a7b0430d8cdb78070b4c55a"), /*encrypt=*/false);
+  EXPECT_EQ(to_hex(pt), "00112233445566778899aabbccddeeff");
+}
+
+TEST(BothIp, EncryptsAndDecrypts) {
+  Bench b(core::IpMode::kBoth);
+  b.bus.load_key(from_hex("000102030405060708090a0b0c0d0e0f"));
+  const auto ct = b.bus.process_block(from_hex("00112233445566778899aabbccddeeff"), true);
+  EXPECT_EQ(to_hex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  const auto pt = b.bus.process_block(ct, false);
+  EXPECT_EQ(to_hex(pt), "00112233445566778899aabbccddeeff");
+}
+
+class IpConformance : public ::testing::TestWithParam<int> {};
+
+TEST_P(IpConformance, EncryptMatchesReference) {
+  const auto seed = static_cast<std::uint32_t>(GetParam());
+  const auto key = random_block(seed);
+  const auto pt = random_block(seed + 1000);
+  aes::Aes128 ref(key);
+  std::array<std::uint8_t, 16> expected{};
+  ref.encrypt_block(pt, expected);
+
+  Bench b(core::IpMode::kEncrypt);
+  b.bus.load_key(key);
+  EXPECT_EQ(to_hex(b.bus.process_block(pt)), to_hex(expected)) << "seed " << seed;
+}
+
+TEST_P(IpConformance, DecryptMatchesReference) {
+  const auto seed = static_cast<std::uint32_t>(GetParam());
+  const auto key = random_block(seed + 2000);
+  const auto ct = random_block(seed + 3000);
+  aes::Aes128 ref(key);
+  std::array<std::uint8_t, 16> expected{};
+  ref.decrypt_block(ct, expected);
+
+  Bench b(core::IpMode::kDecrypt);
+  b.bus.load_key(key);
+  EXPECT_EQ(to_hex(b.bus.process_block(ct, false)), to_hex(expected)) << "seed " << seed;
+}
+
+TEST_P(IpConformance, BothRoundTripsThroughHardware) {
+  const auto seed = static_cast<std::uint32_t>(GetParam());
+  const auto key = random_block(seed + 4000);
+  const auto pt = random_block(seed + 5000);
+  Bench b(core::IpMode::kBoth);
+  b.bus.load_key(key);
+  const auto ct = b.bus.process_block(pt, true);
+  EXPECT_NE(to_hex(ct), to_hex(pt));
+  const auto back = b.bus.process_block(ct, false);
+  EXPECT_EQ(to_hex(back), to_hex(pt)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomVectors, IpConformance, ::testing::Range(0, 20));
+
+// --- cycle accuracy (the numbers behind Table 2) ------------------------------------
+
+TEST(Cycles, EncryptLatencyIsExactly50) {
+  Bench b(core::IpMode::kEncrypt);
+  b.bus.load_key(random_block(1));
+  b.bus.process_block(random_block(2));
+  EXPECT_EQ(b.bus.last_latency(), 50u) << "latency must be 10 rounds x 5 cycles";
+}
+
+TEST(Cycles, DecryptLatencyIsExactly50) {
+  Bench b(core::IpMode::kDecrypt);
+  b.bus.load_key(random_block(3));
+  b.bus.process_block(random_block(4), false);
+  EXPECT_EQ(b.bus.last_latency(), 50u);
+}
+
+TEST(Cycles, BothLatencyIsExactly50EitherDirection) {
+  Bench b(core::IpMode::kBoth);
+  b.bus.load_key(random_block(5));
+  b.bus.process_block(random_block(6), true);
+  EXPECT_EQ(b.bus.last_latency(), 50u);
+  b.bus.process_block(random_block(7), false);
+  EXPECT_EQ(b.bus.last_latency(), 50u);
+}
+
+TEST(Cycles, EncryptKeyLoadIsImmediate) {
+  Bench b(core::IpMode::kEncrypt);
+  EXPECT_EQ(b.bus.load_key(random_block(8)), 0u)
+      << "forward on-the-fly schedule needs no key setup";
+}
+
+TEST(Cycles, DecryptKeySetupTakes40Cycles) {
+  Bench b(core::IpMode::kDecrypt);
+  EXPECT_EQ(b.bus.load_key(random_block(9)), 40u) << "10 rounds x 4 KStran cycles";
+}
+
+TEST(Cycles, BothKeySetupTakes40Cycles) {
+  Bench b(core::IpMode::kBoth);
+  EXPECT_EQ(b.bus.load_key(random_block(10)), 40u);
+}
+
+TEST(Cycles, StreamingSustains50CyclesPerBlock) {
+  Bench b(core::IpMode::kEncrypt);
+  const auto key = random_block(11);
+  b.bus.load_key(key);
+  std::vector<std::array<std::uint8_t, 16>> blocks;
+  for (std::uint32_t i = 0; i < 12; ++i) blocks.push_back(random_block(100 + i));
+  const auto results = b.bus.stream(blocks);
+  ASSERT_EQ(results.size(), blocks.size());
+  // Full-rate: N blocks in N*50 cycles (the decoupled Data_In/Out processes
+  // hide all bus traffic behind processing — throughput = 128/latency).
+  EXPECT_EQ(b.bus.last_stream_cycles(), blocks.size() * 50);
+  aes::Aes128 ref(key);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    std::array<std::uint8_t, 16> expected{};
+    ref.encrypt_block(blocks[i], expected);
+    EXPECT_EQ(to_hex(results[i]), to_hex(expected)) << "block " << i;
+  }
+}
+
+TEST(Cycles, StreamingDecryptAlsoFullRate) {
+  Bench b(core::IpMode::kDecrypt);
+  const auto key = random_block(12);
+  b.bus.load_key(key);
+  std::vector<std::array<std::uint8_t, 16>> blocks;
+  for (std::uint32_t i = 0; i < 6; ++i) blocks.push_back(random_block(200 + i));
+  const auto results = b.bus.stream(blocks, false);
+  ASSERT_EQ(results.size(), blocks.size());
+  EXPECT_EQ(b.bus.last_stream_cycles(), blocks.size() * 50);
+  aes::Aes128 ref(key);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    std::array<std::uint8_t, 16> expected{};
+    ref.decrypt_block(blocks[i], expected);
+    EXPECT_EQ(to_hex(results[i]), to_hex(expected)) << "block " << i;
+  }
+}
+
+// --- protocol behaviour ---------------------------------------------------------------
+
+TEST(Protocol, DataOkIsAOneCycleStrobe) {
+  Bench b(core::IpMode::kEncrypt);
+  b.bus.load_key(random_block(13));
+  b.bus.process_block(random_block(14));
+  EXPECT_TRUE(b.ip.data_ok.read());
+  b.sim.step();
+  EXPECT_FALSE(b.ip.data_ok.read()) << "data_ok must strobe for exactly one cycle";
+}
+
+TEST(Protocol, DoutHoldsResultAfterStrobe) {
+  Bench b(core::IpMode::kEncrypt);
+  b.bus.load_key(from_hex("000102030405060708090a0b0c0d0e0f"));
+  b.bus.process_block(from_hex("00112233445566778899aabbccddeeff"));
+  b.sim.run(10);
+  EXPECT_EQ(b.ip.dout.read().to_hex(), "69c4e0d86a7b0430d8cdb78070b4c55a")
+      << "the Out register holds the result until the next block completes";
+}
+
+TEST(Protocol, KeyChangeTakesEffect) {
+  Bench b(core::IpMode::kEncrypt);
+  const auto key1 = random_block(15);
+  const auto key2 = random_block(16);
+  const auto pt = random_block(17);
+  b.bus.load_key(key1);
+  const auto ct1 = b.bus.process_block(pt);
+  b.bus.load_key(key2);
+  const auto ct2 = b.bus.process_block(pt);
+  aes::Aes128 ref2(key2);
+  std::array<std::uint8_t, 16> expected{};
+  ref2.encrypt_block(pt, expected);
+  EXPECT_NE(to_hex(ct1), to_hex(ct2));
+  EXPECT_EQ(to_hex(ct2), to_hex(expected));
+}
+
+TEST(Protocol, SetupResetsTheCore) {
+  Bench b(core::IpMode::kEncrypt);
+  b.bus.load_key(random_block(18));
+  EXPECT_TRUE(b.ip.key_ready());
+  b.bus.reset();
+  EXPECT_FALSE(b.ip.key_ready()) << "setup clears configuration";
+  EXPECT_FALSE(b.ip.busy());
+  // A block written with no valid key must not start processing.
+  b.ip.din.write(hdl::Word128::from_hex("00112233445566778899aabbccddeeff"));
+  b.ip.wr_data.write(true);
+  b.sim.step();
+  b.ip.wr_data.write(false);
+  b.sim.run(60);
+  EXPECT_FALSE(b.ip.data_ok.read());
+  EXPECT_EQ(b.ip.blocks_done(), 0u);
+}
+
+TEST(Protocol, DataCanLoadWhileBusy) {
+  Bench b(core::IpMode::kEncrypt);
+  const auto key = random_block(19);
+  b.bus.load_key(key);
+  const auto blk1 = random_block(20);
+  const auto blk2 = random_block(21);
+
+  // Kick off block 1 manually, then write block 2 mid-processing.
+  b.ip.din.write(hdl::Word128::from_bytes(blk1));
+  b.ip.wr_data.write(true);
+  b.sim.step();
+  b.ip.wr_data.write(false);
+  b.sim.run(10);
+  EXPECT_TRUE(b.ip.busy());
+  b.ip.din.write(hdl::Word128::from_bytes(blk2));
+  b.ip.wr_data.write(true);
+  b.sim.step();
+  b.ip.wr_data.write(false);
+  EXPECT_TRUE(b.ip.data_pending());
+
+  // Both results must appear, 50 cycles apart, in order.
+  aes::Aes128 ref(key);
+  std::array<std::uint8_t, 16> exp1{}, exp2{};
+  ref.encrypt_block(blk1, exp1);
+  ref.encrypt_block(blk2, exp2);
+  std::vector<std::string> seen;
+  for (int i = 0; i < 120 && seen.size() < 2; ++i) {
+    b.sim.step();
+    if (b.ip.data_ok.read()) seen.push_back(b.ip.dout.read().to_hex());
+  }
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], to_hex(exp1));
+  EXPECT_EQ(seen[1], to_hex(exp2));
+}
+
+TEST(Protocol, BothDeviceAlternatesDirections) {
+  Bench b(core::IpMode::kBoth);
+  const auto key = random_block(22);
+  b.bus.load_key(key);
+  aes::Aes128 ref(key);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    const auto blk = random_block(300 + i);
+    std::array<std::uint8_t, 16> expected{};
+    if (i % 2 == 0) ref.encrypt_block(blk, expected);
+    else ref.decrypt_block(blk, expected);
+    const auto got = b.bus.process_block(blk, i % 2 == 0);
+    EXPECT_EQ(to_hex(got), to_hex(expected)) << "op " << i;
+  }
+}
+
+// --- structure ------------------------------------------------------------------------
+
+TEST(Structure, SBoxCountsMatchPaperTable2) {
+  hdl::Simulator s1, s2, s3;
+  core::RijndaelIp enc(s1, core::IpMode::kEncrypt);
+  core::RijndaelIp dec(s2, core::IpMode::kDecrypt);
+  core::RijndaelIp both(s3, core::IpMode::kBoth);
+  EXPECT_EQ(enc.sbox_count(), 8) << "16384 bits of S-box ROM";
+  EXPECT_EQ(dec.sbox_count(), 8) << "16384 bits of S-box ROM";
+  EXPECT_EQ(both.sbox_count(), 16) << "32768 bits of S-box ROM";
+}
+
+TEST(Structure, CycleConstantsMatchPaper) {
+  EXPECT_EQ(core::RijndaelIp::kCyclesPerRound, 5);
+  EXPECT_EQ(core::RijndaelIp::kCyclesPerBlock, 50);
+  EXPECT_EQ(core::RijndaelIp::kCyclesPerRoundAll32, 12);
+}

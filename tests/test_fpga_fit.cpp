@@ -1,0 +1,131 @@
+// Device database sanity and the fitter: occupation percentages against
+// datasheet capacities, the async-ROM rule (EAB vs M4K), resource limits
+// and timing closure.
+#include <gtest/gtest.h>
+
+#include "core/ip_synth.hpp"
+#include "fpga/device.hpp"
+#include "fpga/fitter.hpp"
+#include "techmap/techmap.hpp"
+
+namespace core = aesip::core;
+namespace fpga = aesip::fpga;
+namespace txm = aesip::techmap;
+using core::IpMode;
+
+TEST(Devices, DatasheetCapacities) {
+  const auto& acex = fpga::ep1k100fc484_1();
+  EXPECT_EQ(acex.logic_elements, 4992);
+  EXPECT_EQ(acex.memory_bits, 49152);
+  EXPECT_EQ(acex.user_io, 333);
+  EXPECT_TRUE(acex.supports_async_rom);
+
+  const auto& cyclone = fpga::ep1c20f400c6();
+  EXPECT_EQ(cyclone.logic_elements, 20060);
+  EXPECT_EQ(cyclone.memory_bits, 294912);
+  EXPECT_EQ(cyclone.user_io, 301);
+  EXPECT_FALSE(cyclone.supports_async_rom);
+}
+
+TEST(Devices, LookupByName) {
+  EXPECT_EQ(fpga::find_device("EP1K100FC484-1"), &fpga::ep1k100fc484_1());
+  EXPECT_EQ(fpga::find_device("EP1C20F400C6"), &fpga::ep1c20f400c6());
+  EXPECT_EQ(fpga::find_device("no-such-part"), nullptr);
+  EXPECT_GE(fpga::all_devices().size(), 6u);
+}
+
+TEST(Fitter, PaperPercentagesFallOutOfCapacities) {
+  // The paper's Table 2 percentages are consistent with the datasheet
+  // capacities we encode: 2114/4992 = 42%, 16384/49152 = 33%,
+  // 261/333 = 78%, 261/301 = 87%, 4057/20060 = 20%.
+  EXPECT_NEAR(100.0 * 2114 / 4992, 42.0, 0.5);
+  EXPECT_NEAR(100.0 * 16384 / 49152, 33.0, 0.5);
+  EXPECT_NEAR(100.0 * 261 / 333, 78.0, 0.5);
+  EXPECT_NEAR(100.0 * 261 / 301, 87.0, 0.5);
+  EXPECT_NEAR(100.0 * 4057 / 20060, 20.0, 0.5);
+  EXPECT_NEAR(100.0 * 3222 / 4992, 64.0, 0.6);
+  EXPECT_NEAR(100.0 * 7034 / 20060, 35.0, 0.5);
+  EXPECT_NEAR(100.0 * 32768 / 49152, 66.0, 0.9);
+}
+
+TEST(Fitter, EncryptIpFitsAcex) {
+  const auto mapped = txm::map_to_luts(core::synthesize_ip(IpMode::kEncrypt, true));
+  const auto fit = fpga::fit(mapped, fpga::ep1k100fc484_1());
+  EXPECT_TRUE(fit.fits);
+  EXPECT_EQ(fit.pins, 261);
+  EXPECT_EQ(fit.memory_bits, 16384u);
+  EXPECT_NEAR(fit.memory_pct, 33.3, 0.5);
+  EXPECT_NEAR(fit.pin_pct, 78.4, 0.5);
+  EXPECT_GT(fit.logic_elements, 500u);
+  EXPECT_LT(fit.logic_elements, 4992u);
+  EXPECT_GT(fit.timing.clock_period_ns, 5.0);
+  EXPECT_LT(fit.timing.clock_period_ns, 30.0);
+}
+
+TEST(Fitter, RejectsAsyncRomOnCyclone) {
+  const auto mapped = txm::map_to_luts(core::synthesize_ip(IpMode::kEncrypt, true));
+  EXPECT_THROW(fpga::fit(mapped, fpga::ep1c20f400c6()), fpga::FitError)
+      << "Cyclone M4K cannot implement the asynchronous S-box ROM";
+}
+
+TEST(Fitter, LogicSboxFlavourFitsCycloneWithZeroMemory) {
+  const auto mapped = txm::map_to_luts(core::synthesize_ip(IpMode::kEncrypt, false));
+  const auto fit = fpga::fit(mapped, fpga::ep1c20f400c6());
+  EXPECT_TRUE(fit.fits);
+  EXPECT_EQ(fit.memory_bits, 0u);
+  EXPECT_EQ(fit.memory_blocks, 0);
+  EXPECT_NEAR(fit.pin_pct, 86.7, 0.5);
+}
+
+TEST(Fitter, MemoryBlockPacking) {
+  // 8 S-boxes x 2048 bits pack two-per-EAB: 4 of the EP1K100's 12 EABs.
+  const auto mapped = txm::map_to_luts(core::synthesize_ip(IpMode::kEncrypt, true));
+  const auto fit = fpga::fit(mapped, fpga::ep1k100fc484_1());
+  EXPECT_EQ(fit.memory_blocks, 4);
+}
+
+TEST(Fitter, BothVariantUsesTwiceTheMemory) {
+  const auto mapped = txm::map_to_luts(core::synthesize_ip(IpMode::kBoth, true));
+  const auto fit = fpga::fit(mapped, fpga::ep1k100fc484_1());
+  EXPECT_EQ(fit.memory_bits, 32768u);
+  EXPECT_NEAR(fit.memory_pct, 66.7, 0.5);
+  EXPECT_EQ(fit.memory_blocks, 8);
+  EXPECT_EQ(fit.pins, 262);
+}
+
+TEST(Fitter, OverCapacityReportsNoFit) {
+  // The Cyclone-flavour Both IP (16 logic S-boxes) cannot fit the smallest
+  // Cyclone part's LE budget... it actually might; use the tiny EP1C3 pin
+  // budget instead, which 262 pins certainly exceed.
+  const auto mapped = txm::map_to_luts(core::synthesize_ip(IpMode::kBoth, false));
+  const auto fit = fpga::fit(mapped, fpga::ep1c3t100c6());
+  EXPECT_FALSE(fit.fits) << "262 pins cannot fit a 65-I/O package";
+}
+
+TEST(Fitter, ThroughputHelpers) {
+  const auto mapped = txm::map_to_luts(core::synthesize_ip(IpMode::kEncrypt, true));
+  const auto fit = fpga::fit(mapped, fpga::ep1k100fc484_1());
+  const double latency = fit.latency_ns(50);
+  EXPECT_DOUBLE_EQ(latency, 50.0 * fit.timing.clock_period_ns);
+  EXPECT_NEAR(fit.throughput_mbps(128, 50), 128.0 / latency * 1000.0, 1e-9);
+}
+
+TEST(Fitter, CycloneIsFasterThanAcex) {
+  // Same architecture, newer process: the paper's Cyclone columns are ~30%
+  // faster across the board.
+  const auto acex = fpga::fit(txm::map_to_luts(core::synthesize_ip(IpMode::kEncrypt, true)),
+                              fpga::ep1k100fc484_1());
+  const auto cyc = fpga::fit(txm::map_to_luts(core::synthesize_ip(IpMode::kEncrypt, false)),
+                             fpga::ep1c20f400c6());
+  EXPECT_LT(cyc.timing.clock_period_ns, acex.timing.clock_period_ns);
+}
+
+TEST(Fitter, BothIsSlowerThanEncryptOnly) {
+  // The ~22% throughput drop the paper reports comes from the enc/dec
+  // muxing on the critical path.
+  const auto enc = fpga::fit(txm::map_to_luts(core::synthesize_ip(IpMode::kEncrypt, true)),
+                             fpga::ep1k100fc484_1());
+  const auto both = fpga::fit(txm::map_to_luts(core::synthesize_ip(IpMode::kBoth, true)),
+                              fpga::ep1k100fc484_1());
+  EXPECT_GT(both.timing.clock_period_ns, enc.timing.clock_period_ns);
+}

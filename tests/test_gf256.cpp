@@ -1,0 +1,192 @@
+// GF(2^8) algebra: field axioms, known products, xtime, rcon, and the
+// affine machinery the S-box derivation rests on.
+#include <gtest/gtest.h>
+
+#include "gf/bitmatrix.hpp"
+#include "gf/gf256.hpp"
+#include "gf/poly.hpp"
+
+namespace gf = aesip::gf;
+
+TEST(Gf256, AddIsXor) {
+  EXPECT_EQ(gf::add(0x57, 0x83), 0xd4);
+  EXPECT_EQ(gf::add(0xff, 0xff), 0x00);
+  EXPECT_EQ(gf::add(0x00, 0x42), 0x42);
+}
+
+TEST(Gf256, KnownProductFromFips) {
+  // FIPS-197 §4.2: {57} * {83} = {c1}.
+  EXPECT_EQ(gf::mul(0x57, 0x83), 0xc1);
+  // FIPS-197 §4.2.1: {57} * {13} = {fe}.
+  EXPECT_EQ(gf::mul(0x57, 0x13), 0xfe);
+}
+
+TEST(Gf256, XtimeChainFromFips) {
+  // FIPS-197 §4.2.1: successive xtime of {57}: ae, 47, 8e, 07.
+  EXPECT_EQ(gf::xtime(0x57), 0xae);
+  EXPECT_EQ(gf::xtime(0xae), 0x47);
+  EXPECT_EQ(gf::xtime(0x47), 0x8e);
+  EXPECT_EQ(gf::xtime(0x8e), 0x07);
+}
+
+TEST(Gf256, MulMatchesSlowMul) {
+  for (int a = 0; a < 256; ++a)
+    for (int b = 0; b < 256; b += 7)
+      EXPECT_EQ(gf::mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                gf::mul_slow(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)));
+}
+
+TEST(Gf256, MulByXMatchesXtime) {
+  for (int a = 0; a < 256; ++a)
+    EXPECT_EQ(gf::mul(static_cast<std::uint8_t>(a), 0x02), gf::xtime(static_cast<std::uint8_t>(a)));
+}
+
+class Gf256Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Gf256Property, MulCommutes) {
+  const auto a = static_cast<std::uint8_t>(GetParam());
+  for (int b = 0; b < 256; ++b)
+    EXPECT_EQ(gf::mul(a, static_cast<std::uint8_t>(b)), gf::mul(static_cast<std::uint8_t>(b), a));
+}
+
+TEST_P(Gf256Property, MulAssociates) {
+  const auto a = static_cast<std::uint8_t>(GetParam());
+  for (int b = 3; b < 256; b += 31)
+    for (int c = 5; c < 256; c += 29) {
+      const auto bb = static_cast<std::uint8_t>(b);
+      const auto cc = static_cast<std::uint8_t>(c);
+      EXPECT_EQ(gf::mul(gf::mul(a, bb), cc), gf::mul(a, gf::mul(bb, cc)));
+    }
+}
+
+TEST_P(Gf256Property, MulDistributesOverAdd) {
+  const auto a = static_cast<std::uint8_t>(GetParam());
+  for (int b = 0; b < 256; b += 13)
+    for (int c = 0; c < 256; c += 17) {
+      const auto bb = static_cast<std::uint8_t>(b);
+      const auto cc = static_cast<std::uint8_t>(c);
+      EXPECT_EQ(gf::mul(a, gf::add(bb, cc)), gf::add(gf::mul(a, bb), gf::mul(a, cc)));
+    }
+}
+
+TEST_P(Gf256Property, InverseInverts) {
+  const auto a = static_cast<std::uint8_t>(GetParam());
+  if (a == 0) {
+    EXPECT_EQ(gf::inverse(a), 0);
+  } else {
+    EXPECT_EQ(gf::mul(a, gf::inverse(a)), 1);
+    EXPECT_EQ(gf::inverse(gf::inverse(a)), a);
+  }
+}
+
+TEST_P(Gf256Property, DivisionUndoesMultiplication) {
+  const auto a = static_cast<std::uint8_t>(GetParam());
+  for (int b = 1; b < 256; b += 11) {
+    const auto bb = static_cast<std::uint8_t>(b);
+    EXPECT_EQ(gf::div(gf::mul(a, bb), bb), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBytes, Gf256Property, ::testing::Range(0, 256, 5));
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (int a = 1; a < 256; a += 23) {
+    std::uint8_t acc = 1;
+    for (unsigned n = 0; n < 12; ++n) {
+      EXPECT_EQ(gf::pow(static_cast<std::uint8_t>(a), n), acc);
+      acc = gf::mul(acc, static_cast<std::uint8_t>(a));
+    }
+  }
+}
+
+TEST(Gf256, FermatExponent) {
+  // a^255 = 1 for all nonzero a (multiplicative group order 255).
+  for (int a = 1; a < 256; ++a)
+    EXPECT_EQ(gf::pow(static_cast<std::uint8_t>(a), 255), 1) << a;
+}
+
+TEST(Gf256, RconSequence) {
+  // The ten round constants AES-128 consumes (FIPS-197 §5.2).
+  constexpr std::uint8_t kExpected[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
+                                          0x20, 0x40, 0x80, 0x1b, 0x36};
+  for (unsigned i = 1; i <= 10; ++i) EXPECT_EQ(gf::rcon(i), kExpected[i - 1]) << i;
+}
+
+TEST(Gf256, Degree) {
+  EXPECT_EQ(gf::degree(0x00), -1);
+  EXPECT_EQ(gf::degree(0x01), 0);
+  EXPECT_EQ(gf::degree(0x80), 7);
+  EXPECT_EQ(gf::degree(0x1b), 4);
+}
+
+// --- bit-matrix / affine layer ------------------------------------------------
+
+TEST(BitMatrix, IdentityActsTrivially) {
+  const auto id = gf::BitMatrix8::identity();
+  for (int v = 0; v < 256; ++v)
+    EXPECT_EQ(id.apply(static_cast<std::uint8_t>(v)), static_cast<std::uint8_t>(v));
+}
+
+TEST(BitMatrix, CirculantRowsRotate) {
+  const auto m = gf::BitMatrix8::circulant(0xF1);
+  EXPECT_EQ(m.row(0), 0xF1);
+  EXPECT_EQ(m.row(1), 0xE3);
+  EXPECT_EQ(m.row(7), 0xF8);
+}
+
+TEST(BitMatrix, InverseRoundTrips) {
+  const auto m = gf::kSBoxAffine.matrix;
+  ASSERT_TRUE(m.invertible());
+  const auto minv = m.inverse();
+  for (int v = 0; v < 256; ++v) {
+    const auto x = static_cast<std::uint8_t>(v);
+    EXPECT_EQ(minv.apply(m.apply(x)), x);
+  }
+}
+
+TEST(BitMatrix, MultiplicationMatchesComposition) {
+  const auto a = gf::BitMatrix8::circulant(0xF1);
+  const auto b = gf::BitMatrix8::circulant(0x5B);
+  const auto ab = a * b;
+  for (int v = 0; v < 256; ++v) {
+    const auto x = static_cast<std::uint8_t>(v);
+    EXPECT_EQ(ab.apply(x), a.apply(b.apply(x)));
+  }
+}
+
+TEST(Affine, InvertedUndoesApply) {
+  const auto inv = gf::kSBoxAffine.inverted();
+  for (int v = 0; v < 256; ++v) {
+    const auto x = static_cast<std::uint8_t>(v);
+    EXPECT_EQ(inv.apply(gf::kSBoxAffine.apply(x)), x);
+  }
+}
+
+// --- column polynomials ---------------------------------------------------------
+
+TEST(ColumnPoly, MixColumnTimesInverseIsOne) {
+  EXPECT_TRUE(gf::kMixColumnPoly * gf::kInvMixColumnPoly == gf::ColumnPoly::one());
+  EXPECT_TRUE(gf::kInvMixColumnPoly * gf::kMixColumnPoly == gf::ColumnPoly::one());
+}
+
+TEST(ColumnPoly, OneIsIdentity) {
+  const gf::ColumnPoly p{0x12, 0x34, 0x56, 0x78};
+  EXPECT_TRUE(p * gf::ColumnPoly::one() == p);
+}
+
+TEST(ColumnPoly, MultiplicationCommutes) {
+  const gf::ColumnPoly a{0x01, 0x02, 0x03, 0x04};
+  const gf::ColumnPoly b{0xaa, 0xbb, 0xcc, 0xdd};
+  EXPECT_TRUE(a * b == b * a);
+}
+
+TEST(ColumnPoly, KnownMixColumnExample) {
+  // FIPS-197 Appendix B, round 1 MixColumns, first column:
+  // [d4, bf, 5d, 30] -> [04, 66, 81, e5].
+  const gf::ColumnPoly in{0xd4, 0xbf, 0x5d, 0x30};
+  const gf::ColumnPoly out = in * gf::kMixColumnPoly;
+  EXPECT_EQ(out[0], 0x04);
+  EXPECT_EQ(out[1], 0x66);
+  EXPECT_EQ(out[2], 0x81);
+  EXPECT_EQ(out[3], 0xe5);
+}

@@ -1,0 +1,189 @@
+// Modes of operation: NIST SP 800-38A known-answer vectors, PKCS#7
+// behaviour (including malformed-padding rejection) and round-trip
+// properties on arbitrary message lengths.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "aes/cipher.hpp"
+#include "aes/modes.hpp"
+#include "aes/ttable.hpp"
+
+namespace aes = aesip::aes;
+
+namespace {
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2)
+    out.push_back(static_cast<std::uint8_t>(std::stoi(hex.substr(i, 2), nullptr, 16)));
+  return out;
+}
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  for (const std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+// SP 800-38A common material.
+const std::string kKey = "2b7e151628aed2a6abf7158809cf4f3c";
+const std::string kPlain =
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710";
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+}  // namespace
+
+TEST(Ecb, Sp800_38aVector) {
+  aes::Aes128 c(from_hex(kKey));
+  const auto ct = aes::ecb_encrypt(c, from_hex(kPlain));
+  EXPECT_EQ(to_hex(ct),
+            "3ad77bb40d7a3660a89ecaf32466ef97"
+            "f5d3d58503b9699de785895a96fdbaaf"
+            "43b1cd7f598ece23881b00e3ed030688"
+            "7b0c785e27e8ad3f8223207104725dd4");
+  EXPECT_EQ(to_hex(aes::ecb_decrypt(c, ct)), kPlain);
+}
+
+TEST(Cbc, Sp800_38aVector) {
+  aes::Aes128 c(from_hex(kKey));
+  const auto iv_vec = from_hex("000102030405060708090a0b0c0d0e0f");
+  const std::span<const std::uint8_t, 16> iv(iv_vec.data(), 16);
+  const auto ct = aes::cbc_encrypt(c, iv, from_hex(kPlain));
+  EXPECT_EQ(to_hex(ct),
+            "7649abac8119b246cee98e9b12e9197d"
+            "5086cb9b507219ee95db113a917678b2"
+            "73bed6b8e3c1743b7116e69e22229516"
+            "3ff1caa1681fac09120eca307586e1a7");
+  EXPECT_EQ(to_hex(aes::cbc_decrypt(c, iv, ct)), kPlain);
+}
+
+TEST(Ctr, Sp800_38aVector) {
+  aes::Aes128 c(from_hex(kKey));
+  const auto ctr_vec = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const std::span<const std::uint8_t, 16> ctr(ctr_vec.data(), 16);
+  const auto ct = aes::ctr_crypt(c, ctr, from_hex(kPlain));
+  EXPECT_EQ(to_hex(ct),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff"
+            "5ae4df3edbd5d35e5b4f09020db03eab"
+            "1e031dda2fbe03d1792170a0f3009cee");
+  // CTR decrypts with the same operation.
+  EXPECT_EQ(to_hex(aes::ctr_crypt(c, ctr, ct)), kPlain);
+}
+
+TEST(Ctr, CounterWrapsAcrossByteBoundary) {
+  aes::Aes128 c(from_hex(kKey));
+  const auto ctr_vec = from_hex("000000000000000000000000000000ff");
+  const std::span<const std::uint8_t, 16> ctr(ctr_vec.data(), 16);
+  const auto pt = random_bytes(48, 9);
+  const auto ct = aes::ctr_crypt(c, ctr, pt);
+  EXPECT_EQ(to_hex(aes::ctr_crypt(c, ctr, ct)), to_hex(pt));
+}
+
+TEST(Ctr, HandlesPartialFinalBlock) {
+  aes::Aes128 c(from_hex(kKey));
+  const auto ctr_vec = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const std::span<const std::uint8_t, 16> ctr(ctr_vec.data(), 16);
+  for (const std::size_t n : {1u, 5u, 15u, 17u, 33u}) {
+    const auto pt = random_bytes(n, static_cast<std::uint32_t>(n));
+    const auto ct = aes::ctr_crypt(c, ctr, pt);
+    EXPECT_EQ(ct.size(), n);
+    EXPECT_EQ(to_hex(aes::ctr_crypt(c, ctr, ct)), to_hex(pt));
+  }
+}
+
+TEST(Ecb, RejectsPartialBlocks) {
+  aes::Aes128 c(from_hex(kKey));
+  EXPECT_THROW(aes::ecb_encrypt(c, random_bytes(17, 3)), std::invalid_argument);
+  EXPECT_THROW(aes::ecb_decrypt(c, random_bytes(15, 3)), std::invalid_argument);
+}
+
+TEST(Cbc, RejectsPartialBlocks) {
+  aes::Aes128 c(from_hex(kKey));
+  const auto iv_vec = from_hex("000102030405060708090a0b0c0d0e0f");
+  const std::span<const std::uint8_t, 16> iv(iv_vec.data(), 16);
+  EXPECT_THROW(aes::cbc_encrypt(c, iv, random_bytes(31, 3)), std::invalid_argument);
+}
+
+TEST(Cbc, IvChangesCiphertext) {
+  aes::Aes128 c(from_hex(kKey));
+  const auto iv1_vec = from_hex("000102030405060708090a0b0c0d0e0f");
+  const auto iv2_vec = from_hex("100102030405060708090a0b0c0d0e0f");
+  const std::span<const std::uint8_t, 16> iv1(iv1_vec.data(), 16);
+  const std::span<const std::uint8_t, 16> iv2(iv2_vec.data(), 16);
+  const auto pt = from_hex(kPlain);
+  EXPECT_NE(to_hex(aes::cbc_encrypt(c, iv1, pt)), to_hex(aes::cbc_encrypt(c, iv2, pt)));
+}
+
+TEST(Cbc, IdenticalBlocksProduceDistinctCiphertext) {
+  aes::Aes128 c(from_hex(kKey));
+  const auto iv_vec = from_hex("000102030405060708090a0b0c0d0e0f");
+  const std::span<const std::uint8_t, 16> iv(iv_vec.data(), 16);
+  std::vector<std::uint8_t> pt(32, 0xab);  // two identical blocks
+  const auto ct = aes::cbc_encrypt(c, iv, pt);
+  EXPECT_NE(to_hex(std::span(ct).subspan(0, 16)), to_hex(std::span(ct).subspan(16, 16)));
+}
+
+// --- PKCS#7 -----------------------------------------------------------------------
+
+class Pkcs7Length : public ::testing::TestWithParam<int> {};
+
+TEST_P(Pkcs7Length, RoundTripsEveryLength) {
+  const auto data = random_bytes(static_cast<std::size_t>(GetParam()),
+                                 static_cast<std::uint32_t>(GetParam()) + 77);
+  const auto padded = aes::pkcs7_pad(data);
+  EXPECT_EQ(padded.size() % 16, 0u);
+  EXPECT_GT(padded.size(), data.size());  // always at least one pad byte
+  const auto back = aes::pkcs7_unpad(padded);
+  EXPECT_EQ(to_hex(back), to_hex(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Pkcs7Length, ::testing::Range(0, 49));
+
+TEST(Pkcs7, RejectsMalformedPadding) {
+  EXPECT_THROW(aes::pkcs7_unpad(std::vector<std::uint8_t>{}), std::invalid_argument);
+  std::vector<std::uint8_t> bad(16, 0x00);  // pad byte 0 invalid
+  EXPECT_THROW(aes::pkcs7_unpad(bad), std::invalid_argument);
+  bad.assign(16, 0x11);  // pad byte 17 > block size
+  EXPECT_THROW(aes::pkcs7_unpad(bad), std::invalid_argument);
+  bad.assign(16, 0x04);
+  bad[14] = 0x03;  // inconsistent run
+  EXPECT_THROW(aes::pkcs7_unpad(bad), std::invalid_argument);
+  bad = random_bytes(15, 4);  // not a block multiple
+  EXPECT_THROW(aes::pkcs7_unpad(bad), std::invalid_argument);
+}
+
+TEST(Pkcs7, FullPadBlockWhenAligned) {
+  const auto data = random_bytes(32, 5);
+  const auto padded = aes::pkcs7_pad(data);
+  EXPECT_EQ(padded.size(), 48u);
+  for (std::size_t i = 32; i < 48; ++i) EXPECT_EQ(padded[i], 16);
+}
+
+// --- cross-engine consistency --------------------------------------------------------
+
+TEST(Modes, CbcViaTtableMatchesReference) {
+  const auto key = random_bytes(16, 11);
+  const auto iv_vec = random_bytes(16, 12);
+  const std::span<const std::uint8_t, 16> iv(iv_vec.data(), 16);
+  const auto pt = aes::pkcs7_pad(random_bytes(100, 13));
+  aes::Aes128 ref(key);
+  aes::TTableAes128 fast(key);
+  EXPECT_EQ(to_hex(aes::cbc_encrypt(ref, iv, pt)), to_hex(aes::cbc_encrypt(fast, iv, pt)));
+}

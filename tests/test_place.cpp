@@ -1,0 +1,113 @@
+// Placement engine: legality, determinism, wirelength improvement on
+// structured circuits, placement of the full mapped IP, and the
+// wirelength-backannotated timing mode.
+#include <gtest/gtest.h>
+
+#include "core/ip_synth.hpp"
+#include "fpga/device.hpp"
+#include "netlist/netlist.hpp"
+#include "place/place.hpp"
+#include "sta/sta.hpp"
+#include "techmap/techmap.hpp"
+
+namespace core = aesip::core;
+namespace nlist = aesip::netlist;
+namespace place = aesip::place;
+namespace txm = aesip::techmap;
+using core::IpMode;
+using nlist::Bus;
+using nlist::Netlist;
+using nlist::NetId;
+
+namespace {
+
+/// A shift-register chain: heavily local connectivity that a placer must
+/// exploit (HPWL of a good placement is far below random).
+Netlist make_chain(int length) {
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  NetId prev = d;
+  for (int i = 0; i < length; ++i) prev = nl.add_dff(prev);
+  nl.add_output(prev, "q");
+  return nl;
+}
+
+}  // namespace
+
+TEST(Place, RejectsUnmappedGates) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  nl.add_output(nl.gate_not(a), "y");
+  EXPECT_THROW(place::anneal(nl), std::invalid_argument);
+}
+
+TEST(Place, ChainPlacementImprovesSubstantially) {
+  const Netlist nl = make_chain(64);
+  place::Options opt;
+  opt.seed = 3;
+  const auto p = place::anneal(nl, opt);
+  EXPECT_EQ(p.cell_count, 64u);
+  EXPECT_GT(p.initial_hpwl, 0.0);
+  EXPECT_GT(p.improvement(), 0.5)
+      << "a 64-stage shift chain must shorten by >50% from a random start: "
+      << p.initial_hpwl << " -> " << p.final_hpwl;
+}
+
+TEST(Place, DeterministicForASeed) {
+  const Netlist nl = make_chain(32);
+  place::Options opt;
+  opt.seed = 9;
+  const auto a = place::anneal(nl, opt);
+  const auto b = place::anneal(nl, opt);
+  EXPECT_DOUBLE_EQ(a.final_hpwl, b.final_hpwl);
+  EXPECT_DOUBLE_EQ(a.initial_hpwl, b.initial_hpwl);
+  // (Different seeds usually differ, but near-optimal results can collide
+  // on a small chain — determinism is the property worth pinning.)
+}
+
+TEST(Place, NetLengthsArePositiveAndBounded) {
+  const Netlist nl = make_chain(16);
+  const auto p = place::anneal(nl);
+  const double bound = static_cast<double>(p.grid_width + p.grid_height + 4);
+  double total = 0.0;
+  for (const double len : p.net_length) {
+    EXPECT_GE(len, 0.0);
+    EXPECT_LE(len, bound);
+    total += len;
+  }
+  EXPECT_NEAR(total, p.final_hpwl, 1e-6);
+}
+
+TEST(Place, FullEncryptIpPlaces) {
+  const auto mapped = txm::map_to_luts(core::synthesize_ip(IpMode::kEncrypt, true));
+  place::Options opt;
+  opt.stages = 30;  // keep the suite quick
+  opt.moves_per_cell = 4;
+  const auto p = place::anneal(mapped.mapped, opt);
+  EXPECT_GT(p.cell_count, 1000u);
+  EXPECT_GT(p.improvement(), 0.25)
+      << "annealing must beat the random start on the real IP: " << p.initial_hpwl << " -> "
+      << p.final_hpwl;
+  // Grid sized for ~50% fill.
+  EXPECT_GE(static_cast<std::size_t>(p.grid_width * p.grid_height), 2 * p.cell_count / 3);
+}
+
+TEST(Place, BackannotatedTimingUsesWirelengths) {
+  const auto mapped = txm::map_to_luts(core::synthesize_ip(IpMode::kEncrypt, true));
+  place::Options opt;
+  opt.stages = 20;
+  opt.moves_per_cell = 3;
+  const auto p = place::anneal(mapped.mapped, opt);
+
+  // Convert grid units to ns and re-run timing.
+  const auto& dm = aesip::fpga::ep1k100fc484_1().timing;
+  std::vector<double> extra(p.net_length.size());
+  const double ns_per_unit = 0.03;
+  for (std::size_t i = 0; i < extra.size(); ++i) extra[i] = ns_per_unit * p.net_length[i];
+  const auto statistical = aesip::sta::analyze(mapped.mapped, dm);
+  const auto placed = aesip::sta::analyze(mapped.mapped, dm, extra);
+  EXPECT_GT(placed.clock_period_ns, statistical.clock_period_ns)
+      << "wire delays only add on top of the statistical model";
+  EXPECT_LT(placed.clock_period_ns, 2.5 * statistical.clock_period_ns)
+      << "but a decent placement keeps the overhead bounded";
+}

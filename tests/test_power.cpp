@@ -1,0 +1,144 @@
+// Power model: activity probe correctness on hand-analyzable circuits,
+// breakdown sanity, and the qualitative effects the paper's future-work
+// power analysis would look for (voltage scaling, variant ordering,
+// idle-vs-active).
+#include <gtest/gtest.h>
+
+#include "core/ip_synth.hpp"
+#include "netlist/eval.hpp"
+#include "power/power.hpp"
+#include "techmap/techmap.hpp"
+
+namespace core = aesip::core;
+namespace nlist = aesip::netlist;
+namespace power = aesip::power;
+namespace txm = aesip::techmap;
+using core::IpMode;
+using nlist::Bus;
+using nlist::Netlist;
+using nlist::NetId;
+
+namespace {
+
+const Netlist& mapped_encrypt_rom() {
+  static const auto r = txm::map_to_luts(core::synthesize_ip(IpMode::kEncrypt, true));
+  return r.mapped;
+}
+
+}  // namespace
+
+TEST(ActivityProbe, CountsCounterToggles) {
+  // 2-bit counter: bit0 toggles every cycle, bit1 every second cycle.
+  Netlist nl;
+  Bus q{nl.new_net(), nl.new_net()};
+  const Bus d = nl.increment(q);
+  nl.add_dff_with_out(q[0], d[0]);
+  nl.add_dff_with_out(q[1], d[1]);
+  nl.add_output_bus(q, "q");
+  const auto mapped = txm::map_to_luts(nl);
+
+  nlist::Evaluator ev(mapped.mapped);
+  power::ActivityProbe probe(mapped.mapped, power::acex1k_power());
+  ev.settle();
+  probe.sample(ev.net_values());  // baseline
+  const auto before = probe.activity().ff_toggles;
+  for (int i = 0; i < 8; ++i) {
+    ev.clock();
+    probe.sample(ev.net_values());
+  }
+  // 8 cycles: bit0 toggles 8 times, bit1 toggles 4 times = 12 FF toggles.
+  EXPECT_EQ(probe.activity().ff_toggles - before, 12u);
+  EXPECT_EQ(probe.activity().cycles, 9u);
+}
+
+TEST(ActivityProbe, QuietCircuitHasNoToggles) {
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  const NetId q = nl.add_dff(d);
+  nl.add_output(q, "q");
+  nlist::Evaluator ev(nl);
+  power::ActivityProbe probe(nl, power::acex1k_power());
+  ev.set(d, false);
+  ev.settle();
+  probe.sample(ev.net_values());
+  const auto base = probe.activity().net_toggles;
+  for (int i = 0; i < 5; ++i) {
+    ev.clock();
+    probe.sample(ev.net_values());
+  }
+  EXPECT_EQ(probe.activity().net_toggles, base) << "constant inputs, no switching";
+}
+
+TEST(ActivityProbe, RomReadCountedOnAddressChange) {
+  Netlist nl;
+  const Bus addr = nl.add_input_bus("addr", 8);
+  std::array<std::uint8_t, 256> table{};
+  for (int i = 0; i < 256; ++i) table[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  nl.add_output_bus(nl.add_rom(table, addr, "rom"), "q");
+  nlist::Evaluator ev(nl);
+  power::ActivityProbe probe(nl, power::acex1k_power());
+  ev.set_bus(addr, 0);
+  ev.settle();
+  probe.sample(ev.net_values());
+  const auto base = probe.activity().rom_reads;
+  ev.set_bus(addr, 0x5a);
+  ev.settle();
+  probe.sample(ev.net_values());
+  EXPECT_EQ(probe.activity().rom_reads - base, 1u);
+  // Unchanged address: no new read.
+  probe.sample(ev.net_values());
+  EXPECT_EQ(probe.activity().rom_reads - base, 1u);
+}
+
+TEST(PowerEstimate, ZeroCyclesGivesZero) {
+  power::Activity a;
+  const auto r = power::estimate(a, power::acex1k_power(), 70.0, 100);
+  EXPECT_DOUBLE_EQ(r.total_mw, 0.0);
+}
+
+TEST(PowerEstimate, BreakdownSumsToTotal) {
+  const auto r = power::profile_ip(mapped_encrypt_rom(), power::acex1k_power(), 71.4);
+  EXPECT_NEAR(r.total_mw,
+              r.logic_mw + r.routing_mw + r.clock_mw + r.memory_mw + r.io_mw + r.static_mw,
+              1e-9);
+  EXPECT_GT(r.logic_mw, 0.0);
+  EXPECT_GT(r.clock_mw, 0.0);
+  EXPECT_GT(r.memory_mw, 0.0) << "the EAB S-boxes are read every ByteSub cycle";
+  EXPECT_GT(r.energy_per_block_nj, 0.0);
+  EXPECT_NEAR(r.energy_per_bit_pj, r.energy_per_block_nj * 1000.0 / 128.0, 1e-9);
+}
+
+TEST(PowerEstimate, ScalesLinearlyWithFrequency) {
+  const auto slow = power::profile_ip(mapped_encrypt_rom(), power::acex1k_power(), 35.0);
+  const auto fast = power::profile_ip(mapped_encrypt_rom(), power::acex1k_power(), 70.0);
+  // Dynamic parts double; static stays.
+  EXPECT_NEAR(fast.logic_mw, 2.0 * slow.logic_mw, 1e-6);
+  EXPECT_NEAR(fast.clock_mw, 2.0 * slow.clock_mw, 1e-6);
+  EXPECT_DOUBLE_EQ(fast.static_mw, slow.static_mw);
+}
+
+TEST(PowerEstimate, CycloneEnergyPerBlockIsLower) {
+  // The mobile-systems angle of the paper's future-work remark: the 1.5 V
+  // Cyclone spends far less switching energy per encrypted block than the
+  // 2.5 V Acex, even running faster.
+  const auto acex = power::profile_ip(mapped_encrypt_rom(), power::acex1k_power(), 71.4);
+  const auto logic_ip = txm::map_to_luts(core::synthesize_ip(IpMode::kEncrypt, false));
+  const auto cyclone = power::profile_ip(logic_ip.mapped, power::cyclone_power(), 100.0);
+  const double acex_dynamic = acex.energy_per_block_nj -
+                              acex.static_mw * 1e-3 * (50.0 / 71.4e6) * 1e9;
+  const double cyc_dynamic = cyclone.energy_per_block_nj -
+                             cyclone.static_mw * 1e-3 * (50.0 / 100.0e6) * 1e9;
+  EXPECT_LT(cyc_dynamic, acex_dynamic);
+}
+
+TEST(PowerEstimate, BothVariantBurnsMoreThanEncrypt) {
+  const auto enc = power::profile_ip(mapped_encrypt_rom(), power::acex1k_power(), 50.0);
+  const auto both_ip = txm::map_to_luts(core::synthesize_ip(IpMode::kBoth, true));
+  const auto both = power::profile_ip(both_ip.mapped, power::acex1k_power(), 50.0);
+  EXPECT_GT(both.total_mw, enc.total_mw) << "twice the S-boxes, wider muxing";
+}
+
+TEST(PowerEstimate, ParamsForSelectsFamily) {
+  EXPECT_EQ(&power::params_for(aesip::fpga::ep1k100fc484_1()), &power::acex1k_power());
+  EXPECT_EQ(&power::params_for(aesip::fpga::ep1c20f400c6()), &power::cyclone_power());
+}

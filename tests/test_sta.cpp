@@ -1,0 +1,146 @@
+// Static timing analysis on hand-analyzable mapped netlists: level
+// counting, routing/fanout derating, register path closure, ROM access
+// modeling, and rejection of unmapped input.
+#include <gtest/gtest.h>
+
+#include "aes/sbox.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/synth.hpp"
+#include "sta/sta.hpp"
+#include "techmap/techmap.hpp"
+
+namespace nlist = aesip::netlist;
+namespace sta = aesip::sta;
+namespace txm = aesip::techmap;
+using nlist::Bus;
+using nlist::Netlist;
+using nlist::NetId;
+
+namespace {
+
+// Round-number delay model for hand calculation.
+constexpr sta::DelayModel kUnit{
+    /*t_lut=*/1.0, /*t_rom=*/5.0, /*t_co=*/1.0, /*t_su=*/1.0,
+    /*t_route_base=*/1.0, /*t_route_fanout=*/0.0, /*t_io=*/0.0,
+    /*t_route_fanout_cap=*/100.0};
+
+}  // namespace
+
+TEST(Sta, RejectsUnmappedGates) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  nl.add_output(nl.gate_not(a), "y");
+  EXPECT_THROW(sta::analyze(nl, kUnit), std::invalid_argument);
+}
+
+TEST(Sta, SingleRegisterToRegisterPath) {
+  // q1 -> LUT -> q2:
+  // t_co(1) + route(q1)(1) + t_lut(1) + route(lut)(1) + t_su(1) = 5.
+  Netlist nl;
+  const NetId q1 = nl.new_net();
+  const std::array<NetId, 1> in{q1};
+  const NetId l = nl.add_lut(0b01, in);  // NOT
+  nl.add_dff_with_out(q1, l);
+  const auto r = sta::analyze(nl, kUnit);
+  EXPECT_DOUBLE_EQ(r.critical_path_ns, 5.0);
+  EXPECT_EQ(r.logic_levels, 1);
+  EXPECT_DOUBLE_EQ(r.fmax_mhz, 200.0);
+}
+
+TEST(Sta, LevelsAccumulateThroughLutChain) {
+  Netlist nl;
+  const NetId q1 = nl.new_net();
+  NetId x = q1;
+  for (int i = 0; i < 4; ++i) {
+    const std::array<NetId, 1> in{x};
+    x = nl.add_lut(0b01, in);
+  }
+  nl.add_dff_with_out(q1, x);
+  const auto r = sta::analyze(nl, kUnit);
+  // t_co+route + 4*(t_lut+route) + t_su = 2 + 8 + 1 = 11.
+  EXPECT_DOUBLE_EQ(r.critical_path_ns, 11.0);
+  EXPECT_EQ(r.logic_levels, 4);
+}
+
+TEST(Sta, FanoutDeratesRouting) {
+  sta::DelayModel dm = kUnit;
+  dm.t_route_fanout = 0.5;
+  Netlist nl;
+  const NetId q1 = nl.new_net();
+  const std::array<NetId, 1> in{q1};
+  // Three LUT loads on q1 -> fanout 3 -> route = 1 + 0.5*2 = 2.
+  const NetId l1 = nl.add_lut(0b01, in);
+  const NetId l2 = nl.add_lut(0b10, in);
+  const NetId l3 = nl.add_lut(0b01, in);
+  nl.add_dff_with_out(q1, l1);
+  (void)nl.add_dff(l2);
+  (void)nl.add_dff(l3);
+  const auto r = sta::analyze(nl, dm);
+  // q1: t_co(1) + route(2) = 3; lut: +1 +route(1) = 5; +t_su = 6.
+  EXPECT_DOUBLE_EQ(r.critical_path_ns, 6.0);
+}
+
+TEST(Sta, RomAccessIsOneLevelWithRomDelay) {
+  Netlist nl;
+  const Bus addr = nl.add_input_bus("addr", 8);
+  const Bus out = nl.add_rom(aesip::aes::kSBox, addr, "sbox");
+  for (const NetId o : out) (void)nl.add_dff(o);
+  const auto r = sta::analyze(nl, kUnit);
+  // input: t_io(0)+route(1); rom: +5 +route(1); +su(1) = 8.
+  EXPECT_DOUBLE_EQ(r.critical_path_ns, 8.0);
+  EXPECT_EQ(r.logic_levels, 1);
+}
+
+TEST(Sta, OutputPadPathCounts) {
+  sta::DelayModel dm = kUnit;
+  dm.t_io = 2.0;
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const std::array<NetId, 1> in{a};
+  const NetId l = nl.add_lut(0b01, in);
+  nl.add_output(l, "y");
+  const auto r = sta::analyze(nl, dm);
+  // in: 2+1; lut: +1+1; out pad: +2 = 7.
+  EXPECT_DOUBLE_EQ(r.critical_path_ns, 7.0);
+}
+
+TEST(Sta, CriticalPathTraceIsReported) {
+  Netlist nl;
+  const NetId q1 = nl.new_net();
+  const std::array<NetId, 1> in{q1};
+  const NetId l = nl.add_lut(0b01, in);
+  nl.add_dff_with_out(q1, l);
+  const auto r = sta::analyze(nl, kUnit);
+  ASSERT_FALSE(r.path.empty());
+  EXPECT_NE(r.path.front().find("register"), std::string::npos);
+  EXPECT_NE(r.path.back().find("endpoint"), std::string::npos);
+}
+
+TEST(Sta, EmptyDesignHasZeroPath) {
+  Netlist nl;
+  const auto r = sta::analyze(nl, kUnit);
+  EXPECT_DOUBLE_EQ(r.critical_path_ns, 0.0);
+}
+
+TEST(Sta, DeeperLogicIsSlower) {
+  // A mapped S-box-as-logic must be slower than one LUT level — the effect
+  // that makes the Cyclone ByteSub path deeper than the Acex EAB access.
+  Netlist logic_nl;
+  {
+    const Bus addr = logic_nl.add_input_bus("addr", 8);
+    Bus out = aesip::netlist::synth_sbox_logic(logic_nl, aesip::aes::kSBox, addr);
+    for (const NetId o : out) (void)logic_nl.add_dff(o);
+  }
+  const auto mapped = txm::map_to_luts(logic_nl);
+  const auto r_logic = sta::analyze(mapped.mapped, kUnit);
+  EXPECT_GE(r_logic.logic_levels, 5) << "16 leaves + 4 mux levels";
+
+  Netlist rom_nl;
+  {
+    const Bus addr = rom_nl.add_input_bus("addr", 8);
+    Bus out = rom_nl.add_rom(aesip::aes::kSBox, addr, "sbox");
+    for (const NetId o : out) (void)rom_nl.add_dff(o);
+  }
+  const auto r_rom = sta::analyze(rom_nl, kUnit);
+  EXPECT_EQ(r_rom.logic_levels, 1);
+}

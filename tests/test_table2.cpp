@@ -1,0 +1,164 @@
+// The Table 2 reproduction as a test: exact cells (pins, memory bits,
+// cycle counts), shape assertions (orderings and ratios the paper calls
+// out) and tolerance bands on the calibrated quantities (LCs, clock).
+#include <gtest/gtest.h>
+
+#include "core/table2.hpp"
+
+namespace core = aesip::core;
+using core::IpMode;
+using core::Table2Row;
+
+namespace {
+
+const std::vector<Table2Row>& rows() {
+  static const std::vector<Table2Row> r = core::reproduce_table2();
+  return r;
+}
+
+const Table2Row& cell(IpMode mode, bool cyclone) {
+  const std::size_t base = cyclone ? 3 : 0;
+  const std::size_t off = mode == IpMode::kEncrypt ? 0 : mode == IpMode::kDecrypt ? 1 : 2;
+  return rows()[base + off];
+}
+
+}  // namespace
+
+TEST(Table2, SixCellsInPaperOrder) {
+  ASSERT_EQ(rows().size(), 6u);
+  EXPECT_EQ(rows()[0].device->family, aesip::fpga::Family::kAcex1k);
+  EXPECT_EQ(rows()[3].device->family, aesip::fpga::Family::kCyclone);
+}
+
+TEST(Table2, EveryCellFitsItsDevice) {
+  for (const auto& r : rows())
+    EXPECT_TRUE(r.fit.fits) << r.paper.system << " on " << r.device->name;
+}
+
+// --- exact cells -------------------------------------------------------------------
+
+TEST(Table2, PinsExactlyMatchPaper) {
+  for (const auto& r : rows())
+    EXPECT_EQ(r.fit.pins, r.paper.pins) << r.paper.system << " on " << r.paper.device;
+}
+
+TEST(Table2, MemoryBitsExactlyMatchPaper) {
+  for (const auto& r : rows())
+    EXPECT_EQ(static_cast<int>(r.fit.memory_bits), r.paper.memory_bits)
+        << r.paper.system << " on " << r.paper.device;
+}
+
+TEST(Table2, LatencyIsAlways50Cycles) {
+  for (const auto& r : rows()) {
+    EXPECT_EQ(r.cycles_per_block, 50);
+    EXPECT_DOUBLE_EQ(r.latency_ns, 50.0 * r.fit.timing.clock_period_ns);
+    // The paper's cells satisfy the same identity.
+    EXPECT_DOUBLE_EQ(r.paper.latency_ns, 50.0 * r.paper.clock_ns);
+  }
+}
+
+TEST(Table2, ThroughputIsBlockOverLatency) {
+  for (const auto& r : rows())
+    EXPECT_NEAR(r.throughput_mbps, 128.0 / r.latency_ns * 1000.0, 1e-9);
+}
+
+TEST(Table2, PercentagesComputedAgainstDatasheetCapacities) {
+  for (const auto& r : rows()) {
+    EXPECT_NEAR(r.fit.memory_pct,
+                100.0 * static_cast<double>(r.fit.memory_bits) / r.device->memory_bits, 1e-9);
+    EXPECT_NEAR(r.fit.pin_pct, 100.0 * r.fit.pins / r.device->user_io, 1e-9);
+    // Paper's own percentages agree with the same capacities (+-1%).
+    EXPECT_NEAR(100.0 * r.paper.pins / r.device->user_io, r.paper.pin_pct, 1.0);
+    if (r.paper.memory_bits > 0) {
+      EXPECT_NEAR(100.0 * r.paper.memory_bits / r.device->memory_bits, r.paper.memory_pct, 1.0);
+    }
+  }
+}
+
+// --- shape assertions (the paper's qualitative claims) --------------------------------
+
+TEST(Table2, LogicGrowsEncToDecToBoth) {
+  for (const bool cyclone : {false, true}) {
+    EXPECT_LT(cell(IpMode::kEncrypt, cyclone).fit.logic_elements,
+              cell(IpMode::kDecrypt, cyclone).fit.logic_elements);
+    EXPECT_LT(cell(IpMode::kDecrypt, cyclone).fit.logic_elements,
+              cell(IpMode::kBoth, cyclone).fit.logic_elements);
+  }
+}
+
+TEST(Table2, ClockGrowsEncToDecToBoth) {
+  for (const bool cyclone : {false, true}) {
+    EXPECT_LT(cell(IpMode::kEncrypt, cyclone).fit.timing.clock_period_ns,
+              cell(IpMode::kDecrypt, cyclone).fit.timing.clock_period_ns);
+    EXPECT_LT(cell(IpMode::kDecrypt, cyclone).fit.timing.clock_period_ns,
+              cell(IpMode::kBoth, cyclone).fit.timing.clock_period_ns);
+  }
+}
+
+TEST(Table2, CycloneFasterThanAcexEveryRow) {
+  for (const IpMode m : {IpMode::kEncrypt, IpMode::kDecrypt, IpMode::kBoth})
+    EXPECT_LT(cell(m, true).fit.timing.clock_period_ns,
+              cell(m, false).fit.timing.clock_period_ns);
+}
+
+TEST(Table2, BothCostsRoughly22PercentThroughput) {
+  // "the performance drops around 22% when the encrypt and decrypt run at
+  // the same device."  Paper: 182->150 (17.6%), 256->197 (23%).  Assert the
+  // drop exists and is in a 10-35% band on both families.
+  for (const bool cyclone : {false, true}) {
+    const double enc = cell(IpMode::kEncrypt, cyclone).throughput_mbps;
+    const double both = cell(IpMode::kBoth, cyclone).throughput_mbps;
+    const double drop = 100.0 * (enc - both) / enc;
+    EXPECT_GT(drop, 10.0) << (cyclone ? "Cyclone" : "Acex");
+    EXPECT_LT(drop, 35.0) << (cyclone ? "Cyclone" : "Acex");
+  }
+}
+
+TEST(Table2, CycloneMovesSboxesIntoLogic) {
+  // Memory = 0 on Cyclone; the LC delta vs Acex is ~8 (or 16) S-boxes worth
+  // of logic. Paper deltas: (4057-2114)/8 = 243, (7034-3222)/16 = 238.
+  for (const IpMode m : {IpMode::kEncrypt, IpMode::kDecrypt, IpMode::kBoth}) {
+    const auto& acex = cell(m, false);
+    const auto& cyc = cell(m, true);
+    EXPECT_EQ(cyc.fit.memory_bits, 0u);
+    const int sboxes = m == IpMode::kBoth ? 16 : 8;
+    const double per_sbox =
+        static_cast<double>(cyc.fit.logic_elements - acex.fit.logic_elements) / sboxes;
+    EXPECT_GT(per_sbox, 150.0);
+    EXPECT_LT(per_sbox, 260.0);
+  }
+}
+
+// --- tolerance bands on calibrated quantities ------------------------------------------
+
+TEST(Table2, LogicCellsWithinBandOfPaper) {
+  // The LC model is structural, not a copy of Quartus: allow a generous
+  // band but demand the right magnitude on every cell.
+  for (const auto& r : rows()) {
+    const double ratio = static_cast<double>(r.fit.logic_elements) / r.paper.lcs;
+    EXPECT_GT(ratio, 0.45) << r.paper.system << " on " << r.paper.device << ": "
+                           << r.fit.logic_elements << " vs paper " << r.paper.lcs;
+    EXPECT_LT(ratio, 1.40) << r.paper.system << " on " << r.paper.device << ": "
+                           << r.fit.logic_elements << " vs paper " << r.paper.lcs;
+  }
+}
+
+TEST(Table2, ClockPeriodWithinBandOfPaper) {
+  for (const auto& r : rows()) {
+    const double ratio = r.fit.timing.clock_period_ns / r.paper.clock_ns;
+    EXPECT_GT(ratio, 0.6) << r.paper.system << " on " << r.paper.device << ": "
+                          << r.fit.timing.clock_period_ns << " ns vs paper "
+                          << r.paper.clock_ns;
+    EXPECT_LT(ratio, 1.6) << r.paper.system << " on " << r.paper.device << ": "
+                          << r.fit.timing.clock_period_ns << " ns vs paper "
+                          << r.paper.clock_ns;
+  }
+}
+
+TEST(Table2, ThroughputWithinBandOfPaper) {
+  for (const auto& r : rows()) {
+    const double ratio = r.throughput_mbps / r.paper.throughput_mbps;
+    EXPECT_GT(ratio, 0.6) << r.paper.system << " on " << r.paper.device;
+    EXPECT_LT(ratio, 1.7) << r.paper.system << " on " << r.paper.device;
+  }
+}

@@ -1,0 +1,190 @@
+// Netlist interchange: Verilog emission sanity, BLIF round trips proven
+// formally (write -> read -> BDD equivalence), behavioural round trips for
+// sequential designs, and reader error handling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aes/sbox.hpp"
+#include "bdd/netlist_bdd.hpp"
+#include "core/ip_synth.hpp"
+#include "netlist/eval.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/synth.hpp"
+#include "netlist/writer.hpp"
+#include "techmap/techmap.hpp"
+
+namespace bdd = aesip::bdd;
+namespace core = aesip::core;
+namespace nlist = aesip::netlist;
+namespace txm = aesip::techmap;
+using core::IpMode;
+using nlist::Bus;
+using nlist::Netlist;
+using nlist::NetId;
+
+namespace {
+
+Netlist roundtrip(const Netlist& nl) {
+  std::ostringstream os;
+  nlist::write_blif(nl, os, "dut");
+  std::istringstream is(os.str());
+  return nlist::read_blif(is);
+}
+
+}  // namespace
+
+// --- Verilog ---------------------------------------------------------------------
+
+TEST(Verilog, EmitsStructuralModule) {
+  const Netlist ip = core::synthesize_ip(IpMode::kEncrypt, true);
+  std::ostringstream os;
+  nlist::write_verilog(ip, os, "aes_ip_enc");
+  const std::string v = os.str();
+  EXPECT_NE(v.find("module aes_ip_enc ("), std::string::npos);
+  EXPECT_NE(v.find("input [127:0] din;"), std::string::npos);
+  EXPECT_NE(v.find("output [127:0] dout;"), std::string::npos);
+  EXPECT_NE(v.find("output data_ok;"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(v.find("function [7:0] rom_0;"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // The S-box table appears: S(0) = 0x63.
+  EXPECT_NE(v.find("8'd0: rom_0 = 8'h63;"), std::string::npos);
+}
+
+TEST(Verilog, MappedNetlistUsesLutExpressions) {
+  Netlist nl;
+  const Bus in = nl.add_input_bus("in", 4);
+  NetId x = nl.gate_xor(in[0], in[1]);
+  x = nl.gate_xor(x, in[2]);
+  (void)nl.add_dff(x, in[3]);
+  nl.add_output(x, "y");
+  const auto mapped = txm::map_to_luts(nl);
+  std::ostringstream os;
+  nlist::write_verilog(mapped.mapped, os, "small");
+  const std::string v = os.str();
+  EXPECT_NE(v.find("module small (clk, in, y);"), std::string::npos);
+  EXPECT_NE(v.find("if ("), std::string::npos) << "clock enable must be emitted";
+}
+
+// --- BLIF round trips ---------------------------------------------------------------
+
+TEST(Blif, CombinationalRoundTripSmall) {
+  Netlist nl;
+  const Bus in = nl.add_input_bus("in", 4);
+  nl.add_output(nl.gate_xor(nl.gate_and(in[0], in[1]), nl.gate_or(in[2], in[3])), "y");
+  nl.add_output(nl.gate_not(in[0]), "z");
+  const Netlist back = roundtrip(nl);
+  const auto r = bdd::prove_equivalent(nl, back);
+  EXPECT_TRUE(r.equivalent) << r.mismatch;
+}
+
+TEST(Blif, MuxAndLutRoundTrip) {
+  Netlist nl;
+  const Bus in = nl.add_input_bus("in", 4);
+  const NetId m = nl.gate_mux(in[0], in[1], in[2]);
+  const std::array<NetId, 4> lin{in[0], in[1], in[2], in[3]};
+  const NetId l = nl.add_lut(0xbeef & 0xffff, lin);
+  nl.add_output(m, "m");
+  nl.add_output(l, "l");
+  const Netlist back = roundtrip(nl);
+  const auto r = bdd::prove_equivalent(nl, back);
+  EXPECT_TRUE(r.equivalent) << r.mismatch;
+}
+
+TEST(Blif, RomRoundTripIsTheSameFunction) {
+  Netlist nl;
+  const Bus addr = nl.add_input_bus("addr", 8);
+  nl.add_output_bus(nl.add_rom(aesip::aes::kSBox, addr, "s"), "out");
+  const Netlist back = roundtrip(nl);
+  EXPECT_EQ(back.stats().roms, 0u) << "BLIF expands the ROM to logic";
+  const auto r = bdd::prove_equivalent(nl, back);
+  EXPECT_TRUE(r.equivalent) << r.mismatch;
+}
+
+TEST(Blif, EnabledRegisterRoundTripsViaHoldMux) {
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  const NetId en = nl.add_input("en");
+  const NetId q = nl.add_dff(d, en);
+  nl.add_output(q, "q");
+  const Netlist back = roundtrip(nl);
+  EXPECT_EQ(back.stats().dffs, 1u);
+  // Formal: next-state semantics identical despite the mux encoding.
+  const auto r = bdd::prove_equivalent(nl, back);
+  EXPECT_TRUE(r.equivalent) << r.mismatch;
+  // Behavioural double-check.
+  nlist::Evaluator ev(back);
+  const NetId md = back.inputs()[0].net;
+  const NetId men = back.inputs()[1].net;
+  const NetId mq = back.outputs()[0].net;
+  ev.set(md, true);
+  ev.set(men, false);
+  ev.settle();
+  ev.clock();
+  EXPECT_FALSE(ev.get(mq));
+  ev.set(men, true);
+  ev.settle();
+  ev.clock();
+  EXPECT_TRUE(ev.get(mq));
+}
+
+TEST(Blif, CounterRoundTripCounts) {
+  Netlist nl;
+  Bus q;
+  for (int i = 0; i < 4; ++i) q.push_back(nl.new_net());
+  const Bus d = nl.increment(q);
+  for (int i = 0; i < 4; ++i)
+    nl.add_dff_with_out(q[static_cast<std::size_t>(i)], d[static_cast<std::size_t>(i)]);
+  nl.add_output_bus(q, "q");
+  const Netlist back = roundtrip(nl);
+  nlist::Evaluator ev(back);
+  Bus out;
+  for (const auto& po : back.outputs()) out.push_back(po.net);
+  ev.settle();
+  for (int v = 0; v < 20; ++v) {
+    EXPECT_EQ(ev.get_bus(out), static_cast<std::uint64_t>(v & 0xf));
+    ev.clock();
+  }
+}
+
+TEST(Blif, FullEncryptIpRoundTripIsFormallyEquivalent) {
+  // The flagship interchange test: the complete mapped encrypt IP survives
+  // BLIF emission and re-parsing with provably identical behaviour.
+  const auto mapped = txm::map_to_luts(core::synthesize_ip(IpMode::kEncrypt, true));
+  const Netlist back = roundtrip(mapped.mapped);
+  const auto r = bdd::prove_equivalent(mapped.mapped, back);
+  EXPECT_TRUE(r.equivalent) << r.mismatch;
+}
+
+// --- reader robustness -----------------------------------------------------------------
+
+TEST(BlifReader, RejectsUndefinedNets) {
+  std::istringstream is(".model m\n.inputs a\n.outputs y\n.names a ghost y\n11 1\n.end\n");
+  EXPECT_THROW(nlist::read_blif(is), std::runtime_error);
+}
+
+TEST(BlifReader, RejectsDoubleDefinition) {
+  std::istringstream is(
+      ".model m\n.inputs a b\n.outputs y\n"
+      ".names a y\n1 1\n.names b y\n1 1\n.end\n");
+  EXPECT_THROW(nlist::read_blif(is), std::runtime_error);
+}
+
+TEST(BlifReader, RejectsBadCoverCharacter) {
+  std::istringstream is(".model m\n.inputs a\n.outputs y\n.names a y\nx 1\n.end\n");
+  EXPECT_THROW(nlist::read_blif(is), std::runtime_error);
+}
+
+TEST(BlifReader, HandlesCommentsAndContinuations) {
+  std::istringstream is(
+      "# a comment\n.model m\n.inputs \\\na b\n.outputs y\n"
+      ".names a b y  # trailing comment\n11 1\n.end\n");
+  const Netlist nl = nlist::read_blif(is);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  nlist::Evaluator ev(nl);
+  ev.set(nl.inputs()[0].net, true);
+  ev.set(nl.inputs()[1].net, true);
+  ev.settle();
+  EXPECT_TRUE(ev.get(nl.outputs()[0].net));
+}

@@ -1,0 +1,326 @@
+// aesip — command-line front end for the library.
+//
+// Subcommands:
+//   encrypt / decrypt   AES-128 file encryption (ECB/CBC/CTR + PKCS#7),
+//                       with a choice of engine: the software reference,
+//                       the T-table engine, or the cycle-accurate
+//                       simulated IP over its bus protocol.
+//   flow                run synthesize -> map -> fit -> timing for a
+//                       variant/device and print the implementation report.
+//   export              write the synthesized IP as structural Verilog or
+//                       BLIF for external tools.
+//   seu                 run a fault-injection campaign (optionally on the
+//                       TMR-hardened netlist).
+//   power               activity-based power report for a variant/device.
+//   selftest            FIPS-197 vectors through software and the IP.
+//
+// Examples:
+//   aesip encrypt --key 000102030405060708090a0b0c0d0e0f --mode cbc
+//         --iv aabb...ff --engine ip --in msg.txt --out msg.enc
+//   aesip flow --variant both --device EP1K100FC484-1
+//   aesip export --variant encrypt --format blif --out aes.blif
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aes/cipher.hpp"
+#include "aes/modes.hpp"
+#include "aes/ttable.hpp"
+#include "core/bfm.hpp"
+#include "core/ip_synth.hpp"
+#include "core/rijndael_ip.hpp"
+#include "core/table2.hpp"
+#include "fpga/device.hpp"
+#include "fpga/fitter.hpp"
+#include "hdl/simulator.hpp"
+#include "netlist/writer.hpp"
+#include "power/power.hpp"
+#include "report/table.hpp"
+#include "seu/campaign.hpp"
+#include "seu/tmr.hpp"
+#include "techmap/techmap.hpp"
+
+using namespace aesip;
+
+namespace {
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "aesip: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  if (hex.size() % 2) die("hex string has odd length");
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    const auto byte = std::stoi(hex.substr(i, 2), nullptr, 16);
+    out.push_back(static_cast<std::uint8_t>(byte));
+  }
+  return out;
+}
+
+using Args = std::map<std::string, std::string>;
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) die("expected --option, got '" + key + "'");
+    key = key.substr(2);
+    if (i + 1 >= argc) die("missing value for --" + key);
+    args[key] = argv[++i];
+  }
+  return args;
+}
+
+std::string arg_or(const Args& a, const std::string& key, const std::string& fallback) {
+  const auto it = a.find(key);
+  return it == a.end() ? fallback : it->second;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) die("cannot read " + path);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(f),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, std::span<const std::uint8_t> data) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) die("cannot write " + path);
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+}
+
+core::IpMode variant_of(const std::string& name) {
+  if (name == "encrypt") return core::IpMode::kEncrypt;
+  if (name == "decrypt") return core::IpMode::kDecrypt;
+  if (name == "both") return core::IpMode::kBoth;
+  die("unknown variant '" + name + "' (encrypt|decrypt|both)");
+}
+
+const char* variant_name(core::IpMode m) {
+  return m == core::IpMode::kEncrypt ? "encrypt" : m == core::IpMode::kDecrypt ? "decrypt" : "both";
+}
+
+// --- crypt -----------------------------------------------------------------------
+
+int cmd_crypt(bool encrypting, const Args& args) {
+  const auto key = from_hex(arg_or(args, "key", ""));
+  if (key.size() != 16) die("--key must be 32 hex digits (AES-128)");
+  const std::string mode = arg_or(args, "mode", "cbc");
+  const std::string engine = arg_or(args, "engine", "ttable");
+  const std::string in_path = arg_or(args, "in", "");
+  const std::string out_path = arg_or(args, "out", "");
+  if (in_path.empty() || out_path.empty()) die("--in and --out are required");
+  std::vector<std::uint8_t> iv_vec = from_hex(arg_or(args, "iv", std::string(32, '0')));
+  if (iv_vec.size() != 16) die("--iv must be 32 hex digits");
+  const std::span<const std::uint8_t, 16> iv(iv_vec.data(), 16);
+
+  const auto input = read_file(in_path);
+
+  // Engine setup; the IP engine carries its own simulator.
+  hdl::Simulator sim;
+  std::optional<core::RijndaelIp> ip;
+  std::optional<core::BusDriver> bus;
+  std::optional<core::IpBlockCipher> hw;
+  if (engine == "ip") {
+    ip.emplace(sim, core::IpMode::kBoth);
+    bus.emplace(sim, *ip);
+    bus->reset();
+    bus->load_key(key);
+    hw.emplace(*bus);
+  }
+  aes::Aes128 soft(key);
+  aes::TTableAes128 fast(key);
+
+  auto run = [&](auto&& cipher) -> std::vector<std::uint8_t> {
+    if (mode == "ecb") {
+      return encrypting ? aes::ecb_encrypt(cipher, aes::pkcs7_pad(input))
+                        : aes::pkcs7_unpad(aes::ecb_decrypt(cipher, input));
+    }
+    if (mode == "cbc") {
+      return encrypting ? aes::cbc_encrypt(cipher, iv, aes::pkcs7_pad(input))
+                        : aes::pkcs7_unpad(aes::cbc_decrypt(cipher, iv, input));
+    }
+    if (mode == "ctr") return aes::ctr_crypt(cipher, iv, input);
+    die("unknown mode '" + mode + "' (ecb|cbc|ctr)");
+  };
+
+  std::vector<std::uint8_t> output;
+  if (engine == "ip") output = run(*hw);
+  else if (engine == "soft") output = run(soft);
+  else if (engine == "ttable") output = run(fast);
+  else die("unknown engine '" + engine + "' (soft|ttable|ip)");
+
+  write_file(out_path, output);
+  std::printf("%s %zu bytes -> %zu bytes (%s, %s engine%s)\n",
+              encrypting ? "encrypted" : "decrypted", input.size(), output.size(),
+              mode.c_str(), engine.c_str(),
+              engine == "ip"
+                  ? (", " + std::to_string(sim.cycle()) + " simulated cycles").c_str()
+                  : "");
+  return 0;
+}
+
+// --- flow ------------------------------------------------------------------------
+
+int cmd_flow(const Args& args) {
+  const auto mode = variant_of(arg_or(args, "variant", "encrypt"));
+  const std::string device_name = arg_or(args, "device", "EP1K100FC484-1");
+  const fpga::Device* device = fpga::find_device(device_name);
+  if (!device) die("unknown device '" + device_name + "'");
+  const auto row = core::reproduce_table2_cell(mode, *device);
+  std::printf("variant:        %s\ndevice:         %s\n", variant_name(mode),
+              device->name.c_str());
+  std::printf("logic cells:    %zu (%.1f%%)   [paper: %d / %d%%]\n", row.fit.logic_elements,
+              row.fit.le_pct, row.paper.lcs, row.paper.lc_pct);
+  std::printf("memory bits:    %zu (%.1f%%)   [paper: %d / %d%%]\n", row.fit.memory_bits,
+              row.fit.memory_pct, row.paper.memory_bits, row.paper.memory_pct);
+  std::printf("pins:           %d (%.1f%%)    [paper: %d]\n", row.fit.pins, row.fit.pin_pct,
+              row.paper.pins);
+  std::printf("clock period:   %.2f ns       [paper: %.0f ns]\n",
+              row.fit.timing.clock_period_ns, row.paper.clock_ns);
+  std::printf("latency:        %.0f ns (50 cycles)  [paper: %.0f ns]\n", row.latency_ns,
+              row.paper.latency_ns);
+  std::printf("throughput:     %.1f Mbps     [paper: %.0f Mbps]\n", row.throughput_mbps,
+              row.paper.throughput_mbps);
+  std::printf("fits:           %s\n", row.fit.fits ? "yes" : "NO");
+  return 0;
+}
+
+// --- export -----------------------------------------------------------------------
+
+int cmd_export(const Args& args) {
+  const auto mode = variant_of(arg_or(args, "variant", "encrypt"));
+  const std::string format = arg_or(args, "format", "verilog");
+  const std::string out_path = arg_or(args, "out", "");
+  const bool rom = arg_or(args, "sbox", "rom") == "rom";
+  const bool mapped = arg_or(args, "mapped", "no") == "yes";
+  if (out_path.empty()) die("--out is required");
+
+  netlist::Netlist nl = core::synthesize_ip(mode, rom);
+  if (mapped) nl = techmap::map_to_luts(nl).mapped;
+
+  std::ofstream f(out_path);
+  if (!f) die("cannot write " + out_path);
+  const std::string name = std::string("aes_ip_") + variant_name(mode);
+  if (format == "verilog") netlist::write_verilog(nl, f, name);
+  else if (format == "blif") netlist::write_blif(nl, f, name);
+  else die("unknown format '" + format + "' (verilog|blif)");
+  const auto st = nl.stats();
+  std::printf("wrote %s: %s %s, %zu gates, %zu LUTs, %zu FFs, %zu ROMs\n", out_path.c_str(),
+              mapped ? "mapped" : "unmapped", format.c_str(), st.gates, st.luts, st.dffs,
+              st.roms);
+  return 0;
+}
+
+// --- seu --------------------------------------------------------------------------
+
+int cmd_seu(const Args& args) {
+  const int runs = std::stoi(arg_or(args, "runs", "100"));
+  const std::uint32_t seed = static_cast<std::uint32_t>(std::stoul(arg_or(args, "seed", "1")));
+  const bool tmr = arg_or(args, "tmr", "no") == "yes";
+  auto mapped = techmap::map_to_luts(core::synthesize_ip(core::IpMode::kEncrypt, true)).mapped;
+  if (tmr) mapped = seu::harden_tmr(mapped).hardened;
+  const auto stats = seu::run_campaign(mapped, runs, seed);
+  std::printf("%d injections into the %s encrypt IP:\n", runs, tmr ? "TMR-hardened" : "unprotected");
+  std::printf("  masked:     %zu\n  corrupted:  %zu\n  latent:     %zu\n"
+              "  persistent: %zu\n  hang:       %zu\n",
+              stats.masked, stats.corrupted, stats.latent, stats.persistent, stats.hang);
+  return 0;
+}
+
+// --- power ------------------------------------------------------------------------
+
+int cmd_power(const Args& args) {
+  const auto mode = variant_of(arg_or(args, "variant", "encrypt"));
+  if (mode == core::IpMode::kDecrypt) die("power profiling drives an encrypt workload");
+  const std::string device_name = arg_or(args, "device", "EP1K100FC484-1");
+  const fpga::Device* device = fpga::find_device(device_name);
+  if (!device) die("unknown device '" + device_name + "'");
+  const auto row = core::reproduce_table2_cell(mode, *device);
+  const auto mapped = techmap::map_to_luts(core::synthesize_ip(mode, device->supports_async_rom));
+  const double mhz = 1000.0 / row.fit.timing.clock_period_ns;
+  const auto p = power::profile_ip(mapped.mapped, power::params_for(*device), mhz);
+  std::printf("variant %s on %s at %.1f MHz:\n", variant_name(mode), device->name.c_str(), mhz);
+  std::printf("  logic    %6.2f mW\n  routing  %6.2f mW\n  clock    %6.2f mW\n"
+              "  memory   %6.2f mW\n  I/O      %6.2f mW\n  static   %6.2f mW\n"
+              "  total    %6.2f mW\n",
+              p.logic_mw, p.routing_mw, p.clock_mw, p.memory_mw, p.io_mw, p.static_mw,
+              p.total_mw);
+  std::printf("  energy: %.2f nJ/block, %.1f pJ/bit\n", p.energy_per_block_nj,
+              p.energy_per_bit_pj);
+  return 0;
+}
+
+// --- selftest ----------------------------------------------------------------------
+
+int cmd_selftest() {
+  const auto key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const auto pt = from_hex("00112233445566778899aabbccddeeff");
+  const auto expect = from_hex("69c4e0d86a7b0430d8cdb78070b4c55a");
+
+  aes::Aes128 soft(key);
+  std::vector<std::uint8_t> ct(16);
+  soft.encrypt_block(pt, ct);
+  const bool soft_ok = ct == expect;
+
+  hdl::Simulator sim;
+  core::RijndaelIp ip(sim, core::IpMode::kBoth);
+  core::BusDriver bus(sim, ip);
+  bus.reset();
+  bus.load_key(key);
+  const auto hw_ct = bus.process_block(pt, true);
+  const bool hw_ok = std::equal(hw_ct.begin(), hw_ct.end(), expect.begin());
+  const auto hw_pt = bus.process_block(hw_ct, false);
+  const bool rt_ok = std::equal(hw_pt.begin(), hw_pt.end(), pt.begin());
+
+  std::printf("software FIPS-197 C.1: %s\n", soft_ok ? "ok" : "FAILED");
+  std::printf("simulated IP encrypt:  %s (50-cycle latency: %s)\n", hw_ok ? "ok" : "FAILED",
+              bus.last_latency() == 50 ? "ok" : "FAILED");
+  std::printf("simulated IP decrypt:  %s\n", rt_ok ? "ok" : "FAILED");
+  return (soft_ok && hw_ok && rt_ok) ? 0 : 1;
+}
+
+void usage() {
+  std::puts(
+      "usage: aesip <command> [options]\n"
+      "  encrypt|decrypt --key HEX32 [--mode ecb|cbc|ctr] [--iv HEX32]\n"
+      "                  [--engine soft|ttable|ip] --in FILE --out FILE\n"
+      "  flow     [--variant encrypt|decrypt|both] [--device NAME]\n"
+      "  export   [--variant V] [--format verilog|blif] [--sbox rom|logic]\n"
+      "           [--mapped yes|no] --out FILE\n"
+      "  seu      [--runs N] [--seed S] [--tmr yes|no]\n"
+      "  power    [--variant encrypt|both] [--device NAME]\n"
+      "  selftest");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "encrypt") return cmd_crypt(true, parse_args(argc, argv, 2));
+    if (cmd == "decrypt") return cmd_crypt(false, parse_args(argc, argv, 2));
+    if (cmd == "flow") return cmd_flow(parse_args(argc, argv, 2));
+    if (cmd == "export") return cmd_export(parse_args(argc, argv, 2));
+    if (cmd == "seu") return cmd_seu(parse_args(argc, argv, 2));
+    if (cmd == "power") return cmd_power(parse_args(argc, argv, 2));
+    if (cmd == "selftest") return cmd_selftest();
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+  usage();
+  return 1;
+}
