@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_place.dir/bench_place.cpp.o"
+  "CMakeFiles/bench_place.dir/bench_place.cpp.o.d"
+  "bench_place"
+  "bench_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

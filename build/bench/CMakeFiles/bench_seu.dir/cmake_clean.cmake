@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seu.dir/bench_seu.cpp.o"
+  "CMakeFiles/bench_seu.dir/bench_seu.cpp.o.d"
+  "bench_seu"
+  "bench_seu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_software.dir/bench_software.cpp.o"
+  "CMakeFiles/bench_software.dir/bench_software.cpp.o.d"
+  "bench_software"
+  "bench_software.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

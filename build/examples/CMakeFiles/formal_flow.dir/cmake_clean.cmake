@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formal_flow.dir/formal_flow.cpp.o"
+  "CMakeFiles/formal_flow.dir/formal_flow.cpp.o.d"
+  "formal_flow"
+  "formal_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formal_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

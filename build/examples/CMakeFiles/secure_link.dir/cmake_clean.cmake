@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_link.dir/secure_link.cpp.o"
+  "CMakeFiles/secure_link.dir/secure_link.cpp.o.d"
+  "secure_link"
+  "secure_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartcard_profile.dir/smartcard_profile.cpp.o"
+  "CMakeFiles/smartcard_profile.dir/smartcard_profile.cpp.o.d"
+  "smartcard_profile"
+  "smartcard_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartcard_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

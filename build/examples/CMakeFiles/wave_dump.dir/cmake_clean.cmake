@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_dump.dir/wave_dump.cpp.o"
+  "CMakeFiles/wave_dump.dir/wave_dump.cpp.o.d"
+  "wave_dump"
+  "wave_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

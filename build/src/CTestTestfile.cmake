@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("gf")
+subdirs("aes")
+subdirs("hdl")
+subdirs("netlist")
+subdirs("bdd")
+subdirs("techmap")
+subdirs("sta")
+subdirs("place")
+subdirs("fpga")
+subdirs("core")
+subdirs("seu")
+subdirs("power")
+subdirs("arch")
+subdirs("report")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aes/cipher.cpp" "src/aes/CMakeFiles/aesip_aes.dir/cipher.cpp.o" "gcc" "src/aes/CMakeFiles/aesip_aes.dir/cipher.cpp.o.d"
+  "/root/repo/src/aes/key_schedule.cpp" "src/aes/CMakeFiles/aesip_aes.dir/key_schedule.cpp.o" "gcc" "src/aes/CMakeFiles/aesip_aes.dir/key_schedule.cpp.o.d"
+  "/root/repo/src/aes/modes.cpp" "src/aes/CMakeFiles/aesip_aes.dir/modes.cpp.o" "gcc" "src/aes/CMakeFiles/aesip_aes.dir/modes.cpp.o.d"
+  "/root/repo/src/aes/state.cpp" "src/aes/CMakeFiles/aesip_aes.dir/state.cpp.o" "gcc" "src/aes/CMakeFiles/aesip_aes.dir/state.cpp.o.d"
+  "/root/repo/src/aes/transforms.cpp" "src/aes/CMakeFiles/aesip_aes.dir/transforms.cpp.o" "gcc" "src/aes/CMakeFiles/aesip_aes.dir/transforms.cpp.o.d"
+  "/root/repo/src/aes/ttable.cpp" "src/aes/CMakeFiles/aesip_aes.dir/ttable.cpp.o" "gcc" "src/aes/CMakeFiles/aesip_aes.dir/ttable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf/CMakeFiles/aesip_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

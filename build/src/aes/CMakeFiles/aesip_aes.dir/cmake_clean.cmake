@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aesip_aes.dir/cipher.cpp.o"
+  "CMakeFiles/aesip_aes.dir/cipher.cpp.o.d"
+  "CMakeFiles/aesip_aes.dir/key_schedule.cpp.o"
+  "CMakeFiles/aesip_aes.dir/key_schedule.cpp.o.d"
+  "CMakeFiles/aesip_aes.dir/modes.cpp.o"
+  "CMakeFiles/aesip_aes.dir/modes.cpp.o.d"
+  "CMakeFiles/aesip_aes.dir/state.cpp.o"
+  "CMakeFiles/aesip_aes.dir/state.cpp.o.d"
+  "CMakeFiles/aesip_aes.dir/transforms.cpp.o"
+  "CMakeFiles/aesip_aes.dir/transforms.cpp.o.d"
+  "CMakeFiles/aesip_aes.dir/ttable.cpp.o"
+  "CMakeFiles/aesip_aes.dir/ttable.cpp.o.d"
+  "libaesip_aes.a"
+  "libaesip_aes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aesip_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/alt_ip.cpp" "src/arch/CMakeFiles/aesip_arch.dir/alt_ip.cpp.o" "gcc" "src/arch/CMakeFiles/aesip_arch.dir/alt_ip.cpp.o.d"
+  "/root/repo/src/arch/baselines.cpp" "src/arch/CMakeFiles/aesip_arch.dir/baselines.cpp.o" "gcc" "src/arch/CMakeFiles/aesip_arch.dir/baselines.cpp.o.d"
+  "/root/repo/src/arch/cycle_model.cpp" "src/arch/CMakeFiles/aesip_arch.dir/cycle_model.cpp.o" "gcc" "src/arch/CMakeFiles/aesip_arch.dir/cycle_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aes/CMakeFiles/aesip_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdl/CMakeFiles/aesip_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/aesip_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

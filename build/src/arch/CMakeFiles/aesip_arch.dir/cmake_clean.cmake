@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aesip_arch.dir/alt_ip.cpp.o"
+  "CMakeFiles/aesip_arch.dir/alt_ip.cpp.o.d"
+  "CMakeFiles/aesip_arch.dir/baselines.cpp.o"
+  "CMakeFiles/aesip_arch.dir/baselines.cpp.o.d"
+  "CMakeFiles/aesip_arch.dir/cycle_model.cpp.o"
+  "CMakeFiles/aesip_arch.dir/cycle_model.cpp.o.d"
+  "libaesip_arch.a"
+  "libaesip_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aesip_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

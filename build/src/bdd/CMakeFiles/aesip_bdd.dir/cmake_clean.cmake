@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aesip_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/aesip_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/aesip_bdd.dir/netlist_bdd.cpp.o"
+  "CMakeFiles/aesip_bdd.dir/netlist_bdd.cpp.o.d"
+  "libaesip_bdd.a"
+  "libaesip_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aesip_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

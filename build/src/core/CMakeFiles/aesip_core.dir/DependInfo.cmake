@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bus_adapter.cpp" "src/core/CMakeFiles/aesip_core.dir/bus_adapter.cpp.o" "gcc" "src/core/CMakeFiles/aesip_core.dir/bus_adapter.cpp.o.d"
+  "/root/repo/src/core/gate_driver.cpp" "src/core/CMakeFiles/aesip_core.dir/gate_driver.cpp.o" "gcc" "src/core/CMakeFiles/aesip_core.dir/gate_driver.cpp.o.d"
+  "/root/repo/src/core/ip_synth.cpp" "src/core/CMakeFiles/aesip_core.dir/ip_synth.cpp.o" "gcc" "src/core/CMakeFiles/aesip_core.dir/ip_synth.cpp.o.d"
+  "/root/repo/src/core/rijndael_ip.cpp" "src/core/CMakeFiles/aesip_core.dir/rijndael_ip.cpp.o" "gcc" "src/core/CMakeFiles/aesip_core.dir/rijndael_ip.cpp.o.d"
+  "/root/repo/src/core/table2.cpp" "src/core/CMakeFiles/aesip_core.dir/table2.cpp.o" "gcc" "src/core/CMakeFiles/aesip_core.dir/table2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aes/CMakeFiles/aesip_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdl/CMakeFiles/aesip_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/aesip_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/techmap/CMakeFiles/aesip_techmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/aesip_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/aesip_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/aesip_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aesip_core.dir/bus_adapter.cpp.o"
+  "CMakeFiles/aesip_core.dir/bus_adapter.cpp.o.d"
+  "CMakeFiles/aesip_core.dir/gate_driver.cpp.o"
+  "CMakeFiles/aesip_core.dir/gate_driver.cpp.o.d"
+  "CMakeFiles/aesip_core.dir/ip_synth.cpp.o"
+  "CMakeFiles/aesip_core.dir/ip_synth.cpp.o.d"
+  "CMakeFiles/aesip_core.dir/rijndael_ip.cpp.o"
+  "CMakeFiles/aesip_core.dir/rijndael_ip.cpp.o.d"
+  "CMakeFiles/aesip_core.dir/table2.cpp.o"
+  "CMakeFiles/aesip_core.dir/table2.cpp.o.d"
+  "libaesip_core.a"
+  "libaesip_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aesip_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/device.cpp" "src/fpga/CMakeFiles/aesip_fpga.dir/device.cpp.o" "gcc" "src/fpga/CMakeFiles/aesip_fpga.dir/device.cpp.o.d"
+  "/root/repo/src/fpga/fitter.cpp" "src/fpga/CMakeFiles/aesip_fpga.dir/fitter.cpp.o" "gcc" "src/fpga/CMakeFiles/aesip_fpga.dir/fitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sta/CMakeFiles/aesip_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/techmap/CMakeFiles/aesip_techmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/aesip_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/aesip_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

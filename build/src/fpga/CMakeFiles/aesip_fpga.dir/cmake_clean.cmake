@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aesip_fpga.dir/device.cpp.o"
+  "CMakeFiles/aesip_fpga.dir/device.cpp.o.d"
+  "CMakeFiles/aesip_fpga.dir/fitter.cpp.o"
+  "CMakeFiles/aesip_fpga.dir/fitter.cpp.o.d"
+  "libaesip_fpga.a"
+  "libaesip_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aesip_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aesip_gf.dir/composite.cpp.o"
+  "CMakeFiles/aesip_gf.dir/composite.cpp.o.d"
+  "libaesip_gf.a"
+  "libaesip_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aesip_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdl/simulator.cpp" "src/hdl/CMakeFiles/aesip_hdl.dir/simulator.cpp.o" "gcc" "src/hdl/CMakeFiles/aesip_hdl.dir/simulator.cpp.o.d"
+  "/root/repo/src/hdl/vcd.cpp" "src/hdl/CMakeFiles/aesip_hdl.dir/vcd.cpp.o" "gcc" "src/hdl/CMakeFiles/aesip_hdl.dir/vcd.cpp.o.d"
+  "/root/repo/src/hdl/word128.cpp" "src/hdl/CMakeFiles/aesip_hdl.dir/word128.cpp.o" "gcc" "src/hdl/CMakeFiles/aesip_hdl.dir/word128.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aesip_hdl.dir/simulator.cpp.o"
+  "CMakeFiles/aesip_hdl.dir/simulator.cpp.o.d"
+  "CMakeFiles/aesip_hdl.dir/vcd.cpp.o"
+  "CMakeFiles/aesip_hdl.dir/vcd.cpp.o.d"
+  "CMakeFiles/aesip_hdl.dir/word128.cpp.o"
+  "CMakeFiles/aesip_hdl.dir/word128.cpp.o.d"
+  "libaesip_hdl.a"
+  "libaesip_hdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aesip_hdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

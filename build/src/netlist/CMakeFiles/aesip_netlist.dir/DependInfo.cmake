@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/eval.cpp" "src/netlist/CMakeFiles/aesip_netlist.dir/eval.cpp.o" "gcc" "src/netlist/CMakeFiles/aesip_netlist.dir/eval.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/aesip_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/aesip_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/synth.cpp" "src/netlist/CMakeFiles/aesip_netlist.dir/synth.cpp.o" "gcc" "src/netlist/CMakeFiles/aesip_netlist.dir/synth.cpp.o.d"
+  "/root/repo/src/netlist/writer.cpp" "src/netlist/CMakeFiles/aesip_netlist.dir/writer.cpp.o" "gcc" "src/netlist/CMakeFiles/aesip_netlist.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf/CMakeFiles/aesip_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aesip_netlist.dir/eval.cpp.o"
+  "CMakeFiles/aesip_netlist.dir/eval.cpp.o.d"
+  "CMakeFiles/aesip_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/aesip_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/aesip_netlist.dir/synth.cpp.o"
+  "CMakeFiles/aesip_netlist.dir/synth.cpp.o.d"
+  "CMakeFiles/aesip_netlist.dir/writer.cpp.o"
+  "CMakeFiles/aesip_netlist.dir/writer.cpp.o.d"
+  "libaesip_netlist.a"
+  "libaesip_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aesip_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

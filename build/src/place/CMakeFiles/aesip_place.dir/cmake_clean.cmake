@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aesip_place.dir/place.cpp.o"
+  "CMakeFiles/aesip_place.dir/place.cpp.o.d"
+  "libaesip_place.a"
+  "libaesip_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aesip_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

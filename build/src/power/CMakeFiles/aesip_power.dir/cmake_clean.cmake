@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aesip_power.dir/power.cpp.o"
+  "CMakeFiles/aesip_power.dir/power.cpp.o.d"
+  "libaesip_power.a"
+  "libaesip_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aesip_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

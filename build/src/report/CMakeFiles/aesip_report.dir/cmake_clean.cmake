@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aesip_report.dir/table.cpp.o"
+  "CMakeFiles/aesip_report.dir/table.cpp.o.d"
+  "libaesip_report.a"
+  "libaesip_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aesip_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaesip_report.a"
+)

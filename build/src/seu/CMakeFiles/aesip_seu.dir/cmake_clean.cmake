@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aesip_seu.dir/campaign.cpp.o"
+  "CMakeFiles/aesip_seu.dir/campaign.cpp.o.d"
+  "CMakeFiles/aesip_seu.dir/tmr.cpp.o"
+  "CMakeFiles/aesip_seu.dir/tmr.cpp.o.d"
+  "libaesip_seu.a"
+  "libaesip_seu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aesip_seu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aesip_sta.dir/sta.cpp.o"
+  "CMakeFiles/aesip_sta.dir/sta.cpp.o.d"
+  "libaesip_sta.a"
+  "libaesip_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aesip_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aesip_techmap.dir/techmap.cpp.o"
+  "CMakeFiles/aesip_techmap.dir/techmap.cpp.o.d"
+  "libaesip_techmap.a"
+  "libaesip_techmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aesip_techmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

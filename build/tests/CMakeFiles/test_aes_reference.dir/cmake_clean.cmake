@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aes_reference.dir/test_aes_reference.cpp.o"
+  "CMakeFiles/test_aes_reference.dir/test_aes_reference.cpp.o.d"
+  "test_aes_reference"
+  "test_aes_reference.pdb"
+  "test_aes_reference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aes_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

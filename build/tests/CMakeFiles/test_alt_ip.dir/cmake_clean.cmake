@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alt_ip.dir/test_alt_ip.cpp.o"
+  "CMakeFiles/test_alt_ip.dir/test_alt_ip.cpp.o.d"
+  "test_alt_ip"
+  "test_alt_ip.pdb"
+  "test_alt_ip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alt_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bus_adapter.dir/test_bus_adapter.cpp.o"
+  "CMakeFiles/test_bus_adapter.dir/test_bus_adapter.cpp.o.d"
+  "test_bus_adapter"
+  "test_bus_adapter.pdb"
+  "test_bus_adapter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bus_adapter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

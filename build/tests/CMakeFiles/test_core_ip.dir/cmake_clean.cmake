@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_ip.dir/test_core_ip.cpp.o"
+  "CMakeFiles/test_core_ip.dir/test_core_ip.cpp.o.d"
+  "test_core_ip"
+  "test_core_ip.pdb"
+  "test_core_ip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga_fit.dir/test_fpga_fit.cpp.o"
+  "CMakeFiles/test_fpga_fit.dir/test_fpga_fit.cpp.o.d"
+  "test_fpga_fit"
+  "test_fpga_fit.pdb"
+  "test_fpga_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lockstep.dir/test_lockstep.cpp.o"
+  "CMakeFiles/test_lockstep.dir/test_lockstep.cpp.o.d"
+  "test_lockstep"
+  "test_lockstep.pdb"
+  "test_lockstep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lockstep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapper_fuzz.dir/test_mapper_fuzz.cpp.o"
+  "CMakeFiles/test_mapper_fuzz.dir/test_mapper_fuzz.cpp.o.d"
+  "test_mapper_fuzz"
+  "test_mapper_fuzz.pdb"
+  "test_mapper_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapper_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_modes.cpp" "tests/CMakeFiles/test_modes.dir/test_modes.cpp.o" "gcc" "tests/CMakeFiles/test_modes.dir/test_modes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aesip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/seu/CMakeFiles/aesip_seu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/aesip_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/aesip_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/aesip_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/aesip_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/aesip_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/aesip_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/techmap/CMakeFiles/aesip_techmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/aesip_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/aesip_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/aesip_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/aesip_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdl/CMakeFiles/aesip_hdl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netlist_hygiene.dir/test_netlist_hygiene.cpp.o"
+  "CMakeFiles/test_netlist_hygiene.dir/test_netlist_hygiene.cpp.o.d"
+  "test_netlist_hygiene"
+  "test_netlist_hygiene.pdb"
+  "test_netlist_hygiene[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netlist_hygiene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

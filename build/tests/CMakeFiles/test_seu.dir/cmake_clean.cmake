@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seu.dir/test_seu.cpp.o"
+  "CMakeFiles/test_seu.dir/test_seu.cpp.o.d"
+  "test_seu"
+  "test_seu.pdb"
+  "test_seu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

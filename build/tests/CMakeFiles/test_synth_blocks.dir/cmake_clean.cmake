@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_blocks.dir/test_synth_blocks.cpp.o"
+  "CMakeFiles/test_synth_blocks.dir/test_synth_blocks.cpp.o.d"
+  "test_synth_blocks"
+  "test_synth_blocks.pdb"
+  "test_synth_blocks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

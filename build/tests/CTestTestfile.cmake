@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_gf256[1]_include.cmake")
+include("/root/repo/build/tests/test_aes_reference[1]_include.cmake")
+include("/root/repo/build/tests/test_modes[1]_include.cmake")
+include("/root/repo/build/tests/test_hdl[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_synth_blocks[1]_include.cmake")
+include("/root/repo/build/tests/test_techmap[1]_include.cmake")
+include("/root/repo/build/tests/test_sta[1]_include.cmake")
+include("/root/repo/build/tests/test_core_ip[1]_include.cmake")
+include("/root/repo/build/tests/test_ip_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_fpga_fit[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_table2[1]_include.cmake")
+include("/root/repo/build/tests/test_seu[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_bus_adapter[1]_include.cmake")
+include("/root/repo/build/tests/test_bdd[1]_include.cmake")
+include("/root/repo/build/tests/test_lockstep[1]_include.cmake")
+include("/root/repo/build/tests/test_writer[1]_include.cmake")
+include("/root/repo/build/tests/test_alt_ip[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist_hygiene[1]_include.cmake")
+include("/root/repo/build/tests/test_composite[1]_include.cmake")
+include("/root/repo/build/tests/test_place[1]_include.cmake")
+include("/root/repo/build/tests/test_mapper_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol_edge[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aesip_cli.dir/aesip_cli.cpp.o"
+  "CMakeFiles/aesip_cli.dir/aesip_cli.cpp.o.d"
+  "aesip"
+  "aesip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aesip_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
