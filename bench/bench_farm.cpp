@@ -1,0 +1,181 @@
+// Farm scaling: aggregate throughput vs. worker (core) count.
+//
+// The paper's economic argument is replication — the core is small enough
+// to stamp out many times on one device. This bench quantifies the claim
+// at the system level: a fixed synthetic workload is pushed through farms
+// of 1, 2, 4, ... workers and throughput is reported in both domains:
+//
+//  * simulated aggregate — blocks / (makespan cycles x Tclk), the hardware
+//    figure. Each worker's core advances its own private cycle counter, so
+//    N cores genuinely overlap in simulated time and this scales ~N
+//    (minus re-key overhead — the scheduler's affinity hit-rate shows up
+//    directly here).
+//  * host wall-clock — how fast this process simulates; scales only with
+//    real CPUs, and on a single-CPU machine stays flat by construction.
+//
+// Results go to stdout (table) and BENCH_farm.json (machine-readable, for
+// cross-PR trend tracking).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "farm/farm.hpp"
+#include "report/json.hpp"
+
+namespace farm = aesip::farm;
+
+namespace {
+
+constexpr double kClockNs = 14.0;       // the paper's Acex1K Table 2 clock
+constexpr std::uint64_t kTargetBlocks = 12000;
+
+struct Point {
+  int workers = 0;
+  farm::FarmStats stats;
+};
+
+/// Deterministic mixed workload: 16 session keys with popularity skew,
+/// mostly short CBC/ECB requests, every 8th a long CTR stream that fans
+/// out. Identical traffic for every worker count (seeded PRNG).
+farm::FarmStats run_point(int workers, std::uint64_t target_blocks) {
+  farm::FarmConfig cfg;
+  cfg.workers = workers;
+  cfg.queue_capacity = 128;
+  cfg.max_sessions = 64;
+  farm::Farm f(cfg);
+
+  std::mt19937 rng(1234);
+  std::vector<farm::Key128> keys(16);
+  for (auto& k : keys)
+    for (auto& b : k) b = static_cast<std::uint8_t>(rng());
+
+  std::vector<std::future<farm::Result>> pending;
+  std::uint64_t submitted_blocks = 0, requests = 0;
+  while (submitted_blocks < target_blocks) {
+    farm::Request req;
+    const auto pick = std::min(rng() % keys.size(), rng() % keys.size());
+    req.session_id = pick;
+    req.key = keys[pick];
+    for (auto& b : req.iv) b = static_cast<std::uint8_t>(rng());
+    std::size_t blocks;
+    if (requests % 8 == 0) {
+      req.mode = farm::Mode::kCtr;
+      blocks = 128;
+    } else {
+      req.mode = (rng() & 1) ? farm::Mode::kCbc : farm::Mode::kEcb;
+      req.encrypt = (rng() & 1) != 0;
+      blocks = 1 + rng() % 8;
+    }
+    req.payload.resize(blocks * 16);
+    for (auto& b : req.payload) b = static_cast<std::uint8_t>(rng());
+    submitted_blocks += blocks;
+    ++requests;
+    pending.push_back(f.submit(std::move(req)));
+    if (pending.size() > 1024) {
+      for (auto& p : pending) p.get();
+      pending.clear();
+    }
+  }
+  for (auto& p : pending) p.get();
+  return f.stats();
+}
+
+std::vector<int> sweep_workers() {
+  std::vector<int> sweep{1, 2, 4};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 4) sweep.push_back(hw);
+  return sweep;
+}
+
+void print_and_dump_scaling() {
+  std::printf("=== IP farm scaling (fixed workload, %llu blocks) ===\n\n",
+              static_cast<unsigned long long>(kTargetBlocks));
+  std::printf("  %-7s  %12s  %14s  %12s  %10s\n", "workers", "sim Mbps", "sim blocks/s",
+              "wall blk/s", "key hits");
+
+  std::vector<Point> points;
+  for (const int w : sweep_workers()) {
+    Point p;
+    p.workers = w;
+    p.stats = run_point(w, kTargetBlocks);
+    points.push_back(std::move(p));
+    const auto& s = points.back().stats;
+    std::printf("  %-7d  %12.1f  %14.0f  %12.0f  %9.1f%%\n", w, s.sim_mbps(kClockNs),
+                s.sim_blocks_per_sec(kClockNs), s.blocks_per_wall_sec(),
+                s.key_hit_rate() * 100.0);
+  }
+
+  const auto find = [&](int w) -> const farm::FarmStats* {
+    for (const auto& p : points)
+      if (p.workers == w) return &p.stats;
+    return nullptr;
+  };
+  double scaling_sim = 0, scaling_wall = 0;
+  if (const auto *one = find(1), *four = find(4); one && four) {
+    scaling_sim = four->sim_blocks_per_sec(kClockNs) / one->sim_blocks_per_sec(kClockNs);
+    scaling_wall = four->blocks_per_wall_sec() / one->blocks_per_wall_sec();
+    std::printf("\n  1 -> 4 workers: %.2fx simulated aggregate, %.2fx host wall clock\n",
+                scaling_sim, scaling_wall);
+    std::printf("  (simulated aggregate is the hardware figure: N replicated cores run\n"
+                "   concurrently; wall clock tracks host CPUs — this host has %u)\n\n",
+                std::thread::hardware_concurrency());
+  }
+
+  std::ofstream jf("BENCH_farm.json");
+  aesip::report::JsonWriter j(jf);
+  j.begin_object();
+  j.key("bench").value("farm");
+  j.key("clock_ns").value(kClockNs);
+  j.key("target_blocks").value(kTargetBlocks);
+  j.key("host_hardware_concurrency").value(std::thread::hardware_concurrency());
+  j.key("scaling_1_to_4_sim").value(scaling_sim);
+  j.key("scaling_1_to_4_wall").value(scaling_wall);
+  j.key("points").begin_array();
+  for (const auto& p : points) {
+    const auto& s = p.stats;
+    j.begin_object();
+    j.key("workers").value(p.workers);
+    j.key("blocks").value(s.blocks);
+    j.key("requests").value(s.requests);
+    j.key("wall_seconds").value(s.wall_seconds);
+    j.key("blocks_per_wall_sec").value(s.blocks_per_wall_sec());
+    j.key("max_worker_cycles").value(s.max_worker_cycles);
+    j.key("cycles_per_block").value(s.cycles_per_block());
+    j.key("sim_blocks_per_sec").value(s.sim_blocks_per_sec(kClockNs));
+    j.key("sim_mbps").value(s.sim_mbps(kClockNs));
+    j.key("key_hit_rate").value(s.key_hit_rate());
+    j.key("setup_cycles").value(s.total_setup_cycles);
+    j.key("ctr_fanouts").value(s.ctr_fanouts);
+    j.key("queue_high_water").value(s.queue_high_water);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  std::printf("wrote BENCH_farm.json\n\n");
+}
+
+void BM_FarmThroughput(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto stats = run_point(workers, 2000);
+    benchmark::DoNotOptimize(stats.blocks);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2000);
+  state.counters["workers"] = workers;
+}
+BENCHMARK(BM_FarmThroughput)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_and_dump_scaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -6,11 +6,14 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "core/bfm.hpp"
 #include "core/rijndael_ip.hpp"
 #include "hdl/simulator.hpp"
+#include "report/json.hpp"
 
 namespace core = aesip::core;
 
@@ -27,6 +30,13 @@ std::vector<std::array<std::uint8_t, 16>> make_blocks(std::size_t n) {
 void print_streaming_profile() {
   std::printf("=== Full-rate streaming (decoupled Data_In/Out processes) ===\n\n");
   const std::array<std::uint8_t, 16> key{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2, 3, 4, 5, 6};
+  struct Row {
+    std::string variant;
+    std::size_t blocks;
+    std::uint64_t cycles;
+    double cycles_per_block;
+  };
+  std::vector<Row> rows;
   for (const auto mode : {core::IpMode::kEncrypt, core::IpMode::kDecrypt, core::IpMode::kBoth}) {
     aesip::hdl::Simulator sim;
     core::RijndaelIp ip(sim, mode);
@@ -42,9 +52,29 @@ void print_streaming_profile() {
                                                         : "Both";
     std::printf("  %-8s : %zu blocks in %llu cycles = %.2f cycles/block (ideal 50)\n", name,
                 blocks.size(), static_cast<unsigned long long>(bus.last_stream_cycles()), cpb);
+    rows.push_back({name, blocks.size(), bus.last_stream_cycles(), cpb});
   }
   std::printf("\nAt 50 cycles/block: 14 ns clock -> 182.9 Mbps, 10 ns -> 256 Mbps — the\n"
               "paper's Table 2 throughput column.\n\n");
+
+  // Machine-readable mirror of the table above, for cross-PR trend tracking.
+  std::ofstream jf("BENCH_stream.json");
+  aesip::report::JsonWriter j(jf);
+  j.begin_object();
+  j.key("bench").value("stream");
+  j.key("ideal_cycles_per_block").value(50);
+  j.key("variants").begin_array();
+  for (const auto& r : rows) {
+    j.begin_object();
+    j.key("variant").value(r.variant);
+    j.key("blocks").value(r.blocks);
+    j.key("cycles").value(r.cycles);
+    j.key("cycles_per_block").value(r.cycles_per_block);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  std::printf("wrote BENCH_stream.json\n\n");
 }
 
 void BM_StreamEncrypt(benchmark::State& state) {

@@ -9,6 +9,21 @@ std::vector<std::uint8_t> pkcs7_pad(std::span<const std::uint8_t> data) {
   return out;
 }
 
+std::array<std::uint8_t, kBlock> ctr_counter_at(
+    std::span<const std::uint8_t, kBlock> initial_counter, std::uint64_t block_index) {
+  std::array<std::uint8_t, kBlock> counter;
+  for (std::size_t i = 0; i < kBlock; ++i) counter[i] = initial_counter[i];
+  // Ripple the 64-bit offset into the big-endian counter, carrying through
+  // all 16 bytes (the initial counter may sit anywhere in the 2^128 space).
+  std::uint64_t carry = block_index;
+  for (int i = static_cast<int>(kBlock) - 1; i >= 0 && carry != 0; --i) {
+    const std::uint64_t sum = static_cast<std::uint64_t>(counter[i]) + (carry & 0xff);
+    counter[i] = static_cast<std::uint8_t>(sum);
+    carry = (carry >> 8) + (sum >> 8);
+  }
+  return counter;
+}
+
 std::vector<std::uint8_t> pkcs7_unpad(std::span<const std::uint8_t> data) {
   if (data.empty() || data.size() % kBlock != 0)
     throw std::invalid_argument("pkcs7: length not a positive multiple of the block size");

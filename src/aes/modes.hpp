@@ -7,6 +7,7 @@
 // through the simulated FPGA core.
 #pragma once
 
+#include <array>
 #include <concepts>
 #include <cstdint>
 #include <span>
@@ -91,6 +92,16 @@ std::vector<std::uint8_t> cbc_decrypt(const C& cipher, std::span<const std::uint
   }
   return out;
 }
+
+/// Counter block for the CTR keystream position `block_index` blocks past
+/// `initial_counter` — big-endian addition over the full 128 bits (the same
+/// convention ctr_crypt increments with). This is what makes CTR chunkable:
+/// byte range [16*i, 16*j) of a message can be processed independently by
+/// starting a fresh ctr_crypt at ctr_counter_at(iv, i), so a scheduler can
+/// fan one payload out across many cores and splice the pieces back
+/// together.
+std::array<std::uint8_t, kBlock> ctr_counter_at(
+    std::span<const std::uint8_t, kBlock> initial_counter, std::uint64_t block_index);
 
 /// CTR mode: the counter block is big-endian-incremented over its full 128
 /// bits (the SP 800-38A example convention). Works on any length; CTR needs

@@ -1,0 +1,370 @@
+#include "farm/farm.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <stdexcept>
+
+#include "aes/modes.hpp"
+#include "core/bfm.hpp"
+#include "core/rijndael_ip.hpp"
+#include "hdl/simulator.hpp"
+#include "report/json.hpp"
+
+namespace aesip::farm {
+
+namespace {
+/// Reservoir bound for latency samples (~512 KiB of floats).
+constexpr std::size_t kLatencyCap = 1u << 17;
+
+std::size_t block_count(std::size_t bytes) { return (bytes + aes::kBlock - 1) / aes::kBlock; }
+}  // namespace
+
+const char* mode_name(Mode m) noexcept {
+  switch (m) {
+    case Mode::kEcb: return "ecb";
+    case Mode::kCbc: return "cbc";
+    case Mode::kCtr: return "ctr";
+  }
+  return "?";
+}
+
+// One worker's private hardware: simulator, core, bus master, cipher view.
+// Constructed on the worker's own thread; nothing in here is ever touched
+// by another thread, which is the farm's whole locking story.
+class WorkerContext {
+ public:
+  WorkerContext() : ip(sim, core::IpMode::kBoth), bus(sim, ip), cipher(bus) { bus.reset(); }
+
+  hdl::Simulator sim;
+  core::RijndaelIp ip;
+  core::BusDriver bus;
+  core::IpBlockCipher cipher;
+};
+
+Farm::Farm(const FarmConfig& cfg) : cfg_(cfg), sessions_(cfg.workers, cfg.max_sessions) {
+  if (cfg_.workers < 1) cfg_.workers = 1;
+  if (cfg_.ctr_chunk_blocks == 0) cfg_.ctr_chunk_blocks = 1;
+  counters_ = std::vector<WorkerCounters>(static_cast<std::size_t>(cfg_.workers));
+  queues_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int i = 0; i < cfg_.workers; ++i)
+    queues_.push_back(std::make_unique<BoundedQueue<Job>>(cfg_.queue_capacity));
+  start_ = std::chrono::steady_clock::now();
+  threads_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int i = 0; i < cfg_.workers; ++i) threads_.emplace_back([this, i] { worker_main(i); });
+}
+
+Farm::~Farm() {
+  for (auto& q : queues_) q->close();
+  for (auto& t : threads_) t.join();
+}
+
+void Farm::validate(const Request& req) {
+  if (req.mode != Mode::kCtr && req.payload.size() % aes::kBlock != 0)
+    throw std::invalid_argument(std::string("farm: ") + mode_name(req.mode) +
+                                " payload must be a whole number of 16-byte blocks");
+}
+
+std::future<Result> Farm::submit(Request req) {
+  validate(req);
+  const std::size_t blocks = block_count(req.payload.size());
+  if (req.mode == Mode::kCtr && cfg_.workers > 1 && blocks >= cfg_.ctr_fanout_min_blocks)
+    return submit_fanout(std::move(req));
+
+  const auto route = sessions_.route(req.session_id, req.key);
+  Job job;
+  job.mode = req.mode;
+  job.encrypt = req.encrypt;
+  job.key = req.key;
+  job.iv = req.iv;
+  job.payload = std::move(req.payload);
+  job.key_hot_predicted = route.key_hot;
+  job.t_submit = std::chrono::steady_clock::now();
+  auto future = job.promise.get_future();
+  if (!queues_[static_cast<std::size_t>(route.worker)]->push(std::move(job)))
+    throw std::runtime_error("farm: submit after shutdown");
+  return future;
+}
+
+std::optional<std::future<Result>> Farm::try_submit(Request req) {
+  validate(req);
+  const auto route = sessions_.route(req.session_id, req.key);
+  Job job;
+  job.mode = req.mode;
+  job.encrypt = req.encrypt;
+  job.key = req.key;
+  job.iv = req.iv;
+  job.payload = std::move(req.payload);
+  job.key_hot_predicted = route.key_hot;
+  job.t_submit = std::chrono::steady_clock::now();
+  auto future = job.promise.get_future();
+  if (!queues_[static_cast<std::size_t>(route.worker)]->try_push(std::move(job))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  return future;
+}
+
+std::future<Result> Farm::submit_fanout(Request req) {
+  const std::size_t chunk_bytes = cfg_.ctr_chunk_blocks * aes::kBlock;
+  const std::size_t n_chunks = (req.payload.size() + chunk_bytes - 1) / chunk_bytes;
+
+  auto fan = std::make_shared<FanState>();
+  fan->parts.resize(n_chunks);
+  fan->remaining.store(n_chunks);
+  fan->total_bytes = req.payload.size();
+  fan->t_submit = std::chrono::steady_clock::now();
+  auto future = fan->promise.get_future();
+
+  ctr_fanouts_.fetch_add(1, std::memory_order_relaxed);
+  ctr_chunks_.fetch_add(n_chunks, std::memory_order_relaxed);
+
+  const std::span<const std::uint8_t, aes::kBlock> iv(req.iv.data(), aes::kBlock);
+  const std::span<const std::uint8_t> payload(req.payload);
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const std::size_t off = c * chunk_bytes;
+    const std::size_t len = std::min(chunk_bytes, req.payload.size() - off);
+    Job job;
+    job.mode = Mode::kCtr;
+    job.encrypt = req.encrypt;
+    job.key = req.key;
+    job.iv = aes::ctr_counter_at(iv, static_cast<std::uint64_t>(c * cfg_.ctr_chunk_blocks));
+    job.payload.assign(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                       payload.begin() + static_cast<std::ptrdiff_t>(off + len));
+    job.fan = fan;
+    job.chunk_index = c;
+    job.t_submit = fan->t_submit;
+    const int worker = sessions_.next_round_robin(req.key);
+    if (!queues_[static_cast<std::size_t>(worker)]->push(std::move(job)))
+      throw std::runtime_error("farm: submit after shutdown");
+  }
+  return future;
+}
+
+void Farm::worker_main(int index) {
+  WorkerContext ctx;
+  auto& queue = *queues_[static_cast<std::size_t>(index)];
+  while (auto job = queue.pop()) execute(*job, ctx, index);
+}
+
+void Farm::execute(Job& job, WorkerContext& ctx, int index) {
+  auto& ctr = counters_[static_cast<std::size_t>(index)];
+  try {
+    const std::uint64_t c0 = ctx.sim.cycle();
+    const std::uint64_t setup = ctx.bus.rekey(job.key);
+    const std::span<const std::uint8_t, aes::kBlock> iv(job.iv.data(), aes::kBlock);
+
+    std::vector<std::uint8_t> out;
+    switch (job.mode) {
+      case Mode::kEcb:
+        out = job.encrypt ? aes::ecb_encrypt(ctx.cipher, job.payload)
+                          : aes::ecb_decrypt(ctx.cipher, job.payload);
+        break;
+      case Mode::kCbc:
+        out = job.encrypt ? aes::cbc_encrypt(ctx.cipher, iv, job.payload)
+                          : aes::cbc_decrypt(ctx.cipher, iv, job.payload);
+        break;
+      case Mode::kCtr:
+        out = aes::ctr_crypt(ctx.cipher, iv, job.payload);
+        break;
+    }
+
+    const std::uint64_t cycles = ctx.sim.cycle() - c0;
+    ctr.requests.fetch_add(1, std::memory_order_relaxed);
+    ctr.blocks.fetch_add(block_count(job.payload.size()), std::memory_order_relaxed);
+    ctr.cycles.fetch_add(cycles, std::memory_order_relaxed);
+    ctr.setup_cycles.fetch_add(setup, std::memory_order_relaxed);
+
+    if (job.fan) {
+      auto& fan = *job.fan;
+      fan.parts[job.chunk_index] = std::move(out);
+      fan.cycles.fetch_add(cycles, std::memory_order_relaxed);
+      fan.setup_cycles.fetch_add(setup, std::memory_order_relaxed);
+      if (fan.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        Result r;
+        r.data.reserve(fan.total_bytes);
+        for (auto& part : fan.parts) r.data.insert(r.data.end(), part.begin(), part.end());
+        r.worker = -1;
+        r.cycles = fan.cycles.load(std::memory_order_relaxed);
+        r.setup_cycles = fan.setup_cycles.load(std::memory_order_relaxed);
+        r.chunks = fan.parts.size();
+        record_latency(fan.t_submit);
+        requests_done_.fetch_add(1, std::memory_order_relaxed);
+        fan.promise.set_value(std::move(r));
+      }
+    } else {
+      Result r;
+      r.data = std::move(out);
+      r.worker = index;
+      r.key_was_hot = setup == 0;
+      r.cycles = cycles;
+      r.setup_cycles = setup;
+      record_latency(job.t_submit);
+      requests_done_.fetch_add(1, std::memory_order_relaxed);
+      job.promise.set_value(std::move(r));
+    }
+  } catch (...) {
+    if (job.fan) {
+      // First failing chunk carries the exception; later chunks only
+      // decrement so the shared state still drains.
+      if (!job.fan->failed.exchange(true)) job.fan->promise.set_exception(std::current_exception());
+      job.fan->remaining.fetch_sub(1, std::memory_order_acq_rel);
+    } else {
+      job.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+void Farm::record_latency(std::chrono::steady_clock::time_point t_submit) {
+  const auto us = std::chrono::duration<float, std::micro>(
+                      std::chrono::steady_clock::now() - t_submit)
+                      .count();
+  std::lock_guard lk(latency_mu_);
+  if (latencies_us_.size() < kLatencyCap)
+    latencies_us_.push_back(us);
+  else
+    latencies_us_[latency_count_ % kLatencyCap] = us;  // overwrite-oldest reservoir
+  ++latency_count_;
+}
+
+FarmStats Farm::stats() const {
+  FarmStats s;
+  s.workers = cfg_.workers;
+  s.queue_capacity = cfg_.queue_capacity;
+  s.requests = requests_done_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.ctr_fanouts = ctr_fanouts_.load(std::memory_order_relaxed);
+  s.ctr_chunks = ctr_chunks_.load(std::memory_order_relaxed);
+
+  const auto sc = sessions_.counters();
+  s.key_hits = sc.key_hits;
+  s.key_loads = sc.key_loads;
+  s.session_evictions = sc.session_evictions;
+  s.sessions_live = sc.sessions_live;
+
+  s.per_worker.reserve(counters_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    WorkerStats w;
+    w.requests = counters_[i].requests.load(std::memory_order_relaxed);
+    w.blocks = counters_[i].blocks.load(std::memory_order_relaxed);
+    w.cycles = counters_[i].cycles.load(std::memory_order_relaxed);
+    w.setup_cycles = counters_[i].setup_cycles.load(std::memory_order_relaxed);
+    s.blocks += w.blocks;
+    s.total_cycles += w.cycles;
+    s.total_setup_cycles += w.setup_cycles;
+    s.max_worker_cycles = std::max(s.max_worker_cycles, w.cycles);
+    s.per_worker.push_back(w);
+    s.queue_high_water = std::max(s.queue_high_water, queues_[i]->high_water());
+  }
+
+  s.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+
+  {
+    std::lock_guard lk(latency_mu_);
+    s.latency.samples = latency_count_;
+    if (!latencies_us_.empty()) {
+      std::vector<float> sorted(latencies_us_);
+      std::sort(sorted.begin(), sorted.end());
+      const auto pct = [&](double p) {
+        const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+        return static_cast<double>(sorted[idx]);
+      };
+      double sum = 0;
+      for (const float v : sorted) sum += v;
+      s.latency.mean_us = sum / static_cast<double>(sorted.size());
+      s.latency.p50_us = pct(0.50);
+      s.latency.p90_us = pct(0.90);
+      s.latency.p99_us = pct(0.99);
+      s.latency.max_us = static_cast<double>(sorted.back());
+    }
+  }
+  return s;
+}
+
+// --- FarmStats rendering ----------------------------------------------------------
+
+std::string FarmStats::report(double clock_ns) const {
+  char line[192];
+  std::string out;
+  const auto add = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof line, fmt, args...);
+    out += line;
+  };
+  add("farm: %d workers, queue capacity %zu (high water %zu)\n", workers, queue_capacity,
+      queue_high_water);
+  add("  traffic:   %llu requests, %llu blocks, %llu rejected (backpressure)\n",
+      static_cast<unsigned long long>(requests), static_cast<unsigned long long>(blocks),
+      static_cast<unsigned long long>(rejected));
+  add("  ctr:       %llu fan-outs -> %llu chunks\n",
+      static_cast<unsigned long long>(ctr_fanouts), static_cast<unsigned long long>(ctr_chunks));
+  add("  affinity:  %llu key hits / %llu loads (%.1f%% hit), %llu live sessions, "
+      "%llu evictions\n",
+      static_cast<unsigned long long>(key_hits), static_cast<unsigned long long>(key_loads),
+      key_hit_rate() * 100.0, static_cast<unsigned long long>(sessions_live),
+      static_cast<unsigned long long>(session_evictions));
+  add("  simulated: %.2f cycles/block (ideal 50), %llu setup cycles, makespan %llu cycles\n",
+      cycles_per_block(), static_cast<unsigned long long>(total_setup_cycles),
+      static_cast<unsigned long long>(max_worker_cycles));
+  add("  hardware:  %.1f Mbps aggregate @ %.0f ns clock (%.0f blocks/s across %d cores)\n",
+      sim_mbps(clock_ns), clock_ns, sim_blocks_per_sec(clock_ns), workers);
+  add("  host:      %.0f blocks/s wall clock over %.2f s\n", blocks_per_wall_sec(),
+      wall_seconds);
+  if (latency.samples)
+    add("  latency:   p50 %.0f us, p90 %.0f us, p99 %.0f us, max %.0f us (%llu samples)\n",
+        latency.p50_us, latency.p90_us, latency.p99_us, latency.max_us,
+        static_cast<unsigned long long>(latency.samples));
+  for (std::size_t i = 0; i < per_worker.size(); ++i)
+    add("  worker %2zu: %8llu blocks, %10llu cycles (%llu setup)\n", i,
+        static_cast<unsigned long long>(per_worker[i].blocks),
+        static_cast<unsigned long long>(per_worker[i].cycles),
+        static_cast<unsigned long long>(per_worker[i].setup_cycles));
+  return out;
+}
+
+void FarmStats::write_json(std::ostream& os, double clock_ns) const {
+  report::JsonWriter j(os);
+  j.begin_object();
+  j.key("workers").value(workers);
+  j.key("requests").value(requests);
+  j.key("blocks").value(blocks);
+  j.key("rejected").value(rejected);
+  j.key("ctr_fanouts").value(ctr_fanouts);
+  j.key("ctr_chunks").value(ctr_chunks);
+  j.key("key_hits").value(key_hits);
+  j.key("key_loads").value(key_loads);
+  j.key("key_hit_rate").value(key_hit_rate());
+  j.key("session_evictions").value(session_evictions);
+  j.key("queue_capacity").value(queue_capacity);
+  j.key("queue_high_water").value(queue_high_water);
+  j.key("wall_seconds").value(wall_seconds);
+  j.key("blocks_per_wall_sec").value(blocks_per_wall_sec());
+  j.key("total_cycles").value(total_cycles);
+  j.key("total_setup_cycles").value(total_setup_cycles);
+  j.key("max_worker_cycles").value(max_worker_cycles);
+  j.key("cycles_per_block").value(cycles_per_block());
+  j.key("clock_ns").value(clock_ns);
+  j.key("sim_blocks_per_sec").value(sim_blocks_per_sec(clock_ns));
+  j.key("sim_mbps").value(sim_mbps(clock_ns));
+  j.key("latency_us").begin_object();
+  j.key("mean").value(latency.mean_us);
+  j.key("p50").value(latency.p50_us);
+  j.key("p90").value(latency.p90_us);
+  j.key("p99").value(latency.p99_us);
+  j.key("max").value(latency.max_us);
+  j.key("samples").value(latency.samples);
+  j.end_object();
+  j.key("per_worker").begin_array();
+  for (const auto& w : per_worker) {
+    j.begin_object();
+    j.key("requests").value(w.requests);
+    j.key("blocks").value(w.blocks);
+    j.key("cycles").value(w.cycles);
+    j.key("setup_cycles").value(w.setup_cycles);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+}
+
+}  // namespace aesip::farm

@@ -1,0 +1,163 @@
+// The IP farm: a concurrent encryption service over many simulated cores.
+//
+// The paper's pitch is a core cheap enough to stamp out many times on one
+// FPGA; this layer is the host-side system that pitch implies. N worker
+// threads each own a *private* hdl::Simulator + RijndaelIp + BusDriver —
+// cores are never shared across threads, so the simulation hot path takes
+// no locks at all. In front of the workers sit bounded per-worker queues
+// (any thread may submit: MPMC, and the bound is the backpressure), and a
+// SessionTable that routes each request to the worker whose core already
+// holds its key, exploiting the on-the-fly key schedule: re-keying costs
+// bus cycles (+40 setup cycles for decrypt-capable devices), reuse is free.
+//
+// Requests carry mode (ECB/CBC/CTR), direction, key, IV and payload.
+// ECB/CBC payloads run on one core (CBC is a chain — it cannot split).
+// Large CTR payloads fan out: the payload is cut into chunk_blocks-sized
+// pieces, each seeded with aes::ctr_counter_at(iv, first_block), scattered
+// round-robin over all workers, and spliced back together in order by the
+// last chunk to finish — the software analogue of pipelining a stream
+// across replicated datapaths.
+//
+// Completion is a std::future<Result>: submit() enqueues (blocking when the
+// target queue is full), try_submit() sheds load instead of blocking, and
+// process() is the synchronous convenience. Results complete out of order
+// across sessions by design; per-session order holds only if the caller
+// serializes (futures are the ordering primitive).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "farm/queue.hpp"
+#include "farm/session.hpp"
+#include "farm/stats.hpp"
+
+namespace aesip::farm {
+
+enum class Mode { kEcb, kCbc, kCtr };
+
+const char* mode_name(Mode m) noexcept;
+
+struct FarmConfig {
+  int workers = 4;                       ///< simulated cores (>=1)
+  std::size_t queue_capacity = 64;       ///< per-worker queue bound
+  std::size_t max_sessions = 64;         ///< session-binding table size
+  std::size_t ctr_chunk_blocks = 32;     ///< fan-out chunk size, in blocks
+  std::size_t ctr_fanout_min_blocks = 64;///< payloads below this stay on one core
+  double clock_ns = 14.0;                ///< Tclk for simulated-domain reporting
+};
+
+struct Request {
+  std::uint64_t session_id = 0;
+  Mode mode = Mode::kCbc;
+  bool encrypt = true;           ///< CTR ignores this (XOR is symmetric)
+  Key128 key{};
+  Key128 iv{};                   ///< IV (CBC) / initial counter (CTR); unused by ECB
+  std::vector<std::uint8_t> payload;  ///< whole blocks for ECB/CBC; any length for CTR
+};
+
+struct Result {
+  std::vector<std::uint8_t> data;
+  int worker = -1;               ///< executing worker; -1 when fanned out
+  bool key_was_hot = false;      ///< routed to a core already holding the key
+  std::uint64_t cycles = 0;      ///< simulated cycles spent (summed over chunks)
+  std::uint64_t setup_cycles = 0;///< of which key setup
+  std::uint64_t chunks = 1;      ///< 1, or the fan-out width
+};
+
+class Farm {
+ public:
+  explicit Farm(const FarmConfig& cfg = {});
+  ~Farm();
+
+  Farm(const Farm&) = delete;
+  Farm& operator=(const Farm&) = delete;
+
+  /// Enqueue a request; blocks while the routed worker's queue is full
+  /// (bounded-buffer backpressure). Throws std::invalid_argument for
+  /// non-block-multiple ECB/CBC payloads.
+  std::future<Result> submit(Request req);
+
+  /// Non-blocking submit: nullopt (and stats().rejected++) when the routed
+  /// queue is full. Never fans out — load shedding keeps one decision point.
+  std::optional<std::future<Result>> try_submit(Request req);
+
+  /// submit() + get(): the synchronous client call.
+  Result process(Request req) { return submit(std::move(req)).get(); }
+
+  /// Forget a session binding (its key may stay resident in a slot).
+  void end_session(std::uint64_t session_id) { sessions_.end_session(session_id); }
+
+  /// Consistent point-in-time snapshot; callable while traffic is running.
+  FarmStats stats() const;
+
+  const FarmConfig& config() const noexcept { return cfg_; }
+
+ private:
+  /// Reassembly state shared by the chunks of one fanned-out CTR request.
+  struct FanState {
+    std::promise<Result> promise;
+    std::vector<std::vector<std::uint8_t>> parts;
+    std::atomic<std::size_t> remaining{0};
+    std::atomic<std::uint64_t> cycles{0};
+    std::atomic<std::uint64_t> setup_cycles{0};
+    std::atomic<bool> failed{false};
+    std::size_t total_bytes = 0;
+    std::chrono::steady_clock::time_point t_submit;
+  };
+
+  /// One unit of worker work: a whole request, or one CTR chunk.
+  struct Job {
+    Mode mode = Mode::kEcb;
+    bool encrypt = true;
+    Key128 key{};
+    Key128 iv{};  ///< IV, or this chunk's starting counter
+    std::vector<std::uint8_t> payload;
+    bool key_hot_predicted = false;
+    std::chrono::steady_clock::time_point t_submit;
+    std::promise<Result> promise;        ///< whole-request jobs only
+    std::shared_ptr<FanState> fan;       ///< chunk jobs only
+    std::size_t chunk_index = 0;
+  };
+
+  /// Per-worker counters, written only by that worker (relaxed atomics so
+  /// stats() can snapshot mid-run); padded against false sharing.
+  struct alignas(64) WorkerCounters {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> blocks{0};
+    std::atomic<std::uint64_t> cycles{0};
+    std::atomic<std::uint64_t> setup_cycles{0};
+  };
+
+  static void validate(const Request& req);
+  std::future<Result> submit_fanout(Request req);
+  void worker_main(int index);
+  void execute(Job& job, class WorkerContext& ctx, int index);
+  void record_latency(std::chrono::steady_clock::time_point t_submit);
+
+  FarmConfig cfg_;
+  SessionTable sessions_;
+  std::vector<std::unique_ptr<BoundedQueue<Job>>> queues_;
+  std::vector<WorkerCounters> counters_;
+  std::vector<std::thread> threads_;
+  std::chrono::steady_clock::time_point start_;
+
+  std::atomic<std::uint64_t> requests_done_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> ctr_fanouts_{0};
+  std::atomic<std::uint64_t> ctr_chunks_{0};
+
+  mutable std::mutex latency_mu_;
+  std::vector<float> latencies_us_;  ///< capped reservoir, see record_latency
+  std::uint64_t latency_count_ = 0;
+};
+
+}  // namespace aesip::farm

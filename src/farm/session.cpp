@@ -1,0 +1,100 @@
+#include "farm/session.hpp"
+
+#include <algorithm>
+
+namespace aesip::farm {
+
+SessionTable::SessionTable(int workers, std::size_t max_sessions)
+    : slots_(workers > 0 ? static_cast<std::size_t>(workers) : 1),
+      max_sessions_(max_sessions ? max_sessions : 1) {}
+
+int SessionTable::touch_slot_with_key_locked(const Key128& key) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].key && *slots_[i].key == key) {
+      slots_[i].last_used = ++tick_;
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int SessionTable::evict_lru_slot_locked(const Key128& key) {
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < slots_.size(); ++i)
+    if (slots_[i].last_used < slots_[victim].last_used) victim = i;
+  slots_[victim].key = key;
+  slots_[victim].last_used = ++tick_;
+  return static_cast<int>(victim);
+}
+
+void SessionTable::insert_session_locked(std::uint64_t session_id, const Key128& key,
+                                         int worker) {
+  if (sessions_.size() >= max_sessions_ && !sessions_.count(session_id)) {
+    auto lru = sessions_.begin();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it)
+      if (it->second.last_used < lru->second.last_used) lru = it;
+    sessions_.erase(lru);
+    ++counters_.session_evictions;
+  }
+  auto& s = sessions_[session_id];
+  s.key = key;
+  s.worker = worker;
+  s.last_used = ++tick_;
+}
+
+SessionTable::Route SessionTable::route(std::uint64_t session_id, const Key128& key) {
+  std::lock_guard lk(mu_);
+  Route r;
+
+  const auto it = sessions_.find(session_id);
+  if (it != sessions_.end() && it->second.key == key) {
+    // Known session. Its preferred worker may have been re-keyed under
+    // another session since — follow the key, not the stale binding.
+    const int w = touch_slot_with_key_locked(key);
+    r.worker = w >= 0 ? w : evict_lru_slot_locked(key);
+    r.key_hot = w >= 0;
+    it->second.worker = r.worker;
+    it->second.last_used = ++tick_;
+  } else {
+    // New session (or an existing one that changed its key: treat as new).
+    r.session_new = true;
+    const int w = touch_slot_with_key_locked(key);
+    r.worker = w >= 0 ? w : evict_lru_slot_locked(key);
+    r.key_hot = w >= 0;
+    insert_session_locked(session_id, key, r.worker);
+  }
+
+  if (r.key_hot)
+    ++counters_.key_hits;
+  else
+    ++counters_.key_loads;
+  counters_.sessions_live = sessions_.size();
+  return r;
+}
+
+int SessionTable::next_round_robin(const Key128& key) {
+  std::lock_guard lk(mu_);
+  const int w = rr_next_;
+  rr_next_ = (rr_next_ + 1) % static_cast<int>(slots_.size());
+  auto& slot = slots_[static_cast<std::size_t>(w)];
+  if (slot.key && *slot.key == key)
+    ++counters_.key_hits;
+  else
+    ++counters_.key_loads;
+  slot.key = key;
+  slot.last_used = ++tick_;
+  return w;
+}
+
+void SessionTable::end_session(std::uint64_t session_id) {
+  std::lock_guard lk(mu_);
+  sessions_.erase(session_id);
+  counters_.sessions_live = sessions_.size();
+}
+
+SessionTable::Counters SessionTable::counters() const {
+  std::lock_guard lk(mu_);
+  return counters_;
+}
+
+}  // namespace aesip::farm

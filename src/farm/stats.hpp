@@ -1,0 +1,97 @@
+// Farm telemetry: what the service layer measures and how it reports it.
+//
+// Two time domains coexist and both matter:
+//
+//  * host wall-clock — how fast this process simulates the farm. Honest
+//    about the machine running the model; on a single-CPU host it does NOT
+//    scale with workers, because every simulated core shares one real one.
+//  * simulated time — each worker's private hdl::Simulator advances its own
+//    cycle counter, and the cores would run *concurrently* in hardware, so
+//    the farm's simulated makespan is max(worker cycles), not the sum.
+//    Aggregate hardware throughput = total blocks / (makespan x Tclk).
+//    This is the paper's replication story quantified: N cheap cores ≈ N x
+//    the Table 2 single-core throughput, minus re-key overhead.
+//
+// FarmStats is a plain value snapshot — safe to copy out of a running farm
+// and serialize (report()/write_json()) without holding farm locks.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aesip::farm {
+
+struct WorkerStats {
+  std::uint64_t requests = 0;      ///< jobs (incl. fan-out chunks) executed
+  std::uint64_t blocks = 0;        ///< 16-byte blocks pushed through the core
+  std::uint64_t cycles = 0;        ///< simulated cycles this worker's core ran
+  std::uint64_t setup_cycles = 0;  ///< cycles spent re-keying (the affinity miss cost)
+};
+
+struct LatencyStats {
+  double mean_us = 0, p50_us = 0, p90_us = 0, p99_us = 0, max_us = 0;
+  std::uint64_t samples = 0;
+};
+
+struct FarmStats {
+  int workers = 0;
+
+  // traffic
+  std::uint64_t requests = 0;   ///< client requests completed
+  std::uint64_t blocks = 0;     ///< blocks processed (ceil for partial CTR tails)
+  std::uint64_t rejected = 0;   ///< try_submit refusals (backpressure shed)
+  std::uint64_t ctr_fanouts = 0;///< CTR payloads split across workers
+  std::uint64_t ctr_chunks = 0; ///< chunks produced by those splits
+
+  // affinity
+  std::uint64_t key_hits = 0;
+  std::uint64_t key_loads = 0;
+  std::uint64_t session_evictions = 0;
+  std::uint64_t sessions_live = 0;
+
+  // queues
+  std::size_t queue_capacity = 0;
+  std::size_t queue_high_water = 0;  ///< max depth over all worker queues
+
+  // time
+  double wall_seconds = 0;
+  std::uint64_t total_cycles = 0;       ///< sum over workers
+  std::uint64_t max_worker_cycles = 0;  ///< simulated makespan
+  std::uint64_t total_setup_cycles = 0;
+
+  LatencyStats latency;  ///< host-side submit->complete, microseconds
+  std::vector<WorkerStats> per_worker;
+
+  // --- derived -------------------------------------------------------------
+  double blocks_per_wall_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(blocks) / wall_seconds : 0.0;
+  }
+  /// Simulated cycles per block, farm-wide (ideal: 50 + amortized setup).
+  double cycles_per_block() const {
+    return blocks ? static_cast<double>(total_cycles) / static_cast<double>(blocks) : 0.0;
+  }
+  /// Aggregate *hardware* throughput at clock period `clock_ns`: blocks
+  /// finished per second of simulated time, all cores counted in parallel.
+  double sim_blocks_per_sec(double clock_ns) const {
+    const double makespan_s = static_cast<double>(max_worker_cycles) * clock_ns * 1e-9;
+    return makespan_s > 0 ? static_cast<double>(blocks) / makespan_s : 0.0;
+  }
+  double sim_mbps(double clock_ns) const {
+    return sim_blocks_per_sec(clock_ns) * 128.0 / 1e6;
+  }
+  double key_hit_rate() const {
+    const auto total = key_hits + key_loads;
+    return total ? static_cast<double>(key_hits) / static_cast<double>(total) : 0.0;
+  }
+
+  /// Human-readable multi-line report (clock_ns scales the simulated-domain
+  /// figures; the paper's Acex1K column is 14 ns).
+  std::string report(double clock_ns = 14.0) const;
+
+  /// Machine-readable dump for BENCH_*.json trend tracking.
+  void write_json(std::ostream& os, double clock_ns = 14.0) const;
+};
+
+}  // namespace aesip::farm

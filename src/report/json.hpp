@@ -1,0 +1,150 @@
+// Minimal streaming JSON writer for machine-readable bench/stats output.
+//
+// The repo's perf trajectory is tracked across PRs by diffing BENCH_*.json
+// files, so the writer favours determinism: keys are emitted in call order,
+// floating-point values are printed with %.6g, and there is no dependency
+// beyond <ostream>. Usage:
+//
+//   report::JsonWriter j(os);
+//   j.begin_object();
+//     j.key("workers").value(4);
+//     j.key("runs").begin_array();
+//       j.begin_object(); ... j.end_object();
+//     j.end_array();
+//   j.end_object();
+//
+// The writer inserts commas and newline/indentation itself; mismatched
+// begin/end pairs are the caller's bug (assert-checked in debug builds).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace aesip::report {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  ~JsonWriter() { assert(stack_.empty()); }
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(std::string_view k) {
+    separate();
+    write_string(k);
+    os_ << ": ";
+    just_wrote_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    separate();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    separate();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    os_ << buf;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    separate();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    separate();
+    os_ << v;
+    return *this;
+  }
+  /// Any other integral type funnels into the 64-bit overloads.
+  template <typename T>
+    requires std::is_integral_v<T>
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>)
+      return value(static_cast<std::int64_t>(v));
+    else
+      return value(static_cast<std::uint64_t>(v));
+  }
+
+ private:
+  JsonWriter& open(char c) {
+    separate();
+    os_ << c;
+    stack_.push_back(c);
+    first_in_scope_ = true;
+    return *this;
+  }
+
+  JsonWriter& close(char c) {
+    assert(!stack_.empty());
+    stack_.pop_back();
+    os_ << '\n';
+    indent();
+    os_ << c;
+    first_in_scope_ = false;
+    if (stack_.empty()) os_ << '\n';
+    return *this;
+  }
+
+  /// Comma/newline bookkeeping before any value, key or opening bracket.
+  void separate() {
+    if (just_wrote_key_) {
+      just_wrote_key_ = false;
+      return;  // value sits on the key's line
+    }
+    if (stack_.empty()) return;  // the root value
+    if (!first_in_scope_) os_ << ',';
+    os_ << '\n';
+    indent();
+    first_in_scope_ = false;
+  }
+
+  void indent() {
+    for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+  }
+
+  void write_string(std::string_view s) {
+    os_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<char> stack_;
+  bool first_in_scope_ = true;
+  bool just_wrote_key_ = false;
+};
+
+}  // namespace aesip::report

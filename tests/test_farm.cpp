@@ -1,0 +1,368 @@
+// Farm correctness: everything the service layer returns must be
+// byte-identical to the single-threaded software reference (aes::Aes128
+// driving the same mode functions), under randomized sessions and payload
+// shapes, out-of-order completion, CTR fan-out reassembly, and the
+// queue-full load-shedding path. Labelled `farm` in CTest so the whole
+// file can run under TSan (`ctest -L farm`, see docs/farm.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "aes/cipher.hpp"
+#include "aes/modes.hpp"
+#include "farm/farm.hpp"
+#include "farm/queue.hpp"
+#include "farm/session.hpp"
+
+namespace aes = aesip::aes;
+namespace farm = aesip::farm;
+
+namespace {
+
+farm::Key128 random_key128(std::mt19937& rng) {
+  farm::Key128 k;
+  for (auto& b : k) b = static_cast<std::uint8_t>(rng());
+  return k;
+}
+
+std::vector<std::uint8_t> random_payload(std::mt19937& rng, std::size_t bytes) {
+  std::vector<std::uint8_t> p(bytes);
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng());
+  return p;
+}
+
+/// What the farm must produce, computed the boring way.
+std::vector<std::uint8_t> reference(const farm::Request& req) {
+  const aes::Aes128 cipher(req.key);
+  const std::span<const std::uint8_t, 16> iv(req.iv.data(), 16);
+  switch (req.mode) {
+    case farm::Mode::kEcb:
+      return req.encrypt ? aes::ecb_encrypt(cipher, req.payload)
+                         : aes::ecb_decrypt(cipher, req.payload);
+    case farm::Mode::kCbc:
+      return req.encrypt ? aes::cbc_encrypt(cipher, iv, req.payload)
+                         : aes::cbc_decrypt(cipher, iv, req.payload);
+    case farm::Mode::kCtr:
+      return aes::ctr_crypt(cipher, iv, req.payload);
+  }
+  return {};
+}
+
+farm::Request random_request(std::mt19937& rng, std::uint64_t session,
+                             const farm::Key128& key) {
+  farm::Request req;
+  req.session_id = session;
+  req.key = key;
+  req.iv = random_key128(rng);
+  req.mode = static_cast<farm::Mode>(rng() % 3);
+  req.encrypt = (rng() & 1) != 0;
+  const std::size_t blocks = 1 + rng() % 6;
+  std::size_t bytes = blocks * 16;
+  if (req.mode == farm::Mode::kCtr && (rng() & 1)) bytes += rng() % 16;  // ragged tail
+  req.payload = random_payload(rng, bytes);
+  return req;
+}
+
+}  // namespace
+
+// --- BoundedQueue -----------------------------------------------------------------
+
+TEST(BoundedQueue, FifoOrderAndHighWater) {
+  farm::BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.high_water(), 3u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.high_water(), 3u);  // high water survives the drain
+}
+
+TEST(BoundedQueue, TryPushRefusesWhenFull) {
+  farm::BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: shed, don't block
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BoundedQueue, CloseDrainsThenEnds) {
+  farm::BoundedQueue<int> q(4);
+  q.push(7);
+  q.close();
+  EXPECT_FALSE(q.push(8));      // no new work after close
+  EXPECT_FALSE(q.try_push(9));
+  EXPECT_EQ(q.pop(), 7);        // but queued work still drains
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, MpmcConservesItems) {
+  farm::BoundedQueue<int> q(8);
+  constexpr int kProducers = 3, kConsumers = 3, kEach = 500;
+  std::atomic<long> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p)
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kEach; ++i) q.push(p * kEach + i);
+    });
+  for (int c = 0; c < kConsumers; ++c)
+    threads.emplace_back([&q, &sum] {
+      while (auto v = q.pop()) sum += *v;
+    });
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.close();
+  for (int c = kProducers; c < kProducers + kConsumers; ++c)
+    threads[static_cast<std::size_t>(c)].join();
+  const long n = kProducers * kEach;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// --- SessionTable -----------------------------------------------------------------
+
+TEST(SessionTable, KeyAffinityRoutesToSameWorker) {
+  farm::SessionTable table(4, 16);
+  std::mt19937 rng(1);
+  const auto key = random_key128(rng);
+  const auto first = table.route(1, key);
+  EXPECT_FALSE(first.key_hot);
+  const auto second = table.route(1, key);
+  EXPECT_TRUE(second.key_hot);
+  EXPECT_EQ(second.worker, first.worker);
+  // A different session with the *same* key also hits the hot slot.
+  const auto third = table.route(2, key);
+  EXPECT_TRUE(third.key_hot);
+  EXPECT_EQ(third.worker, first.worker);
+}
+
+TEST(SessionTable, LruSlotEviction) {
+  farm::SessionTable table(2, 16);
+  std::mt19937 rng(2);
+  const auto ka = random_key128(rng), kb = random_key128(rng), kc = random_key128(rng);
+  const int wa = table.route(1, ka).worker;
+  const int wb = table.route(2, kb).worker;
+  EXPECT_NE(wa, wb);  // two keys spread over two slots
+  table.route(2, kb);  // touch b: a becomes LRU
+  const auto rc = table.route(3, kc);
+  EXPECT_FALSE(rc.key_hot);
+  EXPECT_EQ(rc.worker, wa);  // c evicted the LRU slot (a's)
+  // a's key is gone from its slot: next a request re-keys somewhere.
+  EXPECT_FALSE(table.route(1, ka).key_hot);
+}
+
+TEST(SessionTable, SessionCapacityEvicts) {
+  farm::SessionTable table(2, 2);
+  std::mt19937 rng(3);
+  for (std::uint64_t s = 0; s < 5; ++s) table.route(s, random_key128(rng));
+  const auto c = table.counters();
+  EXPECT_EQ(c.sessions_live, 2u);
+  EXPECT_EQ(c.session_evictions, 3u);
+}
+
+// --- Farm vs reference ------------------------------------------------------------
+
+TEST(Farm, MatchesReferenceAcrossModesDirectionsAndSessions) {
+  farm::FarmConfig cfg;
+  cfg.workers = 3;
+  cfg.max_sessions = 8;
+  farm::Farm f(cfg);
+
+  std::mt19937 rng(42);
+  constexpr int kSessions = 6;
+  std::vector<farm::Key128> keys;
+  for (int s = 0; s < kSessions; ++s) keys.push_back(random_key128(rng));
+
+  // Build all requests (and expectations) first, then submit the whole burst
+  // so completions genuinely interleave across workers.
+  std::vector<farm::Request> reqs;
+  std::vector<std::vector<std::uint8_t>> expect;
+  for (int i = 0; i < 60; ++i) {
+    const std::uint64_t session = rng() % kSessions;
+    reqs.push_back(random_request(rng, session, keys[session]));
+    expect.push_back(reference(reqs.back()));
+  }
+  std::vector<std::future<farm::Result>> futures;
+  for (auto& r : reqs) futures.push_back(f.submit(r));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const auto res = futures[i].get();
+    EXPECT_EQ(res.data, expect[i]) << "request " << i << " mode "
+                                   << farm::mode_name(reqs[i].mode)
+                                   << (reqs[i].encrypt ? " enc" : " dec");
+  }
+
+  const auto st = f.stats();
+  EXPECT_EQ(st.requests, reqs.size());
+  EXPECT_GT(st.key_hits, 0u);  // six sessions over three cores must re-hit keys
+  EXPECT_EQ(st.rejected, 0u);
+  EXPECT_LE(st.queue_high_water, cfg.queue_capacity);
+}
+
+TEST(Farm, CtrFanoutIsBitExactIncludingRaggedTail) {
+  farm::FarmConfig cfg;
+  cfg.workers = 4;
+  cfg.ctr_chunk_blocks = 4;
+  cfg.ctr_fanout_min_blocks = 8;
+  farm::Farm f(cfg);
+
+  std::mt19937 rng(7);
+  farm::Request req;
+  req.session_id = 1;
+  req.mode = farm::Mode::kCtr;
+  req.key = random_key128(rng);
+  req.iv = random_key128(rng);
+  req.payload = random_payload(rng, 40 * 16 + 11);  // 41 blocks, ragged tail
+  const auto expect = reference(req);
+
+  const auto res = f.process(req);
+  EXPECT_EQ(res.data, expect);
+  EXPECT_GT(res.chunks, 1u);
+  EXPECT_EQ(res.worker, -1);
+
+  const auto st = f.stats();
+  EXPECT_EQ(st.ctr_fanouts, 1u);
+  EXPECT_EQ(st.ctr_chunks, 11u);  // ceil(41 / 4)
+}
+
+TEST(Farm, CtrFanoutCrossesCounterCarryBoundary) {
+  // Initial counter 0x...FFFE: chunk seeds must carry into high bytes.
+  farm::FarmConfig cfg;
+  cfg.workers = 3;
+  cfg.ctr_chunk_blocks = 2;
+  cfg.ctr_fanout_min_blocks = 4;
+  farm::Farm f(cfg);
+
+  std::mt19937 rng(8);
+  farm::Request req;
+  req.mode = farm::Mode::kCtr;
+  req.key = random_key128(rng);
+  req.iv.fill(0xff);
+  req.iv[15] = 0xfe;
+  req.payload = random_payload(rng, 12 * 16);
+  EXPECT_EQ(f.process(req).data, reference(req));
+}
+
+TEST(Farm, OutOfOrderCompletionStaysConsistent) {
+  // One huge CBC job pins a worker while small jobs on other sessions race
+  // past it; every future must still resolve to its own request's bytes.
+  farm::FarmConfig cfg;
+  cfg.workers = 2;
+  farm::Farm f(cfg);
+
+  std::mt19937 rng(21);
+  farm::Request big;
+  big.session_id = 100;
+  big.mode = farm::Mode::kCbc;
+  big.key = random_key128(rng);
+  big.iv = random_key128(rng);
+  big.payload = random_payload(rng, 200 * 16);
+  const auto big_expect = reference(big);
+  auto big_future = f.submit(big);
+
+  std::vector<farm::Request> small;
+  std::vector<std::vector<std::uint8_t>> small_expect;
+  std::vector<std::future<farm::Result>> small_futures;
+  for (int i = 0; i < 12; ++i) {
+    // Distinct keys force the scheduler to spread over both workers.
+    const auto key = random_key128(rng);
+    small.push_back(random_request(rng, 200 + static_cast<std::uint64_t>(i), key));
+    small_expect.push_back(reference(small.back()));
+    small_futures.push_back(f.submit(small.back()));
+  }
+  for (std::size_t i = 0; i < small_futures.size(); ++i)
+    EXPECT_EQ(small_futures[i].get().data, small_expect[i]) << "small request " << i;
+  EXPECT_EQ(big_future.get().data, big_expect);
+}
+
+TEST(Farm, BackpressureShedsAndAcceptedWorkCompletes) {
+  farm::FarmConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 2;
+  farm::Farm f(cfg);
+
+  std::mt19937 rng(5);
+  const auto key = random_key128(rng);
+  std::vector<std::vector<std::uint8_t>> expect;
+  std::vector<std::future<farm::Result>> accepted;
+  std::uint64_t rejected = 0;
+  for (int i = 0; i < 40; ++i) {
+    farm::Request req;
+    req.session_id = 1;
+    req.mode = farm::Mode::kCbc;
+    req.key = key;
+    req.iv = random_key128(rng);
+    req.payload = random_payload(rng, 64 * 16);  // slow enough to outpace submission
+    auto exp = reference(req);
+    if (auto fut = f.try_submit(std::move(req))) {
+      accepted.push_back(std::move(*fut));
+      expect.push_back(std::move(exp));
+    } else {
+      ++rejected;
+    }
+  }
+  ASSERT_GT(rejected, 0u) << "queue of 2 absorbed 40 back-to-back requests";
+  ASSERT_FALSE(accepted.empty());
+  for (std::size_t i = 0; i < accepted.size(); ++i)
+    EXPECT_EQ(accepted[i].get().data, expect[i]);
+  const auto st = f.stats();
+  EXPECT_EQ(st.rejected, rejected);
+  EXPECT_EQ(st.requests, accepted.size());
+}
+
+TEST(Farm, KeyAffinitySkipsSetupCycles) {
+  farm::FarmConfig cfg;
+  cfg.workers = 2;
+  farm::Farm f(cfg);
+
+  std::mt19937 rng(11);
+  const auto ka = random_key128(rng), kb = random_key128(rng);
+  const auto mk_req = [&](std::uint64_t session, const farm::Key128& key) {
+    farm::Request req;
+    req.session_id = session;
+    req.mode = farm::Mode::kEcb;
+    req.key = key;
+    req.payload = random_payload(rng, 16);
+    return req;
+  };
+
+  EXPECT_FALSE(f.process(mk_req(1, ka)).key_was_hot);  // cold: bus write + setup
+  EXPECT_FALSE(f.process(mk_req(2, kb)).key_was_hot);
+  std::uint64_t hot_setup = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto ra = f.process(mk_req(1, ka));
+    const auto rb = f.process(mk_req(2, kb));
+    EXPECT_TRUE(ra.key_was_hot) << i;
+    EXPECT_TRUE(rb.key_was_hot) << i;
+    hot_setup += ra.setup_cycles + rb.setup_cycles;
+  }
+  EXPECT_EQ(hot_setup, 0u);  // reuse is free — the point of the affinity table
+  const auto st = f.stats();
+  EXPECT_EQ(st.key_loads, 2u);
+  EXPECT_EQ(st.key_hits, 20u);
+}
+
+TEST(Farm, RejectsPartialBlocksForEcbAndCbc) {
+  farm::Farm f(farm::FarmConfig{.workers = 1});
+  farm::Request req;
+  req.mode = farm::Mode::kEcb;
+  req.payload.assign(17, 0);
+  EXPECT_THROW(f.submit(req), std::invalid_argument);
+  req.mode = farm::Mode::kCbc;
+  EXPECT_THROW((void)f.try_submit(req), std::invalid_argument);
+  req.mode = farm::Mode::kCtr;  // CTR takes any length
+  EXPECT_EQ(f.process(req).data.size(), 17u);
+}
+
+TEST(Farm, EmptyPayloadCompletes) {
+  farm::Farm f(farm::FarmConfig{.workers = 1});
+  farm::Request req;
+  req.mode = farm::Mode::kEcb;
+  const auto res = f.process(req);
+  EXPECT_TRUE(res.data.empty());
+  EXPECT_EQ(f.stats().requests, 1u);
+}

@@ -3,6 +3,7 @@
 // properties on arbitrary message lengths.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 #include <string>
 #include <vector>
@@ -174,6 +175,102 @@ TEST(Pkcs7, FullPadBlockWhenAligned) {
   const auto padded = aes::pkcs7_pad(data);
   EXPECT_EQ(padded.size(), 48u);
   for (std::size_t i = 32; i < 48; ++i) EXPECT_EQ(padded[i], 16);
+}
+
+TEST(Pkcs7, RejectsZeroPadByteEvenWithValidPrefix) {
+  // Multi-block message whose earlier bytes are perfectly normal: only the
+  // final byte is inspected first, and 0 can never be a pad length.
+  auto buf = random_bytes(31, 6);
+  buf.push_back(0x00);
+  EXPECT_THROW(aes::pkcs7_unpad(buf), std::invalid_argument);
+}
+
+TEST(Pkcs7, RejectsEveryPadByteAboveBlockSize) {
+  for (int pad = 17; pad <= 255; ++pad) {
+    std::vector<std::uint8_t> buf(32, static_cast<std::uint8_t>(pad));
+    EXPECT_THROW(aes::pkcs7_unpad(buf), std::invalid_argument) << "pad byte " << pad;
+  }
+}
+
+TEST(Pkcs7, RejectsInconsistentTailAtEveryPosition) {
+  // A declared pad of 6: corrupting any single byte of the run must reject.
+  for (std::size_t corrupt = 0; corrupt < 6; ++corrupt) {
+    auto buf = random_bytes(10, 7);
+    buf.insert(buf.end(), 6, 0x06);
+    buf[10 + corrupt] ^= 0x01;
+    if (corrupt == 5) {
+      // Corrupting the length byte itself turns it into a *different*
+      // declared pad (7), whose run then fails the consistency scan.
+      EXPECT_THROW(aes::pkcs7_unpad(buf), std::invalid_argument);
+    } else {
+      EXPECT_THROW(aes::pkcs7_unpad(buf), std::invalid_argument) << "position " << corrupt;
+    }
+  }
+}
+
+TEST(Pkcs7, OnlyFinalBlockIsInterpreted) {
+  // Bytes outside the declared pad run are payload, never validated.
+  auto buf = random_bytes(28, 8);
+  buf.insert(buf.end(), 4, 0x04);
+  const auto out = aes::pkcs7_unpad(buf);
+  EXPECT_EQ(out.size(), 28u);
+  EXPECT_EQ(to_hex(out), to_hex(std::span(buf).subspan(0, 28)));
+}
+
+TEST(Pkcs7, WholeBlockOfPaddingUnpadsToEmpty) {
+  const std::vector<std::uint8_t> buf(16, 0x10);
+  EXPECT_TRUE(aes::pkcs7_unpad(buf).empty());
+}
+
+// --- chunked CTR ------------------------------------------------------------------
+
+TEST(CtrCounterAt, MatchesSequentialIncrement) {
+  auto iv_vec = random_bytes(16, 9);
+  // Force an imminent carry so the ripple path is exercised.
+  iv_vec[15] = 0xfd;
+  iv_vec[14] = 0xff;
+  const std::span<const std::uint8_t, 16> iv(iv_vec.data(), 16);
+
+  std::uint8_t counter[16];
+  for (int i = 0; i < 16; ++i) counter[i] = iv_vec[static_cast<std::size_t>(i)];
+  for (std::uint64_t n = 0; n < 700; ++n) {
+    const auto jumped = aes::ctr_counter_at(iv, n);
+    EXPECT_EQ(to_hex(jumped), to_hex(std::span<const std::uint8_t>(counter, 16))) << "n=" << n;
+    for (int i = 15; i >= 0; --i)
+      if (++counter[i] != 0) break;
+  }
+}
+
+TEST(CtrCounterAt, WrapsTheFullCounterSpace) {
+  std::vector<std::uint8_t> iv_vec(16, 0xff);
+  const std::span<const std::uint8_t, 16> iv(iv_vec.data(), 16);
+  EXPECT_EQ(to_hex(aes::ctr_counter_at(iv, 0)), std::string(32, 'f'));
+  EXPECT_EQ(to_hex(aes::ctr_counter_at(iv, 1)), std::string(32, '0'));  // mod 2^128
+  const auto two = aes::ctr_counter_at(iv, 2);
+  EXPECT_EQ(two[15], 0x01);
+}
+
+TEST(CtrCounterAt, ChunkedCtrSplicesToWholeMessage) {
+  // The farm's fan-out contract: CTR over byte range [16i, 16j) started at
+  // ctr_counter_at(iv, i) equals the same range of one whole-message pass.
+  aes::Aes128 cipher(from_hex(kKey));
+  const auto iv_vec = random_bytes(16, 10);
+  const std::span<const std::uint8_t, 16> iv(iv_vec.data(), 16);
+  const auto msg = random_bytes(37 * 16 + 5, 11);  // ragged tail
+  const auto whole = aes::ctr_crypt(cipher, iv, msg);
+
+  std::vector<std::uint8_t> spliced;
+  const std::size_t chunk_blocks = 5;
+  for (std::size_t block = 0; block * 16 < msg.size(); block += chunk_blocks) {
+    const std::size_t off = block * 16;
+    const std::size_t len = std::min(chunk_blocks * 16, msg.size() - off);
+    const auto counter = aes::ctr_counter_at(iv, block);
+    const std::span<const std::uint8_t, 16> ctr_span(counter.data(), 16);
+    const auto piece =
+        aes::ctr_crypt(cipher, ctr_span, std::span(msg).subspan(off, len));
+    spliced.insert(spliced.end(), piece.begin(), piece.end());
+  }
+  EXPECT_EQ(to_hex(spliced), to_hex(whole));
 }
 
 // --- cross-engine consistency --------------------------------------------------------

@@ -12,6 +12,10 @@
 //   seu                 run a fault-injection campaign (optionally on the
 //                       TMR-hardened netlist).
 //   power               activity-based power report for a variant/device.
+//   farm                drive a synthetic many-session workload through the
+//                       multi-core IP farm (src/farm/) and print its stats
+//                       report; results are verified against the software
+//                       reference on a sample of the traffic.
 //   selftest            FIPS-197 vectors through software and the IP.
 //
 // Examples:
@@ -19,12 +23,16 @@
 //         --iv aabb...ff --engine ip --in msg.txt --out msg.enc
 //   aesip flow --variant both --device EP1K100FC484-1
 //   aesip export --variant encrypt --format blif --out aes.blif
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +41,7 @@
 #include "aes/modes.hpp"
 #include "aes/ttable.hpp"
 #include "core/bfm.hpp"
+#include "farm/farm.hpp"
 #include "core/ip_synth.hpp"
 #include "core/rijndael_ip.hpp"
 #include "core/table2.hpp"
@@ -260,6 +269,110 @@ int cmd_power(const Args& args) {
   return 0;
 }
 
+// --- farm -------------------------------------------------------------------------
+
+int cmd_farm(const Args& args) {
+  farm::FarmConfig cfg;
+  cfg.workers = std::stoi(arg_or(args, "workers", "4"));
+  cfg.max_sessions = std::stoul(arg_or(args, "sessions", "64"));
+  cfg.queue_capacity = std::stoul(arg_or(args, "queue", "64"));
+  const std::uint64_t target_blocks = std::stoull(arg_or(args, "blocks", "20000"));
+  const std::uint32_t seed =
+      static_cast<std::uint32_t>(std::stoul(arg_or(args, "seed", "1")));
+  const std::string json_path = arg_or(args, "json", "");
+  const int n_keys = std::stoi(arg_or(args, "keys", "32"));  // distinct user keys
+
+  farm::Farm f(cfg);
+  std::mt19937 rng(seed);
+  std::vector<farm::Key128> keys(static_cast<std::size_t>(n_keys));
+  for (auto& k : keys)
+    for (auto& b : k) b = static_cast<std::uint8_t>(rng());
+
+  std::printf("farm: %d workers, %zu queue slots each, %d session keys, "
+              "target %llu blocks\n",
+              cfg.workers, cfg.queue_capacity, n_keys,
+              static_cast<unsigned long long>(target_blocks));
+
+  // Outstanding futures are bounded so a huge --blocks run doesn't hold
+  // every result in memory; sampled requests are checked bit-exactly.
+  struct Pending {
+    std::future<farm::Result> future;
+    std::vector<std::uint8_t> expect;  // empty = unsampled
+  };
+  std::deque<Pending> pending;
+  std::uint64_t submitted_blocks = 0, requests = 0, verified = 0, mismatches = 0;
+
+  const auto drain_one = [&] {
+    auto p = std::move(pending.front());
+    pending.pop_front();
+    const auto res = p.future.get();
+    if (!p.expect.empty()) {
+      ++verified;
+      if (res.data != p.expect) ++mismatches;
+    }
+  };
+
+  while (submitted_blocks < target_blocks) {
+    farm::Request req;
+    // Popularity skew: min of two uniform picks favours low session ids,
+    // so hot sessions re-hit their key slots while the tail churns them.
+    const auto pick = std::min(rng() % keys.size(), rng() % keys.size());
+    req.session_id = pick;
+    req.key = keys[pick];
+    for (auto& b : req.iv) b = static_cast<std::uint8_t>(rng());
+    req.mode = static_cast<farm::Mode>(rng() % 3);
+    req.encrypt = (rng() & 1) != 0;
+    // Mostly short requests; every 16th is a long CTR stream that fans out.
+    std::size_t blocks = 1 + rng() % 8;
+    if (requests % 16 == 0) {
+      req.mode = farm::Mode::kCtr;
+      blocks = 128;
+    }
+    std::size_t bytes = blocks * 16;
+    if (req.mode == farm::Mode::kCtr) bytes -= rng() % 16;  // ragged tails
+    req.payload.resize(bytes);
+    for (auto& b : req.payload) b = static_cast<std::uint8_t>(rng());
+
+    Pending p;
+    if (requests % 64 == 0) {  // sample for bit-exact verification
+      const aes::Aes128 ref(req.key);
+      const std::span<const std::uint8_t, 16> iv(req.iv.data(), 16);
+      switch (req.mode) {
+        case farm::Mode::kEcb:
+          p.expect = req.encrypt ? aes::ecb_encrypt(ref, req.payload)
+                                 : aes::ecb_decrypt(ref, req.payload);
+          break;
+        case farm::Mode::kCbc:
+          p.expect = req.encrypt ? aes::cbc_encrypt(ref, iv, req.payload)
+                                 : aes::cbc_decrypt(ref, iv, req.payload);
+          break;
+        case farm::Mode::kCtr:
+          p.expect = aes::ctr_crypt(ref, iv, req.payload);
+          break;
+      }
+    }
+    submitted_blocks += (bytes + 15) / 16;
+    ++requests;
+    p.future = f.submit(std::move(req));
+    pending.push_back(std::move(p));
+    while (pending.size() > 512) drain_one();
+  }
+  while (!pending.empty()) drain_one();
+
+  const auto st = f.stats();
+  std::fputs(st.report(cfg.clock_ns).c_str(), stdout);
+  std::printf("verified %llu sampled requests against aes::Aes128: %s\n",
+              static_cast<unsigned long long>(verified),
+              mismatches ? "MISMATCH" : "all bit-exact");
+  if (!json_path.empty()) {
+    std::ofstream jf(json_path);
+    if (!jf) die("cannot write " + json_path);
+    st.write_json(jf, cfg.clock_ns);
+    std::printf("stats written to %s\n", json_path.c_str());
+  }
+  return mismatches ? 1 : 0;
+}
+
 // --- selftest ----------------------------------------------------------------------
 
 int cmd_selftest() {
@@ -299,6 +412,8 @@ void usage() {
       "           [--mapped yes|no] --out FILE\n"
       "  seu      [--runs N] [--seed S] [--tmr yes|no]\n"
       "  power    [--variant encrypt|both] [--device NAME]\n"
+      "  farm     [--workers N] [--sessions N] [--blocks N] [--queue N]\n"
+      "           [--keys N] [--seed S] [--json FILE]\n"
       "  selftest");
 }
 
@@ -317,6 +432,7 @@ int main(int argc, char** argv) {
     if (cmd == "export") return cmd_export(parse_args(argc, argv, 2));
     if (cmd == "seu") return cmd_seu(parse_args(argc, argv, 2));
     if (cmd == "power") return cmd_power(parse_args(argc, argv, 2));
+    if (cmd == "farm") return cmd_farm(parse_args(argc, argv, 2));
     if (cmd == "selftest") return cmd_selftest();
   } catch (const std::exception& e) {
     die(e.what());
