@@ -43,11 +43,12 @@ struct Point {
 /// Deterministic mixed workload: 16 session keys with popularity skew,
 /// mostly short CBC/ECB requests, every 8th a long CTR stream that fans
 /// out. Identical traffic for every worker count (seeded PRNG).
-farm::FarmStats run_point(int workers, std::uint64_t target_blocks) {
+farm::FarmStats run_point(int workers, std::uint64_t target_blocks, bool tracing = false) {
   farm::FarmConfig cfg;
   cfg.workers = workers;
   cfg.queue_capacity = 128;
   cfg.max_sessions = 64;
+  cfg.tracing = tracing;
   farm::Farm f(cfg);
 
   std::mt19937 rng(1234);
@@ -127,6 +128,23 @@ void print_and_dump_scaling() {
                 std::thread::hardware_concurrency());
   }
 
+  // Observability overhead: the same workload with per-job tracing and the
+  // histograms' extra samples on, vs. the plain runs above. Uses the
+  // 4-worker point as the baseline (most contended => worst case for the
+  // extra atomics on the submit/execute paths).
+  constexpr std::uint64_t kTraceBlocks = 6000;
+  const auto plain4 = run_point(4, kTraceBlocks, false);
+  const auto traced4 = run_point(4, kTraceBlocks, true);
+  const double tracing_overhead_pct =
+      plain4.blocks_per_wall_sec() > 0
+          ? (plain4.blocks_per_wall_sec() / traced4.blocks_per_wall_sec() - 1.0) * 100.0
+          : 0.0;
+  std::printf("  tracing overhead (4 workers, %llu blocks): %+.2f%% wall time, "
+              "%llu events recorded (%llu dropped)\n\n",
+              static_cast<unsigned long long>(kTraceBlocks), tracing_overhead_pct,
+              static_cast<unsigned long long>(traced4.trace_events),
+              static_cast<unsigned long long>(traced4.trace_dropped));
+
   std::ofstream jf("BENCH_farm.json");
   aesip::report::JsonWriter j(jf);
   j.begin_object();
@@ -136,6 +154,12 @@ void print_and_dump_scaling() {
   j.key("host_hardware_concurrency").value(std::thread::hardware_concurrency());
   j.key("scaling_1_to_4_sim").value(scaling_sim);
   j.key("scaling_1_to_4_wall").value(scaling_wall);
+  j.key("tracing").begin_object();
+  j.key("blocks").value(kTraceBlocks);
+  j.key("overhead_pct").value(tracing_overhead_pct);
+  j.key("trace_events").value(traced4.trace_events);
+  j.key("trace_dropped").value(traced4.trace_dropped);
+  j.end_object();
   j.key("points").begin_array();
   for (const auto& p : points) {
     const auto& s = p.stats;
@@ -153,6 +177,12 @@ void print_and_dump_scaling() {
     j.key("setup_cycles").value(s.total_setup_cycles);
     j.key("ctr_fanouts").value(s.ctr_fanouts);
     j.key("queue_high_water").value(s.queue_high_water);
+    j.key("queue_depth_p99").value(s.queue_depth.percentile(0.99));
+    j.key("queue_wait_us_p99").value(s.queue_wait_us.percentile(0.99));
+    double util = 0;
+    for (const auto& w : s.per_worker) util += w.utilization;
+    j.key("mean_utilization")
+        .value(s.per_worker.empty() ? 0.0 : util / static_cast<double>(s.per_worker.size()));
     j.end_object();
   }
   j.end_array();

@@ -1,21 +1,85 @@
 // Simulation-infrastructure performance: cycles/second of the hdl kernel
 // on the full IP, and the gate-level netlist evaluator — the ModelSim
 // replacement's own speed, relevant to anyone extending the repository.
+//
+// Also the profiler-overhead gate: the obs layer's contract is that an
+// attached ScopedProfiler costs < 5% on the kernel hot path (docs/obs.md).
+// The A/B section below measures plain vs. instrumented ns/cycle on the
+// same block workload (min over trials, so scheduler noise only ever
+// *overstates* the overhead) and writes BENCH_simspeed.json so the figure
+// is trend-tracked across PRs like every other bench.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <optional>
 
 #include "core/bfm.hpp"
 #include "core/ip_synth.hpp"
 #include "core/rijndael_ip.hpp"
 #include "hdl/simulator.hpp"
 #include "netlist/eval.hpp"
+#include "obs/profiler.hpp"
+#include "report/json.hpp"
 #include "techmap/techmap.hpp"
 
 namespace core = aesip::core;
 
 namespace {
+
+/// ns per simulated cycle pushing `blocks` blocks through a kBoth device,
+/// with or without a profiler attached. One fresh core per call.
+double measure_ns_per_cycle(bool profiled, int blocks) {
+  aesip::hdl::Simulator sim;
+  core::RijndaelIp ip(sim, core::IpMode::kBoth);
+  core::BusDriver bus(sim, ip);
+  bus.reset();
+  std::array<std::uint8_t, 16> block{1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 1, 2, 3, 4, 5, 6};
+  bus.load_key(block);
+  std::optional<aesip::obs::ScopedProfiler> prof;
+  if (profiled) prof.emplace(sim);
+  for (int i = 0; i < 8; ++i) block = bus.process_block(block);  // warm up
+  const auto c0 = sim.cycle();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < blocks; ++i) block = bus.process_block(block);
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto cycles = sim.cycle() - c0;
+  const double ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  return cycles ? ns / static_cast<double>(cycles) : 0.0;
+}
+
+void measure_profiler_overhead() {
+  constexpr int kBlocks = 2000;  // ~102k simulated cycles per trial
+  constexpr int kTrials = 5;
+  double plain = 1e300, profiled = 1e300;
+  for (int t = 0; t < kTrials; ++t) {
+    plain = std::min(plain, measure_ns_per_cycle(false, kBlocks));
+    profiled = std::min(profiled, measure_ns_per_cycle(true, kBlocks));
+  }
+  const double overhead_pct = plain > 0 ? (profiled - plain) / plain * 100.0 : 0.0;
+  std::printf("=== Profiler overhead (ScopedProfiler attached vs. not) ===\n\n");
+  std::printf("  uninstrumented  %8.1f ns/cycle   (min of %d trials, %d blocks each)\n",
+              plain, kTrials, kBlocks);
+  std::printf("  instrumented    %8.1f ns/cycle\n", profiled);
+  std::printf("  overhead        %+8.2f %%          (budget: < 5%%)\n\n", overhead_pct);
+
+  std::ofstream jf("BENCH_simspeed.json");
+  aesip::report::JsonWriter j(jf);
+  j.begin_object();
+  j.key("bench").value("simspeed");
+  j.key("overhead_blocks").value(kBlocks);
+  j.key("overhead_trials").value(kTrials);
+  j.key("ns_per_cycle_plain").value(plain);
+  j.key("ns_per_cycle_profiled").value(profiled);
+  j.key("profiler_overhead_pct").value(overhead_pct);
+  j.key("overhead_within_budget").value(overhead_pct < 5.0);
+  j.end_object();
+  std::printf("wrote BENCH_simspeed.json\n\n");
+}
 
 void BM_RtlSimCyclesPerSecond(benchmark::State& state) {
   aesip::hdl::Simulator sim;
@@ -28,6 +92,21 @@ void BM_RtlSimCyclesPerSecond(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_RtlSimCyclesPerSecond);
+
+void BM_RtlSimCyclesPerSecondProfiled(benchmark::State& state) {
+  // Same kernel loop with a ScopedProfiler attached — the instrumented
+  // figure next to the plain one makes the overhead visible in every run.
+  aesip::hdl::Simulator sim;
+  core::RijndaelIp ip(sim, core::IpMode::kBoth);
+  core::BusDriver bus(sim, ip);
+  bus.reset();
+  const std::array<std::uint8_t, 16> key{1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 1, 2, 3, 4, 5, 6};
+  bus.load_key(key);
+  aesip::obs::ScopedProfiler prof(sim);
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RtlSimCyclesPerSecondProfiled);
 
 void BM_GateLevelEvaluatorClock(benchmark::State& state) {
   // One clock of the complete mapped encrypt IP (LUT/FF/ROM netlist).
@@ -63,6 +142,7 @@ BENCHMARK(BM_BlockThroughRtlSim)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  measure_profiler_overhead();
   std::printf("=== Simulation kernel performance (the ModelSim substitute) ===\n\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -27,6 +27,22 @@
 
 namespace aesip::core {
 
+/// Bus-master-side cycle accounting: where a client's simulated cycles go
+/// once the Table 1 handshake is in the loop (load edges, key setup
+/// passes, compute waits). Complements RijndaelIp::counters(), which
+/// attributes the same cycles from inside the core's FSM.
+struct BusCounters {
+  std::uint64_t resets = 0;          ///< reset() calls (2 cycles each)
+  std::uint64_t key_loads = 0;       ///< keys pushed over the bus
+  std::uint64_t key_setup_cycles = 0;///< cycles waiting for key_ready
+  std::uint64_t rekey_hits = 0;      ///< rekey() calls satisfied for free
+  std::uint64_t blocks = 0;          ///< process_block() completions
+  std::uint64_t load_cycles = 0;     ///< wr_data bus-transfer edges
+  std::uint64_t compute_cycles = 0;  ///< load edge -> data_ok waits, summed
+  std::uint64_t stream_blocks = 0;   ///< blocks moved by stream()
+  std::uint64_t stream_cycles = 0;   ///< stream() first-load -> last-ok, summed
+};
+
 template <typename Ip>
 class GenericBusDriver {
  public:
@@ -34,6 +50,7 @@ class GenericBusDriver {
 
   /// Pulse `setup` for one cycle (configuration period).
   void reset() {
+    ++counters_.resets;
     ip_.setup.write(true);
     step();
     ip_.setup.write(false);
@@ -55,6 +72,8 @@ class GenericBusDriver {
     }
     for (std::size_t i = 0; i < 16; ++i) resident_key_[i] = key[i];
     has_resident_key_ = true;
+    ++counters_.key_loads;
+    counters_.key_setup_cycles += cycles;
     return cycles;
   }
 
@@ -71,7 +90,10 @@ class GenericBusDriver {
   /// re-keying cost cycles but key *reuse* free). Returns setup cycles spent
   /// (0 on a hit).
   std::uint64_t rekey(std::span<const std::uint8_t> key) {
-    if (key_resident(key)) return 0;
+    if (key_resident(key)) {
+      ++counters_.rekey_hits;
+      return 0;
+    }
     return load_key(key);
   }
 
@@ -94,6 +116,9 @@ class GenericBusDriver {
         throw std::runtime_error("bfm: block never completed");
     }
     last_latency_ = sim_.cycle() - start;
+    ++counters_.blocks;
+    ++counters_.load_cycles;
+    counters_.compute_cycles += last_latency_;
     std::array<std::uint8_t, 16> out{};
     ip_.dout.read().store(out);
     return out;
@@ -138,11 +163,17 @@ class GenericBusDriver {
         throw std::runtime_error("bfm: stream stalled");
     }
     last_stream_cycles_ = sim_.cycle() - first_cycle;
+    counters_.stream_blocks += blocks.size();
+    counters_.stream_cycles += last_stream_cycles_;
     return results;
   }
 
   /// Cycles from the first load edge to the last data_ok of stream().
   std::uint64_t last_stream_cycles() const noexcept { return last_stream_cycles_; }
+
+  /// Bus-side cycle accounting since construction / reset_counters().
+  const BusCounters& counters() const noexcept { return counters_; }
+  void reset_counters() noexcept { counters_ = BusCounters{}; }
 
  private:
   static constexpr std::uint64_t kWatchdog = 10000;
@@ -155,6 +186,7 @@ class GenericBusDriver {
   std::uint64_t last_stream_cycles_ = 0;
   std::array<std::uint8_t, 16> resident_key_{};
   bool has_resident_key_ = false;
+  BusCounters counters_;
 };
 
 /// The paper's IP behind the generic driver.

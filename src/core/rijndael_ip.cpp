@@ -121,6 +121,7 @@ void RijndaelIp::finish_block(const hdl::Word128& result) {
   dout.write(result);
   data_ok.write(true);
   ++blocks_done_;
+  ++(block_is_decrypt_ ? counters_.blocks_dec : counters_.blocks_enc);
   if (data_pending_ && key_valid_) start_block();
   else phase_ = Phase::kIdle;
 }
@@ -130,6 +131,7 @@ void RijndaelIp::tick() {
 
   if (setup.read()) {
     // Configuration period: synchronous reset of every process.
+    ++counters_.setup_resets;
     phase_ = Phase::kIdle;
     data_pending_ = false;
     key_valid_ = false;
@@ -141,6 +143,7 @@ void RijndaelIp::tick() {
 
   // --- Key_In / Data_In processes ------------------------------------------
   if (wr_key.read()) {
+    ++counters_.key_writes;
     key_reg_ = din.read();
     data_pending_ = false;  // a key change invalidates any staged block
     if (mode_ == IpMode::kEncrypt) {
@@ -158,17 +161,23 @@ void RijndaelIp::tick() {
     return;
   }
   if (wr_data.read()) {
+    ++counters_.data_writes;
     data_in_reg_ = din.read();
     data_pending_ = true;
   }
 
   // --- Rijndael process ------------------------------------------------------
+  // Phase occupancy: the edge is attributed to the phase being executed,
+  // so a finished block has banked exactly 40 ByteSub32 + 10 SR/MC/AK
+  // edges — the live form of the 5-cycle-round / 50-cycle-block claim.
   switch (phase_) {
     case Phase::kIdle:
+      ++counters_.idle_cycles;
       if (data_pending_ && key_valid_) start_block();
       break;
 
     case Phase::kKeySetup: {
+      ++counters_.key_setup_cycles;
       stage_forward_key(sub_, round_, kstran_enc_->data.read());
       if (sub_ < 3) {
         ++sub_;
@@ -187,6 +196,7 @@ void RijndaelIp::tick() {
     }
 
     case Phase::kSub: {
+      ++counters_.bytesub_cycles;
       if (!block_is_decrypt_) {
         // ByteSub32 slice + forward key schedule staging.
         state_.set_column(sub_, bytesub_->data.read());
@@ -221,12 +231,14 @@ void RijndaelIp::tick() {
         if (sub_ < 3) {
           ++sub_;
         } else if (round_ < kRounds) {
+          ++counters_.rounds_done;
           round_key_ = next_key_;
           ++round_;
           sub_ = 0;
           phase_ = Phase::kMix;
         } else {
           // Final AddRoundKey (the original key) folds into the output path.
+          ++counters_.rounds_done;
           finish_block(state_ ^ key_reg_);
         }
       }
@@ -234,7 +246,9 @@ void RijndaelIp::tick() {
     }
 
     case Phase::kMix: {
+      ++counters_.mix_cycles;
       if (!block_is_decrypt_) {
+        ++counters_.rounds_done;
         const hdl::Word128 sr = shift_rows128(state_, false);
         const hdl::Word128 pre = round_ < kRounds ? mix_columns128(sr, false) : sr;
         const hdl::Word128 ns = pre ^ next_key_;

@@ -46,6 +46,44 @@ namespace aesip::core {
 /// Which of the paper's three devices to instantiate.
 enum class IpMode { kEncrypt, kDecrypt, kBoth };
 
+/// Live occupancy counters of the IP's clocked processes — the paper's
+/// cycle budget (4x ByteSub32 + 1x SR/MC/AK = 5 per round, 50 per block,
+/// 40 per decrypt key setup) kept as running totals instead of one-shot
+/// test assertions. Counting is unconditional: each tick costs one
+/// indexed increment, cheap enough to leave on (bench_simspeed measures
+/// the instrumented kernel end to end).
+struct IpCounters {
+  // One slot per FSM phase, indexed by the phase the Rijndael process
+  // executed that edge.
+  std::uint64_t idle_cycles = 0;       ///< nothing staged (incl. block-start edges)
+  std::uint64_t key_setup_cycles = 0;  ///< round-10 key derivation (decrypt devices)
+  std::uint64_t bytesub_cycles = 0;    ///< ByteSub32 / IByteSub32 slices (4 per round)
+  std::uint64_t mix_cycles = 0;        ///< 128-bit SR/MC/AK (or AK/IMC/ISR) cycles
+
+  // Bus-side processes (paper Figs. 8/9).
+  std::uint64_t setup_resets = 0;  ///< edges spent in the configuration period
+  std::uint64_t key_writes = 0;    ///< wr_key load edges
+  std::uint64_t data_writes = 0;   ///< wr_data load edges
+
+  // Work completed.
+  std::uint64_t rounds_done = 0;  ///< cipher rounds finished (10 per block)
+  std::uint64_t blocks_enc = 0;
+  std::uint64_t blocks_dec = 0;
+
+  std::uint64_t blocks() const noexcept { return blocks_enc + blocks_dec; }
+  /// Cycles the Rijndael process spent computing (excludes idle/setup).
+  std::uint64_t round_cycles() const noexcept { return bytesub_cycles + mix_cycles; }
+  /// Paper invariant: exactly 5 (4 ByteSub32 + 1 SR/MC/AK) on any workload.
+  double cycles_per_round() const noexcept {
+    return rounds_done ? static_cast<double>(round_cycles()) / static_cast<double>(rounds_done)
+                       : 0.0;
+  }
+  /// Paper invariant: exactly 50 on any workload of completed blocks.
+  double cycles_per_block() const noexcept {
+    return blocks() ? static_cast<double>(round_cycles()) / static_cast<double>(blocks()) : 0.0;
+  }
+};
+
 class RijndaelIp final : public hdl::Module {
  public:
   static constexpr int kRounds = 10;
@@ -78,6 +116,10 @@ class RijndaelIp final : public hdl::Module {
   std::uint64_t blocks_done() const noexcept { return blocks_done_; }
   /// Physical S-boxes instantiated (8 for single-direction, 16 for both).
   int sbox_count() const noexcept;
+
+  /// Per-phase cycle counters since construction / reset_counters().
+  const IpCounters& counters() const noexcept { return counters_; }
+  void reset_counters() noexcept { counters_ = IpCounters{}; }
 
   void evaluate() override;
   void tick() override;
@@ -117,6 +159,7 @@ class RijndaelIp final : public hdl::Module {
   bool block_is_decrypt_ = false;
 
   std::uint64_t blocks_done_ = 0;
+  IpCounters counters_;
 };
 
 }  // namespace aesip::core

@@ -17,6 +17,10 @@ namespace {
 /// Reservoir bound for latency samples (~512 KiB of floats).
 constexpr std::size_t kLatencyCap = 1u << 17;
 
+/// Trace-event name table; TraceEvent::name indexes into this. The first
+/// three entries line up with the Mode enum so a job's name is its mode.
+constexpr const char* kTraceNames[] = {"ecb", "cbc", "ctr"};
+
 std::size_t block_count(std::size_t bytes) { return (bytes + aes::kBlock - 1) / aes::kBlock; }
 }  // namespace
 
@@ -49,6 +53,9 @@ Farm::Farm(const FarmConfig& cfg) : cfg_(cfg), sessions_(cfg.workers, cfg.max_se
   queues_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i)
     queues_.push_back(std::make_unique<BoundedQueue<Job>>(cfg_.queue_capacity));
+  if (cfg_.tracing)
+    tracer_ = std::make_unique<obs::Tracer>(static_cast<std::size_t>(cfg_.workers),
+                                            cfg_.trace_capacity);
   start_ = std::chrono::steady_clock::now();
   threads_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i) threads_.emplace_back([this, i] { worker_main(i); });
@@ -83,6 +90,7 @@ std::future<Result> Farm::submit(Request req) {
   auto future = job.promise.get_future();
   if (!queues_[static_cast<std::size_t>(route.worker)]->push(std::move(job)))
     throw std::runtime_error("farm: submit after shutdown");
+  queue_depth_hist_.record(queues_[static_cast<std::size_t>(route.worker)]->size());
   return future;
 }
 
@@ -102,6 +110,7 @@ std::optional<std::future<Result>> Farm::try_submit(Request req) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
+  queue_depth_hist_.record(queues_[static_cast<std::size_t>(route.worker)]->size());
   return future;
 }
 
@@ -137,6 +146,7 @@ std::future<Result> Farm::submit_fanout(Request req) {
     const int worker = sessions_.next_round_robin(req.key);
     if (!queues_[static_cast<std::size_t>(worker)]->push(std::move(job)))
       throw std::runtime_error("farm: submit after shutdown");
+    queue_depth_hist_.record(queues_[static_cast<std::size_t>(worker)]->size());
   }
   return future;
 }
@@ -149,6 +159,9 @@ void Farm::worker_main(int index) {
 
 void Farm::execute(Job& job, WorkerContext& ctx, int index) {
   auto& ctr = counters_[static_cast<std::size_t>(index)];
+  const auto t_start = std::chrono::steady_clock::now();
+  queue_wait_us_hist_.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t_start - job.t_submit).count()));
   try {
     const std::uint64_t c0 = ctx.sim.cycle();
     const std::uint64_t setup = ctx.bus.rekey(job.key);
@@ -170,10 +183,27 @@ void Farm::execute(Job& job, WorkerContext& ctx, int index) {
     }
 
     const std::uint64_t cycles = ctx.sim.cycle() - c0;
+    const auto t_end = std::chrono::steady_clock::now();
     ctr.requests.fetch_add(1, std::memory_order_relaxed);
     ctr.blocks.fetch_add(block_count(job.payload.size()), std::memory_order_relaxed);
     ctr.cycles.fetch_add(cycles, std::memory_order_relaxed);
     ctr.setup_cycles.fetch_add(setup, std::memory_order_relaxed);
+    ctr.busy_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t_end - t_start).count()),
+        std::memory_order_relaxed);
+    if (tracer_) {
+      obs::TraceEvent e;
+      e.ts_us = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(t_start - start_).count());
+      e.dur_us = static_cast<std::uint32_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(t_end - t_start).count());
+      e.name = static_cast<std::uint16_t>(job.mode);
+      e.track = static_cast<std::uint16_t>(index);
+      e.arg = block_count(job.payload.size());
+      e.arg2 = setup;
+      tracer_->record(static_cast<std::size_t>(index), e);
+    }
 
     if (job.fan) {
       auto& fan = *job.fan;
@@ -242,6 +272,17 @@ FarmStats Farm::stats() const {
   s.session_evictions = sc.session_evictions;
   s.sessions_live = sc.sessions_live;
 
+  s.queue_depth = queue_depth_hist_.snapshot();
+  s.queue_wait_us = queue_wait_us_hist_.snapshot();
+  if (tracer_) {
+    s.trace_events = tracer_->recorded();
+    s.trace_dropped = tracer_->dropped();
+  }
+
+  s.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  const double wall_ns = s.wall_seconds * 1e9;
+
   s.per_worker.reserve(counters_.size());
   for (std::size_t i = 0; i < counters_.size(); ++i) {
     WorkerStats w;
@@ -249,6 +290,8 @@ FarmStats Farm::stats() const {
     w.blocks = counters_[i].blocks.load(std::memory_order_relaxed);
     w.cycles = counters_[i].cycles.load(std::memory_order_relaxed);
     w.setup_cycles = counters_[i].setup_cycles.load(std::memory_order_relaxed);
+    w.busy_ns = counters_[i].busy_ns.load(std::memory_order_relaxed);
+    w.utilization = wall_ns > 0 ? static_cast<double>(w.busy_ns) / wall_ns : 0.0;
     s.blocks += w.blocks;
     s.total_cycles += w.cycles;
     s.total_setup_cycles += w.setup_cycles;
@@ -256,9 +299,6 @@ FarmStats Farm::stats() const {
     s.per_worker.push_back(w);
     s.queue_high_water = std::max(s.queue_high_water, queues_[i]->high_water());
   }
-
-  s.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
 
   {
     std::lock_guard lk(latency_mu_);
@@ -282,6 +322,12 @@ FarmStats Farm::stats() const {
   return s;
 }
 
+bool Farm::write_chrome_trace(std::ostream& os) const {
+  if (!tracer_) return false;
+  tracer_->write_chrome_trace(os, kTraceNames, "aesip farm");
+  return true;
+}
+
 // --- FarmStats rendering ----------------------------------------------------------
 
 std::string FarmStats::report(double clock_ns) const {
@@ -293,6 +339,15 @@ std::string FarmStats::report(double clock_ns) const {
   };
   add("farm: %d workers, queue capacity %zu (high water %zu)\n", workers, queue_capacity,
       queue_high_water);
+  if (queue_depth.count)
+    add("  queues:    depth p50 %llu p99 %llu max %llu; wait p50 %llu us p99 %llu us "
+        "max %llu us\n",
+        static_cast<unsigned long long>(queue_depth.percentile(0.50)),
+        static_cast<unsigned long long>(queue_depth.percentile(0.99)),
+        static_cast<unsigned long long>(queue_depth.max),
+        static_cast<unsigned long long>(queue_wait_us.percentile(0.50)),
+        static_cast<unsigned long long>(queue_wait_us.percentile(0.99)),
+        static_cast<unsigned long long>(queue_wait_us.max));
   add("  traffic:   %llu requests, %llu blocks, %llu rejected (backpressure)\n",
       static_cast<unsigned long long>(requests), static_cast<unsigned long long>(blocks),
       static_cast<unsigned long long>(rejected));
@@ -314,13 +369,42 @@ std::string FarmStats::report(double clock_ns) const {
     add("  latency:   p50 %.0f us, p90 %.0f us, p99 %.0f us, max %.0f us (%llu samples)\n",
         latency.p50_us, latency.p90_us, latency.p99_us, latency.max_us,
         static_cast<unsigned long long>(latency.samples));
+  if (trace_events)
+    add("  trace:     %llu events recorded, %llu overwritten by ring wrap\n",
+        static_cast<unsigned long long>(trace_events),
+        static_cast<unsigned long long>(trace_dropped));
   for (std::size_t i = 0; i < per_worker.size(); ++i)
-    add("  worker %2zu: %8llu blocks, %10llu cycles (%llu setup)\n", i,
+    add("  worker %2zu: %8llu blocks, %10llu cycles (%llu setup), %4.1f%% utilized\n", i,
         static_cast<unsigned long long>(per_worker[i].blocks),
         static_cast<unsigned long long>(per_worker[i].cycles),
-        static_cast<unsigned long long>(per_worker[i].setup_cycles));
+        static_cast<unsigned long long>(per_worker[i].setup_cycles),
+        per_worker[i].utilization * 100.0);
   return out;
 }
+
+namespace {
+void write_histogram_json(report::JsonWriter& j, const obs::HistogramSnapshot& h) {
+  j.begin_object();
+  j.key("count").value(h.count);
+  j.key("sum").value(h.sum);
+  j.key("mean").value(h.mean());
+  j.key("max").value(h.max);
+  j.key("p50").value(h.percentile(0.50));
+  j.key("p90").value(h.percentile(0.90));
+  j.key("p99").value(h.percentile(0.99));
+  j.key("buckets").begin_array();  // [inclusive upper bound, count] pairs
+  for (int b = 0; b < obs::HistogramSnapshot::kBuckets; ++b) {
+    const auto n = h.buckets[static_cast<std::size_t>(b)];
+    if (!n) continue;
+    j.begin_array();
+    j.value(obs::HistogramSnapshot::bucket_upper(b));
+    j.value(n);
+    j.end_array();
+  }
+  j.end_array();
+  j.end_object();
+}
+}  // namespace
 
 void FarmStats::write_json(std::ostream& os, double clock_ns) const {
   report::JsonWriter j(os);
@@ -337,6 +421,12 @@ void FarmStats::write_json(std::ostream& os, double clock_ns) const {
   j.key("session_evictions").value(session_evictions);
   j.key("queue_capacity").value(queue_capacity);
   j.key("queue_high_water").value(queue_high_water);
+  j.key("queue_depth");
+  write_histogram_json(j, queue_depth);
+  j.key("queue_wait_us");
+  write_histogram_json(j, queue_wait_us);
+  j.key("trace_events").value(trace_events);
+  j.key("trace_dropped").value(trace_dropped);
   j.key("wall_seconds").value(wall_seconds);
   j.key("blocks_per_wall_sec").value(blocks_per_wall_sec());
   j.key("total_cycles").value(total_cycles);
@@ -361,6 +451,8 @@ void FarmStats::write_json(std::ostream& os, double clock_ns) const {
     j.key("blocks").value(w.blocks);
     j.key("cycles").value(w.cycles);
     j.key("setup_cycles").value(w.setup_cycles);
+    j.key("busy_ns").value(w.busy_ns);
+    j.key("utilization").value(w.utilization);
     j.end_object();
   }
   j.end_array();

@@ -39,6 +39,8 @@
 #include "farm/queue.hpp"
 #include "farm/session.hpp"
 #include "farm/stats.hpp"
+#include "obs/histogram.hpp"
+#include "obs/tracer.hpp"
 
 namespace aesip::farm {
 
@@ -53,6 +55,8 @@ struct FarmConfig {
   std::size_t ctr_chunk_blocks = 32;     ///< fan-out chunk size, in blocks
   std::size_t ctr_fanout_min_blocks = 64;///< payloads below this stay on one core
   double clock_ns = 14.0;                ///< Tclk for simulated-domain reporting
+  bool tracing = false;                  ///< record per-job events (Chrome trace)
+  std::size_t trace_capacity = 8192;     ///< events kept per worker ring
 };
 
 struct Request {
@@ -99,6 +103,10 @@ class Farm {
   /// Consistent point-in-time snapshot; callable while traffic is running.
   FarmStats stats() const;
 
+  /// Dump the per-worker event rings as Chrome trace_event JSON (load at
+  /// chrome://tracing). No-op returning false unless FarmConfig::tracing.
+  bool write_chrome_trace(std::ostream& os) const;
+
   const FarmConfig& config() const noexcept { return cfg_; }
 
  private:
@@ -135,6 +143,7 @@ class Farm {
     std::atomic<std::uint64_t> blocks{0};
     std::atomic<std::uint64_t> cycles{0};
     std::atomic<std::uint64_t> setup_cycles{0};
+    std::atomic<std::uint64_t> busy_ns{0};
   };
 
   static void validate(const Request& req);
@@ -149,6 +158,12 @@ class Farm {
   std::vector<WorkerCounters> counters_;
   std::vector<std::thread> threads_;
   std::chrono::steady_clock::time_point start_;
+
+  // Observability: wait-free recording on the worker/submit paths; see
+  // obs::Histogram / obs::Tracer for the memory-ordering story.
+  obs::Histogram queue_depth_hist_;
+  obs::Histogram queue_wait_us_hist_;
+  std::unique_ptr<obs::Tracer> tracer_;
 
   std::atomic<std::uint64_t> requests_done_{0};
   std::atomic<std::uint64_t> rejected_{0};

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace aesip::farm {
 
 struct WorkerStats {
@@ -28,6 +30,8 @@ struct WorkerStats {
   std::uint64_t blocks = 0;        ///< 16-byte blocks pushed through the core
   std::uint64_t cycles = 0;        ///< simulated cycles this worker's core ran
   std::uint64_t setup_cycles = 0;  ///< cycles spent re-keying (the affinity miss cost)
+  std::uint64_t busy_ns = 0;       ///< host time spent executing jobs
+  double utilization = 0;          ///< busy_ns / farm wall time, in [0,1]
 };
 
 struct LatencyStats {
@@ -54,6 +58,12 @@ struct FarmStats {
   // queues
   std::size_t queue_capacity = 0;
   std::size_t queue_high_water = 0;  ///< max depth over all worker queues
+  obs::HistogramSnapshot queue_depth;    ///< depth observed after each enqueue
+  obs::HistogramSnapshot queue_wait_us;  ///< submit -> execution start, per job
+
+  // tracing (zero unless FarmConfig::tracing)
+  std::uint64_t trace_events = 0;   ///< events recorded into the rings
+  std::uint64_t trace_dropped = 0;  ///< overwritten by ring wrap
 
   // time
   double wall_seconds = 0;

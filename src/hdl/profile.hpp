@@ -1,0 +1,70 @@
+// Raw profiling counters for the simulation kernel.
+//
+// SimProfile is the passive data sink the Simulator fills while a profiler
+// is attached (see obs::ScopedProfiler for the RAII front end and the
+// reporting/JSON layer). The split keeps the dependency direction clean:
+// hdl knows only how to *count* — per-module evaluate()/tick() calls,
+// per-signal changed-commits ("activity"), delta-loop iterations and
+// coarse wall time — while src/obs owns analysis and rendering.
+//
+// Counting only happens on the instrumented code paths inside
+// Simulator::settle()/step(), selected by a single pointer test per call;
+// with no profiler attached the kernel runs the original branch-light
+// loops. Wall time is sampled once every kWallSampleEvery steps (not every
+// step) so the clock read itself stays out of the per-cycle budget.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aesip::hdl {
+
+struct ModuleProfile {
+  std::string name;
+  std::uint64_t evals = 0;  ///< evaluate() calls (one per delta iteration)
+  std::uint64_t ticks = 0;  ///< tick() calls (one per clock cycle)
+};
+
+struct SignalProfile {
+  std::string name;
+  int bits = 0;
+  std::uint64_t activity = 0;  ///< commits that changed the value (toggles)
+};
+
+struct SimProfile {
+  /// Steps between wall-clock samples; wall_ns covers whole multiples of
+  /// this window, so ns_per_cycle() is exact only once steps >> the window.
+  static constexpr std::uint64_t kWallSampleEvery = 16;
+
+  std::uint64_t steps = 0;    ///< step() calls while attached
+  std::uint64_t settles = 0;  ///< settle() calls (2 per step + manual ones)
+  std::uint64_t deltas = 0;   ///< total delta iterations across all settles
+  std::uint64_t max_deltas = 0;  ///< worst single settle (cycle-depth alarm)
+  std::uint64_t wall_ns = 0;     ///< sampled wall time spent inside step()
+
+  std::vector<ModuleProfile> modules;
+  std::vector<SignalProfile> signals;
+
+  double ns_per_cycle() const {
+    // Only full sample windows are covered by wall_ns; scale by the steps
+    // those windows actually contained.
+    const std::uint64_t sampled = steps - steps % kWallSampleEvery;
+    return sampled ? static_cast<double>(wall_ns) / static_cast<double>(sampled) : 0.0;
+  }
+  double deltas_per_settle() const {
+    return settles ? static_cast<double>(deltas) / static_cast<double>(settles) : 0.0;
+  }
+  std::uint64_t total_evals() const {
+    std::uint64_t n = 0;
+    for (const auto& m : modules) n += m.evals;
+    return n;
+  }
+  std::uint64_t total_activity() const {
+    std::uint64_t n = 0;
+    for (const auto& s : signals) n += s.activity;
+    return n;
+  }
+};
+
+}  // namespace aesip::hdl

@@ -1,7 +1,9 @@
 #include "hdl/simulator.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
+#include "hdl/profile.hpp"
 #include "hdl/vcd.hpp"
 
 namespace aesip::hdl {
@@ -31,6 +33,10 @@ std::string to_trace_hex(std::uint64_t v) { return hex_of(v, 16); }
 }  // namespace detail
 
 void Simulator::settle() {
+  if (prof_) {
+    settle_profiled();
+    return;
+  }
   for (int delta = 0; delta < kMaxDeltas; ++delta) {
     for (Module* m : modules_) m->evaluate();
     bool changed = false;
@@ -42,12 +48,123 @@ void Simulator::settle() {
 }
 
 void Simulator::step() {
+  if (prof_) {
+    step_profiled();
+    return;
+  }
   settle();
   for (Module* m : modules_) m->tick();
   for (SignalBase* s : signals_) s->commit();
   settle();
   ++cycle_;
   if (vcd_) vcd_->sample(cycle_);
+}
+
+// --- profiled paths ----------------------------------------------------------------
+//
+// Exact mirrors of settle()/step() with counting folded into the existing
+// loops. Only entities bound at attach time are counted (the index bound
+// guards against modules/signals registered afterwards).
+
+namespace {
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+void Simulator::attach_profiler(SimProfile* p) {
+  if (!p) {
+    prof_ = nullptr;
+    return;
+  }
+  // (Re)bind the per-entity tables; an identically shaped sink keeps its
+  // counts so a profiler can be detached and re-attached to accumulate.
+  if (p->modules.size() != modules_.size()) {
+    p->modules.clear();
+    p->modules.reserve(modules_.size());
+    for (const Module* m : modules_) p->modules.push_back({m->name(), 0, 0});
+  }
+  if (p->signals.size() != signals_.size()) {
+    p->signals.clear();
+    p->signals.reserve(signals_.size());
+    for (const SignalBase* s : signals_) p->signals.push_back({s->name(), s->bits(), 0});
+  }
+  prof_ = p;
+  synced_deltas_ = p->deltas;
+  synced_steps_ = p->steps;
+  last_wall_ns_ = wall_now_ns();
+}
+
+void Simulator::sync_profile() const noexcept {
+  if (!prof_) return;
+  SimProfile& p = *prof_;
+  const std::uint64_t d = p.deltas - synced_deltas_;
+  const std::uint64_t t = p.steps - synced_steps_;
+  if (d == 0 && t == 0) return;
+  const std::size_t nm = p.modules.size() < modules_.size() ? p.modules.size() : modules_.size();
+  for (std::size_t i = 0; i < nm; ++i) {
+    p.modules[i].evals += d;
+    p.modules[i].ticks += t;
+  }
+  synced_deltas_ = p.deltas;
+  synced_steps_ = p.steps;
+}
+
+void Simulator::settle_profiled() {
+  SimProfile& p = *prof_;
+  ++p.settles;
+  // Hoisted table pointers: commit() is an opaque virtual call, so an
+  // indexed loop over the member vectors would reload size/data every
+  // iteration; locals keep the profiled loop as tight as the plain one.
+  SignalBase* const* const sigs = signals_.data();
+  const std::size_t nsig = signals_.size();
+  SignalProfile* const sprof = p.signals.data();
+  const std::size_t ncount = p.signals.size() < nsig ? p.signals.size() : nsig;
+  int delta = 0;
+  bool settled = false;
+  for (; delta < kMaxDeltas; ++delta) {
+    for (Module* m : modules_) m->evaluate();
+    bool changed = false;
+    for (std::size_t i = 0; i < ncount; ++i) {
+      const bool c = sigs[i]->commit();
+      sprof[i].activity += static_cast<std::uint64_t>(c);  // branchless
+      changed |= c;
+    }
+    for (std::size_t i = ncount; i < nsig; ++i) changed |= sigs[i]->commit();
+    if (!changed) { settled = true; ++delta; break; }
+  }
+  const std::uint64_t done = static_cast<std::uint64_t>(delta);
+  p.deltas += done;  // per-module evals derive from this in sync_profile()
+  if (done > p.max_deltas) p.max_deltas = done;
+  if (!settled)
+    throw std::runtime_error("hdl::Simulator: combinational network did not settle");
+}
+
+void Simulator::step_profiled() {
+  SimProfile& p = *prof_;
+  settle_profiled();
+  for (Module* m : modules_) m->tick();
+  {
+    SignalBase* const* const sigs = signals_.data();
+    const std::size_t nsig = signals_.size();
+    SignalProfile* const sprof = p.signals.data();
+    const std::size_t ncount = p.signals.size() < nsig ? p.signals.size() : nsig;
+    for (std::size_t i = 0; i < ncount; ++i)
+      sprof[i].activity += static_cast<std::uint64_t>(sigs[i]->commit());
+    for (std::size_t i = ncount; i < nsig; ++i) sigs[i]->commit();
+  }
+  settle_profiled();
+  ++cycle_;
+  if (vcd_) vcd_->sample(cycle_);
+  ++p.steps;  // per-module ticks derive from this in sync_profile()
+  if (p.steps % SimProfile::kWallSampleEvery == 0) {
+    const std::uint64_t now = wall_now_ns();
+    p.wall_ns += now - last_wall_ns_;
+    last_wall_ns_ = now;
+  }
 }
 
 }  // namespace aesip::hdl

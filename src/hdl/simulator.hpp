@@ -20,6 +20,7 @@
 namespace aesip::hdl {
 
 class VcdWriter;
+struct SimProfile;
 
 class Simulator {
  public:
@@ -36,6 +37,26 @@ class Simulator {
 
   /// Attach a VCD trace sink (optional; may be null to detach).
   void set_vcd(VcdWriter* vcd) noexcept { vcd_ = vcd; }
+
+  /// Attach a profile sink: per-module eval/tick counts, per-signal
+  /// activity, delta statistics and sampled wall time accumulate into `p`
+  /// until detach. The sink's module/signal tables are (re)bound to the
+  /// current module/signal sets; signals or modules registered *after*
+  /// attach are simulated normally but not counted. Prefer the RAII
+  /// obs::ScopedProfiler over calling these directly.
+  void attach_profiler(SimProfile* p);
+  void detach_profiler() noexcept {
+    sync_profile();
+    prof_ = nullptr;
+  }
+  SimProfile* profiler() const noexcept { return prof_; }
+
+  /// Flush deferred per-module counters into the attached profile (the hot
+  /// path counts only global deltas/steps; every module is evaluated once
+  /// per delta and ticked once per step, so per-module figures are derived
+  /// here). Called by detach and by obs::ScopedProfiler before any read;
+  /// harmless no-op when nothing is attached.
+  void sync_profile() const noexcept;
 
   /// Settle the combinational network without advancing the clock —
   /// used after forcing inputs mid-cycle. Throws std::runtime_error on a
@@ -55,10 +76,19 @@ class Simulator {
   const std::vector<SignalBase*>& signals() const noexcept { return signals_; }
 
  private:
+  void settle_profiled();
+  void step_profiled();
+
   std::vector<Module*> modules_;
   std::vector<SignalBase*> signals_;
   VcdWriter* vcd_ = nullptr;
+  SimProfile* prof_ = nullptr;
   std::uint64_t cycle_ = 0;
+  std::uint64_t last_wall_ns_ = 0;  ///< previous wall sample (profiled runs)
+  // sync_profile() bookkeeping: the deltas/steps already attributed to the
+  // per-module tables. Mutable so reads through const accessors can flush.
+  mutable std::uint64_t synced_deltas_ = 0;
+  mutable std::uint64_t synced_steps_ = 0;
 };
 
 }  // namespace aesip::hdl

@@ -1,0 +1,78 @@
+#include "obs/tracer.hpp"
+
+#include "report/json.hpp"
+
+namespace aesip::obs {
+
+Tracer::Tracer(std::size_t tracks, std::size_t capacity)
+    : capacity_(capacity ? capacity : 1), rings_(tracks ? tracks : 1) {
+  for (auto& r : rings_) r.events.resize(capacity_);
+}
+
+std::uint64_t Tracer::recorded() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) n += r.n.load(std::memory_order_acquire);
+  return n;
+}
+
+std::uint64_t Tracer::dropped() const noexcept {
+  std::uint64_t d = 0;
+  for (const auto& r : rings_) {
+    const std::uint64_t n = r.n.load(std::memory_order_acquire);
+    if (n > capacity_) d += n - capacity_;
+  }
+  return d;
+}
+
+std::vector<TraceEvent> Tracer::events(std::size_t track) const {
+  std::vector<TraceEvent> out;
+  if (track >= rings_.size()) return out;
+  const Ring& r = rings_[track];
+  const std::uint64_t n = r.n.load(std::memory_order_acquire);
+  const std::uint64_t kept = n < capacity_ ? n : capacity_;
+  out.reserve(static_cast<std::size_t>(kept));
+  for (std::uint64_t i = n - kept; i < n; ++i)
+    out.push_back(r.events[static_cast<std::size_t>(i % capacity_)]);
+  return out;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os, std::span<const char* const> names,
+                                const char* process_name) const {
+  report::JsonWriter j(os);
+  j.begin_object();
+  j.key("displayTimeUnit").value("ms");
+  j.key("traceEvents").begin_array();
+
+  // Process/thread metadata so the viewer shows labelled tracks.
+  j.begin_object();
+  j.key("name").value("process_name");
+  j.key("ph").value("M");
+  j.key("pid").value(0);
+  j.key("tid").value(0);
+  j.key("args").begin_object();
+  j.key("name").value(process_name);
+  j.end_object();
+  j.end_object();
+
+  for (std::size_t t = 0; t < rings_.size(); ++t) {
+    for (const TraceEvent& e : events(t)) {
+      j.begin_object();
+      j.key("name").value(e.name < names.size() ? names[e.name] : "event");
+      j.key("cat").value("aesip");
+      j.key("ph").value("X");
+      j.key("ts").value(e.ts_us);
+      j.key("dur").value(static_cast<std::uint64_t>(e.dur_us));
+      j.key("pid").value(0);
+      j.key("tid").value(static_cast<std::uint64_t>(e.track));
+      j.key("args").begin_object();
+      j.key("arg").value(e.arg);
+      j.key("arg2").value(e.arg2);
+      j.end_object();
+      j.end_object();
+    }
+  }
+  j.end_array();
+  j.end_object();
+}
+
+}  // namespace aesip::obs

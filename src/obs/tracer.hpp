@@ -1,0 +1,75 @@
+// Event tracer: bounded per-track rings, dumpable as a Chrome trace.
+//
+// One ring per track (the farm uses one track per worker thread). Each
+// ring is single-producer: only the owning thread records into it, so a
+// record is one array store plus one release-store of the count — no CAS,
+// no locks, and a full ring simply overwrites its oldest events (the
+// bound is the memory budget; dropped() reports how much history was
+// lost). Readers snapshot after the producers quiesce — the intended use
+// is "run traffic, then dump" — and get the surviving events in order.
+//
+// write_chrome_trace() emits the Chrome trace_event JSON format
+// (complete "X" events with microsecond timestamps); load the file at
+// chrome://tracing or https://ui.perfetto.dev to see the farm timeline:
+// which worker ran which request when, where re-keys landed, how fan-out
+// chunks interleave.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <span>
+#include <vector>
+
+namespace aesip::obs {
+
+struct TraceEvent {
+  std::uint64_t ts_us = 0;   ///< start, microseconds since trace epoch
+  std::uint32_t dur_us = 0;  ///< duration, microseconds
+  std::uint16_t name = 0;    ///< index into the name table passed at dump time
+  std::uint16_t track = 0;   ///< ring index (rendered as the Chrome tid)
+  std::uint64_t arg = 0;     ///< one free payload (e.g. blocks processed)
+  std::uint64_t arg2 = 0;    ///< second payload (e.g. setup cycles)
+};
+
+class Tracer {
+ public:
+  /// `tracks` rings of `capacity` events each.
+  Tracer(std::size_t tracks, std::size_t capacity);
+
+  /// Record one event on `track`. Single producer per track; wait-free.
+  void record(std::size_t track, const TraceEvent& e) noexcept {
+    Ring& r = rings_[track];
+    const std::uint64_t n = r.n.load(std::memory_order_relaxed);
+    r.events[static_cast<std::size_t>(n % capacity_)] = e;
+    r.n.store(n + 1, std::memory_order_release);
+  }
+
+  std::size_t tracks() const noexcept { return rings_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Events ever recorded / overwritten by ring wrap, across all tracks.
+  std::uint64_t recorded() const noexcept;
+  std::uint64_t dropped() const noexcept;
+
+  /// Surviving events of one track, oldest first.
+  std::vector<TraceEvent> events(std::size_t track) const;
+
+  /// Dump every track as Chrome trace_event JSON. `names` maps
+  /// TraceEvent::name indices to strings; out-of-range indices render as
+  /// "event". `process_name` labels the single pid.
+  void write_chrome_trace(std::ostream& os, std::span<const char* const> names,
+                          const char* process_name = "aesip") const;
+
+ private:
+  struct alignas(64) Ring {  // padded: producers on different cores
+    std::vector<TraceEvent> events;
+    std::atomic<std::uint64_t> n{0};
+  };
+
+  std::size_t capacity_;
+  std::vector<Ring> rings_;
+};
+
+}  // namespace aesip::obs

@@ -16,6 +16,13 @@
 //                       multi-core IP farm (src/farm/) and print its stats
 //                       report; results are verified against the software
 //                       reference on a sample of the traffic.
+//   metrics             run an instrumented workload and report the
+//                       observability counters: per-FSM-phase cycles (the
+//                       live 4+1 / 50-cycle invariants), bus-side cycle
+//                       accounting, simulator profile, and optionally the
+//                       farm's histograms — as a text table and/or JSON
+//                       (schema: docs/benchmarks.md). Exits non-zero if a
+//                       paper invariant does not hold.
 //   selftest            FIPS-197 vectors through software and the IP.
 //
 // Examples:
@@ -42,6 +49,8 @@
 #include "aes/ttable.hpp"
 #include "core/bfm.hpp"
 #include "farm/farm.hpp"
+#include "obs/profiler.hpp"
+#include "report/json.hpp"
 #include "core/ip_synth.hpp"
 #include "core/rijndael_ip.hpp"
 #include "core/table2.hpp"
@@ -280,7 +289,9 @@ int cmd_farm(const Args& args) {
   const std::uint32_t seed =
       static_cast<std::uint32_t>(std::stoul(arg_or(args, "seed", "1")));
   const std::string json_path = arg_or(args, "json", "");
+  const std::string trace_path = arg_or(args, "trace", "");
   const int n_keys = std::stoi(arg_or(args, "keys", "32"));  // distinct user keys
+  if (!trace_path.empty()) cfg.tracing = true;
 
   farm::Farm f(cfg);
   std::mt19937 rng(seed);
@@ -370,7 +381,246 @@ int cmd_farm(const Args& args) {
     st.write_json(jf, cfg.clock_ns);
     std::printf("stats written to %s\n", json_path.c_str());
   }
+  if (!trace_path.empty()) {
+    std::ofstream tf(trace_path);
+    if (!tf) die("cannot write " + trace_path);
+    f.write_chrome_trace(tf);
+    std::printf("chrome trace written to %s (load at chrome://tracing)\n",
+                trace_path.c_str());
+  }
   return mismatches ? 1 : 0;
+}
+
+// --- metrics -----------------------------------------------------------------------
+
+// Shared by the farm summary in cmd_metrics: percentile figures straight
+// off a histogram snapshot.
+void json_histogram_summary(report::JsonWriter& j, const obs::HistogramSnapshot& h) {
+  j.begin_object();
+  j.key("count").value(h.count);
+  j.key("mean").value(h.mean());
+  j.key("p50").value(h.percentile(0.50));
+  j.key("p90").value(h.percentile(0.90));
+  j.key("p99").value(h.percentile(0.99));
+  j.key("max").value(h.max);
+  j.end_object();
+}
+
+int cmd_metrics(const Args& args) {
+  const std::uint64_t n_blocks = std::stoull(arg_or(args, "blocks", "32"));
+  if (n_blocks == 0) die("--blocks must be >= 1");
+  const std::string json_path = arg_or(args, "json", "");
+  const std::string trace_path = arg_or(args, "trace", "");
+  const bool with_farm = arg_or(args, "farm", "yes") == "yes";
+  const bool json_to_stdout = json_path == "-";
+  const bool text = !json_to_stdout;
+
+  // --- instrumented single-core workload: n_blocks encrypted, the same
+  // n_blocks decrypted back, through a kBoth device with the simulator
+  // profiler attached and the IP/bus counters running.
+  hdl::Simulator sim;
+  core::RijndaelIp ip(sim, core::IpMode::kBoth);
+  core::BusDriver bus(sim, ip);
+  obs::ScopedProfiler prof(sim);
+
+  std::mt19937 rng(0xae5);
+  std::vector<std::uint8_t> key(16);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng());
+  bus.reset();
+  bus.load_key(key);
+
+  std::array<std::uint8_t, 16> block{};
+  for (std::uint64_t i = 0; i < n_blocks; ++i) {
+    for (auto& b : block) b = static_cast<std::uint8_t>(rng());
+    const auto ct = bus.process_block(block, true);
+    const auto pt = bus.process_block(ct, false);
+    if (!std::equal(pt.begin(), pt.end(), block.begin()))
+      die("metrics: IP round-trip mismatch");
+  }
+
+  const core::IpCounters ipc = ip.counters();
+  const core::BusCounters bc = bus.counters();
+
+  // --- the paper's cycle budget, checked live off the counters ---------------
+  bool ok = true;
+  const auto check = [&ok](bool cond, const char* what) {
+    if (!cond) {
+      ok = false;
+      std::fprintf(stderr, "metrics: INVARIANT VIOLATED: %s\n", what);
+    }
+  };
+  check(ipc.blocks_enc == n_blocks && ipc.blocks_dec == n_blocks,
+        "block counters match the workload");
+  check(ipc.rounds_done == ipc.blocks() * core::RijndaelIp::kRounds,
+        "10 rounds per block");
+  check(ipc.bytesub_cycles == 4 * ipc.rounds_done, "4 ByteSub32 cycles per round");
+  check(ipc.mix_cycles == ipc.rounds_done, "1 SR/MC/AK cycle per round");
+  check(ipc.round_cycles() ==
+            ipc.rounds_done * core::RijndaelIp::kCyclesPerRound,
+        "5 cycles per round");
+  check(ipc.round_cycles() == ipc.blocks() * core::RijndaelIp::kCyclesPerBlock,
+        "50 cycles per block");
+  check(ipc.key_setup_cycles ==
+            bc.key_loads * core::RijndaelIp::kKeySetupCycles,
+        "40-cycle decrypt key setup per key load");
+  check(bus.last_latency() == core::RijndaelIp::kCyclesPerBlock,
+        "last block latency == 50");
+  const std::uint64_t cpr = ipc.rounds_done ? ipc.round_cycles() / ipc.rounds_done : 0;
+  const std::uint64_t cpb = ipc.blocks() ? ipc.round_cycles() / ipc.blocks() : 0;
+
+  if (text) {
+    std::printf("workload: %llu blocks encrypted + %llu decrypted (kBoth device)\n\n",
+                static_cast<unsigned long long>(n_blocks),
+                static_cast<unsigned long long>(n_blocks));
+    std::printf("ip phase cycles (Rijndael process):\n");
+    std::printf("  idle         %10llu\n",
+                static_cast<unsigned long long>(ipc.idle_cycles));
+    std::printf("  key setup    %10llu   (%llu loads x 40)\n",
+                static_cast<unsigned long long>(ipc.key_setup_cycles),
+                static_cast<unsigned long long>(bc.key_loads));
+    std::printf("  bytesub32    %10llu   (4 per round)\n",
+                static_cast<unsigned long long>(ipc.bytesub_cycles));
+    std::printf("  sr/mc/ak     %10llu   (1 per round)\n",
+                static_cast<unsigned long long>(ipc.mix_cycles));
+    std::printf("  rounds done  %10llu   -> %llu cycles/round   [paper: 5]\n",
+                static_cast<unsigned long long>(ipc.rounds_done),
+                static_cast<unsigned long long>(cpr));
+    std::printf("  blocks       %10llu   -> %llu cycles/block  [paper: 50]\n\n",
+                static_cast<unsigned long long>(ipc.blocks()),
+                static_cast<unsigned long long>(cpb));
+    std::printf("bus driver:\n");
+    std::printf("  resets %llu, key loads %llu (setup %llu cy), rekey hits %llu\n",
+                static_cast<unsigned long long>(bc.resets),
+                static_cast<unsigned long long>(bc.key_loads),
+                static_cast<unsigned long long>(bc.key_setup_cycles),
+                static_cast<unsigned long long>(bc.rekey_hits));
+    std::printf("  blocks %llu: %llu load edges + %llu compute cycles\n\n",
+                static_cast<unsigned long long>(bc.blocks),
+                static_cast<unsigned long long>(bc.load_cycles),
+                static_cast<unsigned long long>(bc.compute_cycles));
+    std::fputs(prof.report().c_str(), stdout);
+  }
+
+  // --- optional farm section: a small traced workload ------------------------
+  std::optional<farm::FarmStats> fst;
+  farm::FarmConfig fcfg;
+  if (with_farm) {
+    fcfg.workers = std::stoi(arg_or(args, "workers", "4"));
+    fcfg.tracing = true;
+    farm::Farm f(fcfg);
+    std::vector<std::future<farm::Result>> futs;
+    std::vector<farm::Key128> keys(8);
+    for (auto& k : keys)
+      for (auto& b : k) b = static_cast<std::uint8_t>(rng());
+    // Sessions arrive in bursts (32 consecutive requests each) so the
+    // affinity router has hits to find.
+    for (int i = 0; i < 256; ++i) {
+      farm::Request req;
+      req.session_id = static_cast<std::uint64_t>(i) / 32 % keys.size();
+      req.key = keys[req.session_id];
+      for (auto& b : req.iv) b = static_cast<std::uint8_t>(rng());
+      req.mode = static_cast<farm::Mode>(i % 3);
+      req.encrypt = (i & 1) != 0;
+      req.payload.resize(16 * (1 + i % 4));
+      for (auto& b : req.payload) b = static_cast<std::uint8_t>(rng());
+      futs.push_back(f.submit(std::move(req)));
+    }
+    for (auto& fu : futs) fu.get();
+    fst = f.stats();
+    if (text) {
+      std::printf("\nfarm (%d workers, tracing on, 256 requests):\n", fcfg.workers);
+      std::printf("  queue wait us: p50 %llu  p99 %llu  max %llu\n",
+                  static_cast<unsigned long long>(fst->queue_wait_us.percentile(0.50)),
+                  static_cast<unsigned long long>(fst->queue_wait_us.percentile(0.99)),
+                  static_cast<unsigned long long>(fst->queue_wait_us.max));
+      std::printf("  key hit rate: %.1f%%   trace events: %llu (%llu dropped)\n",
+                  100.0 * fst->key_hit_rate(),
+                  static_cast<unsigned long long>(fst->trace_events),
+                  static_cast<unsigned long long>(fst->trace_dropped));
+      for (std::size_t w = 0; w < fst->per_worker.size(); ++w)
+        std::printf("  worker %zu: %llu requests, %.1f%% utilized\n", w,
+                    static_cast<unsigned long long>(fst->per_worker[w].requests),
+                    100.0 * fst->per_worker[w].utilization);
+    }
+    if (!trace_path.empty()) {
+      std::ofstream tf(trace_path);
+      if (!tf) die("cannot write " + trace_path);
+      f.write_chrome_trace(tf);
+      if (text) std::printf("  chrome trace written to %s\n", trace_path.c_str());
+    }
+  } else if (!trace_path.empty()) {
+    die("--trace requires --farm yes");
+  }
+
+  // --- JSON (schema: docs/benchmarks.md) -------------------------------------
+  if (!json_path.empty()) {
+    std::ofstream jfile;
+    if (!json_to_stdout) {
+      jfile.open(json_path);
+      if (!jfile) die("cannot write " + json_path);
+    }
+    std::ostream& os = json_to_stdout ? std::cout : jfile;
+    report::JsonWriter j(os);
+    j.begin_object();
+    j.key("schema").value("aesip-metrics-v1");
+    j.key("blocks_per_direction").value(n_blocks);
+    j.key("invariants_ok").value(ok);
+
+    j.key("ip").begin_object();
+    j.key("phase_cycles").begin_object();
+    j.key("idle").value(ipc.idle_cycles);
+    j.key("key_setup").value(ipc.key_setup_cycles);
+    j.key("bytesub").value(ipc.bytesub_cycles);
+    j.key("mix").value(ipc.mix_cycles);
+    j.end_object();
+    j.key("setup_resets").value(ipc.setup_resets);
+    j.key("key_writes").value(ipc.key_writes);
+    j.key("data_writes").value(ipc.data_writes);
+    j.key("rounds_done").value(ipc.rounds_done);
+    j.key("blocks_enc").value(ipc.blocks_enc);
+    j.key("blocks_dec").value(ipc.blocks_dec);
+    j.key("cycles_per_round").value(cpr);
+    j.key("cycles_per_block").value(cpb);
+    j.key("key_setup_cycles_per_load")
+        .value(bc.key_loads ? ipc.key_setup_cycles / bc.key_loads : 0);
+    j.end_object();
+
+    j.key("bus").begin_object();
+    j.key("resets").value(bc.resets);
+    j.key("key_loads").value(bc.key_loads);
+    j.key("key_setup_cycles").value(bc.key_setup_cycles);
+    j.key("rekey_hits").value(bc.rekey_hits);
+    j.key("blocks").value(bc.blocks);
+    j.key("load_cycles").value(bc.load_cycles);
+    j.key("compute_cycles").value(bc.compute_cycles);
+    j.end_object();
+
+    j.key("simulator").begin_object();
+    prof.write_json_fields(j);
+    j.end_object();
+
+    if (fst) {
+      j.key("farm").begin_object();
+      j.key("workers").value(fst->workers);
+      j.key("requests").value(fst->requests);
+      j.key("blocks").value(fst->blocks);
+      j.key("key_hit_rate").value(fst->key_hit_rate());
+      j.key("queue_depth");
+      json_histogram_summary(j, fst->queue_depth);
+      j.key("queue_wait_us");
+      json_histogram_summary(j, fst->queue_wait_us);
+      j.key("trace_events").value(fst->trace_events);
+      j.key("trace_dropped").value(fst->trace_dropped);
+      j.key("utilization").begin_array();
+      for (const auto& w : fst->per_worker) j.value(w.utilization);
+      j.end_array();
+      j.end_object();
+    }
+    j.end_object();
+    if (text && !json_to_stdout)
+      std::printf("\nmetrics written to %s\n", json_path.c_str());
+  }
+  return ok ? 0 : 1;
 }
 
 // --- selftest ----------------------------------------------------------------------
@@ -413,8 +663,11 @@ void usage() {
       "  seu      [--runs N] [--seed S] [--tmr yes|no]\n"
       "  power    [--variant encrypt|both] [--device NAME]\n"
       "  farm     [--workers N] [--sessions N] [--blocks N] [--queue N]\n"
-      "           [--keys N] [--seed S] [--json FILE]\n"
-      "  selftest");
+      "           [--keys N] [--seed S] [--json FILE] [--trace FILE]\n"
+      "  metrics  [--blocks N] [--farm yes|no] [--workers N]\n"
+      "           [--json FILE|-] [--trace FILE]\n"
+      "  selftest\n"
+      "  help | --help | -h");
 }
 
 }  // namespace
@@ -425,6 +678,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    usage();
+    return 0;
+  }
   try {
     if (cmd == "encrypt") return cmd_crypt(true, parse_args(argc, argv, 2));
     if (cmd == "decrypt") return cmd_crypt(false, parse_args(argc, argv, 2));
@@ -433,6 +690,7 @@ int main(int argc, char** argv) {
     if (cmd == "seu") return cmd_seu(parse_args(argc, argv, 2));
     if (cmd == "power") return cmd_power(parse_args(argc, argv, 2));
     if (cmd == "farm") return cmd_farm(parse_args(argc, argv, 2));
+    if (cmd == "metrics") return cmd_metrics(parse_args(argc, argv, 2));
     if (cmd == "selftest") return cmd_selftest();
   } catch (const std::exception& e) {
     die(e.what());

@@ -1,0 +1,98 @@
+#!/bin/sh
+# Docs integrity check, run as a ctest (label `docs`).
+#
+#   1. every relative markdown link [text](target) in *.md resolves to a
+#      real file (http/https/mailto and pure-anchor links are skipped,
+#      #fragments are stripped before the existence check);
+#   2. every docs/*.md page is reachable from docs/index.md by following
+#      relative links (no orphaned pages);
+#   3. every `path`-style backtick reference in docs/*.md and README.md
+#      that looks like a repo path (src/..., tests/..., docs/..., etc.)
+#      names a file or directory that exists.
+#
+# Usage: check_docs.sh [repo_root]   (default: the parent of this script)
+set -u
+
+root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+cd "$root" || exit 2
+
+fail=0
+err() { echo "check_docs: $*" >&2; fail=1; }
+
+md_files=$(find . -path ./build -prune -o -name '*.md' -print | sed 's|^\./||' | sort)
+
+# --- 1. relative links resolve -------------------------------------------
+for f in $md_files; do
+  dir=$(dirname -- "$f")
+  # one link per line: pull every](...)  target out of the file
+  grep -o ']([^)]*)' "$f" | sed 's/^](//; s/)$//' | while IFS= read -r target; do
+    case $target in
+      http://*|https://*|mailto:*|'#'*|'') continue ;;
+    esac
+    path=${target%%#*}
+    [ -z "$path" ] && continue
+    if ! [ -e "$dir/$path" ]; then
+      echo "BROKEN $f -> $target"
+    fi
+  done > /tmp/check_docs_links.$$ || true
+  if [ -s /tmp/check_docs_links.$$ ]; then
+    while IFS= read -r line; do err "$line"; done < /tmp/check_docs_links.$$
+  fi
+  rm -f /tmp/check_docs_links.$$
+done
+
+# --- 2. docs/*.md reachable from docs/index.md ---------------------------
+reach="docs/index.md"
+frontier="docs/index.md"
+while [ -n "$frontier" ]; do
+  next=""
+  for f in $frontier; do
+    dir=$(dirname -- "$f")
+    for target in $(grep -o ']([^)]*\.md[^)]*)' "$f" 2>/dev/null \
+                    | sed 's/^](//; s/)$//; s/#.*$//'); do
+      case $target in http://*|https://*) continue ;; esac
+      # normalize dir/target (resolve the ../ the index uses for root files)
+      norm=$(printf '%s/%s' "$dir" "$target" | sed 's|/\./|/|g')
+      while echo "$norm" | grep -q '[^/][^/]*/\.\./'; do
+        norm=$(echo "$norm" | sed 's|[^/][^/]*/\.\./||')
+      done
+      [ -f "$norm" ] || continue
+      case " $reach " in *" $norm "*) ;; *) reach="$reach $norm"; next="$next $norm" ;; esac
+    done
+  done
+  frontier=$next
+done
+for f in docs/*.md; do
+  case " $reach " in
+    *" $f "*) ;;
+    *) err "ORPHAN $f not reachable from docs/index.md" ;;
+  esac
+done
+
+# --- 3. backtick repo-path references exist ------------------------------
+for f in $(echo "$md_files" | grep -E '^(docs/|README)'); do
+  grep -o '`[^` ]*`' "$f" | sed 's/^`//; s/`$//' | sort -u | while IFS= read -r ref; do
+    case $ref in
+      src/*|tests/*|docs/*|bench/*|examples/*|tools/*) ;;
+      *) continue ;;
+    esac
+    # drop trailing punctuation and member accessors; keep pure paths only
+    case $ref in
+      *'('*|*'::'*|*'<'*) continue ;;
+    esac
+    if ! [ -e "$ref" ]; then
+      echo "MISSING $f refers to nonexistent $ref"
+    fi
+  done > /tmp/check_docs_refs.$$ || true
+  if [ -s /tmp/check_docs_refs.$$ ]; then
+    while IFS= read -r line; do err "$line"; done < /tmp/check_docs_refs.$$
+  fi
+  rm -f /tmp/check_docs_refs.$$
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_docs: OK ($(echo "$md_files" | wc -l | tr -d ' ') markdown files checked)"
+exit 0

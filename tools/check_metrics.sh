@@ -1,0 +1,39 @@
+#!/bin/sh
+# Live paper-invariant check, run as a ctest: `aesip metrics` must exit 0
+# (it self-checks every invariant against its live counters) and its JSON
+# must carry the paper's numbers as exact integers.
+#
+# Usage: check_metrics.sh /path/to/aesip
+set -u
+
+aesip=${1:?usage: check_metrics.sh /path/to/aesip}
+
+out=$("$aesip" metrics --blocks 8 --farm no --json - 2>&1)
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "check_metrics: aesip metrics exited $status" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+fail=0
+for needle in \
+  '"schema": "aesip-metrics-v1"' \
+  '"invariants_ok": true' \
+  '"cycles_per_round": 5' \
+  '"cycles_per_block": 50' \
+  '"key_setup_cycles_per_load": 40'
+do
+  if ! echo "$out" | grep -qF "$needle"; then
+    echo "check_metrics: missing $needle" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "$out" >&2
+  echo "check_metrics: FAILED" >&2
+  exit 1
+fi
+echo "check_metrics: OK (5 cycles/round, 50 cycles/block, 40-cycle key setup)"
+exit 0
