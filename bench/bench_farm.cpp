@@ -23,6 +23,7 @@
 #include <future>
 #include <random>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "farm/farm.hpp"
@@ -43,12 +44,15 @@ struct Point {
 /// Deterministic mixed workload: 16 session keys with popularity skew,
 /// mostly short CBC/ECB requests, every 8th a long CTR stream that fans
 /// out. Identical traffic for every worker count (seeded PRNG).
-farm::FarmStats run_point(int workers, std::uint64_t target_blocks, bool tracing = false) {
+farm::FarmStats run_point(int workers, std::uint64_t target_blocks, bool tracing = false,
+                          aesip::engine::EngineKind engine =
+                              aesip::engine::EngineKind::kBehavioral) {
   farm::FarmConfig cfg;
   cfg.workers = workers;
   cfg.queue_capacity = 128;
   cfg.max_sessions = 64;
   cfg.tracing = tracing;
+  cfg.engine = engine;
   farm::Farm f(cfg);
 
   std::mt19937 rng(1234);
@@ -135,25 +139,65 @@ void print_and_dump_scaling() {
   constexpr std::uint64_t kTraceBlocks = 6000;
   const auto plain4 = run_point(4, kTraceBlocks, false);
   const auto traced4 = run_point(4, kTraceBlocks, true);
-  const double tracing_overhead_pct =
-      plain4.blocks_per_wall_sec() > 0
-          ? (plain4.blocks_per_wall_sec() / traced4.blocks_per_wall_sec() - 1.0) * 100.0
-          : 0.0;
+  // Clamped at zero: a negative measurement just means the overhead is below
+  // run-to-run noise, and the JSON envelope forbids negative figures.
+  const double tracing_overhead_pct = std::max(
+      0.0, plain4.blocks_per_wall_sec() > 0
+               ? (plain4.blocks_per_wall_sec() / traced4.blocks_per_wall_sec() - 1.0) * 100.0
+               : 0.0);
   std::printf("  tracing overhead (4 workers, %llu blocks): %+.2f%% wall time, "
               "%llu events recorded (%llu dropped)\n\n",
               static_cast<unsigned long long>(kTraceBlocks), tracing_overhead_pct,
               static_cast<unsigned long long>(traced4.trace_events),
               static_cast<unsigned long long>(traced4.trace_dropped));
 
+  // Engine sweep: the same workload shape through each CipherEngine kind.
+  // The sw and behavioral engines run a real workload; the netlist engine
+  // evaluates the synthesized gate network per cycle (orders of magnitude
+  // slower), so it proves end-to-end correctness on a small slice instead.
+  struct EngineRow {
+    const char* name;
+    std::uint64_t target;
+    farm::FarmStats stats;
+  };
+  std::vector<EngineRow> engine_rows;
+  std::printf("  engine sweep (4 workers):\n");
+  for (const auto [kind, target] :
+       {std::pair{aesip::engine::EngineKind::kSoftware, kTargetBlocks / 2},
+        std::pair{aesip::engine::EngineKind::kBehavioral, kTargetBlocks / 2},
+        std::pair{aesip::engine::EngineKind::kNetlist, std::uint64_t{48}}}) {
+    EngineRow row{aesip::engine::kind_name(kind), target,
+                  run_point(4, target, false, kind)};
+    std::printf("    %-10s  %8llu blocks   %10.0f blocks/s wall   %6.1f cycles/block\n",
+                row.name, static_cast<unsigned long long>(row.stats.blocks),
+                row.stats.blocks_per_wall_sec(), row.stats.cycles_per_block());
+    engine_rows.push_back(std::move(row));
+  }
+  std::printf("\n");
+
   std::ofstream jf("BENCH_farm.json");
   aesip::report::JsonWriter j(jf);
-  j.begin_object();
-  j.key("bench").value("farm");
+  aesip::report::begin_bench_envelope(j, "farm", 2);
+  j.begin_object();  // config
   j.key("clock_ns").value(kClockNs);
   j.key("target_blocks").value(kTargetBlocks);
   j.key("host_hardware_concurrency").value(std::thread::hardware_concurrency());
+  j.end_object();
   j.key("scaling_1_to_4_sim").value(scaling_sim);
   j.key("scaling_1_to_4_wall").value(scaling_wall);
+  j.key("engines").begin_array();
+  for (const auto& row : engine_rows) {
+    const auto& s = row.stats;
+    j.begin_object();
+    j.key("engine").value(row.name);
+    j.key("workers").value(4);
+    j.key("blocks").value(s.blocks);
+    j.key("blocks_per_wall_sec").value(s.blocks_per_wall_sec());
+    j.key("cycles_per_block").value(s.cycles_per_block());
+    j.key("key_hit_rate").value(s.key_hit_rate());
+    j.end_object();
+  }
+  j.end_array();
   j.key("tracing").begin_object();
   j.key("blocks").value(kTraceBlocks);
   j.key("overhead_pct").value(tracing_overhead_pct);

@@ -57,11 +57,14 @@ void print_streaming_profile() {
   std::printf("\nAt 50 cycles/block: 14 ns clock -> 182.9 Mbps, 10 ns -> 256 Mbps — the\n"
               "paper's Table 2 throughput column.\n\n");
 
-  // Machine-readable mirror of the table above, for cross-PR trend tracking.
+  // Machine-readable mirror of the table above, for cross-PR trend tracking
+  // (common aesip-bench-v1 envelope, validated by tools/check_bench.sh).
   std::ofstream jf("BENCH_stream.json");
   aesip::report::JsonWriter j(jf);
-  j.begin_object();
-  j.key("bench").value("stream");
+  aesip::report::begin_bench_envelope(j, "stream", 2);
+  j.begin_object();  // config
+  j.key("blocks_per_variant").value(32);
+  j.end_object();
   j.key("ideal_cycles_per_block").value(50);
   j.key("variants").begin_array();
   for (const auto& r : rows) {

@@ -1,0 +1,125 @@
+#include "engine/conformance.hpp"
+
+#include <cstdio>
+
+#include "aes/cipher.hpp"
+
+namespace aesip::engine {
+
+const std::array<std::uint8_t, 16> kFipsBKey = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                                                0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+const std::array<std::uint8_t, 16> kFipsBPlain = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                                                  0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+const std::array<std::uint8_t, 16> kFipsBCipher = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                                                   0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+const std::array<std::uint8_t, 16> kFipsC1Key = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                                                 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+const std::array<std::uint8_t, 16> kFipsC1Plain = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                                                   0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+const std::array<std::uint8_t, 16> kFipsC1Cipher = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                                                    0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+
+namespace {
+
+std::string hex(std::span<const std::uint8_t> bytes) {
+  std::string s;
+  char buf[3];
+  for (std::uint8_t b : bytes) {
+    std::snprintf(buf, sizeof buf, "%02x", b);
+    s += buf;
+  }
+  return s;
+}
+
+struct Checker {
+  ConformanceResult& r;
+
+  void equal_bytes(std::span<const std::uint8_t> got, std::span<const std::uint8_t> want,
+                   const std::string& what) {
+    ++r.checks;
+    if (got.size() == want.size() && std::equal(got.begin(), got.end(), want.begin())) return;
+    ++r.failures;
+    r.messages.push_back(what + ": got " + hex(got) + ", want " + hex(want));
+  }
+
+  void equal_u64(std::uint64_t got, std::uint64_t want, const std::string& what) {
+    ++r.checks;
+    if (got == want) return;
+    ++r.failures;
+    r.messages.push_back(what + ": got " + std::to_string(got) + ", want " +
+                         std::to_string(want));
+  }
+};
+
+}  // namespace
+
+ConformanceResult run_conformance(CipherEngine& e, int monte_carlo_iters) {
+  ConformanceResult res;
+  Checker ck{res};
+  const std::uint64_t cycles0 = e.cycles();
+  // An engine that models time pays the paper's cycle prices; the software
+  // engine is zero-cycle by contract.
+  const bool timed = e.kind() != EngineKind::kSoftware;
+  const std::uint64_t block_latency = timed ? core::RijndaelIp::kCyclesPerBlock : 0;
+  const std::uint64_t key_setup =
+      timed && e.mode() != core::IpMode::kEncrypt ? core::RijndaelIp::kKeySetupCycles : 0;
+
+  // --- FIPS-197 Appendix B -------------------------------------------------
+  ck.equal_u64(e.load_key(kFipsBKey), key_setup, std::string(e.name()) + " B key setup cycles");
+  auto ct = e.process_block(kFipsBPlain, /*encrypt=*/true);
+  ck.equal_bytes(ct, kFipsBCipher, std::string(e.name()) + " FIPS-197 Appendix B encrypt");
+  ck.equal_u64(e.last_latency(), block_latency, std::string(e.name()) + " B block latency");
+  if (e.mode() == core::IpMode::kBoth) {
+    auto pt = e.process_block(kFipsBCipher, /*encrypt=*/false);
+    ck.equal_bytes(pt, kFipsBPlain, std::string(e.name()) + " FIPS-197 Appendix B decrypt");
+    ck.equal_u64(e.last_latency(), block_latency, std::string(e.name()) + " B decrypt latency");
+  }
+
+  // --- FIPS-197 Appendix C.1 ----------------------------------------------
+  ck.equal_u64(e.load_key(kFipsC1Key), key_setup, std::string(e.name()) + " C.1 key setup cycles");
+  ck.equal_u64(e.rekey(kFipsC1Key), 0, std::string(e.name()) + " resident rekey cycles");
+  ct = e.process_block(kFipsC1Plain, /*encrypt=*/true);
+  ck.equal_bytes(ct, kFipsC1Cipher, std::string(e.name()) + " FIPS-197 Appendix C.1 encrypt");
+  if (e.mode() == core::IpMode::kBoth) {
+    auto pt = e.process_block(kFipsC1Cipher, /*encrypt=*/false);
+    ck.equal_bytes(pt, kFipsC1Plain, std::string(e.name()) + " FIPS-197 Appendix C.1 decrypt");
+  }
+
+  // --- Monte Carlo chain ---------------------------------------------------
+  // ct_{i} = E(ct_{i-1}) from the Appendix B plaintext, checked against the
+  // software reference at the end of the chain (any single-block divergence
+  // avalanches into the final value).
+  if (monte_carlo_iters > 0) {
+    aes::Aes128 ref(kFipsBKey);
+    std::array<std::uint8_t, 16> want = kFipsBPlain;
+    for (int i = 0; i < monte_carlo_iters; ++i) {
+      std::array<std::uint8_t, 16> next{};
+      ref.encrypt_block(want, next);
+      want = next;
+    }
+    ck.equal_u64(e.rekey(kFipsBKey), key_setup,
+                 std::string(e.name()) + " Monte Carlo rekey cycles");
+    std::array<std::uint8_t, 16> got = kFipsBPlain;
+    for (int i = 0; i < monte_carlo_iters; ++i) got = e.process_block(got, /*encrypt=*/true);
+    ck.equal_bytes(got, want, std::string(e.name()) + " Monte Carlo chain (" +
+                                  std::to_string(monte_carlo_iters) + " iterations)");
+  }
+
+  // --- paper cycle invariants ----------------------------------------------
+  const core::IpCounters c = e.counters();
+  if (timed) {
+    ck.equal_u64(c.round_cycles(), c.rounds_done * core::RijndaelIp::kCyclesPerRound,
+                 std::string(e.name()) + " 5 cycles/round invariant");
+    ck.equal_u64(c.round_cycles(), c.blocks() * core::RijndaelIp::kCyclesPerBlock,
+                 std::string(e.name()) + " 50 cycles/block invariant");
+  } else {
+    ck.equal_u64(e.cycles(), 0, std::string(e.name()) + " zero-cycle contract");
+  }
+  ck.equal_u64(c.rounds_done, c.blocks() * core::RijndaelIp::kRounds,
+               std::string(e.name()) + " rounds per block");
+
+  res.total_cycles = e.cycles() - cycles0;
+  return res;
+}
+
+}  // namespace aesip::engine

@@ -1,0 +1,42 @@
+// Cross-engine conformance vectors, shared by tests/test_engine_conformance
+// and the `aesip selftest` subcommand.
+//
+// One engine-agnostic runner: FIPS-197 Appendix B and Appendix C.1 vectors
+// (encrypt and, on decrypt-capable devices, decrypt), a Monte Carlo
+// encryption chain checked against the software reference, and the paper's
+// cycle invariants (50-cycle latency, 40-cycle key setup, 5 cycles/round)
+// on engines that model time.  Every engine kind must pass the same run —
+// that is the point of the engine layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace aesip::engine {
+
+struct ConformanceResult {
+  int checks = 0;
+  int failures = 0;
+  std::vector<std::string> messages;  ///< one line per failed check
+  std::uint64_t total_cycles = 0;     ///< engine cycles consumed by the run
+  bool ok() const noexcept { return failures == 0; }
+};
+
+/// FIPS-197 Appendix B: key/plaintext/ciphertext.
+extern const std::array<std::uint8_t, 16> kFipsBKey;
+extern const std::array<std::uint8_t, 16> kFipsBPlain;
+extern const std::array<std::uint8_t, 16> kFipsBCipher;
+/// FIPS-197 Appendix C.1: key/plaintext/ciphertext.
+extern const std::array<std::uint8_t, 16> kFipsC1Key;
+extern const std::array<std::uint8_t, 16> kFipsC1Plain;
+extern const std::array<std::uint8_t, 16> kFipsC1Cipher;
+
+/// Run the conformance vectors on `e` (expects a kBoth device).
+/// `monte_carlo_iters` chained encryptions are compared against the
+/// software reference (1000 for the full FIPS-style chain; netlist callers
+/// may pass fewer to bound gate-level runtime).
+ConformanceResult run_conformance(CipherEngine& e, int monte_carlo_iters = 1000);
+
+}  // namespace aesip::engine

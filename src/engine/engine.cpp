@@ -1,0 +1,116 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+
+#include "core/ip_synth.hpp"
+
+namespace aesip::engine {
+
+const char* kind_name(EngineKind k) noexcept {
+  switch (k) {
+    case EngineKind::kSoftware: return "sw";
+    case EngineKind::kBehavioral: return "behavioral";
+    case EngineKind::kNetlist: return "netlist";
+  }
+  return "?";
+}
+
+std::optional<EngineKind> kind_from_name(std::string_view name) noexcept {
+  if (name == "sw" || name == "software" || name == "soft") return EngineKind::kSoftware;
+  if (name == "behavioral" || name == "behav" || name == "ip") return EngineKind::kBehavioral;
+  if (name == "netlist" || name == "gate") return EngineKind::kNetlist;
+  return std::nullopt;
+}
+
+// --- SoftwareEngine ----------------------------------------------------------
+
+std::uint64_t SoftwareEngine::load_key(std::span<const std::uint8_t> key) {
+  if (key.size() != 16) throw std::invalid_argument("SoftwareEngine: key must be 16 bytes");
+  aes_.emplace(key);
+  std::copy(key.begin(), key.end(), resident_key_.begin());
+  ++counters_.key_writes;
+  return 0;
+}
+
+bool SoftwareEngine::key_resident(std::span<const std::uint8_t> key) const {
+  return aes_.has_value() && key.size() == 16 &&
+         std::equal(key.begin(), key.end(), resident_key_.begin());
+}
+
+std::array<std::uint8_t, 16> SoftwareEngine::do_process(std::span<const std::uint8_t> block,
+                                                        bool encrypt) {
+  if (!aes_) throw std::logic_error("SoftwareEngine: no key loaded");
+  std::array<std::uint8_t, 16> out{};
+  if (encrypt)
+    aes_->encrypt_block(block, out);
+  else
+    aes_->decrypt_block(block, out);
+  const bool dec = mode_ == core::IpMode::kDecrypt || (mode_ == core::IpMode::kBoth && !encrypt);
+  ++counters_.data_writes;
+  counters_.rounds_done += core::RijndaelIp::kRounds;
+  ++(dec ? counters_.blocks_dec : counters_.blocks_enc);
+  return out;
+}
+
+// --- NetlistEngine -----------------------------------------------------------
+
+std::shared_ptr<const netlist::Netlist> make_ip_netlist(core::IpMode mode) {
+  return std::make_shared<const netlist::Netlist>(core::synthesize_ip(mode, /*sbox_as_rom=*/true));
+}
+
+NetlistEngine::NetlistEngine(std::shared_ptr<const netlist::Netlist> nl, core::IpMode mode)
+    : nl_(std::move(nl)), mode_(mode), drv_(*nl_) {
+  // Mirror BehavioralEngine's construction-time reset() pulse: one setup
+  // edge plus one idle edge, so cycle counts line up from cycle 0.
+  drv_.reset();
+  ++counters_.setup_resets;
+  ++counters_.idle_cycles;
+}
+
+std::uint64_t NetlistEngine::load_key(std::span<const std::uint8_t> key) {
+  if (key.size() != 16) throw std::invalid_argument("NetlistEngine: key must be 16 bytes");
+  const bool needs_setup = mode_ != core::IpMode::kEncrypt;
+  drv_.load_key(key, needs_setup);
+  std::copy(key.begin(), key.end(), resident_key_.begin());
+  has_resident_key_ = true;
+  ++counters_.key_writes;
+  const std::uint64_t setup = needs_setup ? core::RijndaelIp::kKeySetupCycles : 0;
+  counters_.key_setup_cycles += setup;
+  return setup;
+}
+
+bool NetlistEngine::key_resident(std::span<const std::uint8_t> key) const {
+  return has_resident_key_ && key.size() == 16 &&
+         std::equal(key.begin(), key.end(), resident_key_.begin());
+}
+
+std::array<std::uint8_t, 16> NetlistEngine::do_process(std::span<const std::uint8_t> block,
+                                                       bool encrypt) {
+  const auto r = drv_.process(block, encrypt);
+  if (!r) throw std::runtime_error("NetlistEngine: data_ok never rose (gate-level hang)");
+  last_latency_ = static_cast<std::uint64_t>(r->cycles);
+  // The gate FSM walks the same phases the behavioral model counts; derive
+  // the identical attribution from the protocol events.
+  const bool dec = mode_ == core::IpMode::kDecrypt || (mode_ == core::IpMode::kBoth && !encrypt);
+  ++counters_.data_writes;
+  ++counters_.idle_cycles;  // the load edge executes in kIdle (block start)
+  counters_.bytesub_cycles +=
+      static_cast<std::uint64_t>(core::RijndaelIp::kRounds * (core::RijndaelIp::kCyclesPerRound - 1));
+  counters_.mix_cycles += core::RijndaelIp::kRounds;
+  counters_.rounds_done += core::RijndaelIp::kRounds;
+  ++(dec ? counters_.blocks_dec : counters_.blocks_enc);
+  return r->data;
+}
+
+// --- factory -----------------------------------------------------------------
+
+std::unique_ptr<CipherEngine> make_engine(EngineKind kind, core::IpMode mode) {
+  switch (kind) {
+    case EngineKind::kSoftware: return std::make_unique<SoftwareEngine>(mode);
+    case EngineKind::kBehavioral: return std::make_unique<BehavioralEngine>(mode);
+    case EngineKind::kNetlist: return std::make_unique<NetlistEngine>(mode);
+  }
+  throw std::invalid_argument("make_engine: unknown engine kind");
+}
+
+}  // namespace aesip::engine

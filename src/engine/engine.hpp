@@ -1,0 +1,263 @@
+// The unified execution-engine layer: one interface over every way this
+// repo can run the paper's cipher.
+//
+// A CipherEngine owns one cipher execution resource — a software AES, a
+// cycle-accurate behavioral IP, or a synthesized gate netlist — behind one
+// contract: load a key, submit a block, drain the result, and report where
+// the simulated cycles went in `core::IpCounters` terms.  Everything above
+// (the farm's workers, the CLI, the benches, the conformance suite) speaks
+// this interface and never names a Simulator, BusDriver or Evaluator again.
+//
+// Cycle-cost semantics (see docs/engine.md for the full contract):
+//
+//   * SoftwareEngine    — aes::Aes128, zero-cycle functional model: cycles()
+//                         and last_latency() are always 0; the work counters
+//                         (blocks, rounds) still advance.
+//   * BehavioralEngine  — Simulator + RijndaelIp + GenericBusDriver; every
+//                         Table 1 handshake is clocked, so counters() are
+//                         the IP's own FSM-phase totals and last_latency()
+//                         is the paper's 50 cycles.
+//   * NetlistEngine     — GateIpDriver over the ip_synth netlist through
+//                         netlist::Evaluator, same Table 1 protocol with the
+//                         same cycle counts; behavioral and netlist engines
+//                         agree on total cycles for any operation sequence
+//                         (the conformance suite asserts it).
+//
+// Engines are single-threaded objects: one engine per worker, never shared.
+// NetlistEngine construction is dominated by synthesis; farms amortize it
+// by synthesizing one shared immutable netlist (make_ip_netlist) that all
+// workers evaluate privately.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string_view>
+
+#include "aes/cipher.hpp"
+#include "core/bfm.hpp"
+#include "core/gate_driver.hpp"
+#include "core/rijndael_ip.hpp"
+#include "hdl/simulator.hpp"
+#include "netlist/netlist.hpp"
+
+namespace aesip::engine {
+
+enum class EngineKind { kSoftware, kBehavioral, kNetlist };
+
+/// Canonical CLI spelling: "sw", "behavioral", "netlist".
+const char* kind_name(EngineKind k) noexcept;
+
+/// Parse a CLI spelling (accepts the aliases "software", "soft", "ip",
+/// "behav", "gate"); nullopt for anything else.
+std::optional<EngineKind> kind_from_name(std::string_view name) noexcept;
+
+class CipherEngine {
+ public:
+  virtual ~CipherEngine() = default;
+
+  CipherEngine(const CipherEngine&) = delete;
+  CipherEngine& operator=(const CipherEngine&) = delete;
+
+  virtual EngineKind kind() const noexcept = 0;
+  const char* name() const noexcept { return kind_name(kind()); }
+  virtual core::IpMode mode() const noexcept = 0;
+
+  // --- key management --------------------------------------------------------
+  /// Install a 16-byte key; returns the key-setup cycles spent (40 on
+  /// decrypt-capable cycle engines, else 0).
+  virtual std::uint64_t load_key(std::span<const std::uint8_t> key) = 0;
+  /// True when `key` is installed and ready — a rekey() would cost 0 cycles.
+  virtual bool key_resident(std::span<const std::uint8_t> key) const = 0;
+  /// Fast-path key load: free when the key is already resident (the
+  /// affinity hit the farm scheduler exists to create). Returns setup
+  /// cycles spent (0 on a hit).
+  virtual std::uint64_t rekey(std::span<const std::uint8_t> key) {
+    if (key_resident(key)) return 0;
+    return load_key(key);
+  }
+
+  // --- block path ------------------------------------------------------------
+  /// Stage one 16-byte block for processing. At most one block may be in
+  /// flight; a second submit before drain_result() throws.
+  void submit_block(std::span<const std::uint8_t> block, bool encrypt = true) {
+    if (staged_) throw std::logic_error("CipherEngine: block already submitted");
+    if (block.size() != 16) throw std::invalid_argument("CipherEngine: block must be 16 bytes");
+    std::array<std::uint8_t, 16> b{};
+    for (std::size_t i = 0; i < 16; ++i) b[i] = block[i];
+    staged_ = b;
+    staged_encrypt_ = encrypt;
+  }
+  /// Run the staged block to completion and return the 16-byte result.
+  std::array<std::uint8_t, 16> drain_result() {
+    if (!staged_) throw std::logic_error("CipherEngine: no block submitted");
+    const std::array<std::uint8_t, 16> b = *staged_;
+    staged_.reset();
+    return do_process(b, staged_encrypt_);
+  }
+  /// submit_block + drain_result in one call.
+  std::array<std::uint8_t, 16> process_block(std::span<const std::uint8_t> block,
+                                             bool encrypt = true) {
+    submit_block(block, encrypt);
+    return drain_result();
+  }
+
+  // --- metrics ---------------------------------------------------------------
+  /// Simulated clock cycles consumed so far (0 for zero-cycle engines).
+  virtual std::uint64_t cycles() const noexcept = 0;
+  /// Load-edge → data_ok cycles of the last completed block (the paper's
+  /// 50-cycle latency on cycle engines; 0 on zero-cycle engines).
+  virtual std::uint64_t last_latency() const noexcept = 0;
+  /// FSM-phase cycle attribution in the IP's own terms.  Cycle engines
+  /// satisfy the paper invariants (5 cy/round, 50 cy/block, 40-cy key
+  /// setup); the software engine reports work counts with zero cycles.
+  virtual core::IpCounters counters() const = 0;
+  /// The underlying simulator when there is one to profile (behavioral
+  /// engines only); null otherwise.
+  virtual hdl::Simulator* simulator() noexcept { return nullptr; }
+
+ protected:
+  CipherEngine() = default;
+  virtual std::array<std::uint8_t, 16> do_process(std::span<const std::uint8_t> block,
+                                                  bool encrypt) = 0;
+
+ private:
+  std::optional<std::array<std::uint8_t, 16>> staged_;
+  bool staged_encrypt_ = true;
+};
+
+/// Zero-cycle functional reference: aes::Aes128 behind the engine contract.
+class SoftwareEngine final : public CipherEngine {
+ public:
+  explicit SoftwareEngine(core::IpMode mode = core::IpMode::kBoth) : mode_(mode) {}
+
+  EngineKind kind() const noexcept override { return EngineKind::kSoftware; }
+  core::IpMode mode() const noexcept override { return mode_; }
+
+  std::uint64_t load_key(std::span<const std::uint8_t> key) override;
+  bool key_resident(std::span<const std::uint8_t> key) const override;
+
+  std::uint64_t cycles() const noexcept override { return 0; }
+  std::uint64_t last_latency() const noexcept override { return 0; }
+  core::IpCounters counters() const override { return counters_; }
+
+ protected:
+  std::array<std::uint8_t, 16> do_process(std::span<const std::uint8_t> block,
+                                          bool encrypt) override;
+
+ private:
+  core::IpMode mode_;
+  std::optional<aes::Aes128> aes_;
+  std::array<std::uint8_t, 16> resident_key_{};
+  core::IpCounters counters_;
+};
+
+/// The cycle-accurate RTL model behind the engine contract: a private
+/// Simulator + RijndaelIp + GenericBusDriver per engine.
+class BehavioralEngine final : public CipherEngine {
+ public:
+  explicit BehavioralEngine(core::IpMode mode = core::IpMode::kBoth)
+      : ip_(sim_, mode), bus_(sim_, ip_) {
+    bus_.reset();
+  }
+
+  EngineKind kind() const noexcept override { return EngineKind::kBehavioral; }
+  core::IpMode mode() const noexcept override { return ip_.mode(); }
+
+  std::uint64_t load_key(std::span<const std::uint8_t> key) override {
+    return bus_.load_key(key);
+  }
+  bool key_resident(std::span<const std::uint8_t> key) const override {
+    return bus_.key_resident(key);
+  }
+  std::uint64_t rekey(std::span<const std::uint8_t> key) override { return bus_.rekey(key); }
+
+  std::uint64_t cycles() const noexcept override { return sim_.cycle(); }
+  std::uint64_t last_latency() const noexcept override { return bus_.last_latency(); }
+  core::IpCounters counters() const override { return ip_.counters(); }
+  hdl::Simulator* simulator() noexcept override { return &sim_; }
+
+  /// Bus-master-side accounting (resets, rekey hits, stream stats) —
+  /// observability beyond the engine contract.
+  const core::BusCounters& bus_counters() const noexcept { return bus_.counters(); }
+  core::BusDriver& bus() noexcept { return bus_; }
+
+ protected:
+  std::array<std::uint8_t, 16> do_process(std::span<const std::uint8_t> block,
+                                          bool encrypt) override {
+    return bus_.process_block(block, encrypt);
+  }
+
+ private:
+  hdl::Simulator sim_;
+  core::RijndaelIp ip_;
+  core::BusDriver bus_;
+};
+
+/// Synthesize the IP netlist an engine (or a farm of them) will evaluate.
+/// Immutable and thread-safe to share: each engine gets its own Evaluator
+/// state over the common gate graph.
+std::shared_ptr<const netlist::Netlist> make_ip_netlist(core::IpMode mode);
+
+/// The synthesized gate netlist behind the engine contract, driven through
+/// netlist::Evaluator with the same Table 1 handshake the behavioral bus
+/// driver performs — cycle counts match BehavioralEngine exactly.
+class NetlistEngine final : public CipherEngine {
+ public:
+  NetlistEngine(std::shared_ptr<const netlist::Netlist> nl, core::IpMode mode);
+  explicit NetlistEngine(core::IpMode mode = core::IpMode::kBoth)
+      : NetlistEngine(make_ip_netlist(mode), mode) {}
+
+  EngineKind kind() const noexcept override { return EngineKind::kNetlist; }
+  core::IpMode mode() const noexcept override { return mode_; }
+
+  std::uint64_t load_key(std::span<const std::uint8_t> key) override;
+  bool key_resident(std::span<const std::uint8_t> key) const override;
+
+  std::uint64_t cycles() const noexcept override { return drv_.cycles(); }
+  std::uint64_t last_latency() const noexcept override { return last_latency_; }
+  core::IpCounters counters() const override { return counters_; }
+
+ protected:
+  std::array<std::uint8_t, 16> do_process(std::span<const std::uint8_t> block,
+                                          bool encrypt) override;
+
+ private:
+  std::shared_ptr<const netlist::Netlist> nl_;
+  core::IpMode mode_;
+  core::GateIpDriver drv_;
+  std::uint64_t last_latency_ = 0;
+  std::array<std::uint8_t, 16> resident_key_{};
+  bool has_resident_key_ = false;
+  core::IpCounters counters_;
+};
+
+/// Build an engine of the requested kind (netlist engines synthesize a
+/// private netlist; prefer the shared-netlist NetlistEngine constructor
+/// when creating many).
+std::unique_ptr<CipherEngine> make_engine(EngineKind kind,
+                                          core::IpMode mode = core::IpMode::kBoth);
+
+/// BlockCipher128/BlockDecipher128-concept adapter: lets the aes:: modes of
+/// operation (ECB/CBC/CTR) run their traffic through any engine.
+class EngineBlockCipher {
+ public:
+  explicit EngineBlockCipher(CipherEngine& e) : e_(&e) {}
+
+  void encrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out) const {
+    const auto r = e_->process_block(in, /*encrypt=*/true);
+    for (std::size_t i = 0; i < 16; ++i) out[i] = r[i];
+  }
+  void decrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out) const {
+    const auto r = e_->process_block(in, /*encrypt=*/false);
+    for (std::size_t i = 0; i < 16; ++i) out[i] = r[i];
+  }
+
+ private:
+  CipherEngine* e_;
+};
+
+}  // namespace aesip::engine

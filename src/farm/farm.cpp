@@ -6,9 +6,7 @@
 #include <stdexcept>
 
 #include "aes/modes.hpp"
-#include "core/bfm.hpp"
-#include "core/rijndael_ip.hpp"
-#include "hdl/simulator.hpp"
+#include "engine/engine.hpp"
 #include "report/json.hpp"
 
 namespace aesip::farm {
@@ -33,22 +31,48 @@ const char* mode_name(Mode m) noexcept {
   return "?";
 }
 
-// One worker's private hardware: simulator, core, bus master, cipher view.
-// Constructed on the worker's own thread; nothing in here is ever touched
-// by another thread, which is the farm's whole locking story.
+// One worker's private hardware: a CipherEngine plus the BlockCipher128
+// view the aes:: modes need. Constructed on the worker's own thread;
+// nothing in here is ever touched by another thread, which is the farm's
+// whole locking story.
 class WorkerContext {
  public:
-  WorkerContext() : ip(sim, core::IpMode::kBoth), bus(sim, ip), cipher(bus) { bus.reset(); }
+  explicit WorkerContext(const std::function<std::unique_ptr<engine::CipherEngine>()>& make)
+      : engine(make()), cipher(*engine) {}
 
-  hdl::Simulator sim;
-  core::RijndaelIp ip;
-  core::BusDriver bus;
-  core::IpBlockCipher cipher;
+  std::unique_ptr<engine::CipherEngine> engine;
+  engine::EngineBlockCipher cipher;
 };
 
 Farm::Farm(const FarmConfig& cfg) : cfg_(cfg), sessions_(cfg.workers, cfg.max_sessions) {
   if (cfg_.workers < 1) cfg_.workers = 1;
   if (cfg_.ctr_chunk_blocks == 0) cfg_.ctr_chunk_blocks = 1;
+  if (cfg_.engine_factory) {
+    engine_factory_ = cfg_.engine_factory;
+  } else {
+    engine_name_ = engine::kind_name(cfg_.engine);
+    switch (cfg_.engine) {
+      case engine::EngineKind::kSoftware:
+        engine_factory_ = []() -> std::unique_ptr<engine::CipherEngine> {
+          return std::make_unique<engine::SoftwareEngine>(core::IpMode::kBoth);
+        };
+        break;
+      case engine::EngineKind::kBehavioral:
+        engine_factory_ = []() -> std::unique_ptr<engine::CipherEngine> {
+          return std::make_unique<engine::BehavioralEngine>(core::IpMode::kBoth);
+        };
+        break;
+      case engine::EngineKind::kNetlist: {
+        // Synthesize once; workers share the immutable gate graph and each
+        // run a private evaluator over it.
+        auto nl = engine::make_ip_netlist(core::IpMode::kBoth);
+        engine_factory_ = [nl]() -> std::unique_ptr<engine::CipherEngine> {
+          return std::make_unique<engine::NetlistEngine>(nl, core::IpMode::kBoth);
+        };
+        break;
+      }
+    }
+  }
   counters_ = std::vector<WorkerCounters>(static_cast<std::size_t>(cfg_.workers));
   queues_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i)
@@ -152,7 +176,7 @@ std::future<Result> Farm::submit_fanout(Request req) {
 }
 
 void Farm::worker_main(int index) {
-  WorkerContext ctx;
+  WorkerContext ctx(engine_factory_);
   auto& queue = *queues_[static_cast<std::size_t>(index)];
   while (auto job = queue.pop()) execute(*job, ctx, index);
 }
@@ -163,8 +187,8 @@ void Farm::execute(Job& job, WorkerContext& ctx, int index) {
   queue_wait_us_hist_.record(static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(t_start - job.t_submit).count()));
   try {
-    const std::uint64_t c0 = ctx.sim.cycle();
-    const std::uint64_t setup = ctx.bus.rekey(job.key);
+    const std::uint64_t c0 = ctx.engine->cycles();
+    const std::uint64_t setup = ctx.engine->rekey(job.key);
     const std::span<const std::uint8_t, aes::kBlock> iv(job.iv.data(), aes::kBlock);
 
     std::vector<std::uint8_t> out;
@@ -182,7 +206,7 @@ void Farm::execute(Job& job, WorkerContext& ctx, int index) {
         break;
     }
 
-    const std::uint64_t cycles = ctx.sim.cycle() - c0;
+    const std::uint64_t cycles = ctx.engine->cycles() - c0;
     const auto t_end = std::chrono::steady_clock::now();
     ctr.requests.fetch_add(1, std::memory_order_relaxed);
     ctr.blocks.fetch_add(block_count(job.payload.size()), std::memory_order_relaxed);
@@ -260,6 +284,7 @@ void Farm::record_latency(std::chrono::steady_clock::time_point t_submit) {
 FarmStats Farm::stats() const {
   FarmStats s;
   s.workers = cfg_.workers;
+  s.engine = engine_name_;
   s.queue_capacity = cfg_.queue_capacity;
   s.requests = requests_done_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
@@ -337,8 +362,8 @@ std::string FarmStats::report(double clock_ns) const {
     std::snprintf(line, sizeof line, fmt, args...);
     out += line;
   };
-  add("farm: %d workers, queue capacity %zu (high water %zu)\n", workers, queue_capacity,
-      queue_high_water);
+  add("farm: %d workers (%s engine), queue capacity %zu (high water %zu)\n", workers,
+      engine.c_str(), queue_capacity, queue_high_water);
   if (queue_depth.count)
     add("  queues:    depth p50 %llu p99 %llu max %llu; wait p50 %llu us p99 %llu us "
         "max %llu us\n",
@@ -410,6 +435,7 @@ void FarmStats::write_json(std::ostream& os, double clock_ns) const {
   report::JsonWriter j(os);
   j.begin_object();
   j.key("workers").value(workers);
+  j.key("engine").value(engine);
   j.key("requests").value(requests);
   j.key("blocks").value(blocks);
   j.key("rejected").value(rejected);

@@ -2,9 +2,10 @@
 //
 // The paper's pitch is a core cheap enough to stamp out many times on one
 // FPGA; this layer is the host-side system that pitch implies. N worker
-// threads each own a *private* hdl::Simulator + RijndaelIp + BusDriver —
-// cores are never shared across threads, so the simulation hot path takes
-// no locks at all. In front of the workers sit bounded per-worker queues
+// threads each own a *private* engine::CipherEngine (behavioral RTL by
+// default; software or gate-netlist via FarmConfig::engine) — cores are
+// never shared across threads, so the execution hot path takes no locks at
+// all. In front of the workers sit bounded per-worker queues
 // (any thread may submit: MPMC, and the bound is the backpressure), and a
 // SessionTable that routes each request to the worker whose core already
 // holds its key, exploiting the on-the-fly key schedule: re-keying costs
@@ -29,6 +30,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -36,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "farm/queue.hpp"
 #include "farm/session.hpp"
 #include "farm/stats.hpp"
@@ -57,6 +60,14 @@ struct FarmConfig {
   double clock_ns = 14.0;                ///< Tclk for simulated-domain reporting
   bool tracing = false;                  ///< record per-job events (Chrome trace)
   std::size_t trace_capacity = 8192;     ///< events kept per worker ring
+
+  /// Which CipherEngine each worker owns. Netlist farms synthesize ONE
+  /// shared immutable gate netlist in the Farm constructor; each worker
+  /// evaluates it privately.
+  engine::EngineKind engine = engine::EngineKind::kBehavioral;
+  /// Custom engine source; overrides `engine` when set. Called once per
+  /// worker, on that worker's thread.
+  std::function<std::unique_ptr<engine::CipherEngine>()> engine_factory;
 };
 
 struct Request {
@@ -153,6 +164,8 @@ class Farm {
   void record_latency(std::chrono::steady_clock::time_point t_submit);
 
   FarmConfig cfg_;
+  std::function<std::unique_ptr<engine::CipherEngine>()> engine_factory_;
+  const char* engine_name_ = "custom";  ///< for stats; kind name or "custom"
   SessionTable sessions_;
   std::vector<std::unique_ptr<BoundedQueue<Job>>> queues_;
   std::vector<WorkerCounters> counters_;

@@ -41,6 +41,7 @@ struct LatencyStats {
 
 struct FarmStats {
   int workers = 0;
+  std::string engine;  ///< CipherEngine kind the workers run ("custom" for factories)
 
   // traffic
   std::uint64_t requests = 0;   ///< client requests completed

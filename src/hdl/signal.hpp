@@ -7,8 +7,15 @@
 // evaluation-order independence a VHDL simulator provides — the property
 // the paper relies on when it says the Data_In / Rijndael / Out "processes"
 // execute independently.
+//
+// Signals optionally carry a DepRecorder hook.  While the simulator is
+// learning a static evaluation schedule (see simulator.hpp) every read()
+// and write() reports to the recorder, which builds the per-module signal
+// read/write sets the scheduler levelizes.  Outside the learning window the
+// pointer is null and the hook is a single predictable branch.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -16,6 +23,18 @@
 namespace aesip::hdl {
 
 class Simulator;
+class SignalBase;
+
+/// Observer for signal accesses during schedule learning.  note_read /
+/// note_write fire on every Signal<T>::read()/write() while attached; the
+/// simulator's recorder ignores accesses made outside a combinational
+/// evaluate() (i.e. from tick() or from testbench code).
+class DepRecorder {
+ public:
+  virtual ~DepRecorder() = default;
+  virtual void note_read(const SignalBase& s) = 0;
+  virtual void note_write(const SignalBase& s) = 0;
+};
 
 class SignalBase {
  public:
@@ -28,15 +47,34 @@ class SignalBase {
   const std::string& name() const noexcept { return name_; }
   int bits() const noexcept { return bits_; }
 
+  /// Position in the owning simulator's signal table (registration order).
+  std::size_t sim_index() const noexcept { return index_; }
+
+  /// Attach/detach the learning recorder (null detaches).  Owned by the
+  /// simulator; only meaningful during its schedule-learning window.
+  void set_recorder(DepRecorder* rec) noexcept { rec_ = rec; }
+
+  /// True when a write() has been proposed since the last commit().  A
+  /// non-virtual flag so the static scheduler can sweep for pending writes
+  /// with plain loads instead of virtual compare-commits; commit() clears
+  /// it whether or not the value changed.
+  bool dirty() const noexcept { return dirty_; }
+
   /// Move the proposed value into the committed slot; true if it changed.
   virtual bool commit() noexcept = 0;
 
   /// Committed value rendered as hex, for VCD tracing.
   virtual std::string trace_hex() const = 0;
 
+ protected:
+  DepRecorder* rec_ = nullptr;
+  bool dirty_ = false;
+
  private:
+  friend class Simulator;
   std::string name_;
   int bits_;
+  std::size_t index_ = 0;
 };
 
 namespace detail {
@@ -55,15 +93,27 @@ class Signal final : public SignalBase {
       : SignalBase(sim, std::move(name), bits), cur_(initial), next_(initial) {}
 
   /// Committed value (what every process sees this delta).
-  const T& read() const noexcept { return cur_; }
+  const T& read() const noexcept {
+    if (rec_) rec_->note_read(*this);
+    return cur_;
+  }
 
   /// Propose a value for the next delta.
-  void write(const T& v) noexcept { next_ = v; }
+  void write(const T& v) noexcept {
+    if (rec_) rec_->note_write(*this);
+    next_ = v;
+    dirty_ = true;
+  }
 
   /// Set both phases at once — initialization/reset only.
-  void force(const T& v) noexcept { cur_ = v; next_ = v; }
+  void force(const T& v) noexcept {
+    cur_ = v;
+    next_ = v;
+    dirty_ = false;
+  }
 
   bool commit() noexcept override {
+    dirty_ = false;
     if (next_ == cur_) return false;
     cur_ = next_;
     return true;

@@ -1,6 +1,8 @@
 #include "hdl/simulator.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <climits>
 #include <stdexcept>
 
 #include "hdl/profile.hpp"
@@ -32,39 +34,339 @@ std::string to_trace_hex(std::uint32_t v) { return hex_of(v, 8); }
 std::string to_trace_hex(std::uint64_t v) { return hex_of(v, 16); }
 }  // namespace detail
 
-void Simulator::settle() {
-  if (prof_) {
-    settle_profiled();
+// --- schedule learning -------------------------------------------------------
+//
+// While learning, every Signal read()/write() reports here.  Only accesses
+// made *inside a combinational evaluate()* matter for the schedule —
+// settle_delta() brackets each evaluate with the module's index; accesses
+// from tick() or testbench code see cur_ == -1 and are ignored.
+
+class Simulator::Recorder final : public DepRecorder {
+ public:
+  explicit Recorder(Simulator& sim) : sim_(sim) {}
+
+  void note_read(const SignalBase& s) override { note(sim_.read_seen_, s); }
+  void note_write(const SignalBase& s) override { note(sim_.write_seen_, s); }
+
+  int cur_ = -1;  ///< index of the module currently evaluating, or -1
+
+ private:
+  void note(std::vector<std::vector<std::uint8_t>>& seen, const SignalBase& s) {
+    if (cur_ < 0) return;
+    auto& row = seen[static_cast<std::size_t>(cur_)];
+    const std::size_t i = s.sim_index();
+    if (row.size() <= i) row.resize(sim_.signals_.size(), 0);
+    row[i] = 1;
+  }
+
+  Simulator& sim_;
+};
+
+Simulator::Simulator() = default;
+
+Simulator::~Simulator() {
+  // Do NOT stop_learning() here: that walks signals_ to clear recorder
+  // pointers, but registered signals are caller-owned and in the usual
+  // declaration order (Simulator first, model after) they are already
+  // destroyed when this runs. Dropping the recorder is enough — a signal
+  // is never legally used after its simulator is gone.
+  rec_.reset();
+}
+
+void Simulator::add_module(Module& m) {
+  modules_.push_back(&m);
+  read_seen_.emplace_back();
+  write_seen_.emplace_back();
+  if (schedule_valid_) drop_schedule(/*count_rebuild=*/false);
+}
+
+void Simulator::add_signal(SignalBase& s) {
+  s.index_ = signals_.size();
+  signals_.push_back(&s);
+  if (rec_) s.set_recorder(rec_.get());
+  if (schedule_valid_) drop_schedule(/*count_rebuild=*/false);
+}
+
+void Simulator::start_learning() {
+  rec_ = std::make_unique<Recorder>(*this);
+  learn_count_ = 0;
+  for (auto& row : read_seen_) row.assign(signals_.size(), 0);
+  for (auto& row : write_seen_) row.assign(signals_.size(), 0);
+  for (SignalBase* s : signals_) s->set_recorder(rec_.get());
+}
+
+void Simulator::stop_learning() noexcept {
+  if (!rec_) return;
+  for (SignalBase* s : signals_) s->set_recorder(nullptr);
+  rec_.reset();
+}
+
+void Simulator::drop_schedule(bool count_rebuild) {
+  schedule_valid_ = false;
+  sstats_.schedule_built = false;
+  stop_learning();
+  if (count_rebuild) {
+    ++sstats_.rebuilds;
+    if (sstats_.rebuilds >= kMaxRebuilds) sstats_.schedule_disabled = true;
+  }
+}
+
+// Levelize the modules by the learned evaluate-phase dependencies: an edge
+// A→B exists when A writes a signal B reads.  Longest-path levels over a
+// Kahn traversal; any cycle, self-loop or multiply-written signal makes the
+// model unschedulable (the delta loop remains correct for those).
+void Simulator::build_schedule() {
+  stop_learning();
+  const std::size_t nm = modules_.size();
+  const std::size_t ns = signals_.size();
+
+  std::vector<int> writer(ns, -1);
+  for (std::size_t m = 0; m < nm; ++m) {
+    const auto& w = write_seen_[m];
+    for (std::size_t s = 0; s < w.size() && s < ns; ++s) {
+      if (!w[s]) continue;
+      if (writer[s] >= 0 && writer[s] != static_cast<int>(m)) {
+        sstats_.schedule_disabled = true;  // multiple drivers: order-dependent
+        return;
+      }
+      writer[s] = static_cast<int>(m);
+    }
+  }
+
+  // adjacency + in-degrees over module indices
+  std::vector<std::vector<std::uint32_t>> succ(nm);
+  std::vector<int> indeg(nm, 0);
+  for (std::size_t m = 0; m < nm; ++m) {
+    const auto& r = read_seen_[m];
+    for (std::size_t s = 0; s < r.size() && s < ns; ++s) {
+      if (!r[s] || writer[s] < 0) continue;
+      if (writer[s] == static_cast<int>(m)) {
+        sstats_.schedule_disabled = true;  // reads its own output: feedback
+        return;
+      }
+      succ[static_cast<std::size_t>(writer[s])].push_back(static_cast<std::uint32_t>(m));
+      ++indeg[m];
+    }
+  }
+
+  std::vector<int> level(nm, 0);
+  std::vector<std::uint32_t> queue;
+  for (std::size_t m = 0; m < nm; ++m)
+    if (indeg[m] == 0) queue.push_back(static_cast<std::uint32_t>(m));
+  std::size_t head = 0;
+  int max_level = 0;
+  while (head < queue.size()) {
+    const std::uint32_t m = queue[head++];
+    for (std::uint32_t s : succ[m]) {
+      if (level[m] + 1 > level[s]) level[s] = level[m] + 1;
+      if (level[s] > max_level) max_level = level[s];
+      if (--indeg[s] == 0) queue.push_back(s);
+    }
+  }
+  if (queue.size() != nm) {
+    sstats_.schedule_disabled = true;  // combinational cycle across modules
     return;
   }
+
+  const std::size_t nlevels = static_cast<std::size_t>(max_level) + 1;
+  sched_order_.clear();
+  level_end_.assign(nlevels, 0);
+  level_writes_.assign(nlevels, {});
+  for (std::size_t L = 0; L < nlevels; ++L) {
+    for (std::size_t m = 0; m < nm; ++m) {
+      if (level[m] != static_cast<int>(L)) continue;
+      sched_order_.push_back(static_cast<std::uint32_t>(m));
+      const auto& w = write_seen_[m];
+      for (std::size_t s = 0; s < w.size() && s < ns; ++s)
+        if (w[s]) level_writes_[L].push_back(static_cast<std::uint32_t>(s));
+    }
+    level_end_[L] = static_cast<std::uint32_t>(sched_order_.size());
+  }
+
+  sig_readers_.assign(ns, {});
+  min_reader_level_.assign(ns, INT_MAX);
+  for (std::size_t m = 0; m < nm; ++m) {
+    const auto& r = read_seen_[m];
+    for (std::size_t s = 0; s < r.size() && s < ns; ++s) {
+      if (!r[s]) continue;
+      sig_readers_[s].push_back(static_cast<std::uint32_t>(m));
+      min_reader_level_[s] = std::min(min_reader_level_[s], level[m]);
+    }
+  }
+
+  module_dirty_.assign(nm, 0);
+  tick_dirty_ = true;  // first scheduled pass evaluates everything once
+  sched_nmodules_ = nm;
+  sched_nsignals_ = ns;
+  schedule_valid_ = true;
+  sstats_.schedule_built = true;
+  sstats_.levels = static_cast<int>(nlevels);
+}
+
+// One ordered pass over the levelized schedule.  Returns false when a
+// commit contradicts the learned sets (a signal changed after — or at —
+// the level of its earliest reader, or a signal outside every learned
+// write set changed), in which case the caller must re-settle with the
+// delta loop.
+bool Simulator::try_settle_scheduled(bool pre_committed) {
+  SignalBase* const* const sigs = signals_.data();
+  const std::size_t ns = sched_nsignals_;
+  const bool all = tick_dirty_;
+
+  // Pending writes from the testbench or from tick() become visible first;
+  // their readers are marked for re-evaluation.  The dirty() pre-check
+  // turns the common no-pending case into a plain load per signal, and
+  // when everything evaluates anyway (post-edge) the marking is skipped
+  // entirely — walking reader lists would be pure waste.  When step() has
+  // already committed the post-edge writes (pre_committed) nothing can be
+  // pending, so the sweep itself is skipped too.
+  bool any = false;
+  if (all) {
+    if (!pre_committed)
+      for (std::size_t i = 0; i < ns; ++i)
+        if (sigs[i]->dirty()) any = sigs[i]->commit() || any;
+  } else {
+    for (std::size_t i = 0; i < ns; ++i) {
+      if (sigs[i]->dirty() && sigs[i]->commit()) {
+        any = true;
+        for (std::uint32_t r : sig_readers_[i]) module_dirty_[r] = 1;
+      }
+    }
+  }
+
+  // Module dirty flags are always consumed within a settle, so with no
+  // register movement and no pending writes the network is still settled.
+  if (!all && !any) return true;
+  std::size_t mi = 0;
+  for (std::size_t L = 0; L < level_end_.size(); ++L) {
+    for (; mi < level_end_[L]; ++mi) {
+      const std::uint32_t m = sched_order_[mi];
+      if (all || module_dirty_[m]) {
+        modules_[m]->evaluate();
+        module_dirty_[m] = 0;
+      }
+    }
+    for (std::uint32_t si : level_writes_[L]) {
+      if (!sigs[si]->dirty() || !sigs[si]->commit()) continue;
+      if (min_reader_level_[si] <= static_cast<int>(L)) return false;  // stale read
+      if (!all)
+        for (std::uint32_t r : sig_readers_[si]) module_dirty_[r] = 1;
+    }
+  }
+
+  // Verification sweep: a change here is a write outside the learned sets.
+  for (std::size_t i = 0; i < ns; ++i)
+    if (sigs[i]->dirty() && sigs[i]->commit()) return false;
+
+  tick_dirty_ = false;
+  return true;
+}
+
+void Simulator::settle() {
+  const bool pre_committed = post_edge_committed_;
+  post_edge_committed_ = false;
+  // Profiled runs always take the delta loop (see file comment in
+  // simulator.hpp); the accounting lives inside settle_delta() itself.
+  if (prof_ || strategy_ == SettleStrategy::kDeltaOnly || sstats_.schedule_disabled) {
+    settle_delta();
+    return;
+  }
+  if (schedule_valid_ &&
+      (modules_.size() != sched_nmodules_ || signals_.size() != sched_nsignals_))
+    drop_schedule(/*count_rebuild=*/false);
+
+  if (schedule_valid_) {
+    if (try_settle_scheduled(pre_committed)) {
+      ++sstats_.scheduled_settles;
+      return;
+    }
+    // Learned sets were incomplete: re-settle correctly, then re-learn.
+    ++sstats_.fallbacks;
+    settle_delta();
+    std::fill(module_dirty_.begin(), module_dirty_.end(), 0);
+    tick_dirty_ = true;
+    drop_schedule(/*count_rebuild=*/true);
+    return;
+  }
+
+  // Learning: run the delta loop with the recorder attached, bracketing
+  // each evaluate() with the module's identity.
+  if (!rec_) start_learning();
+  Recorder& rec = *rec_;
+  ++sstats_.learn_settles;
   for (int delta = 0; delta < kMaxDeltas; ++delta) {
+    for (std::size_t m = 0; m < modules_.size(); ++m) {
+      rec.cur_ = static_cast<int>(m);
+      modules_[m]->evaluate();
+    }
+    rec.cur_ = -1;
+    bool changed = false;
+    for (SignalBase* s : signals_) changed = s->commit() || changed;
+    if (!changed) {
+      if (++learn_count_ >= kLearnSettles) build_schedule();
+      return;
+    }
+  }
+  rec.cur_ = -1;
+  throw_unsettled();
+}
+
+void Simulator::settle_delta() {
+  ++sstats_.delta_settles;
+  // Profiler accounting shares this loop rather than living in a separate
+  // instrumented copy: two out-of-line copies of the same loop measure
+  // differently through code layout alone, which poisons the overhead A/B.
+  // With no profiler attached ncount is 0 and the extra compare per changed
+  // signal is the entire cost.
+  SimProfile* const p = prof_;
+  if (p) ++p->settles;
+  SignalBase* const* const sigs = signals_.data();
+  const std::size_t nsig = signals_.size();
+  std::uint64_t* const act = p ? activity_.data() : nullptr;
+  const std::size_t ncount = p ? activity_.size() : 0;
+  int delta = 0;
+  bool settled = false;
+  for (; delta < kMaxDeltas; ++delta) {
     for (Module* m : modules_) m->evaluate();
     bool changed = false;
-    for (SignalBase* s : signals_)
-      changed = s->commit() || changed;
-    if (!changed) return;
+    // A clean signal cannot move; the dirty() pre-check skips the virtual
+    // commit() for the (common) untouched majority.
+    for (std::size_t i = 0; i < nsig; ++i) {
+      if (!sigs[i]->dirty()) continue;
+      const bool c = sigs[i]->commit();
+      changed |= c;
+      if (c && i < ncount) ++act[i];
+    }
+    if (!changed) { settled = true; ++delta; break; }
   }
-  throw std::runtime_error("hdl::Simulator: combinational network did not settle");
+  if (p) {
+    const auto done = static_cast<std::uint64_t>(delta);
+    p->deltas += done;  // per-module evals derive from this in sync_profile()
+    if (done > p->max_deltas) p->max_deltas = done;
+  }
+  if (!settled) throw_unsettled();
 }
 
-void Simulator::step() {
-  if (prof_) {
-    step_profiled();
-    return;
+// The delta budget is exhausted: identify the culprits before throwing.
+// One more module-by-module pass; a module whose evaluate() still moves
+// signals is part of the non-converging set.
+void Simulator::throw_unsettled() {
+  std::string names;
+  for (Module* m : modules_) {
+    m->evaluate();
+    bool changed = false;
+    for (SignalBase* s : signals_) changed = s->commit() || changed;
+    if (changed) {
+      if (!names.empty()) names += ", ";
+      names += m->name();
+    }
   }
-  settle();
-  for (Module* m : modules_) m->tick();
-  for (SignalBase* s : signals_) s->commit();
-  settle();
-  ++cycle_;
-  if (vcd_) vcd_->sample(cycle_);
+  if (names.empty()) names = "<unidentified>";
+  throw std::runtime_error(
+      "hdl::Simulator: combinational network did not settle after " +
+      std::to_string(kMaxDeltas) +
+      " deltas; modules still driving changes: " + names);
 }
-
-// --- profiled paths ----------------------------------------------------------------
-//
-// Exact mirrors of settle()/step() with counting folded into the existing
-// loops. Only entities bound at attach time are counted (the index bound
-// guards against modules/signals registered afterwards).
 
 namespace {
 std::uint64_t wall_now_ns() {
@@ -74,6 +376,38 @@ std::uint64_t wall_now_ns() {
           .count());
 }
 }  // namespace
+
+void Simulator::step() {
+  settle();
+  for (Module* m : modules_) m->tick();
+  tick_dirty_ = true;
+  // Post-edge commit; with a profiler attached (ncount > 0) register
+  // movement counts toward per-signal activity. Only entities bound at
+  // attach time are counted (the index bound guards against signals
+  // registered afterwards).
+  SimProfile* const p = prof_;
+  SignalBase* const* const sigs = signals_.data();
+  const std::size_t nsig = signals_.size();
+  std::uint64_t* const act = p ? activity_.data() : nullptr;
+  const std::size_t ncount = p ? activity_.size() : 0;
+  for (std::size_t i = 0; i < nsig; ++i) {
+    if (!sigs[i]->dirty()) continue;
+    const bool c = sigs[i]->commit();
+    if (c && i < ncount) ++act[i];
+  }
+  post_edge_committed_ = true;  // nothing can be pending for the settle below
+  settle();
+  ++cycle_;
+  if (vcd_) vcd_->sample(cycle_);
+  if (p) {
+    ++p->steps;  // per-module ticks derive from this in sync_profile()
+    if (p->steps % SimProfile::kWallSampleEvery == 0) {
+      const std::uint64_t now = wall_now_ns();
+      p->wall_ns += now - last_wall_ns_;
+      last_wall_ns_ = now;
+    }
+  }
+}
 
 void Simulator::attach_profiler(SimProfile* p) {
   if (!p) {
@@ -95,7 +429,13 @@ void Simulator::attach_profiler(SimProfile* p) {
   prof_ = p;
   synced_deltas_ = p->deltas;
   synced_steps_ = p->steps;
+  activity_.assign(p->signals.size() < signals_.size() ? p->signals.size()
+                                                       : signals_.size(),
+                   0);
   last_wall_ns_ = wall_now_ns();
+  // Registers may have moved since the last scheduled settle ran; make the
+  // first post-detach scheduled pass re-evaluate everything.
+  tick_dirty_ = true;
 }
 
 void Simulator::sync_profile() const noexcept {
@@ -104,6 +444,12 @@ void Simulator::sync_profile() const noexcept {
   const std::uint64_t d = p.deltas - synced_deltas_;
   const std::uint64_t t = p.steps - synced_steps_;
   if (d == 0 && t == 0) return;
+  const std::size_t na =
+      activity_.size() < p.signals.size() ? activity_.size() : p.signals.size();
+  for (std::size_t i = 0; i < na; ++i) {
+    p.signals[i].activity += activity_[i];
+    activity_[i] = 0;
+  }
   const std::size_t nm = p.modules.size() < modules_.size() ? p.modules.size() : modules_.size();
   for (std::size_t i = 0; i < nm; ++i) {
     p.modules[i].evals += d;
@@ -111,60 +457,6 @@ void Simulator::sync_profile() const noexcept {
   }
   synced_deltas_ = p.deltas;
   synced_steps_ = p.steps;
-}
-
-void Simulator::settle_profiled() {
-  SimProfile& p = *prof_;
-  ++p.settles;
-  // Hoisted table pointers: commit() is an opaque virtual call, so an
-  // indexed loop over the member vectors would reload size/data every
-  // iteration; locals keep the profiled loop as tight as the plain one.
-  SignalBase* const* const sigs = signals_.data();
-  const std::size_t nsig = signals_.size();
-  SignalProfile* const sprof = p.signals.data();
-  const std::size_t ncount = p.signals.size() < nsig ? p.signals.size() : nsig;
-  int delta = 0;
-  bool settled = false;
-  for (; delta < kMaxDeltas; ++delta) {
-    for (Module* m : modules_) m->evaluate();
-    bool changed = false;
-    for (std::size_t i = 0; i < ncount; ++i) {
-      const bool c = sigs[i]->commit();
-      sprof[i].activity += static_cast<std::uint64_t>(c);  // branchless
-      changed |= c;
-    }
-    for (std::size_t i = ncount; i < nsig; ++i) changed |= sigs[i]->commit();
-    if (!changed) { settled = true; ++delta; break; }
-  }
-  const std::uint64_t done = static_cast<std::uint64_t>(delta);
-  p.deltas += done;  // per-module evals derive from this in sync_profile()
-  if (done > p.max_deltas) p.max_deltas = done;
-  if (!settled)
-    throw std::runtime_error("hdl::Simulator: combinational network did not settle");
-}
-
-void Simulator::step_profiled() {
-  SimProfile& p = *prof_;
-  settle_profiled();
-  for (Module* m : modules_) m->tick();
-  {
-    SignalBase* const* const sigs = signals_.data();
-    const std::size_t nsig = signals_.size();
-    SignalProfile* const sprof = p.signals.data();
-    const std::size_t ncount = p.signals.size() < nsig ? p.signals.size() : nsig;
-    for (std::size_t i = 0; i < ncount; ++i)
-      sprof[i].activity += static_cast<std::uint64_t>(sigs[i]->commit());
-    for (std::size_t i = ncount; i < nsig; ++i) sigs[i]->commit();
-  }
-  settle_profiled();
-  ++cycle_;
-  if (vcd_) vcd_->sample(cycle_);
-  ++p.steps;  // per-module ticks derive from this in sync_profile()
-  if (p.steps % SimProfile::kWallSampleEvery == 0) {
-    const std::uint64_t now = wall_now_ns();
-    p.wall_ns += now - last_wall_ns_;
-    last_wall_ns_ = now;
-  }
 }
 
 }  // namespace aesip::hdl

@@ -1,16 +1,44 @@
 // The synchronous simulation kernel.
 //
 // One step() is a full clock cycle:
-//   1. settle combinational logic (delta loop: evaluate all, commit all,
-//      repeat until no signal changes),
+//   1. settle combinational logic (evaluate, commit, repeat until no signal
+//      changes),
 //   2. rising edge: tick() every module — registers sample pre-edge values,
 //   3. settle again so post-edge combinational outputs are visible.
 //
-// A delta-loop that does not converge within kMaxDeltas indicates a
-// combinational cycle in the model and raises an error instead of hanging.
+// settle() has two interchangeable execution strategies:
+//
+//   * the *delta loop* — evaluate every module, commit every signal, repeat
+//     until nothing changes.  Always correct, including for combinational
+//     feedback the model resolves over several deltas.
+//   * the *static schedule* — the kernel spends its first kLearnSettles
+//     settles recording which signals each module's evaluate() reads and
+//     writes (see DepRecorder in signal.hpp), levelizes the modules by
+//     those observed dependencies, and thereafter settles in ONE ordered
+//     pass: commit pending writes, then per level evaluate only modules
+//     whose inputs changed (after a tick() everything is considered
+//     changed) and commit only that level's learned write set.  A final
+//     verification sweep commits every signal; any late change means the
+//     learned sets were incomplete, so the pass is abandoned, the delta
+//     loop re-settles the network, and the schedule is re-learned (up to
+//     kMaxRebuilds times before scheduling is disabled for good).  Models
+//     with learned combinational cycles, multiple writers per signal or a
+//     module that reads its own output never get a schedule and stay on
+//     the delta loop.
+//
+// Profiled runs (attach_profiler) always use the delta loop so SimProfile's
+// per-delta statistics keep their meaning; the schedule serves the
+// profiler-detached hot path.  The accounting lives *inside* the one delta
+// loop behind `if (prof_)` checks — a separate instrumented copy of the
+// loop measurably distorts A/B comparisons through code-layout effects
+// alone, so both profiled and unprofiled settles execute the same code.
+// A delta loop that does not converge within kMaxDeltas indicates a
+// combinational cycle in the model and raises an error naming the modules
+// still driving changes instead of hanging.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,18 +50,42 @@ namespace aesip::hdl {
 class VcdWriter;
 struct SimProfile;
 
+/// How settle() executes.  kAuto learns and uses the static schedule where
+/// possible; kDeltaOnly forces the classic delta loop (A/B baseline,
+/// debugging).
+enum class SettleStrategy { kAuto, kDeltaOnly };
+
+/// Observability into the static scheduler, for tests and benches.
+struct SchedulerStats {
+  std::uint64_t learn_settles = 0;      ///< settles spent recording deps
+  std::uint64_t scheduled_settles = 0;  ///< settles completed by the schedule
+  std::uint64_t delta_settles = 0;      ///< settles served by the delta loop
+  std::uint64_t fallbacks = 0;          ///< scheduled passes abandoned mid-flight
+  std::uint64_t rebuilds = 0;           ///< schedule rebuilds after a fallback
+  int levels = 0;                       ///< depth of the levelized schedule
+  bool schedule_built = false;          ///< a schedule is currently active
+  bool schedule_disabled = false;       ///< model proved unschedulable
+};
+
 class Simulator {
  public:
   static constexpr int kMaxDeltas = 64;
+  /// Settles spent learning read/write sets before building the schedule.
+  /// 128 settles = 64 cycles — covers a full key setup (40 cycles) and the
+  /// better part of a block so every FSM phase contributes observations.
+  static constexpr int kLearnSettles = 128;
+  /// Schedule rebuilds tolerated before scheduling is disabled for good.
+  static constexpr int kMaxRebuilds = 4;
 
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Modules and signals register themselves; lifetime is the caller's
   /// responsibility and must cover the simulator's use.
-  void add_module(Module& m) { modules_.push_back(&m); }
-  void add_signal(SignalBase& s) { signals_.push_back(&s); }
+  void add_module(Module& m);
+  void add_signal(SignalBase& s);
 
   /// Attach a VCD trace sink (optional; may be null to detach).
   void set_vcd(VcdWriter* vcd) noexcept { vcd_ = vcd; }
@@ -43,11 +95,15 @@ class Simulator {
   /// until detach. The sink's module/signal tables are (re)bound to the
   /// current module/signal sets; signals or modules registered *after*
   /// attach are simulated normally but not counted. Prefer the RAII
-  /// obs::ScopedProfiler over calling these directly.
+  /// obs::ScopedProfiler over calling these directly.  While a profiler is
+  /// attached settle() always runs the delta loop (see file comment).
   void attach_profiler(SimProfile* p);
   void detach_profiler() noexcept {
     sync_profile();
     prof_ = nullptr;
+    // Profiled settles ran the delta loop; the scheduled path's dirty flags
+    // are stale, so the next scheduled pass must evaluate everything once.
+    tick_dirty_ = true;
   }
   SimProfile* profiler() const noexcept { return prof_; }
 
@@ -58,9 +114,15 @@ class Simulator {
   /// harmless no-op when nothing is attached.
   void sync_profile() const noexcept;
 
+  /// Choose the settle strategy.  Switching to kDeltaOnly keeps any learned
+  /// schedule around; switching back to kAuto resumes using it.
+  void set_settle_strategy(SettleStrategy s) noexcept { strategy_ = s; }
+  SettleStrategy settle_strategy() const noexcept { return strategy_; }
+  const SchedulerStats& scheduler_stats() const noexcept { return sstats_; }
+
   /// Settle the combinational network without advancing the clock —
   /// used after forcing inputs mid-cycle. Throws std::runtime_error on a
-  /// non-converging (cyclic) network.
+  /// non-converging (cyclic) network, naming the offending modules.
   void settle();
 
   /// Advance one full clock cycle.
@@ -76,8 +138,16 @@ class Simulator {
   const std::vector<SignalBase*>& signals() const noexcept { return signals_; }
 
  private:
-  void settle_profiled();
-  void step_profiled();
+  class Recorder;
+
+  void settle_delta();
+  [[noreturn]] void throw_unsettled();
+
+  void start_learning();
+  void stop_learning() noexcept;
+  void build_schedule();
+  void drop_schedule(bool count_rebuild);
+  bool try_settle_scheduled(bool pre_committed);
 
   std::vector<Module*> modules_;
   std::vector<SignalBase*> signals_;
@@ -89,6 +159,35 @@ class Simulator {
   // per-module tables. Mutable so reads through const accessors can flush.
   mutable std::uint64_t synced_deltas_ = 0;
   mutable std::uint64_t synced_steps_ = 0;
+  // Per-signal activity staging for profiled runs: a dense counter array
+  // (one cache line covers eight signals) the hot loops bump instead of the
+  // string-bearing SignalProfile records; sync_profile() drains it.
+  mutable std::vector<std::uint64_t> activity_;
+
+  // --- static schedule state -------------------------------------------------
+  SettleStrategy strategy_ = SettleStrategy::kAuto;
+  SchedulerStats sstats_;
+  std::unique_ptr<Recorder> rec_;  ///< non-null only while learning
+  int learn_count_ = 0;
+  // Learned access sets: [module][signal] presence bitmaps, grown on demand.
+  std::vector<std::vector<std::uint8_t>> read_seen_;
+  std::vector<std::vector<std::uint8_t>> write_seen_;
+  // Compiled schedule (valid iff schedule_valid_ and the module/signal
+  // tables still have the sizes captured at build time).
+  bool schedule_valid_ = false;
+  std::size_t sched_nmodules_ = 0;
+  std::size_t sched_nsignals_ = 0;
+  std::vector<std::uint32_t> sched_order_;      ///< module indices, level-major
+  std::vector<std::uint32_t> level_end_;        ///< exclusive end per level
+  std::vector<std::vector<std::uint32_t>> level_writes_;  ///< signals to commit per level
+  std::vector<std::vector<std::uint32_t>> sig_readers_;   ///< reader modules per signal
+  std::vector<int> min_reader_level_;           ///< INT_MAX when never read
+  std::vector<std::uint8_t> module_dirty_;
+  bool tick_dirty_ = true;  ///< registers changed: evaluate everything once
+  // step() commits all pending writes itself right after the clock edge; the
+  // settle it then issues can skip the redundant pending-write sweep.  Set
+  // only by step(), consumed (and cleared) by the very next settle().
+  bool post_edge_committed_ = false;
 };
 
 }  // namespace aesip::hdl

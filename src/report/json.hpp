@@ -20,7 +20,9 @@
 #include <cassert>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
+#include <string>
 #include <string_view>
 #include <type_traits>
 #include <vector>
@@ -146,5 +148,53 @@ class JsonWriter {
   bool first_in_scope_ = true;
   bool just_wrote_key_ = false;
 };
+
+/// Current version of the common BENCH_*.json envelope (see
+/// docs/benchmarks.md and tools/check_bench.sh, which validates it).
+inline constexpr std::string_view kBenchSchema = "aesip-bench-v1";
+
+/// Best-effort provenance for bench output: the short git revision of the
+/// tree the bench ran from. Tries `git rev-parse` in the working directory
+/// (benches run from the build tree, inside the repo), then the
+/// AESIP_GIT_REV environment variable, then "unknown". Never throws.
+inline std::string git_revision() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    const bool got = std::fgets(buf, sizeof buf, p) != nullptr;
+    const int status = ::pclose(p);
+    if (got && status == 0) {
+      std::string rev(buf);
+      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) rev.pop_back();
+      if (!rev.empty()) return rev;
+    }
+  }
+#endif
+  if (const char* env = std::getenv("AESIP_GIT_REV"); env && *env) return env;
+  return "unknown";
+}
+
+/// Open the common bench envelope every BENCH_*.json shares:
+///
+///   {
+///     "schema": "aesip-bench-v1",       // the envelope shape
+///     "bench": "<name>",                // which bench wrote the file
+///     "bench_schema_version": N,        // version of the payload keys
+///     "git_rev": "<short hash>",        // provenance
+///     "config": { ... }                 // <- caller writes this object next
+///     ... payload ...
+///   }
+///
+/// Leaves the root object open with the "config" key pending: the caller
+/// MUST immediately write the config object, then its payload keys, then
+/// end_object() the root.
+inline void begin_bench_envelope(JsonWriter& j, std::string_view bench, int schema_version) {
+  j.begin_object();
+  j.key("schema").value(kBenchSchema);
+  j.key("bench").value(bench);
+  j.key("bench_schema_version").value(schema_version);
+  j.key("git_rev").value(git_revision());
+  j.key("config");
+}
 
 }  // namespace aesip::report

@@ -1,0 +1,133 @@
+// Cross-engine conformance: every engine::CipherEngine kind must produce
+// the same bytes for the same operation sequence — FIPS-197 vectors, a
+// Monte Carlo encryption chain, and CBC/CTR traffic driven through the
+// generic aes:: modes via EngineBlockCipher. The behavioral RTL model and
+// the synthesized netlist must additionally agree on *time*: identical
+// total cycle counts for an identical run, because the netlist was
+// synthesized from the same FSM the behavioral model clocks.
+//
+// Labelled `engine` (ctest -L engine). The netlist engine simulates the
+// full gate network per cycle, so its workloads are kept deliberately
+// small; byte-equivalence over a few blocks plus cycle parity is the
+// contract, not throughput.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "aes/cipher.hpp"
+#include "aes/modes.hpp"
+#include "engine/conformance.hpp"
+#include "engine/engine.hpp"
+
+namespace engine = aesip::engine;
+namespace aes = aesip::aes;
+using engine::EngineKind;
+
+namespace {
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  std::iota(v.begin(), v.end(), std::uint8_t{1});
+  return v;
+}
+
+constexpr std::array<std::uint8_t, 16> kKey{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                                            0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                                            0x09, 0xcf, 0x4f, 0x3c};
+constexpr std::array<std::uint8_t, 16> kIv{0, 1, 2, 3, 4, 5, 6, 7,
+                                           8, 9, 10, 11, 12, 13, 14, 15};
+
+}  // namespace
+
+// The full conformance run (FIPS-197 Appendix B + C.1 both directions,
+// Monte Carlo chain vs. the software reference) per engine kind.
+TEST(EngineConformance, SoftwareEngineFullSuite) {
+  const auto e = engine::make_engine(EngineKind::kSoftware);
+  const auto r = engine::run_conformance(*e, /*monte_carlo_iters=*/1000);
+  EXPECT_TRUE(r.ok()) << (r.messages.empty() ? "" : r.messages.front());
+  EXPECT_GT(r.checks, 0);
+  EXPECT_EQ(r.total_cycles, 0u);  // zero-cycle functional model
+}
+
+TEST(EngineConformance, BehavioralEngineFullSuite) {
+  const auto e = engine::make_engine(EngineKind::kBehavioral);
+  const auto r = engine::run_conformance(*e, /*monte_carlo_iters=*/1000);
+  EXPECT_TRUE(r.ok()) << (r.messages.empty() ? "" : r.messages.front());
+  EXPECT_GT(r.total_cycles, 0u);
+}
+
+TEST(EngineConformance, NetlistEngineVectors) {
+  const auto e = engine::make_engine(EngineKind::kNetlist);
+  const auto r = engine::run_conformance(*e, /*monte_carlo_iters=*/4);
+  EXPECT_TRUE(r.ok()) << (r.messages.empty() ? "" : r.messages.front());
+  EXPECT_GT(r.total_cycles, 0u);
+}
+
+// The behavioral model and the synthesized netlist implement the same FSM,
+// so an identical operation sequence must cost an identical number of
+// clock cycles — not just produce the same bytes.
+TEST(EngineConformance, BehavioralNetlistCycleParity) {
+  engine::BehavioralEngine behavioral;
+  const auto netlist = engine::make_engine(EngineKind::kNetlist);
+  const auto rb = engine::run_conformance(behavioral, /*monte_carlo_iters=*/4);
+  const auto rn = engine::run_conformance(*netlist, /*monte_carlo_iters=*/4);
+  ASSERT_TRUE(rb.ok()) << (rb.messages.empty() ? "" : rb.messages.front());
+  ASSERT_TRUE(rn.ok()) << (rn.messages.empty() ? "" : rn.messages.front());
+  EXPECT_EQ(rb.checks, rn.checks);
+  EXPECT_EQ(rb.total_cycles, rn.total_cycles);
+}
+
+// CBC through the generic aes:: modes, with each engine standing in as the
+// BlockCipher128 via EngineBlockCipher, against the software reference.
+TEST(EngineConformance, CbcModeEquivalenceAcrossEngines) {
+  const auto plain = aes::pkcs7_pad(pattern_bytes(41));  // 48 bytes padded
+  const aes::Aes128 ref(kKey);
+  const auto want = aes::cbc_encrypt(ref, std::span<const std::uint8_t, 16>(kIv), plain);
+
+  for (const auto kind :
+       {EngineKind::kSoftware, EngineKind::kBehavioral, EngineKind::kNetlist}) {
+    const auto e = engine::make_engine(kind);
+    e->load_key(kKey);
+    const engine::EngineBlockCipher c(*e);
+    const auto got = aes::cbc_encrypt(c, std::span<const std::uint8_t, 16>(kIv), plain);
+    EXPECT_EQ(got, want) << "cbc_encrypt mismatch on engine " << e->name();
+    const auto back = aes::cbc_decrypt(c, std::span<const std::uint8_t, 16>(kIv), got);
+    EXPECT_EQ(back, plain) << "cbc_decrypt mismatch on engine " << e->name();
+  }
+}
+
+// CTR needs only the forward cipher; any byte length is legal.
+TEST(EngineConformance, CtrModeEquivalenceAcrossEngines) {
+  const auto plain = pattern_bytes(37);  // deliberately not block-aligned
+  const aes::Aes128 ref(kKey);
+  const auto want = aes::ctr_crypt(ref, std::span<const std::uint8_t, 16>(kIv), plain);
+
+  for (const auto kind :
+       {EngineKind::kSoftware, EngineKind::kBehavioral, EngineKind::kNetlist}) {
+    const auto e = engine::make_engine(kind);
+    e->load_key(kKey);
+    const engine::EngineBlockCipher c(*e);
+    const auto got = aes::ctr_crypt(c, std::span<const std::uint8_t, 16>(kIv), plain);
+    EXPECT_EQ(got, want) << "ctr_crypt mismatch on engine " << e->name();
+    // CTR decrypts with the same forward operation.
+    const auto back = aes::ctr_crypt(c, std::span<const std::uint8_t, 16>(kIv), got);
+    EXPECT_EQ(back, plain) << "ctr round-trip mismatch on engine " << e->name();
+  }
+}
+
+// The engine factory's name round-trip, including the CLI aliases.
+TEST(EngineConformance, KindNamesRoundTrip) {
+  for (const auto kind :
+       {EngineKind::kSoftware, EngineKind::kBehavioral, EngineKind::kNetlist}) {
+    const auto parsed = engine::kind_from_name(engine::kind_name(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(engine::kind_from_name("verilog").has_value());
+  EXPECT_EQ(engine::kind_from_name("software"), EngineKind::kSoftware);
+  EXPECT_EQ(engine::kind_from_name("ip"), EngineKind::kBehavioral);
+  EXPECT_EQ(engine::kind_from_name("gate"), EngineKind::kNetlist);
+}

@@ -366,3 +366,45 @@ TEST(Farm, EmptyPayloadCompletes) {
   EXPECT_TRUE(res.data.empty());
   EXPECT_EQ(f.stats().requests, 1u);
 }
+
+TEST(Farm, EngineKindsProduceIdenticalResults) {
+  // The same burst through a farm of each CipherEngine kind — software,
+  // behavioral RTL and the synthesized gate netlist — must be
+  // byte-identical to the reference and to each other. The netlist
+  // workers simulate the full gate network, so the workload is small;
+  // this is the concurrency face of tests/test_engine_conformance.cpp.
+  std::mt19937 rng(1234);
+  const auto key = random_key128(rng);
+  std::vector<farm::Request> reqs;
+  std::vector<std::vector<std::uint8_t>> expect;
+  for (int i = 0; i < 6; ++i) {
+    farm::Request req;
+    req.session_id = static_cast<std::uint64_t>(i % 2);
+    req.key = key;
+    req.iv = random_key128(rng);
+    req.mode = static_cast<farm::Mode>(i % 3);
+    req.encrypt = (i & 1) != 0 || req.mode == farm::Mode::kCtr;
+    req.payload = random_payload(rng, 16);
+    reqs.push_back(req);
+    expect.push_back(reference(req));
+  }
+
+  for (const auto kind :
+       {aesip::engine::EngineKind::kSoftware, aesip::engine::EngineKind::kBehavioral,
+        aesip::engine::EngineKind::kNetlist}) {
+    farm::FarmConfig cfg;
+    cfg.workers = 2;
+    cfg.engine = kind;
+    farm::Farm f(cfg);
+    std::vector<std::future<farm::Result>> futures;
+    for (auto& r : reqs) futures.push_back(f.submit(r));
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      EXPECT_EQ(futures[i].get().data, expect[i])
+          << "engine " << aesip::engine::kind_name(kind) << " request " << i;
+    }
+    const auto st = f.stats();
+    EXPECT_EQ(st.engine, aesip::engine::kind_name(kind));
+    EXPECT_EQ(st.requests, reqs.size());
+    EXPECT_EQ(st.rejected, 0u);
+  }
+}

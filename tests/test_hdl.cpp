@@ -83,6 +83,20 @@ TEST(Hdl, SettleThrowsOnCombinationalCycle) {
   EXPECT_THROW(sim.settle(), std::runtime_error);
 }
 
+TEST(Hdl, NonConvergenceErrorNamesOffendingModules) {
+  hdl::Simulator sim;
+  Oscillator osc(sim);          // still driving changes at the delta limit
+  Reg innocent(sim, "bystander");  // settled; must NOT be blamed
+  try {
+    sim.settle();
+    FAIL() << "settle() must throw on an oscillating network";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("osc"), std::string::npos) << what;
+    EXPECT_EQ(what.find("bystander"), std::string::npos) << what;
+  }
+}
+
 TEST(Hdl, RegistersSamplePreEdgeValues) {
   // Shift chain r1 -> r2: both ticks see pre-edge values, so a value takes
   // two cycles to traverse two registers.
@@ -153,6 +167,166 @@ TEST(Hdl, VcdContainsHeaderAndChanges) {
   EXPECT_NE(out.find("r.q"), std::string::npos);
   EXPECT_NE(out.find("$enddefinitions"), std::string::npos);
   EXPECT_NE(out.find("b00000011"), std::string::npos) << out;
+}
+
+// --- static-schedule settle (docs/hdl.md) ----------------------------------
+
+namespace {
+
+/// Build the same 3-stage pipeline on any simulator: r1 -> +1 -> r2 -> +1
+/// -> r3, feedback r3.q + 1 -> r1.d. Schedulable: single writer per
+/// signal, no module reads its own output.
+struct Pipeline {
+  Reg r1, r2, r3;
+  Inc i1, i2, fb;
+  explicit Pipeline(hdl::Simulator& sim)
+      : r1(sim, "r1"),
+        r2(sim, "r2"),
+        r3(sim, "r3"),
+        i1(sim, "i1", r1.q, r2.d),
+        i2(sim, "i2", r2.q, r3.d),
+        fb(sim, "fb", r3.q, r1.d) {}
+};
+
+/// Converging feedback: out = out | in. Settles (idempotent after one
+/// delta) but reads its own output, so it must never get a schedule.
+class SelfReader final : public hdl::Module {
+ public:
+  SelfReader(hdl::Simulator& sim, hdl::Signal<std::uint8_t>& in)
+      : hdl::Module("selfreader"), out(sim, "selfreader.out", 8), in_(in) {
+    sim.add_module(*this);
+  }
+  hdl::Signal<std::uint8_t> out;
+  void evaluate() override {
+    const auto v = static_cast<std::uint8_t>(out.read() | in_.read());
+    if (v != out.read()) out.write(v);
+  }
+
+ private:
+  hdl::Signal<std::uint8_t>& in_;
+};
+
+}  // namespace
+
+TEST(HdlScheduler, ScheduledRunMatchesDeltaOnlyRun) {
+  // Two identical networks, one per strategy; every architectural value
+  // must agree on every cycle, across the learn -> scheduled transition.
+  hdl::Simulator auto_sim, delta_sim;
+  delta_sim.set_settle_strategy(hdl::SettleStrategy::kDeltaOnly);
+  Pipeline a(auto_sim), d(delta_sim);
+  for (int cycle = 0; cycle < 3 * hdl::Simulator::kLearnSettles; ++cycle) {
+    auto_sim.step();
+    delta_sim.step();
+    ASSERT_EQ(a.r1.q.read(), d.r1.q.read()) << "cycle " << cycle;
+    ASSERT_EQ(a.r2.q.read(), d.r2.q.read()) << "cycle " << cycle;
+    ASSERT_EQ(a.r3.q.read(), d.r3.q.read()) << "cycle " << cycle;
+  }
+  const auto& as = auto_sim.scheduler_stats();
+  EXPECT_TRUE(as.schedule_built);
+  EXPECT_FALSE(as.schedule_disabled);
+  EXPECT_EQ(as.learn_settles, static_cast<std::uint64_t>(hdl::Simulator::kLearnSettles));
+  EXPECT_GT(as.scheduled_settles, 0u);
+  EXPECT_EQ(as.fallbacks, 0u);
+  // i1/i2/fb all read only register outputs: a single combinational level.
+  EXPECT_EQ(as.levels, 1);
+
+  const auto& ds = delta_sim.scheduler_stats();
+  EXPECT_FALSE(ds.schedule_built);
+  EXPECT_EQ(ds.scheduled_settles, 0u);
+  EXPECT_GT(ds.delta_settles, 0u);
+}
+
+TEST(HdlScheduler, ChainedCombinationalLogicLevelizes) {
+  // a -> +1 -> b -> +1 -> c is two dependent levels.
+  hdl::Simulator sim;
+  hdl::Signal<std::uint8_t> a(sim, "a", 8);
+  hdl::Signal<std::uint8_t> b(sim, "b", 8);
+  hdl::Signal<std::uint8_t> c(sim, "c", 8);
+  Inc i1(sim, "i1", a, b);
+  Inc i2(sim, "i2", b, c);
+  for (int i = 0; i <= hdl::Simulator::kLearnSettles; ++i) {
+    a.write(static_cast<std::uint8_t>(i));
+    sim.settle();
+    ASSERT_EQ(c.read(), static_cast<std::uint8_t>(i + 2));
+  }
+  ASSERT_TRUE(sim.scheduler_stats().schedule_built);
+  EXPECT_EQ(sim.scheduler_stats().levels, 2);
+  // Keep driving through the scheduled path: results must not change.
+  for (int i = 0; i < 20; ++i) {
+    a.write(static_cast<std::uint8_t>(100 + i));
+    sim.settle();
+    ASSERT_EQ(c.read(), static_cast<std::uint8_t>(102 + i));
+  }
+  EXPECT_GT(sim.scheduler_stats().scheduled_settles, 0u);
+}
+
+TEST(HdlScheduler, SelfReadingModuleStaysOnDeltaLoop) {
+  hdl::Simulator sim;
+  hdl::Signal<std::uint8_t> in(sim, "in", 8);
+  SelfReader sr(sim, in);
+  for (int i = 0; i < 2 * hdl::Simulator::kLearnSettles; ++i) {
+    in.write(static_cast<std::uint8_t>(1u << (i % 8)));
+    sim.settle();
+  }
+  EXPECT_EQ(sr.out.read(), 0xff);
+  EXPECT_FALSE(sim.scheduler_stats().schedule_built);
+  EXPECT_TRUE(sim.scheduler_stats().schedule_disabled);
+  // Disabled scheduling is still correct scheduling: keep settling.
+  in.write(0);
+  sim.settle();
+  EXPECT_EQ(sr.out.read(), 0xff);
+}
+
+TEST(HdlScheduler, StrategySwitchKeepsLearnedSchedule) {
+  hdl::Simulator sim;
+  Pipeline p(sim);
+  sim.run(hdl::Simulator::kLearnSettles);  // 2 settles per step: learned
+  ASSERT_TRUE(sim.scheduler_stats().schedule_built);
+  const auto scheduled_before = sim.scheduler_stats().scheduled_settles;
+
+  sim.set_settle_strategy(hdl::SettleStrategy::kDeltaOnly);
+  sim.run(10);
+  EXPECT_EQ(sim.scheduler_stats().scheduled_settles, scheduled_before)
+      << "kDeltaOnly must not use the schedule";
+  EXPECT_TRUE(sim.scheduler_stats().schedule_built) << "but must keep it";
+
+  sim.set_settle_strategy(hdl::SettleStrategy::kAuto);
+  sim.run(10);
+  EXPECT_GT(sim.scheduler_stats().scheduled_settles, scheduled_before)
+      << "kAuto resumes the learned schedule without re-learning";
+}
+
+TEST(HdlScheduler, LateRegistrationDropsScheduleSafely) {
+  // Adding a module after the schedule is built invalidates it; the kernel
+  // must fall back to correctness, not evaluate a stale order.
+  auto sim = std::make_unique<hdl::Simulator>();
+  Pipeline p(*sim);
+  sim->run(hdl::Simulator::kLearnSettles);
+  ASSERT_TRUE(sim->scheduler_stats().schedule_built);
+  hdl::Signal<std::uint8_t> tap(*sim, "tap", 8);
+  Inc late(*sim, "late", p.r3.q, tap);
+  sim->step();
+  EXPECT_EQ(tap.read(), static_cast<std::uint8_t>(p.r3.q.read() + 1));
+}
+
+TEST(HdlScheduler, VcdOutputIdenticalUnderBothStrategies) {
+  // The schedule commits in learned order; committed *values* per cycle
+  // must be indistinguishable, so VCD dumps byte-compare equal.
+  std::ostringstream auto_os, delta_os;
+  {
+    hdl::Simulator sim;
+    Pipeline p(sim);
+    hdl::VcdWriter vcd(sim, auto_os, "tb");
+    sim.run(2 * hdl::Simulator::kLearnSettles);
+  }
+  {
+    hdl::Simulator sim;
+    sim.set_settle_strategy(hdl::SettleStrategy::kDeltaOnly);
+    Pipeline p(sim);
+    hdl::VcdWriter vcd(sim, delta_os, "tb");
+    sim.run(2 * hdl::Simulator::kLearnSettles);
+  }
+  EXPECT_EQ(auto_os.str(), delta_os.str());
 }
 
 TEST(Hdl, VcdOmitsUnchangedSignals) {

@@ -1,0 +1,68 @@
+#!/bin/sh
+# Validate the common aesip-bench-v1 envelope on every BENCH_*.json in the
+# repo (see report::begin_bench_envelope and docs/benchmarks.md): each file
+# must name the envelope schema, the bench that wrote it, an integer payload
+# schema version, a git_rev string, and a config object — and must not
+# contain negative counters (every figure the benches emit is a count,
+# a rate or a ratio; a minus sign means a counter underflowed).
+#
+# Usage: check_bench.sh /path/to/repo
+set -u
+
+repo=${1:?usage: check_bench.sh /path/to/repo}
+
+found=0
+fail=0
+for f in "$repo"/BENCH_*.json; do
+  [ -e "$f" ] || continue
+  found=$((found + 1))
+  name=$(basename "$f")
+
+  for needle in \
+    '"schema": "aesip-bench-v1"' \
+    '"bench": "' \
+    '"bench_schema_version": ' \
+    '"git_rev": "' \
+    '"config": {'
+  do
+    if ! grep -qF "$needle" "$f"; then
+      echo "check_bench: $name: missing $needle" >&2
+      fail=1
+    fi
+  done
+
+  # The bench name inside the file must match BENCH_<name>.json.
+  stem=${name#BENCH_}
+  stem=${stem%.json}
+  if ! grep -qF "\"bench\": \"$stem\"" "$f"; then
+    echo "check_bench: $name: \"bench\" key does not say \"$stem\"" >&2
+    fail=1
+  fi
+
+  # The payload schema version must be a positive integer.
+  ver=$(sed -n 's/.*"bench_schema_version": \([0-9][0-9]*\).*/\1/p' "$f" | head -1)
+  if [ -z "$ver" ] || [ "$ver" -lt 1 ]; then
+    echo "check_bench: $name: bench_schema_version is not a positive integer" >&2
+    fail=1
+  fi
+
+  # No negative numeric values anywhere (": -" catches them all).
+  if grep -q '": -' "$f"; then
+    echo "check_bench: $name: negative counter value:" >&2
+    grep '": -' "$f" >&2
+    fail=1
+  fi
+done
+
+# Bench outputs are run artifacts (gitignored): a tree that has not run the
+# benches yet has nothing to validate.
+if [ "$found" -eq 0 ]; then
+  echo "check_bench: no BENCH_*.json files in $repo (run the benches to generate them)"
+  exit 0
+fi
+if [ "$fail" -ne 0 ]; then
+  echo "check_bench: FAILED" >&2
+  exit 1
+fi
+echo "check_bench: OK ($found BENCH_*.json files carry the aesip-bench-v1 envelope)"
+exit 0
