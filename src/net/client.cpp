@@ -1,0 +1,246 @@
+#include "net/client.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace aesip::net {
+
+namespace {
+
+std::unique_ptr<Conn> connect_with_backoff(Transport& transport, const std::string& address,
+                                           const ClientConfig& cfg) {
+  auto backoff = cfg.backoff_initial;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return transport.connect(address);
+    } catch (const std::exception&) {
+      if (attempt >= cfg.connect_attempts) throw;
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, cfg.backoff_max);
+  }
+}
+
+}  // namespace
+
+Client::Client(Transport& transport, const std::string& address, std::uint64_t session_id,
+               ClientConfig cfg)
+    : cfg_(cfg), conn_(connect_with_backoff(transport, address, cfg)),
+      session_id_(session_id) {
+  send(Op::kHello, 0, {});
+  const auto p = wait_control(Op::kHelloOk, 0);
+  if (p.size() < 8) throw std::runtime_error("net: short kHelloOk payload");
+  max_payload_ = get_u32(p, 0);
+  window_ = std::max<std::uint32_t>(1, get_u32(p, 4));
+}
+
+Client::~Client() {
+  if (conn_) conn_->close();
+}
+
+void Client::set_key(const farm::Key128& key) {
+  const std::uint32_t seq = next_seq_++;
+  send(Op::kSetKey, seq, std::vector<std::uint8_t>(key.begin(), key.end()));
+  wait_control(Op::kKeyOk, seq);
+}
+
+void Client::rekey(const farm::Key128& key) {
+  const std::uint32_t seq = next_seq_++;
+  send(Op::kRekey, seq, std::vector<std::uint8_t>(key.begin(), key.end()));
+  wait_control(Op::kKeyOk, seq);
+}
+
+std::uint32_t Client::submit_enc(bool cbc, const farm::Key128& iv,
+                                 std::vector<std::uint8_t> data) {
+  std::vector<std::uint8_t> p;
+  p.reserve(17 + data.size());
+  p.push_back(cbc ? 1 : 0);
+  p.insert(p.end(), iv.begin(), iv.end());
+  p.insert(p.end(), data.begin(), data.end());
+  return submit_data(Op::kEncBlocks, std::move(p));
+}
+
+std::uint32_t Client::submit_dec(bool cbc, const farm::Key128& iv,
+                                 std::vector<std::uint8_t> data) {
+  std::vector<std::uint8_t> p;
+  p.reserve(17 + data.size());
+  p.push_back(cbc ? 1 : 0);
+  p.insert(p.end(), iv.begin(), iv.end());
+  p.insert(p.end(), data.begin(), data.end());
+  return submit_data(Op::kDecBlocks, std::move(p));
+}
+
+std::uint32_t Client::submit_ctr(const farm::Key128& counter, std::vector<std::uint8_t> data) {
+  std::vector<std::uint8_t> p;
+  p.reserve(16 + data.size());
+  p.insert(p.end(), counter.begin(), counter.end());
+  p.insert(p.end(), data.begin(), data.end());
+  return submit_data(Op::kCtrStream, std::move(p));
+}
+
+std::uint32_t Client::submit_data(Op op, std::vector<std::uint8_t> payload) {
+  if (max_payload_ && payload.size() > max_payload_)
+    throw std::invalid_argument("net: payload exceeds server max_payload");
+  // Honor the window: pump until a response frees a slot.
+  pump([&] { return in_flight_ < window_; });
+  const std::uint32_t seq = next_seq_++;
+  send(op, seq, std::move(payload));
+  ++in_flight_;
+  data_seqs_.insert(seq);
+  flush_once();  // the frame just queued should head for the server now
+  return seq;
+}
+
+void Client::flush_once() {
+  while (out_off_ < outbuf_.size()) {
+    const IoResult r = conn_->write_some(
+        std::span<const std::uint8_t>(outbuf_.data() + out_off_, outbuf_.size() - out_off_));
+    if (r.status == IoStatus::kOk) {
+      out_off_ += r.n;
+    } else if (r.status == IoStatus::kWouldBlock) {
+      return;  // transport backpressure; the next pump retries
+    } else {
+      throw std::runtime_error("net: connection lost while writing");
+    }
+  }
+  outbuf_.clear();
+  out_off_ = 0;
+}
+
+std::vector<std::uint8_t> Client::wait(std::uint32_t seq) {
+  pump([&] { return completed_.count(seq) != 0; });
+  Frame f = std::move(completed_.at(seq));
+  completed_.erase(seq);
+  if (f.op == Op::kError) {
+    ErrorCode code;
+    std::string msg;
+    decode_error_payload(f.payload, code, msg);
+    throw WireError(code, msg);
+  }
+  if (f.op != Op::kResult) throw std::runtime_error("net: unexpected response to data frame");
+  return std::move(f.payload);
+}
+
+void Client::drain() {
+  const std::uint32_t seq = next_seq_++;
+  send(Op::kDrain, seq, {});
+  wait_control(Op::kDrainOk, seq);
+}
+
+std::string Client::stats_json() {
+  const std::uint32_t seq = next_seq_++;
+  send(Op::kStats, seq, {});
+  const auto p = wait_control(Op::kStatsOk, seq);
+  return std::string(p.begin(), p.end());
+}
+
+void Client::bye() {
+  const std::uint32_t seq = next_seq_++;
+  send(Op::kBye, seq, {});
+  wait_control(Op::kByeOk, seq);
+  conn_->close();
+}
+
+void Client::send(Op op, std::uint32_t seq, std::vector<std::uint8_t> payload) {
+  Frame f;
+  f.op = op;
+  f.session_id = session_id_;
+  f.seq = seq;
+  f.payload = std::move(payload);
+  const auto bytes = encode_frame(f);
+  outbuf_.insert(outbuf_.end(), bytes.begin(), bytes.end());
+}
+
+void Client::on_frame(Frame&& f) {
+  // Responses index by seq; an unmatched seq is a server bug we surface
+  // at the next wait rather than dropping silently. Only responses to
+  // data frames occupy window slots.
+  if (data_seqs_.erase(f.seq) && in_flight_ > 0) --in_flight_;
+  completed_[f.seq] = std::move(f);
+}
+
+template <typename Stop>
+void Client::pump(Stop&& stop) {
+  const auto deadline = std::chrono::steady_clock::now() + cfg_.io_timeout;
+  std::uint8_t buf[4096];
+  // The stop condition is checked only after a full write/read/decode
+  // pass: even a pump that is already satisfied (e.g. a pipelined submit
+  // under a roomy window) must push queued frames toward the server.
+  for (;;) {
+    bool progress = false;
+    // Writes first: the request being waited on may still be queued.
+    while (out_off_ < outbuf_.size()) {
+      const IoResult r = conn_->write_some(std::span<const std::uint8_t>(
+          outbuf_.data() + out_off_, outbuf_.size() - out_off_));
+      if (r.status == IoStatus::kOk) {
+        out_off_ += r.n;
+        progress = true;
+      } else if (r.status == IoStatus::kWouldBlock) {
+        break;
+      } else {
+        throw std::runtime_error("net: connection lost while writing");
+      }
+    }
+    if (out_off_ >= outbuf_.size() && out_off_ > 0) {
+      outbuf_.clear();
+      out_off_ = 0;
+    }
+
+    bool eof = false;
+    for (;;) {
+      const IoResult r = conn_->read_some(buf);
+      if (r.status == IoStatus::kOk) {
+        decoder_.feed(std::span<const std::uint8_t>(buf, r.n));
+        progress = true;
+      } else if (r.status == IoStatus::kWouldBlock) {
+        break;
+      } else if (r.status == IoStatus::kEof) {
+        eof = true;  // decode what already arrived (a kError may explain this)
+        break;
+      } else {
+        throw std::runtime_error("net: connection lost while reading");
+      }
+    }
+
+    Frame f;
+    for (;;) {
+      const auto st = decoder_.next(f);
+      if (st == FrameDecoder::Status::kNeedMore) break;
+      if (st == FrameDecoder::Status::kBad)
+        throw std::runtime_error(std::string("net: malformed server frame: ") +
+                                 error_code_name(decoder_.error()));
+      on_frame(std::move(f));
+      progress = true;
+    }
+
+    if (stop()) return;
+    if (eof) throw std::runtime_error("net: server closed the connection");
+    if (!progress) {
+      if (std::chrono::steady_clock::now() >= deadline)
+        throw std::runtime_error("net: timed out waiting for server");
+      const bool want_write = out_off_ < outbuf_.size();
+      if (want_write)
+        conn_->wait_writable(std::chrono::milliseconds(10));
+      else
+        conn_->wait_readable(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+std::vector<std::uint8_t> Client::wait_control(Op ack, std::uint32_t seq) {
+  pump([&] { return completed_.count(seq) != 0; });
+  Frame f = std::move(completed_.at(seq));
+  completed_.erase(seq);
+  if (f.op == Op::kError) {
+    ErrorCode code;
+    std::string msg;
+    decode_error_payload(f.payload, code, msg);
+    throw WireError(code, msg);
+  }
+  if (f.op != ack)
+    throw std::runtime_error(std::string("net: expected ") + op_name(ack) + ", got " +
+                             op_name(f.op));
+  return f.payload;
+}
+
+}  // namespace aesip::net

@@ -1,0 +1,506 @@
+#include "net/server.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <future>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "aes/modes.hpp"
+
+namespace aesip::net {
+
+namespace {
+
+/// Tracer name table: indices are the categories recorded per frame.
+constexpr const char* kTraceNames[] = {"enc", "dec", "ctr", "control"};
+
+constexpr std::uint16_t trace_name_of(Op op) {
+  switch (op) {
+    case Op::kEncBlocks: return 0;
+    case Op::kDecBlocks: return 1;
+    case Op::kCtrStream: return 2;
+    default: return 3;
+  }
+}
+
+std::uint64_t us_since(std::chrono::steady_clock::time_point from) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - from)
+                                        .count());
+}
+
+}  // namespace
+
+/// Everything the loop knows about one connection. Owned exclusively by
+/// the event-loop thread.
+struct Server::Connection {
+  std::unique_ptr<Conn> conn;
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> outbuf;  ///< encoded frames awaiting write
+  std::size_t out_off = 0;           ///< bytes of outbuf already written
+
+  bool got_hello = false;
+  std::uint64_t session_id = 0;
+  std::optional<farm::Key128> key;
+
+  struct InFlight {
+    std::uint32_t seq = 0;
+    std::uint16_t flags = 0;
+    std::future<farm::Result> future;
+    std::chrono::steady_clock::time_point t_received;
+    std::uint64_t blocks = 0;
+    std::uint16_t trace_name = 3;
+  };
+  std::deque<InFlight> in_flight;
+  std::deque<Frame> deferred;  ///< parsed data frames the farm refused (full queues)
+
+  bool drain_pending = false;  ///< kDrain received, kDrainOk not yet sent
+  std::uint32_t drain_seq = 0;
+  std::uint16_t drain_flags = 0;
+
+  bool closing = false;  ///< stop reading; close once quiesced + flushed
+  bool eof = false;      ///< peer hung up
+  bool dead = false;     ///< transport error: drop without flushing
+  std::chrono::steady_clock::time_point last_activity;
+
+  explicit Connection(std::unique_ptr<Conn> c, std::size_t max_payload)
+      : conn(std::move(c)), decoder(max_payload),
+        last_activity(std::chrono::steady_clock::now()) {}
+
+  bool flushed() const noexcept { return out_off >= outbuf.size(); }
+  bool quiesced() const noexcept { return in_flight.empty() && deferred.empty(); }
+};
+
+Server::Server(Transport& transport, const std::string& address, ServerConfig cfg)
+    : cfg_(std::move(cfg)), farm_(cfg_.farm), listener_(transport.listen(address)),
+      address_(listener_->address()), start_(std::chrono::steady_clock::now()) {
+  if (cfg_.window == 0) cfg_.window = 1;
+  if (cfg_.tracing) tracer_ = std::make_unique<obs::Tracer>(1, cfg_.trace_capacity);
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Server::run() {
+  if (running_.exchange(true)) return;
+  loop();
+}
+
+void Server::stop() {
+  request_drain();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+bool Server::accept_new() {
+  bool any = false;
+  while (auto c = listener_->accept()) {
+    conns_.push_back(std::make_unique<Connection>(std::move(c), cfg_.max_payload));
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
+    any = true;
+  }
+  return any;
+}
+
+bool Server::service_reads(Connection& c) {
+  // Flow control: while frames are deferred (farm backpressure), the
+  // connection is not read — bytes pile up in the transport and
+  // eventually stall the client's writes. The per-session window is
+  // enforced in handle_data_frame instead of by throttling reads: a
+  // compliant client never overruns it (it counts its own unanswered
+  // frames, and the server's count is never higher), so decoding ahead
+  // is safe and an overrun identifies a protocol violator to cut off.
+  if (c.closing || c.eof || c.dead || !c.deferred.empty()) return false;
+
+  bool any = false;
+  std::uint8_t buf[4096];
+  for (int round = 0; round < 64; ++round) {  // bounded: no conn starves the loop
+    const IoResult r = c.conn->read_some(buf);
+    if (r.status == IoStatus::kOk) {
+      any = true;
+      c.last_activity = std::chrono::steady_clock::now();
+      counters_.bytes_in.fetch_add(r.n, std::memory_order_relaxed);
+      c.decoder.feed(std::span<const std::uint8_t>(buf, r.n));
+    } else if (r.status == IoStatus::kEof) {
+      c.eof = true;
+      break;
+    } else if (r.status == IoStatus::kError) {
+      c.dead = true;
+      return any;
+    } else {
+      break;  // kWouldBlock
+    }
+  }
+
+  Frame f;
+  for (;;) {
+    const auto st = c.decoder.next(f);
+    if (st == FrameDecoder::Status::kNeedMore) break;
+    if (st == FrameDecoder::Status::kBad) {
+      // Framing is lost: report why, then never read this stream again.
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      send_error(c, 0, c.decoder.error(),
+                 std::string("unrecoverable framing error: ") +
+                     error_code_name(c.decoder.error()),
+                 /*fatal=*/true);
+      break;
+    }
+    any = true;
+    if (!handle_frame(c, std::move(f)) || c.closing) break;
+    if (!c.deferred.empty()) break;  // farm backpressure: stop decoding ahead
+  }
+  return any;
+}
+
+bool Server::handle_frame(Connection& c, Frame&& f) {
+  counters_.frames_received.fetch_add(1, std::memory_order_relaxed);
+  c.last_activity = std::chrono::steady_clock::now();
+
+  if (!is_request_op(f.op)) {
+    send_error(c, f.seq, ErrorCode::kUnknownOpcode,
+               "unknown or non-request opcode", /*fatal=*/true);
+    return false;
+  }
+  if (!c.got_hello && f.op != Op::kHello) {
+    send_error(c, f.seq, ErrorCode::kNotHello, "first frame must be HELLO", /*fatal=*/true);
+    return false;
+  }
+  if (draining_.load(std::memory_order_acquire) &&
+      (f.op == Op::kEncBlocks || f.op == Op::kDecBlocks || f.op == Op::kCtrStream)) {
+    send_error(c, f.seq, ErrorCode::kDraining, "server is draining", /*fatal=*/false);
+    return true;
+  }
+
+  switch (f.op) {
+    case Op::kHello: {
+      if (!c.got_hello) counters_.sessions_active.fetch_add(1, std::memory_order_relaxed);
+      c.got_hello = true;
+      c.session_id = f.session_id;
+      std::vector<std::uint8_t> p;
+      put_u32(p, static_cast<std::uint32_t>(cfg_.max_payload));
+      put_u32(p, static_cast<std::uint32_t>(cfg_.window));
+      send_frame(c, Op::kHelloOk, f.seq, f.flags, std::move(p));
+      return true;
+    }
+    case Op::kSetKey:
+    case Op::kRekey: {
+      if (f.payload.size() != 16) {
+        send_error(c, f.seq, ErrorCode::kBadPayload, "key must be 16 bytes", /*fatal=*/false);
+        return true;
+      }
+      farm::Key128 key{};
+      std::copy(f.payload.begin(), f.payload.end(), key.begin());
+      c.key = key;
+      send_frame(c, Op::kKeyOk, f.seq, f.flags, {});
+      return true;
+    }
+    case Op::kEncBlocks:
+    case Op::kDecBlocks:
+    case Op::kCtrStream:
+      handle_data_frame(c, std::move(f));
+      return true;
+    case Op::kStats: {
+      std::ostringstream os;
+      farm_.stats().write_json(os, cfg_.farm.clock_ns);
+      const std::string s = os.str();
+      send_frame(c, Op::kStatsOk, f.seq, f.flags,
+                 std::vector<std::uint8_t>(s.begin(), s.end()));
+      return true;
+    }
+    case Op::kDrain:
+      if (c.quiesced()) {
+        counters_.drains.fetch_add(1, std::memory_order_relaxed);
+        send_frame(c, Op::kDrainOk, f.seq, f.flags, {});
+      } else {
+        c.drain_pending = true;
+        c.drain_seq = f.seq;
+        c.drain_flags = f.flags;
+      }
+      return true;
+    case Op::kBye:
+      send_frame(c, Op::kByeOk, f.seq, f.flags, {});
+      c.closing = true;
+      return false;
+    default:
+      send_error(c, f.seq, ErrorCode::kUnknownOpcode, "unhandled opcode", /*fatal=*/true);
+      return false;
+  }
+}
+
+void Server::handle_data_frame(Connection& c, Frame&& f) {
+  if (!c.key) {
+    send_error(c, f.seq, ErrorCode::kNoKey, "SET_KEY before data", /*fatal=*/false);
+    return;
+  }
+  // Sub-layout checks: [mode u8][iv 16][blocks...] / [counter 16][bytes...].
+  const bool is_ctr = f.op == Op::kCtrStream;
+  const std::size_t head = is_ctr ? 16 : 17;
+  if (f.payload.size() <= head) {
+    send_error(c, f.seq, ErrorCode::kBadPayload, "payload too short", /*fatal=*/false);
+    return;
+  }
+  if (!is_ctr) {
+    if (f.payload[0] > 1) {
+      send_error(c, f.seq, ErrorCode::kBadPayload, "mode must be 0 (ECB) or 1 (CBC)",
+                 /*fatal=*/false);
+      return;
+    }
+    if ((f.payload.size() - head) % aes::kBlock != 0) {
+      send_error(c, f.seq, ErrorCode::kBadPayload, "data must be whole 16-byte blocks",
+                 /*fatal=*/false);
+      return;
+    }
+  }
+  if (c.in_flight.size() + c.deferred.size() >= cfg_.window) {
+    // The client broke the kHelloOk contract; cutting the connection is
+    // what bounds server-side state per session.
+    counters_.window_violations.fetch_add(1, std::memory_order_relaxed);
+    send_error(c, f.seq, ErrorCode::kWindowExceeded, "flow-control window exceeded",
+               /*fatal=*/true);
+    return;
+  }
+  counters_.data_frames.fetch_add(1, std::memory_order_relaxed);
+  session_in_flight_.record(c.in_flight.size() + 1);
+  if (!submit_request(c, f)) c.deferred.push_back(std::move(f));
+}
+
+/// Build the farm request for a validated data frame and submit it.
+/// Returns false when the farm's queue refused it (caller defers).
+bool Server::submit_request(Connection& c, Frame& f) {
+  const bool is_ctr = f.op == Op::kCtrStream;
+  const std::size_t head = is_ctr ? 16 : 17;
+
+  farm::Request req;
+  req.session_id = c.session_id;
+  req.key = *c.key;
+  req.encrypt = f.op != Op::kDecBlocks;
+  if (is_ctr) {
+    req.mode = farm::Mode::kCtr;
+    std::copy(f.payload.begin(), f.payload.begin() + 16, req.iv.begin());
+  } else {
+    req.mode = f.payload[0] == 0 ? farm::Mode::kEcb : farm::Mode::kCbc;
+    std::copy(f.payload.begin() + 1, f.payload.begin() + 17, req.iv.begin());
+  }
+  req.payload.assign(f.payload.begin() + static_cast<std::ptrdiff_t>(head), f.payload.end());
+  const std::uint64_t blocks = (req.payload.size() + aes::kBlock - 1) / aes::kBlock;
+
+  Connection::InFlight inf;
+  inf.seq = f.seq;
+  inf.flags = f.flags;
+  inf.t_received = std::chrono::steady_clock::now();
+  inf.blocks = blocks;
+  inf.trace_name = trace_name_of(f.op);
+
+  // Fan-out-sized CTR streams go through the blocking submit so they keep
+  // the farm's chunk-scatter path; the wait is bounded by the farm's own
+  // queue capacity and workers never block on this thread, so it's short.
+  if (is_ctr && cfg_.farm.workers > 1 && blocks >= cfg_.farm.ctr_fanout_min_blocks) {
+    inf.future = farm_.submit(std::move(req));
+  } else {
+    auto maybe = farm_.try_submit(std::move(req));
+    if (!maybe) return false;
+    inf.future = std::move(*maybe);
+  }
+  c.in_flight.push_back(std::move(inf));
+  counters_.in_flight.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Server::retry_deferred(Connection& c) {
+  bool any = false;
+  while (!c.deferred.empty()) {
+    if (c.in_flight.size() >= cfg_.window) break;
+    if (!submit_request(c, c.deferred.front())) break;
+    c.deferred.pop_front();
+    counters_.deferred_retries.fetch_add(1, std::memory_order_relaxed);
+    any = true;
+  }
+  return any;
+}
+
+bool Server::reap_completions(Connection& c) {
+  bool any = false;
+  for (std::size_t i = 0; i < c.in_flight.size();) {
+    auto& inf = c.in_flight[i];
+    if (inf.future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      ++i;
+      continue;
+    }
+    const std::uint64_t latency_us = us_since(inf.t_received);
+    try {
+      farm::Result r = inf.future.get();
+      send_frame(c, Op::kResult, inf.seq, inf.flags, std::move(r.data));
+      counters_.responses_sent.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+      send_error(c, inf.seq, ErrorCode::kInternal, e.what(), /*fatal=*/false);
+    }
+    request_latency_us_.record(latency_us);
+    if (tracer_) {
+      obs::TraceEvent e;
+      e.ts_us = us_since(start_) - latency_us;
+      e.dur_us = static_cast<std::uint32_t>(latency_us);
+      e.name = inf.trace_name;
+      e.track = 0;
+      e.arg = inf.blocks;
+      e.arg2 = c.session_id;
+      tracer_->record(0, e);
+    }
+    c.in_flight.erase(c.in_flight.begin() + static_cast<std::ptrdiff_t>(i));
+    counters_.in_flight.fetch_sub(1, std::memory_order_relaxed);
+    any = true;
+  }
+  if (c.drain_pending && c.quiesced()) {
+    c.drain_pending = false;
+    counters_.drains.fetch_add(1, std::memory_order_relaxed);
+    send_frame(c, Op::kDrainOk, c.drain_seq, c.drain_flags, {});
+    any = true;
+  }
+  return any;
+}
+
+bool Server::flush_writes(Connection& c) {
+  if (c.dead) return false;
+  bool any = false;
+  while (c.out_off < c.outbuf.size()) {
+    const IoResult r = c.conn->write_some(
+        std::span<const std::uint8_t>(c.outbuf.data() + c.out_off, c.outbuf.size() - c.out_off));
+    if (r.status == IoStatus::kOk) {
+      c.out_off += r.n;
+      counters_.bytes_out.fetch_add(r.n, std::memory_order_relaxed);
+      any = true;
+    } else if (r.status == IoStatus::kWouldBlock) {
+      break;
+    } else {
+      c.dead = true;
+      break;
+    }
+  }
+  if (c.flushed() && c.out_off > 0) {
+    c.outbuf.clear();
+    c.out_off = 0;
+  }
+  return any;
+}
+
+void Server::send_frame(Connection& c, Op op, std::uint32_t seq, std::uint16_t flags,
+                        std::vector<std::uint8_t> payload) {
+  Frame f;
+  f.op = op;
+  f.flags = flags;
+  f.session_id = c.session_id;
+  f.seq = seq;
+  f.payload = std::move(payload);
+  const auto bytes = encode_frame(f);
+  c.outbuf.insert(c.outbuf.end(), bytes.begin(), bytes.end());
+}
+
+void Server::send_error(Connection& c, std::uint32_t seq, ErrorCode code,
+                        const std::string& msg, bool fatal) {
+  send_frame(c, Op::kError, seq, 0, encode_error_payload(code, msg));
+  counters_.errors_sent.fetch_add(1, std::memory_order_relaxed);
+  if (fatal) c.closing = true;
+}
+
+void Server::loop() {
+  for (;;) {
+    const bool draining = draining_.load(std::memory_order_acquire);
+    bool progress = false;
+
+    if (!draining) progress |= accept_new();
+
+    for (auto& cp : conns_) {
+      Connection& c = *cp;
+      if (draining) c.closing = true;
+      progress |= service_reads(c);
+      progress |= retry_deferred(c);
+      progress |= reap_completions(c);
+      progress |= flush_writes(c);
+    }
+
+    // Close what is finished: dead connections immediately; closing/EOF
+    // ones once every accepted frame is answered and every byte written
+    // (the zero-loss contract); idle ones at the timeout.
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      Connection& c = **it;
+      bool drop = c.dead;
+      if (!drop && (c.closing || c.eof) && c.quiesced() && c.flushed()) drop = true;
+      if (!drop && !draining && c.quiesced() && c.flushed() &&
+          now - c.last_activity > cfg_.idle_timeout) {
+        counters_.idle_closes.fetch_add(1, std::memory_order_relaxed);
+        drop = true;
+      }
+      if (drop) {
+        if (c.got_hello) counters_.sessions_active.fetch_sub(1, std::memory_order_relaxed);
+        counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+        counters_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+        c.conn->close();
+        it = conns_.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+
+    if (draining && conns_.empty()) break;
+
+    if (!progress) {
+      // Nothing moved: sleep until I/O or a completion can change that.
+      // With work in flight, waiting on the oldest future wakes on the
+      // common case (completions) and the poll interval bounds the rest.
+      Connection* waiting = nullptr;
+      for (auto& cp : conns_)
+        if (!cp->in_flight.empty()) {
+          waiting = cp.get();
+          break;
+        }
+      if (waiting)
+        waiting->in_flight.front().future.wait_for(cfg_.poll_interval);
+      else
+        listener_->wait(cfg_.poll_interval);
+    }
+  }
+  listener_->close();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections_accepted = counters_.connections_accepted.load(std::memory_order_relaxed);
+  s.connections_closed = counters_.connections_closed.load(std::memory_order_relaxed);
+  s.connections_active = counters_.connections_active.load(std::memory_order_relaxed);
+  s.sessions_active = counters_.sessions_active.load(std::memory_order_relaxed);
+  s.frames_received = counters_.frames_received.load(std::memory_order_relaxed);
+  s.data_frames = counters_.data_frames.load(std::memory_order_relaxed);
+  s.responses_sent = counters_.responses_sent.load(std::memory_order_relaxed);
+  s.errors_sent = counters_.errors_sent.load(std::memory_order_relaxed);
+  s.protocol_errors = counters_.protocol_errors.load(std::memory_order_relaxed);
+  s.window_violations = counters_.window_violations.load(std::memory_order_relaxed);
+  s.deferred_retries = counters_.deferred_retries.load(std::memory_order_relaxed);
+  s.idle_closes = counters_.idle_closes.load(std::memory_order_relaxed);
+  s.drains = counters_.drains.load(std::memory_order_relaxed);
+  s.bytes_in = counters_.bytes_in.load(std::memory_order_relaxed);
+  s.bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
+  s.in_flight = counters_.in_flight.load(std::memory_order_relaxed);
+  s.request_latency_us = request_latency_us_.snapshot();
+  s.session_in_flight = session_in_flight_.snapshot();
+  if (tracer_) {
+    s.trace_events = tracer_->recorded();
+    s.trace_dropped = tracer_->dropped();
+  }
+  return s;
+}
+
+bool Server::write_chrome_trace(std::ostream& os) const {
+  if (!tracer_) return false;
+  tracer_->write_chrome_trace(os, kTraceNames, "aesip serve");
+  return true;
+}
+
+}  // namespace aesip::net

@@ -1,0 +1,170 @@
+// The wire-protocol server: aesip-wire-v1 sessions mapped onto farm::Farm.
+//
+// One event-loop thread owns every connection (accept, read, decode,
+// respond, flush); the farm's worker threads own the cores. The two meet
+// only through Farm::submit/try_submit and the std::future each returns —
+// the same decoupling the paper builds in hardware (bus I/O overlapped
+// with cipher compute) reproduced at the service layer: the loop keeps
+// sockets full while the cores run flat out.
+//
+// Per-session flow control: kHelloOk grants a window of at most
+// `ServerConfig::window` unanswered data frames. A client that overruns it
+// is cut off (kWindowExceeded) — the window is what bounds server memory
+// per session. Inside the window, backpressure is invisible: when a
+// worker queue refuses a frame (try_submit load-shed), the frame parks in
+// the connection's deferred queue and the loop stops *reading* that
+// connection until the farm catches up, which backs the pressure all the
+// way into the transport (a full TCP window / loopback pipe stalls the
+// client's writes). CTR payloads big enough to fan out take the blocking
+// submit path instead, so the farm's chunk scatter stays available to
+// network traffic.
+//
+// Sessions ride connections: kHello binds the connection to a session id,
+// kSetKey installs the key that every later data frame on the connection
+// uses, and the farm's LRU slot affinity (keyed by session id) keeps a
+// session's traffic on the core already holding its key. Responses carry
+// the request's seq and may complete out of order across sessions;
+// kDrain is the in-order barrier (answered only after everything before
+// it). request_drain() is the server-wide version: stop accepting, finish
+// every in-flight frame, flush every byte, then return — zero accepted
+// frames are lost on a graceful shutdown.
+//
+// Idle connections (no frame and no in-flight work for `idle_timeout`)
+// are closed — a bounded-state rule, like the session table's LRU.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "farm/farm.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+#include "obs/histogram.hpp"
+#include "obs/tracer.hpp"
+
+namespace aesip::net {
+
+struct ServerConfig {
+  farm::FarmConfig farm;            ///< workers, engine kind, queue bounds
+  std::size_t window = 32;          ///< max unanswered data frames per session
+  std::size_t max_payload = kDefaultMaxPayload;
+  std::chrono::milliseconds idle_timeout{30000};
+  std::chrono::milliseconds poll_interval{1};  ///< event-loop sleep granularity
+  bool tracing = false;             ///< per-frame events into an obs::Tracer ring
+  std::size_t trace_capacity = 8192;
+};
+
+/// Point-in-time server counters (monotonic unless marked as a gauge).
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t connections_active = 0;   ///< gauge
+  std::uint64_t sessions_active = 0;      ///< gauge: connections past kHello
+  std::uint64_t frames_received = 0;      ///< complete verified frames decoded
+  std::uint64_t data_frames = 0;          ///< of which enc/dec/ctr work
+  std::uint64_t responses_sent = 0;       ///< kResult frames queued for write
+  std::uint64_t errors_sent = 0;          ///< kError frames queued for write
+  std::uint64_t protocol_errors = 0;      ///< decoder poisonings (framing lost)
+  std::uint64_t window_violations = 0;
+  std::uint64_t deferred_retries = 0;     ///< try_submit load-sheds absorbed
+  std::uint64_t idle_closes = 0;
+  std::uint64_t drains = 0;               ///< kDrainOk barriers completed
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t in_flight = 0;            ///< gauge: frames submitted, not answered
+  obs::HistogramSnapshot request_latency_us;  ///< frame decoded -> response queued
+  obs::HistogramSnapshot session_in_flight;   ///< window occupancy per data frame
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+};
+
+class Server {
+ public:
+  /// Binds `address` on `transport` and builds the farm; throws on either
+  /// failing. Serving starts with run() or start().
+  Server(Transport& transport, const std::string& address, ServerConfig cfg = {});
+  ~Server();  ///< request_drain() + join if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Resolved listen address (the real port when "host:0" was asked).
+  const std::string& address() const noexcept { return address_; }
+  const ServerConfig& config() const noexcept { return cfg_; }
+
+  /// Serve on the calling thread until a drain completes.
+  void run();
+  /// Serve on a background thread; pair with stop().
+  void start();
+  /// Graceful shutdown, callable from any thread (including signal-ish
+  /// contexts): stop accepting, answer every in-flight frame, flush,
+  /// close. run() returns once done.
+  void request_drain() { draining_.store(true, std::memory_order_release); }
+  /// request_drain() and wait for the loop to finish.
+  void stop();
+
+  ServerStats stats() const;
+  farm::FarmStats farm_stats() const { return farm_.stats(); }
+
+  /// Per-frame server timeline (requires ServerConfig::tracing); false if
+  /// tracing is off. Chrome trace_event JSON, like Farm::write_chrome_trace.
+  bool write_chrome_trace(std::ostream& os) const;
+
+ private:
+  struct Connection;
+
+  void loop();
+  bool accept_new();
+  bool service_reads(Connection& c);
+  bool handle_frame(Connection& c, Frame&& f);
+  void handle_data_frame(Connection& c, Frame&& f);
+  bool retry_deferred(Connection& c);
+  bool reap_completions(Connection& c);
+  bool flush_writes(Connection& c);
+  void send_frame(Connection& c, Op op, std::uint32_t seq, std::uint16_t flags,
+                  std::vector<std::uint8_t> payload);
+  void send_error(Connection& c, std::uint32_t seq, ErrorCode code, const std::string& msg,
+                  bool fatal);
+  bool submit_request(Connection& c, Frame& f);
+
+  ServerConfig cfg_;
+  farm::Farm farm_;
+  std::unique_ptr<Listener> listener_;
+  std::string address_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+
+  // Counters are written by the loop thread, read by anyone (relaxed
+  // atomics, same pattern as the farm's WorkerCounters).
+  struct Counters {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> connections_closed{0};
+    std::atomic<std::uint64_t> connections_active{0};
+    std::atomic<std::uint64_t> sessions_active{0};
+    std::atomic<std::uint64_t> frames_received{0};
+    std::atomic<std::uint64_t> data_frames{0};
+    std::atomic<std::uint64_t> responses_sent{0};
+    std::atomic<std::uint64_t> errors_sent{0};
+    std::atomic<std::uint64_t> protocol_errors{0};
+    std::atomic<std::uint64_t> window_violations{0};
+    std::atomic<std::uint64_t> deferred_retries{0};
+    std::atomic<std::uint64_t> idle_closes{0};
+    std::atomic<std::uint64_t> drains{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+    std::atomic<std::uint64_t> in_flight{0};
+  } counters_;
+  obs::Histogram request_latency_us_;
+  obs::Histogram session_in_flight_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace aesip::net

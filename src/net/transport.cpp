@@ -1,0 +1,192 @@
+// LoopbackTransport: deterministic in-process pipes behind the Conn
+// contract. One hub-wide mutex serializes every operation — loopback
+// exists for correctness tests and framing benches, not to win a lock
+// scalability contest — and one condition variable wakes every waiter on
+// any state change (writes, closes, connects). Waiters re-check their own
+// predicate, so the broadcast is cheap and race-free.
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace aesip::net {
+
+namespace {
+
+/// One direction of a connection: a bounded byte queue.
+struct Pipe {
+  std::deque<std::uint8_t> buf;
+  bool closed = false;  ///< writer hung up; readers drain then see EOF
+};
+
+}  // namespace
+
+struct LoopbackHub {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t max_chunk = 1;
+  std::size_t pipe_capacity = 1;
+
+  struct Pending {
+    std::shared_ptr<Pipe> c2s, s2c;
+    std::string peer;
+  };
+  /// Listening names -> queue of server-side connections not yet accepted.
+  std::unordered_map<std::string, std::deque<std::shared_ptr<Pending>>*> listeners;
+
+  void notify_locked_change() { cv.notify_all(); }
+};
+
+namespace {
+
+using Hub = LoopbackHub;
+
+class LoopbackConn final : public Conn {
+ public:
+  LoopbackConn(std::shared_ptr<Hub> hub, std::shared_ptr<Pipe> rd, std::shared_ptr<Pipe> wr,
+               std::string peer)
+      : hub_(std::move(hub)), rd_(std::move(rd)), wr_(std::move(wr)), peer_(std::move(peer)) {}
+
+  ~LoopbackConn() override { close(); }
+
+  IoResult read_some(std::span<std::uint8_t> buf) override {
+    std::lock_guard lk(hub_->mu);
+    if (rd_->buf.empty()) {
+      if (rd_->closed || closed_) return {0, IoStatus::kEof};
+      return {0, IoStatus::kWouldBlock};
+    }
+    const std::size_t n = std::min({buf.size(), rd_->buf.size(), hub_->max_chunk});
+    for (std::size_t i = 0; i < n; ++i) {
+      buf[i] = rd_->buf.front();
+      rd_->buf.pop_front();
+    }
+    hub_->notify_locked_change();  // writer may be waiting for capacity
+    return {n, IoStatus::kOk};
+  }
+
+  IoResult write_some(std::span<const std::uint8_t> buf) override {
+    std::lock_guard lk(hub_->mu);
+    if (closed_ || wr_->closed) return {0, IoStatus::kError};
+    const std::size_t room =
+        wr_->buf.size() >= hub_->pipe_capacity ? 0 : hub_->pipe_capacity - wr_->buf.size();
+    const std::size_t n = std::min({buf.size(), room, hub_->max_chunk});
+    if (n == 0) return {0, IoStatus::kWouldBlock};
+    wr_->buf.insert(wr_->buf.end(), buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n));
+    hub_->notify_locked_change();
+    return {n, IoStatus::kOk};
+  }
+
+  bool wait_readable(std::chrono::milliseconds timeout) override {
+    std::unique_lock lk(hub_->mu);
+    return hub_->cv.wait_for(lk, timeout,
+                             [&] { return !rd_->buf.empty() || rd_->closed || closed_; });
+  }
+
+  bool wait_writable(std::chrono::milliseconds timeout) override {
+    std::unique_lock lk(hub_->mu);
+    return hub_->cv.wait_for(lk, timeout, [&] {
+      return closed_ || wr_->closed || wr_->buf.size() < hub_->pipe_capacity;
+    });
+  }
+
+  void close() override {
+    std::lock_guard lk(hub_->mu);
+    if (closed_) return;
+    closed_ = true;
+    wr_->closed = true;  // our outgoing direction ends; peer drains then EOFs
+    rd_->closed = true;  // and we stop reading
+    hub_->notify_locked_change();
+  }
+
+  std::string peer() const override { return peer_; }
+
+ private:
+  std::shared_ptr<Hub> hub_;
+  std::shared_ptr<Pipe> rd_, wr_;
+  std::string peer_;
+  bool closed_ = false;
+};
+
+class LoopbackListener final : public Listener {
+ public:
+  LoopbackListener(std::shared_ptr<Hub> hub, std::string name)
+      : hub_(std::move(hub)), name_(std::move(name)) {
+    std::lock_guard lk(hub_->mu);
+    if (hub_->listeners.count(name_))
+      throw std::runtime_error("loopback: '" + name_ + "' already listening");
+    hub_->listeners[name_] = &pending_;
+  }
+
+  ~LoopbackListener() override { close(); }
+
+  std::unique_ptr<Conn> accept() override {
+    std::lock_guard lk(hub_->mu);
+    if (pending_.empty()) return nullptr;
+    auto p = std::move(pending_.front());
+    pending_.pop_front();
+    // Server reads the client->server pipe and writes server->client.
+    return std::make_unique<LoopbackConn>(hub_, p->c2s, p->s2c, p->peer);
+  }
+
+  void wait(std::chrono::milliseconds timeout) override {
+    // Any hub activity (new pending conn, bytes written toward us, a peer
+    // close) broadcasts on the one cv; the server loop re-scans either way.
+    std::unique_lock lk(hub_->mu);
+    if (!pending_.empty()) return;
+    hub_->cv.wait_for(lk, timeout);
+  }
+
+  std::string address() const override { return name_; }
+
+  void close() override {
+    std::lock_guard lk(hub_->mu);
+    if (closed_) return;
+    closed_ = true;
+    hub_->listeners.erase(name_);
+    pending_.clear();
+    hub_->notify_locked_change();
+  }
+
+ private:
+  std::shared_ptr<Hub> hub_;
+  std::string name_;
+  std::deque<std::shared_ptr<Hub::Pending>> pending_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+LoopbackTransport::LoopbackTransport(std::size_t max_chunk, std::size_t pipe_capacity)
+    : hub_(std::make_shared<Hub>()) {
+  hub_->max_chunk = max_chunk ? max_chunk : 1;
+  hub_->pipe_capacity = pipe_capacity ? pipe_capacity : 1;
+}
+
+LoopbackTransport::~LoopbackTransport() = default;
+
+std::unique_ptr<Listener> LoopbackTransport::listen(const std::string& address) {
+  return std::make_unique<LoopbackListener>(hub_, address);
+}
+
+std::unique_ptr<Conn> LoopbackTransport::connect(const std::string& address) {
+  std::lock_guard lk(hub_->mu);
+  const auto it = hub_->listeners.find(address);
+  if (it == hub_->listeners.end())
+    throw std::runtime_error("loopback: connection refused: nobody listening on '" + address +
+                             "'");
+  auto p = std::make_shared<Hub::Pending>();
+  p->c2s = std::make_shared<Pipe>();
+  p->s2c = std::make_shared<Pipe>();
+  p->peer = "loopback-client";
+  it->second->push_back(p);
+  hub_->notify_locked_change();
+  // Client reads server->client and writes client->server.
+  return std::make_unique<LoopbackConn>(hub_, p->s2c, p->c2s, address);
+}
+
+}  // namespace aesip::net

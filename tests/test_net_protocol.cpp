@@ -1,0 +1,488 @@
+// aesip-wire-v1 robustness: the codec against malformed input, and the
+// server against hostile byte streams. The contract under test: any
+// corruption is detected (CRC/magic/version/length), a poisoned stream
+// stays poisoned, and the server answers abuse with a clean kError frame
+// and a closed session — never a crash, never a hang, never silently
+// wrong output.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+
+namespace net = aesip::net;
+
+namespace {
+
+// --- codec ------------------------------------------------------------------------
+
+TEST(WireCrc, KnownVector) {
+  // The standard CRC-32 check value: crc("123456789") == 0xCBF43926.
+  const std::string s = "123456789";
+  std::vector<std::uint8_t> bytes(s.begin(), s.end());
+  EXPECT_EQ(net::crc32(bytes), 0xCBF43926u);
+}
+
+net::Frame sample_frame() {
+  net::Frame f;
+  f.op = net::Op::kEncBlocks;
+  f.flags = 0x1234;
+  f.session_id = 0xdeadbeefcafef00dull;
+  f.seq = 77;
+  f.payload.resize(49);
+  for (std::size_t i = 0; i < f.payload.size(); ++i)
+    f.payload[i] = static_cast<std::uint8_t>(i * 7);
+  return f;
+}
+
+TEST(WireCodec, RoundTripAllFields) {
+  const net::Frame f = sample_frame();
+  const auto bytes = net::encode_frame(f);
+  ASSERT_EQ(bytes.size(), net::kHeaderSize + f.payload.size() + net::kTrailerSize);
+
+  net::FrameDecoder dec;
+  dec.feed(bytes);
+  net::Frame out;
+  ASSERT_EQ(dec.next(out), net::FrameDecoder::Status::kFrame);
+  EXPECT_EQ(out.op, f.op);
+  EXPECT_EQ(out.flags, f.flags);
+  EXPECT_EQ(out.session_id, f.session_id);
+  EXPECT_EQ(out.seq, f.seq);
+  EXPECT_EQ(out.payload, f.payload);
+  EXPECT_EQ(dec.next(out), net::FrameDecoder::Status::kNeedMore);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(WireCodec, ByteAtATimeFeed) {
+  const net::Frame f = sample_frame();
+  const auto bytes = net::encode_frame(f);
+  net::FrameDecoder dec;
+  net::Frame out;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    dec.feed(std::span<const std::uint8_t>(&bytes[i], 1));
+    ASSERT_EQ(dec.next(out), net::FrameDecoder::Status::kNeedMore) << "at byte " << i;
+  }
+  dec.feed(std::span<const std::uint8_t>(&bytes.back(), 1));
+  ASSERT_EQ(dec.next(out), net::FrameDecoder::Status::kFrame);
+  EXPECT_EQ(out.payload, f.payload);
+}
+
+TEST(WireCodec, ManyFramesOneFeed) {
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 5; ++i) {
+    net::Frame f = sample_frame();
+    f.seq = static_cast<std::uint32_t>(i);
+    const auto bytes = net::encode_frame(f);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  net::FrameDecoder dec;
+  dec.feed(stream);
+  net::Frame out;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    ASSERT_EQ(dec.next(out), net::FrameDecoder::Status::kFrame);
+    EXPECT_EQ(out.seq, i);
+  }
+  EXPECT_EQ(dec.next(out), net::FrameDecoder::Status::kNeedMore);
+}
+
+TEST(WireCodec, BadMagicPoisons) {
+  auto bytes = net::encode_frame(sample_frame());
+  bytes[0] ^= 0xff;
+  net::FrameDecoder dec;
+  dec.feed(bytes);
+  net::Frame out;
+  ASSERT_EQ(dec.next(out), net::FrameDecoder::Status::kBad);
+  EXPECT_EQ(dec.error(), net::ErrorCode::kBadMagic);
+  // Poisoned: even a pristine frame afterwards is rejected — framing is lost.
+  dec.feed(net::encode_frame(sample_frame()));
+  EXPECT_EQ(dec.next(out), net::FrameDecoder::Status::kBad);
+}
+
+TEST(WireCodec, BadVersionRejected) {
+  auto bytes = net::encode_frame(sample_frame());
+  bytes[4] = net::kWireVersion + 1;
+  net::FrameDecoder dec;
+  dec.feed(bytes);
+  net::Frame out;
+  ASSERT_EQ(dec.next(out), net::FrameDecoder::Status::kBad);
+  EXPECT_EQ(dec.error(), net::ErrorCode::kBadVersion);
+}
+
+TEST(WireCodec, OversizedRejectedFromHeaderAlone) {
+  // A length field over the bound must be rejected as soon as the header
+  // is complete — without waiting to buffer the claimed payload.
+  net::Frame f = sample_frame();
+  f.payload.resize(100);
+  auto bytes = net::encode_frame(f);
+  net::FrameDecoder dec(/*max_payload=*/64);
+  dec.feed(std::span<const std::uint8_t>(bytes.data(), net::kHeaderSize));
+  net::Frame out;
+  ASSERT_EQ(dec.next(out), net::FrameDecoder::Status::kBad);
+  EXPECT_EQ(dec.error(), net::ErrorCode::kOversized);
+}
+
+TEST(WireCodec, CrcMismatchOnFlippedPayloadBit) {
+  auto bytes = net::encode_frame(sample_frame());
+  bytes[net::kHeaderSize + 10] ^= 0x01;
+  net::FrameDecoder dec;
+  dec.feed(bytes);
+  net::Frame out;
+  ASSERT_EQ(dec.next(out), net::FrameDecoder::Status::kBad);
+  EXPECT_EQ(dec.error(), net::ErrorCode::kBadCrc);
+}
+
+TEST(WireCodec, CrcCoversHeaderToo) {
+  auto bytes = net::encode_frame(sample_frame());
+  bytes[8] ^= 0x80;  // a session_id bit
+  net::FrameDecoder dec;
+  dec.feed(bytes);
+  net::Frame out;
+  ASSERT_EQ(dec.next(out), net::FrameDecoder::Status::kBad);
+  EXPECT_EQ(dec.error(), net::ErrorCode::kBadCrc);
+}
+
+TEST(WireCodec, TruncatedFrameJustWaits) {
+  const auto bytes = net::encode_frame(sample_frame());
+  net::FrameDecoder dec;
+  dec.feed(std::span<const std::uint8_t>(bytes.data(), bytes.size() - 1));
+  net::Frame out;
+  EXPECT_EQ(dec.next(out), net::FrameDecoder::Status::kNeedMore);
+  EXPECT_EQ(dec.error(), net::ErrorCode::kNone);
+}
+
+TEST(WireError, PayloadRoundTrip) {
+  const auto p = net::encode_error_payload(net::ErrorCode::kNoKey, "no key installed");
+  net::ErrorCode code;
+  std::string msg;
+  net::decode_error_payload(p, code, msg);
+  EXPECT_EQ(code, net::ErrorCode::kNoKey);
+  EXPECT_EQ(msg, "no key installed");
+
+  // Garbled short payloads must not throw.
+  net::decode_error_payload(std::span<const std::uint8_t>(p.data(), 1), code, msg);
+  EXPECT_EQ(code, net::ErrorCode::kInternal);
+  EXPECT_TRUE(msg.empty());
+}
+
+TEST(WireNames, OpcodesAndErrors) {
+  EXPECT_STREQ(net::op_name(net::Op::kEncBlocks), "enc_blocks");
+  EXPECT_STREQ(net::op_name(net::Op::kError), "error");
+  EXPECT_TRUE(net::is_request_op(net::Op::kHello));
+  EXPECT_TRUE(net::is_request_op(net::Op::kCtrStream));
+  EXPECT_FALSE(net::is_request_op(net::Op::kResult));
+  EXPECT_FALSE(net::is_request_op(net::Op::kError));
+  EXPECT_STREQ(net::error_code_name(net::ErrorCode::kWindowExceeded), "window_exceeded");
+}
+
+// --- the server under abuse -------------------------------------------------------
+
+// A raw-bytes peer: writes arbitrary streams and reads whatever frames
+// come back, bypassing net::Client's discipline entirely.
+struct RawPeer {
+  std::unique_ptr<net::Conn> conn;
+  net::FrameDecoder decoder;
+  bool eof = false;
+
+  void write_all(std::span<const std::uint8_t> bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const auto r = conn->write_some(bytes.subspan(off));
+      if (r.status == net::IoStatus::kOk) {
+        off += r.n;
+      } else if (r.status == net::IoStatus::kWouldBlock) {
+        conn->wait_writable(std::chrono::milliseconds(50));
+      } else {
+        return;  // server already cut us off — the frames sent so far stand
+      }
+    }
+  }
+
+  void write_frame(const net::Frame& f) { write_all(net::encode_frame(f)); }
+
+  /// Read until a frame pops, EOF, or the deadline. Nullopt on EOF/timeout.
+  std::optional<net::Frame> read_frame(std::chrono::milliseconds timeout =
+                                           std::chrono::milliseconds(5000)) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::uint8_t buf[1024];
+    net::Frame f;
+    for (;;) {
+      if (decoder.next(f) == net::FrameDecoder::Status::kFrame) return f;
+      const auto r = conn->read_some(buf);
+      if (r.status == net::IoStatus::kOk) {
+        decoder.feed(std::span<const std::uint8_t>(buf, r.n));
+      } else if (r.status == net::IoStatus::kEof) {
+        if (decoder.next(f) == net::FrameDecoder::Status::kFrame) return f;
+        eof = true;
+        return std::nullopt;
+      } else if (r.status == net::IoStatus::kWouldBlock) {
+        if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+        conn->wait_readable(std::chrono::milliseconds(10));
+      } else {
+        eof = true;
+        return std::nullopt;
+      }
+    }
+  }
+
+  /// Drain until EOF (the server closed our session), bounded by a deadline.
+  bool wait_eof(std::chrono::milliseconds timeout = std::chrono::milliseconds(5000)) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::uint8_t buf[1024];
+    while (std::chrono::steady_clock::now() < deadline) {
+      const auto r = conn->read_some(buf);
+      if (r.status == net::IoStatus::kEof || r.status == net::IoStatus::kError) return true;
+      if (r.status == net::IoStatus::kWouldBlock)
+        conn->wait_readable(std::chrono::milliseconds(10));
+    }
+    return false;
+  }
+};
+
+struct AbuseServer {
+  net::LoopbackTransport transport;
+  net::Server server;
+
+  explicit AbuseServer(net::ServerConfig cfg = make_cfg())
+      : transport(), server(transport, "abuse", cfg) {
+    server.start();
+  }
+  ~AbuseServer() { server.stop(); }
+
+  static net::ServerConfig make_cfg() {
+    net::ServerConfig cfg;
+    cfg.farm.workers = 1;
+    cfg.farm.engine = aesip::engine::EngineKind::kSoftware;
+    return cfg;
+  }
+
+  RawPeer peer() { return RawPeer{transport.connect("abuse"), net::FrameDecoder{}, false}; }
+};
+
+net::Frame make_req(net::Op op, std::uint32_t seq, std::vector<std::uint8_t> payload = {}) {
+  net::Frame f;
+  f.op = op;
+  f.session_id = 1;
+  f.seq = seq;
+  f.payload = std::move(payload);
+  return f;
+}
+
+net::ErrorCode error_code_of(const net::Frame& f) {
+  net::ErrorCode code;
+  std::string msg;
+  net::decode_error_payload(f.payload, code, msg);
+  return code;
+}
+
+TEST(ServerAbuse, GarbageBytesGetErrorFrameThenClose) {
+  AbuseServer s;
+  auto peer = s.peer();
+  std::vector<std::uint8_t> garbage(64);
+  for (std::size_t i = 0; i < garbage.size(); ++i)
+    garbage[i] = static_cast<std::uint8_t>(0xc3 ^ i);
+  peer.write_all(garbage);
+
+  const auto err = peer.read_frame();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->op, net::Op::kError);
+  EXPECT_EQ(error_code_of(*err), net::ErrorCode::kBadMagic);
+  EXPECT_TRUE(peer.wait_eof());
+}
+
+TEST(ServerAbuse, CorruptedCrcMidSessionCloses) {
+  AbuseServer s;
+  auto peer = s.peer();
+  peer.write_frame(make_req(net::Op::kHello, 0));
+  ASSERT_TRUE(peer.read_frame().has_value());  // kHelloOk
+
+  auto bytes = net::encode_frame(make_req(net::Op::kStats, 1));
+  bytes[10] ^= 0x40;  // flip a session_id bit in flight
+  peer.write_all(bytes);
+
+  const auto err = peer.read_frame();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->op, net::Op::kError);
+  EXPECT_EQ(error_code_of(*err), net::ErrorCode::kBadCrc);
+  EXPECT_TRUE(peer.wait_eof());
+}
+
+TEST(ServerAbuse, OversizedFrameRejected) {
+  net::ServerConfig cfg = AbuseServer::make_cfg();
+  cfg.max_payload = 256;
+  AbuseServer s(cfg);
+  auto peer = s.peer();
+  peer.write_frame(make_req(net::Op::kHello, 0));
+  const auto hello = peer.read_frame();
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(net::get_u32(hello->payload, 0), 256u);  // advertised bound
+
+  peer.write_frame(make_req(net::Op::kCtrStream, 1, std::vector<std::uint8_t>(512)));
+  const auto err = peer.read_frame();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->op, net::Op::kError);
+  EXPECT_EQ(error_code_of(*err), net::ErrorCode::kOversized);
+  EXPECT_TRUE(peer.wait_eof());
+}
+
+TEST(ServerAbuse, FirstFrameMustBeHello) {
+  AbuseServer s;
+  auto peer = s.peer();
+  peer.write_frame(make_req(net::Op::kStats, 0));
+  const auto err = peer.read_frame();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->op, net::Op::kError);
+  EXPECT_EQ(error_code_of(*err), net::ErrorCode::kNotHello);
+  EXPECT_TRUE(peer.wait_eof());
+}
+
+TEST(ServerAbuse, UnknownOpcodeCloses) {
+  AbuseServer s;
+  auto peer = s.peer();
+  peer.write_frame(make_req(net::Op::kHello, 0));
+  ASSERT_TRUE(peer.read_frame().has_value());
+
+  net::Frame f = make_req(net::Op::kHello, 1);
+  f.op = static_cast<net::Op>(0x55);
+  peer.write_frame(f);
+  const auto err = peer.read_frame();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->op, net::Op::kError);
+  EXPECT_EQ(error_code_of(*err), net::ErrorCode::kUnknownOpcode);
+  EXPECT_TRUE(peer.wait_eof());
+
+  // A server->client opcode arriving at the server is equally unknown.
+  auto peer2 = s.peer();
+  peer2.write_frame(make_req(net::Op::kHello, 0));
+  ASSERT_TRUE(peer2.read_frame().has_value());
+  peer2.write_frame(make_req(net::Op::kResult, 1));
+  const auto err2 = peer2.read_frame();
+  ASSERT_TRUE(err2.has_value());
+  EXPECT_EQ(error_code_of(*err2), net::ErrorCode::kUnknownOpcode);
+}
+
+TEST(ServerAbuse, DataBeforeKeyIsRecoverable) {
+  AbuseServer s;
+  auto peer = s.peer();
+  peer.write_frame(make_req(net::Op::kHello, 0));
+  ASSERT_TRUE(peer.read_frame().has_value());
+
+  std::vector<std::uint8_t> payload(17 + 16);  // mode+iv+1 block, but no key yet
+  peer.write_frame(make_req(net::Op::kEncBlocks, 1, payload));
+  const auto err = peer.read_frame();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->op, net::Op::kError);
+  EXPECT_EQ(error_code_of(*err), net::ErrorCode::kNoKey);
+
+  // kNoKey is not fatal: install a key and the same frame succeeds.
+  peer.write_frame(make_req(net::Op::kSetKey, 2, std::vector<std::uint8_t>(16, 0x11)));
+  const auto keyok = peer.read_frame();
+  ASSERT_TRUE(keyok.has_value());
+  EXPECT_EQ(keyok->op, net::Op::kKeyOk);
+  peer.write_frame(make_req(net::Op::kEncBlocks, 3, payload));
+  const auto res = peer.read_frame();
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->op, net::Op::kResult);
+  EXPECT_EQ(res->payload.size(), 16u);
+}
+
+TEST(ServerAbuse, MalformedDataPayloadsAreRejectedCleanly) {
+  AbuseServer s;
+  auto peer = s.peer();
+  peer.write_frame(make_req(net::Op::kHello, 0));
+  ASSERT_TRUE(peer.read_frame().has_value());
+  peer.write_frame(make_req(net::Op::kSetKey, 1, std::vector<std::uint8_t>(16, 0x22)));
+  ASSERT_TRUE(peer.read_frame().has_value());
+
+  struct Case {
+    net::Op op;
+    std::vector<std::uint8_t> payload;
+  };
+  std::vector<Case> cases;
+  cases.push_back({net::Op::kSetKey, std::vector<std::uint8_t>(15)});     // short key
+  cases.push_back({net::Op::kEncBlocks, std::vector<std::uint8_t>(17)});  // no data
+  cases.push_back({net::Op::kEncBlocks, std::vector<std::uint8_t>(17 + 15)});  // ragged
+  {
+    std::vector<std::uint8_t> bad_mode(17 + 16);
+    bad_mode[0] = 2;  // neither ECB nor CBC
+    cases.push_back({net::Op::kEncBlocks, std::move(bad_mode)});
+  }
+  cases.push_back({net::Op::kDecBlocks, std::vector<std::uint8_t>(17 + 7)});
+  cases.push_back({net::Op::kCtrStream, std::vector<std::uint8_t>(16)});  // empty stream
+
+  std::uint32_t seq = 2;
+  for (const auto& c : cases) {
+    peer.write_frame(make_req(c.op, seq, c.payload));
+    const auto err = peer.read_frame();
+    ASSERT_TRUE(err.has_value()) << "case seq " << seq;
+    EXPECT_EQ(err->op, net::Op::kError) << "case seq " << seq;
+    EXPECT_EQ(error_code_of(*err), net::ErrorCode::kBadPayload) << "case seq " << seq;
+    ++seq;
+  }
+
+  // None of those were fatal: the session still works.
+  peer.write_frame(make_req(net::Op::kEncBlocks, seq, std::vector<std::uint8_t>(17 + 16)));
+  const auto res = peer.read_frame();
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->op, net::Op::kResult);
+}
+
+TEST(ServerAbuse, WindowOverrunIsCutOff) {
+  net::ServerConfig cfg = AbuseServer::make_cfg();
+  cfg.window = 2;
+  // Behavioral engine + chunky payloads: each request takes real simulated
+  // work, so a burst far past the window is decoded while earlier frames
+  // are still in flight.
+  cfg.farm.engine = aesip::engine::EngineKind::kBehavioral;
+  AbuseServer s(cfg);
+  auto peer = s.peer();
+  peer.write_frame(make_req(net::Op::kHello, 0));
+  const auto hello = peer.read_frame();
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(net::get_u32(hello->payload, 4), 2u);  // advertised window
+  peer.write_frame(make_req(net::Op::kSetKey, 1, std::vector<std::uint8_t>(16, 0x33)));
+  ASSERT_TRUE(peer.read_frame().has_value());
+
+  std::vector<std::uint8_t> payload(17 + 128 * 16);  // 128 blocks each
+  for (std::uint32_t seq = 2; seq < 34; ++seq)  // 32 >> window of 2, never reading
+    peer.write_frame(make_req(net::Op::kEncBlocks, seq, payload));
+
+  // Among the responses there must be a WINDOW_EXCEEDED error, and the
+  // server must close the session after it.
+  bool saw_violation = false;
+  while (auto f = peer.read_frame(std::chrono::milliseconds(10000))) {
+    if (f->op == net::Op::kError &&
+        error_code_of(*f) == net::ErrorCode::kWindowExceeded) {
+      saw_violation = true;
+      break;
+    }
+    ASSERT_EQ(f->op, net::Op::kResult);  // pre-violation frames still answered
+  }
+  EXPECT_TRUE(saw_violation);
+  EXPECT_TRUE(peer.wait_eof(std::chrono::milliseconds(10000)));
+}
+
+TEST(ServerAbuse, AbruptDisconnectLeavesServerServing) {
+  AbuseServer s;
+  {
+    auto peer = s.peer();
+    peer.write_frame(make_req(net::Op::kHello, 0));
+    ASSERT_TRUE(peer.read_frame().has_value());
+    peer.conn->close();  // vanish without kBye
+  }
+  // The server must keep serving fresh sessions.
+  auto peer2 = s.peer();
+  peer2.write_frame(make_req(net::Op::kHello, 0));
+  const auto hello = peer2.read_frame();
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->op, net::Op::kHelloOk);
+}
+
+}  // namespace

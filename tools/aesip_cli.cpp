@@ -31,6 +31,15 @@
 //                       B/C vectors, Monte Carlo chain, cycle invariants)
 //                       through all three CipherEngine kinds, plus the
 //                       behavioral/netlist cycle-parity check.
+//   serve               expose the IP farm over TCP speaking aesip-wire-v1
+//                       (src/net/, spec in docs/net.md). SIGINT/SIGTERM
+//                       trigger a graceful drain: every accepted frame is
+//                       answered before the process exits.
+//   loadgen             drive an aesip serve endpoint: N concurrent client
+//                       sessions of pipelined random traffic, each response
+//                       verified bit-exactly against aes::Aes128 (plus a
+//                       FIPS-197 Appendix B probe per session). Non-zero
+//                       exit on any mismatch.
 //
 // Examples:
 //   aesip encrypt --key 000102030405060708090a0b0c0d0e0f --mode cbc
@@ -38,6 +47,8 @@
 //   aesip flow --variant both --device EP1K100FC484-1
 //   aesip export --variant encrypt --format blif --out aes.blif
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -49,6 +60,7 @@
 #include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "aes/cipher.hpp"
@@ -58,6 +70,9 @@
 #include "engine/conformance.hpp"
 #include "engine/engine.hpp"
 #include "farm/farm.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/transport.hpp"
 #include "obs/profiler.hpp"
 #include "report/json.hpp"
 #include "core/ip_synth.hpp"
@@ -652,6 +667,175 @@ int cmd_metrics(const Args& args) {
   return ok ? 0 : 1;
 }
 
+// --- serve -------------------------------------------------------------------------
+
+// SIGINT/SIGTERM land here; request_drain() is one atomic store, so it is
+// async-signal-safe. The loop then finishes every in-flight frame and exits.
+std::atomic<net::Server*> g_serve_instance{nullptr};
+
+void serve_signal_handler(int) {
+  if (auto* s = g_serve_instance.load(std::memory_order_acquire)) s->request_drain();
+}
+
+int cmd_serve(const Args& args) {
+  net::ServerConfig cfg;
+  cfg.farm.workers = std::stoi(arg_or(args, "workers", "4"));
+  cfg.farm.queue_capacity = std::stoul(arg_or(args, "queue", "64"));
+  const std::string engine_name = arg_or(args, "engine", "behavioral");
+  if (const auto kind = engine::kind_from_name(engine_name)) cfg.farm.engine = *kind;
+  else die("unknown engine '" + engine_name + "' (sw|behavioral|netlist)");
+  cfg.window = std::stoul(arg_or(args, "window", "32"));
+  cfg.idle_timeout = std::chrono::milliseconds(std::stol(arg_or(args, "idle-ms", "30000")));
+  const std::string trace_path = arg_or(args, "trace", "");
+  if (!trace_path.empty()) cfg.tracing = true;
+  const std::string address = arg_or(args, "listen", "127.0.0.1:0");
+
+  auto transport = net::make_tcp_transport();
+  net::Server server(*transport, address, cfg);
+  g_serve_instance.store(&server, std::memory_order_release);
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+
+  std::printf("aesip serve: aesip-wire-v1 on %s (%d workers, %s engine, window %zu)\n",
+              server.address().c_str(), cfg.farm.workers, engine::kind_name(cfg.farm.engine),
+              cfg.window);
+  std::printf("aesip serve: SIGINT/SIGTERM drain gracefully\n");
+  std::fflush(stdout);
+  server.run();
+  g_serve_instance.store(nullptr, std::memory_order_release);
+
+  const auto st = server.stats();
+  std::printf("aesip serve: drained. %llu connections, %llu frames in, %llu responses, "
+              "%llu errors, %.1f MiB in / %.1f MiB out\n",
+              static_cast<unsigned long long>(st.connections_accepted),
+              static_cast<unsigned long long>(st.frames_received),
+              static_cast<unsigned long long>(st.responses_sent),
+              static_cast<unsigned long long>(st.errors_sent),
+              static_cast<double>(st.bytes_in) / (1024.0 * 1024.0),
+              static_cast<double>(st.bytes_out) / (1024.0 * 1024.0));
+  std::printf("  request latency us: p50 %llu  p99 %llu  max %llu\n",
+              static_cast<unsigned long long>(st.request_latency_us.percentile(0.50)),
+              static_cast<unsigned long long>(st.request_latency_us.percentile(0.99)),
+              static_cast<unsigned long long>(st.request_latency_us.max));
+  if (!trace_path.empty()) {
+    std::ofstream tf(trace_path);
+    if (!tf) die("cannot write " + trace_path);
+    server.write_chrome_trace(tf);
+    std::printf("  chrome trace written to %s\n", trace_path.c_str());
+  }
+  return 0;
+}
+
+// --- loadgen -----------------------------------------------------------------------
+
+int cmd_loadgen(const Args& args) {
+  const std::string address = arg_or(args, "connect", "");
+  if (address.empty()) die("--connect host:port is required (the aesip serve address)");
+  const int n_sessions = std::stoi(arg_or(args, "sessions", "4"));
+  const std::uint64_t n_requests = std::stoull(arg_or(args, "requests", "64"));
+  const std::size_t max_blocks = std::stoul(arg_or(args, "blocks", "8"));
+  const std::uint32_t seed =
+      static_cast<std::uint32_t>(std::stoul(arg_or(args, "seed", "1")));
+  if (n_sessions < 1 || max_blocks < 1) die("--sessions and --blocks must be >= 1");
+
+  auto transport = net::make_tcp_transport();
+  std::atomic<std::uint64_t> total_requests{0}, total_blocks{0}, mismatches{0};
+  std::atomic<int> failures{0};
+
+  // One thread per session: each connects (with the client's retry/backoff,
+  // so racing `aesip serve &` works), probes FIPS-197 Appendix B, then keeps
+  // the server's window full with random verified traffic.
+  const auto session_main = [&](int sid) {
+    try {
+      net::Client client(*transport, address, static_cast<std::uint64_t>(sid) + 1);
+      std::mt19937 rng(seed + static_cast<std::uint32_t>(sid) * 7919);
+
+      farm::Key128 fips_key, zero_iv{};
+      std::copy(engine::kFipsBKey.begin(), engine::kFipsBKey.end(), fips_key.begin());
+      client.set_key(fips_key);
+      const auto probe = client.enc_blocks(
+          /*cbc=*/false, zero_iv,
+          std::vector<std::uint8_t>(engine::kFipsBPlain.begin(), engine::kFipsBPlain.end()));
+      if (!std::equal(probe.begin(), probe.end(), engine::kFipsBCipher.begin())) {
+        mismatches.fetch_add(1);
+        std::fprintf(stderr, "loadgen: session %d FIPS-197 Appendix B MISMATCH\n", sid);
+      }
+
+      farm::Key128 key;
+      for (auto& b : key) b = static_cast<std::uint8_t>(rng());
+      client.rekey(key);
+      const aes::Aes128 ref(key);
+
+      struct Outstanding {
+        std::uint32_t seq;
+        std::vector<std::uint8_t> expect;
+      };
+      std::deque<Outstanding> outstanding;
+      const auto collect_one = [&] {
+        auto o = std::move(outstanding.front());
+        outstanding.pop_front();
+        const auto got = client.wait(o.seq);
+        if (got != o.expect) mismatches.fetch_add(1);
+      };
+
+      for (std::uint64_t r = 0; r < n_requests; ++r) {
+        farm::Key128 iv;
+        for (auto& b : iv) b = static_cast<std::uint8_t>(rng());
+        const std::span<const std::uint8_t, 16> ivs(iv.data(), 16);
+        const int mode = static_cast<int>(rng() % 3);
+        std::size_t bytes = (1 + rng() % max_blocks) * aes::kBlock;
+        if (mode == 2) bytes -= rng() % aes::kBlock;  // CTR takes ragged tails
+        std::vector<std::uint8_t> data(bytes);
+        for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+        total_blocks.fetch_add((bytes + aes::kBlock - 1) / aes::kBlock);
+
+        Outstanding o;
+        const bool enc = (rng() & 1) != 0;
+        if (mode == 2) {
+          o.expect = aes::ctr_crypt(ref, ivs, data);
+          o.seq = client.submit_ctr(iv, std::move(data));
+        } else if (enc) {
+          o.expect = mode ? aes::cbc_encrypt(ref, ivs, data) : aes::ecb_encrypt(ref, data);
+          o.seq = client.submit_enc(mode == 1, iv, std::move(data));
+        } else {
+          o.expect = mode ? aes::cbc_decrypt(ref, ivs, data) : aes::ecb_decrypt(ref, data);
+          o.seq = client.submit_dec(mode == 1, iv, std::move(data));
+        }
+        outstanding.push_back(std::move(o));
+        while (outstanding.size() >= client.window()) collect_one();
+      }
+      while (!outstanding.empty()) collect_one();
+      total_requests.fetch_add(n_requests + 1);  // + the FIPS probe
+
+      client.drain();  // the zero-loss barrier: everything above is answered
+      client.bye();
+    } catch (const std::exception& e) {
+      failures.fetch_add(1);
+      std::fprintf(stderr, "loadgen: session %d failed: %s\n", sid, e.what());
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int s = 0; s < n_sessions; ++s) threads.emplace_back(session_main, s);
+  for (auto& t : threads) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const auto blocks = total_blocks.load();
+  std::printf("loadgen: %d sessions, %llu requests, %llu blocks in %.3f s "
+              "(%.0f blocks/s)\n",
+              n_sessions, static_cast<unsigned long long>(total_requests.load()),
+              static_cast<unsigned long long>(blocks), secs,
+              secs > 0 ? static_cast<double>(blocks) / secs : 0.0);
+  const bool ok = mismatches.load() == 0 && failures.load() == 0;
+  std::printf("loadgen: verification vs aes::Aes128: %s (%llu mismatches, %d failed "
+              "sessions)\n",
+              ok ? "all bit-exact" : "FAILED",
+              static_cast<unsigned long long>(mismatches.load()), failures.load());
+  return ok ? 0 : 1;
+}
+
 // --- selftest ----------------------------------------------------------------------
 
 int cmd_selftest() {
@@ -706,8 +890,21 @@ void usage() {
       "           [--json FILE] [--trace FILE]\n"
       "  metrics  [--blocks N] [--engine sw|behavioral|netlist] [--farm yes|no]\n"
       "           [--workers N] [--json FILE|-] [--trace FILE]\n"
+      "  serve    [--listen HOST:PORT] [--workers N] [--engine sw|behavioral|netlist]\n"
+      "           [--window N] [--queue N] [--idle-ms MS] [--trace FILE]\n"
+      "           (aesip-wire-v1 server over the IP farm; docs/net.md)\n"
+      "  loadgen  --connect HOST:PORT [--sessions N] [--requests N] [--blocks N]\n"
+      "           [--seed S]   (verified client traffic against aesip serve)\n"
       "  selftest    (engine conformance: FIPS-197 vectors + cycle parity)\n"
       "  help | --help | -h");
+}
+
+/// `aesip <cmd> --help` prints usage and exits 0 for every subcommand —
+/// parse_args would otherwise reject the valueless flag.
+bool wants_help(int argc, char** argv) {
+  for (int i = 2; i < argc; ++i)
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) return true;
+  return false;
 }
 
 }  // namespace
@@ -718,7 +915,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string cmd = argv[1];
-  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+  if (cmd == "help" || cmd == "--help" || cmd == "-h" || wants_help(argc, argv)) {
     usage();
     return 0;
   }
@@ -731,6 +928,8 @@ int main(int argc, char** argv) {
     if (cmd == "power") return cmd_power(parse_args(argc, argv, 2));
     if (cmd == "farm") return cmd_farm(parse_args(argc, argv, 2));
     if (cmd == "metrics") return cmd_metrics(parse_args(argc, argv, 2));
+    if (cmd == "serve") return cmd_serve(parse_args(argc, argv, 2));
+    if (cmd == "loadgen") return cmd_loadgen(parse_args(argc, argv, 2));
     if (cmd == "selftest") return cmd_selftest();
   } catch (const std::exception& e) {
     die(e.what());

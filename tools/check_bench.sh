@@ -52,6 +52,29 @@ for f in "$repo"/BENCH_*.json; do
     grep '": -' "$f" >&2
     fail=1
   fi
+
+  # Bench-specific payload contracts.
+  if [ "$stem" = "net" ]; then
+    # The wire-tax gate (docs/net.md): the gate section must be present
+    # and must pass — loopback >= 70% of direct-farm throughput.
+    for needle in \
+      '"gate": {' \
+      '"direct_blocks_per_sec": ' \
+      '"loopback_blocks_per_sec": ' \
+      '"ratio": ' \
+      '"target_ratio": ' \
+      '"sweep": ['
+    do
+      if ! grep -qF "$needle" "$f"; then
+        echo "check_bench: $name: missing $needle" >&2
+        fail=1
+      fi
+    done
+    if ! grep -qF '"meets_target": true' "$f"; then
+      echo "check_bench: $name: wire-tax gate failed (meets_target is not true)" >&2
+      fail=1
+    fi
+  fi
 done
 
 # Bench outputs are run artifacts (gitignored): a tree that has not run the
