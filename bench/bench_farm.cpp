@@ -132,6 +132,22 @@ void print_and_dump_scaling() {
                 std::thread::hardware_concurrency());
   }
 
+  // Wall-clock scaling is a *host* property: four workers can only beat one
+  // when the machine has cores to run them on. The gate therefore applies
+  // only when hardware_concurrency covers the 4-worker point; on smaller
+  // hosts it is recorded as skipped (with the reason), and
+  // tools/check_bench.sh accepts the skip.
+  constexpr double kWallScalingTarget = 1.5;  // 1 -> 4 workers
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool wall_gate_skipped = hw < 4;
+  const bool wall_gate_met = wall_gate_skipped || scaling_wall >= kWallScalingTarget;
+  if (wall_gate_skipped)
+    std::printf("  wall-scaling gate SKIPPED: host has %u hardware thread(s) < 4 workers\n\n",
+                hw);
+  else
+    std::printf("  wall-scaling gate: %.2fx (target >= %.1fx): %s\n\n", scaling_wall,
+                kWallScalingTarget, wall_gate_met ? "PASS" : "FAIL");
+
   // Observability overhead: the same workload with per-job tracing and the
   // histograms' extra samples on, vs. the plain runs above. Uses the
   // 4-worker point as the baseline (most contended => worst case for the
@@ -152,9 +168,11 @@ void print_and_dump_scaling() {
               static_cast<unsigned long long>(traced4.trace_dropped));
 
   // Engine sweep: the same workload shape through each CipherEngine kind.
-  // The sw and behavioral engines run a real workload; the netlist engine
-  // evaluates the synthesized gate network per cycle (orders of magnitude
-  // slower), so it proves end-to-end correctness on a small slice instead.
+  // The sw and behavioral engines run a real workload. The netlist engine
+  // evaluates the synthesized gate network per cycle; with the 64-lane
+  // BatchEvaluator behind it (plus batched worker dispatch filling the
+  // lanes) it now affords a real slice — 1024 blocks, ~20x what the scalar
+  // evaluator could cover in the same wall time.
   struct EngineRow {
     const char* name;
     std::uint64_t target;
@@ -165,7 +183,7 @@ void print_and_dump_scaling() {
   for (const auto [kind, target] :
        {std::pair{aesip::engine::EngineKind::kSoftware, kTargetBlocks / 2},
         std::pair{aesip::engine::EngineKind::kBehavioral, kTargetBlocks / 2},
-        std::pair{aesip::engine::EngineKind::kNetlist, std::uint64_t{48}}}) {
+        std::pair{aesip::engine::EngineKind::kNetlist, std::uint64_t{1024}}}) {
     EngineRow row{aesip::engine::kind_name(kind), target,
                   run_point(4, target, false, kind)};
     std::printf("    %-10s  %8llu blocks   %10.0f blocks/s wall   %6.1f cycles/block\n",
@@ -177,7 +195,7 @@ void print_and_dump_scaling() {
 
   std::ofstream jf("BENCH_farm.json");
   aesip::report::JsonWriter j(jf);
-  aesip::report::begin_bench_envelope(j, "farm", 2);
+  aesip::report::begin_bench_envelope(j, "farm", 3);
   j.begin_object();  // config
   j.key("clock_ns").value(kClockNs);
   j.key("target_blocks").value(kTargetBlocks);
@@ -185,6 +203,18 @@ void print_and_dump_scaling() {
   j.end_object();
   j.key("scaling_1_to_4_sim").value(scaling_sim);
   j.key("scaling_1_to_4_wall").value(scaling_wall);
+  j.key("wall_scaling").begin_object();
+  j.key("workers_from").value(1);
+  j.key("workers_to").value(4);
+  j.key("measured").value(scaling_wall);
+  j.key("target").value(kWallScalingTarget);
+  j.key("hardware_concurrency").value(hw);
+  j.key("skipped").value(wall_gate_skipped);
+  if (wall_gate_skipped)
+    j.key("reason").value("host hardware_concurrency < 4 workers; wall-clock "
+                          "scaling is not measurable on this machine");
+  j.key("meets_target").value(wall_gate_met);
+  j.end_object();
   j.key("engines").begin_array();
   for (const auto& row : engine_rows) {
     const auto& s = row.stats;

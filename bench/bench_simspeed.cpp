@@ -31,10 +31,12 @@
 #include <vector>
 
 #include "core/bfm.hpp"
+#include "core/gate_driver.hpp"
 #include "core/ip_synth.hpp"
 #include "core/rijndael_ip.hpp"
 #include "engine/engine.hpp"
 #include "hdl/simulator.hpp"
+#include "netlist/batch_eval.hpp"
 #include "netlist/eval.hpp"
 #include "obs/profiler.hpp"
 #include "report/json.hpp"
@@ -107,6 +109,72 @@ EnginePoint measure_engine(engine::EngineKind kind, int blocks) {
   return p;
 }
 
+// --- bit-parallel netlist evaluation (the netlist_batch gate) ---------------
+
+constexpr int kBatchScalarBlocks = 8;  // scalar gate-level blocks are ~ms each
+constexpr int kBatchPasses = 4;        // passes per lane point in the sweep
+
+struct LanePoint {
+  int lanes;
+  double ns_per_block;
+};
+
+struct NetlistBatchResult {
+  double ns_per_block_scalar = 0;  // scalar Evaluator via GateIpDriver
+  double ns_per_block_batch = 0;   // 64 lanes via GateIpBatchDriver
+  double speedup_per_block = 0;
+  std::vector<LanePoint> sweep;    // lane-occupancy sweep: 1 / 8 / 64
+  std::size_t tape_ops = 0;
+};
+
+/// Scalar vs. 64-lane evaluation of the same synthesized kBoth IP: the
+/// per-block cost of the interpreted Evaluator against the compiled-tape
+/// BatchEvaluator at full occupancy, plus partial-occupancy points (a
+/// pass costs the same whatever the lane count — occupancy is the whole
+/// game, which is why the farm batches its dispatch).
+NetlistBatchResult measure_netlist_batch() {
+  const auto nl = engine::make_ip_netlist(core::IpMode::kBoth);
+  const std::array<std::uint8_t, 16> key{1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 1, 2, 3, 4, 5, 6};
+  NetlistBatchResult r;
+
+  core::GateIpDriver sd(*nl);
+  sd.reset();
+  sd.load_key(key, true);
+  std::array<std::uint8_t, 16> block{};
+  sd.process(block, true);  // warm up
+  const auto st0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kBatchScalarBlocks; ++i) sd.process(block, true);
+  const auto st1 = std::chrono::steady_clock::now();
+  r.ns_per_block_scalar =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(st1 - st0).count()) /
+      kBatchScalarBlocks;
+
+  core::GateIpBatchDriver bd(*nl);
+  bd.reset();
+  bd.load_key(key, true);
+  r.tape_ops = bd.evaluator().tape_size();
+  std::vector<std::uint8_t> in(16 * core::GateIpBatchDriver::kLanes);
+  std::vector<std::uint8_t> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  bd.process_batch(in, out, core::GateIpBatchDriver::kLanes, true);  // warm up
+  for (const int lanes : {1, 8, 64}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int p = 0; p < kBatchPasses; ++p)
+      bd.process_batch(in, out, static_cast<std::size_t>(lanes), true);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns_per_block =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
+        (static_cast<double>(kBatchPasses) * lanes);
+    r.sweep.push_back(LanePoint{lanes, ns_per_block});
+    if (lanes == 64) r.ns_per_block_batch = ns_per_block;
+  }
+  r.speedup_per_block =
+      r.ns_per_block_batch > 0 ? r.ns_per_block_scalar / r.ns_per_block_batch : 0.0;
+  return r;
+}
+
 void measure_and_dump() {
   // --- static scheduler vs. delta loop (profiler detached) -------------
   double delta_only = 1e300, scheduled = 1e300;
@@ -155,14 +223,27 @@ void measure_and_dump() {
                 p.ns_per_block, p.cycles_per_block, p.blocks);
   std::printf("\n");
 
+  // --- bit-parallel netlist batch gate ---------------------------------
+  const NetlistBatchResult nb = measure_netlist_batch();
+  std::printf("=== Bit-parallel netlist evaluation (64-lane BatchEvaluator) ===\n\n");
+  std::printf("  scalar          %12.1f ns/block   (Evaluator, %d blocks)\n",
+              nb.ns_per_block_scalar, kBatchScalarBlocks);
+  for (const auto& lp : nb.sweep)
+    std::printf("  batch %2d-lane   %12.1f ns/block   (%d passes, %zu tape ops)\n", lp.lanes,
+                lp.ns_per_block, kBatchPasses, nb.tape_ops);
+  std::printf("  speedup         %12.2f x           (per block at 64 lanes; target: >= 20x)\n\n",
+              nb.speedup_per_block);
+
   std::ofstream jf("BENCH_simspeed.json");
   aesip::report::JsonWriter j(jf);
-  aesip::report::begin_bench_envelope(j, "simspeed", 2);
+  aesip::report::begin_bench_envelope(j, "simspeed", 3);
   j.begin_object();  // config
   j.key("blocks").value(kBlocks);
   j.key("trials").value(kTrials);
   j.key("scheduler_blocks").value(kSchedBlocks);
   j.key("netlist_blocks").value(16);
+  j.key("netlist_batch_scalar_blocks").value(kBatchScalarBlocks);
+  j.key("netlist_batch_passes").value(kBatchPasses);
   j.end_object();
   j.key("scheduler").begin_object();
   j.key("ns_per_cycle_delta").value(delta_only);
@@ -186,6 +267,23 @@ void measure_and_dump() {
     j.end_object();
   }
   j.end_array();
+  j.key("netlist_batch").begin_object();
+  j.key("lanes").value(64);
+  j.key("tape_ops").value(nb.tape_ops);
+  j.key("ns_per_block_scalar").value(nb.ns_per_block_scalar);
+  j.key("ns_per_block_batch").value(nb.ns_per_block_batch);
+  j.key("speedup_per_block").value(nb.speedup_per_block);
+  j.key("target").value(20.0);
+  j.key("meets_target").value(nb.speedup_per_block >= 20.0);
+  j.key("occupancy_sweep").begin_array();
+  for (const auto& lp : nb.sweep) {
+    j.begin_object();
+    j.key("lanes").value(lp.lanes);
+    j.key("ns_per_block").value(lp.ns_per_block);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
   j.end_object();
   std::printf("wrote BENCH_simspeed.json\n\n");
 }

@@ -1,5 +1,7 @@
 #include "core/gate_driver.hpp"
 
+#include <stdexcept>
+
 namespace aesip::core {
 
 GateIpDriver::GateIpDriver(const netlist::Netlist& nl) : ev_(nl) {
@@ -64,6 +66,91 @@ std::optional<GateIpDriver::BlockResult> GateIpDriver::process(
   for (int i = 1; i <= watchdog_cycles; ++i) {
     clock();
     if (data_ok()) return BlockResult{read_dout(), i};
+  }
+  return std::nullopt;
+}
+
+// --- GateIpBatchDriver -------------------------------------------------------
+
+GateIpBatchDriver::GateIpBatchDriver(const netlist::Netlist& nl) : ev_(nl) {
+  for (const auto& pi : nl.inputs()) by_name_[pi.name] = pi.net;
+  for (const auto& po : nl.outputs()) out_by_name_[po.name] = po.net;
+  for (int i = 0; i < 128; ++i) {
+    din_.push_back(by_name_.at("din[" + std::to_string(i) + "]"));
+    dout_.push_back(out_by_name_.at("dout[" + std::to_string(i) + "]"));
+  }
+  set_broadcast("setup", false);
+  set_broadcast("wr_data", false);
+  set_broadcast("wr_key", false);
+  if (has_input("encdec")) set_broadcast("encdec", true);
+  ev_.settle();
+}
+
+void GateIpBatchDriver::set_din_lanes(std::span<const std::uint8_t> in, std::size_t n) {
+  using Word = netlist::BatchEvaluator::Word;
+  for (int k = 0; k < 16; ++k)
+    for (int b = 0; b < 8; ++b) {
+      Word w = 0;
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        // Inactive lanes replicate lane 0 so every lane clocks real data.
+        const std::size_t src = lane < n ? lane : 0;
+        w |= Word{(in[16 * src + static_cast<std::size_t>(k)] >> b) & 1U} << lane;
+      }
+      ev_.set_word(din_[static_cast<std::size_t>(8 * k + b)], w);
+    }
+}
+
+void GateIpBatchDriver::read_dout_lanes(std::span<std::uint8_t> out, std::size_t n) const {
+  for (std::size_t i = 0; i < 16 * n; ++i) out[i] = 0;
+  for (int k = 0; k < 16; ++k)
+    for (int b = 0; b < 8; ++b) {
+      const auto w = ev_.word(dout_[static_cast<std::size_t>(8 * k + b)]);
+      for (std::size_t lane = 0; lane < n; ++lane)
+        if ((w >> lane) & 1U)
+          out[16 * lane + static_cast<std::size_t>(k)] |= static_cast<std::uint8_t>(1U << b);
+    }
+}
+
+void GateIpBatchDriver::clock(std::uint64_t weight) {
+  ev_.settle();
+  ev_.clock();
+  cycles_ += weight;
+}
+
+void GateIpBatchDriver::reset() {
+  set_broadcast("setup", true);
+  clock();
+  set_broadcast("setup", false);
+  clock();
+}
+
+void GateIpBatchDriver::load_key(std::span<const std::uint8_t> key, bool needs_setup) {
+  set_din_lanes(key, 1);  // replicate the key into every lane
+  set_broadcast("wr_key", true);
+  clock();
+  set_broadcast("wr_key", false);
+  if (needs_setup)
+    for (int i = 0; i < 40; ++i) clock();
+}
+
+std::optional<GateIpBatchDriver::BatchResult> GateIpBatchDriver::process_batch(
+    std::span<const std::uint8_t> in, std::span<std::uint8_t> out, std::size_t n, bool encrypt,
+    int watchdog_cycles) {
+  if (n < 1 || n > kLanes)
+    throw std::invalid_argument("GateIpBatchDriver: batch size must be 1..64");
+  if (in.size() < 16 * n || out.size() < 16 * n)
+    throw std::invalid_argument("GateIpBatchDriver: need 16 bytes per lane");
+  if (has_input("encdec")) set_broadcast("encdec", encrypt);
+  set_din_lanes(in, n);
+  set_broadcast("wr_data", true);
+  clock(n);  // the load edge, n blocks wide
+  set_broadcast("wr_data", false);
+  for (int i = 1; i <= watchdog_cycles; ++i) {
+    clock(n);
+    if (data_ok()) {
+      read_dout_lanes(out, n);
+      return BatchResult{i};
+    }
   }
   return std::nullopt;
 }

@@ -13,6 +13,7 @@
 #include <span>
 #include <string>
 
+#include "netlist/batch_eval.hpp"
 #include "netlist/eval.hpp"
 #include "netlist/netlist.hpp"
 
@@ -56,6 +57,72 @@ class GateIpDriver {
 
  private:
   netlist::Evaluator ev_;
+  std::map<std::string, netlist::NetId> by_name_;
+  std::map<std::string, netlist::NetId> out_by_name_;
+  netlist::Bus din_;
+  netlist::Bus dout_;
+  std::uint64_t cycles_ = 0;
+};
+
+/// Bit-parallel twin of GateIpDriver: the same Table 1 protocol against the
+/// same netlist, but through netlist::BatchEvaluator — up to 64 independent
+/// blocks per pass, one per lane.  Control inputs (setup/wr_*/encdec) are
+/// broadcast to every lane, so the FSM state is identical across lanes and
+/// data_ok can be sampled from lane 0.  The din/dout buses carry per-lane
+/// block data (the lane packing transpose lives in set_din_lanes /
+/// read_dout_lanes).
+///
+/// Cycle accounting: each simulated clock during a process_batch() pass
+/// advances cycles() by the number of ACTIVE lanes, so a full sequence of
+/// 1-lane batches reports exactly the cycle totals the scalar GateIpDriver
+/// (and the behavioral model) would — cycles() stays "simulated device
+/// cycles of useful work", independent of how wide the evaluation ran.
+/// Reset and key-load clocks are device-global (one shared key schedule) and
+/// count once.
+class GateIpBatchDriver {
+ public:
+  static constexpr std::size_t kLanes = netlist::BatchEvaluator::kLanes;
+
+  /// Binds to a synthesized IP netlist (must expose the Table 1 ports).
+  /// The netlist must outlive the driver.
+  explicit GateIpBatchDriver(const netlist::Netlist& nl);
+
+  bool has_input(const std::string& name) const { return by_name_.count(name) != 0; }
+  /// Drive a control input to the same value in every lane.
+  void set_broadcast(const std::string& name, bool v) { ev_.broadcast(by_name_.at(name), v); }
+  /// Pack `n` 16-byte blocks (in[16*L..16*L+15] = lane L) onto din.
+  void set_din_lanes(std::span<const std::uint8_t> in, std::size_t n);
+  /// Unpack `n` lanes of dout into 16-byte blocks.
+  void read_dout_lanes(std::span<std::uint8_t> out, std::size_t n) const;
+  bool data_ok() const { return ev_.get(out_by_name_.at("data_ok"), 0); }
+
+  /// One clock edge in every lane (settles first); `weight` is the number
+  /// of device cycles it represents (= active lanes).
+  void clock(std::uint64_t weight = 1);
+  std::uint64_t cycles() const noexcept { return cycles_; }
+
+  /// Direct evaluator access (lane probes, tape stats).
+  netlist::BatchEvaluator& evaluator() noexcept { return ev_; }
+
+  /// Pulse `setup` for one cycle (device-global: weight 1 per clock).
+  void reset();
+  /// Write a key to every lane; runs the 40 extra key-setup cycles when
+  /// `needs_setup` (device-global: one shared key schedule).
+  void load_key(std::span<const std::uint8_t> key, bool needs_setup);
+
+  struct BatchResult {
+    int cycles;  ///< per-lane latency, load edge -> data_ok (same in every lane)
+  };
+  /// Process `n` (1..kLanes) blocks in one pass, one per lane: `in` holds
+  /// 16*n input bytes, `out` receives 16*n result bytes.  Inactive lanes
+  /// ride along with replicated lane-0 data.  nullopt if data_ok never
+  /// rises (watchdog) — a gate-level hang, as in GateIpDriver::process.
+  std::optional<BatchResult> process_batch(std::span<const std::uint8_t> in,
+                                           std::span<std::uint8_t> out, std::size_t n,
+                                           bool encrypt, int watchdog_cycles = 200);
+
+ private:
+  netlist::BatchEvaluator ev_;
   std::map<std::string, netlist::NetId> by_name_;
   std::map<std::string, netlist::NetId> out_by_name_;
   netlist::Bus din_;

@@ -1,0 +1,70 @@
+#include "engine/batch_modes.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "aes/modes.hpp"
+
+namespace aesip::engine {
+
+namespace {
+
+std::size_t clamp_batch(std::size_t batch) { return batch ? batch : 1; }
+
+/// Feed `in` to the engine's batch path in caller-capped chunks.
+void batched(CipherEngine& e, std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+             bool encrypt, std::size_t batch) {
+  const std::size_t chunk_bytes = clamp_batch(batch) * aes::kBlock;
+  for (std::size_t off = 0; off < in.size(); off += chunk_bytes) {
+    const std::size_t len = std::min(chunk_bytes, in.size() - off);
+    e.process_batch(in.subspan(off, len), out.subspan(off, len), encrypt);
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ecb_crypt_batched(CipherEngine& e, std::span<const std::uint8_t> data,
+                                            bool encrypt, std::size_t batch) {
+  if (data.size() % aes::kBlock != 0) throw std::invalid_argument("ecb: partial block");
+  std::vector<std::uint8_t> out(data.size());
+  batched(e, data, out, encrypt, batch);
+  return out;
+}
+
+std::vector<std::uint8_t> cbc_decrypt_batched(CipherEngine& e,
+                                              std::span<const std::uint8_t, 16> iv,
+                                              std::span<const std::uint8_t> data,
+                                              std::size_t batch) {
+  if (data.size() % aes::kBlock != 0) throw std::invalid_argument("cbc: partial block");
+  std::vector<std::uint8_t> out(data.size());
+  // All block-cipher inputs are ciphertext blocks: decrypt them as one
+  // batch, then undo the chain with XORs.
+  batched(e, data, out, /*encrypt=*/false, batch);
+  for (std::size_t off = 0; off < data.size(); off += aes::kBlock) {
+    const std::uint8_t* chain = off == 0 ? iv.data() : data.data() + (off - aes::kBlock);
+    for (std::size_t i = 0; i < aes::kBlock; ++i)
+      out[off + i] = static_cast<std::uint8_t>(out[off + i] ^ chain[i]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ctr_crypt_batched(CipherEngine& e,
+                                            std::span<const std::uint8_t, 16> initial_counter,
+                                            std::span<const std::uint8_t> data,
+                                            std::size_t batch) {
+  const std::size_t blocks = (data.size() + aes::kBlock - 1) / aes::kBlock;
+  std::vector<std::uint8_t> counters(blocks * aes::kBlock);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const auto ctr = aes::ctr_counter_at(initial_counter, static_cast<std::uint64_t>(b));
+    std::copy(ctr.begin(), ctr.end(),
+              counters.begin() + static_cast<std::ptrdiff_t>(b * aes::kBlock));
+  }
+  std::vector<std::uint8_t> keystream(counters.size());
+  batched(e, counters, keystream, /*encrypt=*/true, batch);
+  std::vector<std::uint8_t> out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    out[i] = static_cast<std::uint8_t>(data[i] ^ keystream[i]);
+  return out;
+}
+
+}  // namespace aesip::engine

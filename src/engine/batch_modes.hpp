@@ -1,0 +1,50 @@
+// Modes of operation over CipherEngine::process_batch.
+//
+// The aes:: mode templates drive one block at a time through the
+// BlockCipher128 concept; these helpers route the block-parallel parts of
+// each mode through the engine's batch path instead, so a lane-packed
+// engine (NetlistEngine: 64 blocks per gate-level pass) sees full batches:
+//
+//   * ECB — every block is independent: straight chunked process_batch.
+//   * CBC decrypt — the block cipher inputs are the ciphertext blocks,
+//     which are all known up front: batch-decrypt, then XOR each plaintext
+//     with the previous ciphertext (IV first).  CBC *encrypt* is a chain
+//     (block i's input depends on block i-1's output) and cannot batch;
+//     callers keep aes::cbc_encrypt for it.
+//   * CTR — the keystream is the forward cipher over counter blocks known
+//     up front: batch-encrypt the counters, XOR with the payload (any
+//     length; the tail uses a partial keystream block).
+//
+// Every helper is bit-identical to its aes:: counterpart for any engine
+// (the default process_batch is a process_block loop), and takes a `batch`
+// cap — the most blocks handed to one process_batch call — so the CLI's
+// --batch N can bound latency per pass.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace aesip::engine {
+
+/// ECB over whole blocks. Precondition: data.size() % 16 == 0.
+std::vector<std::uint8_t> ecb_crypt_batched(CipherEngine& e, std::span<const std::uint8_t> data,
+                                            bool encrypt, std::size_t batch = 64);
+
+/// CBC decryption over whole blocks (encrypt is a chain — use
+/// aes::cbc_encrypt through EngineBlockCipher).
+std::vector<std::uint8_t> cbc_decrypt_batched(CipherEngine& e,
+                                              std::span<const std::uint8_t, 16> iv,
+                                              std::span<const std::uint8_t> data,
+                                              std::size_t batch = 64);
+
+/// CTR over any length; same big-endian full-width counter convention as
+/// aes::ctr_crypt (encryption and decryption are the same operation).
+std::vector<std::uint8_t> ctr_crypt_batched(CipherEngine& e,
+                                            std::span<const std::uint8_t, 16> initial_counter,
+                                            std::span<const std::uint8_t> data,
+                                            std::size_t batch = 64);
+
+}  // namespace aesip::engine

@@ -22,14 +22,60 @@ std::optional<EngineKind> kind_from_name(std::string_view name) noexcept {
   return std::nullopt;
 }
 
+// --- CipherEngine batch path -------------------------------------------------
+
+std::size_t CipherEngine::check_batch_spans(std::span<const std::uint8_t> in,
+                                            std::span<std::uint8_t> out) {
+  if (in.size() != out.size())
+    throw std::invalid_argument("CipherEngine: batch in/out sizes differ");
+  if (in.size() % 16 != 0)
+    throw std::invalid_argument("CipherEngine: batch must be whole 16-byte blocks");
+  return in.size() / 16;
+}
+
+void CipherEngine::process_batch(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                                 bool encrypt) {
+  const std::size_t n = check_batch_spans(in, out);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto r = process_block(in.subspan(16 * i, 16), encrypt);
+    std::copy(r.begin(), r.end(), out.begin() + static_cast<std::ptrdiff_t>(16 * i));
+  }
+  ++batch_stats_.calls;
+  batch_stats_.blocks += n;
+  batch_stats_.passes += n;  // loop engines dispatch one block per pass
+}
+
 // --- SoftwareEngine ----------------------------------------------------------
 
 std::uint64_t SoftwareEngine::load_key(std::span<const std::uint8_t> key) {
   if (key.size() != 16) throw std::invalid_argument("SoftwareEngine: key must be 16 bytes");
   aes_.emplace(key);
+  ttable_.reset();  // rebuilt lazily on the next batch
   std::copy(key.begin(), key.end(), resident_key_.begin());
   ++counters_.key_writes;
   return 0;
+}
+
+void SoftwareEngine::process_batch(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                                   bool encrypt) {
+  const std::size_t n = check_batch_spans(in, out);
+  if (!aes_) throw std::logic_error("SoftwareEngine: no key loaded");
+  if (!ttable_) ttable_.emplace(resident_key_);
+  const bool dec = mode_ == core::IpMode::kDecrypt || (mode_ == core::IpMode::kBoth && !encrypt);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = in.subspan(16 * i, 16);
+    const auto dst = out.subspan(16 * i, 16);
+    if (encrypt)
+      ttable_->encrypt_block(src, dst);
+    else
+      ttable_->decrypt_block(src, dst);
+  }
+  counters_.data_writes += n;
+  counters_.rounds_done += static_cast<std::uint64_t>(core::RijndaelIp::kRounds) * n;
+  (dec ? counters_.blocks_dec : counters_.blocks_enc) += n;
+  ++batch_stats_.calls;
+  batch_stats_.blocks += n;
+  batch_stats_.passes += n;  // one block per table walk: still a loop engine
 }
 
 bool SoftwareEngine::key_resident(std::span<const std::uint8_t> key) const {
@@ -84,22 +130,43 @@ bool NetlistEngine::key_resident(std::span<const std::uint8_t> key) const {
          std::equal(key.begin(), key.end(), resident_key_.begin());
 }
 
-std::array<std::uint8_t, 16> NetlistEngine::do_process(std::span<const std::uint8_t> block,
-                                                       bool encrypt) {
-  const auto r = drv_.process(block, encrypt);
+void NetlistEngine::run_pass(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                             std::size_t n, bool encrypt) {
+  const auto r = drv_.process_batch(in, out, n, encrypt);
   if (!r) throw std::runtime_error("NetlistEngine: data_ok never rose (gate-level hang)");
   last_latency_ = static_cast<std::uint64_t>(r->cycles);
   // The gate FSM walks the same phases the behavioral model counts; derive
-  // the identical attribution from the protocol events.
+  // the identical attribution from the protocol events, once per lane — a
+  // pass over n lanes is n blocks of device work (cycles() agrees: the
+  // driver weights each pass clock by the active lane count).
   const bool dec = mode_ == core::IpMode::kDecrypt || (mode_ == core::IpMode::kBoth && !encrypt);
-  ++counters_.data_writes;
-  ++counters_.idle_cycles;  // the load edge executes in kIdle (block start)
+  counters_.data_writes += n;
+  counters_.idle_cycles += n;  // the load edge executes in kIdle (block start)
   counters_.bytesub_cycles +=
-      static_cast<std::uint64_t>(core::RijndaelIp::kRounds * (core::RijndaelIp::kCyclesPerRound - 1));
-  counters_.mix_cycles += core::RijndaelIp::kRounds;
-  counters_.rounds_done += core::RijndaelIp::kRounds;
-  ++(dec ? counters_.blocks_dec : counters_.blocks_enc);
-  return r->data;
+      static_cast<std::uint64_t>(core::RijndaelIp::kRounds * (core::RijndaelIp::kCyclesPerRound - 1)) * n;
+  counters_.mix_cycles += static_cast<std::uint64_t>(core::RijndaelIp::kRounds) * n;
+  counters_.rounds_done += static_cast<std::uint64_t>(core::RijndaelIp::kRounds) * n;
+  (dec ? counters_.blocks_dec : counters_.blocks_enc) += n;
+}
+
+std::array<std::uint8_t, 16> NetlistEngine::do_process(std::span<const std::uint8_t> block,
+                                                       bool encrypt) {
+  std::array<std::uint8_t, 16> out{};
+  run_pass(block, out, 1, encrypt);  // a scalar block is a 1-lane batch
+  return out;
+}
+
+void NetlistEngine::process_batch(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                                  bool encrypt) {
+  const std::size_t n = check_batch_spans(in, out);
+  const std::size_t lanes = batch_lanes();
+  for (std::size_t off = 0; off < n; off += lanes) {
+    const std::size_t take = std::min(lanes, n - off);
+    run_pass(in.subspan(16 * off, 16 * take), out.subspan(16 * off, 16 * take), take, encrypt);
+    ++batch_stats_.passes;
+  }
+  ++batch_stats_.calls;
+  batch_stats_.blocks += n;
 }
 
 // --- factory -----------------------------------------------------------------

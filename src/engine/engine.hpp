@@ -37,7 +37,10 @@
 #include <stdexcept>
 #include <string_view>
 
+#include <vector>
+
 #include "aes/cipher.hpp"
+#include "aes/ttable.hpp"
 #include "core/bfm.hpp"
 #include "core/gate_driver.hpp"
 #include "core/rijndael_ip.hpp"
@@ -105,6 +108,34 @@ class CipherEngine {
     return drain_result();
   }
 
+  // --- batch path ------------------------------------------------------------
+  /// Process in.size()/16 independent blocks in one call (ECB semantics:
+  /// no chaining between them).  `in` and `out` must be the same whole
+  /// number of 16-byte blocks.  The default implementation loops
+  /// process_block; engines with a wider execution resource override it —
+  /// NetlistEngine packs up to batch_lanes() blocks per evaluator pass,
+  /// SoftwareEngine runs a T-table loop.  Identical results and identical
+  /// cycles() growth as the scalar loop, whatever the override
+  /// (test_engine_conformance asserts both).
+  virtual void process_batch(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                             bool encrypt = true);
+  /// Blocks the engine can genuinely process per pass (1 unless batched).
+  virtual std::size_t batch_lanes() const noexcept { return 1; }
+
+  /// Occupancy accounting for the batch path: how full the engine's lanes
+  /// ran.  A "pass" is one execution-resource dispatch (one evaluator pass
+  /// for the netlist engine; one block for loop engines), so
+  /// blocks/passes/batch_lanes() is the achieved lane occupancy in [0,1].
+  struct BatchStats {
+    std::uint64_t calls = 0;   ///< process_batch invocations
+    std::uint64_t blocks = 0;  ///< blocks processed through the batch path
+    std::uint64_t passes = 0;  ///< execution-resource dispatches
+    double mean_lanes() const noexcept {
+      return passes ? static_cast<double>(blocks) / static_cast<double>(passes) : 0.0;
+    }
+  };
+  const BatchStats& batch_stats() const noexcept { return batch_stats_; }
+
   // --- metrics ---------------------------------------------------------------
   /// Simulated clock cycles consumed so far (0 for zero-cycle engines).
   virtual std::uint64_t cycles() const noexcept = 0;
@@ -123,6 +154,11 @@ class CipherEngine {
   CipherEngine() = default;
   virtual std::array<std::uint8_t, 16> do_process(std::span<const std::uint8_t> block,
                                                   bool encrypt) = 0;
+  /// Throws unless in/out are the same whole number of blocks; returns it.
+  static std::size_t check_batch_spans(std::span<const std::uint8_t> in,
+                                       std::span<std::uint8_t> out);
+
+  BatchStats batch_stats_;
 
  private:
   std::optional<std::array<std::uint8_t, 16>> staged_;
@@ -140,6 +176,11 @@ class SoftwareEngine final : public CipherEngine {
   std::uint64_t load_key(std::span<const std::uint8_t> key) override;
   bool key_resident(std::span<const std::uint8_t> key) const override;
 
+  /// T-table loop over the batch — no transpose, no per-block virtual
+  /// dispatch; same ciphertexts and counter growth as the scalar loop.
+  void process_batch(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                     bool encrypt = true) override;
+
   std::uint64_t cycles() const noexcept override { return 0; }
   std::uint64_t last_latency() const noexcept override { return 0; }
   core::IpCounters counters() const override { return counters_; }
@@ -151,6 +192,7 @@ class SoftwareEngine final : public CipherEngine {
  private:
   core::IpMode mode_;
   std::optional<aes::Aes128> aes_;
+  std::optional<aes::TTableAes128> ttable_;  ///< batch path, built per key
   std::array<std::uint8_t, 16> resident_key_{};
   core::IpCounters counters_;
 };
@@ -203,8 +245,12 @@ class BehavioralEngine final : public CipherEngine {
 std::shared_ptr<const netlist::Netlist> make_ip_netlist(core::IpMode mode);
 
 /// The synthesized gate netlist behind the engine contract, driven through
-/// netlist::Evaluator with the same Table 1 handshake the behavioral bus
-/// driver performs — cycle counts match BehavioralEngine exactly.
+/// netlist::BatchEvaluator with the same Table 1 handshake the behavioral
+/// bus driver performs — cycle counts match BehavioralEngine exactly.  A
+/// scalar process_block is a 1-lane batch; process_batch packs up to 64
+/// blocks per evaluator pass (the bit-parallel fast path, ~proportional
+/// speedup with occupancy).  The scalar netlist::Evaluator remains the
+/// oracle for SEU/power campaigns — this engine never uses it.
 class NetlistEngine final : public CipherEngine {
  public:
   NetlistEngine(std::shared_ptr<const netlist::Netlist> nl, core::IpMode mode);
@@ -217,6 +263,11 @@ class NetlistEngine final : public CipherEngine {
   std::uint64_t load_key(std::span<const std::uint8_t> key) override;
   bool key_resident(std::span<const std::uint8_t> key) const override;
 
+  /// Lane-packed batch: up to 64 blocks per gate-level pass.
+  void process_batch(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                     bool encrypt = true) override;
+  std::size_t batch_lanes() const noexcept override { return core::GateIpBatchDriver::kLanes; }
+
   std::uint64_t cycles() const noexcept override { return drv_.cycles(); }
   std::uint64_t last_latency() const noexcept override { return last_latency_; }
   core::IpCounters counters() const override { return counters_; }
@@ -226,9 +277,13 @@ class NetlistEngine final : public CipherEngine {
                                           bool encrypt) override;
 
  private:
+  /// One gate-level pass over `n` <= 64 staged blocks + counter attribution.
+  void run_pass(std::span<const std::uint8_t> in, std::span<std::uint8_t> out, std::size_t n,
+                bool encrypt);
+
   std::shared_ptr<const netlist::Netlist> nl_;
   core::IpMode mode_;
-  core::GateIpDriver drv_;
+  core::GateIpBatchDriver drv_;
   std::uint64_t last_latency_ = 0;
   std::array<std::uint8_t, 16> resident_key_{};
   bool has_resident_key_ = false;

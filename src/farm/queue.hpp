@@ -23,6 +23,7 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace aesip::farm {
 
@@ -68,6 +69,24 @@ class BoundedQueue {
     lk.unlock();
     not_full_.notify_one();
     return item;
+  }
+
+  /// Blocking pop of up to `max` items in one wake-up — the dispatch-batch
+  /// primitive: a worker that fell behind drains a burst in one lock
+  /// acquisition and can feed it to a lane-packed engine.  Waits like
+  /// pop(), never waits for the queue to *fill*; empty result only once
+  /// the queue is closed and drained.
+  std::vector<T> pop_batch(std::size_t max) {
+    std::vector<T> out;
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return !items_.empty() || closed_; });
+    while (!items_.empty() && out.size() < (max ? max : 1)) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lk.unlock();
+    not_full_.notify_all();  // may have freed several slots
+    return out;
   }
 
   /// Stop accepting new items; consumers drain what is queued, then see

@@ -1,0 +1,255 @@
+#include "netlist/batch_eval.hpp"
+
+#include <stdexcept>
+
+namespace aesip::netlist {
+
+namespace {
+
+/// Node in the scheduling graph: cells and ROM macros unified (same shape
+/// as the scalar evaluator's — the two levelizations must agree on what is
+/// combinational).
+struct Node {
+  bool is_rom;
+  std::size_t index;
+};
+
+}  // namespace
+
+BatchEvaluator::BatchEvaluator(const Netlist& nl)
+    : nl_(nl),
+      words_(nl.net_count(), 0),
+      const0_word_(nl.const0()),
+      const1_word_(nl.const1()) {
+  const auto& cells = nl.cells();
+  const auto& roms = nl.roms();
+
+  // Same producer map + Kahn sort as the scalar Evaluator: DFF outputs are
+  // state sources, constants are fixed, everything else is scheduled.
+  std::vector<Node> nodes;
+  nodes.reserve(cells.size() + roms.size());
+  std::vector<std::int32_t> producer(nl.net_count(), -1);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    if (c.kind == CellKind::kDff) {
+      dffs_.push_back(Dff{c.in[0], c.out, c.in[1] == kNoNet ? kNoWord : c.in[1]});
+      continue;
+    }
+    if (c.kind == CellKind::kConst0 || c.kind == CellKind::kConst1) continue;
+    producer[c.out] = static_cast<std::int32_t>(nodes.size());
+    nodes.push_back(Node{false, i});
+  }
+  for (std::size_t i = 0; i < roms.size(); ++i) {
+    for (const NetId o : roms[i].out) producer[o] = static_cast<std::int32_t>(nodes.size());
+    nodes.push_back(Node{true, i});
+  }
+  dff_state_.assign(dffs_.size(), 0);
+  dff_sample_.assign(dffs_.size(), 0);
+
+  std::vector<int> pending(nodes.size(), 0);
+  std::vector<std::vector<std::int32_t>> consumers(nodes.size());
+  auto each_fanin = [&](const Node& n, auto&& fn) {
+    if (n.is_rom) {
+      for (const NetId a : roms[n.index].addr) fn(a);
+    } else {
+      const Cell& c = cells[n.index];
+      for (int k = 0; k < c.fanin_count(); ++k)
+        if (c.in[static_cast<std::size_t>(k)] != kNoNet) fn(c.in[static_cast<std::size_t>(k)]);
+    }
+  };
+  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+    each_fanin(nodes[ni], [&](NetId fanin) {
+      const std::int32_t p = producer[fanin];
+      if (p >= 0) {
+        ++pending[ni];
+        consumers[static_cast<std::size_t>(p)].push_back(static_cast<std::int32_t>(ni));
+      }
+    });
+  }
+  std::vector<std::int32_t> ready;
+  for (std::size_t ni = 0; ni < nodes.size(); ++ni)
+    if (pending[ni] == 0) ready.push_back(static_cast<std::int32_t>(ni));
+
+  // Compile each node in topological order straight onto the tape.
+  std::size_t scheduled = 0;
+  while (!ready.empty()) {
+    const std::int32_t ni = ready.back();
+    ready.pop_back();
+    const Node& n = nodes[static_cast<std::size_t>(ni)];
+    ++scheduled;
+    if (n.is_rom) {
+      emit(OpKind::kRom, static_cast<std::uint32_t>(n.index), 0);
+    } else {
+      const Cell& c = cells[n.index];
+      switch (c.kind) {
+        case CellKind::kNot:
+          emit(OpKind::kNot, c.out, c.in[0]);
+          break;
+        case CellKind::kAnd2:
+          emit(OpKind::kAnd, c.out, c.in[0], c.in[1]);
+          break;
+        case CellKind::kOr2:
+          emit(OpKind::kOr, c.out, c.in[0], c.in[1]);
+          break;
+        case CellKind::kXor2:
+          emit(OpKind::kXor, c.out, c.in[0], c.in[1]);
+          break;
+        case CellKind::kMux2:
+          emit(OpKind::kMux, c.out, c.in[0], c.in[1], c.in[2]);
+          break;
+        case CellKind::kLut: {
+          std::uint32_t ins[4] = {0, 0, 0, 0};
+          for (int k = 0; k < c.lut_arity; ++k) ins[k] = c.in[static_cast<std::size_t>(k)];
+          compile_lut(c.lut_mask, c.lut_arity, ins, c.out);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    for (const std::int32_t consumer : consumers[static_cast<std::size_t>(ni)])
+      if (--pending[static_cast<std::size_t>(consumer)] == 0) ready.push_back(consumer);
+  }
+  if (scheduled != nodes.size())
+    throw std::runtime_error("netlist::BatchEvaluator: combinational cycle detected");
+
+  words_[const1_word_] = ~Word{0};
+  reset();
+}
+
+std::uint32_t BatchEvaluator::new_temp() {
+  words_.push_back(0);
+  return static_cast<std::uint32_t>(words_.size() - 1);
+}
+
+std::uint32_t BatchEvaluator::emit(OpKind kind, std::uint32_t dst, std::uint32_t a,
+                                   std::uint32_t b, std::uint32_t c) {
+  tape_.push_back(Op{kind, dst, a, b, c});
+  return dst;
+}
+
+// Shannon decomposition over the highest input: split the truth table into
+// the select=0 and select=1 cofactors and recurse.  Constant cofactors
+// collapse the mux into single-word gates, so LUT evaluation costs a few
+// word ops per cell instead of a per-lane table index.
+std::uint32_t BatchEvaluator::compile_lut(std::uint16_t mask, int arity,
+                                          const std::uint32_t* inputs, std::uint32_t dst) {
+  const std::uint32_t width = 1u << arity;  // truth-table entries
+  const std::uint16_t all = static_cast<std::uint16_t>((width >= 16 ? 0x10000u : (1u << width)) - 1);
+  const std::uint16_t m = static_cast<std::uint16_t>(mask & all);
+  if (m == 0) return dst == kNoWord ? const0_word_ : emit(OpKind::kCopy, dst, const0_word_);
+  if (m == all) return dst == kNoWord ? const1_word_ : emit(OpKind::kCopy, dst, const1_word_);
+
+  const std::uint32_t half = width >> 1;  // arity >= 1 here (m not constant)
+  const std::uint16_t lo_m = static_cast<std::uint16_t>(m & ((1u << half) - 1));
+  const std::uint16_t hi_m = static_cast<std::uint16_t>(m >> half);
+  if (lo_m == hi_m) return compile_lut(lo_m, arity - 1, inputs, dst);
+
+  const std::uint32_t sel = inputs[arity - 1];
+  const std::uint32_t lo = compile_lut(lo_m, arity - 1, inputs, kNoWord);
+  const std::uint32_t hi = compile_lut(hi_m, arity - 1, inputs, kNoWord);
+  const bool lo0 = lo == const0_word_, lo1 = lo == const1_word_;
+  const bool hi0 = hi == const0_word_, hi1 = hi == const1_word_;
+
+  if (lo0 && hi1) return dst == kNoWord ? sel : emit(OpKind::kCopy, dst, sel);
+  const std::uint32_t d = dst == kNoWord ? new_temp() : dst;
+  if (lo1 && hi0) return emit(OpKind::kNot, d, sel);
+  if (lo0) return emit(OpKind::kAnd, d, sel, hi);
+  if (hi0) return emit(OpKind::kAndn, d, sel, lo);  // ~sel & lo
+  if (lo1) return emit(OpKind::kOrn, d, sel, hi);   // ~sel | hi
+  if (hi1) return emit(OpKind::kOr, d, sel, lo);
+  return emit(OpKind::kMux, d, sel, lo, hi);
+}
+
+void BatchEvaluator::set_bus(const Bus& b, std::size_t lane, std::uint64_t value) {
+  for (std::size_t i = 0; i < b.size(); ++i) set(b[i], lane, (value >> i) & 1U);
+}
+
+std::uint64_t BatchEvaluator::get_bus(const Bus& b, std::size_t lane) const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < b.size(); ++i)
+    if (get(b[i], lane)) v |= std::uint64_t{1} << i;
+  return v;
+}
+
+void BatchEvaluator::broadcast_bus(const Bus& b, std::uint64_t value) {
+  for (std::size_t i = 0; i < b.size(); ++i) broadcast(b[i], (value >> i) & 1U);
+}
+
+void BatchEvaluator::settle() {
+  Word* const w = words_.data();
+  const auto& roms = nl_.roms();
+  for (const Op& op : tape_) {
+    switch (op.kind) {
+      case OpKind::kCopy:
+        w[op.dst] = w[op.a];
+        break;
+      case OpKind::kNot:
+        w[op.dst] = ~w[op.a];
+        break;
+      case OpKind::kAnd:
+        w[op.dst] = w[op.a] & w[op.b];
+        break;
+      case OpKind::kAndn:
+        w[op.dst] = ~w[op.a] & w[op.b];
+        break;
+      case OpKind::kOr:
+        w[op.dst] = w[op.a] | w[op.b];
+        break;
+      case OpKind::kOrn:
+        w[op.dst] = ~w[op.a] | w[op.b];
+        break;
+      case OpKind::kXor:
+        w[op.dst] = w[op.a] ^ w[op.b];
+        break;
+      case OpKind::kMux:
+        w[op.dst] = (w[op.a] & w[op.c]) | (~w[op.a] & w[op.b]);
+        break;
+      case OpKind::kRom: {
+        // Transposed gather: pull each lane's 8 address bits out of the
+        // address lane words, look the byte up, scatter its bits back.
+        const Rom& r = roms[op.dst];
+        Word a[8];
+        Word o[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+        for (int i = 0; i < 8; ++i) a[i] = w[r.addr[static_cast<std::size_t>(i)]];
+        for (std::size_t lane = 0; lane < kLanes; ++lane) {
+          std::size_t addr = 0;
+          for (int i = 0; i < 8; ++i) addr |= ((a[i] >> lane) & 1U) << i;
+          const std::uint8_t data = r.table[addr];
+          for (int i = 0; i < 8; ++i) o[i] |= Word{(data >> i) & 1U} << lane;
+        }
+        for (int i = 0; i < 8; ++i) w[r.out[static_cast<std::size_t>(i)]] = o[i];
+        break;
+      }
+    }
+  }
+}
+
+void BatchEvaluator::clock() {
+  // Sample every enabled D first (pre-edge values in every lane), then
+  // publish, then settle — Evaluator::clock() semantics, 64 lanes wide.
+  for (std::size_t i = 0; i < dffs_.size(); ++i) {
+    const Dff& f = dffs_[i];
+    const Word d = words_[f.d];
+    if (f.enable == kNoWord) {
+      dff_sample_[i] = d;
+    } else {
+      const Word en = words_[f.enable];
+      dff_sample_[i] = (en & d) | (~en & dff_state_[i]);
+    }
+  }
+  for (std::size_t i = 0; i < dffs_.size(); ++i) {
+    dff_state_[i] = dff_sample_[i];
+    words_[dffs_[i].q] = dff_state_[i];
+  }
+  settle();
+}
+
+void BatchEvaluator::reset() {
+  for (std::size_t i = 0; i < dffs_.size(); ++i) {
+    dff_state_[i] = 0;
+    words_[dffs_[i].q] = 0;
+  }
+}
+
+}  // namespace aesip::netlist

@@ -1,0 +1,120 @@
+// Bit-parallel netlist evaluator: 64 independent simulations per pass.
+//
+// The scalar Evaluator walks the levelized cell list interpreting one cell
+// at a time for one set of net values — fine as a correctness oracle, far
+// too slow for netlist-backed farm traffic or large fault campaigns.  This
+// evaluator applies the classic SIMD-within-a-register trick (Biham's "A
+// Fast New DES Implementation in Software"): each net holds one uint64_t
+// *lane word* whose bit L is that net's value in simulation lane L, so one
+// bitwise op advances 64 independent blocks at once.
+//
+// The netlist is compiled ONCE at construction into a flat tape of
+// word-level ops:
+//
+//   * NOT/AND2/OR2/XOR2 become single word ops; MUX2 becomes two.
+//   * kLut cells are expanded at compile time into their mux/sum-of-products
+//     tree by Shannon decomposition over the LUT mask — constant cofactors
+//     collapse into AND/ANDN/OR/ORN/NOT/COPY, so a typical 4-LUT costs a
+//     handful of word ops and no per-bit truth-table indexing at runtime.
+//   * ROM macros (the 256x8 S-box) stay byte lookups: a transposed gather
+//     reads each lane's 8 address bits out of the address lane words, looks
+//     the byte up, and scatters its 8 data bits back into the output words.
+//   * DFF state is kept as packed lane words; clock() samples every enabled
+//     D (per-lane enable masking), publishes Q, then settles — the same
+//     pre-edge semantics as Evaluator::clock().
+//
+// A combinational cycle is rejected at construction exactly like the scalar
+// evaluator.  BatchEvaluator is verified bit-for-bit against Evaluator over
+// every synthesized block (tests/test_netlist_batch.cpp); the scalar
+// evaluator remains the oracle and keeps the single-lane SEU flip_dff path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace aesip::netlist {
+
+class BatchEvaluator {
+ public:
+  /// Lanes per pass: one bit per lane in a 64-bit word.
+  static constexpr std::size_t kLanes = 64;
+  using Word = std::uint64_t;
+
+  explicit BatchEvaluator(const Netlist& nl);
+
+  // --- whole-word access (all 64 lanes at once) ------------------------------
+  /// Lane word of net `n`: bit L = the value in lane L.
+  Word word(NetId n) const { return words_[n]; }
+  void set_word(NetId n, Word w) { words_[n] = w; }
+  /// Drive net `n` to the same value in every lane.
+  void broadcast(NetId n, bool v) { words_[n] = v ? ~Word{0} : Word{0}; }
+  void broadcast_bus(const Bus& b, std::uint64_t value);
+
+  // --- per-lane access --------------------------------------------------------
+  void set(NetId n, std::size_t lane, bool v) {
+    const Word bit = Word{1} << lane;
+    words_[n] = v ? (words_[n] | bit) : (words_[n] & ~bit);
+  }
+  bool get(NetId n, std::size_t lane) const { return (words_[n] >> lane) & 1U; }
+  /// Drive a bus (bit 0 = LSB) in one lane from an integer.
+  void set_bus(const Bus& b, std::size_t lane, std::uint64_t value);
+  std::uint64_t get_bus(const Bus& b, std::size_t lane) const;
+
+  // --- simulation -------------------------------------------------------------
+  /// Propagate through the compiled tape (call after changing inputs).
+  void settle();
+  /// Rising clock edge in every lane: each DFF whose enable is true in a
+  /// lane samples its D in that lane; then the network settles.
+  void clock();
+  /// Clear all flip-flop state to zero in every lane (no settle — mirrors
+  /// the scalar evaluator).
+  void reset();
+
+  // --- inspection -------------------------------------------------------------
+  std::size_t dff_count() const noexcept { return dffs_.size(); }
+  /// Word ops in the compiled tape (compile-quality metric for benches).
+  std::size_t tape_size() const noexcept { return tape_.size(); }
+  /// Net words plus LUT-expansion temporaries.
+  std::size_t word_count() const noexcept { return words_.size(); }
+
+ private:
+  // One word-level op.  kMux is (a & c) | (~a & b) — a = select, b = low,
+  // c = high, matching kMux2's in0/in1/in2.  kAndn is ~a & b and kOrn is
+  // ~a | b: the collapsed Shannon cofactors (hi==0 / lo==1).
+  enum class OpKind : std::uint8_t { kCopy, kNot, kAnd, kAndn, kOr, kOrn, kXor, kMux, kRom };
+  struct Op {
+    OpKind kind;
+    std::uint32_t dst;  // word index; for kRom: the rom index
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    std::uint32_t c = 0;
+  };
+  struct Dff {
+    std::uint32_t d;       ///< word index of D
+    std::uint32_t q;       ///< word index of Q
+    std::uint32_t enable;  ///< word index of clock-enable, or kNoWord
+  };
+  static constexpr std::uint32_t kNoWord = 0xffffffffu;
+
+  std::uint32_t new_temp();
+  /// Compile `mask` over inputs[0..arity) into tape ops; writes the result
+  /// into `dst` when given (kNoWord = return any word holding the value).
+  std::uint32_t compile_lut(std::uint16_t mask, int arity,
+                            const std::uint32_t* inputs, std::uint32_t dst);
+  std::uint32_t emit(OpKind kind, std::uint32_t dst, std::uint32_t a,
+                     std::uint32_t b = 0, std::uint32_t c = 0);
+
+  const Netlist& nl_;
+  std::vector<Word> words_;  ///< one per net, then LUT temporaries
+  std::vector<Op> tape_;
+  std::vector<Dff> dffs_;
+  std::vector<Word> dff_state_;
+  std::vector<Word> dff_sample_;  ///< clock() scratch (no per-call alloc)
+  std::uint32_t const0_word_;
+  std::uint32_t const1_word_;
+};
+
+}  // namespace aesip::netlist

@@ -86,12 +86,17 @@ NetId Netlist::gate_mux(NetId sel, NetId lo, NetId hi) {
 NetId Netlist::add_lut(std::uint16_t mask, std::span<const NetId> inputs) {
   if (inputs.size() > 4) throw std::invalid_argument("netlist: LUT arity > 4");
   const NetId out = new_net();
+  add_lut_with_out(out, mask, inputs);
+  return out;
+}
+
+void Netlist::add_lut_with_out(NetId out, std::uint16_t mask, std::span<const NetId> inputs) {
+  if (inputs.size() > 4) throw std::invalid_argument("netlist: LUT arity > 4");
   Cell cell{CellKind::kLut, {kNoNet, kNoNet, kNoNet, kNoNet}, out, mask,
             static_cast<std::uint8_t>(inputs.size())};
   for (std::size_t i = 0; i < inputs.size(); ++i) cell.in[i] = inputs[i];
   driver_[out] = static_cast<std::int32_t>(cells_.size());
   cells_.push_back(cell);
-  return out;
 }
 
 NetId Netlist::add_dff(NetId d, NetId enable) {

@@ -79,6 +79,11 @@ class Netlist {
   /// sel ? hi : lo
   NetId gate_mux(NetId sel, NetId lo, NetId hi);
   NetId add_lut(std::uint16_t mask, std::span<const NetId> inputs);
+  /// LUT driving a pre-allocated net (transformation passes that stitch
+  /// feedback or out-of-order cones). The builder API is otherwise acyclic
+  /// by construction; a pass that miswires a combinational loop through
+  /// this is caught by the evaluators' cycle rejection.
+  void add_lut_with_out(NetId out, std::uint16_t mask, std::span<const NetId> inputs);
   /// D flip-flop; `enable` == kNoNet means always-enabled.
   NetId add_dff(NetId d, NetId enable = kNoNet);
   /// D flip-flop driving a pre-allocated net (used for feedback paths and

@@ -12,9 +12,12 @@
 // contract, not throughput.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <numeric>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "aes/cipher.hpp"
@@ -115,6 +118,85 @@ TEST(EngineConformance, CtrModeEquivalenceAcrossEngines) {
     // CTR decrypts with the same forward operation.
     const auto back = aes::ctr_crypt(c, std::span<const std::uint8_t, 16>(kIv), got);
     EXPECT_EQ(back, plain) << "ctr round-trip mismatch on engine " << e->name();
+  }
+}
+
+// FIPS-197 Appendix B through the batch path: a batch of identical
+// plaintext blocks must yield the known ciphertext in every slot, and
+// decrypt back, on every engine kind.
+TEST(EngineConformance, BatchFipsVectorsAcrossEngines) {
+  constexpr std::size_t kBlocks = 5;  // deliberately a partial batch
+  for (const auto kind :
+       {EngineKind::kSoftware, EngineKind::kBehavioral, EngineKind::kNetlist}) {
+    const auto e = engine::make_engine(kind);
+    e->load_key(engine::kFipsBKey);
+    std::vector<std::uint8_t> in, out(16 * kBlocks), back(16 * kBlocks);
+    for (std::size_t i = 0; i < kBlocks; ++i)
+      in.insert(in.end(), engine::kFipsBPlain.begin(), engine::kFipsBPlain.end());
+    e->process_batch(in, out, /*encrypt=*/true);
+    for (std::size_t i = 0; i < kBlocks; ++i)
+      EXPECT_TRUE(std::equal(engine::kFipsBCipher.begin(), engine::kFipsBCipher.end(),
+                             out.begin() + static_cast<std::ptrdiff_t>(16 * i)))
+          << "engine " << e->name() << " block " << i;
+    e->process_batch(out, back, /*encrypt=*/false);
+    EXPECT_EQ(back, in) << "engine " << e->name();
+    EXPECT_EQ(e->batch_stats().blocks, 2 * kBlocks);
+    EXPECT_EQ(e->batch_stats().calls, 2u);
+  }
+}
+
+// process_batch must be indistinguishable from the scalar loop — same
+// ciphertexts AND the same cycles() growth — on every engine, at batch
+// sizes that cross the netlist engine's 64-lane boundary.
+TEST(EngineConformance, BatchMatchesScalarBytesAndCycles) {
+  // 70 blocks: one full 64-lane pass plus a 6-lane partial for the netlist
+  // engine; a plain loop for the others.
+  const auto plain = pattern_bytes(70 * 16);
+  for (const auto kind :
+       {EngineKind::kSoftware, EngineKind::kBehavioral, EngineKind::kNetlist}) {
+    const auto scalar = engine::make_engine(kind);
+    const auto batched = engine::make_engine(kind);
+    scalar->load_key(kKey);
+    batched->load_key(kKey);
+
+    std::vector<std::uint8_t> want(plain.size());
+    for (std::size_t i = 0; i < plain.size(); i += 16) {
+      const auto r = scalar->process_block(
+          std::span<const std::uint8_t>(plain.data() + i, 16), /*encrypt=*/true);
+      std::copy(r.begin(), r.end(), want.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+
+    std::vector<std::uint8_t> got(plain.size());
+    batched->process_batch(plain, got, /*encrypt=*/true);
+    EXPECT_EQ(got, want) << "engine " << scalar->name();
+    EXPECT_EQ(batched->cycles(), scalar->cycles())
+        << "batch path must cost the same simulated cycles on " << scalar->name();
+
+    std::vector<std::uint8_t> back(plain.size());
+    batched->process_batch(got, back, /*encrypt=*/false);
+    EXPECT_EQ(back, plain) << "engine " << scalar->name();
+
+    const auto& stats = batched->batch_stats();
+    EXPECT_EQ(stats.blocks, 140u);
+    if (kind == EngineKind::kNetlist) {
+      EXPECT_EQ(batched->batch_lanes(), 64u);
+      EXPECT_EQ(stats.passes, 4u);  // (64 + 6) lanes, twice
+      EXPECT_NEAR(stats.mean_lanes(), 35.0, 1e-9);
+    } else {
+      EXPECT_EQ(stats.passes, 140u);  // loop engines: one block per pass
+    }
+  }
+}
+
+// Malformed batch spans are rejected up front on every engine.
+TEST(EngineConformance, BatchSpanValidation) {
+  for (const auto kind :
+       {EngineKind::kSoftware, EngineKind::kBehavioral, EngineKind::kNetlist}) {
+    const auto e = engine::make_engine(kind);
+    e->load_key(kKey);
+    std::vector<std::uint8_t> a(32), b(16), c(17);
+    EXPECT_THROW(e->process_batch(a, b), std::invalid_argument) << e->name();
+    EXPECT_THROW(e->process_batch(c, c), std::invalid_argument) << e->name();
   }
 }
 

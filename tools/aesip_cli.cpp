@@ -67,6 +67,7 @@
 #include "aes/modes.hpp"
 #include "aes/ttable.hpp"
 #include "core/bfm.hpp"
+#include "engine/batch_modes.hpp"
 #include "engine/conformance.hpp"
 #include "engine/engine.hpp"
 #include "farm/farm.hpp"
@@ -169,6 +170,8 @@ int cmd_crypt(bool encrypting, const Args& args) {
   std::vector<std::uint8_t> iv_vec = from_hex(arg_or(args, "iv", std::string(32, '0')));
   if (iv_vec.size() != 16) die("--iv must be 32 hex digits");
   const std::span<const std::uint8_t, 16> iv(iv_vec.data(), 16);
+  const unsigned long batch = std::stoul(arg_or(args, "batch", "64"));
+  if (batch < 1) die("--batch must be >= 1");
 
   const auto input = read_file(in_path);
 
@@ -185,18 +188,43 @@ int cmd_crypt(bool encrypting, const Args& args) {
     die("unknown mode '" + mode + "' (ecb|cbc|ctr)");
   };
 
+  // The block-parallel legs of each mode route through the engine's batch
+  // path in --batch-capped passes (64 gate-level lanes on the netlist
+  // engine); CBC encryption is a chain and stays block-at-a-time.
+  auto run_batched = [&](engine::CipherEngine& e) -> std::vector<std::uint8_t> {
+    if (mode == "ecb") {
+      return encrypting
+                 ? engine::ecb_crypt_batched(e, aes::pkcs7_pad(input), true, batch)
+                 : aes::pkcs7_unpad(engine::ecb_crypt_batched(e, input, false, batch));
+    }
+    if (mode == "cbc") {
+      return encrypting
+                 ? aes::cbc_encrypt(engine::EngineBlockCipher(e), iv, aes::pkcs7_pad(input))
+                 : aes::pkcs7_unpad(engine::cbc_decrypt_batched(e, iv, input, batch));
+    }
+    if (mode == "ctr") return engine::ctr_crypt_batched(e, iv, input, batch);
+    die("unknown mode '" + mode + "' (ecb|cbc|ctr)");
+  };
+
   // Engine setup: "ttable" is the optimized software special case; every
   // other spelling resolves to an engine::CipherEngine kind.
   std::vector<std::uint8_t> output;
-  std::uint64_t sim_cycles = 0;
+  std::string detail;
   if (engine == "ttable") {
     aes::TTableAes128 fast(key);
     output = run(fast);
   } else if (const auto kind = engine::kind_from_name(engine)) {
     const auto e = engine::make_engine(*kind);
     e->load_key(key);
-    output = run(engine::EngineBlockCipher(*e));
-    sim_cycles = e->cycles();
+    output = run_batched(*e);
+    if (e->cycles()) detail += ", " + std::to_string(e->cycles()) + " simulated cycles";
+    const auto& bs = e->batch_stats();
+    if (bs.passes) {
+      char occ[64];
+      std::snprintf(occ, sizeof occ, ", lane occupancy %.1f/%zu", bs.mean_lanes(),
+                    e->batch_lanes());
+      detail += occ;
+    }
   } else {
     die("unknown engine '" + engine + "' (ttable|sw|behavioral|netlist)");
   }
@@ -204,10 +232,7 @@ int cmd_crypt(bool encrypting, const Args& args) {
   write_file(out_path, output);
   std::printf("%s %zu bytes -> %zu bytes (%s, %s engine%s)\n",
               encrypting ? "encrypted" : "decrypted", input.size(), output.size(),
-              mode.c_str(), engine.c_str(),
-              sim_cycles
-                  ? (", " + std::to_string(sim_cycles) + " simulated cycles").c_str()
-                  : "");
+              mode.c_str(), engine.c_str(), detail.c_str());
   return 0;
 }
 
@@ -879,7 +904,9 @@ void usage() {
   std::puts(
       "usage: aesip <command> [options]\n"
       "  encrypt|decrypt --key HEX32 [--mode ecb|cbc|ctr] [--iv HEX32]\n"
-      "                  [--engine ttable|sw|behavioral|netlist] --in FILE --out FILE\n"
+      "                  [--engine ttable|sw|behavioral|netlist] [--batch N]\n"
+      "                  --in FILE --out FILE   (batch: blocks per engine pass,\n"
+      "                  default 64 = full netlist lane width)\n"
       "  flow     [--variant encrypt|decrypt|both] [--device NAME]\n"
       "  export   [--variant V] [--format verilog|blif] [--sbox rom|logic]\n"
       "           [--mapped yes|no] --out FILE\n"

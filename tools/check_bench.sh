@@ -75,6 +75,48 @@ for f in "$repo"/BENCH_*.json; do
       fail=1
     fi
   fi
+
+  if [ "$stem" = "simspeed" ]; then
+    # The 64-lane batch-evaluation gate (docs/netlist.md): the netlist_batch
+    # section must be present and must pass — >= 20x per-block speedup over
+    # the scalar evaluator at full lane occupancy.
+    for needle in \
+      '"netlist_batch": {' \
+      '"speedup_per_block": ' \
+      '"occupancy_sweep": ['
+    do
+      if ! grep -qF "$needle" "$f"; then
+        echo "check_bench: $name: missing $needle" >&2
+        fail=1
+      fi
+    done
+    if ! sed -n '/"netlist_batch": {/,/"occupancy_sweep"/p' "$f" \
+        | grep -qF '"meets_target": true'; then
+      echo "check_bench: $name: netlist batch gate failed (meets_target is not true)" >&2
+      fail=1
+    fi
+  fi
+
+  if [ "$stem" = "farm" ]; then
+    # The wall-scaling gate: either measured and met, or explicitly skipped
+    # with a reason (hosts with fewer hardware threads than workers cannot
+    # show wall-clock scaling; the simulated-domain figures still apply).
+    if ! grep -qF '"wall_scaling": {' "$f"; then
+      echo "check_bench: $name: missing \"wall_scaling\": {" >&2
+      fail=1
+    else
+      section=$(sed -n '/"wall_scaling": {/,/}/p' "$f")
+      if printf '%s' "$section" | grep -qF '"skipped": true'; then
+        if ! printf '%s' "$section" | grep -qF '"reason": "'; then
+          echo "check_bench: $name: wall_scaling skipped without a reason" >&2
+          fail=1
+        fi
+      elif ! printf '%s' "$section" | grep -qF '"meets_target": true'; then
+        echo "check_bench: $name: wall-scaling gate failed (meets_target is not true)" >&2
+        fail=1
+      fi
+    fi
+  fi
 done
 
 # Bench outputs are run artifacts (gitignored): a tree that has not run the
