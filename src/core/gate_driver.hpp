@@ -39,6 +39,7 @@ class GateIpDriver {
 
   /// Direct evaluator access (fault injection, activity probes).
   netlist::Evaluator& evaluator() noexcept { return ev_; }
+  const netlist::Evaluator& evaluator() const noexcept { return ev_; }
 
   // --- protocol helpers --------------------------------------------------------
   /// Pulse `setup` for one cycle.
@@ -101,8 +102,9 @@ class GateIpBatchDriver {
   void clock(std::uint64_t weight = 1);
   std::uint64_t cycles() const noexcept { return cycles_; }
 
-  /// Direct evaluator access (lane probes, tape stats).
+  /// Direct evaluator access (lane probes, tape stats, fault injection).
   netlist::BatchEvaluator& evaluator() noexcept { return ev_; }
+  const netlist::BatchEvaluator& evaluator() const noexcept { return ev_; }
 
   /// Pulse `setup` for one cycle (device-global: weight 1 per clock).
   void reset();

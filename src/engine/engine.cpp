@@ -149,6 +149,17 @@ void NetlistEngine::run_pass(std::span<const std::uint8_t> in, std::span<std::ui
   (dec ? counters_.blocks_dec : counters_.blocks_enc) += n;
 }
 
+std::size_t NetlistEngine::fault_sites() const noexcept {
+  return drv_.evaluator().dff_count();
+}
+
+bool NetlistEngine::inject_fault(std::size_t site) {
+  if (site >= drv_.evaluator().dff_count()) return false;
+  drv_.evaluator().flip_dff(site);
+  drv_.evaluator().settle();
+  return true;
+}
+
 std::array<std::uint8_t, 16> NetlistEngine::do_process(std::span<const std::uint8_t> block,
                                                        bool encrypt) {
   std::array<std::uint8_t, 16> out{};

@@ -136,6 +136,18 @@ class CipherEngine {
   };
   const BatchStats& batch_stats() const noexcept { return batch_stats_; }
 
+  // --- fault injection (fleet chaos hooks; see docs/fleet.md) ----------------
+  /// Number of persistent state sites (DFFs) an SEU could upset; 0 for
+  /// engines with no gate-level state to flip.
+  virtual std::size_t fault_sites() const noexcept { return 0; }
+  /// Flip the state bit at `site` (< fault_sites()) in the live engine —
+  /// the software model of a standby single-event upset.  Returns false
+  /// when the engine kind has nothing to upset (software/behavioral).
+  virtual bool inject_fault(std::size_t site) {
+    (void)site;
+    return false;
+  }
+
   // --- metrics ---------------------------------------------------------------
   /// Simulated clock cycles consumed so far (0 for zero-cycle engines).
   virtual std::uint64_t cycles() const noexcept = 0;
@@ -271,6 +283,16 @@ class NetlistEngine final : public CipherEngine {
   std::uint64_t cycles() const noexcept override { return drv_.cycles(); }
   std::uint64_t last_latency() const noexcept override { return last_latency_; }
   core::IpCounters counters() const override { return counters_; }
+
+  /// Every DFF in the evaluated netlist is a fault site.
+  std::size_t fault_sites() const noexcept override;
+  /// Flip the DFF at `site` in ALL lanes and re-settle combinationally —
+  /// the state stays corrupted until the next reset/key-load rewrites it.
+  bool inject_fault(std::size_t site) override;
+
+  /// The shared gate graph this engine evaluates (fleet fault-site
+  /// classification reads the DFF list through this).
+  const std::shared_ptr<const netlist::Netlist>& netlist() const noexcept { return nl_; }
 
  protected:
   std::array<std::uint8_t, 16> do_process(std::span<const std::uint8_t> block,

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <random>
 #include <span>
 #include <stdexcept>
 
+#include "aes/cipher.hpp"
 #include "aes/modes.hpp"
 #include "engine/batch_modes.hpp"
 #include "engine/engine.hpp"
@@ -38,11 +40,39 @@ const char* mode_name(Mode m) noexcept {
 // whole locking story.
 class WorkerContext {
  public:
-  explicit WorkerContext(const std::function<std::unique_ptr<engine::CipherEngine>()>& make)
-      : engine(make()), cipher(*engine) {}
+  WorkerContext(std::function<std::unique_ptr<engine::CipherEngine>()> make, const char* lbl,
+                unsigned seed)
+      : factory(std::move(make)),
+        label(lbl),
+        engine(factory()),
+        cipher(*engine),
+        spot_rng(seed * 2654435761u + 1u) {}
 
+  /// Install a fresh (already keyed) engine. Rebinding the cipher adapter
+  /// is mandatory — it holds a raw pointer into the old engine. Factory and
+  /// label only change on a kind swap, not on a same-kind heal.
+  void adopt(std::unique_ptr<engine::CipherEngine> fresh,
+             std::function<std::unique_ptr<engine::CipherEngine>()> new_factory,
+             const char* new_label) {
+    engine = std::move(fresh);
+    cipher = engine::EngineBlockCipher(*engine);
+    if (new_factory) factory = std::move(new_factory);
+    if (new_label) label = new_label;
+  }
+
+  /// Bernoulli(fraction) draw for the spot-check policy.
+  bool sample(double fraction) {
+    if (fraction >= 1.0) return true;
+    return std::uniform_real_distribution<double>(0.0, 1.0)(spot_rng) < fraction;
+  }
+
+  std::function<std::unique_ptr<engine::CipherEngine>()> factory;
+  const char* label;  ///< static-duration engine name for stats
   std::unique_ptr<engine::CipherEngine> engine;
   engine::EngineBlockCipher cipher;
+  Key128 last_key{};     ///< most recent key this worker ran — swap replays it
+  bool has_key = false;
+  std::minstd_rand spot_rng;
 };
 
 Farm::Farm(const FarmConfig& cfg) : cfg_(cfg), sessions_(cfg.workers, cfg.max_sessions) {
@@ -52,28 +82,12 @@ Farm::Farm(const FarmConfig& cfg) : cfg_(cfg), sessions_(cfg.workers, cfg.max_se
     engine_factory_ = cfg_.engine_factory;
   } else {
     engine_name_ = engine::kind_name(cfg_.engine);
-    switch (cfg_.engine) {
-      case engine::EngineKind::kSoftware:
-        engine_factory_ = []() -> std::unique_ptr<engine::CipherEngine> {
-          return std::make_unique<engine::SoftwareEngine>(core::IpMode::kBoth);
-        };
-        break;
-      case engine::EngineKind::kBehavioral:
-        engine_factory_ = []() -> std::unique_ptr<engine::CipherEngine> {
-          return std::make_unique<engine::BehavioralEngine>(core::IpMode::kBoth);
-        };
-        break;
-      case engine::EngineKind::kNetlist: {
-        // Synthesize once; workers share the immutable gate graph and each
-        // run a private evaluator over it.
-        auto nl = engine::make_ip_netlist(core::IpMode::kBoth);
-        engine_factory_ = [nl]() -> std::unique_ptr<engine::CipherEngine> {
-          return std::make_unique<engine::NetlistEngine>(nl, core::IpMode::kBoth);
-        };
-        break;
-      }
-    }
+    engine_factory_ = factory_for(cfg_.engine);
   }
+  worker_engine_ = std::make_unique<std::atomic<const char*>[]>(
+      static_cast<std::size_t>(cfg_.workers));
+  for (int i = 0; i < cfg_.workers; ++i)
+    worker_engine_[static_cast<std::size_t>(i)].store(engine_name_, std::memory_order_relaxed);
   counters_ = std::vector<WorkerCounters>(static_cast<std::size_t>(cfg_.workers));
   queues_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i)
@@ -177,7 +191,7 @@ std::future<Result> Farm::submit_fanout(Request req) {
 }
 
 void Farm::worker_main(int index) {
-  WorkerContext ctx(engine_factory_);
+  WorkerContext ctx(engine_factory_, engine_name_, static_cast<unsigned>(index));
   auto& queue = *queues_[static_cast<std::size_t>(index)];
   // Drain a burst per wake-up: under load a lane-packed engine (netlist)
   // then sees back-to-back jobs without a queue round-trip between them,
@@ -185,7 +199,13 @@ void Farm::worker_main(int index) {
   for (;;) {
     auto jobs = queue.pop_batch(cfg_.dispatch_batch);
     if (jobs.empty()) break;
-    for (auto& job : jobs) execute(job, ctx, index);
+    for (auto& job : jobs) {
+      if (job.control) {
+        job.control(ctx, index);  // swap/inject: engine mutation on its owner
+        continue;
+      }
+      execute(job, ctx, index);
+    }
   }
 }
 
@@ -197,6 +217,8 @@ void Farm::execute(Job& job, WorkerContext& ctx, int index) {
   try {
     const std::uint64_t c0 = ctx.engine->cycles();
     const std::uint64_t setup = ctx.engine->rekey(job.key);
+    ctx.last_key = job.key;  // swap_engine replays this onto the fresh engine
+    ctx.has_key = true;
     const std::span<const std::uint8_t, aes::kBlock> iv(job.iv.data(), aes::kBlock);
 
     // Block-parallel mode legs run through the engine's batch path (full
@@ -215,8 +237,48 @@ void Farm::execute(Job& job, WorkerContext& ctx, int index) {
         out = engine::ctr_crypt_batched(*ctx.engine, iv, job.payload);
         break;
     }
-
+    // Capture the cycle delta now: a heal below replaces the engine (and
+    // its cycle counter) before the accounting lines run.
     const std::uint64_t cycles = ctx.engine->cycles() - c0;
+
+    // Spot-check policy: re-run a sampled fraction of jobs through the
+    // software oracle. A mismatch means the *engine* is corrupted (SEU,
+    // chaos injection) — the client gets the oracle's bytes either way, so
+    // corruption is contained to this worker and never observable outside.
+    bool replayed = false;
+    if (cfg_.spot_check_fraction > 0.0 && ctx.sample(cfg_.spot_check_fraction)) {
+      spot_checks_.fetch_add(1, std::memory_order_relaxed);
+      aes::Aes128 ref(job.key);
+      std::vector<std::uint8_t> expected;
+      switch (job.mode) {
+        case Mode::kEcb:
+          expected = job.encrypt ? aes::ecb_encrypt(ref, job.payload)
+                                 : aes::ecb_decrypt(ref, job.payload);
+          break;
+        case Mode::kCbc:
+          expected = job.encrypt ? aes::cbc_encrypt(ref, iv, job.payload)
+                                 : aes::cbc_decrypt(ref, iv, job.payload);
+          break;
+        case Mode::kCtr:
+          expected = aes::ctr_crypt(ref, iv, job.payload);
+          break;
+      }
+      if (expected != out) {
+        spot_mismatches_.fetch_add(1, std::memory_order_relaxed);
+        replayed_jobs_.fetch_add(1, std::memory_order_relaxed);
+        out = std::move(expected);  // answer with the correct bytes
+        replayed = true;
+        if (cfg_.heal_on_mismatch) {
+          // Quarantine-and-heal inline, between jobs, on the owning thread:
+          // no other thread can touch this engine, so the rebuild is
+          // race-free and the next queued job runs on a clean core.
+          swap_pause_us_hist_.record(heal_worker(ctx, index));
+          heals_.fetch_add(1, std::memory_order_relaxed);
+          quarantines_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+
     const auto t_end = std::chrono::steady_clock::now();
     ctr.requests.fetch_add(1, std::memory_order_relaxed);
     ctr.blocks.fetch_add(block_count(job.payload.size()), std::memory_order_relaxed);
@@ -244,6 +306,7 @@ void Farm::execute(Job& job, WorkerContext& ctx, int index) {
       fan.parts[job.chunk_index] = std::move(out);
       fan.cycles.fetch_add(cycles, std::memory_order_relaxed);
       fan.setup_cycles.fetch_add(setup, std::memory_order_relaxed);
+      if (replayed) fan.replayed.store(true, std::memory_order_relaxed);
       if (fan.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         Result r;
         r.data.reserve(fan.total_bytes);
@@ -252,6 +315,7 @@ void Farm::execute(Job& job, WorkerContext& ctx, int index) {
         r.cycles = fan.cycles.load(std::memory_order_relaxed);
         r.setup_cycles = fan.setup_cycles.load(std::memory_order_relaxed);
         r.chunks = fan.parts.size();
+        r.replayed = fan.replayed.load(std::memory_order_relaxed);
         record_latency(fan.t_submit);
         requests_done_.fetch_add(1, std::memory_order_relaxed);
         fan.promise.set_value(std::move(r));
@@ -263,6 +327,7 @@ void Farm::execute(Job& job, WorkerContext& ctx, int index) {
       r.key_was_hot = setup == 0;
       r.cycles = cycles;
       r.setup_cycles = setup;
+      r.replayed = replayed;
       record_latency(job.t_submit);
       requests_done_.fetch_add(1, std::memory_order_relaxed);
       job.promise.set_value(std::move(r));
@@ -277,6 +342,117 @@ void Farm::execute(Job& job, WorkerContext& ctx, int index) {
       job.promise.set_exception(std::current_exception());
     }
   }
+}
+
+// --- fleet control plane -----------------------------------------------------
+
+std::function<std::unique_ptr<engine::CipherEngine>()> Farm::factory_for(
+    engine::EngineKind kind) {
+  switch (kind) {
+    case engine::EngineKind::kSoftware:
+      return []() -> std::unique_ptr<engine::CipherEngine> {
+        return std::make_unique<engine::SoftwareEngine>(core::IpMode::kBoth);
+      };
+    case engine::EngineKind::kBehavioral:
+      return []() -> std::unique_ptr<engine::CipherEngine> {
+        return std::make_unique<engine::BehavioralEngine>(core::IpMode::kBoth);
+      };
+    case engine::EngineKind::kNetlist: {
+      // Synthesize once, ever: the construction-time netlist and every
+      // later swap share the same immutable gate graph.
+      std::shared_ptr<const netlist::Netlist> nl;
+      {
+        std::lock_guard lk(netlist_mu_);
+        if (!shared_netlist_) shared_netlist_ = engine::make_ip_netlist(core::IpMode::kBoth);
+        nl = shared_netlist_;
+      }
+      return [nl]() -> std::unique_ptr<engine::CipherEngine> {
+        return std::make_unique<engine::NetlistEngine>(nl, core::IpMode::kBoth);
+      };
+    }
+  }
+  throw std::invalid_argument("farm: unknown engine kind");
+}
+
+void Farm::push_control(int worker, std::function<void(WorkerContext&, int)> fn) {
+  if (worker < 0 || worker >= cfg_.workers)
+    throw std::out_of_range("farm: worker index out of range");
+  Job job;
+  job.control = std::move(fn);
+  job.t_submit = std::chrono::steady_clock::now();
+  if (!queues_[static_cast<std::size_t>(worker)]->push_front(std::move(job)))
+    throw std::runtime_error("farm: control after shutdown");
+}
+
+std::uint64_t Farm::heal_worker(WorkerContext& ctx, int index) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto fresh = ctx.factory();
+  if (ctx.has_key) fresh->load_key(ctx.last_key);
+  ctx.adopt(std::move(fresh), {}, nullptr);  // same kind, same factory
+  worker_engine_[static_cast<std::size_t>(index)].store(ctx.label, std::memory_order_relaxed);
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - t0)
+                                        .count());
+}
+
+std::future<SwapReport> Farm::swap_engine(int worker, engine::EngineKind kind) {
+  auto factory = factory_for(kind);  // synthesis (if any) happens HERE, not on the worker
+  const char* label = engine::kind_name(kind);
+  auto prom = std::make_shared<std::promise<SwapReport>>();
+  auto future = prom->get_future();
+  push_control(worker, [this, factory = std::move(factory), label, prom](WorkerContext& ctx,
+                                                                         int index) {
+    try {
+      SwapReport rep;
+      rep.worker = index;
+      rep.from = ctx.label;
+      rep.to = label;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto fresh = factory();
+      if (ctx.has_key) {
+        rep.setup_cycles = fresh->load_key(ctx.last_key);
+        rep.key_replayed = true;
+      }
+      ctx.adopt(std::move(fresh), factory, label);
+      rep.pause_us = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                                t0)
+              .count());
+      swap_pause_us_hist_.record(rep.pause_us);
+      swaps_.fetch_add(1, std::memory_order_relaxed);
+      worker_engine_[static_cast<std::size_t>(index)].store(label, std::memory_order_relaxed);
+      prom->set_value(std::move(rep));
+    } catch (...) {
+      prom->set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
+std::future<bool> Farm::inject_fault(int worker, std::size_t site) {
+  auto prom = std::make_shared<std::promise<bool>>();
+  auto future = prom->get_future();
+  push_control(worker, [prom, site](WorkerContext& ctx, int /*index*/) {
+    try {
+      prom->set_value(ctx.engine->inject_fault(site));
+    } catch (...) {
+      prom->set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
+void Farm::set_worker_enabled(int worker, bool enabled) {
+  if (worker < 0 || worker >= cfg_.workers)
+    throw std::out_of_range("farm: worker index out of range");
+  const bool was = sessions_.worker_enabled(worker);
+  sessions_.set_worker_enabled(worker, enabled);
+  if (was && !enabled) quarantines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const netlist::Netlist> Farm::shared_netlist() const {
+  std::lock_guard lk(netlist_mu_);
+  return shared_netlist_;
 }
 
 void Farm::record_latency(std::chrono::steady_clock::time_point t_submit) {
@@ -307,6 +483,16 @@ FarmStats Farm::stats() const {
   s.session_evictions = sc.session_evictions;
   s.sessions_live = sc.sessions_live;
 
+  s.swaps = swaps_.load(std::memory_order_relaxed);
+  s.heals = heals_.load(std::memory_order_relaxed);
+  s.quarantines = quarantines_.load(std::memory_order_relaxed);
+  s.spot_checks = spot_checks_.load(std::memory_order_relaxed);
+  s.spot_mismatches = spot_mismatches_.load(std::memory_order_relaxed);
+  s.replayed_jobs = replayed_jobs_.load(std::memory_order_relaxed);
+  s.sessions_migrated = sc.sessions_migrated;
+  s.workers_enabled = sessions_.workers_enabled();
+  s.swap_pause_us = swap_pause_us_hist_.snapshot();
+
   s.queue_depth = queue_depth_hist_.snapshot();
   s.queue_wait_us = queue_wait_us_hist_.snapshot();
   if (tracer_) {
@@ -327,6 +513,8 @@ FarmStats Farm::stats() const {
     w.setup_cycles = counters_[i].setup_cycles.load(std::memory_order_relaxed);
     w.busy_ns = counters_[i].busy_ns.load(std::memory_order_relaxed);
     w.utilization = wall_ns > 0 ? static_cast<double>(w.busy_ns) / wall_ns : 0.0;
+    w.engine = worker_engine_[i].load(std::memory_order_relaxed);
+    w.enabled = sessions_.worker_enabled(static_cast<int>(i));
     s.blocks += w.blocks;
     s.total_cycles += w.cycles;
     s.total_setup_cycles += w.setup_cycles;
@@ -393,6 +581,15 @@ std::string FarmStats::report(double clock_ns) const {
       static_cast<unsigned long long>(key_hits), static_cast<unsigned long long>(key_loads),
       key_hit_rate() * 100.0, static_cast<unsigned long long>(sessions_live),
       static_cast<unsigned long long>(session_evictions));
+  if (swaps || heals || quarantines || spot_checks)
+    add("  fleet:     %llu swaps, %llu heals, %llu quarantines (%d/%d workers enabled); "
+        "spot-check %llu/%llu mismatched, %llu replayed, %llu sessions migrated\n",
+        static_cast<unsigned long long>(swaps), static_cast<unsigned long long>(heals),
+        static_cast<unsigned long long>(quarantines), workers_enabled, workers,
+        static_cast<unsigned long long>(spot_mismatches),
+        static_cast<unsigned long long>(spot_checks),
+        static_cast<unsigned long long>(replayed_jobs),
+        static_cast<unsigned long long>(sessions_migrated));
   add("  simulated: %.2f cycles/block (ideal 50), %llu setup cycles, makespan %llu cycles\n",
       cycles_per_block(), static_cast<unsigned long long>(total_setup_cycles),
       static_cast<unsigned long long>(max_worker_cycles));
@@ -409,11 +606,12 @@ std::string FarmStats::report(double clock_ns) const {
         static_cast<unsigned long long>(trace_events),
         static_cast<unsigned long long>(trace_dropped));
   for (std::size_t i = 0; i < per_worker.size(); ++i)
-    add("  worker %2zu: %8llu blocks, %10llu cycles (%llu setup), %4.1f%% utilized\n", i,
+    add("  worker %2zu: %8llu blocks, %10llu cycles (%llu setup), %4.1f%% utilized [%s%s]\n", i,
         static_cast<unsigned long long>(per_worker[i].blocks),
         static_cast<unsigned long long>(per_worker[i].cycles),
         static_cast<unsigned long long>(per_worker[i].setup_cycles),
-        per_worker[i].utilization * 100.0);
+        per_worker[i].utilization * 100.0, per_worker[i].engine.c_str(),
+        per_worker[i].enabled ? "" : ", quarantined");
   return out;
 }
 
@@ -463,6 +661,16 @@ void FarmStats::write_json(std::ostream& os, double clock_ns) const {
   write_histogram_json(j, queue_wait_us);
   j.key("trace_events").value(trace_events);
   j.key("trace_dropped").value(trace_dropped);
+  j.key("swaps").value(swaps);
+  j.key("heals").value(heals);
+  j.key("quarantines").value(quarantines);
+  j.key("spot_checks").value(spot_checks);
+  j.key("spot_mismatches").value(spot_mismatches);
+  j.key("replayed_jobs").value(replayed_jobs);
+  j.key("sessions_migrated").value(sessions_migrated);
+  j.key("workers_enabled").value(workers_enabled);
+  j.key("swap_pause_us");
+  write_histogram_json(j, swap_pause_us);
   j.key("wall_seconds").value(wall_seconds);
   j.key("blocks_per_wall_sec").value(blocks_per_wall_sec());
   j.key("total_cycles").value(total_cycles);
@@ -489,6 +697,8 @@ void FarmStats::write_json(std::ostream& os, double clock_ns) const {
     j.key("setup_cycles").value(w.setup_cycles);
     j.key("busy_ns").value(w.busy_ns);
     j.key("utilization").value(w.utilization);
+    j.key("engine").value(w.engine);
+    j.key("enabled").value(w.enabled);
     j.end_object();
   }
   j.end_array();

@@ -52,6 +52,8 @@
 
 namespace aesip::farm {
 
+class WorkerContext;  // worker-thread-private engine state; defined in farm.cpp
+
 enum class Mode { kEcb, kCbc, kCtr };
 
 const char* mode_name(Mode m) noexcept;
@@ -74,6 +76,16 @@ struct FarmConfig {
   /// Custom engine source; overrides `engine` when set. Called once per
   /// worker, on that worker's thread.
   std::function<std::unique_ptr<engine::CipherEngine>()> engine_factory;
+
+  /// Cross-check policy: fraction of completed jobs (0..1) each worker
+  /// re-runs through the software reference after the engine answered.  A
+  /// mismatch means the engine is silently corrupted (an SEU, a bad swap):
+  /// the job is answered with the *oracle's* bytes — clients never see the
+  /// corruption — and, when heal_on_mismatch, the worker quarantines
+  /// itself inline, rebuilds a fresh engine and replays its key state
+  /// before touching the next job. 0 disables checking (the default).
+  double spot_check_fraction = 0.0;
+  bool heal_on_mismatch = true;
 };
 
 struct Request {
@@ -92,6 +104,17 @@ struct Result {
   std::uint64_t cycles = 0;      ///< simulated cycles spent (summed over chunks)
   std::uint64_t setup_cycles = 0;///< of which key setup
   std::uint64_t chunks = 1;      ///< 1, or the fan-out width
+  bool replayed = false;         ///< spot-check caught a mismatch; data is the oracle's
+};
+
+/// Outcome of one live engine hot-swap (Farm::swap_engine).
+struct SwapReport {
+  int worker = -1;
+  std::string from;               ///< engine name before the swap
+  std::string to;                 ///< engine name after
+  std::uint64_t pause_us = 0;     ///< how long the worker was quiesced
+  std::uint64_t setup_cycles = 0; ///< key-state replay cost on the fresh engine
+  bool key_replayed = false;      ///< the resident key was carried over
 };
 
 class Farm {
@@ -117,6 +140,34 @@ class Farm {
   /// Forget a session binding (its key may stay resident in a slot).
   void end_session(std::uint64_t session_id) { sessions_.end_session(session_id); }
 
+  // --- fleet control plane (live reconfiguration; see docs/fleet.md) --------
+  /// Hot-swap `worker`'s engine to `kind` without draining the farm: a
+  /// control job jumps the worker's queue, the worker finishes its current
+  /// job, builds the fresh engine, replays its resident key through the
+  /// rekey() fast path and resumes — every queued job runs on the new
+  /// engine, none are dropped. The future resolves once the swap executed.
+  /// Throws std::out_of_range for a bad worker index.
+  std::future<SwapReport> swap_engine(int worker, engine::EngineKind kind);
+
+  /// Chaos hook: flip persistent state at `site` (a DFF index) inside
+  /// `worker`'s live engine, between jobs — the software model of a
+  /// standby SEU. Resolves false when the engine kind has no gate-level
+  /// state to upset. Throws std::out_of_range for a bad worker index.
+  std::future<bool> inject_fault(int worker, std::size_t site);
+
+  /// Quarantine control: a disabled worker takes no new routes and its
+  /// sessions migrate to other workers on their next request; already
+  /// queued jobs still execute (zero loss). Counted in stats().quarantines
+  /// on the disable edge.
+  void set_worker_enabled(int worker, bool enabled);
+  bool worker_enabled(int worker) const { return sessions_.worker_enabled(worker); }
+
+  /// The shared immutable gate netlist, once any netlist engine has been
+  /// built (at construction for netlist farms, lazily for swaps); null on
+  /// farms that never ran a netlist engine. Fault-site classification
+  /// (fleet::ChaosInjector) reads the graph through this.
+  std::shared_ptr<const netlist::Netlist> shared_netlist() const;
+
   /// Consistent point-in-time snapshot; callable while traffic is running.
   FarmStats stats() const;
 
@@ -135,11 +186,15 @@ class Farm {
     std::atomic<std::uint64_t> cycles{0};
     std::atomic<std::uint64_t> setup_cycles{0};
     std::atomic<bool> failed{false};
+    std::atomic<bool> replayed{false};  ///< any chunk answered by the oracle
     std::size_t total_bytes = 0;
     std::chrono::steady_clock::time_point t_submit;
   };
 
-  /// One unit of worker work: a whole request, or one CTR chunk.
+  /// One unit of worker work: a whole request, one CTR chunk, or a fleet
+  /// control action (engine swap / fault injection) that must run on the
+  /// worker's own thread — engines are strictly thread-private, so every
+  /// mutation travels through the queue to its owner.
   struct Job {
     Mode mode = Mode::kEcb;
     bool encrypt = true;
@@ -151,6 +206,9 @@ class Farm {
     std::promise<Result> promise;        ///< whole-request jobs only
     std::shared_ptr<FanState> fan;       ///< chunk jobs only
     std::size_t chunk_index = 0;
+    /// Control jobs: runs instead of cipher work (swap/inject). Pushed to
+    /// the queue FRONT so the worker quiesces after at most one more job.
+    std::function<void(class WorkerContext&, int)> control;
   };
 
   /// Per-worker counters, written only by that worker (relaxed atomics so
@@ -166,8 +224,15 @@ class Farm {
   static void validate(const Request& req);
   std::future<Result> submit_fanout(Request req);
   void worker_main(int index);
-  void execute(Job& job, class WorkerContext& ctx, int index);
+  void execute(Job& job, WorkerContext& ctx, int index);
   void record_latency(std::chrono::steady_clock::time_point t_submit);
+
+  /// Factory for `kind`, sharing (and lazily caching) the farm-wide netlist.
+  std::function<std::unique_ptr<engine::CipherEngine>()> factory_for(engine::EngineKind kind);
+  /// Front-push a control job onto `worker`'s queue (range-checked).
+  void push_control(int worker, std::function<void(WorkerContext&, int)> fn);
+  /// Inline quarantine-rebuild on the owning thread; returns the pause in us.
+  std::uint64_t heal_worker(WorkerContext& ctx, int index);
 
   FarmConfig cfg_;
   std::function<std::unique_ptr<engine::CipherEngine>()> engine_factory_;
@@ -188,6 +253,21 @@ class Farm {
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> ctr_fanouts_{0};
   std::atomic<std::uint64_t> ctr_chunks_{0};
+
+  // Fleet control plane. The netlist is synthesized once and shared by every
+  // netlist engine the farm ever builds (construction or swap alike).
+  mutable std::mutex netlist_mu_;
+  std::shared_ptr<const netlist::Netlist> shared_netlist_;
+  std::atomic<std::uint64_t> swaps_{0};
+  std::atomic<std::uint64_t> heals_{0};
+  std::atomic<std::uint64_t> quarantines_{0};
+  std::atomic<std::uint64_t> spot_checks_{0};
+  std::atomic<std::uint64_t> spot_mismatches_{0};
+  std::atomic<std::uint64_t> replayed_jobs_{0};
+  obs::Histogram swap_pause_us_hist_;
+  /// Per-worker engine label, written by the owner on swap/heal, read by
+  /// stats(); values are static-duration kind names (or "custom").
+  std::unique_ptr<std::atomic<const char*>[]> worker_engine_;
 
   mutable std::mutex latency_mu_;
   std::vector<float> latencies_us_;  ///< capped reservoir, see record_latency

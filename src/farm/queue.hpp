@@ -47,6 +47,23 @@ class BoundedQueue {
     return true;
   }
 
+  /// Priority push for rare control items (engine hot-swap, fault
+  /// injection): the item goes to the FRONT of the queue and ignores the
+  /// capacity bound, so the control plane can never deadlock against its
+  /// own backpressure — a full queue means the worker is busy, which is
+  /// exactly when a swap or quarantine order must still get through.
+  /// Returns false only if the queue was closed.
+  bool push_front(T item) {
+    {
+      std::lock_guard lk(mu_);
+      if (closed_) return false;
+      items_.push_front(std::move(item));
+      if (items_.size() > high_water_) high_water_ = items_.size();
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Non-blocking push; false when full or closed (the load-shedding path).
   bool try_push(T item) {
     {

@@ -10,7 +10,7 @@ SessionTable::SessionTable(int workers, std::size_t max_sessions)
 
 int SessionTable::touch_slot_with_key_locked(const Key128& key) {
   for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].key && *slots_[i].key == key) {
+    if (slots_[i].enabled && slots_[i].key && *slots_[i].key == key) {
       slots_[i].last_used = ++tick_;
       return static_cast<int>(i);
     }
@@ -19,9 +19,18 @@ int SessionTable::touch_slot_with_key_locked(const Key128& key) {
 }
 
 int SessionTable::evict_lru_slot_locked(const Key128& key) {
-  std::size_t victim = 0;
-  for (std::size_t i = 1; i < slots_.size(); ++i)
-    if (slots_[i].last_used < slots_[victim].last_used) victim = i;
+  // LRU victim among enabled slots; if every worker is disabled, fall back
+  // to a plain LRU over all of them — routing must never deadlock.
+  std::size_t victim = slots_.size();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].enabled) continue;
+    if (victim == slots_.size() || slots_[i].last_used < slots_[victim].last_used) victim = i;
+  }
+  if (victim == slots_.size()) {
+    victim = 0;
+    for (std::size_t i = 1; i < slots_.size(); ++i)
+      if (slots_[i].last_used < slots_[victim].last_used) victim = i;
+  }
   slots_[victim].key = key;
   slots_[victim].last_used = ++tick_;
   return static_cast<int>(victim);
@@ -50,9 +59,13 @@ SessionTable::Route SessionTable::route(std::uint64_t session_id, const Key128& 
   if (it != sessions_.end() && it->second.key == key) {
     // Known session. Its preferred worker may have been re-keyed under
     // another session since — follow the key, not the stale binding.
+    const int prev = it->second.worker;
     const int w = touch_slot_with_key_locked(key);
     r.worker = w >= 0 ? w : evict_lru_slot_locked(key);
     r.key_hot = w >= 0;
+    if (r.worker != prev && prev >= 0 && prev < static_cast<int>(slots_.size()) &&
+        !slots_[static_cast<std::size_t>(prev)].enabled)
+      ++counters_.sessions_migrated;  // its old worker is quarantined
     it->second.worker = r.worker;
     it->second.last_used = ++tick_;
   } else {
@@ -74,8 +87,14 @@ SessionTable::Route SessionTable::route(std::uint64_t session_id, const Key128& 
 
 int SessionTable::next_round_robin(const Key128& key) {
   std::lock_guard lk(mu_);
-  const int w = rr_next_;
-  rr_next_ = (rr_next_ + 1) % static_cast<int>(slots_.size());
+  // Skip quarantined workers; after a full lap with none enabled, take the
+  // next slot regardless (same never-deadlock fallback as routing).
+  int w = rr_next_;
+  for (std::size_t tries = 0; tries < slots_.size(); ++tries) {
+    if (slots_[static_cast<std::size_t>(w)].enabled) break;
+    w = (w + 1) % static_cast<int>(slots_.size());
+  }
+  rr_next_ = (w + 1) % static_cast<int>(slots_.size());
   auto& slot = slots_[static_cast<std::size_t>(w)];
   if (slot.key && *slot.key == key)
     ++counters_.key_hits;
@@ -84,6 +103,26 @@ int SessionTable::next_round_robin(const Key128& key) {
   slot.key = key;
   slot.last_used = ++tick_;
   return w;
+}
+
+void SessionTable::set_worker_enabled(int worker, bool enabled) {
+  std::lock_guard lk(mu_);
+  if (worker < 0 || worker >= static_cast<int>(slots_.size())) return;
+  slots_[static_cast<std::size_t>(worker)].enabled = enabled;
+}
+
+bool SessionTable::worker_enabled(int worker) const {
+  std::lock_guard lk(mu_);
+  if (worker < 0 || worker >= static_cast<int>(slots_.size())) return false;
+  return slots_[static_cast<std::size_t>(worker)].enabled;
+}
+
+int SessionTable::workers_enabled() const {
+  std::lock_guard lk(mu_);
+  int n = 0;
+  for (const auto& s : slots_)
+    if (s.enabled) ++n;
+  return n;
 }
 
 void SessionTable::end_session(std::uint64_t session_id) {

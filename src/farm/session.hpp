@@ -42,6 +42,7 @@ class SessionTable {
     std::uint64_t key_loads = 0;         ///< slot re-keyed (LRU victim chosen)
     std::uint64_t session_evictions = 0; ///< session bindings dropped at capacity
     std::uint64_t sessions_live = 0;
+    std::uint64_t sessions_migrated = 0; ///< sessions re-routed off a disabled worker
   };
 
   SessionTable(int workers, std::size_t max_sessions);
@@ -57,6 +58,14 @@ class SessionTable {
   /// Drop a session binding (connection closed). No-op if unknown.
   void end_session(std::uint64_t session_id);
 
+  /// Quarantine plumbing: a disabled worker receives no new routes — its
+  /// sessions migrate (re-key elsewhere, counted in sessions_migrated) on
+  /// their next request. If every worker is disabled, routing falls back
+  /// to ignoring the mask rather than deadlocking.
+  void set_worker_enabled(int worker, bool enabled);
+  bool worker_enabled(int worker) const;
+  int workers_enabled() const;
+
   Counters counters() const;
   int workers() const noexcept { return static_cast<int>(slots_.size()); }
 
@@ -64,6 +73,7 @@ class SessionTable {
   struct Slot {
     std::optional<Key128> key;
     std::uint64_t last_used = 0;  ///< LRU tick
+    bool enabled = true;          ///< quarantined workers take no new routes
   };
   struct Session {
     Key128 key{};

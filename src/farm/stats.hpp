@@ -32,6 +32,8 @@ struct WorkerStats {
   std::uint64_t setup_cycles = 0;  ///< cycles spent re-keying (the affinity miss cost)
   std::uint64_t busy_ns = 0;       ///< host time spent executing jobs
   double utilization = 0;          ///< busy_ns / farm wall time, in [0,1]
+  std::string engine;              ///< engine currently installed (may differ after swaps)
+  bool enabled = true;             ///< false while quarantined (no new routes)
 };
 
 struct LatencyStats {
@@ -61,6 +63,18 @@ struct FarmStats {
   std::size_t queue_high_water = 0;  ///< max depth over all worker queues
   obs::HistogramSnapshot queue_depth;    ///< depth observed after each enqueue
   obs::HistogramSnapshot queue_wait_us;  ///< submit -> execution start, per job
+
+  // fleet (live reconfiguration: hot-swap / spot-check / quarantine-heal;
+  // see docs/fleet.md — all zero on a farm that was never reconfigured)
+  std::uint64_t swaps = 0;            ///< live engine hot-swaps completed
+  std::uint64_t heals = 0;            ///< engines rebuilt after a detected fault
+  std::uint64_t quarantines = 0;      ///< workers pulled from routing (spot-check or admin)
+  std::uint64_t spot_checks = 0;      ///< jobs re-run through the software oracle
+  std::uint64_t spot_mismatches = 0;  ///< of which the engine's output was wrong
+  std::uint64_t replayed_jobs = 0;    ///< jobs answered with the oracle's (correct) bytes
+  std::uint64_t sessions_migrated = 0;///< sessions re-routed off a quarantined worker
+  int workers_enabled = 0;            ///< gauge: workers currently taking routes
+  obs::HistogramSnapshot swap_pause_us;  ///< worker pause per swap/heal (engine rebuild + key replay)
 
   // tracing (zero unless FarmConfig::tracing)
   std::uint64_t trace_events = 0;   ///< events recorded into the rings

@@ -1,0 +1,125 @@
+#include "fleet/fleet.hpp"
+
+#include <cstdio>
+
+#include "report/json.hpp"
+#include "seu/live.hpp"
+
+namespace aesip::fleet {
+
+// --- FleetController ---------------------------------------------------------
+
+std::vector<farm::SwapReport> FleetController::swap_all(engine::EngineKind kind) {
+  std::vector<std::future<farm::SwapReport>> futures;
+  futures.reserve(static_cast<std::size_t>(farm_.config().workers));
+  for (int w = 0; w < farm_.config().workers; ++w) futures.push_back(farm_.swap_engine(w, kind));
+  std::vector<farm::SwapReport> reports;
+  reports.reserve(futures.size());
+  for (auto& f : futures) reports.push_back(f.get());
+  return reports;
+}
+
+FleetStatus FleetController::status() const {
+  const farm::FarmStats s = farm_.stats();
+  FleetStatus st;
+  st.workers = s.workers;
+  st.workers_enabled = s.workers_enabled;
+  st.swaps = s.swaps;
+  st.heals = s.heals;
+  st.quarantines = s.quarantines;
+  st.spot_checks = s.spot_checks;
+  st.spot_mismatches = s.spot_mismatches;
+  st.replayed_jobs = s.replayed_jobs;
+  st.sessions_migrated = s.sessions_migrated;
+  st.swap_pause_p50_us = static_cast<double>(s.swap_pause_us.percentile(0.50));
+  st.swap_pause_max_us = static_cast<double>(s.swap_pause_us.max);
+  st.per_worker.reserve(s.per_worker.size());
+  for (std::size_t i = 0; i < s.per_worker.size(); ++i) {
+    WorkerStatus w;
+    w.worker = static_cast<int>(i);
+    w.engine = s.per_worker[i].engine;
+    w.enabled = s.per_worker[i].enabled;
+    w.blocks = s.per_worker[i].blocks;
+    st.per_worker.push_back(std::move(w));
+  }
+  return st;
+}
+
+std::string FleetStatus::report() const {
+  char line[192];
+  std::string out;
+  const auto add = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof line, fmt, args...);
+    out += line;
+  };
+  add("fleet: %d workers (%d enabled), %llu swaps, %llu heals, %llu quarantines\n", workers,
+      workers_enabled, static_cast<unsigned long long>(swaps),
+      static_cast<unsigned long long>(heals), static_cast<unsigned long long>(quarantines));
+  add("  spot-check: %llu checked, %llu mismatched, %llu replayed; %llu sessions migrated\n",
+      static_cast<unsigned long long>(spot_checks),
+      static_cast<unsigned long long>(spot_mismatches),
+      static_cast<unsigned long long>(replayed_jobs),
+      static_cast<unsigned long long>(sessions_migrated));
+  if (swaps || heals)
+    add("  swap pause: p50 %.0f us, max %.0f us\n", swap_pause_p50_us, swap_pause_max_us);
+  for (const auto& w : per_worker)
+    add("  worker %2d: %-10s %8llu blocks%s\n", w.worker, w.engine.c_str(),
+        static_cast<unsigned long long>(w.blocks), w.enabled ? "" : "  [quarantined]");
+  return out;
+}
+
+void FleetStatus::write_json(std::ostream& os) const {
+  report::JsonWriter j(os);
+  j.begin_object();
+  j.key("workers").value(workers);
+  j.key("workers_enabled").value(workers_enabled);
+  j.key("swaps").value(swaps);
+  j.key("heals").value(heals);
+  j.key("quarantines").value(quarantines);
+  j.key("spot_checks").value(spot_checks);
+  j.key("spot_mismatches").value(spot_mismatches);
+  j.key("replayed_jobs").value(replayed_jobs);
+  j.key("sessions_migrated").value(sessions_migrated);
+  j.key("swap_pause_p50_us").value(swap_pause_p50_us);
+  j.key("swap_pause_max_us").value(swap_pause_max_us);
+  j.key("per_worker").begin_array();
+  for (const auto& w : per_worker) {
+    j.begin_object();
+    j.key("worker").value(w.worker);
+    j.key("engine").value(w.engine);
+    j.key("enabled").value(w.enabled);
+    j.key("blocks").value(w.blocks);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+}
+
+// --- ChaosInjector -----------------------------------------------------------
+
+std::size_t ChaosInjector::corrupting_site() {
+  if (!sites_scanned_) {
+    sites_scanned_ = true;
+    // Classify a handful of provably-corrupting standby sites on the shared
+    // gate graph (deterministic per seed). The scan is the expensive step,
+    // so it runs once and only if a netlist exists to scan.
+    if (const auto nl = farm_.shared_netlist())
+      corrupting_sites_ = seu::find_standby_sites(*nl, seu::StandbyEffect::kCorrupting,
+                                                  /*count=*/4, rng_());
+  }
+  if (corrupting_sites_.empty()) return 0;  // nothing classified: inject() reports the truth
+  return corrupting_sites_[rng_() % corrupting_sites_.size()];
+}
+
+ChaosInjector::Event ChaosInjector::inject(int worker, std::size_t site) {
+  Event e;
+  e.worker = worker >= 0 ? worker
+                         : static_cast<int>(rng_() % static_cast<std::uint32_t>(
+                                                         farm_.config().workers));
+  e.site = site == kAutoSite ? corrupting_site() : site;
+  e.injected = farm_.inject_fault(e.worker, e.site).get();
+  events_.push_back(e);
+  return e;
+}
+
+}  // namespace aesip::fleet

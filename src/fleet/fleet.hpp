@@ -1,0 +1,126 @@
+// Fleet management: the farm as a *mutable* population of cores.
+//
+// Everything below the farm treats a worker's engine as fixed for the
+// process lifetime. This layer drops that assumption and manages the farm
+// the way an operator manages a rack of FPGA boards:
+//
+//   * FleetController — the admin facade: hot-swap a worker's engine
+//     (sw <-> behavioral <-> netlist) under live traffic, quarantine and
+//     resume workers, inject faults, and snapshot fleet health. It is a
+//     thin blocking wrapper over Farm's future-based control plane, shaped
+//     for the wire admin opcodes (net::Server) and the `aesip fleet` CLI.
+//
+//   * ChaosInjector — SEU-driven chaos testing: flips netlist DFF state in
+//     a live NetlistEngine mid-traffic. Sites are chosen from the shared
+//     gate netlist by standby-upset classification (seu/live.hpp), so an
+//     injection is *provably corrupting* — exactly the fault the farm's
+//     spot-check policy must catch and heal. Deterministic per seed.
+//
+// Thread safety: FleetController and ChaosInjector are plain call-through
+// objects over Farm's thread-safe control plane; each instance may be used
+// from one thread at a time (the server's event loop, a CLI, a test).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "farm/farm.hpp"
+
+namespace aesip::fleet {
+
+/// One worker's health row in a fleet snapshot.
+struct WorkerStatus {
+  int worker = -1;
+  std::string engine;
+  bool enabled = true;
+  std::uint64_t blocks = 0;
+};
+
+/// Point-in-time fleet health: the reconfiguration counters plus one row
+/// per worker. A plain value — safe to serialize off the snapshot thread.
+struct FleetStatus {
+  int workers = 0;
+  int workers_enabled = 0;
+  std::uint64_t swaps = 0;
+  std::uint64_t heals = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t spot_checks = 0;
+  std::uint64_t spot_mismatches = 0;
+  std::uint64_t replayed_jobs = 0;
+  std::uint64_t sessions_migrated = 0;
+  double swap_pause_p50_us = 0;
+  double swap_pause_max_us = 0;
+  std::vector<WorkerStatus> per_worker;
+
+  std::string report() const;
+  void write_json(std::ostream& os) const;
+};
+
+/// Blocking admin facade over the farm's control plane.
+class FleetController {
+ public:
+  explicit FleetController(farm::Farm& farm) : farm_(farm) {}
+
+  /// Hot-swap one worker's engine; blocks until the worker executed it.
+  farm::SwapReport swap(int worker, engine::EngineKind kind) {
+    return farm_.swap_engine(worker, kind).get();
+  }
+  /// Swap every worker: all control jobs are queued first (the swaps
+  /// overlap), then joined. The farm never drains.
+  std::vector<farm::SwapReport> swap_all(engine::EngineKind kind);
+
+  void quarantine(int worker) { farm_.set_worker_enabled(worker, false); }
+  void resume(int worker) { farm_.set_worker_enabled(worker, true); }
+
+  /// Flip DFF `site` in `worker`'s live engine; false when the engine kind
+  /// has no gate-level state (sw/behavioral).
+  bool inject(int worker, std::size_t site) { return farm_.inject_fault(worker, site).get(); }
+
+  FleetStatus status() const;
+
+  farm::Farm& farm() noexcept { return farm_; }
+
+ private:
+  farm::Farm& farm_;
+};
+
+/// SEU-driven chaos: inject corrupting standby upsets into live engines.
+class ChaosInjector {
+ public:
+  /// Sentinel: pick a classified-corrupting site automatically.
+  static constexpr std::size_t kAutoSite = ~std::size_t{0};
+
+  struct Event {
+    int worker = -1;
+    std::size_t site = 0;
+    bool injected = false;  ///< false when the target engine had no state to flip
+  };
+
+  ChaosInjector(farm::Farm& farm, std::uint32_t seed) : farm_(farm), rng_(seed) {}
+
+  /// Flip state in `worker`'s engine (-1 = random worker). With kAutoSite
+  /// the site comes from a lazily-built list of standby-corrupting DFFs on
+  /// the farm's shared netlist; a farm that never built a netlist engine
+  /// gets site 0 (and `injected` reports whether anything flipped).
+  Event inject(int worker = -1, std::size_t site = kAutoSite);
+
+  /// A standby-corrupting DFF site on the farm's shared netlist (the list
+  /// is classified lazily on first call); 0 when no netlist exists. Public
+  /// so async callers (the server's admin plane) can pair it with
+  /// Farm::inject_fault directly instead of blocking in inject().
+  std::size_t corrupting_site();
+
+  const std::vector<Event>& events() const noexcept { return events_; }
+
+ private:
+  farm::Farm& farm_;
+  std::mt19937 rng_;
+  bool sites_scanned_ = false;
+  std::vector<std::size_t> corrupting_sites_;
+  std::vector<Event> events_;
+};
+
+}  // namespace aesip::fleet

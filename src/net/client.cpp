@@ -134,6 +134,43 @@ std::string Client::stats_json() {
   return std::string(p.begin(), p.end());
 }
 
+std::string Client::fleet_status_json() {
+  const std::uint32_t seq = next_seq_++;
+  send(Op::kAdminFleetStatus, seq, {});
+  const auto p = wait_control(Op::kAdminStatusOk, seq);
+  return std::string(p.begin(), p.end());
+}
+
+std::string Client::fleet_swap(int worker, std::uint8_t kind) {
+  const std::uint32_t seq = next_seq_++;
+  std::vector<std::uint8_t> payload;
+  payload.push_back(worker < 0 ? 0xff : static_cast<std::uint8_t>(worker));
+  payload.push_back(kind);
+  send(Op::kAdminSwapEngine, seq, std::move(payload));
+  const auto p = wait_control(Op::kAdminOk, seq);
+  return std::string(p.begin(), p.end());
+}
+
+std::string Client::fleet_quarantine(int worker, bool resume) {
+  const std::uint32_t seq = next_seq_++;
+  std::vector<std::uint8_t> payload;
+  payload.push_back(static_cast<std::uint8_t>(worker));
+  payload.push_back(resume ? 1 : 0);
+  send(Op::kAdminQuarantine, seq, std::move(payload));
+  const auto p = wait_control(Op::kAdminOk, seq);
+  return std::string(p.begin(), p.end());
+}
+
+std::string Client::fleet_inject(int worker, std::uint32_t site) {
+  const std::uint32_t seq = next_seq_++;
+  std::vector<std::uint8_t> payload;
+  payload.push_back(worker < 0 ? 0xff : static_cast<std::uint8_t>(worker));
+  put_u32(payload, site);
+  send(Op::kAdminInject, seq, std::move(payload));
+  const auto p = wait_control(Op::kAdminOk, seq);
+  return std::string(p.begin(), p.end());
+}
+
 void Client::bye() {
   const std::uint32_t seq = next_seq_++;
   send(Op::kBye, seq, {});

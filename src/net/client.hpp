@@ -106,6 +106,19 @@ class Client {
   /// Polite goodbye (kBye -> kByeOk); the connection is unusable after.
   void bye();
 
+  // --- fleet admin plane (requires a server with ServerConfig::admin) ------
+  /// Fleet health snapshot JSON (kAdminFleetStatus -> kAdminStatusOk).
+  std::string fleet_status_json();
+  /// Hot-swap one worker (or all when `worker` is -1) to engine `kind`
+  /// (0=sw 1=behavioral 2=netlist); blocks until the swap(s) executed.
+  /// Returns the server's human-readable summary.
+  std::string fleet_swap(int worker, std::uint8_t kind);
+  /// Quarantine (resume=false) or resume a worker.
+  std::string fleet_quarantine(int worker, bool resume);
+  /// Inject an SEU into a live engine: `worker` -1 = server-chosen,
+  /// `site` 0xFFFFFFFF = auto-classified corrupting site.
+  std::string fleet_inject(int worker = -1, std::uint32_t site = 0xffffffffu);
+
  private:
   std::uint32_t submit_data(Op op, std::vector<std::uint8_t> payload);
   void send(Op op, std::uint32_t seq, std::vector<std::uint8_t> payload);

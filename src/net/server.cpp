@@ -56,6 +56,16 @@ struct Server::Connection {
   std::deque<InFlight> in_flight;
   std::deque<Frame> deferred;  ///< parsed data frames the farm refused (full queues)
 
+  /// A fleet admin action executing on worker thread(s): poll() returns the
+  /// kAdminOk text once every underlying future resolved, nullopt while
+  /// pending, and throws the worker's exception on failure.
+  struct PendingAdmin {
+    std::uint32_t seq = 0;
+    std::uint16_t flags = 0;
+    std::function<std::optional<std::string>()> poll;
+  };
+  std::deque<PendingAdmin> admin_pending;
+
   bool drain_pending = false;  ///< kDrain received, kDrainOk not yet sent
   std::uint32_t drain_seq = 0;
   std::uint16_t drain_flags = 0;
@@ -70,12 +80,15 @@ struct Server::Connection {
         last_activity(std::chrono::steady_clock::now()) {}
 
   bool flushed() const noexcept { return out_off >= outbuf.size(); }
-  bool quiesced() const noexcept { return in_flight.empty() && deferred.empty(); }
+  bool quiesced() const noexcept {
+    return in_flight.empty() && deferred.empty() && admin_pending.empty();
+  }
 };
 
 Server::Server(Transport& transport, const std::string& address, ServerConfig cfg)
-    : cfg_(std::move(cfg)), farm_(cfg_.farm), listener_(transport.listen(address)),
-      address_(listener_->address()), start_(std::chrono::steady_clock::now()) {
+    : cfg_(std::move(cfg)), farm_(cfg_.farm), chaos_(farm_, cfg_.chaos_seed),
+      listener_(transport.listen(address)), address_(listener_->address()),
+      start_(std::chrono::steady_clock::now()) {
   if (cfg_.window == 0) cfg_.window = 1;
   if (cfg_.tracing) tracer_ = std::make_unique<obs::Tracer>(1, cfg_.trace_capacity);
 }
@@ -214,6 +227,11 @@ bool Server::handle_frame(Connection& c, Frame&& f) {
                  std::vector<std::uint8_t>(s.begin(), s.end()));
       return true;
     }
+    case Op::kAdminFleetStatus:
+    case Op::kAdminSwapEngine:
+    case Op::kAdminQuarantine:
+    case Op::kAdminInject:
+      return handle_admin_frame(c, std::move(f));
     case Op::kDrain:
       if (c.quiesced()) {
         counters_.drains.fetch_add(1, std::memory_order_relaxed);
@@ -230,6 +248,120 @@ bool Server::handle_frame(Connection& c, Frame&& f) {
       return false;
     default:
       send_error(c, f.seq, ErrorCode::kUnknownOpcode, "unhandled opcode", /*fatal=*/true);
+      return false;
+  }
+}
+
+/// The fleet admin plane. Quarantine and status answer inline; swap and
+/// inject execute on the target worker's own thread, so the response is
+/// parked as a PendingAdmin the reap pass polls — the loop never blocks on
+/// a worker.
+bool Server::handle_admin_frame(Connection& c, Frame&& f) {
+  if (!cfg_.admin) {
+    send_error(c, f.seq, ErrorCode::kAdminDisabled, "admin plane disabled", /*fatal=*/false);
+    return true;
+  }
+  counters_.admin_frames.fetch_add(1, std::memory_order_relaxed);
+  const int workers = cfg_.farm.workers;
+
+  switch (f.op) {
+    case Op::kAdminFleetStatus: {
+      std::ostringstream os;
+      fleet_.status().write_json(os);
+      const std::string s = os.str();
+      send_frame(c, Op::kAdminStatusOk, f.seq, f.flags,
+                 std::vector<std::uint8_t>(s.begin(), s.end()));
+      return true;
+    }
+    case Op::kAdminSwapEngine: {
+      if (f.payload.size() != 2 || f.payload[1] > 2) {
+        send_error(c, f.seq, ErrorCode::kBadPayload, "expect [worker u8][kind u8 0..2]",
+                   /*fatal=*/false);
+        return true;
+      }
+      const auto kind = static_cast<engine::EngineKind>(f.payload[1]);
+      std::vector<int> targets;
+      if (f.payload[0] == 0xff) {
+        for (int w = 0; w < workers; ++w) targets.push_back(w);
+      } else if (f.payload[0] >= workers) {
+        send_error(c, f.seq, ErrorCode::kBadWorker, "worker index out of range",
+                   /*fatal=*/false);
+        return true;
+      } else {
+        targets.push_back(f.payload[0]);
+      }
+      auto futures = std::make_shared<std::vector<std::future<farm::SwapReport>>>();
+      for (const int w : targets) futures->push_back(farm_.swap_engine(w, kind));
+      const char* to = engine::kind_name(kind);
+      c.admin_pending.push_back(Connection::PendingAdmin{
+          f.seq, f.flags, [futures, to]() -> std::optional<std::string> {
+            for (auto& fu : *futures)
+              if (fu.wait_for(std::chrono::seconds(0)) != std::future_status::ready)
+                return std::nullopt;
+            std::uint64_t max_pause = 0;
+            std::string from;
+            for (auto& fu : *futures) {
+              const farm::SwapReport r = fu.get();  // rethrows worker failures
+              max_pause = std::max(max_pause, r.pause_us);
+              if (from.empty()) from = r.from;
+            }
+            return "swapped " + std::to_string(futures->size()) + " worker(s) " + from +
+                   " -> " + to + ", max pause " + std::to_string(max_pause) + " us";
+          }});
+      return true;
+    }
+    case Op::kAdminQuarantine: {
+      if (f.payload.size() != 2 || f.payload[1] > 1) {
+        send_error(c, f.seq, ErrorCode::kBadPayload, "expect [worker u8][action u8 0|1]",
+                   /*fatal=*/false);
+        return true;
+      }
+      if (f.payload[0] >= workers) {
+        send_error(c, f.seq, ErrorCode::kBadWorker, "worker index out of range",
+                   /*fatal=*/false);
+        return true;
+      }
+      const int w = f.payload[0];
+      const bool resume = f.payload[1] == 1;
+      if (resume)
+        fleet_.resume(w);
+      else
+        fleet_.quarantine(w);
+      const std::string s =
+          "worker " + std::to_string(w) + (resume ? " resumed" : " quarantined");
+      send_frame(c, Op::kAdminOk, f.seq, f.flags, std::vector<std::uint8_t>(s.begin(), s.end()));
+      return true;
+    }
+    case Op::kAdminInject: {
+      if (f.payload.size() != 5) {
+        send_error(c, f.seq, ErrorCode::kBadPayload, "expect [worker u8][site u32]",
+                   /*fatal=*/false);
+        return true;
+      }
+      int w = f.payload[0];
+      if (w == 0xff) {
+        w = static_cast<int>(next_chaos_worker_++ % static_cast<unsigned>(workers));
+      } else if (w >= workers) {
+        send_error(c, f.seq, ErrorCode::kBadWorker, "worker index out of range",
+                   /*fatal=*/false);
+        return true;
+      }
+      std::uint32_t site = get_u32(f.payload, 1);
+      if (site == 0xffffffffu)
+        site = static_cast<std::uint32_t>(chaos_.corrupting_site());
+      auto fut = std::make_shared<std::future<bool>>(farm_.inject_fault(w, site));
+      c.admin_pending.push_back(Connection::PendingAdmin{
+          f.seq, f.flags, [fut, w, site]() -> std::optional<std::string> {
+            if (fut->wait_for(std::chrono::seconds(0)) != std::future_status::ready)
+              return std::nullopt;
+            const bool flipped = fut->get();
+            return std::string("inject site ") + std::to_string(site) + " worker " +
+                   std::to_string(w) + (flipped ? ": flipped" : ": no gate-level state");
+          }});
+      return true;
+    }
+    default:
+      send_error(c, f.seq, ErrorCode::kUnknownOpcode, "unhandled admin opcode", /*fatal=*/true);
       return false;
   }
 }
@@ -354,6 +486,26 @@ bool Server::reap_completions(Connection& c) {
     }
     c.in_flight.erase(c.in_flight.begin() + static_cast<std::ptrdiff_t>(i));
     counters_.in_flight.fetch_sub(1, std::memory_order_relaxed);
+    any = true;
+  }
+  for (auto it = c.admin_pending.begin(); it != c.admin_pending.end();) {
+    std::optional<std::string> done;
+    try {
+      done = it->poll();
+    } catch (const std::exception& e) {
+      send_error(c, it->seq, ErrorCode::kInternal, e.what(), /*fatal=*/false);
+      it = c.admin_pending.erase(it);
+      any = true;
+      continue;
+    }
+    if (!done) {
+      ++it;
+      continue;
+    }
+    send_frame(c, Op::kAdminOk, it->seq, it->flags,
+               std::vector<std::uint8_t>(done->begin(), done->end()));
+    counters_.responses_sent.fetch_add(1, std::memory_order_relaxed);
+    it = c.admin_pending.erase(it);
     any = true;
   }
   if (c.drain_pending && c.quiesced()) {
@@ -485,6 +637,7 @@ ServerStats Server::stats() const {
   s.deferred_retries = counters_.deferred_retries.load(std::memory_order_relaxed);
   s.idle_closes = counters_.idle_closes.load(std::memory_order_relaxed);
   s.drains = counters_.drains.load(std::memory_order_relaxed);
+  s.admin_frames = counters_.admin_frames.load(std::memory_order_relaxed);
   s.bytes_in = counters_.bytes_in.load(std::memory_order_relaxed);
   s.bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
   s.in_flight = counters_.in_flight.load(std::memory_order_relaxed);

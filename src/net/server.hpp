@@ -42,6 +42,7 @@
 #include <thread>
 
 #include "farm/farm.hpp"
+#include "fleet/fleet.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "obs/histogram.hpp"
@@ -57,6 +58,11 @@ struct ServerConfig {
   std::chrono::milliseconds poll_interval{1};  ///< event-loop sleep granularity
   bool tracing = false;             ///< per-frame events into an obs::Tracer ring
   std::size_t trace_capacity = 8192;
+  /// Serve the fleet admin opcodes (kAdminSwapEngine & co). Off, every
+  /// admin frame is refused with kAdminDisabled.
+  bool admin = true;
+  /// Seed for the chaos injector's site classification + worker picks.
+  std::uint32_t chaos_seed = 0x5eed;
 };
 
 /// Point-in-time server counters (monotonic unless marked as a gauge).
@@ -74,6 +80,7 @@ struct ServerStats {
   std::uint64_t deferred_retries = 0;     ///< try_submit load-sheds absorbed
   std::uint64_t idle_closes = 0;
   std::uint64_t drains = 0;               ///< kDrainOk barriers completed
+  std::uint64_t admin_frames = 0;         ///< fleet admin requests handled
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   std::uint64_t in_flight = 0;            ///< gauge: frames submitted, not answered
@@ -122,6 +129,7 @@ class Server {
   bool accept_new();
   bool service_reads(Connection& c);
   bool handle_frame(Connection& c, Frame&& f);
+  bool handle_admin_frame(Connection& c, Frame&& f);
   void handle_data_frame(Connection& c, Frame&& f);
   bool retry_deferred(Connection& c);
   bool reap_completions(Connection& c);
@@ -134,9 +142,12 @@ class Server {
 
   ServerConfig cfg_;
   farm::Farm farm_;
+  fleet::FleetController fleet_{farm_};  ///< admin facade (loop-thread only)
+  fleet::ChaosInjector chaos_;           ///< site classification for kAdminInject
   std::unique_ptr<Listener> listener_;
   std::string address_;
   std::vector<std::unique_ptr<Connection>> conns_;
+  unsigned next_chaos_worker_ = 0;  ///< rotation for kAdminInject worker 0xFF
   std::atomic<bool> draining_{false};
   std::atomic<bool> running_{false};
   std::thread thread_;
@@ -157,6 +168,7 @@ class Server {
     std::atomic<std::uint64_t> deferred_retries{0};
     std::atomic<std::uint64_t> idle_closes{0};
     std::atomic<std::uint64_t> drains{0};
+    std::atomic<std::uint64_t> admin_frames{0};
     std::atomic<std::uint64_t> bytes_in{0};
     std::atomic<std::uint64_t> bytes_out{0};
     std::atomic<std::uint64_t> in_flight{0};

@@ -15,12 +15,18 @@ const char* op_name(Op op) noexcept {
     case Op::kStats: return "stats";
     case Op::kDrain: return "drain";
     case Op::kBye: return "bye";
+    case Op::kAdminFleetStatus: return "admin_fleet_status";
+    case Op::kAdminSwapEngine: return "admin_swap_engine";
+    case Op::kAdminQuarantine: return "admin_quarantine";
+    case Op::kAdminInject: return "admin_inject";
     case Op::kHelloOk: return "hello_ok";
     case Op::kKeyOk: return "key_ok";
     case Op::kResult: return "result";
     case Op::kStatsOk: return "stats_ok";
     case Op::kDrainOk: return "drain_ok";
     case Op::kByeOk: return "bye_ok";
+    case Op::kAdminStatusOk: return "admin_status_ok";
+    case Op::kAdminOk: return "admin_ok";
     case Op::kError: return "error";
   }
   return "?";
@@ -37,6 +43,10 @@ bool is_request_op(Op op) noexcept {
     case Op::kStats:
     case Op::kDrain:
     case Op::kBye:
+    case Op::kAdminFleetStatus:
+    case Op::kAdminSwapEngine:
+    case Op::kAdminQuarantine:
+    case Op::kAdminInject:
       return true;
     default:
       return false;
@@ -57,6 +67,8 @@ const char* error_code_name(ErrorCode c) noexcept {
     case ErrorCode::kWindowExceeded: return "window_exceeded";
     case ErrorCode::kDraining: return "draining";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kAdminDisabled: return "admin_disabled";
+    case ErrorCode::kBadWorker: return "bad_worker";
   }
   return "?";
 }

@@ -36,12 +36,26 @@
 //               has been answered (the session-level barrier)
 //   kBye        empty -> kByeOk, then the server closes the connection
 //
+// Admin plane (fleet control; see docs/fleet.md — servers may refuse these
+// with kAdminDisabled when not operating as an admin endpoint):
+//   kAdminFleetStatus  empty -> kAdminStatusOk carries the fleet JSON
+//   kAdminSwapEngine   [u8 worker, 0xFF = all][u8 EngineKind: 0=sw
+//                      1=behavioral 2=netlist] -> kAdminOk once the swap(s)
+//                      executed on the worker thread(s)
+//   kAdminQuarantine   [u8 worker][u8 action: 0=quarantine 1=resume]
+//                      -> kAdminOk immediately (routing-table change)
+//   kAdminInject       [u8 worker, 0xFF = random][u32 site, 0xFFFFFFFF =
+//                      auto-classified corrupting site] -> kAdminOk once
+//                      the flip executed
+//
 // Response payloads (server -> client):
 //   kHelloOk    [u32 max_payload][u32 window]  (the flow-control contract:
 //               at most `window` unanswered data frames per session)
 //   kKeyOk      empty (the key is installed in the session; the farm loads
 //               it onto a core lazily, so setup cycles are a farm metric)
 //   kResult     the output bytes of the matching request
+//   kAdminStatusOk  fleet status JSON (utf-8)
+//   kAdminOk    utf-8 summary of the executed admin action
 //   kError      [u16 ErrorCode][utf-8 message]
 #pragma once
 
@@ -71,6 +85,10 @@ enum class Op : std::uint8_t {
   kStats = 0x07,
   kDrain = 0x08,
   kBye = 0x09,
+  kAdminFleetStatus = 0x0A,
+  kAdminSwapEngine = 0x0B,
+  kAdminQuarantine = 0x0C,
+  kAdminInject = 0x0D,
   // server -> client
   kHelloOk = 0x81,
   kKeyOk = 0x82,
@@ -78,6 +96,8 @@ enum class Op : std::uint8_t {
   kStatsOk = 0x87,
   kDrainOk = 0x88,
   kByeOk = 0x89,
+  kAdminStatusOk = 0x8A,
+  kAdminOk = 0x8B,
   kError = 0xEE,
 };
 
@@ -100,6 +120,8 @@ enum class ErrorCode : std::uint16_t {
   kWindowExceeded = 9, ///< more unanswered data frames than kHelloOk granted
   kDraining = 10,      ///< server is draining; no new work accepted
   kInternal = 11,
+  kAdminDisabled = 12, ///< admin opcode at a server not exposing the admin plane
+  kBadWorker = 13,     ///< admin frame names a worker index the farm lacks
 };
 
 const char* error_code_name(ErrorCode c) noexcept;

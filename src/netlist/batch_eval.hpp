@@ -73,6 +73,16 @@ class BatchEvaluator {
   /// the scalar evaluator).
   void reset();
 
+  // --- fault injection --------------------------------------------------------
+  /// XOR the DFF state at `index` with `lanes` (bit L set = flip lane L;
+  /// default: every lane) and republish Q — the batch twin of
+  /// Evaluator::flip_dff, for SEU campaigns and live chaos injection.
+  /// The caller settles, exactly like the scalar evaluator.
+  void flip_dff(std::size_t index, Word lanes = ~Word{0}) {
+    dff_state_[index] ^= lanes;
+    words_[dffs_[index].q] = dff_state_[index];
+  }
+
   // --- inspection -------------------------------------------------------------
   std::size_t dff_count() const noexcept { return dffs_.size(); }
   /// Word ops in the compiled tape (compile-quality metric for benches).

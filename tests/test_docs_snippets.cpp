@@ -20,6 +20,8 @@
 #include "hdl/module.hpp"
 #include "hdl/signal.hpp"
 #include "hdl/simulator.hpp"
+#include "farm/farm.hpp"
+#include "fleet/fleet.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "net/transport.hpp"
@@ -188,6 +190,48 @@ TEST(DocsNet, LoopbackExampleRunsAsDocumented) {
   aes::Aes128 ref(key);
   EXPECT_EQ(ct, aes::cbc_encrypt(ref, iv, padded));
   EXPECT_EQ(server.stats().protocol_errors, 0u);
+}
+
+// --- docs/fleet.md: inject, detect, heal — bit-exact throughout -----------
+
+TEST(DocsFleet, ChaosExampleRunsAsDocumented) {
+  const auto key = doc_key();
+  const std::vector<std::uint8_t> plain(16, 0x3c);
+  aes::Aes128 oracle(key);
+  std::vector<std::uint8_t> want(16);
+  oracle.encrypt_block(plain, want);
+
+  farm::FarmConfig cfg;
+  cfg.workers = 1;
+  cfg.engine = engine::EngineKind::kNetlist;
+  cfg.spot_check_fraction = 1.0;        // check every job
+  farm::Farm f(cfg);
+  fleet::ChaosInjector chaos(f, /*seed=*/0xc4a05);
+
+  farm::Request req;
+  req.session_id = 1;
+  req.mode = farm::Mode::kEcb;
+  req.key = key;
+  req.payload = plain;
+
+  auto r0 = f.process(req);             // warm: installs the key
+  EXPECT_EQ(r0.data, want);
+
+  // A classified-corrupting site can still mask under this traffic, so
+  // loop injections until the spot-check fires — bit-exact every time.
+  bool detected = false;
+  for (int attempt = 0; attempt < 12 && !detected; ++attempt) {
+    auto ev = chaos.inject(/*worker=*/0); // flip a corrupting DFF site
+    ASSERT_TRUE(ev.injected);
+    auto r1 = f.process(req);             // farm catches + heals inline
+    EXPECT_EQ(r1.data, want);             // ALWAYS — oracle bytes on mismatch
+    detected = r1.replayed;
+  }
+  EXPECT_TRUE(detected);
+
+  const auto st = fleet::FleetController(f).status();
+  EXPECT_EQ(st.spot_mismatches, st.replayed_jobs);
+  EXPECT_GE(st.heals, 1u);
 }
 
 }  // namespace

@@ -121,7 +121,12 @@ Args parse_args(int argc, char** argv, int first) {
       args[key.substr(0, eq)] = key.substr(eq + 1);
       continue;
     }
-    if (i + 1 >= argc) die("missing value for --" + key);
+    // Bare flags (`--chaos`, trailing `--farm`) read as "yes"; anything
+    // else is `--option value`.
+    if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+      args[key] = "yes";
+      continue;
+    }
     args[key] = argv[++i];
   }
   return args;
@@ -344,6 +349,9 @@ int cmd_farm(const Args& args) {
   const std::string engine_name = arg_or(args, "engine", "behavioral");
   if (const auto kind = engine::kind_from_name(engine_name)) cfg.engine = *kind;
   else die("unknown engine '" + engine_name + "' (sw|behavioral|netlist)");
+  cfg.spot_check_fraction = std::stod(arg_or(args, "spot-check", "0"));
+  if (cfg.spot_check_fraction < 0 || cfg.spot_check_fraction > 1)
+    die("--spot-check must be in [0,1]");
 
   farm::Farm f(cfg);
   std::mt19937 rng(seed);
@@ -680,6 +688,16 @@ int cmd_metrics(const Args& args) {
       json_histogram_summary(j, fst->queue_wait_us);
       j.key("trace_events").value(fst->trace_events);
       j.key("trace_dropped").value(fst->trace_dropped);
+      j.key("fleet").begin_object();
+      j.key("swaps").value(fst->swaps);
+      j.key("heals").value(fst->heals);
+      j.key("quarantines").value(fst->quarantines);
+      j.key("spot_checks").value(fst->spot_checks);
+      j.key("spot_mismatches").value(fst->spot_mismatches);
+      j.key("replayed_jobs").value(fst->replayed_jobs);
+      j.key("sessions_migrated").value(fst->sessions_migrated);
+      j.key("workers_enabled").value(fst->workers_enabled);
+      j.end_object();
       j.key("utilization").begin_array();
       for (const auto& w : fst->per_worker) j.value(w.utilization);
       j.end_array();
@@ -711,6 +729,12 @@ int cmd_serve(const Args& args) {
   else die("unknown engine '" + engine_name + "' (sw|behavioral|netlist)");
   cfg.window = std::stoul(arg_or(args, "window", "32"));
   cfg.idle_timeout = std::chrono::milliseconds(std::stol(arg_or(args, "idle-ms", "30000")));
+  cfg.farm.spot_check_fraction = std::stod(arg_or(args, "spot-check", "0"));
+  if (cfg.farm.spot_check_fraction < 0 || cfg.farm.spot_check_fraction > 1)
+    die("--spot-check must be in [0,1]");
+  cfg.admin = arg_or(args, "admin", "yes") != "no";
+  cfg.chaos_seed =
+      static_cast<std::uint32_t>(std::stoul(arg_or(args, "chaos-seed", "0x5eed"), nullptr, 0));
   const std::string trace_path = arg_or(args, "trace", "");
   if (!trace_path.empty()) cfg.tracing = true;
   const std::string address = arg_or(args, "listen", "127.0.0.1:0");
@@ -721,9 +745,10 @@ int cmd_serve(const Args& args) {
   std::signal(SIGINT, serve_signal_handler);
   std::signal(SIGTERM, serve_signal_handler);
 
-  std::printf("aesip serve: aesip-wire-v1 on %s (%d workers, %s engine, window %zu)\n",
+  std::printf("aesip serve: aesip-wire-v1 on %s (%d workers, %s engine, window %zu, "
+              "admin %s, spot-check %.0f%%)\n",
               server.address().c_str(), cfg.farm.workers, engine::kind_name(cfg.farm.engine),
-              cfg.window);
+              cfg.window, cfg.admin ? "on" : "off", 100.0 * cfg.farm.spot_check_fraction);
   std::printf("aesip serve: SIGINT/SIGTERM drain gracefully\n");
   std::fflush(stdout);
   server.run();
@@ -742,6 +767,16 @@ int cmd_serve(const Args& args) {
               static_cast<unsigned long long>(st.request_latency_us.percentile(0.50)),
               static_cast<unsigned long long>(st.request_latency_us.percentile(0.99)),
               static_cast<unsigned long long>(st.request_latency_us.max));
+  const auto fst = server.farm_stats();
+  if (fst.swaps || fst.heals || fst.quarantines || fst.spot_checks)
+    std::printf("  fleet: %llu swaps, %llu heals, %llu quarantines, %llu spot-checks "
+                "(%llu mismatches, %llu replayed)\n",
+                static_cast<unsigned long long>(fst.swaps),
+                static_cast<unsigned long long>(fst.heals),
+                static_cast<unsigned long long>(fst.quarantines),
+                static_cast<unsigned long long>(fst.spot_checks),
+                static_cast<unsigned long long>(fst.spot_mismatches),
+                static_cast<unsigned long long>(fst.replayed_jobs));
   if (!trace_path.empty()) {
     std::ofstream tf(trace_path);
     if (!tf) die("cannot write " + trace_path);
@@ -754,16 +789,43 @@ int cmd_serve(const Args& args) {
 // --- loadgen -----------------------------------------------------------------------
 
 int cmd_loadgen(const Args& args) {
-  const std::string address = arg_or(args, "connect", "");
-  if (address.empty()) die("--connect host:port is required (the aesip serve address)");
-  const int n_sessions = std::stoi(arg_or(args, "sessions", "4"));
-  const std::uint64_t n_requests = std::stoull(arg_or(args, "requests", "64"));
-  const std::size_t max_blocks = std::stoul(arg_or(args, "blocks", "8"));
+  // --chaos: while the sessions run, a driver thread fires seeded fleet
+  // admin operations (SEU injection, hot-swaps, quarantine/resume) at the
+  // server. With no --connect, loadgen self-hosts an in-process server
+  // built for the scenario: netlist engines (so injection lands in real
+  // DFF state), spot-check fraction 1.0 (every job oracle-checked, so a
+  // corrupted engine is caught and healed before its bytes escape), and
+  // the admin plane on. Exit 0 means zero corrupted and zero lost frames.
+  const bool chaos = arg_or(args, "chaos", "no") != "no";
+  std::string address = arg_or(args, "connect", "");
+  if (address.empty() && !chaos)
+    die("--connect host:port is required (the aesip serve address)");
+  const int n_sessions = std::stoi(arg_or(args, "sessions", chaos ? "2" : "4"));
+  const std::uint64_t n_requests = std::stoull(arg_or(args, "requests", chaos ? "24" : "64"));
+  const std::size_t max_blocks = std::stoul(arg_or(args, "blocks", chaos ? "4" : "8"));
   const std::uint32_t seed =
       static_cast<std::uint32_t>(std::stoul(arg_or(args, "seed", "1")));
   if (n_sessions < 1 || max_blocks < 1) die("--sessions and --blocks must be >= 1");
 
   auto transport = net::make_tcp_transport();
+
+  std::unique_ptr<net::Server> self_hosted;
+  if (address.empty()) {
+    net::ServerConfig scfg;
+    scfg.farm.workers = std::stoi(arg_or(args, "workers", "2"));
+    const std::string engine_name = arg_or(args, "engine", "netlist");
+    if (const auto kind = engine::kind_from_name(engine_name)) scfg.farm.engine = *kind;
+    else die("unknown engine '" + engine_name + "' (sw|behavioral|netlist)");
+    scfg.farm.spot_check_fraction = 1.0;
+    scfg.admin = true;
+    scfg.chaos_seed = seed;
+    self_hosted = std::make_unique<net::Server>(*transport, "127.0.0.1:0", scfg);
+    self_hosted->start();
+    address = self_hosted->address();
+    std::printf("loadgen: self-hosted server on %s (%d workers, %s engine, "
+                "spot-check 100%%)\n",
+                address.c_str(), scfg.farm.workers, engine::kind_name(scfg.farm.engine));
+  }
   std::atomic<std::uint64_t> total_requests{0}, total_blocks{0}, mismatches{0};
   std::atomic<int> failures{0};
 
@@ -840,25 +902,146 @@ int cmd_loadgen(const Args& args) {
     }
   };
 
+  // The chaos driver: a dedicated admin client firing a seeded, repeating
+  // schedule of fleet mutations at the live server until traffic finishes.
+  // Every operation blocks for its server ack, so a thrown WireError (e.g.
+  // admin disabled) is a scenario failure, not a silent skip.
+  std::atomic<bool> traffic_done{false};
+  std::uint64_t chaos_events = 0;
+  std::atomic<int> chaos_failures{0};
+  std::thread chaos_thread;
+  if (chaos) {
+    chaos_thread = std::thread([&] {
+      try {
+        net::Client admin(*transport, address, 0xf1ee7);
+        int step = 0;
+        while (!traffic_done.load(std::memory_order_acquire)) {
+          switch (step++ % 7) {
+            case 0:
+            case 1:
+            case 3:
+              admin.fleet_inject();  // server-chosen worker, auto corrupting site
+              break;
+            case 2:
+              admin.fleet_swap(-1, 1);  // all workers -> behavioral
+              break;
+            case 4:
+              admin.fleet_swap(-1, 2);  // all workers -> netlist
+              break;
+            case 5:
+              admin.fleet_quarantine(0, /*resume=*/false);
+              break;
+            case 6:
+              admin.fleet_quarantine(0, /*resume=*/true);
+              break;
+          }
+          ++chaos_events;
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        admin.bye();
+      } catch (const std::exception& e) {
+        chaos_failures.fetch_add(1);
+        std::fprintf(stderr, "loadgen: chaos driver failed: %s\n", e.what());
+      }
+    });
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   for (int s = 0; s < n_sessions; ++s) threads.emplace_back(session_main, s);
   for (auto& t : threads) t.join();
+  traffic_done.store(true, std::memory_order_release);
+  if (chaos_thread.joinable()) chaos_thread.join();
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   const auto blocks = total_blocks.load();
   std::printf("loadgen: %d sessions, %llu requests, %llu blocks in %.3f s "
-              "(%.0f blocks/s)\n",
+              "(%.0f blocks/s), seed %u\n",
               n_sessions, static_cast<unsigned long long>(total_requests.load()),
               static_cast<unsigned long long>(blocks), secs,
-              secs > 0 ? static_cast<double>(blocks) / secs : 0.0);
-  const bool ok = mismatches.load() == 0 && failures.load() == 0;
-  std::printf("loadgen: verification vs aes::Aes128: %s (%llu mismatches, %d failed "
-              "sessions)\n",
+              secs > 0 ? static_cast<double>(blocks) / secs : 0.0, seed);
+  if (chaos)
+    std::printf("loadgen: chaos: %llu admin operations (inject/swap/quarantine), "
+                "%d driver failures; reproduce with --chaos --seed %u\n",
+                static_cast<unsigned long long>(chaos_events), chaos_failures.load(), seed);
+  if (self_hosted) {
+    self_hosted->stop();
+    const auto fst = self_hosted->farm_stats();
+    std::printf("loadgen: fleet: %llu swaps, %llu heals, %llu spot-checks "
+                "(%llu mismatches caught, %llu jobs replayed from the oracle)\n",
+                static_cast<unsigned long long>(fst.swaps),
+                static_cast<unsigned long long>(fst.heals),
+                static_cast<unsigned long long>(fst.spot_checks),
+                static_cast<unsigned long long>(fst.spot_mismatches),
+                static_cast<unsigned long long>(fst.replayed_jobs));
+  }
+  // Corrupted frames = verification mismatches; lost frames = sessions that
+  // failed to collect every response (collect_one would have thrown).
+  const bool ok =
+      mismatches.load() == 0 && failures.load() == 0 && chaos_failures.load() == 0;
+  std::printf("loadgen: verification vs aes::Aes128: %s (%llu corrupted frames, "
+              "%d lost/failed sessions)\n",
               ok ? "all bit-exact" : "FAILED",
               static_cast<unsigned long long>(mismatches.load()), failures.load());
   return ok ? 0 : 1;
+}
+
+// --- fleet -------------------------------------------------------------------------
+
+void fleet_usage() {
+  std::puts(
+      "usage: aesip fleet <subcommand> --connect HOST:PORT [options]\n"
+      "  status                                  fleet health snapshot (JSON)\n"
+      "  swap   [--worker N|all] --engine KIND   hot-swap live engine(s);\n"
+      "                                          KIND: sw|behavioral|netlist\n"
+      "  quarantine --worker N                   pull a worker from routing\n"
+      "  resume     --worker N                   put it back\n"
+      "  inject [--worker N|random] [--site N|auto]\n"
+      "                                          flip a DFF in a live netlist engine\n"
+      "Targets an `aesip serve` with the admin plane on (docs/fleet.md).");
+}
+
+int cmd_fleet(int argc, char** argv) {
+  if (argc < 3) {
+    fleet_usage();
+    return 1;
+  }
+  const std::string sub = argv[2];
+  const Args args = parse_args(argc, argv, 3);
+  const std::string address = arg_or(args, "connect", "");
+  if (address.empty()) die("--connect host:port is required (an aesip serve address)");
+
+  auto transport = net::make_tcp_transport();
+  net::Client client(*transport, address, 0xf1ee7);
+
+  int rc = 0;
+  if (sub == "status") {
+    std::puts(client.fleet_status_json().c_str());
+  } else if (sub == "swap") {
+    const std::string worker = arg_or(args, "worker", "all");
+    const std::string engine_name = arg_or(args, "engine", "");
+    const auto kind = engine::kind_from_name(engine_name);
+    if (!kind) die("swap needs --engine sw|behavioral|netlist");
+    const int w = worker == "all" ? -1 : std::stoi(worker);
+    std::puts(client.fleet_swap(w, static_cast<std::uint8_t>(*kind)).c_str());
+  } else if (sub == "quarantine" || sub == "resume") {
+    const std::string worker = arg_or(args, "worker", "");
+    if (worker.empty()) die(sub + " needs --worker N");
+    std::puts(client.fleet_quarantine(std::stoi(worker), sub == "resume").c_str());
+  } else if (sub == "inject") {
+    const std::string worker = arg_or(args, "worker", "random");
+    const std::string site = arg_or(args, "site", "auto");
+    const int w = worker == "random" ? -1 : std::stoi(worker);
+    const std::uint32_t s =
+        site == "auto" ? 0xffffffffu : static_cast<std::uint32_t>(std::stoul(site));
+    std::puts(client.fleet_inject(w, s).c_str());
+  } else {
+    fleet_usage();
+    rc = 1;
+  }
+  client.bye();
+  return rc;
 }
 
 // --- selftest ----------------------------------------------------------------------
@@ -913,15 +1096,21 @@ void usage() {
       "  seu      [--runs N] [--seed S] [--tmr yes|no]\n"
       "  power    [--variant encrypt|both] [--device NAME]\n"
       "  farm     [--workers N] [--engine sw|behavioral|netlist] [--sessions N]\n"
-      "           [--blocks N] [--queue N] [--keys N] [--seed S]\n"
+      "           [--blocks N] [--queue N] [--keys N] [--seed S] [--spot-check F]\n"
       "           [--json FILE] [--trace FILE]\n"
       "  metrics  [--blocks N] [--engine sw|behavioral|netlist] [--farm yes|no]\n"
       "           [--workers N] [--json FILE|-] [--trace FILE]\n"
       "  serve    [--listen HOST:PORT] [--workers N] [--engine sw|behavioral|netlist]\n"
       "           [--window N] [--queue N] [--idle-ms MS] [--trace FILE]\n"
+      "           [--spot-check F] [--admin yes|no] [--chaos-seed S]\n"
       "           (aesip-wire-v1 server over the IP farm; docs/net.md)\n"
-      "  loadgen  --connect HOST:PORT [--sessions N] [--requests N] [--blocks N]\n"
-      "           [--seed S]   (verified client traffic against aesip serve)\n"
+      "  loadgen  [--connect HOST:PORT] [--sessions N] [--requests N] [--blocks N]\n"
+      "           [--seed S] [--chaos]   (verified client traffic against aesip\n"
+      "           serve; --chaos fires seeded fleet mutations mid-traffic and\n"
+      "           self-hosts a spot-checked server when --connect is omitted)\n"
+      "  fleet    status|swap|quarantine|resume|inject --connect HOST:PORT\n"
+      "           (live fleet admin: hot-swap engines, quarantine workers,\n"
+      "           inject SEUs; `aesip fleet --help` for options; docs/fleet.md)\n"
       "  selftest    (engine conformance: FIPS-197 vectors + cycle parity)\n"
       "  help | --help | -h");
 }
@@ -942,6 +1131,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string cmd = argv[1];
+  if (cmd == "fleet" && wants_help(argc, argv)) {
+    fleet_usage();
+    return 0;
+  }
   if (cmd == "help" || cmd == "--help" || cmd == "-h" || wants_help(argc, argv)) {
     usage();
     return 0;
@@ -957,6 +1150,7 @@ int main(int argc, char** argv) {
     if (cmd == "metrics") return cmd_metrics(parse_args(argc, argv, 2));
     if (cmd == "serve") return cmd_serve(parse_args(argc, argv, 2));
     if (cmd == "loadgen") return cmd_loadgen(parse_args(argc, argv, 2));
+    if (cmd == "fleet") return cmd_fleet(argc, argv);
     if (cmd == "selftest") return cmd_selftest();
   } catch (const std::exception& e) {
     die(e.what());

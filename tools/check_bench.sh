@@ -97,6 +97,41 @@ for f in "$repo"/BENCH_*.json; do
     fi
   fi
 
+  if [ "$stem" = "fleet" ]; then
+    # Two gates (docs/fleet.md): the zero-corruption chaos gate is
+    # unconditional — SEUs injected under 100% spot-check must never leak
+    # a corrupted or lost frame. The spot-check overhead gate (< 5% wall
+    # tax at 25% sampling) is wall-clock, so like the farm bench's
+    # wall-scaling gate it may be skipped with a reason on hosts with too
+    # few hardware threads.
+    for needle in \
+      '"spot_check_overhead": {' \
+      '"swap": {' \
+      '"zero_corruption": {' \
+      '"corrupted_frames": 0' \
+      '"lost_frames": 0'
+    do
+      if ! grep -qF "$needle" "$f"; then
+        echo "check_bench: $name: missing $needle" >&2
+        fail=1
+      fi
+    done
+    if ! sed -n '/"zero_corruption": {/,/}/p' "$f" | grep -qF '"meets_target": true'; then
+      echo "check_bench: $name: zero-corruption gate failed (meets_target is not true)" >&2
+      fail=1
+    fi
+    section=$(sed -n '/"spot_check_overhead": {/,/}/p' "$f")
+    if printf '%s' "$section" | grep -qF '"skipped": true'; then
+      if ! printf '%s' "$section" | grep -qF '"reason": "'; then
+        echo "check_bench: $name: spot-check overhead skipped without a reason" >&2
+        fail=1
+      fi
+    elif ! printf '%s' "$section" | grep -qF '"meets_target": true'; then
+      echo "check_bench: $name: spot-check overhead gate failed (meets_target is not true)" >&2
+      fail=1
+    fi
+  fi
+
   if [ "$stem" = "farm" ]; then
     # The wall-scaling gate: either measured and met, or explicitly skipped
     # with a reason (hosts with fewer hardware threads than workers cannot

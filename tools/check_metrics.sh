@@ -35,5 +35,32 @@ if [ "$fail" -ne 0 ]; then
   echo "check_metrics: FAILED" >&2
   exit 1
 fi
-echo "check_metrics: OK (5 cycles/round, 50 cycles/block, 40-cycle key setup)"
+
+# The farm section must carry the fleet counters (hot-swap / spot-check /
+# quarantine-heal; docs/fleet.md) — all zero on this unreconfigured run,
+# but the keys must exist so dashboards can rely on them.
+fout=$("$aesip" metrics --blocks 4 --farm yes --workers 2 --json - 2>&1)
+if [ $? -ne 0 ]; then
+  echo "check_metrics: aesip metrics --farm yes failed" >&2
+  echo "$fout" >&2
+  exit 1
+fi
+for needle in \
+  '"fleet": {' \
+  '"swaps": 0' \
+  '"heals": 0' \
+  '"spot_checks": 0' \
+  '"workers_enabled": 2'
+do
+  if ! echo "$fout" | grep -qF "$needle"; then
+    echo "check_metrics: missing $needle in the farm fleet section" >&2
+    fail=1
+  fi
+done
+if [ "$fail" -ne 0 ]; then
+  echo "$fout" >&2
+  echo "check_metrics: FAILED" >&2
+  exit 1
+fi
+echo "check_metrics: OK (5 cycles/round, 50 cycles/block, 40-cycle key setup, fleet counters)"
 exit 0
