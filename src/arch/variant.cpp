@@ -1,0 +1,534 @@
+#include "arch/variant.hpp"
+
+#include <cassert>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "aes/sbox.hpp"
+#include "aes/state.hpp"
+#include "aes/transforms.hpp"
+#include "core/ip_synth.hpp"
+#include "gf/gf256.hpp"
+
+namespace aesip::arch {
+
+using netlist::Bus;
+using netlist::kNoNet;
+using netlist::Netlist;
+using netlist::NetId;
+
+// ===== VariantSpec ============================================================
+
+std::string VariantSpec::name() const {
+  std::string out;
+  switch (round_arch) {
+    case RoundArch::kIterative: out = "iter"; break;
+    case RoundArch::kUnrolled: out = "unroll"; break;
+    case RoundArch::kPipelined: out = "pipe" + std::to_string(pipeline_stages); break;
+  }
+  out += mixcol == netlist::MixColStyle::kXtime ? "-xtime" : "-lut";
+  return out;
+}
+
+std::optional<VariantSpec> VariantSpec::parse(std::string_view text) {
+  VariantSpec spec;
+  if (text == "paper") return spec;  // the iterative xtime default
+  const auto dash = text.rfind('-');
+  if (dash == std::string_view::npos) return std::nullopt;
+  const std::string_view arch = text.substr(0, dash);
+  const std::string_view mix = text.substr(dash + 1);
+  if (mix == "xtime") spec.mixcol = netlist::MixColStyle::kXtime;
+  else if (mix == "lut") spec.mixcol = netlist::MixColStyle::kLut;
+  else return std::nullopt;
+  if (arch == "iter") {
+    spec.round_arch = RoundArch::kIterative;
+  } else if (arch == "unroll") {
+    spec.round_arch = RoundArch::kUnrolled;
+  } else if (arch.substr(0, 4) == "pipe") {
+    spec.round_arch = RoundArch::kPipelined;
+    const std::string_view n = arch.substr(4);
+    if (n == "2") spec.pipeline_stages = 2;
+    else if (n == "5") spec.pipeline_stages = 5;
+    else if (n == "10") spec.pipeline_stages = 10;
+    else return std::nullopt;
+  } else {
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::vector<VariantSpec> VariantSpec::family() {
+  std::vector<VariantSpec> out;
+  const auto add = [&out](RoundArch arch, int stages, netlist::MixColStyle mix) {
+    VariantSpec s;
+    s.round_arch = arch;
+    s.pipeline_stages = stages;
+    s.mixcol = mix;
+    out.push_back(s);
+  };
+  // The Pareto candidates (docs/variants.md): area and throughput both grow
+  // with the stage count, so the xtime column is the expected front; the
+  // lut column repeats two schedules at strictly higher LC (dominated).
+  add(RoundArch::kIterative, 1, netlist::MixColStyle::kXtime);
+  add(RoundArch::kUnrolled, 1, netlist::MixColStyle::kXtime);
+  add(RoundArch::kPipelined, 2, netlist::MixColStyle::kXtime);
+  add(RoundArch::kPipelined, 5, netlist::MixColStyle::kXtime);
+  add(RoundArch::kPipelined, 10, netlist::MixColStyle::kXtime);
+  add(RoundArch::kIterative, 1, netlist::MixColStyle::kLut);
+  add(RoundArch::kUnrolled, 1, netlist::MixColStyle::kLut);
+  return out;
+}
+
+bool operator==(const VariantSpec& a, const VariantSpec& b) noexcept {
+  return a.round_arch == b.round_arch && a.stages() == b.stages() &&
+         a.mixcol == b.mixcol && a.sbox == b.sbox;
+}
+
+const char* intern_label(const std::string& text) {
+  static std::mutex mu;
+  static std::map<std::string, std::unique_ptr<std::string>> interned;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = interned[text];
+  if (!slot) slot = std::make_unique<std::string>(text);
+  return slot->c_str();
+}
+
+const char* variant_label(const VariantSpec& spec) { return intern_label(spec.name()); }
+
+// ===== gate-level generator ===================================================
+
+namespace {
+
+Bus column_of(const Bus& state, int c) {
+  return Bus(state.begin() + 32 * c, state.begin() + 32 * (c + 1));
+}
+
+Bus pre_allocated_bus(Netlist& nl, int width) {
+  Bus b;
+  b.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) b.push_back(nl.new_net());
+  return b;
+}
+
+/// Full-width SubBytes: 16 S-boxes as four SubWord32 banks.
+Bus sub_bytes128_nl(Netlist& nl, const Bus& state, const std::array<std::uint8_t, 256>& table,
+                    netlist::SboxStyle style, bool inverse, const std::string& name) {
+  Bus out;
+  out.reserve(128);
+  for (int c = 0; c < 4; ++c) {
+    const Bus word = netlist::synth_sub_word32(nl, table, column_of(state, c), style, inverse,
+                                               name + "_c" + std::to_string(c));
+    out.insert(out.end(), word.begin(), word.end());
+  }
+  return out;
+}
+
+/// RotWord on a 32-bit bus (pure wiring).
+Bus rot_word_bus(const Bus& w) {
+  Bus out;
+  out.reserve(32);
+  for (int k = 0; k < 4; ++k) {
+    const Bus b = netlist::byte_of(w, (k + 1) & 3);
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+/// rcon byte as a function of the 4-bit expansion counter.
+Bus rcon_bus(Netlist& nl, const Bus& round) {
+  std::vector<Bus> choices;
+  choices.push_back(nl.constant_bus(0, 8));
+  for (unsigned r = 1; r <= 10; ++r) choices.push_back(nl.constant_bus(gf::rcon(r), 8));
+  return nl.mux_n(round, choices);
+}
+
+}  // namespace
+
+Netlist synthesize_variant(const VariantSpec& spec, core::IpMode mode) {
+  if (spec.is_iterative()) return core::synthesize_ip(mode, spec.sbox, spec.mixcol);
+  const int N = spec.stages();
+  const int R = spec.rounds_per_stage();
+  if (N * R != 10) throw std::invalid_argument("variant: stage count must divide 10");
+  const bool has_enc = mode != core::IpMode::kDecrypt;
+  const bool has_dec = mode != core::IpMode::kEncrypt;
+  const netlist::SboxStyle style = spec.sbox;
+
+  Netlist nl;
+
+  // ===== pins: Table 1 plus the in_ready admission output ====================
+  (void)nl.add_input("clk");
+  const NetId setup_pin = nl.add_input("setup");
+  const NetId wr_data = nl.add_input("wr_data");
+  const NetId wr_key = nl.add_input("wr_key");
+  const Bus din = nl.add_input_bus("din", 128);
+  const NetId encdec = mode == core::IpMode::kBoth ? nl.add_input("encdec") : kNoNet;
+  const NetId flushing = nl.gate_or(wr_key, setup_pin);
+
+  // ===== bus-side registers ==================================================
+  const Bus data_in_reg = nl.dff_bus(din, wr_data);
+
+  // ===== key store + 10-cycle expansion FSM ==================================
+  // wr_key seeds K0 and the expansion chain register; each of the next ten
+  // edges computes one forward round key into the key RAM. A wr_key also
+  // flushes every in-flight block (the schedule is global state).
+  const Bus kexp = pre_allocated_bus(nl, 128);
+  const Bus kr_q = pre_allocated_bus(nl, 4);
+  const NetId expanding_q = nl.new_net();
+  const NetId key_valid_q = nl.new_net();
+  const NetId kr_last = nl.eq_const(kr_q, 10);
+
+  Bus knext;
+  {
+    const Bus rotated = rot_word_bus(column_of(kexp, 3));
+    const Bus sub = netlist::synth_sub_word32(nl, aes::kSBox, rotated, style,
+                                              /*inverse_table=*/false, "kexp_subword");
+    Bus col0 = nl.xor_bus(column_of(kexp, 0), sub);
+    const Bus rcon = rcon_bus(nl, kr_q);
+    for (int b = 0; b < 8; ++b)
+      col0[static_cast<std::size_t>(b)] =
+          nl.gate_xor(col0[static_cast<std::size_t>(b)], rcon[static_cast<std::size_t>(b)]);
+    knext = col0;
+    Bus prev = col0;
+    for (int c = 1; c < 4; ++c) {
+      prev = nl.xor_bus(prev, column_of(kexp, c));
+      knext.insert(knext.end(), prev.begin(), prev.end());
+    }
+  }
+
+  std::array<Bus, 11> K;
+  K[0] = nl.dff_bus(din, wr_key);
+  for (int r = 1; r <= 10; ++r) {
+    const NetId wr_r = nl.gate_and(expanding_q, nl.eq_const(kr_q, static_cast<std::uint64_t>(r)));
+    K[static_cast<std::size_t>(r)] = nl.dff_bus(knext, wr_r);
+  }
+  {
+    const Bus kexp_d = nl.mux_bus(wr_key, knext, din);
+    const NetId kexp_en = nl.gate_or(wr_key, expanding_q);
+    for (int b = 0; b < 128; ++b)
+      nl.add_dff_with_out(kexp[static_cast<std::size_t>(b)], kexp_d[static_cast<std::size_t>(b)],
+                          kexp_en);
+    Bus kr_d = nl.mux_bus(expanding_q, kr_q, nl.increment(kr_q));
+    kr_d = nl.mux_bus(wr_key, kr_d, nl.constant_bus(1, 4));
+    for (int b = 0; b < 4; ++b)
+      nl.add_dff_with_out(kr_q[static_cast<std::size_t>(b)], kr_d[static_cast<std::size_t>(b)]);
+    const NetId expanding_d = nl.gate_and(
+        nl.gate_or(wr_key, nl.gate_and(expanding_q, nl.gate_not(kr_last))),
+        nl.gate_not(setup_pin));
+    nl.add_dff_with_out(expanding_q, expanding_d);
+    const NetId key_valid_d =
+        nl.gate_and(nl.gate_or(nl.gate_and(expanding_q, kr_last), key_valid_q),
+                    nl.gate_not(flushing));
+    nl.add_dff_with_out(key_valid_q, key_valid_d);
+  }
+
+  // ===== pipeline control =====================================================
+  // sub_q counts the rounds each stage has iterated in the current pass;
+  // the pipeline shifts (and a block may be admitted) on the boundary
+  // cycle sub == R-1. When the pipeline is empty sub_q parks at R-1, so an
+  // idle core admits on the load edge itself.
+  int sel_w = 1;
+  while ((1 << sel_w) < R) ++sel_w;
+  const Bus sub_q = R > 1 ? pre_allocated_bus(nl, sel_w) : Bus{};
+  const NetId boundary =
+      R > 1 ? nl.eq_const(sub_q, static_cast<std::uint64_t>(R - 1)) : nl.const1();
+
+  const NetId pending_q = nl.new_net();
+  const NetId block_avail = nl.gate_or(pending_q, wr_data);
+  const NetId admit = nl.gate_and(nl.gate_and(boundary, block_avail),
+                                  nl.gate_and(key_valid_q, nl.gate_not(flushing)));
+
+  std::vector<NetId> v_q(static_cast<std::size_t>(N));
+  std::vector<NetId> v_d(static_cast<std::size_t>(N));
+  for (int i = 0; i < N; ++i) v_q[static_cast<std::size_t>(i)] = nl.new_net();
+  for (int i = 0; i < N; ++i) {
+    const NetId shifted = i == 0 ? admit : v_q[static_cast<std::size_t>(i - 1)];
+    const NetId held = nl.gate_mux(boundary, v_q[static_cast<std::size_t>(i)], shifted);
+    v_d[static_cast<std::size_t>(i)] = nl.gate_and(held, nl.gate_not(flushing));
+    nl.add_dff_with_out(v_q[static_cast<std::size_t>(i)], v_d[static_cast<std::size_t>(i)]);
+  }
+
+  // Per-stage direction bits (kBoth), sampled at admission and carried
+  // along with the block so encrypt and decrypt traffic can share the pipe.
+  const NetId dec_in = mode == core::IpMode::kBoth ? nl.gate_not(encdec)
+                       : mode == core::IpMode::kDecrypt ? nl.const1()
+                                                        : nl.const0();
+  std::vector<NetId> d_qv(static_cast<std::size_t>(N), dec_in);
+  if (mode == core::IpMode::kBoth) {
+    for (int i = 0; i < N; ++i) d_qv[static_cast<std::size_t>(i)] = nl.new_net();
+    nl.add_dff_with_out(d_qv[0], dec_in, admit);
+    for (int i = 1; i < N; ++i)
+      nl.add_dff_with_out(d_qv[static_cast<std::size_t>(i)],
+                          d_qv[static_cast<std::size_t>(i - 1)], boundary);
+  }
+
+  if (R > 1) {
+    NetId any_next = nl.const0();
+    for (const NetId v : v_d) any_next = nl.gate_or(any_next, v);
+    const Bus advance = nl.mux_bus(boundary, nl.increment(sub_q), nl.constant_bus(0, sel_w));
+    const Bus sub_d = nl.mux_bus(any_next,
+                                 nl.constant_bus(static_cast<std::uint64_t>(R - 1), sel_w),
+                                 advance);
+    for (int b = 0; b < sel_w; ++b)
+      nl.add_dff_with_out(sub_q[static_cast<std::size_t>(b)], sub_d[static_cast<std::size_t>(b)]);
+  }
+
+  const NetId pending_d =
+      nl.gate_and(nl.gate_and(block_avail, nl.gate_not(admit)), nl.gate_not(flushing));
+  nl.add_dff_with_out(pending_q, pending_d);
+
+  // ===== datapath =============================================================
+  // Initial AddRoundKey folds into admission (K0 encrypt / K10 decrypt);
+  // the Data_In register is forwarded on the load edge itself.
+  const Bus data_src = nl.mux_bus(wr_data, data_in_reg, din);
+  Bus init_state;
+  {
+    Bus init_enc, init_dec;
+    if (has_enc) init_enc = nl.xor_bus(data_src, K[0]);
+    if (has_dec) init_dec = nl.xor_bus(data_src, K[10]);
+    if (has_enc && has_dec) init_state = nl.mux_bus(dec_in, init_enc, init_dec);
+    else init_state = has_enc ? init_enc : init_dec;
+  }
+
+  // Stage i at sub s executes global round f = i*R + s + 1 (1-based, over
+  // the whole cipher); the top stage's boundary cycle is f == 10, the only
+  // step that skips (I)MixColumn. Encrypt: SB -> SR -> MC -> AddK[f].
+  // Decrypt (the equivalent InvCipher step): ISR -> ISB -> AddK[10-f] -> IMC.
+  Bus shift_in = init_state;
+  Bus top_out;
+  for (int i = 0; i < N; ++i) {
+    const Bus S = pre_allocated_bus(nl, 128);
+    const std::string sn = "s" + std::to_string(i);
+    const NetId last_sel = i == N - 1 ? boundary : nl.const0();
+
+    Bus k_enc, k_dec;
+    if (has_enc) {
+      if (R == 1) {
+        k_enc = K[static_cast<std::size_t>(i + 1)];
+      } else {
+        std::vector<Bus> choices;
+        for (int s = 0; s < R; ++s) choices.push_back(K[static_cast<std::size_t>(i * R + s + 1)]);
+        k_enc = nl.mux_n(sub_q, choices);
+      }
+    }
+    if (has_dec) {
+      if (R == 1) {
+        k_dec = K[static_cast<std::size_t>(9 - i)];
+      } else {
+        std::vector<Bus> choices;
+        for (int s = 0; s < R; ++s) choices.push_back(K[static_cast<std::size_t>(9 - i * R - s)]);
+        k_dec = nl.mux_n(sub_q, choices);
+      }
+    }
+
+    Bus out_enc, out_dec;
+    if (has_enc) {
+      const Bus sb = sub_bytes128_nl(nl, S, aes::kSBox, style, false, "sb_" + sn);
+      const Bus sr = netlist::synth_shift_rows128(sb, false);
+      const Bus mc = netlist::synth_mix_columns128(nl, sr, false, spec.mixcol);
+      const Bus pre = nl.mux_bus(last_sel, mc, sr);
+      out_enc = nl.xor_bus(pre, k_enc);
+    }
+    if (has_dec) {
+      const Bus isr = netlist::synth_shift_rows128(S, true);
+      const Bus isb = sub_bytes128_nl(nl, isr, aes::kInvSBox, style, true, "isb_" + sn);
+      const Bus ak = nl.xor_bus(isb, k_dec);
+      const Bus imc = netlist::synth_mix_columns128(nl, ak, true, spec.mixcol);
+      out_dec = nl.mux_bus(last_sel, imc, ak);
+    }
+    Bus out;
+    if (has_enc && has_dec)
+      out = nl.mux_bus(d_qv[static_cast<std::size_t>(i)], out_enc, out_dec);
+    else out = has_enc ? out_enc : out_dec;
+
+    // Shift in the previous stage's completed block on boundary cycles,
+    // iterate in place otherwise.
+    const Bus d = nl.mux_bus(boundary, out, shift_in);
+    const NetId shift_en = i == 0 ? admit : v_q[static_cast<std::size_t>(i - 1)];
+    const NetId en = nl.gate_or(nl.gate_and(boundary, shift_en),
+                                nl.gate_and(nl.gate_not(boundary),
+                                            v_q[static_cast<std::size_t>(i)]));
+    for (int b = 0; b < 128; ++b)
+      nl.add_dff_with_out(S[static_cast<std::size_t>(b)], d[static_cast<std::size_t>(b)], en);
+
+    shift_in = out;
+    if (i == N - 1) top_out = out;
+  }
+
+  // ===== Out process ==========================================================
+  const NetId emit =
+      nl.gate_and(nl.gate_and(boundary, v_q[static_cast<std::size_t>(N - 1)]),
+                  nl.gate_not(flushing));
+  const Bus out_reg = nl.dff_bus(top_out, emit);
+  const NetId data_ok = nl.add_dff(emit);
+
+  nl.add_output(data_ok, "data_ok");
+  nl.add_output_bus(out_reg, "dout");
+  nl.add_output(nl.gate_not(pending_q), "in_ready");
+  return nl;
+}
+
+// ===== behavioral twin ========================================================
+
+namespace {
+
+hdl::Word128 word_from_state(const aes::State& s) {
+  hdl::Word128 out;
+  s.store(out.b);
+  return out;
+}
+
+}  // namespace
+
+VariantIp::VariantIp(hdl::Simulator& sim, const VariantSpec& spec, core::IpMode mode)
+    : hdl::Module("variant_ip"),
+      setup(sim, "setup", 1),
+      wr_data(sim, "wr_data", 1),
+      wr_key(sim, "wr_key", 1),
+      encdec(sim, "encdec", 1, true),
+      data_ok(sim, "data_ok", 1),
+      din(sim, "din", 128),
+      dout(sim, "dout", 128),
+      spec_(spec),
+      mode_(mode),
+      stages_n_(spec.stages()),
+      rounds_per_stage_(spec.rounds_per_stage()) {
+  if (spec.is_iterative())
+    throw std::invalid_argument("VariantIp models the non-iterative family; "
+                                "the iterative core is core::RijndaelIp");
+  stage_.resize(static_cast<std::size_t>(stages_n_));
+  sub_ = rounds_per_stage_ - 1;  // empty pipeline parks on the boundary
+  sim.add_module(*this);
+}
+
+bool VariantIp::busy() const noexcept {
+  if (expanding_) return true;
+  for (const Stage& s : stage_)
+    if (s.valid) return true;
+  return false;
+}
+
+hdl::Word128 VariantIp::round_step(const hdl::Word128& in, bool decrypt, int step) const {
+  aes::State s(4, in.b);
+  if (!decrypt) {
+    aes::sub_bytes(s);
+    aes::shift_rows(s);
+    if (step < 10) aes::mix_columns(s);
+    aes::add_round_key(s, round_keys_[static_cast<std::size_t>(step)].b);
+  } else {
+    aes::inv_shift_rows(s);
+    aes::inv_sub_bytes(s);
+    aes::add_round_key(s, round_keys_[static_cast<std::size_t>(10 - step)].b);
+    if (step < 10) aes::inv_mix_columns(s);
+  }
+  return word_from_state(s);
+}
+
+void VariantIp::flush_pipeline() noexcept {
+  for (Stage& s : stage_) s.valid = false;
+  pending_ = false;
+  sub_ = rounds_per_stage_ - 1;
+}
+
+void VariantIp::tick() {
+  data_ok.write(false);
+  if (setup.read()) {
+    ++counters_.setup_resets;
+    flush_pipeline();
+    key_valid_ = false;
+    expanding_ = false;
+    return;
+  }
+  if (wr_key.read()) {
+    // The hazard rule: a key write flushes every in-flight block and
+    // (re)starts the 10-cycle expansion into the key RAM.
+    ++counters_.key_writes;
+    flush_pipeline();
+    key_valid_ = false;
+    kexp_ = din.read();
+    round_keys_[0] = kexp_;
+    kr_ = 1;
+    expanding_ = true;
+    return;
+  }
+  if (wr_data.read()) {
+    data_in_reg_ = din.read();
+    pending_ = true;
+    ++counters_.data_writes;
+  }
+
+  if (expanding_) {
+    ++counters_.key_setup_cycles;
+    hdl::Word128 next;
+    next.set_column(0, kexp_.column(0) ^ aes::sub_word(aes::rot_word(kexp_.column(3))) ^
+                           gf::rcon(static_cast<unsigned>(kr_)));
+    for (int c = 1; c < 4; ++c) next.set_column(c, next.column(c - 1) ^ kexp_.column(c));
+    round_keys_[static_cast<std::size_t>(kr_)] = next;
+    kexp_ = next;
+    if (kr_ < 10) {
+      ++kr_;
+    } else {
+      expanding_ = false;
+      key_valid_ = true;
+    }
+    return;
+  }
+
+  const int n = stages_n_;
+  const int r = rounds_per_stage_;
+  const bool boundary = sub_ == r - 1;
+
+  // Every valid stage executes one round slice this edge.
+  std::vector<hdl::Word128> out(static_cast<std::size_t>(n));
+  int work = 0;
+  for (int i = 0; i < n; ++i) {
+    Stage& s = stage_[static_cast<std::size_t>(i)];
+    if (!s.valid) continue;
+    out[static_cast<std::size_t>(i)] = round_step(s.data, s.decrypt, i * r + sub_ + 1);
+    ++work;
+  }
+  counters_.mix_cycles += static_cast<std::uint64_t>(work);
+  counters_.rounds_done += static_cast<std::uint64_t>(work);
+  if (work == 0) ++counters_.idle_cycles;
+
+  if (!boundary) {
+    for (int i = 0; i < n; ++i) {
+      Stage& s = stage_[static_cast<std::size_t>(i)];
+      if (s.valid) s.data = out[static_cast<std::size_t>(i)];
+    }
+    ++sub_;
+    return;
+  }
+
+  // Boundary: emit the top stage, shift the pipe, admit a waiting block.
+  const Stage& top = stage_[static_cast<std::size_t>(n - 1)];
+  if (top.valid) {
+    dout.write(out[static_cast<std::size_t>(n - 1)]);
+    data_ok.write(true);
+    if (top.decrypt) ++counters_.blocks_dec;
+    else ++counters_.blocks_enc;
+  }
+  for (int i = n - 1; i >= 1; --i) {
+    const Stage& below = stage_[static_cast<std::size_t>(i - 1)];
+    Stage& s = stage_[static_cast<std::size_t>(i)];
+    s.valid = below.valid;
+    s.decrypt = below.decrypt;
+    if (below.valid) s.data = out[static_cast<std::size_t>(i - 1)];
+  }
+  Stage& first = stage_[0];
+  if (pending_ && key_valid_) {
+    const bool dec = mode_ == core::IpMode::kDecrypt ||
+                     (mode_ == core::IpMode::kBoth && !encdec.read());
+    first.valid = true;
+    first.decrypt = dec;
+    first.data = data_in_reg_ ^ round_keys_[dec ? 10 : 0];
+    pending_ = false;
+  } else {
+    first.valid = false;
+  }
+  bool any = false;
+  for (const Stage& s : stage_) any = any || s.valid;
+  sub_ = any ? 0 : r - 1;
+}
+
+}  // namespace aesip::arch

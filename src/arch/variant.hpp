@@ -1,0 +1,184 @@
+// The generated round-engine family: one VariantSpec names a point on the
+// area–throughput Pareto curve, and every point has two cycle-exact
+// realizations — a gate-level netlist (synthesize_variant) and a
+// behavioral hdl::Module twin (VariantIp) — so the whole family runs
+// behind the same Table 1 bus protocol, the same drivers, and the same
+// CipherEngine/farm/fleet plumbing as the paper's core.
+//
+// The family axes (docs/variants.md):
+//
+//  * RoundArch::kIterative — the paper's mixed 32/128-bit datapath:
+//    4-cycle ByteSub32 + one 128-bit SR/MC/AK cycle = 5 cycles/round,
+//    50 cycles/block, on-the-fly KStran schedule (40-cycle decrypt key
+//    setup). The low-area extreme; realized by core::synthesize_ip /
+//    core::RijndaelIp with the MixColumn style threaded through.
+//
+//  * RoundArch::kUnrolled — one full 128-bit round per clock: 10
+//    cycles/block, stored round keys (11x128 key RAM filled by a
+//    10-cycle expansion pass after wr_key).
+//
+//  * RoundArch::kPipelined — the unrolled datapath loop-folded into N
+//    stages (N in {2, 5, 10}); each stage iterates R = 10/N rounds, so N
+//    blocks are in flight and a new block is admitted every R cycles.
+//    Block latency stays 10 cycles; streamed throughput approaches R
+//    cycles/block. Grounded in the pipelined decomposition of Elkabbany
+//    et al. (PAPERS.md).
+//
+// crossed with the MixColumn architecture (netlist::MixColStyle): the
+// shared-term xtime network the paper's RTL infers vs the table-lookup
+// constant multipliers of Arrag et al. — behaviorally identical, very
+// different LC counts.
+//
+// Non-iterative variants keep the Table 1 pins and add one output,
+// `in_ready` (= the Data_In register is free), because a core with
+// multiple blocks in flight needs explicit admission flow control where
+// the paper's single-block core could rely on data_ok. A wr_key or setup
+// pulse flushes every in-flight block (the hazard rule: the key schedule
+// is global state, so no block started under the old key may emit).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/rijndael_ip.hpp"
+#include "hdl/module.hpp"
+#include "hdl/signal.hpp"
+#include "hdl/simulator.hpp"
+#include "hdl/word128.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/synth.hpp"
+
+namespace aesip::arch {
+
+/// How the rounds are scheduled onto hardware.
+enum class RoundArch {
+  kIterative,  ///< the paper's 5-cycles/round core
+  kUnrolled,   ///< one full round per clock, 10 cycles/block
+  kPipelined,  ///< N-stage loop-folded pipeline, N blocks in flight
+};
+
+/// One point in the generated family, with its declared schedule.  The
+/// declared figures are contracts: conformance tests hold every
+/// realization (netlist and behavioral) to them cycle for cycle.
+struct VariantSpec {
+  RoundArch round_arch = RoundArch::kIterative;
+  int pipeline_stages = 1;  ///< kPipelined only: 2, 5 or 10 (must divide 10)
+  netlist::MixColStyle mixcol = netlist::MixColStyle::kXtime;
+  netlist::SboxStyle sbox = netlist::SboxStyle::kRom;
+
+  bool is_iterative() const noexcept { return round_arch == RoundArch::kIterative; }
+
+  /// Physical pipeline stages (1 unless kPipelined).
+  int stages() const noexcept {
+    return round_arch == RoundArch::kPipelined ? pipeline_stages : 1;
+  }
+  /// Rounds each stage iterates before the pipeline shifts (non-iterative).
+  int rounds_per_stage() const noexcept { return 10 / stages(); }
+
+  // --- the declared schedule -------------------------------------------------
+  /// Load edge -> data_ok for a lone block.
+  int block_latency_cycles() const noexcept { return is_iterative() ? 50 : 10; }
+  /// Steady-state cycles between admissions when streamed.
+  int issue_interval_cycles() const noexcept {
+    return is_iterative() ? 50 : rounds_per_stage();
+  }
+  /// Blocks concurrently in flight at full occupancy.
+  int blocks_in_flight() const noexcept { return stages(); }
+  /// wr_key edge -> key_ready.  The iterative core pays the paper's
+  /// 40-cycle inverse-schedule pass only when decrypt-capable; the stored
+  /// key RAM of the other variants always costs one 10-cycle expansion.
+  int key_setup_cycles(core::IpMode mode) const noexcept {
+    if (is_iterative()) return mode == core::IpMode::kEncrypt ? 0 : 40;
+    return 10;
+  }
+  /// Datapath cycles attributed per round (5 for the 32-bit slice walk,
+  /// 1 for a full-width round).
+  double cycles_per_round() const noexcept { return is_iterative() ? 5.0 : 1.0; }
+
+  /// Canonical name, e.g. "iter-xtime", "unroll-lut", "pipe5-xtime".
+  std::string name() const;
+  /// Inverse of name(); also accepts "paper" for the iterative default.
+  static std::optional<VariantSpec> parse(std::string_view text);
+  /// The bench/test roster: the Pareto candidates documented in
+  /// docs/variants.md (5 xtime points + 2 dominated lut points).
+  static std::vector<VariantSpec> family();
+};
+
+bool operator==(const VariantSpec& a, const VariantSpec& b) noexcept;
+
+/// Intern an arbitrary label into a static-duration string (farm worker
+/// labels outlive the farm that created them).
+const char* intern_label(const std::string& text);
+/// Intern `spec.name()`.
+const char* variant_label(const VariantSpec& spec);
+
+/// Gate-level realization of a non-iterative variant (iterative specs
+/// delegate to core::synthesize_ip with the MixColumn style threaded).
+/// Table 1 pins plus `in_ready`; DFF boot state (all zero) reads as idle
+/// after one setup pulse, exactly like the iterative netlist.
+netlist::Netlist synthesize_variant(const VariantSpec& spec, core::IpMode mode);
+
+/// Cycle-exact behavioral twin of the non-iterative netlists: same pins,
+/// same per-edge transition function, same declared schedule, usable
+/// behind core::GenericBusDriver. Maintains core::IpCounters with the
+/// stage-occupancy attribution (1 cycle per round slice) so the obs layer
+/// reads it like any other core.
+class VariantIp final : public hdl::Module {
+ public:
+  hdl::Signal<bool> setup;
+  hdl::Signal<bool> wr_data;
+  hdl::Signal<bool> wr_key;
+  hdl::Signal<bool> encdec;  ///< 1 = encrypt (kBoth; ignored otherwise)
+  hdl::Signal<bool> data_ok;
+  hdl::Signal<hdl::Word128> din;
+  hdl::Signal<hdl::Word128> dout;
+
+  VariantIp(hdl::Simulator& sim, const VariantSpec& spec, core::IpMode mode);
+
+  bool key_ready() const noexcept { return key_valid_; }
+  bool data_pending() const noexcept { return pending_; }
+  bool busy() const noexcept;
+
+  const VariantSpec& spec() const noexcept { return spec_; }
+  core::IpMode mode() const noexcept { return mode_; }
+  const core::IpCounters& counters() const noexcept { return counters_; }
+  void reset_counters() noexcept { counters_ = core::IpCounters{}; }
+
+  void evaluate() override {}
+  void tick() override;
+
+ private:
+  struct Stage {
+    hdl::Word128 data;
+    bool valid = false;
+    bool decrypt = false;
+  };
+
+  hdl::Word128 round_step(const hdl::Word128& in, bool decrypt, int step) const;
+  void flush_pipeline() noexcept;
+
+  VariantSpec spec_;
+  core::IpMode mode_;
+  int stages_n_;
+  int rounds_per_stage_;
+
+  std::array<hdl::Word128, 11> round_keys_{};
+  hdl::Word128 kexp_{};       ///< expansion chain register
+  int kr_ = 0;                ///< expansion round counter, 1..10
+  bool expanding_ = false;
+  bool key_valid_ = false;
+
+  std::vector<Stage> stage_;  ///< stage_[0] is the admission stage
+  int sub_ = 0;               ///< rounds completed in the current pass
+  hdl::Word128 data_in_reg_{};
+  bool pending_ = false;
+
+  core::IpCounters counters_{};
+};
+
+}  // namespace aesip::arch

@@ -48,12 +48,15 @@ void GateIpDriver::reset() {
 }
 
 void GateIpDriver::load_key(std::span<const std::uint8_t> key, bool needs_setup) {
+  load_key(key, needs_setup ? 40 : 0);
+}
+
+void GateIpDriver::load_key(std::span<const std::uint8_t> key, int setup_cycles) {
   set_din(key);
   set("wr_key", true);
   clock();
   set("wr_key", false);
-  if (needs_setup)
-    for (int i = 0; i < 40; ++i) clock();
+  for (int i = 0; i < setup_cycles; ++i) clock();
 }
 
 std::optional<GateIpDriver::BlockResult> GateIpDriver::process(
@@ -68,6 +71,63 @@ std::optional<GateIpDriver::BlockResult> GateIpDriver::process(
     if (data_ok()) return BlockResult{read_dout(), i};
   }
   return std::nullopt;
+}
+
+std::optional<GateIpDriver::StreamResult> GateIpDriver::stream(std::span<const std::uint8_t> in,
+                                                               std::span<std::uint8_t> out,
+                                                               std::size_t blocks, bool encrypt,
+                                                               int watchdog_cycles) {
+  if (in.size() < 16 * blocks || out.size() < 16 * blocks)
+    throw std::invalid_argument("GateIpDriver: need 16 bytes per block");
+  if (blocks == 0) return StreamResult{0};
+  if (has_input("encdec")) set("encdec", encrypt);
+  const bool has_ready = out_by_name_.count("in_ready") != 0;
+  const netlist::NetId ready_net = has_ready ? out_by_name_.at("in_ready") : netlist::kNoNet;
+
+  std::size_t next = 0;      // blocks written onto the bus
+  std::size_t admitted = 0;  // blocks the core has captured out of Data_In
+  std::size_t done = 0;      // data_ok strobes collected
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+  bool first_fed = false;
+  std::uint64_t guard = 0;
+
+  while (done < blocks) {
+    bool feed = next < blocks;
+    if (feed) {
+      if (has_ready) {
+        ev_.settle();
+        feed = ev_.get(ready_net);
+      } else {
+        feed = next == admitted;  // the paper core's single pending slot
+      }
+    }
+    bool fed_idle = false;
+    if (feed) {
+      set_din(in.subspan(16 * next, 16));
+      set("wr_data", true);
+      fed_idle = !has_ready && admitted == done;  // idle core admits on the load edge
+      ++next;
+    } else {
+      set("wr_data", false);
+    }
+    const bool was_first = feed && !first_fed;
+    first_fed = first_fed || feed;
+    clock();
+    set("wr_data", false);
+    if (was_first) first = cycles_;
+    if (fed_idle) ++admitted;
+    if (data_ok()) {
+      const auto block = read_dout();
+      for (int k = 0; k < 16; ++k) out[16 * done + static_cast<std::size_t>(k)] =
+          block[static_cast<std::size_t>(k)];
+      ++done;
+      last = cycles_;
+      if (admitted < next) ++admitted;  // the finish edge admits a pending block
+    }
+    if (++guard > static_cast<std::uint64_t>(watchdog_cycles) * blocks) return std::nullopt;
+  }
+  return StreamResult{static_cast<int>(last - first)};
 }
 
 // --- GateIpBatchDriver -------------------------------------------------------
@@ -125,12 +185,15 @@ void GateIpBatchDriver::reset() {
 }
 
 void GateIpBatchDriver::load_key(std::span<const std::uint8_t> key, bool needs_setup) {
+  load_key(key, needs_setup ? 40 : 0);
+}
+
+void GateIpBatchDriver::load_key(std::span<const std::uint8_t> key, int setup_cycles) {
   set_din_lanes(key, 1);  // replicate the key into every lane
   set_broadcast("wr_key", true);
   clock();
   set_broadcast("wr_key", false);
-  if (needs_setup)
-    for (int i = 0; i < 40; ++i) clock();
+  for (int i = 0; i < setup_cycles; ++i) clock();
 }
 
 std::optional<GateIpBatchDriver::BatchResult> GateIpBatchDriver::process_batch(

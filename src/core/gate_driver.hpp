@@ -46,6 +46,10 @@ class GateIpDriver {
   void reset();
   /// Write a key; runs the 40 extra key-setup cycles when `needs_setup`.
   void load_key(std::span<const std::uint8_t> key, bool needs_setup);
+  /// Write a key and run an explicit number of key-setup clocks (the
+  /// variant family declares its own schedule — 10 expansion cycles for
+  /// the stored-key cores, 40 for the paper's inverse-schedule pass).
+  void load_key(std::span<const std::uint8_t> key, int setup_cycles);
 
   struct BlockResult {
     std::array<std::uint8_t, 16> data;
@@ -55,6 +59,20 @@ class GateIpDriver {
   /// fault-injection campaign classifies as a hang.
   std::optional<BlockResult> process(std::span<const std::uint8_t> block, bool encrypt,
                                      int watchdog_cycles = 200);
+
+  struct StreamResult {
+    int cycles;  ///< first load edge -> last data_ok
+  };
+  /// Stream blocks back to back through one device, keeping the Data_In
+  /// register fed: the throughput measurement for cores with multiple
+  /// blocks in flight.  Uses the `in_ready` admission output when the
+  /// netlist has one (the variant family); otherwise feeds a new block the
+  /// cycle after each admission slot frees (writes may lead completions by
+  /// at most one — the paper core's single pending register).  `out` gets
+  /// 16 bytes per input block; nullopt on watchdog.
+  std::optional<StreamResult> stream(std::span<const std::uint8_t> in,
+                                     std::span<std::uint8_t> out, std::size_t blocks,
+                                     bool encrypt, int watchdog_cycles = 200);
 
  private:
   netlist::Evaluator ev_;
@@ -111,6 +129,9 @@ class GateIpBatchDriver {
   /// Write a key to every lane; runs the 40 extra key-setup cycles when
   /// `needs_setup` (device-global: one shared key schedule).
   void load_key(std::span<const std::uint8_t> key, bool needs_setup);
+  /// Write a key and run an explicit number of key-setup clocks (the
+  /// variant family's declared schedule).
+  void load_key(std::span<const std::uint8_t> key, int setup_cycles);
 
   struct BatchResult {
     int cycles;  ///< per-lane latency, load edge -> data_ok (same in every lane)

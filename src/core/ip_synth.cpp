@@ -75,6 +75,10 @@ Netlist synthesize_ip(IpMode mode, bool sbox_as_rom) {
 }
 
 Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style) {
+  return synthesize_ip(mode, style, netlist::MixColStyle::kXtime);
+}
+
+Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style, netlist::MixColStyle mixcol) {
   Netlist nl;
   const bool has_enc = mode != IpMode::kDecrypt;
   const bool has_dec = mode != IpMode::kEncrypt;
@@ -329,13 +333,13 @@ Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style) {
   Bus mix_result_enc, mix_result_dec;
   if (has_enc) {
     const Bus sr = netlist::synth_shift_rows128(state, false);
-    const Bus mc = netlist::synth_mix_columns128(nl, sr, false);
+    const Bus mc = netlist::synth_mix_columns128(nl, sr, false, mixcol);
     const Bus pre = nl.mux_bus(round_last, mc, sr);  // last round skips MixColumn
     mix_result_enc = nl.xor_bus(pre, next_key);
   }
   if (has_dec) {
     const Bus ak = nl.xor_bus(state, round_key);
-    const Bus imc = netlist::synth_mix_columns128(nl, ak, true);
+    const Bus imc = netlist::synth_mix_columns128(nl, ak, true, mixcol);
     const Bus pre = nl.mux_bus(first_round, imc, state);  // round 1 skips IMixColumn
     mix_result_dec = netlist::synth_shift_rows128(pre, true);
   }

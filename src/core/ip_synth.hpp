@@ -30,6 +30,12 @@ netlist::Netlist synthesize_ip(IpMode mode, bool sbox_as_rom);
 /// the Cyclone S-box cost — see test_composite / EXPERIMENTS.md).
 netlist::Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style);
 
+/// Fully style-selected variant: S-box realization plus the MixColumn
+/// architecture (shared-term xtime network vs table-lookup multipliers —
+/// the `arch::VariantSpec` knob threaded down to the iterative core).
+netlist::Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style,
+                               netlist::MixColStyle mixcol);
+
 /// Expected pin count of a variant (paper Table 2: 261, or 262 with enc/dec).
 constexpr int expected_pins(IpMode mode) noexcept {
   return mode == IpMode::kBoth ? 262 : 261;

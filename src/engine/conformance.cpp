@@ -53,16 +53,34 @@ struct Checker {
 
 }  // namespace
 
+TimingExpectation paper_timing(core::IpMode mode) noexcept {
+  TimingExpectation t;
+  if (mode == core::IpMode::kEncrypt) t.key_setup = 0;
+  return t;
+}
+
+TimingExpectation timing_for_variant(const arch::VariantSpec& spec, core::IpMode mode) noexcept {
+  TimingExpectation t;
+  t.block_latency = static_cast<std::uint64_t>(spec.block_latency_cycles());
+  t.key_setup = static_cast<std::uint64_t>(spec.key_setup_cycles(mode));
+  t.cycles_per_round = static_cast<std::uint64_t>(spec.cycles_per_round());
+  return t;
+}
+
 ConformanceResult run_conformance(CipherEngine& e, int monte_carlo_iters) {
+  return run_conformance(e, paper_timing(e.mode()), monte_carlo_iters);
+}
+
+ConformanceResult run_conformance(CipherEngine& e, const TimingExpectation& expect,
+                                  int monte_carlo_iters) {
   ConformanceResult res;
   Checker ck{res};
   const std::uint64_t cycles0 = e.cycles();
-  // An engine that models time pays the paper's cycle prices; the software
-  // engine is zero-cycle by contract.
+  // An engine that models time pays its declared cycle prices; the
+  // software engine is zero-cycle by contract.
   const bool timed = e.kind() != EngineKind::kSoftware;
-  const std::uint64_t block_latency = timed ? core::RijndaelIp::kCyclesPerBlock : 0;
-  const std::uint64_t key_setup =
-      timed && e.mode() != core::IpMode::kEncrypt ? core::RijndaelIp::kKeySetupCycles : 0;
+  const std::uint64_t block_latency = timed ? expect.block_latency : 0;
+  const std::uint64_t key_setup = timed ? expect.key_setup : 0;
 
   // --- FIPS-197 Appendix B -------------------------------------------------
   ck.equal_u64(e.load_key(kFipsBKey), key_setup, std::string(e.name()) + " B key setup cycles");
@@ -108,10 +126,11 @@ ConformanceResult run_conformance(CipherEngine& e, int monte_carlo_iters) {
   // --- paper cycle invariants ----------------------------------------------
   const core::IpCounters c = e.counters();
   if (timed) {
-    ck.equal_u64(c.round_cycles(), c.rounds_done * core::RijndaelIp::kCyclesPerRound,
-                 std::string(e.name()) + " 5 cycles/round invariant");
-    ck.equal_u64(c.round_cycles(), c.blocks() * core::RijndaelIp::kCyclesPerBlock,
-                 std::string(e.name()) + " 50 cycles/block invariant");
+    ck.equal_u64(c.round_cycles(), c.rounds_done * expect.cycles_per_round,
+                 std::string(e.name()) + " cycles/round invariant");
+    ck.equal_u64(c.round_cycles(),
+                 c.blocks() * expect.cycles_per_round * core::RijndaelIp::kRounds,
+                 std::string(e.name()) + " cycles/block invariant");
   } else {
     ck.equal_u64(e.cycles(), 0, std::string(e.name()) + " zero-cycle contract");
   }

@@ -33,10 +33,31 @@ extern const std::array<std::uint8_t, 16> kFipsC1Key;
 extern const std::array<std::uint8_t, 16> kFipsC1Plain;
 extern const std::array<std::uint8_t, 16> kFipsC1Cipher;
 
+/// The cycle prices a timed engine is held to.  The defaults are the
+/// paper's; variant engines declare their own (timing_for_variant).  All
+/// zeroed internally for zero-cycle (software) engines.
+struct TimingExpectation {
+  std::uint64_t block_latency = core::RijndaelIp::kCyclesPerBlock;  ///< load edge -> data_ok
+  std::uint64_t key_setup = core::RijndaelIp::kKeySetupCycles;      ///< mode-resolved, see below
+  std::uint64_t cycles_per_round = core::RijndaelIp::kCyclesPerRound;
+};
+
+/// The paper core's expectation for `mode` (key_setup is 0 on
+/// encrypt-only devices, 40 otherwise).
+TimingExpectation paper_timing(core::IpMode mode) noexcept;
+
+/// A variant-family member's declared schedule as a conformance contract.
+TimingExpectation timing_for_variant(const arch::VariantSpec& spec, core::IpMode mode) noexcept;
+
 /// Run the conformance vectors on `e` (expects a kBoth device).
 /// `monte_carlo_iters` chained encryptions are compared against the
 /// software reference (1000 for the full FIPS-style chain; netlist callers
 /// may pass fewer to bound gate-level runtime).
 ConformanceResult run_conformance(CipherEngine& e, int monte_carlo_iters = 1000);
+
+/// Same vectors, holding a timed engine to `expect` instead of the paper's
+/// prices — the variant-family entry point.
+ConformanceResult run_conformance(CipherEngine& e, const TimingExpectation& expect,
+                                  int monte_carlo_iters = 1000);
 
 }  // namespace aesip::engine

@@ -98,14 +98,40 @@ std::array<std::uint8_t, 16> SoftwareEngine::do_process(std::span<const std::uin
   return out;
 }
 
+// --- BehavioralEngine --------------------------------------------------------
+
+BehavioralEngine::BehavioralEngine(const arch::VariantSpec& spec, core::IpMode mode)
+    : spec_(spec), mode_(mode) {
+  if (spec_.is_iterative()) {
+    // The MixColumn style is a gate-level distinction only; the paper's
+    // RijndaelIp is the behavioral twin of both iterative netlists.
+    ip_ = std::make_unique<core::RijndaelIp>(sim_, mode);
+    bus_ = std::make_unique<core::BusDriver>(sim_, *ip_);
+    bus_->reset();
+  } else {
+    var_ip_ = std::make_unique<arch::VariantIp>(sim_, spec, mode);
+    var_bus_ = std::make_unique<core::GenericBusDriver<arch::VariantIp>>(sim_, *var_ip_);
+    var_bus_->reset();
+  }
+}
+
 // --- NetlistEngine -----------------------------------------------------------
 
 std::shared_ptr<const netlist::Netlist> make_ip_netlist(core::IpMode mode) {
   return std::make_shared<const netlist::Netlist>(core::synthesize_ip(mode, /*sbox_as_rom=*/true));
 }
 
+std::shared_ptr<const netlist::Netlist> make_variant_netlist(const arch::VariantSpec& spec,
+                                                             core::IpMode mode) {
+  return std::make_shared<const netlist::Netlist>(arch::synthesize_variant(spec, mode));
+}
+
 NetlistEngine::NetlistEngine(std::shared_ptr<const netlist::Netlist> nl, core::IpMode mode)
-    : nl_(std::move(nl)), mode_(mode), drv_(*nl_) {
+    : NetlistEngine(std::move(nl), arch::VariantSpec{}, mode) {}
+
+NetlistEngine::NetlistEngine(std::shared_ptr<const netlist::Netlist> nl,
+                             const arch::VariantSpec& spec, core::IpMode mode)
+    : nl_(std::move(nl)), spec_(spec), mode_(mode), drv_(*nl_) {
   // Mirror BehavioralEngine's construction-time reset() pulse: one setup
   // edge plus one idle edge, so cycle counts line up from cycle 0.
   drv_.reset();
@@ -115,12 +141,12 @@ NetlistEngine::NetlistEngine(std::shared_ptr<const netlist::Netlist> nl, core::I
 
 std::uint64_t NetlistEngine::load_key(std::span<const std::uint8_t> key) {
   if (key.size() != 16) throw std::invalid_argument("NetlistEngine: key must be 16 bytes");
-  const bool needs_setup = mode_ != core::IpMode::kEncrypt;
-  drv_.load_key(key, needs_setup);
+  const std::uint64_t setup =
+      static_cast<std::uint64_t>(spec_.key_setup_cycles(mode_));
+  drv_.load_key(key, static_cast<int>(setup));
   std::copy(key.begin(), key.end(), resident_key_.begin());
   has_resident_key_ = true;
   ++counters_.key_writes;
-  const std::uint64_t setup = needs_setup ? core::RijndaelIp::kKeySetupCycles : 0;
   counters_.key_setup_cycles += setup;
   return setup;
 }
@@ -139,11 +165,16 @@ void NetlistEngine::run_pass(std::span<const std::uint8_t> in, std::span<std::ui
   // the identical attribution from the protocol events, once per lane — a
   // pass over n lanes is n blocks of device work (cycles() agrees: the
   // driver weights each pass clock by the active lane count).
+  // Iterative blocks spend 4 ByteSub32 slices + 1 MixColumn cycle per
+  // round; the full-width variants do the whole round in the one wide
+  // cycle counted under mix_cycles (matching VariantIp's attribution).
+  const std::uint64_t bytesub_per_round =
+      spec_.is_iterative() ? core::RijndaelIp::kCyclesPerRound - 1 : 0;
   const bool dec = mode_ == core::IpMode::kDecrypt || (mode_ == core::IpMode::kBoth && !encrypt);
   counters_.data_writes += n;
   counters_.idle_cycles += n;  // the load edge executes in kIdle (block start)
   counters_.bytesub_cycles +=
-      static_cast<std::uint64_t>(core::RijndaelIp::kRounds * (core::RijndaelIp::kCyclesPerRound - 1)) * n;
+      static_cast<std::uint64_t>(core::RijndaelIp::kRounds) * bytesub_per_round * n;
   counters_.mix_cycles += static_cast<std::uint64_t>(core::RijndaelIp::kRounds) * n;
   counters_.rounds_done += static_cast<std::uint64_t>(core::RijndaelIp::kRounds) * n;
   (dec ? counters_.blocks_dec : counters_.blocks_enc) += n;
@@ -187,6 +218,16 @@ std::unique_ptr<CipherEngine> make_engine(EngineKind kind, core::IpMode mode) {
     case EngineKind::kSoftware: return std::make_unique<SoftwareEngine>(mode);
     case EngineKind::kBehavioral: return std::make_unique<BehavioralEngine>(mode);
     case EngineKind::kNetlist: return std::make_unique<NetlistEngine>(mode);
+  }
+  throw std::invalid_argument("make_engine: unknown engine kind");
+}
+
+std::unique_ptr<CipherEngine> make_engine(EngineKind kind, const arch::VariantSpec& spec,
+                                          core::IpMode mode) {
+  switch (kind) {
+    case EngineKind::kSoftware: return std::make_unique<SoftwareEngine>(mode);
+    case EngineKind::kBehavioral: return std::make_unique<BehavioralEngine>(spec, mode);
+    case EngineKind::kNetlist: return std::make_unique<NetlistEngine>(spec, mode);
   }
   throw std::invalid_argument("make_engine: unknown engine kind");
 }

@@ -41,6 +41,7 @@
 
 #include "aes/cipher.hpp"
 #include "aes/ttable.hpp"
+#include "arch/variant.hpp"
 #include "core/bfm.hpp"
 #include "core/gate_driver.hpp"
 #include "core/rijndael_ip.hpp"
@@ -210,51 +211,78 @@ class SoftwareEngine final : public CipherEngine {
 };
 
 /// The cycle-accurate RTL model behind the engine contract: a private
-/// Simulator + RijndaelIp + GenericBusDriver per engine.
+/// Simulator plus one behavioral core — the paper's RijndaelIp for
+/// iterative specs, the arch::VariantIp twin for the rest of the variant
+/// family — behind a GenericBusDriver each.
 class BehavioralEngine final : public CipherEngine {
  public:
   explicit BehavioralEngine(core::IpMode mode = core::IpMode::kBoth)
-      : ip_(sim_, mode), bus_(sim_, ip_) {
-    bus_.reset();
-  }
+      : BehavioralEngine(arch::VariantSpec{}, mode) {}
+  /// Any family member; the engine's declared schedule is `spec`'s.
+  BehavioralEngine(const arch::VariantSpec& spec, core::IpMode mode);
 
   EngineKind kind() const noexcept override { return EngineKind::kBehavioral; }
-  core::IpMode mode() const noexcept override { return ip_.mode(); }
+  core::IpMode mode() const noexcept override { return mode_; }
+  const arch::VariantSpec& variant() const noexcept { return spec_; }
 
   std::uint64_t load_key(std::span<const std::uint8_t> key) override {
-    return bus_.load_key(key);
+    return var_bus_ ? var_bus_->load_key(key) : bus_->load_key(key);
   }
   bool key_resident(std::span<const std::uint8_t> key) const override {
-    return bus_.key_resident(key);
+    return var_bus_ ? var_bus_->key_resident(key) : bus_->key_resident(key);
   }
-  std::uint64_t rekey(std::span<const std::uint8_t> key) override { return bus_.rekey(key); }
+  std::uint64_t rekey(std::span<const std::uint8_t> key) override {
+    return var_bus_ ? var_bus_->rekey(key) : bus_->rekey(key);
+  }
 
   std::uint64_t cycles() const noexcept override { return sim_.cycle(); }
-  std::uint64_t last_latency() const noexcept override { return bus_.last_latency(); }
-  core::IpCounters counters() const override { return ip_.counters(); }
+  std::uint64_t last_latency() const noexcept override {
+    return var_bus_ ? var_bus_->last_latency() : bus_->last_latency();
+  }
+  core::IpCounters counters() const override {
+    return var_ip_ ? var_ip_->counters() : ip_->counters();
+  }
   hdl::Simulator* simulator() noexcept override { return &sim_; }
 
   /// Bus-master-side accounting (resets, rekey hits, stream stats) —
   /// observability beyond the engine contract.
-  const core::BusCounters& bus_counters() const noexcept { return bus_.counters(); }
-  core::BusDriver& bus() noexcept { return bus_; }
+  const core::BusCounters& bus_counters() const noexcept {
+    return var_bus_ ? var_bus_->counters() : bus_->counters();
+  }
+  /// The paper-core bus driver; throws on non-iterative engines (their bus
+  /// is a GenericBusDriver<VariantIp>, a different concrete type).
+  core::BusDriver& bus() {
+    if (!bus_) throw std::logic_error("BehavioralEngine: variant engine has no paper-core bus");
+    return *bus_;
+  }
 
  protected:
   std::array<std::uint8_t, 16> do_process(std::span<const std::uint8_t> block,
                                           bool encrypt) override {
-    return bus_.process_block(block, encrypt);
+    return var_bus_ ? var_bus_->process_block(block, encrypt)
+                    : bus_->process_block(block, encrypt);
   }
 
  private:
   hdl::Simulator sim_;
-  core::RijndaelIp ip_;
-  core::BusDriver bus_;
+  arch::VariantSpec spec_;
+  core::IpMode mode_;
+  // Exactly one pair is populated, chosen by spec_.is_iterative().
+  std::unique_ptr<core::RijndaelIp> ip_;
+  std::unique_ptr<core::BusDriver> bus_;
+  std::unique_ptr<arch::VariantIp> var_ip_;
+  std::unique_ptr<core::GenericBusDriver<arch::VariantIp>> var_bus_;
 };
 
 /// Synthesize the IP netlist an engine (or a farm of them) will evaluate.
 /// Immutable and thread-safe to share: each engine gets its own Evaluator
 /// state over the common gate graph.
 std::shared_ptr<const netlist::Netlist> make_ip_netlist(core::IpMode mode);
+
+/// Synthesize the gate netlist of any variant-family member, sharable the
+/// same way (farms cache one per variant name).
+std::shared_ptr<const netlist::Netlist> make_variant_netlist(const arch::VariantSpec& spec,
+                                                             core::IpMode mode);
 
 /// The synthesized gate netlist behind the engine contract, driven through
 /// netlist::BatchEvaluator with the same Table 1 handshake the behavioral
@@ -268,9 +296,17 @@ class NetlistEngine final : public CipherEngine {
   NetlistEngine(std::shared_ptr<const netlist::Netlist> nl, core::IpMode mode);
   explicit NetlistEngine(core::IpMode mode = core::IpMode::kBoth)
       : NetlistEngine(make_ip_netlist(mode), mode) {}
+  /// Any variant-family member over an already-synthesized netlist (`nl`
+  /// must be the gate graph of `spec` — farms pass their per-variant cache).
+  NetlistEngine(std::shared_ptr<const netlist::Netlist> nl, const arch::VariantSpec& spec,
+                core::IpMode mode);
+  /// Synthesizing convenience for one-off variant engines.
+  NetlistEngine(const arch::VariantSpec& spec, core::IpMode mode)
+      : NetlistEngine(make_variant_netlist(spec, mode), spec, mode) {}
 
   EngineKind kind() const noexcept override { return EngineKind::kNetlist; }
   core::IpMode mode() const noexcept override { return mode_; }
+  const arch::VariantSpec& variant() const noexcept { return spec_; }
 
   std::uint64_t load_key(std::span<const std::uint8_t> key) override;
   bool key_resident(std::span<const std::uint8_t> key) const override;
@@ -304,6 +340,7 @@ class NetlistEngine final : public CipherEngine {
                 bool encrypt);
 
   std::shared_ptr<const netlist::Netlist> nl_;
+  arch::VariantSpec spec_;
   core::IpMode mode_;
   core::GateIpBatchDriver drv_;
   std::uint64_t last_latency_ = 0;
@@ -316,6 +353,12 @@ class NetlistEngine final : public CipherEngine {
 /// private netlist; prefer the shared-netlist NetlistEngine constructor
 /// when creating many).
 std::unique_ptr<CipherEngine> make_engine(EngineKind kind,
+                                          core::IpMode mode = core::IpMode::kBoth);
+
+/// Build an engine of the requested kind running the requested variant.
+/// Software engines are variant-blind (every variant computes the same
+/// function); cycle engines take `spec`'s schedule and datapath.
+std::unique_ptr<CipherEngine> make_engine(EngineKind kind, const arch::VariantSpec& spec,
                                           core::IpMode mode = core::IpMode::kBoth);
 
 /// BlockCipher128/BlockDecipher128-concept adapter: lets the aes:: modes of

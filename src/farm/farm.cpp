@@ -23,6 +23,13 @@ constexpr std::size_t kLatencyCap = 1u << 17;
 constexpr const char* kTraceNames[] = {"ecb", "cbc", "ctr"};
 
 std::size_t block_count(std::size_t bytes) { return (bytes + aes::kBlock - 1) / aes::kBlock; }
+
+/// Stats label for an engine kind running a variant: the bare kind name
+/// for the paper core (backward-compatible), "kind:variant" otherwise.
+const char* engine_label(engine::EngineKind kind, const arch::VariantSpec& variant) {
+  if (variant == arch::VariantSpec{}) return engine::kind_name(kind);
+  return arch::intern_label(std::string(engine::kind_name(kind)) + ":" + variant.name());
+}
 }  // namespace
 
 const char* mode_name(Mode m) noexcept {
@@ -78,16 +85,28 @@ class WorkerContext {
 Farm::Farm(const FarmConfig& cfg) : cfg_(cfg), sessions_(cfg.workers, cfg.max_sessions) {
   if (cfg_.workers < 1) cfg_.workers = 1;
   if (cfg_.ctr_chunk_blocks == 0) cfg_.ctr_chunk_blocks = 1;
+  worker_factories_.resize(static_cast<std::size_t>(cfg_.workers));
+  worker_labels_.resize(static_cast<std::size_t>(cfg_.workers));
   if (cfg_.engine_factory) {
     engine_factory_ = cfg_.engine_factory;
+    for (int i = 0; i < cfg_.workers; ++i) {
+      worker_factories_[static_cast<std::size_t>(i)] = engine_factory_;
+      worker_labels_[static_cast<std::size_t>(i)] = engine_name_;
+    }
   } else {
     engine_name_ = engine::kind_name(cfg_.engine);
-    engine_factory_ = factory_for(cfg_.engine);
+    engine_factory_ = factory_for(cfg_.engine, arch::VariantSpec{});
+    for (int i = 0; i < cfg_.workers; ++i) {
+      const arch::VariantSpec v = variant_for_worker(i);
+      worker_factories_[static_cast<std::size_t>(i)] = factory_for(cfg_.engine, v);
+      worker_labels_[static_cast<std::size_t>(i)] = engine_label(cfg_.engine, v);
+    }
   }
   worker_engine_ = std::make_unique<std::atomic<const char*>[]>(
       static_cast<std::size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i)
-    worker_engine_[static_cast<std::size_t>(i)].store(engine_name_, std::memory_order_relaxed);
+    worker_engine_[static_cast<std::size_t>(i)].store(worker_labels_[static_cast<std::size_t>(i)],
+                                                      std::memory_order_relaxed);
   counters_ = std::vector<WorkerCounters>(static_cast<std::size_t>(cfg_.workers));
   queues_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i)
@@ -191,7 +210,9 @@ std::future<Result> Farm::submit_fanout(Request req) {
 }
 
 void Farm::worker_main(int index) {
-  WorkerContext ctx(engine_factory_, engine_name_, static_cast<unsigned>(index));
+  WorkerContext ctx(worker_factories_[static_cast<std::size_t>(index)],
+                    worker_labels_[static_cast<std::size_t>(index)],
+                    static_cast<unsigned>(index));
   auto& queue = *queues_[static_cast<std::size_t>(index)];
   // Drain a burst per wake-up: under load a lane-packed engine (netlist)
   // then sees back-to-back jobs without a queue round-trip between them,
@@ -346,28 +367,42 @@ void Farm::execute(Job& job, WorkerContext& ctx, int index) {
 
 // --- fleet control plane -----------------------------------------------------
 
+arch::VariantSpec Farm::variant_for_worker(int index) const {
+  if (cfg_.worker_variants.empty()) return arch::VariantSpec{};
+  return cfg_.worker_variants[static_cast<std::size_t>(index) % cfg_.worker_variants.size()];
+}
+
 std::function<std::unique_ptr<engine::CipherEngine>()> Farm::factory_for(
-    engine::EngineKind kind) {
+    engine::EngineKind kind, const arch::VariantSpec& variant) {
   switch (kind) {
     case engine::EngineKind::kSoftware:
+      // Variant-blind: every family member computes the same function.
       return []() -> std::unique_ptr<engine::CipherEngine> {
         return std::make_unique<engine::SoftwareEngine>(core::IpMode::kBoth);
       };
     case engine::EngineKind::kBehavioral:
-      return []() -> std::unique_ptr<engine::CipherEngine> {
-        return std::make_unique<engine::BehavioralEngine>(core::IpMode::kBoth);
+      return [variant]() -> std::unique_ptr<engine::CipherEngine> {
+        return std::make_unique<engine::BehavioralEngine>(variant, core::IpMode::kBoth);
       };
     case engine::EngineKind::kNetlist: {
-      // Synthesize once, ever: the construction-time netlist and every
-      // later swap share the same immutable gate graph.
+      // Synthesize once per variant, ever: the construction-time netlists
+      // and every later swap share the same immutable gate graphs. The
+      // paper core keeps its dedicated slot (shared_netlist()) because the
+      // chaos injector classifies fault sites against it.
       std::shared_ptr<const netlist::Netlist> nl;
       {
         std::lock_guard lk(netlist_mu_);
-        if (!shared_netlist_) shared_netlist_ = engine::make_ip_netlist(core::IpMode::kBoth);
-        nl = shared_netlist_;
+        if (variant == arch::VariantSpec{}) {
+          if (!shared_netlist_) shared_netlist_ = engine::make_ip_netlist(core::IpMode::kBoth);
+          nl = shared_netlist_;
+        } else {
+          auto& slot = variant_netlists_[variant.name()];
+          if (!slot) slot = engine::make_variant_netlist(variant, core::IpMode::kBoth);
+          nl = slot;
+        }
       }
-      return [nl]() -> std::unique_ptr<engine::CipherEngine> {
-        return std::make_unique<engine::NetlistEngine>(nl, core::IpMode::kBoth);
+      return [nl, variant]() -> std::unique_ptr<engine::CipherEngine> {
+        return std::make_unique<engine::NetlistEngine>(nl, variant, core::IpMode::kBoth);
       };
     }
   }
@@ -396,8 +431,13 @@ std::uint64_t Farm::heal_worker(WorkerContext& ctx, int index) {
 }
 
 std::future<SwapReport> Farm::swap_engine(int worker, engine::EngineKind kind) {
-  auto factory = factory_for(kind);  // synthesis (if any) happens HERE, not on the worker
-  const char* label = engine::kind_name(kind);
+  return swap_engine(worker, kind, arch::VariantSpec{});
+}
+
+std::future<SwapReport> Farm::swap_engine(int worker, engine::EngineKind kind,
+                                          const arch::VariantSpec& variant) {
+  auto factory = factory_for(kind, variant);  // synthesis (if any) happens HERE, not on the worker
+  const char* label = engine_label(kind, variant);
   auto prom = std::make_shared<std::promise<SwapReport>>();
   auto future = prom->get_future();
   push_control(worker, [this, factory = std::move(factory), label, prom](WorkerContext& ctx,

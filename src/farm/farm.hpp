@@ -37,9 +37,11 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -73,8 +75,13 @@ struct FarmConfig {
   /// shared immutable gate netlist in the Farm constructor; each worker
   /// evaluates it privately.
   engine::EngineKind engine = engine::EngineKind::kBehavioral;
-  /// Custom engine source; overrides `engine` when set. Called once per
-  /// worker, on that worker's thread.
+  /// Per-worker round-engine variant mix: worker i runs
+  /// worker_variants[i % size()]. Empty (the default) keeps every worker
+  /// on the paper's iterative core. Netlist farms synthesize one shared
+  /// netlist PER DISTINCT VARIANT, cached for the farm's lifetime.
+  std::vector<arch::VariantSpec> worker_variants;
+  /// Custom engine source; overrides `engine` (and `worker_variants`) when
+  /// set. Called once per worker, on that worker's thread.
   std::function<std::unique_ptr<engine::CipherEngine>()> engine_factory;
 
   /// Cross-check policy: fraction of completed jobs (0..1) each worker
@@ -148,6 +155,13 @@ class Farm {
   /// engine, none are dropped. The future resolves once the swap executed.
   /// Throws std::out_of_range for a bad worker index.
   std::future<SwapReport> swap_engine(int worker, engine::EngineKind kind);
+
+  /// Hot-swap to a specific round-engine variant of `kind` — the same
+  /// quiesce/replay/resume dance, but the fresh core may have a different
+  /// microarchitecture (e.g. paper core -> pipe5-xtime). Netlist variants
+  /// reuse (or lazily add to) the farm's per-variant netlist cache.
+  std::future<SwapReport> swap_engine(int worker, engine::EngineKind kind,
+                                      const arch::VariantSpec& variant);
 
   /// Chaos hook: flip persistent state at `site` (a DFF index) inside
   /// `worker`'s live engine, between jobs — the software model of a
@@ -227,8 +241,12 @@ class Farm {
   void execute(Job& job, WorkerContext& ctx, int index);
   void record_latency(std::chrono::steady_clock::time_point t_submit);
 
-  /// Factory for `kind`, sharing (and lazily caching) the farm-wide netlist.
-  std::function<std::unique_ptr<engine::CipherEngine>()> factory_for(engine::EngineKind kind);
+  /// The variant worker `index` is configured to run.
+  arch::VariantSpec variant_for_worker(int index) const;
+  /// Factory for `kind` running `variant`, sharing (and lazily caching)
+  /// the farm-wide per-variant netlists.
+  std::function<std::unique_ptr<engine::CipherEngine>()> factory_for(
+      engine::EngineKind kind, const arch::VariantSpec& variant);
   /// Front-push a control job onto `worker`'s queue (range-checked).
   void push_control(int worker, std::function<void(WorkerContext&, int)> fn);
   /// Inline quarantine-rebuild on the owning thread; returns the pause in us.
@@ -237,6 +255,10 @@ class Farm {
   FarmConfig cfg_;
   std::function<std::unique_ptr<engine::CipherEngine>()> engine_factory_;
   const char* engine_name_ = "custom";  ///< for stats; kind name or "custom"
+  /// Per-worker engine factory + label (the configured variant mix);
+  /// filled at construction, read by each worker at thread start.
+  std::vector<std::function<std::unique_ptr<engine::CipherEngine>()>> worker_factories_;
+  std::vector<const char*> worker_labels_;
   SessionTable sessions_;
   std::vector<std::unique_ptr<BoundedQueue<Job>>> queues_;
   std::vector<WorkerCounters> counters_;
@@ -254,10 +276,13 @@ class Farm {
   std::atomic<std::uint64_t> ctr_fanouts_{0};
   std::atomic<std::uint64_t> ctr_chunks_{0};
 
-  // Fleet control plane. The netlist is synthesized once and shared by every
-  // netlist engine the farm ever builds (construction or swap alike).
+  // Fleet control plane. Each variant's netlist is synthesized once and
+  // shared by every netlist engine the farm ever builds (construction or
+  // swap alike); shared_netlist_ is the paper core's (the chaos-injection
+  // classification target), variant_netlists_ holds the rest by name.
   mutable std::mutex netlist_mu_;
   std::shared_ptr<const netlist::Netlist> shared_netlist_;
+  std::map<std::string, std::shared_ptr<const netlist::Netlist>> variant_netlists_;
   std::atomic<std::uint64_t> swaps_{0};
   std::atomic<std::uint64_t> heals_{0};
   std::atomic<std::uint64_t> quarantines_{0};

@@ -68,9 +68,17 @@ class FleetController {
   farm::SwapReport swap(int worker, engine::EngineKind kind) {
     return farm_.swap_engine(worker, kind).get();
   }
+  /// Hot-swap one worker to a specific round-engine variant of `kind`
+  /// (e.g. netlist pipe5-xtime); see arch::VariantSpec::parse for names.
+  farm::SwapReport swap(int worker, engine::EngineKind kind, const arch::VariantSpec& variant) {
+    return farm_.swap_engine(worker, kind, variant).get();
+  }
   /// Swap every worker: all control jobs are queued first (the swaps
   /// overlap), then joined. The farm never drains.
   std::vector<farm::SwapReport> swap_all(engine::EngineKind kind);
+  /// Swap every worker to one variant of `kind`, overlapped the same way.
+  std::vector<farm::SwapReport> swap_all(engine::EngineKind kind,
+                                         const arch::VariantSpec& variant);
 
   void quarantine(int worker) { farm_.set_worker_enabled(worker, false); }
   void resume(int worker) { farm_.set_worker_enabled(worker, true); }

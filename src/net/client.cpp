@@ -141,11 +141,12 @@ std::string Client::fleet_status_json() {
   return std::string(p.begin(), p.end());
 }
 
-std::string Client::fleet_swap(int worker, std::uint8_t kind) {
+std::string Client::fleet_swap(int worker, std::uint8_t kind, const std::string& variant) {
   const std::uint32_t seq = next_seq_++;
   std::vector<std::uint8_t> payload;
   payload.push_back(worker < 0 ? 0xff : static_cast<std::uint8_t>(worker));
   payload.push_back(kind);
+  payload.insert(payload.end(), variant.begin(), variant.end());
   send(Op::kAdminSwapEngine, seq, std::move(payload));
   const auto p = wait_control(Op::kAdminOk, seq);
   return std::string(p.begin(), p.end());

@@ -111,8 +111,10 @@ class Client {
   std::string fleet_status_json();
   /// Hot-swap one worker (or all when `worker` is -1) to engine `kind`
   /// (0=sw 1=behavioral 2=netlist); blocks until the swap(s) executed.
-  /// Returns the server's human-readable summary.
-  std::string fleet_swap(int worker, std::uint8_t kind);
+  /// `variant` optionally names a round-engine variant ("pipe5-xtime",
+  /// "unroll-lut", ... — arch::VariantSpec::parse spellings); empty keeps
+  /// the paper's iterative core. Returns the server's summary.
+  std::string fleet_swap(int worker, std::uint8_t kind, const std::string& variant = "");
   /// Quarantine (resume=false) or resume a worker.
   std::string fleet_quarantine(int worker, bool resume);
   /// Inject an SEU into a live engine: `worker` -1 = server-chosen,

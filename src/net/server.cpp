@@ -274,12 +274,24 @@ bool Server::handle_admin_frame(Connection& c, Frame&& f) {
       return true;
     }
     case Op::kAdminSwapEngine: {
-      if (f.payload.size() != 2 || f.payload[1] > 2) {
-        send_error(c, f.seq, ErrorCode::kBadPayload, "expect [worker u8][kind u8 0..2]",
+      if (f.payload.size() < 2 || f.payload[1] > 2) {
+        send_error(c, f.seq, ErrorCode::kBadPayload,
+                   "expect [worker u8][kind u8 0..2][variant name?]",
                    /*fatal=*/false);
         return true;
       }
       const auto kind = static_cast<engine::EngineKind>(f.payload[1]);
+      arch::VariantSpec variant;
+      if (f.payload.size() > 2) {
+        const std::string name(f.payload.begin() + 2, f.payload.end());
+        const auto parsed = arch::VariantSpec::parse(name);
+        if (!parsed) {
+          send_error(c, f.seq, ErrorCode::kBadPayload, "unknown variant '" + name + "'",
+                     /*fatal=*/false);
+          return true;
+        }
+        variant = *parsed;
+      }
       std::vector<int> targets;
       if (f.payload[0] == 0xff) {
         for (int w = 0; w < workers; ++w) targets.push_back(w);
@@ -291,8 +303,9 @@ bool Server::handle_admin_frame(Connection& c, Frame&& f) {
         targets.push_back(f.payload[0]);
       }
       auto futures = std::make_shared<std::vector<std::future<farm::SwapReport>>>();
-      for (const int w : targets) futures->push_back(farm_.swap_engine(w, kind));
-      const char* to = engine::kind_name(kind);
+      for (const int w : targets) futures->push_back(farm_.swap_engine(w, kind, variant));
+      std::string to = engine::kind_name(kind);
+      if (!(variant == arch::VariantSpec{})) to += ":" + variant.name();
       c.admin_pending.push_back(Connection::PendingAdmin{
           f.seq, f.flags, [futures, to]() -> std::optional<std::string> {
             for (auto& fu : *futures)

@@ -40,8 +40,10 @@
 // with kAdminDisabled when not operating as an admin endpoint):
 //   kAdminFleetStatus  empty -> kAdminStatusOk carries the fleet JSON
 //   kAdminSwapEngine   [u8 worker, 0xFF = all][u8 EngineKind: 0=sw
-//                      1=behavioral 2=netlist] -> kAdminOk once the swap(s)
-//                      executed on the worker thread(s)
+//                      1=behavioral 2=netlist][optional variant name bytes,
+//                      e.g. "pipe5-xtime" (arch::VariantSpec::parse); absent
+//                      = the paper's iterative core] -> kAdminOk once the
+//                      swap(s) executed on the worker thread(s)
 //   kAdminQuarantine   [u8 worker][u8 action: 0=quarantine 1=resume]
 //                      -> kAdminOk immediately (routing-table change)
 //   kAdminInject       [u8 worker, 0xFF = random][u32 site, 0xFFFFFFFF =

@@ -2,6 +2,7 @@
 
 #include "gf/bitmatrix.hpp"
 #include "gf/composite.hpp"
+#include "gf/gf256.hpp"
 
 #include <cassert>
 #include <stdexcept>
@@ -104,6 +105,49 @@ Bus synth_mix_columns128(Netlist& nl, const Bus& state, bool inverse) {
     const std::array<Bus, 4> col{byte_of(state, 4 * c), byte_of(state, 4 * c + 1),
                                  byte_of(state, 4 * c + 2), byte_of(state, 4 * c + 3)};
     const std::array<Bus, 4> mixed = synth_mix_column(nl, col, inverse);
+    for (const Bus& byte : mixed) out.insert(out.end(), byte.begin(), byte.end());
+  }
+  return out;
+}
+
+Bus synth_gf_mul_lut(Netlist& nl, std::uint8_t coef, const Bus& a) {
+  assert(a.size() == 8);
+  std::array<std::uint8_t, 256> table{};
+  for (int v = 0; v < 256; ++v)
+    table[static_cast<std::size_t>(v)] = gf::mul(coef, static_cast<std::uint8_t>(v));
+  return synth_sbox_logic(nl, table, a);
+}
+
+std::array<Bus, 4> synth_mix_column_lut(Netlist& nl, const std::array<Bus, 4>& a, bool inverse) {
+  // Row i of the coefficient matrix is the base row rotated right by i; a
+  // coefficient of 1 passes the byte through without a lookup network.
+  constexpr std::uint8_t kFwd[4] = {0x02, 0x03, 0x01, 0x01};
+  constexpr std::uint8_t kInv[4] = {0x0e, 0x0b, 0x0d, 0x09};
+  const std::uint8_t* row = inverse ? kInv : kFwd;
+  std::array<Bus, 4> out;
+  for (int i = 0; i < 4; ++i) {
+    std::array<Bus, 4> terms;
+    for (int j = 0; j < 4; ++j) {
+      const std::uint8_t coef = row[(j - i) & 3];
+      const Bus& src = a[static_cast<std::size_t>(j)];
+      terms[static_cast<std::size_t>(j)] =
+          coef == 0x01 ? src : synth_gf_mul_lut(nl, coef, src);
+    }
+    out[static_cast<std::size_t>(i)] =
+        xor_bytes(nl, std::span<const Bus>(terms.data(), terms.size()));
+  }
+  return out;
+}
+
+Bus synth_mix_columns128(Netlist& nl, const Bus& state, bool inverse, MixColStyle style) {
+  if (style == MixColStyle::kXtime) return synth_mix_columns128(nl, state, inverse);
+  assert(state.size() == 128);
+  Bus out;
+  out.reserve(128);
+  for (int c = 0; c < 4; ++c) {
+    const std::array<Bus, 4> col{byte_of(state, 4 * c), byte_of(state, 4 * c + 1),
+                                 byte_of(state, 4 * c + 2), byte_of(state, 4 * c + 3)};
+    const std::array<Bus, 4> mixed = synth_mix_column_lut(nl, col, inverse);
     for (const Bus& byte : mixed) out.insert(out.end(), byte.begin(), byte.end());
   }
   return out;

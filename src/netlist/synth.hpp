@@ -32,6 +32,25 @@ std::array<Bus, 4> synth_mix_column(Netlist& nl, const std::array<Bus, 4>& a, bo
 /// Full 128-bit MixColumns block (four column instances).
 Bus synth_mix_columns128(Netlist& nl, const Bus& state, bool inverse);
 
+/// How the MixColumn GF(2^8) constant multipliers are realized (the two
+/// architectures compared by Arrag et al., PAPERS.md).
+enum class MixColStyle {
+  kXtime,  ///< shared-term xtime/XOR network (the paper's RTL inference)
+  kLut,    ///< per-coefficient 256-entry lookup networks + XOR combine
+};
+
+/// Multiply a byte by a GF(2^8) constant through a Shannon-decomposed
+/// 256-entry lookup network (the table-lookup MixColumn architecture).
+Bus synth_gf_mul_lut(Netlist& nl, std::uint8_t coef, const Bus& a);
+
+/// One MixColumn (or InvMixColumn) column in the table-lookup architecture:
+/// each output byte XOR-combines four constant-multiplier lookups — no
+/// shared xtime terms, so area is traded for a flat two-level structure.
+std::array<Bus, 4> synth_mix_column_lut(Netlist& nl, const std::array<Bus, 4>& a, bool inverse);
+
+/// Style-selected 128-bit MixColumns.
+Bus synth_mix_columns128(Netlist& nl, const Bus& state, bool inverse, MixColStyle style);
+
 /// ShiftRows on a 128-bit bus: pure permutation, zero gates.
 Bus synth_shift_rows128(const Bus& state, bool inverse);
 

@@ -12,6 +12,8 @@
 #include "aes/cipher.hpp"
 #include "aes/modes.hpp"
 #include "aes/ttable.hpp"
+#include "arch/variant.hpp"
+#include "engine/engine.hpp"
 #include "core/bfm.hpp"
 #include "core/ip_synth.hpp"
 #include "core/rijndael_ip.hpp"
@@ -190,6 +192,32 @@ TEST(DocsNet, LoopbackExampleRunsAsDocumented) {
   aes::Aes128 ref(key);
   EXPECT_EQ(ct, aes::cbc_encrypt(ref, iv, padded));
   EXPECT_EQ(server.stats().protocol_errors, 0u);
+}
+
+// --- docs/variants.md: naming a point on the Pareto curve ------------------
+
+TEST(DocsVariants, PipelinedSpecExampleRunsAsDocumented) {
+  const auto key = doc_key();
+  const std::array<std::uint8_t, 16> pt{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                                        0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+
+  // Name a point on the curve. "paper" parses as the iterative default.
+  const auto spec = arch::VariantSpec::parse("pipe5-xtime").value();
+  // 5 stages x 2 rounds: latency 10, a new block admitted every 2 cycles.
+  EXPECT_EQ(spec.block_latency_cycles(), 10);
+  EXPECT_EQ(spec.issue_interval_cycles(), 2);
+  EXPECT_TRUE(arch::VariantSpec::parse("paper").has_value());
+
+  // Same CipherEngine interface as every other kind (engine.md).
+  auto e = engine::make_engine(engine::EngineKind::kBehavioral, spec);
+  e->load_key(key);                    // 10-cycle stored-key expansion
+  const auto ct = e->process_block(pt, /*encrypt=*/true);
+  EXPECT_EQ(e->last_latency(), 10u);
+
+  aes::Aes128 ref(key);
+  std::array<std::uint8_t, 16> want{};
+  ref.encrypt_block(pt, want);
+  EXPECT_EQ(ct, want);
 }
 
 // --- docs/fleet.md: inject, detect, heal — bit-exact throughout -----------

@@ -22,11 +22,14 @@
 
 #include "aes/cipher.hpp"
 #include "aes/modes.hpp"
+#include "arch/variant.hpp"
 #include "engine/conformance.hpp"
 #include "engine/engine.hpp"
 
 namespace engine = aesip::engine;
 namespace aes = aesip::aes;
+namespace arch = aesip::arch;
+namespace core = aesip::core;
 using engine::EngineKind;
 
 namespace {
@@ -198,6 +201,99 @@ TEST(EngineConformance, BatchSpanValidation) {
     EXPECT_THROW(e->process_batch(a, b), std::invalid_argument) << e->name();
     EXPECT_THROW(e->process_batch(c, c), std::invalid_argument) << e->name();
   }
+}
+
+// Every member of the round-engine variant family must pass the full
+// conformance suite — FIPS-197 Appendix B + C.1 both directions plus the
+// Monte Carlo chain — AND honor its own declared schedule (latency, key
+// setup, cycles/round), on the behavioral twin.
+TEST(EngineConformance, VariantFamilyBehavioralFullSuite) {
+  for (const auto& spec : arch::VariantSpec::family()) {
+    const auto e = engine::make_engine(EngineKind::kBehavioral, spec);
+    const auto expect = engine::timing_for_variant(spec, core::IpMode::kBoth);
+    const auto r = engine::run_conformance(*e, expect, /*monte_carlo_iters=*/200);
+    EXPECT_TRUE(r.ok()) << spec.name() << ": "
+                        << (r.messages.empty() ? "" : r.messages.front());
+    EXPECT_GT(r.total_cycles, 0u) << spec.name();
+  }
+}
+
+// The same contract at gate level: each variant's synthesized netlist,
+// driven through GateIpDriver, against the variant's own schedule. The
+// pipelined netlists are large, so the Monte Carlo tail is kept short —
+// the vectors and the timing invariants are the contract here.
+TEST(EngineConformance, VariantFamilyNetlistVectors) {
+  for (const auto& spec : arch::VariantSpec::family()) {
+    const auto e = engine::make_engine(EngineKind::kNetlist, spec);
+    const auto expect = engine::timing_for_variant(spec, core::IpMode::kBoth);
+    const auto r = engine::run_conformance(*e, expect, /*monte_carlo_iters=*/2);
+    EXPECT_TRUE(r.ok()) << spec.name() << ": "
+                        << (r.messages.empty() ? "" : r.messages.front());
+    EXPECT_GT(r.total_cycles, 0u) << spec.name();
+  }
+}
+
+// CBC and CTR traffic through EngineBlockCipher must be variant-invariant:
+// every family member computes the same function as the software reference,
+// whatever its schedule.
+TEST(EngineConformance, VariantCbcCtrEquivalence) {
+  const auto cbc_plain = aes::pkcs7_pad(pattern_bytes(41));
+  const auto ctr_plain = pattern_bytes(37);
+  const aes::Aes128 ref(kKey);
+  const auto want_cbc = aes::cbc_encrypt(ref, std::span<const std::uint8_t, 16>(kIv), cbc_plain);
+  const auto want_ctr = aes::ctr_crypt(ref, std::span<const std::uint8_t, 16>(kIv), ctr_plain);
+
+  for (const auto& spec : arch::VariantSpec::family()) {
+    const auto e = engine::make_engine(EngineKind::kBehavioral, spec);
+    e->load_key(kKey);
+    const engine::EngineBlockCipher c(*e);
+    const auto got_cbc = aes::cbc_encrypt(c, std::span<const std::uint8_t, 16>(kIv), cbc_plain);
+    EXPECT_EQ(got_cbc, want_cbc) << "cbc mismatch on variant " << spec.name();
+    const auto back = aes::cbc_decrypt(c, std::span<const std::uint8_t, 16>(kIv), got_cbc);
+    EXPECT_EQ(back, cbc_plain) << "cbc round-trip mismatch on variant " << spec.name();
+    const auto got_ctr = aes::ctr_crypt(c, std::span<const std::uint8_t, 16>(kIv), ctr_plain);
+    EXPECT_EQ(got_ctr, want_ctr) << "ctr mismatch on variant " << spec.name();
+  }
+}
+
+// process_batch must remain indistinguishable from the scalar loop on
+// every variant — same bytes, same simulated cycles.
+TEST(EngineConformance, VariantBatchMatchesScalar) {
+  const auto plain = pattern_bytes(12 * 16);
+  for (const auto& spec : arch::VariantSpec::family()) {
+    const auto scalar = engine::make_engine(EngineKind::kBehavioral, spec);
+    const auto batched = engine::make_engine(EngineKind::kBehavioral, spec);
+    scalar->load_key(kKey);
+    batched->load_key(kKey);
+
+    std::vector<std::uint8_t> want(plain.size());
+    for (std::size_t i = 0; i < plain.size(); i += 16) {
+      const auto r = scalar->process_block(
+          std::span<const std::uint8_t>(plain.data() + i, 16), /*encrypt=*/true);
+      std::copy(r.begin(), r.end(), want.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    std::vector<std::uint8_t> got(plain.size());
+    batched->process_batch(plain, got, /*encrypt=*/true);
+    EXPECT_EQ(got, want) << "variant " << spec.name();
+    EXPECT_EQ(batched->cycles(), scalar->cycles()) << "variant " << spec.name();
+  }
+}
+
+// The gate-level batch path (64-lane evaluator) on a pipelined variant:
+// one pass of lanes, bytes identical to the software reference.
+TEST(EngineConformance, VariantNetlistBatchVectors) {
+  const arch::VariantSpec spec = *arch::VariantSpec::parse("pipe5-xtime");
+  const auto e = engine::make_engine(EngineKind::kNetlist, spec);
+  e->load_key(kKey);
+  const auto plain = pattern_bytes(9 * 16);  // partial batch, one pass
+  const aes::Aes128 ref(kKey);
+  std::vector<std::uint8_t> want(plain.size()), got(plain.size()), back(plain.size());
+  for (std::size_t i = 0; i < plain.size(); i += 16)
+    ref.encrypt_block(std::span(plain).subspan(i, 16), std::span(want).subspan(i, 16));
+  e->process_batch(plain, got, /*encrypt=*/true);
+  EXPECT_EQ(got, want);
+  e->process_batch(got, back, /*encrypt=*/false);
+  EXPECT_EQ(back, plain);
 }
 
 // The engine factory's name round-trip, including the CLI aliases.

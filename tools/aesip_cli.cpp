@@ -993,8 +993,13 @@ void fleet_usage() {
   std::puts(
       "usage: aesip fleet <subcommand> --connect HOST:PORT [options]\n"
       "  status                                  fleet health snapshot (JSON)\n"
-      "  swap   [--worker N|all] --engine KIND   hot-swap live engine(s);\n"
+      "  swap   [--worker N|all] --engine KIND [--variant NAME]\n"
+      "                                          hot-swap live engine(s);\n"
       "                                          KIND: sw|behavioral|netlist\n"
+      "                                          NAME: a round-engine variant —\n"
+      "                                          iter|unroll|pipe2|pipe5|pipe10\n"
+      "                                          x -xtime|-lut (docs/variants.md);\n"
+      "                                          omitted = the paper's core\n"
       "  quarantine --worker N                   pull a worker from routing\n"
       "  resume     --worker N                   put it back\n"
       "  inject [--worker N|random] [--site N|auto]\n"
@@ -1023,8 +1028,11 @@ int cmd_fleet(int argc, char** argv) {
     const std::string engine_name = arg_or(args, "engine", "");
     const auto kind = engine::kind_from_name(engine_name);
     if (!kind) die("swap needs --engine sw|behavioral|netlist");
+    const std::string variant = arg_or(args, "variant", "");
+    if (!variant.empty() && !arch::VariantSpec::parse(variant))
+      die("unknown variant '" + variant + "' (see docs/variants.md)");
     const int w = worker == "all" ? -1 : std::stoi(worker);
-    std::puts(client.fleet_swap(w, static_cast<std::uint8_t>(*kind)).c_str());
+    std::puts(client.fleet_swap(w, static_cast<std::uint8_t>(*kind), variant).c_str());
   } else if (sub == "quarantine" || sub == "resume") {
     const std::string worker = arg_or(args, "worker", "");
     if (worker.empty()) die(sub + " needs --worker N");

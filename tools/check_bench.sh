@@ -132,6 +132,56 @@ for f in "$repo"/BENCH_*.json; do
     fi
   fi
 
+  if [ "$stem" = "pareto" ]; then
+    # The variant-family Pareto gate (docs/variants.md, docs/benchmarks.md):
+    # at least 5 variant rows, a non-degenerate front (>= 3 non-dominated
+    # points), the paper's iterative core at the LC minimum, the best
+    # pipelined core >= 2x the paper core's blocks/sec, and every row
+    # bit-exact and cycle-conformant to its declared schedule. All of that
+    # is folded into the pareto section's meets_target by the bench; the
+    # individual invariants are re-checked here so a regression names the
+    # axis that moved.
+    for needle in \
+      '"variants": [' \
+      '"pareto": {' \
+      '"front": [' \
+      '"front_size": ' \
+      '"pipelined_speedup_x": '
+    do
+      if ! grep -qF "$needle" "$f"; then
+        echo "check_bench: $name: missing $needle" >&2
+        fail=1
+      fi
+    done
+    rows=$(grep -cF '"variant": "' "$f")
+    if [ "$rows" -lt 5 ]; then
+      echo "check_bench: $name: expected >= 5 variant rows, found $rows" >&2
+      fail=1
+    fi
+    if grep -qF '"bit_exact": false' "$f"; then
+      echo "check_bench: $name: a variant row is not bit-exact" >&2
+      fail=1
+    fi
+    if grep -qF '"cycle_conformant": false' "$f"; then
+      echo "check_bench: $name: a variant row violates its declared schedule" >&2
+      fail=1
+    fi
+    section=$(sed -n '/"pareto": {/,/}/p' "$f")
+    front=$(printf '%s' "$section" | sed -n 's/.*"front_size": \([0-9][0-9]*\).*/\1/p' | head -1)
+    if [ -z "$front" ] || [ "$front" -lt 3 ]; then
+      echo "check_bench: $name: Pareto front is degenerate (front_size=${front:-missing}, need >= 3)" >&2
+      fail=1
+    fi
+    if ! printf '%s' "$section" | grep -qF '"paper_lc_is_min": true'; then
+      echo "check_bench: $name: the paper's iterative core lost the LC minimum" >&2
+      fail=1
+    fi
+    if ! printf '%s' "$section" | grep -qF '"meets_target": true'; then
+      echo "check_bench: $name: Pareto gate failed (meets_target is not true)" >&2
+      fail=1
+    fi
+  fi
+
   if [ "$stem" = "farm" ]; then
     # The wall-scaling gate: either measured and met, or explicitly skipped
     # with a reason (hosts with fewer hardware threads than workers cannot
