@@ -66,7 +66,7 @@ farm::Request random_request(std::mt19937& rng, const std::vector<farm::Key128>&
 }
 
 std::vector<std::uint8_t> oracle(const farm::Request& req) {
-  const aesip::aes::Aes128 ref(req.key);
+  const aesip::aes::Rijndael ref = aesip::aes::Rijndael::for_key(req.key.view());
   const std::span<const std::uint8_t, 16> iv(req.iv.data(), 16);
   switch (req.mode) {
     case farm::Mode::kEcb:

@@ -14,7 +14,7 @@
 //                                              pipelined cores)
 //
 // Nothing is taken from the declared schedule except to CHECK it: each
-// variant must be bit-exact against aes::Aes128 and cycle-conformant to
+// variant must be bit-exact against aes::Rijndael and cycle-conformant to
 // its own VariantSpec contract (latency, and first-load-edge -> last-ok
 // = latency + (B-1) * issue interval when streamed).
 //
@@ -24,6 +24,14 @@
 //   * the best pipelined core streams >= 2x the paper core's blocks/sec,
 //   * every row bit-exact and cycle-conformant.
 //
+// A second sweep drives the paper's iterative core across the three
+// Rijndael key sizes (AES-128/192/256): same synthesize -> techmap ->
+// gate-netlist flow, keyed with the FIPS-197 Appendix C keys.  Its gates:
+// key-setup cycles strictly increasing in key size (the 4*Nr inverse
+// schedule: 40/48/56), lone-block latency exactly 5*Nr (50/60/70), and
+// every row bit-exact — which also proves the declared setup budget is
+// sufficient, since an under-provisioned schedule corrupts the output.
+//
 // Results go to stdout and BENCH_pareto.json (aesip-bench-v1 envelope).
 #include <benchmark/benchmark.h>
 
@@ -31,6 +39,7 @@
 #include <cstdio>
 #include <fstream>
 #include <random>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,7 +53,7 @@
 namespace arch = aesip::arch;
 namespace core = aesip::core;
 namespace txm = aesip::techmap;
-using aesip::aes::Aes128;
+using aesip::aes::Rijndael;
 
 namespace {
 
@@ -85,11 +94,15 @@ VariantRow measure_variant(const arch::VariantSpec& spec) {
   row.dffs = mapped.stats.dffs;
   row.roms = mapped.stats.roms;
 
-  const std::array<std::uint8_t, 16> key{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
-                                         0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
-  const std::array<std::uint8_t, 16> pt{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
-                                        0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
-  Aes128 ref(key);
+  // FIPS-197 Appendix C key bytes (00 01 02 ... up to the key length) work
+  // for every geometry; the plaintext is Appendix C's 00112233...
+  std::array<std::uint8_t, 32> key_raw{};
+  for (std::size_t i = 0; i < key_raw.size(); ++i) key_raw[i] = static_cast<std::uint8_t>(i);
+  const auto key = std::span<const std::uint8_t>(key_raw).first(
+      static_cast<std::size_t>(spec.key_bits / 8));
+  std::array<std::uint8_t, 16> pt{};
+  for (std::size_t i = 0; i < pt.size(); ++i) pt[i] = static_cast<std::uint8_t>(0x11 * i);
+  const Rijndael ref = Rijndael::for_key(key);
   std::array<std::uint8_t, 16> want{};
   ref.encrypt_block(pt, want);
 
@@ -97,7 +110,7 @@ VariantRow measure_variant(const arch::VariantSpec& spec) {
   drv.reset();
   drv.load_key(key, spec.key_setup_cycles(core::IpMode::kBoth));
 
-  // Bit-exactness: FIPS-197 Appendix B both directions, then a random
+  // Bit-exactness: FIPS-197 Appendix C both directions, then a random
   // stream checked block for block against the software reference.
   bool exact = true;
   const auto enc = drv.process(pt, /*encrypt=*/true);
@@ -198,9 +211,42 @@ void print_and_dump() {
               all_exact ? "all" : "NO", all_conformant ? "all" : "NO",
               meets ? "PASS" : "FAIL");
 
+  // --- the key-size sweep: the paper core at AES-128/192/256 ----------------
+  std::vector<VariantRow> krows;
+  for (const char* nm : {"iter-xtime", "iter-xtime@192", "iter-xtime@256"}) {
+    const auto spec = arch::VariantSpec::parse(nm);
+    std::printf("measuring %-13s ...\n", nm);
+    krows.push_back(measure_variant(*spec));
+  }
+  std::printf("\n=== key-size sweep: iterative core, AES-128/192/256 ===\n");
+  std::printf("  %-14s %4s %3s %6s %9s %8s %8s %10s %5s %5s\n", "variant", "key", "Nr", "LC",
+              "key-setup", "latency", "cy/blk", "Mbps", "exact", "cycle");
+  for (const auto& r : krows)
+    std::printf("  %-14s %4d %3d %6zu %9d %8d %8.1f %10.1f %5s %5s\n", r.name.c_str(),
+                r.spec.key_bits, r.spec.nr(), r.logic_elements,
+                r.spec.key_setup_cycles(core::IpMode::kBoth), r.latency_cycles, r.issue_cycles,
+                r.mbps, r.bit_exact ? "yes" : "NO", r.cycle_conformant ? "yes" : "NO");
+
+  bool ks_monotone = true, ks_latency_5nr = true, ks_exact = true, ks_conformant = true;
+  for (std::size_t i = 0; i < krows.size(); ++i) {
+    const auto& r = krows[i];
+    if (i > 0 && r.spec.key_setup_cycles(core::IpMode::kBoth) <=
+                     krows[i - 1].spec.key_setup_cycles(core::IpMode::kBoth))
+      ks_monotone = false;
+    ks_latency_5nr = ks_latency_5nr && r.latency_cycles == 5 * r.spec.nr();
+    ks_exact = ks_exact && r.bit_exact;
+    ks_conformant = ks_conformant && r.cycle_conformant;
+  }
+  const bool ks_meets = ks_monotone && ks_latency_5nr && ks_exact && ks_conformant;
+  std::printf("\n  key-setup monotone (40 < 48 < 56): %s, latency = 5*Nr: %s, "
+              "bit-exact: %s, cycle-conformant: %s -> %s\n\n",
+              ks_monotone ? "yes" : "NO", ks_latency_5nr ? "yes" : "NO",
+              ks_exact ? "all" : "NO", ks_conformant ? "all" : "NO",
+              ks_meets ? "PASS" : "FAIL");
+
   std::ofstream jf("BENCH_pareto.json");
   aesip::report::JsonWriter j(jf);
-  aesip::report::begin_bench_envelope(j, "pareto", 1);
+  aesip::report::begin_bench_envelope(j, "pareto", 2);
   j.begin_object();  // config
   j.key("clock_ns").value(kClockNs);
   j.key("stream_blocks").value(kStreamBlocks);
@@ -231,6 +277,34 @@ void print_and_dump() {
     j.end_object();
   }
   j.end_array();
+
+  j.key("key_sizes").begin_array();
+  for (const auto& r : krows) {
+    j.begin_object();
+    j.key("variant").value(r.name);
+    j.key("key_bits").value(r.spec.key_bits);
+    j.key("rounds").value(r.spec.nr());
+    j.key("logic_elements").value(r.logic_elements);
+    j.key("luts").value(r.luts);
+    j.key("dffs").value(r.dffs);
+    j.key("key_setup_cycles").value(r.spec.key_setup_cycles(core::IpMode::kBoth));
+    j.key("latency_cycles").value(r.latency_cycles);
+    j.key("declared_latency_cycles").value(r.spec.block_latency_cycles());
+    j.key("blocks_per_sec").value(r.blocks_per_sec);
+    j.key("mbps").value(r.mbps);
+    j.key("bit_exact").value(r.bit_exact);
+    j.key("cycle_conformant").value(r.cycle_conformant);
+    j.end_object();
+  }
+  j.end_array();
+
+  j.key("key_size_sweep").begin_object();
+  j.key("key_setup_monotone").value(ks_monotone);
+  j.key("latency_is_5nr").value(ks_latency_5nr);
+  j.key("all_bit_exact").value(ks_exact);
+  j.key("all_cycle_conformant").value(ks_conformant);
+  j.key("meets_target").value(ks_meets);
+  j.end_object();
 
   j.key("pareto").begin_object();
   j.key("front").begin_array();

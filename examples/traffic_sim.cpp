@@ -36,7 +36,7 @@ struct User {
 };
 
 std::vector<std::uint8_t> reference(const farm::Request& req) {
-  const aes::Aes128 cipher(req.key);
+  const aes::Rijndael cipher = aes::Rijndael::for_key(req.key.view());
   const std::span<const std::uint8_t, 16> iv(req.iv.data(), 16);
   switch (req.mode) {
     case farm::Mode::kEcb:

@@ -35,6 +35,13 @@ class Rijndael {
     return Rijndael(Geometry::make(block_bits, key_bits), key);
   }
 
+  /// AES geometry (128-bit block) inferred from the key length alone —
+  /// the shape every service-layer oracle wants: 16/24/32 bytes in,
+  /// AES-128/-192/-256 out.
+  static Rijndael for_key(std::span<const std::uint8_t> key) {
+    return Rijndael(Geometry::make(128, static_cast<int>(key.size()) * 8), key);
+  }
+
   const Geometry& geometry() const noexcept { return geometry_; }
   std::span<const std::uint32_t> schedule() const noexcept { return schedule_; }
 

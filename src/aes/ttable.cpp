@@ -1,5 +1,7 @@
 #include "aes/ttable.hpp"
 
+#include <stdexcept>
+
 #include "aes/key_schedule.hpp"
 #include "aes/sbox.hpp"
 #include "aes/transforms.hpp"
@@ -72,26 +74,31 @@ constexpr std::uint8_t byte_of(std::uint32_t w, int r) noexcept {
 
 }  // namespace
 
-TTableAes128::TTableAes128(std::span<const std::uint8_t> key) {
-  const Geometry g = Geometry::make(128, 128);
+TTableRijndael::TTableRijndael(const Geometry& g, std::span<const std::uint8_t> key)
+    : geom_(g) {
+  if (g.nb != 4) throw std::invalid_argument("TTableRijndael: 128-bit blocks only");
+  if (static_cast<int>(key.size()) != g.key_bytes())
+    throw std::invalid_argument("TTableRijndael: key length does not match geometry");
   const auto sched = expand_key(g, key);
-  for (int i = 0; i < 44; ++i) enc_keys_[static_cast<std::size_t>(i)] = sched[static_cast<std::size_t>(i)];
+  const int words = g.schedule_words();
+  enc_keys_.assign(sched.begin(), sched.end());
+  dec_keys_.resize(static_cast<std::size_t>(words));
   // Equivalent inverse cipher: reverse round order and fold InvMixColumns
   // into every key except the first and last.
-  for (int round = 0; round <= 10; ++round)
+  for (int round = 0; round <= g.nr; ++round)
     for (int c = 0; c < 4; ++c) {
-      std::uint32_t w = sched[static_cast<std::size_t>(4 * (10 - round) + c)];
-      if (round != 0 && round != 10) w = inv_mix_column_word(w);
+      std::uint32_t w = sched[static_cast<std::size_t>(4 * (g.nr - round) + c)];
+      if (round != 0 && round != g.nr) w = inv_mix_column_word(w);
       dec_keys_[static_cast<std::size_t>(4 * round + c)] = w;
     }
 }
 
-void TTableAes128::encrypt_block(std::span<const std::uint8_t> in,
+void TTableRijndael::encrypt_block(std::span<const std::uint8_t> in,
                                  std::span<std::uint8_t> out) const noexcept {
   const Tables& t = tables();
   std::uint32_t s[4];
   for (int c = 0; c < 4; ++c) s[c] = load_word(in, c) ^ enc_keys_[static_cast<std::size_t>(c)];
-  for (int round = 1; round < kRounds; ++round) {
+  for (int round = 1; round < geom_.nr; ++round) {
     std::uint32_t n[4];
     for (int c = 0; c < 4; ++c)
       n[c] = t.enc[0][byte_of(s[c], 0)] ^ t.enc[1][byte_of(s[(c + 1) & 3], 1)] ^
@@ -103,17 +110,17 @@ void TTableAes128::encrypt_block(std::span<const std::uint8_t> in,
     const std::uint32_t w =
         pack(kSBox[byte_of(s[c], 0)], kSBox[byte_of(s[(c + 1) & 3], 1)],
              kSBox[byte_of(s[(c + 2) & 3], 2)], kSBox[byte_of(s[(c + 3) & 3], 3)]) ^
-        enc_keys_[static_cast<std::size_t>(40 + c)];
+        enc_keys_[static_cast<std::size_t>(4 * geom_.nr + c)];
     store_word(out, c, w);
   }
 }
 
-void TTableAes128::decrypt_block(std::span<const std::uint8_t> in,
+void TTableRijndael::decrypt_block(std::span<const std::uint8_t> in,
                                  std::span<std::uint8_t> out) const noexcept {
   const Tables& t = tables();
   std::uint32_t s[4];
   for (int c = 0; c < 4; ++c) s[c] = load_word(in, c) ^ dec_keys_[static_cast<std::size_t>(c)];
-  for (int round = 1; round < kRounds; ++round) {
+  for (int round = 1; round < geom_.nr; ++round) {
     std::uint32_t n[4];
     for (int c = 0; c < 4; ++c)
       n[c] = t.dec[0][byte_of(s[c], 0)] ^ t.dec[1][byte_of(s[(c + 3) & 3], 1)] ^
@@ -125,7 +132,7 @@ void TTableAes128::decrypt_block(std::span<const std::uint8_t> in,
     const std::uint32_t w =
         pack(kInvSBox[byte_of(s[c], 0)], kInvSBox[byte_of(s[(c + 3) & 3], 1)],
              kInvSBox[byte_of(s[(c + 2) & 3], 2)], kInvSBox[byte_of(s[(c + 1) & 3], 3)]) ^
-        dec_keys_[static_cast<std::size_t>(40 + c)];
+        dec_keys_[static_cast<std::size_t>(4 * geom_.nr + c)];
     store_word(out, c, w);
   }
 }

@@ -1,4 +1,4 @@
-// T-table AES-128: the classic 32-bit software formulation.
+// T-table Rijndael (128-bit block): the classic 32-bit software formulation.
 //
 // SubBytes + ShiftRows + MixColumns collapse into four 256-entry tables of
 // 32-bit words; one round is 16 lookups and 16 XORs.  This is the software
@@ -6,28 +6,43 @@
 // algorithms in general software") and the comparison point for the
 // bench_software harness.  Decryption uses the equivalent inverse cipher
 // (FIPS-197 §5.3.5) with InvMixColumns folded into the round keys.
+//
+// The table formulation only depends on the 128-bit *block*; the key size
+// enters through the expanded schedule alone, so one class covers AES-128,
+// -192 and -256 (Nk = 4/6/8, Nr = Nk + 6).  `TTableAes128` remains as an
+// alias for the original call sites.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "aes/key_schedule.hpp"
+
 namespace aesip::aes {
 
-class TTableAes128 {
+class TTableRijndael {
  public:
   static constexpr int kBlockBytes = 16;
-  static constexpr int kRounds = 10;
 
-  explicit TTableAes128(std::span<const std::uint8_t> key);
+  /// Geometry is inferred from the key length (16/24/32 bytes).
+  explicit TTableRijndael(std::span<const std::uint8_t> key)
+      : TTableRijndael(Geometry::make(128, static_cast<int>(key.size()) * 8), key) {}
+  TTableRijndael(const Geometry& g, std::span<const std::uint8_t> key);
+
+  const Geometry& geometry() const noexcept { return geom_; }
+  int rounds() const noexcept { return geom_.nr; }
 
   void encrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out) const noexcept;
   void decrypt_block(std::span<const std::uint8_t> in, std::span<std::uint8_t> out) const noexcept;
 
  private:
-  std::array<std::uint32_t, 44> enc_keys_;
-  std::array<std::uint32_t, 44> dec_keys_;  // equivalent-inverse-cipher keys
+  Geometry geom_;
+  std::vector<std::uint32_t> enc_keys_;  // Nb*(Nr+1) words
+  std::vector<std::uint32_t> dec_keys_;  // equivalent-inverse-cipher keys
 };
+
+/// The historical AES-128-only name; same class, geometry inferred.
+using TTableAes128 = TTableRijndael;
 
 }  // namespace aesip::aes

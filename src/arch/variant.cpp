@@ -28,12 +28,24 @@ std::string VariantSpec::name() const {
     case RoundArch::kPipelined: out = "pipe" + std::to_string(pipeline_stages); break;
   }
   out += mixcol == netlist::MixColStyle::kXtime ? "-xtime" : "-lut";
+  if (key_bits != 128) out += "@" + std::to_string(key_bits);
   return out;
 }
 
 std::optional<VariantSpec> VariantSpec::parse(std::string_view text) {
   VariantSpec spec;
-  if (text == "paper") return spec;  // the iterative xtime default
+  // Optional "@192"/"@256" key-size suffix on any name ("@128" is accepted
+  // and means the bare default).
+  const auto at = text.rfind('@');
+  if (at != std::string_view::npos) {
+    const std::string_view bits = text.substr(at + 1);
+    if (bits == "128") spec.key_bits = 128;
+    else if (bits == "192") spec.key_bits = 192;
+    else if (bits == "256") spec.key_bits = 256;
+    else return std::nullopt;
+    text = text.substr(0, at);
+  }
+  if (text == "paper") return spec.valid() ? std::optional<VariantSpec>(spec) : std::nullopt;
   const auto dash = text.rfind('-');
   if (dash == std::string_view::npos) return std::nullopt;
   const std::string_view arch = text.substr(0, dash);
@@ -48,13 +60,19 @@ std::optional<VariantSpec> VariantSpec::parse(std::string_view text) {
   } else if (arch.substr(0, 4) == "pipe") {
     spec.round_arch = RoundArch::kPipelined;
     const std::string_view n = arch.substr(4);
-    if (n == "2") spec.pipeline_stages = 2;
-    else if (n == "5") spec.pipeline_stages = 5;
-    else if (n == "10") spec.pipeline_stages = 10;
-    else return std::nullopt;
+    if (n.empty() || n.size() > 2) return std::nullopt;
+    int stages = 0;
+    for (char c : n) {
+      if (c < '0' || c > '9') return std::nullopt;
+      stages = stages * 10 + (c - '0');
+    }
+    if (stages < 2) return std::nullopt;
+    spec.pipeline_stages = stages;
   } else {
     return std::nullopt;
   }
+  // Reject unrealizable combinations (e.g. pipe5@192: 5 does not divide 12).
+  if (!spec.valid()) return std::nullopt;
   return spec;
 }
 
@@ -82,7 +100,7 @@ std::vector<VariantSpec> VariantSpec::family() {
 
 bool operator==(const VariantSpec& a, const VariantSpec& b) noexcept {
   return a.round_arch == b.round_arch && a.stages() == b.stages() &&
-         a.mixcol == b.mixcol && a.sbox == b.sbox;
+         a.mixcol == b.mixcol && a.sbox == b.sbox && a.key_bits == b.key_bits;
 }
 
 const char* intern_label(const std::string& text) {
@@ -143,13 +161,33 @@ Bus rcon_bus(Netlist& nl, const Bus& round) {
   return nl.mux_n(round, choices);
 }
 
+/// GF(2^8) xtime on an 8-bit bus (rcon chain register advance).
+Bus xtime_bus(Netlist& nl, const Bus& a) {
+  Bus o(8, kNoNet);
+  o[0] = a[7];
+  o[1] = nl.gate_xor(a[0], a[7]);
+  o[2] = a[1];
+  o[3] = nl.gate_xor(a[2], a[7]);
+  o[4] = nl.gate_xor(a[3], a[7]);
+  o[5] = a[4];
+  o[6] = a[5];
+  o[7] = a[6];
+  return o;
+}
+
 }  // namespace
 
 Netlist synthesize_variant(const VariantSpec& spec, core::IpMode mode) {
-  if (spec.is_iterative()) return core::synthesize_ip(mode, spec.sbox, spec.mixcol);
+  if (!spec.valid()) throw std::invalid_argument("variant: unrealizable spec " + spec.name());
+  if (spec.is_iterative())
+    return core::synthesize_ip(mode, spec.sbox, spec.mixcol, spec.key_bits);
   const int N = spec.stages();
   const int R = spec.rounds_per_stage();
-  if (N * R != 10) throw std::invalid_argument("variant: stage count must divide 10");
+  const int nk = spec.nk();
+  const int nr = spec.nr();
+  const int S = spec.schedule_words();
+  const int E = spec.key_setup_cycles(mode);  // expansion pass length
+  if (N * R != nr) throw std::invalid_argument("variant: stage count must divide Nr");
   const bool has_enc = mode != core::IpMode::kDecrypt;
   const bool has_dec = mode != core::IpMode::kEncrypt;
   const netlist::SboxStyle style = spec.sbox;
@@ -165,56 +203,193 @@ Netlist synthesize_variant(const VariantSpec& spec, core::IpMode mode) {
   const NetId encdec = mode == core::IpMode::kBoth ? nl.add_input("encdec") : kNoNet;
   const NetId flushing = nl.gate_or(wr_key, setup_pin);
 
+  // Multi-beat key loads (Nk > 4), as in the iterative core: beat 0 carries
+  // key words 0..3, beat 1 words 4..Nk-1 in the low din lanes.
+  NetId key_beat_q = nl.const0();
+  NetId wr_key_last = wr_key;
+  if (nk > 4) {
+    key_beat_q = nl.new_net();
+    NetId beat_d = nl.gate_mux(wr_key, key_beat_q, nl.gate_not(key_beat_q));
+    beat_d = nl.gate_and(beat_d, nl.gate_not(setup_pin));
+    nl.add_dff_with_out(key_beat_q, beat_d);
+    wr_key_last = nl.gate_and(wr_key, key_beat_q);
+  }
+
   // ===== bus-side registers ==================================================
   const Bus data_in_reg = nl.dff_bus(din, wr_data);
 
-  // ===== key store + 10-cycle expansion FSM ==================================
-  // wr_key seeds K0 and the expansion chain register; each of the next ten
-  // edges computes one forward round key into the key RAM. A wr_key also
-  // flushes every in-flight block (the schedule is global state).
-  const Bus kexp = pre_allocated_bus(nl, 128);
+  // ===== key store + expansion FSM ===========================================
+  // wr_key seeds the key words and the expansion window; each of the next E
+  // = ceil((S-Nk)/4) edges computes four schedule words into the key RAM.
+  // A wr_key also flushes every in-flight block (the schedule is global
+  // state).
   const Bus kr_q = pre_allocated_bus(nl, 4);
   const NetId expanding_q = nl.new_net();
   const NetId key_valid_q = nl.new_net();
-  const NetId kr_last = nl.eq_const(kr_q, 10);
+  const NetId kr_last = nl.eq_const(kr_q, static_cast<std::uint64_t>(E));
 
-  Bus knext;
-  {
-    const Bus rotated = rot_word_bus(column_of(kexp, 3));
-    const Bus sub = netlist::synth_sub_word32(nl, aes::kSBox, rotated, style,
-                                              /*inverse_table=*/false, "kexp_subword");
-    Bus col0 = nl.xor_bus(column_of(kexp, 0), sub);
-    const Bus rcon = rcon_bus(nl, kr_q);
-    for (int b = 0; b < 8; ++b)
-      col0[static_cast<std::size_t>(b)] =
-          nl.gate_xor(col0[static_cast<std::size_t>(b)], rcon[static_cast<std::size_t>(b)]);
-    knext = col0;
-    Bus prev = col0;
-    for (int c = 1; c < 4; ++c) {
-      prev = nl.xor_bus(prev, column_of(kexp, c));
-      knext.insert(knext.end(), prev.begin(), prev.end());
+  // K[r] views round key r; filled per-word for Nk > 4, per-round for Nk=4.
+  std::vector<Bus> K(static_cast<std::size_t>(nr + 1));
+
+  if (nk == 4) {
+    // ---- the AES-128 organization: 128-bit chain register, one round key
+    // per expansion cycle, round-indexed rcon constants -----------------------
+    const Bus kexp = pre_allocated_bus(nl, 128);
+    Bus knext;
+    {
+      const Bus rotated = rot_word_bus(column_of(kexp, 3));
+      const Bus sub = netlist::synth_sub_word32(nl, aes::kSBox, rotated, style,
+                                                /*inverse_table=*/false, "kexp_subword");
+      Bus col0 = nl.xor_bus(column_of(kexp, 0), sub);
+      const Bus rcon = rcon_bus(nl, kr_q);
+      for (int b = 0; b < 8; ++b)
+        col0[static_cast<std::size_t>(b)] =
+            nl.gate_xor(col0[static_cast<std::size_t>(b)], rcon[static_cast<std::size_t>(b)]);
+      knext = col0;
+      Bus prev = col0;
+      for (int c = 1; c < 4; ++c) {
+        prev = nl.xor_bus(prev, column_of(kexp, c));
+        knext.insert(knext.end(), prev.begin(), prev.end());
+      }
     }
-  }
 
-  std::array<Bus, 11> K;
-  K[0] = nl.dff_bus(din, wr_key);
-  for (int r = 1; r <= 10; ++r) {
-    const NetId wr_r = nl.gate_and(expanding_q, nl.eq_const(kr_q, static_cast<std::uint64_t>(r)));
-    K[static_cast<std::size_t>(r)] = nl.dff_bus(knext, wr_r);
-  }
-  {
+    K[0] = nl.dff_bus(din, wr_key);
+    for (int r = 1; r <= 10; ++r) {
+      const NetId wr_r =
+          nl.gate_and(expanding_q, nl.eq_const(kr_q, static_cast<std::uint64_t>(r)));
+      K[static_cast<std::size_t>(r)] = nl.dff_bus(knext, wr_r);
+    }
     const Bus kexp_d = nl.mux_bus(wr_key, knext, din);
     const NetId kexp_en = nl.gate_or(wr_key, expanding_q);
     for (int b = 0; b < 128; ++b)
       nl.add_dff_with_out(kexp[static_cast<std::size_t>(b)], kexp_d[static_cast<std::size_t>(b)],
                           kexp_en);
+  } else {
+    // ---- word-granular schedule RAM (Nk = 6/8) ------------------------------
+    // Expansion cycle g (kr = g+1) generates schedule words Nk+4g..Nk+4g+3
+    // through a sliding window W of the last Nk words.  Lane l's feedback
+    // term is W[l] (= w[4g+l]); the chain term is the XOR-prefix of the
+    // window, and at most one lane per cycle applies the KStran/SubWord
+    // transform (4 consecutive words cross at most one Nk boundary), so a
+    // single shared SubWord bank suffices — same S-box budget as Nk=4.
+    std::vector<Bus> kw(static_cast<std::size_t>(S));  // schedule word RAM
+    for (int c = 0; c < 4; ++c)
+      kw[static_cast<std::size_t>(c)] =
+          nl.dff_bus(column_of(din, c), nl.gate_and(wr_key, nl.gate_not(key_beat_q)));
+    for (int c = 4; c < nk; ++c)
+      kw[static_cast<std::size_t>(c)] = nl.dff_bus(column_of(din, c - 4), wr_key_last);
+
+    std::vector<Bus> W(static_cast<std::size_t>(nk));
+    for (auto& w : W) w = pre_allocated_bus(nl, 32);
+    const Bus rcon_q = pre_allocated_bus(nl, 8);
+
+    std::vector<NetId> kr_is(static_cast<std::size_t>(E));
+    for (int g = 0; g < E; ++g)
+      kr_is[static_cast<std::size_t>(g)] =
+          nl.eq_const(kr_q, static_cast<std::uint64_t>(g + 1));
+
+    // Per-lane transform selects: lane l of cycle g generates word
+    // j = Nk+4g+l; KStran at j%Nk==0, SubWord alone at j%8==4 when Nk=8.
+    std::array<NetId, 4> boundary_l{}, sel_l{};
+    NetId any_b = nl.const0();
+    for (int l = 0; l < 4; ++l) {
+      NetId b = nl.const0();
+      NetId sw = nl.const0();
+      for (int g = 0; g < E; ++g) {
+        const int j = nk + 4 * g + l;
+        if (j >= S) continue;  // overflow lanes of the last group
+        if (j % nk == 0) b = nl.gate_or(b, kr_is[static_cast<std::size_t>(g)]);
+        if (nk == 8 && j % 8 == 4) sw = nl.gate_or(sw, kr_is[static_cast<std::size_t>(g)]);
+      }
+      boundary_l[static_cast<std::size_t>(l)] = b;
+      sel_l[static_cast<std::size_t>(l)] = nl.gate_or(b, sw);
+      any_b = nl.gate_or(any_b, b);
+    }
+
+    // The transform lane's chain input is a pure XOR-prefix of the window
+    // (the lanes before it carry no transform that cycle), so the shared
+    // bank's address never forms a combinational loop.
+    std::array<Bus, 4> prefix;
+    prefix[0] = W[static_cast<std::size_t>(nk - 1)];
+    for (int l = 1; l < 4; ++l)
+      prefix[static_cast<std::size_t>(l)] =
+          nl.xor_bus(prefix[static_cast<std::size_t>(l - 1)], W[static_cast<std::size_t>(l - 1)]);
+    Bus raw = prefix[0];
+    for (int l = 1; l < 4; ++l)
+      raw = nl.mux_bus(sel_l[static_cast<std::size_t>(l)], raw,
+                       prefix[static_cast<std::size_t>(l)]);
+    const Bus addr = nl.mux_bus(any_b, raw, rot_word_bus(raw));
+    const Bus sub = netlist::synth_sub_word32(nl, aes::kSBox, addr, style,
+                                              /*inverse_table=*/false, "kexp_subword");
+    Bus sub_rcon = sub;
+    for (int b = 0; b < 8; ++b)
+      sub_rcon[static_cast<std::size_t>(b)] = nl.gate_xor(
+          sub[static_cast<std::size_t>(b)], rcon_q[static_cast<std::size_t>(b)]);
+    const Bus tr = nl.mux_bus(any_b, sub, sub_rcon);
+
+    std::array<Bus, 4> lane_out;
+    Bus prev = W[static_cast<std::size_t>(nk - 1)];
+    for (int l = 0; l < 4; ++l) {
+      const Bus t = nl.mux_bus(sel_l[static_cast<std::size_t>(l)], prev, tr);
+      lane_out[static_cast<std::size_t>(l)] = nl.xor_bus(W[static_cast<std::size_t>(l)], t);
+      prev = lane_out[static_cast<std::size_t>(l)];
+    }
+
+    // Schedule RAM writes: word j lands on expansion cycle (j-Nk)/4.
+    for (int j = nk; j < S; ++j) {
+      const int g = (j - nk) / 4;
+      const NetId en = nl.gate_and(expanding_q, kr_is[static_cast<std::size_t>(g)]);
+      kw[static_cast<std::size_t>(j)] =
+          nl.dff_bus(lane_out[static_cast<std::size_t>((j - nk) % 4)], en);
+    }
+
+    // Window registers: seeded with the key words on the completing beat
+    // (words 4..Nk-1 forwarded from din), shifted by 4 each expansion cycle.
+    const NetId w_en = nl.gate_or(wr_key_last, expanding_q);
+    for (int c = 0; c < nk; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      Bus d = c < nk - 4 ? W[ci + 4] : lane_out[static_cast<std::size_t>(c - (nk - 4))];
+      const Bus seed = c < 4 ? kw[ci] : column_of(din, c - 4);
+      d = nl.mux_bus(wr_key_last, d, seed);
+      for (int b = 0; b < 32; ++b)
+        nl.add_dff_with_out(W[ci][static_cast<std::size_t>(b)],
+                            d[static_cast<std::size_t>(b)], w_en);
+    }
+
+    // rcon chain register: seeded to rcon(1), advanced by xtime on every
+    // boundary-bearing expansion cycle.
+    Bus rcon_d = nl.mux_bus(nl.gate_and(expanding_q, any_b), rcon_q, xtime_bus(nl, rcon_q));
+    rcon_d = nl.mux_bus(wr_key_last, rcon_d, nl.constant_bus(1, 8));
+    for (int b = 0; b < 8; ++b)
+      nl.add_dff_with_out(rcon_q[static_cast<std::size_t>(b)],
+                          rcon_d[static_cast<std::size_t>(b)]);
+
+    for (int r = 0; r <= nr; ++r) {
+      Bus view;
+      view.reserve(128);
+      for (int c = 0; c < 4; ++c) {
+        const Bus& w = kw[static_cast<std::size_t>(4 * r + c)];
+        view.insert(view.end(), w.begin(), w.end());
+      }
+      K[static_cast<std::size_t>(r)] = view;
+    }
+  }
+
+  {
     Bus kr_d = nl.mux_bus(expanding_q, kr_q, nl.increment(kr_q));
     kr_d = nl.mux_bus(wr_key, kr_d, nl.constant_bus(1, 4));
     for (int b = 0; b < 4; ++b)
       nl.add_dff_with_out(kr_q[static_cast<std::size_t>(b)], kr_d[static_cast<std::size_t>(b)]);
-    const NetId expanding_d = nl.gate_and(
-        nl.gate_or(wr_key, nl.gate_and(expanding_q, nl.gate_not(kr_last))),
-        nl.gate_not(setup_pin));
+    // Expansion runs from the completing key beat; a fresh beat 0 aborts any
+    // expansion in flight (the schedule is being replaced).
+    const NetId expanding_d =
+        nk == 4 ? nl.gate_and(nl.gate_or(wr_key, nl.gate_and(expanding_q, nl.gate_not(kr_last))),
+                              nl.gate_not(setup_pin))
+                : nl.gate_and(nl.gate_or(wr_key_last,
+                                         nl.gate_and(expanding_q,
+                                                     nl.gate_and(nl.gate_not(kr_last),
+                                                                 nl.gate_not(wr_key)))),
+                              nl.gate_not(setup_pin));
     nl.add_dff_with_out(expanding_q, expanding_d);
     const NetId key_valid_d =
         nl.gate_and(nl.gate_or(nl.gate_and(expanding_q, kr_last), key_valid_q),
@@ -285,15 +460,15 @@ Netlist synthesize_variant(const VariantSpec& spec, core::IpMode mode) {
   {
     Bus init_enc, init_dec;
     if (has_enc) init_enc = nl.xor_bus(data_src, K[0]);
-    if (has_dec) init_dec = nl.xor_bus(data_src, K[10]);
+    if (has_dec) init_dec = nl.xor_bus(data_src, K[static_cast<std::size_t>(nr)]);
     if (has_enc && has_dec) init_state = nl.mux_bus(dec_in, init_enc, init_dec);
     else init_state = has_enc ? init_enc : init_dec;
   }
 
   // Stage i at sub s executes global round f = i*R + s + 1 (1-based, over
-  // the whole cipher); the top stage's boundary cycle is f == 10, the only
+  // the whole cipher); the top stage's boundary cycle is f == Nr, the only
   // step that skips (I)MixColumn. Encrypt: SB -> SR -> MC -> AddK[f].
-  // Decrypt (the equivalent InvCipher step): ISR -> ISB -> AddK[10-f] -> IMC.
+  // Decrypt (the equivalent InvCipher step): ISR -> ISB -> AddK[Nr-f] -> IMC.
   Bus shift_in = init_state;
   Bus top_out;
   for (int i = 0; i < N; ++i) {
@@ -313,10 +488,11 @@ Netlist synthesize_variant(const VariantSpec& spec, core::IpMode mode) {
     }
     if (has_dec) {
       if (R == 1) {
-        k_dec = K[static_cast<std::size_t>(9 - i)];
+        k_dec = K[static_cast<std::size_t>(nr - 1 - i)];
       } else {
         std::vector<Bus> choices;
-        for (int s = 0; s < R; ++s) choices.push_back(K[static_cast<std::size_t>(9 - i * R - s)]);
+        for (int s = 0; s < R; ++s)
+          choices.push_back(K[static_cast<std::size_t>(nr - 1 - i * R - s)]);
         k_dec = nl.mux_n(sub_q, choices);
       }
     }
@@ -396,6 +572,8 @@ VariantIp::VariantIp(hdl::Simulator& sim, const VariantSpec& spec, core::IpMode 
   if (spec.is_iterative())
     throw std::invalid_argument("VariantIp models the non-iterative family; "
                                 "the iterative core is core::RijndaelIp");
+  if (!spec.valid()) throw std::invalid_argument("VariantIp: unrealizable spec " + spec.name());
+  kwords_.resize(static_cast<std::size_t>(spec.schedule_words()));
   stage_.resize(static_cast<std::size_t>(stages_n_));
   sub_ = rounds_per_stage_ - 1;  // empty pipeline parks on the boundary
   sim.add_module(*this);
@@ -409,19 +587,27 @@ bool VariantIp::busy() const noexcept {
 }
 
 hdl::Word128 VariantIp::round_step(const hdl::Word128& in, bool decrypt, int step) const {
+  const int nr = spec_.nr();
   aes::State s(4, in.b);
   if (!decrypt) {
     aes::sub_bytes(s);
     aes::shift_rows(s);
-    if (step < 10) aes::mix_columns(s);
-    aes::add_round_key(s, round_keys_[static_cast<std::size_t>(step)].b);
+    if (step < nr) aes::mix_columns(s);
+    aes::add_round_key(s, round_key(step).b);
   } else {
     aes::inv_shift_rows(s);
     aes::inv_sub_bytes(s);
-    aes::add_round_key(s, round_keys_[static_cast<std::size_t>(10 - step)].b);
-    if (step < 10) aes::inv_mix_columns(s);
+    aes::add_round_key(s, round_key(nr - step).b);
+    if (step < nr) aes::inv_mix_columns(s);
   }
   return word_from_state(s);
+}
+
+hdl::Word128 VariantIp::round_key(int r) const {
+  hdl::Word128 out;
+  for (int c = 0; c < 4; ++c)
+    out.set_column(c, kwords_[static_cast<std::size_t>(4 * r + c)]);
+  return out;
 }
 
 void VariantIp::flush_pipeline() noexcept {
@@ -437,17 +623,30 @@ void VariantIp::tick() {
     flush_pipeline();
     key_valid_ = false;
     expanding_ = false;
+    key_beat_ = 0;
     return;
   }
   if (wr_key.read()) {
     // The hazard rule: a key write flushes every in-flight block and
-    // (re)starts the 10-cycle expansion into the key RAM.
+    // (re)starts the expansion into the key RAM once the last beat lands
+    // (keys wider than din ride ceil(Nk/4) consecutive wr_key beats).
     ++counters_.key_writes;
     flush_pipeline();
     key_valid_ = false;
-    kexp_ = din.read();
-    round_keys_[0] = kexp_;
-    kr_ = 1;
+    expanding_ = false;
+    const int nk = spec_.nk();
+    const hdl::Word128 v = din.read();
+    if (key_beat_ == 0) {
+      for (int c = 0; c < 4; ++c) kwords_[static_cast<std::size_t>(c)] = v.column(c);
+      if (nk > 4) {
+        key_beat_ = 1;
+        return;
+      }
+    } else {
+      for (int c = 4; c < nk; ++c) kwords_[static_cast<std::size_t>(c)] = v.column(c - 4);
+      key_beat_ = 0;
+    }
+    kw_done_ = nk;
     expanding_ = true;
     return;
   }
@@ -458,16 +657,21 @@ void VariantIp::tick() {
   }
 
   if (expanding_) {
+    // One expansion cycle = four schedule words (word-granular for Nk > 4:
+    // groups of four straddle the Nk-boundary transforms).
     ++counters_.key_setup_cycles;
-    hdl::Word128 next;
-    next.set_column(0, kexp_.column(0) ^ aes::sub_word(aes::rot_word(kexp_.column(3))) ^
-                           gf::rcon(static_cast<unsigned>(kr_)));
-    for (int c = 1; c < 4; ++c) next.set_column(c, next.column(c - 1) ^ kexp_.column(c));
-    round_keys_[static_cast<std::size_t>(kr_)] = next;
-    kexp_ = next;
-    if (kr_ < 10) {
-      ++kr_;
-    } else {
+    const int nk = spec_.nk();
+    const int S = spec_.schedule_words();
+    for (int j = 0; j < 4 && kw_done_ < S; ++j, ++kw_done_) {
+      std::uint32_t t = kwords_[static_cast<std::size_t>(kw_done_ - 1)];
+      if (kw_done_ % nk == 0)
+        t = aes::sub_word(aes::rot_word(t)) ^ gf::rcon(static_cast<unsigned>(kw_done_ / nk));
+      else if (nk > 6 && kw_done_ % nk == 4)
+        t = aes::sub_word(t);
+      kwords_[static_cast<std::size_t>(kw_done_)] =
+          kwords_[static_cast<std::size_t>(kw_done_ - nk)] ^ t;
+    }
+    if (kw_done_ >= S) {
       expanding_ = false;
       key_valid_ = true;
     }
@@ -521,7 +725,7 @@ void VariantIp::tick() {
                      (mode_ == core::IpMode::kBoth && !encdec.read());
     first.valid = true;
     first.decrypt = dec;
-    first.data = data_in_reg_ ^ round_keys_[dec ? 10 : 0];
+    first.data = data_in_reg_ ^ round_key(dec ? spec_.nr() : 0);
     pending_ = false;
   } else {
     first.valid = false;

@@ -13,14 +13,15 @@
 //    setup). The low-area extreme; realized by core::synthesize_ip /
 //    core::RijndaelIp with the MixColumn style threaded through.
 //
-//  * RoundArch::kUnrolled — one full 128-bit round per clock: 10
-//    cycles/block, stored round keys (11x128 key RAM filled by a
-//    10-cycle expansion pass after wr_key).
+//  * RoundArch::kUnrolled — one full 128-bit round per clock: Nr
+//    cycles/block, stored round keys ((Nr+1)x128 key RAM filled by a
+//    ceil((S-Nk)/4)-cycle expansion pass after wr_key: 10/12/13 cycles
+//    for 128/192/256-bit keys).
 //
 //  * RoundArch::kPipelined — the unrolled datapath loop-folded into N
-//    stages (N in {2, 5, 10}); each stage iterates R = 10/N rounds, so N
+//    stages (N must divide Nr); each stage iterates R = Nr/N rounds, so N
 //    blocks are in flight and a new block is admitted every R cycles.
-//    Block latency stays 10 cycles; streamed throughput approaches R
+//    Block latency stays Nr cycles; streamed throughput approaches R
 //    cycles/block. Grounded in the pipelined decomposition of Elkabbany
 //    et al. (PAPERS.md).
 //
@@ -45,6 +46,7 @@
 #include <string_view>
 #include <vector>
 
+#include "aes/key_schedule.hpp"
 #include "core/rijndael_ip.hpp"
 #include "hdl/module.hpp"
 #include "hdl/signal.hpp"
@@ -67,42 +69,63 @@ enum class RoundArch {
 /// realization (netlist and behavioral) to them cycle for cycle.
 struct VariantSpec {
   RoundArch round_arch = RoundArch::kIterative;
-  int pipeline_stages = 1;  ///< kPipelined only: 2, 5 or 10 (must divide 10)
+  int pipeline_stages = 1;  ///< kPipelined only: any N >= 2 that divides Nr
   netlist::MixColStyle mixcol = netlist::MixColStyle::kXtime;
   netlist::SboxStyle sbox = netlist::SboxStyle::kRom;
+  int key_bits = 128;  ///< Rijndael key size: 128, 192 or 256 (Nb is always 4)
 
   bool is_iterative() const noexcept { return round_arch == RoundArch::kIterative; }
+
+  // --- the geometry ----------------------------------------------------------
+  /// Key words Nk = key_bits/32 (4, 6 or 8).
+  int nk() const noexcept { return key_bits / 32; }
+  /// Rounds Nr = max(Nb, Nk) + 6 = Nk + 6 for the 128-bit block.
+  int nr() const noexcept { return (nk() > 4 ? nk() : 4) + 6; }
+  /// Schedule words S = Nb*(Nr+1) (44 / 52 / 60).
+  int schedule_words() const noexcept { return 4 * (nr() + 1); }
+  aes::Geometry geometry() const noexcept { return aes::Geometry::make(128, key_bits); }
 
   /// Physical pipeline stages (1 unless kPipelined).
   int stages() const noexcept {
     return round_arch == RoundArch::kPipelined ? pipeline_stages : 1;
   }
+  /// Is the spec realizable?  Pipeline stages must divide Nr (pipe5 exists
+  /// for Nr=10, not Nr=12); key_bits must be 128/192/256.
+  bool valid() const noexcept {
+    if (key_bits != 128 && key_bits != 192 && key_bits != 256) return false;
+    return nr() % stages() == 0;
+  }
   /// Rounds each stage iterates before the pipeline shifts (non-iterative).
-  int rounds_per_stage() const noexcept { return 10 / stages(); }
+  int rounds_per_stage() const noexcept { return nr() / stages(); }
 
-  // --- the declared schedule -------------------------------------------------
-  /// Load edge -> data_ok for a lone block.
-  int block_latency_cycles() const noexcept { return is_iterative() ? 50 : 10; }
+  // --- the declared schedule (everything derived from Nr, nothing literal) ---
+  /// Load edge -> data_ok for a lone block: the paper core walks 4 ByteSub32
+  /// cycles + 1 SR/MC/AK cycle per round (5*Nr); full-width variants pay one
+  /// cycle per round (Nr).
+  int block_latency_cycles() const noexcept { return is_iterative() ? 5 * nr() : nr(); }
   /// Steady-state cycles between admissions when streamed.
   int issue_interval_cycles() const noexcept {
-    return is_iterative() ? 50 : rounds_per_stage();
+    return is_iterative() ? 5 * nr() : rounds_per_stage();
   }
   /// Blocks concurrently in flight at full occupancy.
   int blocks_in_flight() const noexcept { return stages(); }
-  /// wr_key edge -> key_ready.  The iterative core pays the paper's
-  /// 40-cycle inverse-schedule pass only when decrypt-capable; the stored
-  /// key RAM of the other variants always costs one 10-cycle expansion.
+  /// wr_key edge -> key_ready.  The iterative core pays the on-the-fly
+  /// inverse-schedule pass (4 generation cycles per round = 4*Nr) only when
+  /// decrypt-capable; the stored key RAM of the other variants always costs
+  /// one expansion pass of ceil((S - Nk)/4) cycles (10/12/13).
   int key_setup_cycles(core::IpMode mode) const noexcept {
-    if (is_iterative()) return mode == core::IpMode::kEncrypt ? 0 : 40;
-    return 10;
+    if (is_iterative()) return mode == core::IpMode::kEncrypt ? 0 : 4 * nr();
+    return (schedule_words() - nk() + 3) / 4;
   }
   /// Datapath cycles attributed per round (5 for the 32-bit slice walk,
   /// 1 for a full-width round).
   double cycles_per_round() const noexcept { return is_iterative() ? 5.0 : 1.0; }
 
-  /// Canonical name, e.g. "iter-xtime", "unroll-lut", "pipe5-xtime".
+  /// Canonical name, e.g. "iter-xtime", "unroll-lut", "pipe5-xtime"; wider
+  /// keys append the size: "iter-xtime@192".  128-bit names stay bare.
   std::string name() const;
-  /// Inverse of name(); also accepts "paper" for the iterative default.
+  /// Inverse of name(); also accepts "paper" for the iterative default and
+  /// an optional "@192"/"@256" key-size suffix on any name.
   static std::optional<VariantSpec> parse(std::string_view text);
   /// The bench/test roster: the Pareto candidates documented in
   /// docs/variants.md (5 xtime points + 2 dominated lut points).
@@ -160,6 +183,8 @@ class VariantIp final : public hdl::Module {
   };
 
   hdl::Word128 round_step(const hdl::Word128& in, bool decrypt, int step) const;
+  /// Stored round key r (schedule words 4r..4r+3).
+  hdl::Word128 round_key(int r) const;
   void flush_pipeline() noexcept;
 
   VariantSpec spec_;
@@ -167,9 +192,9 @@ class VariantIp final : public hdl::Module {
   int stages_n_;
   int rounds_per_stage_;
 
-  std::array<hdl::Word128, 11> round_keys_{};
-  hdl::Word128 kexp_{};       ///< expansion chain register
-  int kr_ = 0;                ///< expansion round counter, 1..10
+  std::vector<std::uint32_t> kwords_;  ///< the stored schedule (S words)
+  int kw_done_ = 0;                    ///< schedule words generated so far
+  int key_beat_ = 0;                   ///< next wr_key beat (multi-beat loads)
   bool expanding_ = false;
   bool key_valid_ = false;
 

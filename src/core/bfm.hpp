@@ -58,19 +58,30 @@ class GenericBusDriver {
     has_resident_key_ = false;
   }
 
-  /// Write a 16-byte cipher key and wait until the core reports key-ready.
-  /// Returns the number of cycles the key setup took.
+  /// Write a 16/24/32-byte cipher key and wait until the core reports
+  /// key-ready.  Keys wider than the 128-bit din ride consecutive wr_key
+  /// beats (words 0..3, then words 4..Nk-1 in the low lanes — the bus
+  /// transfer the multi-beat Key_In process expects).  Returns the number
+  /// of cycles the key setup took after the last beat.
   std::uint64_t load_key(std::span<const std::uint8_t> key) {
-    ip_.din.write(hdl::Word128::from_bytes(key));
-    ip_.wr_key.write(true);
-    step();
-    ip_.wr_key.write(false);
+    if (key.size() != 16 && key.size() != 24 && key.size() != 32)
+      throw std::invalid_argument("bfm: key must be 16, 24 or 32 bytes");
+    for (std::size_t off = 0; off < key.size(); off += 16) {
+      std::array<std::uint8_t, 16> beat{};
+      const std::size_t n = std::min<std::size_t>(16, key.size() - off);
+      std::copy_n(key.begin() + static_cast<std::ptrdiff_t>(off), n, beat.begin());
+      ip_.din.write(hdl::Word128::from_bytes(beat));
+      ip_.wr_key.write(true);
+      step();
+      ip_.wr_key.write(false);
+    }
     std::uint64_t cycles = 0;
     while (!ip_.key_ready()) {
       step();
       if (++cycles > kWatchdog) throw std::runtime_error("bfm: key setup never completed");
     }
-    for (std::size_t i = 0; i < 16; ++i) resident_key_[i] = key[i];
+    resident_key_len_ = key.size();
+    std::copy(key.begin(), key.end(), resident_key_.begin());
     has_resident_key_ = true;
     ++counters_.key_loads;
     counters_.key_setup_cycles += cycles;
@@ -80,7 +91,7 @@ class GenericBusDriver {
   /// True when `key` is already resident in the core's Key_In register and
   /// the schedule is ready — i.e. a rekey() for it would cost zero cycles.
   bool key_resident(std::span<const std::uint8_t> key) const noexcept {
-    return has_resident_key_ && key.size() == 16 && ip_.key_ready() &&
+    return has_resident_key_ && key.size() == resident_key_len_ && ip_.key_ready() &&
            std::equal(key.begin(), key.end(), resident_key_.begin());
   }
 
@@ -184,7 +195,8 @@ class GenericBusDriver {
   Ip& ip_;
   std::uint64_t last_latency_ = 0;
   std::uint64_t last_stream_cycles_ = 0;
-  std::array<std::uint8_t, 16> resident_key_{};
+  std::array<std::uint8_t, 32> resident_key_{};
+  std::size_t resident_key_len_ = 0;
   bool has_resident_key_ = false;
   BusCounters counters_;
 };

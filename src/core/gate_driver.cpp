@@ -1,5 +1,6 @@
 #include "core/gate_driver.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace aesip::core {
@@ -48,14 +49,24 @@ void GateIpDriver::reset() {
 }
 
 void GateIpDriver::load_key(std::span<const std::uint8_t> key, bool needs_setup) {
-  load_key(key, needs_setup ? 40 : 0);
+  // The iterative inverse-schedule pass costs 4 generation cycles per round
+  // (4*Nr = 40/48/56), with Nr inferred from the key length.
+  const int nr = static_cast<int>(key.size()) / 4 + 6;
+  load_key(key, needs_setup ? 4 * nr : 0);
 }
 
 void GateIpDriver::load_key(std::span<const std::uint8_t> key, int setup_cycles) {
-  set_din(key);
-  set("wr_key", true);
-  clock();
-  set("wr_key", false);
+  // Keys wider than the 128-bit din ride consecutive wr_key beats
+  // (words 0..3, then words 4..Nk-1 in the low lanes).
+  for (std::size_t off = 0; off < key.size(); off += 16) {
+    std::array<std::uint8_t, 16> beat{};
+    const std::size_t n = std::min<std::size_t>(16, key.size() - off);
+    for (std::size_t i = 0; i < n; ++i) beat[i] = key[off + i];
+    set_din(beat);
+    set("wr_key", true);
+    clock();
+    set("wr_key", false);
+  }
   for (int i = 0; i < setup_cycles; ++i) clock();
 }
 
@@ -185,14 +196,21 @@ void GateIpBatchDriver::reset() {
 }
 
 void GateIpBatchDriver::load_key(std::span<const std::uint8_t> key, bool needs_setup) {
-  load_key(key, needs_setup ? 40 : 0);
+  const int nr = static_cast<int>(key.size()) / 4 + 6;
+  load_key(key, needs_setup ? 4 * nr : 0);
 }
 
 void GateIpBatchDriver::load_key(std::span<const std::uint8_t> key, int setup_cycles) {
-  set_din_lanes(key, 1);  // replicate the key into every lane
-  set_broadcast("wr_key", true);
-  clock();
-  set_broadcast("wr_key", false);
+  // Multi-beat like the scalar driver; each beat replicates into every lane.
+  for (std::size_t off = 0; off < key.size(); off += 16) {
+    std::array<std::uint8_t, 16> beat{};
+    const std::size_t n = std::min<std::size_t>(16, key.size() - off);
+    for (std::size_t i = 0; i < n; ++i) beat[i] = key[off + i];
+    set_din_lanes(beat, 1);
+    set_broadcast("wr_key", true);
+    clock();
+    set_broadcast("wr_key", false);
+  }
   for (int i = 0; i < setup_cycles; ++i) clock();
 }
 

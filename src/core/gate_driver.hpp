@@ -44,7 +44,8 @@ class GateIpDriver {
   // --- protocol helpers --------------------------------------------------------
   /// Pulse `setup` for one cycle.
   void reset();
-  /// Write a key; runs the 40 extra key-setup cycles when `needs_setup`.
+  /// Write a key (16/24/32 bytes, multi-beat when wider than din); runs
+  /// the 4*Nr extra key-setup cycles when `needs_setup`.
   void load_key(std::span<const std::uint8_t> key, bool needs_setup);
   /// Write a key and run an explicit number of key-setup clocks (the
   /// variant family declares its own schedule — 10 expansion cycles for
@@ -126,8 +127,9 @@ class GateIpBatchDriver {
 
   /// Pulse `setup` for one cycle (device-global: weight 1 per clock).
   void reset();
-  /// Write a key to every lane; runs the 40 extra key-setup cycles when
-  /// `needs_setup` (device-global: one shared key schedule).
+  /// Write a key to every lane (multi-beat when wider than din); runs the
+  /// 4*Nr extra key-setup cycles when `needs_setup` (device-global: one
+  /// shared key schedule).
   void load_key(std::span<const std::uint8_t> key, bool needs_setup);
   /// Write a key and run an explicit number of key-setup clocks (the
   /// variant family's declared schedule).

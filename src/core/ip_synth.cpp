@@ -1,5 +1,8 @@
 #include "core/ip_synth.hpp"
 
+#include <stdexcept>
+#include <vector>
+
 #include "aes/sbox.hpp"
 #include "gf/gf256.hpp"
 #include "netlist/synth.hpp"
@@ -39,6 +42,8 @@ Bus splice_column(const Bus& state, int c, const Bus& col) {
 /// Round-constant byte as a function of the 4-bit round counter.  Forward
 /// schedule uses rcon(round); the on-the-fly inverse schedule needs
 /// rcon(11 - round).  Constant folding collapses the mux to a few LUTs.
+/// (Nk = 4 only — wider keys walk the xtime chain in a register instead,
+/// because their boundary index is no longer a function of the round.)
 Bus rcon_bus(Netlist& nl, const Bus& round, bool inverse) {
   std::vector<Bus> choices;
   choices.push_back(nl.constant_bus(0, 8));  // round 0 unused
@@ -60,6 +65,45 @@ Bus synth_kstran(Netlist& nl, const Bus& addr_word, const Bus& rk_col0, const Bu
   return col0;
 }
 
+/// GF(2^8) xtime on an 8-bit bus: rcon(i+1) = xtime(rcon(i)), so the rcon
+/// register advances along the chain instead of muxing constants.
+Bus xtime_bus(Netlist& nl, const Bus& a) {
+  Bus o(8, kNoNet);
+  o[0] = a[7];
+  o[1] = nl.gate_xor(a[0], a[7]);
+  o[2] = a[1];
+  o[3] = nl.gate_xor(a[2], a[7]);
+  o[4] = nl.gate_xor(a[3], a[7]);
+  o[5] = a[4];
+  o[6] = a[5];
+  o[7] = a[6];
+  return o;
+}
+
+/// Inverse of xtime_bus: steps the decrypt-side rcon register backwards.
+Bus inv_xtime_bus(Netlist& nl, const Bus& a) {
+  Bus o(8, kNoNet);
+  o[0] = nl.gate_xor(a[1], a[0]);
+  o[1] = a[2];
+  o[2] = nl.gate_xor(a[3], a[0]);
+  o[3] = nl.gate_xor(a[4], a[0]);
+  o[4] = a[5];
+  o[5] = a[6];
+  o[6] = a[7];
+  o[7] = a[0];
+  return o;
+}
+
+/// 3-bit decrement (borrow ripple) for the inverse window-position counter.
+Bus dec3_bus(Netlist& nl, const Bus& a) {
+  Bus o(3, kNoNet);
+  const NetId n0 = nl.gate_not(a[0]);
+  o[0] = n0;
+  o[1] = nl.gate_xor(a[1], n0);
+  o[2] = nl.gate_xor(a[2], nl.gate_and(n0, nl.gate_not(a[1])));
+  return o;
+}
+
 Bus pre_allocated_bus(Netlist& nl, int width) {
   Bus b;
   b.reserve(static_cast<std::size_t>(width));
@@ -78,7 +122,13 @@ Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style) {
   return synthesize_ip(mode, style, netlist::MixColStyle::kXtime);
 }
 
-Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style, netlist::MixColStyle mixcol) {
+Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style, netlist::MixColStyle mixcol,
+                      int key_bits) {
+  if (key_bits != 128 && key_bits != 192 && key_bits != 256)
+    throw std::invalid_argument("synthesize_ip: key_bits must be 128, 192 or 256");
+  const int nk = key_bits / 32;
+  const int nr = nk + 6;  // max(Nk, Nb) + 6 with Nb fixed at 4
+
   Netlist nl;
   const bool has_enc = mode != IpMode::kDecrypt;
   const bool has_dec = mode != IpMode::kEncrypt;
@@ -91,9 +141,29 @@ Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style, netlist::MixColStyl
   const Bus din = nl.add_input_bus("din", 128);
   const NetId encdec = mode == IpMode::kBoth ? nl.add_input("encdec") : kNoNet;
 
+  // Multi-beat key loads (Nk > 4): beat 0 carries key words 0..3, beat 1
+  // words 4..Nk-1 in the low din lanes.  key_beat_q tracks which beat is
+  // next; wr_key_last marks the completing beat — the one that arms the
+  // key (and, on decrypt-capable devices, starts the setup pass).
+  NetId key_beat_q = nl.const0();
+  NetId wr_key_last = wr_key;
+  if (nk > 4) {
+    key_beat_q = nl.new_net();
+    NetId beat_d = nl.gate_mux(wr_key, key_beat_q, nl.gate_not(key_beat_q));
+    beat_d = nl.gate_and(beat_d, nl.gate_not(setup_pin));
+    nl.add_dff_with_out(key_beat_q, beat_d);
+    wr_key_last = nl.gate_and(wr_key, key_beat_q);
+  }
+
   // ===== bus-side registers (Data_In / Key_In processes) =====================
   const Bus data_in_reg = nl.dff_bus(din, wr_data);
-  const Bus key_reg = nl.dff_bus(din, wr_key);
+  const Bus key_reg = nk == 4
+                          ? nl.dff_bus(din, wr_key)
+                          : nl.dff_bus(din, nl.gate_and(wr_key, nl.gate_not(key_beat_q)));
+  Bus key_hi;  // key words 4..Nk-1 (Nk > 4 only)
+  if (nk > 4)
+    key_hi = nl.dff_bus(Bus(din.begin(), din.begin() + 32 * (nk - 4)),
+                        nl.gate_and(wr_key, key_beat_q));
 
   // ===== control FSM ==========================================================
   // phase: 0 idle, 1 sub (4 ByteSub cycles), 2 mix (the 128-bit cycle),
@@ -177,8 +247,11 @@ Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style, netlist::MixColStyl
   const Bus start_phase = nl.mux_bus(dec_next, kSubV, kMixV);
   phase_d = nl.mux_bus(start, phase_d, start_phase);
   // A key write aborts any in-flight block: decrypt-capable devices enter
-  // key setup, encrypt-only devices return to idle with the new key live.
-  phase_d = nl.mux_bus(wr_key, phase_d, has_dec ? kSetupV : kIdleV);
+  // key setup once the last beat lands, encrypt-only devices (and partial
+  // multi-beat loads) return to idle.
+  Bus key_phase = has_dec ? kSetupV : kIdleV;
+  if (nk > 4 && has_dec) key_phase = nl.mux_bus(key_beat_q, kIdleV, kSetupV);
+  phase_d = nl.mux_bus(wr_key, phase_d, key_phase);
   phase_d = nl.mux_bus(setup_pin, phase_d, kIdleV);
   sub_d = nl.mux_bus(nl.gate_or(start, nl.gate_or(wr_key, setup_pin)), sub_d,
                      nl.constant_bus(0, 2));
@@ -186,9 +259,13 @@ Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style, netlist::MixColStyl
   // --- flags ---------------------------------------------------------------------
   NetId pending_d = nl.gate_and(block_avail, nl.gate_not(start));
   pending_d = nl.gate_and(pending_d, nl.gate_not(nl.gate_or(setup_pin, wr_key)));
-  NetId key_valid_d = has_dec
-                          ? nl.gate_or(setup_done, nl.gate_and(key_valid_q, nl.gate_not(wr_key)))
-                          : nl.gate_or(wr_key, key_valid_q);
+  NetId key_valid_d;
+  if (has_dec)
+    key_valid_d = nl.gate_or(setup_done, nl.gate_and(key_valid_q, nl.gate_not(wr_key)));
+  else if (nk == 4)
+    key_valid_d = nl.gate_or(wr_key, key_valid_q);
+  else  // encrypt-only multi-beat: valid only once the last beat lands
+    key_valid_d = nl.gate_mux(wr_key, key_valid_q, key_beat_q);
   key_valid_d = nl.gate_and(key_valid_d, nl.gate_not(setup_pin));
 
   for (std::size_t i = 0; i < 2; ++i) nl.add_dff_with_out(phase_q[i], phase_d[i]);
@@ -202,103 +279,305 @@ Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style, netlist::MixColStyl
   if (has_dec) nl.add_dff_with_out(is_setup, nl.eq_const(phase_d, 3));
   nl.add_dff_with_out(not_idle, nl.gate_not(nl.eq_const(phase_d, 0)));
   nl.add_dff_with_out(sub_last, nl.eq_const(sub_d, 3));
-  nl.add_dff_with_out(round_last, nl.eq_const(round_d, 10));
+  nl.add_dff_with_out(round_last, nl.eq_const(round_d, static_cast<std::uint64_t>(nr)));
   nl.add_dff_with_out(first_round, nl.eq_const(round_d, 1));
   for (int v = 0; v < 4; ++v)
     nl.add_dff_with_out(sub_is[static_cast<std::size_t>(v)],
                         nl.eq_const(sub_d, static_cast<std::uint64_t>(v)));
 
   // ===== key datapath ==========================================================
-  const Bus round_key = pre_allocated_bus(nl, 128);
-  const Bus next_key = pre_allocated_bus(nl, 128);
-  const Bus dec_base_key = has_dec ? pre_allocated_bus(nl, 128) : Bus{};
+  // Handles the state datapath consumes, produced by the key-size branch:
+  Bus enc_mix_key;    // round key of the encrypt 128-bit cycle
+  Bus dec_mix_key;    // round key operand of the decrypt 128-bit cycle
+  Bus load_key_sel;   // initial AddRoundKey operand (folded into the load path)
+  Bus dec_final_key;  // final decrypt AddRoundKey operand (key words 0..3)
 
-  // KStran units.  Encrypt-only: one forward bank.  Decrypt-only: one bank
-  // shared between key setup (forward addressing/rcon) and the inverse
-  // schedule.  Both: two banks, one per direction's key path (the paper's
-  // 16-S-box configuration).
-  Bus fwd_col0, inv_col0;
-  const Bus fwd_addr_word = column_of(round_key, 3);
-  const Bus inv_addr_word = column_of(next_key, 3);
-  const Bus rcon_fwd = rcon_bus(nl, round_q, false);
-  if (mode == IpMode::kEncrypt) {
-    fwd_col0 = synth_kstran(nl, fwd_addr_word, column_of(round_key, 0), rcon_fwd, style,
-                            "kstran");
-  } else if (mode == IpMode::kDecrypt) {
-    const Bus rcon_inv = rcon_bus(nl, round_q, true);
-    const Bus addr = nl.mux_bus(is_setup, inv_addr_word, fwd_addr_word);
-    const Bus rcon = nl.mux_bus(is_setup, rcon_inv, rcon_fwd);
-    const Bus shared = synth_kstran(nl, addr, column_of(round_key, 0), rcon, style, "kstran");
-    fwd_col0 = shared;
-    inv_col0 = shared;
-  } else {
-    const Bus rcon_inv = rcon_bus(nl, round_q, true);
-    fwd_col0 = synth_kstran(nl, fwd_addr_word, column_of(round_key, 0), rcon_fwd, style,
-                            "kstran_enc");
-    inv_col0 = synth_kstran(nl, inv_addr_word, column_of(round_key, 0), rcon_inv, style,
-                            "kstran_dec");
-  }
+  if (nk == 4) {
+    // ---- the paper's AES-128 organization: round_key / next_key pair --------
+    const Bus round_key = pre_allocated_bus(nl, 128);
+    const Bus next_key = pre_allocated_bus(nl, 128);
+    const Bus dec_base_key = has_dec ? pre_allocated_bus(nl, 128) : Bus{};
 
-  // Staging D values.
-  std::array<Bus, 4> fwd_d, inv_d;
-  fwd_d[0] = fwd_col0;
-  for (int c = 1; c < 4; ++c)
-    fwd_d[static_cast<std::size_t>(c)] =
-        nl.xor_bus(column_of(next_key, c - 1), column_of(round_key, c));
-  if (has_dec) {
-    inv_d[0] = inv_col0;
+    // KStran units.  Encrypt-only: one forward bank.  Decrypt-only: one bank
+    // shared between key setup (forward addressing/rcon) and the inverse
+    // schedule.  Both: two banks, one per direction's key path (the paper's
+    // 16-S-box configuration).
+    Bus fwd_col0, inv_col0;
+    const Bus fwd_addr_word = column_of(round_key, 3);
+    const Bus inv_addr_word = column_of(next_key, 3);
+    const Bus rcon_fwd = rcon_bus(nl, round_q, false);
+    if (mode == IpMode::kEncrypt) {
+      fwd_col0 = synth_kstran(nl, fwd_addr_word, column_of(round_key, 0), rcon_fwd, style,
+                              "kstran");
+    } else if (mode == IpMode::kDecrypt) {
+      const Bus rcon_inv = rcon_bus(nl, round_q, true);
+      const Bus addr = nl.mux_bus(is_setup, inv_addr_word, fwd_addr_word);
+      const Bus rcon = nl.mux_bus(is_setup, rcon_inv, rcon_fwd);
+      const Bus shared = synth_kstran(nl, addr, column_of(round_key, 0), rcon, style, "kstran");
+      fwd_col0 = shared;
+      inv_col0 = shared;
+    } else {
+      const Bus rcon_inv = rcon_bus(nl, round_q, true);
+      fwd_col0 = synth_kstran(nl, fwd_addr_word, column_of(round_key, 0), rcon_fwd, style,
+                              "kstran_enc");
+      inv_col0 = synth_kstran(nl, inv_addr_word, column_of(round_key, 0), rcon_inv, style,
+                              "kstran_dec");
+    }
+
+    // Staging D values.
+    std::array<Bus, 4> fwd_d, inv_d;
+    fwd_d[0] = fwd_col0;
     for (int c = 1; c < 4; ++c)
-      inv_d[static_cast<std::size_t>(c)] =
-          nl.xor_bus(column_of(round_key, c), column_of(round_key, c - 1));
-  }
-
-  // next_key registers with per-column enables.
-  const NetId fwd_staging = nl.gate_or(is_setup, nl.gate_and(is_sub, nl.gate_not(dec_q)));
-  const NetId inv_staging = has_dec ? nl.gate_and(is_sub, dec_q) : nl.const0();
-  for (int col = 0; col < 4; ++col) {
-    Bus d = fwd_d[static_cast<std::size_t>(col)];
-    NetId en = nl.gate_and(fwd_staging, sub_is[static_cast<std::size_t>(col)]);
+      fwd_d[static_cast<std::size_t>(c)] =
+          nl.xor_bus(column_of(next_key, c - 1), column_of(round_key, c));
     if (has_dec) {
-      d = nl.mux_bus(inv_staging, d, inv_d[static_cast<std::size_t>(col)]);
-      en = nl.gate_or(en, nl.gate_and(inv_staging, sub_is[static_cast<std::size_t>(3 - col)]));
+      inv_d[0] = inv_col0;
+      for (int c = 1; c < 4; ++c)
+        inv_d[static_cast<std::size_t>(c)] =
+            nl.xor_bus(column_of(round_key, c), column_of(round_key, c - 1));
     }
-    const Bus q = column_of(next_key, col);
-    for (int b = 0; b < 32; ++b)
-      nl.add_dff_with_out(q[static_cast<std::size_t>(b)], d[static_cast<std::size_t>(b)], en);
-  }
 
-  // Fully-staged views (the column written this cycle spliced in), used by
-  // the same-edge consumers round_key and dec_base_key.
-  const Bus staged_fwd = splice_column(next_key, 3, fwd_d[3]);
-  const Bus staged_inv = has_dec ? splice_column(next_key, 0, inv_d[0]) : Bus{};
+    // next_key registers with per-column enables.
+    const NetId fwd_staging = nl.gate_or(is_setup, nl.gate_and(is_sub, nl.gate_not(dec_q)));
+    const NetId inv_staging = has_dec ? nl.gate_and(is_sub, dec_q) : nl.const0();
+    for (int col = 0; col < 4; ++col) {
+      Bus d = fwd_d[static_cast<std::size_t>(col)];
+      NetId en = nl.gate_and(fwd_staging, sub_is[static_cast<std::size_t>(col)]);
+      if (has_dec) {
+        d = nl.mux_bus(inv_staging, d, inv_d[static_cast<std::size_t>(col)]);
+        en = nl.gate_or(en, nl.gate_and(inv_staging, sub_is[static_cast<std::size_t>(3 - col)]));
+      }
+      const Bus q = column_of(next_key, col);
+      for (int b = 0; b < 32; ++b)
+        nl.add_dff_with_out(q[static_cast<std::size_t>(b)], d[static_cast<std::size_t>(b)], en);
+    }
 
-  // round_key register.
-  {
-    Bus start_val = key_reg;
-    if (mode == IpMode::kDecrypt) start_val = dec_base_key;
-    else if (mode == IpMode::kBoth) start_val = nl.mux_bus(dec_next, key_reg, dec_base_key);
+    // Fully-staged views (the column written this cycle spliced in), used by
+    // the same-edge consumers round_key and dec_base_key.
+    const Bus staged_fwd = splice_column(next_key, 3, fwd_d[3]);
+    const Bus staged_inv = has_dec ? splice_column(next_key, 0, inv_d[0]) : Bus{};
 
-    Bus d = next_key;  // encrypt mix cycle
-    NetId en = nl.gate_or(start, nl.gate_and(is_mix, nl.gate_not(dec_q)));
+    // round_key register.
+    {
+      Bus start_val = key_reg;
+      if (mode == IpMode::kDecrypt) start_val = dec_base_key;
+      else if (mode == IpMode::kBoth) start_val = nl.mux_bus(dec_next, key_reg, dec_base_key);
+
+      Bus d = next_key;  // encrypt mix cycle
+      NetId en = nl.gate_or(start, nl.gate_and(is_mix, nl.gate_not(dec_q)));
+      if (has_dec) {
+        d = nl.mux_bus(nl.gate_and(is_setup, sub_last), d, staged_fwd);
+        d = nl.mux_bus(nl.gate_and(inv_staging, sub_last), d, staged_inv);
+        en = nl.gate_or(en, nl.gate_and(nl.gate_or(is_setup, inv_staging), sub_last));
+      }
+      d = nl.mux_bus(start, d, start_val);
+      if (has_dec) {
+        d = nl.mux_bus(wr_key, d, din);  // key setup seeds from the bus
+        en = nl.gate_or(en, wr_key);
+      }
+      for (int b = 0; b < 128; ++b)
+        nl.add_dff_with_out(round_key[static_cast<std::size_t>(b)],
+                            d[static_cast<std::size_t>(b)], en);
+    }
+
     if (has_dec) {
-      d = nl.mux_bus(nl.gate_and(is_setup, sub_last), d, staged_fwd);
-      d = nl.mux_bus(nl.gate_and(inv_staging, sub_last), d, staged_inv);
-      en = nl.gate_or(en, nl.gate_and(nl.gate_or(is_setup, inv_staging), sub_last));
+      for (int b = 0; b < 128; ++b)
+        nl.add_dff_with_out(dec_base_key[static_cast<std::size_t>(b)],
+                            staged_fwd[static_cast<std::size_t>(b)], setup_done);
     }
-    d = nl.mux_bus(start, d, start_val);
-    if (has_dec) {
-      d = nl.mux_bus(wr_key, d, din);  // key setup seeds from the bus
-      en = nl.gate_or(en, wr_key);
-    }
-    for (int b = 0; b < 128; ++b)
-      nl.add_dff_with_out(round_key[static_cast<std::size_t>(b)],
-                          d[static_cast<std::size_t>(b)], en);
-  }
 
-  if (has_dec) {
-    for (int b = 0; b < 128; ++b)
-      nl.add_dff_with_out(dec_base_key[static_cast<std::size_t>(b)],
-                          staged_fwd[static_cast<std::size_t>(b)], setup_done);
+    enc_mix_key = next_key;
+    dec_mix_key = round_key;
+    dec_final_key = key_reg;
+    load_key_sel = key_reg;
+    if (mode == IpMode::kDecrypt) load_key_sel = dec_base_key;
+    else if (mode == IpMode::kBoth) load_key_sel = nl.mux_bus(dec_next, key_reg, dec_base_key);
+  } else {
+    // ---- sliding-window schedule (Nk = 6/8) ---------------------------------
+    // W[0..Nk-1] holds the last Nk schedule words.  Each generating cycle
+    // computes one word w[i] = w[i-Nk] ^ t(w[i-1]) and shifts the window up
+    // (encrypt rounds and key setup), or recovers w[m] = w[m+Nk] ^ t(w[m+Nk-1])
+    // and shifts it down (decrypt rounds).  The encrypt round key is the
+    // window bottom (W[0..3]), the decrypt round key the window top.  kpos/p
+    // track the schedule index mod Nk; the rcon registers walk the GF(2^8)
+    // xtime chain instead of muxing round-indexed constants, because for
+    // Nk > 4 the boundary index is no longer a function of the round.
+    std::vector<Bus> kw(static_cast<std::size_t>(nk));  // registered key words
+    for (int c = 0; c < 4; ++c) kw[static_cast<std::size_t>(c)] = column_of(key_reg, c);
+    for (int c = 4; c < nk; ++c)
+      kw[static_cast<std::size_t>(c)] =
+          Bus(key_hi.begin() + 32 * (c - 4), key_hi.begin() + 32 * (c - 3));
+
+    std::vector<Bus> W(static_cast<std::size_t>(nk));
+    for (auto& w : W) w = pre_allocated_bus(nl, 32);
+    std::vector<Bus> dec_base;  // final window captured by key setup
+    if (has_dec) {
+      dec_base.resize(static_cast<std::size_t>(nk));
+      for (auto& w : dec_base) w = pre_allocated_bus(nl, 32);
+    }
+
+    const Bus kpos_q = pre_allocated_bus(nl, 3);
+    const Bus rcon_f_q = pre_allocated_bus(nl, 8);
+    const NetId kpos0 = nl.eq_const(kpos_q, 0);
+    const NetId kpos_top = nl.eq_const(kpos_q, static_cast<std::uint64_t>(nk - 1));
+
+    // Generation enables.  The setup pass is 4*Nr cycles but only S - Nk
+    // words are real; the trailing cycles (2 for Nk=6, 4 for Nk=8) are
+    // padding, and generation is gated off so the window freezes on
+    // w[S-Nk..S-1] — the decrypt base.
+    const NetId fwd_gen_block =
+        mode == IpMode::kDecrypt ? nl.const0() : nl.gate_and(is_sub, nl.gate_not(dec_q));
+    NetId fwd_gen = fwd_gen_block;
+    if (has_dec) {
+      const NetId gen_stop = nk == 6 ? nl.gate_and(round_last, sub_q[1]) : round_last;
+      fwd_gen = nl.gate_or(fwd_gen_block, nl.gate_and(is_setup, nl.gate_not(gen_stop)));
+    }
+    const NetId inv_gen = has_dec ? nl.gate_and(is_sub, dec_q) : nl.const0();
+
+    Bus p_q, rcon_i_q;
+    NetId p0 = kNoNet;
+    if (has_dec) {
+      p_q = pre_allocated_bus(nl, 3);
+      rcon_i_q = pre_allocated_bus(nl, 8);
+      p0 = nl.eq_const(p_q, 0);
+    }
+
+    // KStran bank(s): always the forward S-box; rotated at Nk boundaries.
+    const Bus fwd_last = W[static_cast<std::size_t>(nk - 1)];
+    const Bus fwd_addr = nl.mux_bus(kpos0, fwd_last, rot_word_bus(fwd_last));
+    Bus inv_last, inv_addr;
+    if (has_dec) {
+      inv_last = W[static_cast<std::size_t>(nk - 2)];
+      inv_addr = nl.mux_bus(p0, inv_last, rot_word_bus(inv_last));
+    }
+    Bus sub_f, sub_i;
+    if (mode == IpMode::kEncrypt) {
+      sub_f = netlist::synth_sub_word32(nl, aes::kSBox, fwd_addr, style,
+                                        /*inverse_table=*/false, "kstran");
+    } else if (mode == IpMode::kDecrypt) {
+      const Bus addr = nl.mux_bus(is_setup, inv_addr, fwd_addr);
+      sub_f = netlist::synth_sub_word32(nl, aes::kSBox, addr, style,
+                                        /*inverse_table=*/false, "kstran");
+      sub_i = sub_f;
+    } else {
+      sub_f = netlist::synth_sub_word32(nl, aes::kSBox, fwd_addr, style,
+                                        /*inverse_table=*/false, "kstran_enc");
+      sub_i = netlist::synth_sub_word32(nl, aes::kSBox, inv_addr, style,
+                                        /*inverse_table=*/false, "kstran_dec");
+    }
+
+    // t(prev): KStran (rotate+sub+rcon) at boundaries, SubWord alone at
+    // position 4 when Nk=8, the raw word otherwise.
+    auto rcon_xor = [&nl](const Bus& word, const Bus& rcon) {
+      Bus out = word;
+      for (int b = 0; b < 8; ++b)
+        out[static_cast<std::size_t>(b)] = nl.gate_xor(word[static_cast<std::size_t>(b)],
+                                                       rcon[static_cast<std::size_t>(b)]);
+      return out;
+    };
+    Bus t_f = nk == 8 ? nl.mux_bus(nl.eq_const(kpos_q, 4), fwd_last, sub_f) : fwd_last;
+    t_f = nl.mux_bus(kpos0, t_f, rcon_xor(sub_f, rcon_f_q));
+    const Bus new_f = nl.xor_bus(W[0], t_f);
+    Bus new_i;
+    if (has_dec) {
+      Bus t_i = nk == 8 ? nl.mux_bus(nl.eq_const(p_q, 4), inv_last, sub_i) : inv_last;
+      t_i = nl.mux_bus(p0, t_i, rcon_xor(sub_i, rcon_i_q));
+      new_i = nl.xor_bus(W[static_cast<std::size_t>(nk - 1)], t_i);
+    }
+
+    // Seed strobes: the forward generator restarts at every encrypt block
+    // start and at the last key beat (setup); the inverse at decrypt starts.
+    const NetId start_enc =
+        mode == IpMode::kDecrypt ? nl.const0()
+        : mode == IpMode::kBoth  ? nl.gate_and(start, nl.gate_not(dec_next))
+                                 : start;
+    const NetId start_dec = !has_dec            ? nl.const0()
+                            : mode == IpMode::kBoth ? nl.gate_and(start, dec_next)
+                                                    : start;
+    const NetId seed_f = has_dec ? nl.gate_or(start_enc, wr_key_last) : start_enc;
+
+    // Window registers: shift up (forward), shift down (inverse), reseed at
+    // block start, and — on decrypt-capable devices — at the last key beat
+    // (words 4..Nk-1 forwarded from din, which the Key_In register is
+    // capturing on the same edge).
+    NetId w_en = nl.gate_or(fwd_gen, start);
+    if (has_dec) w_en = nl.gate_or(w_en, nl.gate_or(inv_gen, wr_key_last));
+    for (int c = 0; c < nk; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      Bus d = c < nk - 1 ? W[ci + 1] : new_f;
+      if (has_dec) {
+        const Bus id = c > 0 ? W[ci - 1] : new_i;
+        d = nl.mux_bus(inv_gen, d, id);
+      }
+      Bus sv = kw[ci];
+      if (mode == IpMode::kDecrypt) sv = dec_base[ci];
+      else if (mode == IpMode::kBoth) sv = nl.mux_bus(dec_next, kw[ci], dec_base[ci]);
+      d = nl.mux_bus(start, d, sv);
+      if (has_dec) {
+        const Bus seed_word = c < 4 ? kw[ci] : column_of(din, c - 4);
+        d = nl.mux_bus(wr_key_last, d, seed_word);
+      }
+      for (int b = 0; b < 32; ++b)
+        nl.add_dff_with_out(W[ci][static_cast<std::size_t>(b)],
+                            d[static_cast<std::size_t>(b)], w_en);
+    }
+
+    // Forward position counter and rcon register.
+    {
+      const Bus wrap = nl.mux_bus(kpos_top, nl.increment(kpos_q), nl.constant_bus(0, 3));
+      Bus d = nl.mux_bus(fwd_gen, kpos_q, wrap);
+      d = nl.mux_bus(seed_f, d, nl.constant_bus(0, 3));
+      for (int b = 0; b < 3; ++b)
+        nl.add_dff_with_out(kpos_q[static_cast<std::size_t>(b)], d[static_cast<std::size_t>(b)]);
+      Bus rd = nl.mux_bus(nl.gate_and(fwd_gen, kpos0), rcon_f_q, xtime_bus(nl, rcon_f_q));
+      rd = nl.mux_bus(seed_f, rd, nl.constant_bus(1, 8));
+      for (int b = 0; b < 8; ++b)
+        nl.add_dff_with_out(rcon_f_q[static_cast<std::size_t>(b)],
+                            rd[static_cast<std::size_t>(b)]);
+    }
+    if (has_dec) {
+      // Inverse position counter (counts down, wrapping to Nk-1) and rcon
+      // register (walks the xtime chain backwards from the last boundary,
+      // rcon(8) for Nk=6 / rcon(7) for Nk=8).
+      const Bus wrap =
+          nl.mux_bus(p0, dec3_bus(nl, p_q), nl.constant_bus(static_cast<std::uint64_t>(nk - 1), 3));
+      Bus d = nl.mux_bus(inv_gen, p_q, wrap);
+      d = nl.mux_bus(start_dec, d, nl.constant_bus(3, 3));
+      for (int b = 0; b < 3; ++b)
+        nl.add_dff_with_out(p_q[static_cast<std::size_t>(b)], d[static_cast<std::size_t>(b)]);
+      const int sched = 4 * (nr + 1);
+      const std::uint64_t rci0 = gf::rcon(static_cast<unsigned>((sched - nk - 1) / nk + 1));
+      Bus rd = nl.mux_bus(nl.gate_and(inv_gen, p0), rcon_i_q, inv_xtime_bus(nl, rcon_i_q));
+      rd = nl.mux_bus(start_dec, rd, nl.constant_bus(rci0, 8));
+      for (int b = 0; b < 8; ++b)
+        nl.add_dff_with_out(rcon_i_q[static_cast<std::size_t>(b)],
+                            rd[static_cast<std::size_t>(b)]);
+      // Final-window capture: generation idles through the setup padding
+      // cycles, so W holds exactly w[S-Nk..S-1] at setup_done.
+      for (int c = 0; c < nk; ++c)
+        for (int b = 0; b < 32; ++b)
+          nl.add_dff_with_out(dec_base[static_cast<std::size_t>(c)][static_cast<std::size_t>(b)],
+                              W[static_cast<std::size_t>(c)][static_cast<std::size_t>(b)],
+                              setup_done);
+    }
+
+    auto concat4 = [](const std::vector<Bus>& ws, int from) {
+      Bus out;
+      out.reserve(128);
+      for (int c = from; c < from + 4; ++c)
+        out.insert(out.end(), ws[static_cast<std::size_t>(c)].begin(),
+                   ws[static_cast<std::size_t>(c)].end());
+      return out;
+    };
+    enc_mix_key = concat4(W, 0);
+    dec_mix_key = concat4(W, nk - 4);
+    dec_final_key = key_reg;  // key words 0..3
+    load_key_sel = key_reg;
+    if (has_dec) {
+      const Bus dec_top = concat4(dec_base, nk - 4);  // K_Nr
+      load_key_sel =
+          mode == IpMode::kDecrypt ? dec_top : nl.mux_bus(dec_next, key_reg, dec_top);
+    }
   }
 
   // ===== state datapath =========================================================
@@ -307,9 +586,6 @@ Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style, netlist::MixColStyl
   // Initial AddRoundKey folded into the load path; the Data_In register is
   // forwarded when the block arrives on the starting cycle itself.
   const Bus data_src = nl.mux_bus(wr_data, data_in_reg, din);
-  Bus load_key_sel = key_reg;
-  if (mode == IpMode::kDecrypt) load_key_sel = dec_base_key;
-  else if (mode == IpMode::kBoth) load_key_sel = nl.mux_bus(dec_next, key_reg, dec_base_key);
   const Bus init_state = nl.xor_bus(data_src, load_key_sel);
 
   // ByteSub slice: 4:1 column mux feeding the data S-box bank(s).
@@ -335,10 +611,10 @@ Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style, netlist::MixColStyl
     const Bus sr = netlist::synth_shift_rows128(state, false);
     const Bus mc = netlist::synth_mix_columns128(nl, sr, false, mixcol);
     const Bus pre = nl.mux_bus(round_last, mc, sr);  // last round skips MixColumn
-    mix_result_enc = nl.xor_bus(pre, next_key);
+    mix_result_enc = nl.xor_bus(pre, enc_mix_key);
   }
   if (has_dec) {
-    const Bus ak = nl.xor_bus(state, round_key);
+    const Bus ak = nl.xor_bus(state, dec_mix_key);
     const Bus imc = netlist::synth_mix_columns128(nl, ak, true, mixcol);
     const Bus pre = nl.mux_bus(first_round, imc, state);  // round 1 skips IMixColumn
     mix_result_dec = netlist::synth_shift_rows128(pre, true);
@@ -360,12 +636,12 @@ Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style, netlist::MixColStyl
 
   // ===== Out process ============================================================
   // Encrypt result = last 128-bit cycle; decrypt result = state with the
-  // final IByteSub column spliced, XOR the original key (final AddRoundKey
+  // final IByteSub column spliced, XOR key words 0..3 (final AddRoundKey
   // folded into the output path).
   Bus result = mix_result;
   if (has_dec) {
     Bus dec_final = splice_column(state, 3, sub_out);
-    dec_final = nl.xor_bus(dec_final, key_reg);
+    dec_final = nl.xor_bus(dec_final, dec_final_key);
     result = has_enc ? nl.mux_bus(dec_q, mix_result, dec_final) : dec_final;
   }
   // A simultaneous key write or setup pulse aborts the block even on its

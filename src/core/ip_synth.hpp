@@ -32,11 +32,17 @@ netlist::Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style);
 
 /// Fully style-selected variant: S-box realization plus the MixColumn
 /// architecture (shared-term xtime network vs table-lookup multipliers —
-/// the `arch::VariantSpec` knob threaded down to the iterative core).
+/// the `arch::VariantSpec` knob threaded down to the iterative core), and
+/// the Rijndael key size (128/192/256).  The Nk=4 netlist keeps the paper's
+/// exact register organization; wider keys realize the same on-the-fly
+/// schedule as a sliding window of the last Nk schedule words, loaded over
+/// ceil(Nk/4) consecutive wr_key beats of the 128-bit din.
 netlist::Netlist synthesize_ip(IpMode mode, netlist::SboxStyle style,
-                               netlist::MixColStyle mixcol);
+                               netlist::MixColStyle mixcol, int key_bits = 128);
 
-/// Expected pin count of a variant (paper Table 2: 261, or 262 with enc/dec).
+/// Expected pin count of a variant (paper Table 2: 261, or 262 with
+/// enc/dec).  Key size does not change the pin count: wider keys re-use the
+/// 128-bit din bus over multiple wr_key beats.
 constexpr int expected_pins(IpMode mode) noexcept {
   return mode == IpMode::kBoth ? 262 : 261;
 }

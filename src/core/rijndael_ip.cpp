@@ -1,5 +1,7 @@
 #include "core/rijndael_ip.hpp"
 
+#include <stdexcept>
+
 #include "aes/sbox.hpp"
 #include "aes/state.hpp"
 #include "aes/transforms.hpp"
@@ -32,9 +34,13 @@ hdl::Word128 mix_columns128(const hdl::Word128& w, bool inverse) {
 
 std::uint32_t rot_word(std::uint32_t w) noexcept { return (w >> 8) | (w << 24); }
 
+/// i mod nk with a mathematical (non-negative) result — decryption runs the
+/// recovery index a few words below zero on the wider keys.
+int mod_nk(int i, int nk) noexcept { return ((i % nk) + nk) % nk; }
+
 }  // namespace
 
-RijndaelIp::RijndaelIp(hdl::Simulator& sim, IpMode mode)
+RijndaelIp::RijndaelIp(hdl::Simulator& sim, IpMode mode, int key_bits)
     : hdl::Module("rijndael_ip"),
       setup(sim, "setup", 1),
       wr_data(sim, "wr_data", 1),
@@ -45,7 +51,12 @@ RijndaelIp::RijndaelIp(hdl::Simulator& sim, IpMode mode)
       data_ok(sim, "data_ok", 1),
       dbg_round(sim, "dbg_round", 8),
       dbg_phase(sim, "dbg_phase", 8),
-      mode_(mode) {
+      mode_(mode),
+      nk_(key_bits / 32),
+      nr_(key_bits / 32 + 6),
+      sched_words_(4 * (key_bits / 32 + 7)) {
+  if (key_bits != 128 && key_bits != 192 && key_bits != 256)
+    throw std::invalid_argument("RijndaelIp: key_bits must be 128, 192 or 256");
   if (mode_ == IpMode::kEncrypt || mode_ == IpMode::kBoth)
     bytesub_ = std::make_unique<SubWord32Unit>(sim, "bytesub", aes::kSBox);
   if (mode_ == IpMode::kDecrypt || mode_ == IpMode::kBoth)
@@ -65,14 +76,33 @@ int RijndaelIp::sbox_count() const noexcept {
   return banks * SubWord32Unit::kSBoxes;
 }
 
+hdl::Word128 RijndaelIp::window_bottom4() const noexcept {
+  hdl::Word128 w;
+  for (int c = 0; c < 4; ++c) w.set_column(c, window_[static_cast<std::size_t>(c)]);
+  return w;
+}
+
+hdl::Word128 RijndaelIp::window_top4() const noexcept {
+  hdl::Word128 w;
+  for (int c = 0; c < 4; ++c)
+    w.set_column(c, window_[static_cast<std::size_t>(nk_ - 4 + c)]);
+  return w;
+}
+
 void RijndaelIp::evaluate() {
   // Drive S-box bank addresses from the current registers.  All drives are
   // pure functions of register state, so the network settles in one delta.
   if (bytesub_) bytesub_->addr.write(state_.column(sub_));
   if (inv_bytesub_) inv_bytesub_->addr.write(state_.column(sub_));
 
-  const std::uint32_t fwd_addr = rot_word(round_key_.column(3));   // KStran forward
-  const std::uint32_t inv_addr = rot_word(next_key_.column(3));    // inverse schedule
+  // KStran forward: generating word gen_i_ transforms w[gen_i_-1] = W[Nk-1]
+  // (RotWord only at an Nk boundary; the Nk=8 mid-block SubWord is the
+  // un-rotated lookup).  Inverse: recovering word rec_m_ transforms the
+  // already-recovered w[rec_m_+Nk-1]'s predecessor W[Nk-2].
+  const std::uint32_t fwd_last = window_[static_cast<std::size_t>(nk_ - 1)];
+  const std::uint32_t fwd_addr = gen_i_ % nk_ == 0 ? rot_word(fwd_last) : fwd_last;
+  const std::uint32_t inv_last = window_[static_cast<std::size_t>(nk_ - 2 >= 0 ? nk_ - 2 : 0)];
+  const std::uint32_t inv_addr = mod_nk(rec_m_, nk_) == 0 ? rot_word(inv_last) : inv_last;
   if (mode_ == IpMode::kBoth) {
     kstran_enc_->addr.write(fwd_addr);
     kstran_dec_->addr.write(inv_addr);
@@ -88,14 +118,33 @@ void RijndaelIp::evaluate() {
   dbg_phase.write(static_cast<std::uint8_t>(phase_));
 }
 
-void RijndaelIp::stage_forward_key(int sub, int round, std::uint32_t kstran_data) {
-  std::uint32_t col;
-  if (sub == 0) {
-    col = round_key_.column(0) ^ kstran_data ^ gf::rcon(static_cast<unsigned>(round));
-  } else {
-    col = next_key_.column(sub - 1) ^ round_key_.column(sub);
+void RijndaelIp::generate_forward(std::uint32_t sbox_data) {
+  std::uint32_t t = window_[static_cast<std::size_t>(nk_ - 1)];
+  if (gen_i_ % nk_ == 0) {
+    t = sbox_data ^ gf::rcon(static_cast<unsigned>(gen_i_ / nk_));
+  } else if (nk_ > 6 && gen_i_ % nk_ == 4) {
+    t = sbox_data;  // the 256-bit schedule's extra SubWord (no rotate, no rcon)
   }
-  next_key_.set_column(sub, col);
+  const std::uint32_t nw = window_[0] ^ t;
+  for (int c = 0; c + 1 < nk_; ++c)
+    window_[static_cast<std::size_t>(c)] = window_[static_cast<std::size_t>(c + 1)];
+  window_[static_cast<std::size_t>(nk_ - 1)] = nw;
+  ++gen_i_;
+}
+
+void RijndaelIp::generate_inverse(std::uint32_t sbox_data) {
+  std::uint32_t t = window_[static_cast<std::size_t>(nk_ - 2)];
+  const int pos = mod_nk(rec_m_, nk_);
+  if (pos == 0 && rec_m_ >= 0) {
+    t = sbox_data ^ gf::rcon(static_cast<unsigned>(rec_m_ / nk_ + 1));
+  } else if (nk_ > 6 && pos == 4) {
+    t = sbox_data;
+  }
+  const std::uint32_t nw = window_[static_cast<std::size_t>(nk_ - 1)] ^ t;
+  for (int c = nk_ - 1; c > 0; --c)
+    window_[static_cast<std::size_t>(c)] = window_[static_cast<std::size_t>(c - 1)];
+  window_[0] = nw;
+  --rec_m_;
 }
 
 void RijndaelIp::start_block() {
@@ -104,14 +153,21 @@ void RijndaelIp::start_block() {
   round_ = 1;
   sub_ = 0;
   if (!block_is_decrypt_) {
-    // Initial AddRoundKey folds into the load path.
-    state_ = data_in_reg_ ^ key_reg_;
-    round_key_ = key_reg_;
+    // Initial AddRoundKey folds into the load path; the window restarts
+    // from the registered key words.
+    hdl::Word128 k0;
+    for (int c = 0; c < 4; ++c) k0.set_column(c, key_words_[static_cast<std::size_t>(c)]);
+    state_ = data_in_reg_ ^ k0;
+    for (int c = 0; c < nk_; ++c)
+      window_[static_cast<std::size_t>(c)] = key_words_[static_cast<std::size_t>(c)];
+    gen_i_ = nk_;
     phase_ = Phase::kSub;
   } else {
-    // Decryption starts from the round-10 key derived during key setup.
-    state_ = data_in_reg_ ^ dec_base_key_;
-    round_key_ = dec_base_key_;
+    // Decryption starts from the final-round window derived during key
+    // setup and recovers the schedule backwards.
+    window_ = dec_base_;
+    rec_m_ = sched_words_ - nk_ - 1;
+    state_ = data_in_reg_ ^ window_top4();
     phase_ = Phase::kMix;
   }
 }
@@ -135,6 +191,7 @@ void RijndaelIp::tick() {
     phase_ = Phase::kIdle;
     data_pending_ = false;
     key_valid_ = false;
+    key_beat_ = 0;
     round_ = 0;
     sub_ = 0;
     dout.write(hdl::Word128{});
@@ -144,16 +201,34 @@ void RijndaelIp::tick() {
   // --- Key_In / Data_In processes ------------------------------------------
   if (wr_key.read()) {
     ++counters_.key_writes;
-    key_reg_ = din.read();
     data_pending_ = false;  // a key change invalidates any staged block
+    const hdl::Word128 d = din.read();
+    if (key_beat_ == 0) {
+      for (int c = 0; c < 4; ++c) key_words_[static_cast<std::size_t>(c)] = d.column(c);
+      if (key_beats() > 1) {
+        // More key words ride the next wr_key beat; nothing runs yet.
+        key_valid_ = false;
+        key_beat_ = 1;
+        phase_ = Phase::kIdle;
+        return;
+      }
+    } else {
+      for (int c = 4; c < nk_; ++c)
+        key_words_[static_cast<std::size_t>(c)] = d.column(c - 4);
+      key_beat_ = 0;
+    }
     if (mode_ == IpMode::kEncrypt) {
       // Forward round keys are generated on the fly; no setup needed.
       key_valid_ = true;
       phase_ = Phase::kIdle;
     } else {
-      // Derive the round-10 key: 10 rounds x 4 KStran cycles.
+      // Derive the final-round window: Nr rounds x 4 generation cycles
+      // (the last (4*Nr) - (S - Nk) cycles of the wider keys are padding —
+      // the FSM shape is shared across geometries).
       key_valid_ = false;
-      round_key_ = din.read();
+      for (int c = 0; c < nk_; ++c)
+        window_[static_cast<std::size_t>(c)] = key_words_[static_cast<std::size_t>(c)];
+      gen_i_ = nk_;
       round_ = 1;
       sub_ = 0;
       phase_ = Phase::kKeySetup;
@@ -168,8 +243,8 @@ void RijndaelIp::tick() {
 
   // --- Rijndael process ------------------------------------------------------
   // Phase occupancy: the edge is attributed to the phase being executed,
-  // so a finished block has banked exactly 40 ByteSub32 + 10 SR/MC/AK
-  // edges — the live form of the 5-cycle-round / 50-cycle-block claim.
+  // so a finished block has banked exactly 4*Nr ByteSub32 + Nr SR/MC/AK
+  // edges — the live form of the 5-cycle-round / 5*Nr-cycle-block claim.
   switch (phase_) {
     case Phase::kIdle:
       ++counters_.idle_cycles;
@@ -178,19 +253,16 @@ void RijndaelIp::tick() {
 
     case Phase::kKeySetup: {
       ++counters_.key_setup_cycles;
-      stage_forward_key(sub_, round_, kstran_enc_->data.read());
+      if (gen_i_ < sched_words_) generate_forward(kstran_enc_->data.read());
       if (sub_ < 3) {
         ++sub_;
+      } else if (round_ < nr_) {
+        ++round_;
+        sub_ = 0;
       } else {
-        round_key_ = next_key_;
-        if (round_ < kRounds) {
-          ++round_;
-          sub_ = 0;
-        } else {
-          dec_base_key_ = next_key_;
-          key_valid_ = true;
-          phase_ = Phase::kIdle;
-        }
+        dec_base_ = window_;
+        key_valid_ = true;
+        phase_ = Phase::kIdle;
       }
       break;
     }
@@ -198,48 +270,31 @@ void RijndaelIp::tick() {
     case Phase::kSub: {
       ++counters_.bytesub_cycles;
       if (!block_is_decrypt_) {
-        // ByteSub32 slice + forward key schedule staging.
+        // ByteSub32 slice + forward key schedule generation (one word per
+        // cycle keeps the window bottom at the current round key).
         state_.set_column(sub_, bytesub_->data.read());
-        stage_forward_key(sub_, round_, kstran_enc_->data.read());
+        generate_forward(kstran_enc_->data.read());
         if (sub_ < 3) ++sub_;
         else phase_ = Phase::kMix;
       } else {
-        // IByteSub32 slice + inverse key schedule staging:
-        // from K_{r+1} (in round_key_) recover K_r into next_key_.
+        // IByteSub32 slice + inverse key schedule recovery: one schedule
+        // word per cycle, window sliding down.
         state_.set_column(sub_, inv_bytesub_->data.read());
-        const int inv_round = kRounds + 1 - round_;  // rcon index of K_{r+1}
-        switch (sub_) {
-          case 0:
-            next_key_.set_column(3, round_key_.column(3) ^ round_key_.column(2));
-            break;
-          case 1:
-            next_key_.set_column(2, round_key_.column(2) ^ round_key_.column(1));
-            break;
-          case 2:
-            next_key_.set_column(1, round_key_.column(1) ^ round_key_.column(0));
-            break;
-          case 3: {
-            const std::uint32_t kdata =
-                (mode_ == IpMode::kBoth ? kstran_dec_ : kstran_enc_)->data.read();
-            next_key_.set_column(
-                0, round_key_.column(0) ^ kdata ^ gf::rcon(static_cast<unsigned>(inv_round)));
-            break;
-          }
-          default:
-            break;
-        }
+        generate_inverse((mode_ == IpMode::kBoth ? kstran_dec_ : kstran_enc_)->data.read());
         if (sub_ < 3) {
           ++sub_;
-        } else if (round_ < kRounds) {
+        } else if (round_ < nr_) {
           ++counters_.rounds_done;
-          round_key_ = next_key_;
           ++round_;
           sub_ = 0;
           phase_ = Phase::kMix;
         } else {
           // Final AddRoundKey (the original key) folds into the output path.
           ++counters_.rounds_done;
-          finish_block(state_ ^ key_reg_);
+          hdl::Word128 k0;
+          for (int c = 0; c < 4; ++c)
+            k0.set_column(c, key_words_[static_cast<std::size_t>(c)]);
+          finish_block(state_ ^ k0);
         }
       }
       break;
@@ -250,11 +305,10 @@ void RijndaelIp::tick() {
       if (!block_is_decrypt_) {
         ++counters_.rounds_done;
         const hdl::Word128 sr = shift_rows128(state_, false);
-        const hdl::Word128 pre = round_ < kRounds ? mix_columns128(sr, false) : sr;
-        const hdl::Word128 ns = pre ^ next_key_;
-        if (round_ < kRounds) {
+        const hdl::Word128 pre = round_ < nr_ ? mix_columns128(sr, false) : sr;
+        const hdl::Word128 ns = pre ^ window_bottom4();
+        if (round_ < nr_) {
           state_ = ns;
-          round_key_ = next_key_;
           ++round_;
           sub_ = 0;
           phase_ = Phase::kSub;
@@ -265,7 +319,7 @@ void RijndaelIp::tick() {
         if (round_ == 1) {
           state_ = shift_rows128(state_, true);
         } else {
-          state_ = shift_rows128(mix_columns128(state_ ^ round_key_, true), true);
+          state_ = shift_rows128(mix_columns128(state_ ^ window_top4(), true), true);
         }
         sub_ = 0;
         phase_ = Phase::kSub;

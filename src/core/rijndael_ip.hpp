@@ -22,9 +22,23 @@
 //     block_size / latency.
 //
 // Decryption needs round keys in reverse order, so a key load is followed
-// by a 40-cycle key-setup pass (10 rounds x 4 KStran cycles) that derives
-// the round-10 key; during decryption the schedule then runs backwards on
-// the fly.  Encrypt-only devices skip the setup entirely.
+// by a key-setup pass of 4*Nr cycles (Nr rounds x 4 KStran cycles — the
+// paper's 40 for AES-128) that derives the final round key; during
+// decryption the schedule then runs backwards on the fly.  Encrypt-only
+// devices skip the setup entirely.
+//
+// Key-size generality: the core is built for one Rijndael geometry
+// (key_bits = 128/192/256; the block stays 128-bit, so Nk = 4/6/8 and
+// Nr = Nk+6).  The on-the-fly schedule generalizes as a *sliding window*
+// of the last Nk schedule words: each ByteSub cycle generates (encrypt,
+// setup) or recovers (decrypt) exactly one schedule word
+//     w[i] = w[i-Nk] ^ t(w[i-1])      t = KStran at Nk boundaries,
+//                                     SubWord at i%8==4 when Nk=8,
+// so the encrypt round key is always the window bottom (w[4r..4r+3]) and
+// the decrypt round key the window top.  For Nk=4 the window degenerates
+// bit-for-bit into the original round_key/next_key register pair.  Keys
+// wider than the 128-bit din load as ceil(Nk/4) consecutive wr_key beats
+// (words 0..3, then words 4..Nk-1 in the low lanes).
 //
 // Interface (paper Table 1): clk/setup/wr_data/wr_key/din/enc-dec inputs,
 // data_ok/dout outputs.  data_ok is modeled as a one-cycle completion
@@ -32,6 +46,7 @@
 // does not pin these semantics down; see DESIGN.md).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 
@@ -47,8 +62,8 @@ namespace aesip::core {
 enum class IpMode { kEncrypt, kDecrypt, kBoth };
 
 /// Live occupancy counters of the IP's clocked processes — the paper's
-/// cycle budget (4x ByteSub32 + 1x SR/MC/AK = 5 per round, 50 per block,
-/// 40 per decrypt key setup) kept as running totals instead of one-shot
+/// cycle budget (4x ByteSub32 + 1x SR/MC/AK = 5 per round, 5*Nr per block,
+/// 4*Nr per decrypt key setup) kept as running totals instead of one-shot
 /// test assertions. Counting is unconditional: each tick costs one
 /// indexed increment, cheap enough to leave on (bench_simspeed measures
 /// the instrumented kernel end to end).
@@ -56,7 +71,7 @@ struct IpCounters {
   // One slot per FSM phase, indexed by the phase the Rijndael process
   // executed that edge.
   std::uint64_t idle_cycles = 0;       ///< nothing staged (incl. block-start edges)
-  std::uint64_t key_setup_cycles = 0;  ///< round-10 key derivation (decrypt devices)
+  std::uint64_t key_setup_cycles = 0;  ///< final-round-key derivation (decrypt devices)
   std::uint64_t bytesub_cycles = 0;    ///< ByteSub32 / IByteSub32 slices (4 per round)
   std::uint64_t mix_cycles = 0;        ///< 128-bit SR/MC/AK (or AK/IMC/ISR) cycles
 
@@ -66,7 +81,7 @@ struct IpCounters {
   std::uint64_t data_writes = 0;   ///< wr_data load edges
 
   // Work completed.
-  std::uint64_t rounds_done = 0;  ///< cipher rounds finished (10 per block)
+  std::uint64_t rounds_done = 0;  ///< cipher rounds finished (Nr per block)
   std::uint64_t blocks_enc = 0;
   std::uint64_t blocks_dec = 0;
 
@@ -78,7 +93,8 @@ struct IpCounters {
     return rounds_done ? static_cast<double>(round_cycles()) / static_cast<double>(rounds_done)
                        : 0.0;
   }
-  /// Paper invariant: exactly 50 on any workload of completed blocks.
+  /// Paper invariant: exactly 5*Nr (50 for AES-128) on any workload of
+  /// completed blocks.
   double cycles_per_block() const noexcept {
     return blocks() ? static_cast<double>(round_cycles()) / static_cast<double>(blocks()) : 0.0;
   }
@@ -86,13 +102,17 @@ struct IpCounters {
 
 class RijndaelIp final : public hdl::Module {
  public:
+  // The paper's AES-128 instance figures (kept for the Table 2 harness and
+  // historical call sites; the general contracts are 5*Nr, 4*Nr — use the
+  // instance accessors below for anything geometry-dependent).
   static constexpr int kRounds = 10;
   static constexpr int kCyclesPerRound = 5;           // 4x ByteSub32 + 1x SR/MC/AK
   static constexpr int kCyclesPerBlock = 50;          // 10 rounds x 5
   static constexpr int kKeySetupCycles = 40;          // decrypt/both only
   static constexpr int kCyclesPerRoundAll32 = 12;     // the paper's all-32-bit baseline
 
-  RijndaelIp(hdl::Simulator& sim, IpMode mode);
+  /// Build the core for one geometry (key_bits = 128, 192 or 256).
+  RijndaelIp(hdl::Simulator& sim, IpMode mode, int key_bits = 128);
 
   // --- bus interface (paper Table 1) ---------------------------------------
   hdl::Signal<bool> setup;     ///< synchronous reset / configuration period
@@ -109,6 +129,14 @@ class RijndaelIp final : public hdl::Module {
 
   // --- status for tests and benches ----------------------------------------
   IpMode mode() const noexcept { return mode_; }
+  int key_bits() const noexcept { return 32 * nk_; }
+  int nk() const noexcept { return nk_; }              ///< key words (4/6/8)
+  int rounds() const noexcept { return nr_; }          ///< Nr (10/12/14)
+  int key_beats() const noexcept { return nk_ > 4 ? 2 : 1; }  ///< wr_key beats per load
+  int cycles_per_block() const noexcept { return 5 * nr_; }
+  int key_setup_cycles() const noexcept {
+    return mode_ == IpMode::kEncrypt ? 0 : 4 * nr_;
+  }
   bool busy() const noexcept { return phase_ != Phase::kIdle; }
   bool key_ready() const noexcept { return key_valid_; }
   /// True while a staged block waits in the Data_In register.
@@ -129,10 +157,19 @@ class RijndaelIp final : public hdl::Module {
 
   void start_block();
   void finish_block(const hdl::Word128& result);
-  /// Key-schedule staging step shared by encrypt rounds and key setup.
-  void stage_forward_key(int sub, int round, std::uint32_t kstran_data);
+  /// Generate schedule word gen_i_ into the window (encrypt rounds and key
+  /// setup); `sbox_data` is the KStran bank output for this cycle.
+  void generate_forward(std::uint32_t sbox_data);
+  /// Recover schedule word rec_m_ into the window (decrypt rounds).
+  void generate_inverse(std::uint32_t sbox_data);
+  /// The 128-bit window views the datapath consumes.
+  hdl::Word128 window_bottom4() const noexcept;  ///< encrypt round key w[4r..4r+3]
+  hdl::Word128 window_top4() const noexcept;     ///< decrypt round key
 
   IpMode mode_;
+  int nk_;             ///< key words (4/6/8)
+  int nr_;             ///< rounds (10/12/14)
+  int sched_words_;    ///< Nb*(Nr+1) = 44/52/60
 
   // S-box banks. Single-direction devices have a data bank + a KStran bank
   // (8 S-boxes = 16384 bits); the combined device has separate encrypt and
@@ -144,15 +181,17 @@ class RijndaelIp final : public hdl::Module {
 
   // Bus-side registers (Data_In / Key_In / Out processes).
   hdl::Word128 data_in_reg_;
-  hdl::Word128 key_reg_;
+  std::array<std::uint32_t, 8> key_words_{};  // registered key, one word per Nk
+  int key_beat_ = 0;                          // next wr_key beat (multi-beat loads)
   bool data_pending_ = false;
   bool key_valid_ = false;
 
   // Rijndael process registers.
   hdl::Word128 state_;
-  hdl::Word128 round_key_;     // current round key (fwd) / K_{r+1} (inverse)
-  hdl::Word128 next_key_;      // staging for the key being generated
-  hdl::Word128 dec_base_key_;  // round-10 key derived by key setup
+  std::array<std::uint32_t, 8> window_{};    // sliding window W[0..Nk-1]
+  std::array<std::uint32_t, 8> dec_base_{};  // final window derived by key setup
+  int gen_i_ = 0;   // next schedule index to generate (forward)
+  int rec_m_ = 0;   // next schedule index to recover (inverse, counts down)
   Phase phase_ = Phase::kIdle;
   int round_ = 0;
   int sub_ = 0;

@@ -18,6 +18,17 @@ const std::array<std::uint8_t, 16> kFipsC1Plain = {0x00, 0x11, 0x22, 0x33, 0x44,
                                                    0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
 const std::array<std::uint8_t, 16> kFipsC1Cipher = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
                                                     0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+const std::array<std::uint8_t, 24> kFipsC2Key = {
+    0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b,
+    0x0c, 0x0d, 0x0e, 0x0f, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17};
+const std::array<std::uint8_t, 16> kFipsC2Cipher = {0xdd, 0xa9, 0x7c, 0xa4, 0x86, 0x4c, 0xdf, 0xe0,
+                                                    0x6e, 0xaf, 0x70, 0xa0, 0xec, 0x0d, 0x71, 0x91};
+const std::array<std::uint8_t, 32> kFipsC3Key = {
+    0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a,
+    0x0b, 0x0c, 0x0d, 0x0e, 0x0f, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15,
+    0x16, 0x17, 0x18, 0x19, 0x1a, 0x1b, 0x1c, 0x1d, 0x1e, 0x1f};
+const std::array<std::uint8_t, 16> kFipsC3Cipher = {0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf,
+                                                    0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49, 0x60, 0x89};
 
 namespace {
 
@@ -53,10 +64,10 @@ struct Checker {
 
 }  // namespace
 
-TimingExpectation paper_timing(core::IpMode mode) noexcept {
-  TimingExpectation t;
-  if (mode == core::IpMode::kEncrypt) t.key_setup = 0;
-  return t;
+TimingExpectation paper_timing(core::IpMode mode, int key_bits) noexcept {
+  arch::VariantSpec spec;  // iterative by default
+  spec.key_bits = key_bits;
+  return timing_for_variant(spec, mode);
 }
 
 TimingExpectation timing_for_variant(const arch::VariantSpec& spec, core::IpMode mode) noexcept {
@@ -64,6 +75,8 @@ TimingExpectation timing_for_variant(const arch::VariantSpec& spec, core::IpMode
   t.block_latency = static_cast<std::uint64_t>(spec.block_latency_cycles());
   t.key_setup = static_cast<std::uint64_t>(spec.key_setup_cycles(mode));
   t.cycles_per_round = static_cast<std::uint64_t>(spec.cycles_per_round());
+  t.rounds = static_cast<std::uint64_t>(spec.nr());
+  t.key_bits = spec.key_bits;
   return t;
 }
 
@@ -82,59 +95,93 @@ ConformanceResult run_conformance(CipherEngine& e, const TimingExpectation& expe
   const std::uint64_t block_latency = timed ? expect.block_latency : 0;
   const std::uint64_t key_setup = timed ? expect.key_setup : 0;
 
-  // --- FIPS-197 Appendix B -------------------------------------------------
-  ck.equal_u64(e.load_key(kFipsBKey), key_setup, std::string(e.name()) + " B key setup cycles");
-  auto ct = e.process_block(kFipsBPlain, /*encrypt=*/true);
-  ck.equal_bytes(ct, kFipsBCipher, std::string(e.name()) + " FIPS-197 Appendix B encrypt");
-  ck.equal_u64(e.last_latency(), block_latency, std::string(e.name()) + " B block latency");
+  // The published vector suite for the geometry: Appendix B at 128 (with
+  // C.1 as a second key below), C.2 at 192, C.3 at 256.  C.2/C.3 share the
+  // C.1 plaintext.
+  std::span<const std::uint8_t> key1, cipher1;
+  const char* suite = "?";
+  switch (expect.key_bits) {
+    case 128: key1 = kFipsBKey; cipher1 = kFipsBCipher; suite = "B"; break;
+    case 192: key1 = kFipsC2Key; cipher1 = kFipsC2Cipher; suite = "C.2"; break;
+    case 256: key1 = kFipsC3Key; cipher1 = kFipsC3Cipher; suite = "C.3"; break;
+    default:
+      ++res.checks;
+      ++res.failures;
+      res.messages.push_back("unsupported key_bits " + std::to_string(expect.key_bits));
+      return res;
+  }
+  const std::span<const std::uint8_t> plain1 =
+      expect.key_bits == 128 ? std::span<const std::uint8_t>(kFipsBPlain)
+                             : std::span<const std::uint8_t>(kFipsC1Plain);
+  const std::string tag = std::string(e.name()) + " FIPS-197 Appendix " + suite;
+
+  // --- the published vector --------------------------------------------------
+  ck.equal_u64(e.load_key(key1), key_setup, tag + " key setup cycles");
+  auto ct = e.process_block(plain1, /*encrypt=*/true);
+  ck.equal_bytes(ct, cipher1, tag + " encrypt");
+  ck.equal_u64(e.last_latency(), block_latency, tag + " block latency");
   if (e.mode() == core::IpMode::kBoth) {
-    auto pt = e.process_block(kFipsBCipher, /*encrypt=*/false);
-    ck.equal_bytes(pt, kFipsBPlain, std::string(e.name()) + " FIPS-197 Appendix B decrypt");
-    ck.equal_u64(e.last_latency(), block_latency, std::string(e.name()) + " B decrypt latency");
+    auto pt = e.process_block(cipher1, /*encrypt=*/false);
+    ck.equal_bytes(pt, plain1, tag + " decrypt");
+    ck.equal_u64(e.last_latency(), block_latency, tag + " decrypt latency");
   }
 
-  // --- FIPS-197 Appendix C.1 ----------------------------------------------
-  ck.equal_u64(e.load_key(kFipsC1Key), key_setup, std::string(e.name()) + " C.1 key setup cycles");
-  ck.equal_u64(e.rekey(kFipsC1Key), 0, std::string(e.name()) + " resident rekey cycles");
-  ct = e.process_block(kFipsC1Plain, /*encrypt=*/true);
-  ck.equal_bytes(ct, kFipsC1Cipher, std::string(e.name()) + " FIPS-197 Appendix C.1 encrypt");
+  // --- a second key (re-key path) --------------------------------------------
+  // 128 has a second published vector (C.1); the wider sizes flip one byte
+  // of the suite key and check against the software reference.
+  std::vector<std::uint8_t> key2(key1.begin(), key1.end());
+  std::span<const std::uint8_t> plain2 = plain1;
+  std::array<std::uint8_t, 16> cipher2{};
+  if (expect.key_bits == 128) {
+    key2.assign(kFipsC1Key.begin(), kFipsC1Key.end());
+    plain2 = kFipsC1Plain;
+    cipher2 = kFipsC1Cipher;
+  } else {
+    key2[0] ^= 0xff;
+    aes::Rijndael::for_key(key2).encrypt_block(plain2, cipher2);
+  }
+  ck.equal_u64(e.load_key(key2), key_setup, std::string(e.name()) + " second key setup cycles");
+  ck.equal_u64(e.rekey(key2), 0, std::string(e.name()) + " resident rekey cycles");
+  ct = e.process_block(plain2, /*encrypt=*/true);
+  ck.equal_bytes(ct, cipher2, std::string(e.name()) + " second-key encrypt");
   if (e.mode() == core::IpMode::kBoth) {
-    auto pt = e.process_block(kFipsC1Cipher, /*encrypt=*/false);
-    ck.equal_bytes(pt, kFipsC1Plain, std::string(e.name()) + " FIPS-197 Appendix C.1 decrypt");
+    auto pt = e.process_block(cipher2, /*encrypt=*/false);
+    ck.equal_bytes(pt, plain2, std::string(e.name()) + " second-key decrypt");
   }
 
   // --- Monte Carlo chain ---------------------------------------------------
-  // ct_{i} = E(ct_{i-1}) from the Appendix B plaintext, checked against the
+  // ct_{i} = E(ct_{i-1}) from the suite plaintext, checked against the
   // software reference at the end of the chain (any single-block divergence
   // avalanches into the final value).
   if (monte_carlo_iters > 0) {
-    aes::Aes128 ref(kFipsBKey);
-    std::array<std::uint8_t, 16> want = kFipsBPlain;
+    const aes::Rijndael ref = aes::Rijndael::for_key(key1);
+    std::array<std::uint8_t, 16> want{};
+    std::copy(plain1.begin(), plain1.end(), want.begin());
     for (int i = 0; i < monte_carlo_iters; ++i) {
       std::array<std::uint8_t, 16> next{};
       ref.encrypt_block(want, next);
       want = next;
     }
-    ck.equal_u64(e.rekey(kFipsBKey), key_setup,
+    ck.equal_u64(e.rekey(key1), key_setup,
                  std::string(e.name()) + " Monte Carlo rekey cycles");
-    std::array<std::uint8_t, 16> got = kFipsBPlain;
+    std::array<std::uint8_t, 16> got{};
+    std::copy(plain1.begin(), plain1.end(), got.begin());
     for (int i = 0; i < monte_carlo_iters; ++i) got = e.process_block(got, /*encrypt=*/true);
     ck.equal_bytes(got, want, std::string(e.name()) + " Monte Carlo chain (" +
                                   std::to_string(monte_carlo_iters) + " iterations)");
   }
 
-  // --- paper cycle invariants ----------------------------------------------
+  // --- declared cycle invariants ---------------------------------------------
   const core::IpCounters c = e.counters();
   if (timed) {
     ck.equal_u64(c.round_cycles(), c.rounds_done * expect.cycles_per_round,
                  std::string(e.name()) + " cycles/round invariant");
-    ck.equal_u64(c.round_cycles(),
-                 c.blocks() * expect.cycles_per_round * core::RijndaelIp::kRounds,
+    ck.equal_u64(c.round_cycles(), c.blocks() * expect.cycles_per_round * expect.rounds,
                  std::string(e.name()) + " cycles/block invariant");
   } else {
     ck.equal_u64(e.cycles(), 0, std::string(e.name()) + " zero-cycle contract");
   }
-  ck.equal_u64(c.rounds_done, c.blocks() * core::RijndaelIp::kRounds,
+  ck.equal_u64(c.rounds_done, c.blocks() * expect.rounds,
                std::string(e.name()) + " rounds per block");
 
   res.total_cycles = e.cycles() - cycles0;

@@ -1,12 +1,13 @@
 // Cross-engine conformance vectors, shared by tests/test_engine_conformance
 // and the `aesip selftest` subcommand.
 //
-// One engine-agnostic runner: FIPS-197 Appendix B and Appendix C.1 vectors
-// (encrypt and, on decrypt-capable devices, decrypt), a Monte Carlo
-// encryption chain checked against the software reference, and the paper's
-// cycle invariants (50-cycle latency, 40-cycle key setup, 5 cycles/round)
-// on engines that model time.  Every engine kind must pass the same run —
-// that is the point of the engine layer.
+// One engine-agnostic runner: the FIPS-197 vectors for the engine's key
+// size — Appendix B + C.1 at 128, C.2 at 192, C.3 at 256 — (encrypt and,
+// on decrypt-capable devices, decrypt), a Monte Carlo encryption chain
+// checked against the software reference, and the declared cycle
+// invariants (5*Nr-cycle latency, 4*Nr-cycle key setup, 5 cycles/round on
+// the paper core) on engines that model time.  Every engine kind must pass
+// the same run at every key size — that is the point of the engine layer.
 #pragma once
 
 #include <string>
@@ -28,10 +29,17 @@ struct ConformanceResult {
 extern const std::array<std::uint8_t, 16> kFipsBKey;
 extern const std::array<std::uint8_t, 16> kFipsBPlain;
 extern const std::array<std::uint8_t, 16> kFipsBCipher;
-/// FIPS-197 Appendix C.1: key/plaintext/ciphertext.
+/// FIPS-197 Appendix C.1: key/plaintext/ciphertext (AES-128).
 extern const std::array<std::uint8_t, 16> kFipsC1Key;
 extern const std::array<std::uint8_t, 16> kFipsC1Plain;
 extern const std::array<std::uint8_t, 16> kFipsC1Cipher;
+/// FIPS-197 Appendix C.2: 24-byte key/ciphertext (AES-192; same plaintext
+/// as C.1).
+extern const std::array<std::uint8_t, 24> kFipsC2Key;
+extern const std::array<std::uint8_t, 16> kFipsC2Cipher;
+/// FIPS-197 Appendix C.3: 32-byte key/ciphertext (AES-256).
+extern const std::array<std::uint8_t, 32> kFipsC3Key;
+extern const std::array<std::uint8_t, 16> kFipsC3Cipher;
 
 /// The cycle prices a timed engine is held to.  The defaults are the
 /// paper's; variant engines declare their own (timing_for_variant).  All
@@ -40,16 +48,19 @@ struct TimingExpectation {
   std::uint64_t block_latency = core::RijndaelIp::kCyclesPerBlock;  ///< load edge -> data_ok
   std::uint64_t key_setup = core::RijndaelIp::kKeySetupCycles;      ///< mode-resolved, see below
   std::uint64_t cycles_per_round = core::RijndaelIp::kCyclesPerRound;
+  std::uint64_t rounds = core::RijndaelIp::kRounds;  ///< Nr of the geometry
+  int key_bits = 128;  ///< selects the FIPS vector suite the runner uses
 };
 
-/// The paper core's expectation for `mode` (key_setup is 0 on
-/// encrypt-only devices, 40 otherwise).
-TimingExpectation paper_timing(core::IpMode mode) noexcept;
+/// The paper core's expectation for `mode` at `key_bits` (key_setup is 0
+/// on encrypt-only devices, 4*Nr otherwise; latency 5*Nr).
+TimingExpectation paper_timing(core::IpMode mode, int key_bits = 128) noexcept;
 
 /// A variant-family member's declared schedule as a conformance contract.
 TimingExpectation timing_for_variant(const arch::VariantSpec& spec, core::IpMode mode) noexcept;
 
-/// Run the conformance vectors on `e` (expects a kBoth device).
+/// Run the conformance vectors on `e` (expects a kBoth device built for
+/// the paper geometry, AES-128).
 /// `monte_carlo_iters` chained encryptions are compared against the
 /// software reference (1000 for the full FIPS-style chain; netlist callers
 /// may pass fewer to bound gate-level runtime).

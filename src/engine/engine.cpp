@@ -48,10 +48,13 @@ void CipherEngine::process_batch(std::span<const std::uint8_t> in, std::span<std
 // --- SoftwareEngine ----------------------------------------------------------
 
 std::uint64_t SoftwareEngine::load_key(std::span<const std::uint8_t> key) {
-  if (key.size() != 16) throw std::invalid_argument("SoftwareEngine: key must be 16 bytes");
-  aes_.emplace(key);
+  if (key.size() != 16 && key.size() != 24 && key.size() != 32)
+    throw std::invalid_argument("SoftwareEngine: key must be 16, 24 or 32 bytes");
+  aes_.emplace(aes::Rijndael::for_key(key));
+  rounds_ = aes_->geometry().nr;
   ttable_.reset();  // rebuilt lazily on the next batch
   std::copy(key.begin(), key.end(), resident_key_.begin());
+  resident_key_len_ = key.size();
   ++counters_.key_writes;
   return 0;
 }
@@ -60,7 +63,7 @@ void SoftwareEngine::process_batch(std::span<const std::uint8_t> in, std::span<s
                                    bool encrypt) {
   const std::size_t n = check_batch_spans(in, out);
   if (!aes_) throw std::logic_error("SoftwareEngine: no key loaded");
-  if (!ttable_) ttable_.emplace(resident_key_);
+  if (!ttable_) ttable_.emplace(std::span(resident_key_).first(resident_key_len_));
   const bool dec = mode_ == core::IpMode::kDecrypt || (mode_ == core::IpMode::kBoth && !encrypt);
   for (std::size_t i = 0; i < n; ++i) {
     const auto src = in.subspan(16 * i, 16);
@@ -71,7 +74,7 @@ void SoftwareEngine::process_batch(std::span<const std::uint8_t> in, std::span<s
       ttable_->decrypt_block(src, dst);
   }
   counters_.data_writes += n;
-  counters_.rounds_done += static_cast<std::uint64_t>(core::RijndaelIp::kRounds) * n;
+  counters_.rounds_done += static_cast<std::uint64_t>(rounds_) * n;
   (dec ? counters_.blocks_dec : counters_.blocks_enc) += n;
   ++batch_stats_.calls;
   batch_stats_.blocks += n;
@@ -79,7 +82,7 @@ void SoftwareEngine::process_batch(std::span<const std::uint8_t> in, std::span<s
 }
 
 bool SoftwareEngine::key_resident(std::span<const std::uint8_t> key) const {
-  return aes_.has_value() && key.size() == 16 &&
+  return aes_.has_value() && key.size() == resident_key_len_ &&
          std::equal(key.begin(), key.end(), resident_key_.begin());
 }
 
@@ -93,7 +96,7 @@ std::array<std::uint8_t, 16> SoftwareEngine::do_process(std::span<const std::uin
     aes_->decrypt_block(block, out);
   const bool dec = mode_ == core::IpMode::kDecrypt || (mode_ == core::IpMode::kBoth && !encrypt);
   ++counters_.data_writes;
-  counters_.rounds_done += core::RijndaelIp::kRounds;
+  counters_.rounds_done += static_cast<std::uint64_t>(rounds_);
   ++(dec ? counters_.blocks_dec : counters_.blocks_enc);
   return out;
 }
@@ -105,7 +108,7 @@ BehavioralEngine::BehavioralEngine(const arch::VariantSpec& spec, core::IpMode m
   if (spec_.is_iterative()) {
     // The MixColumn style is a gate-level distinction only; the paper's
     // RijndaelIp is the behavioral twin of both iterative netlists.
-    ip_ = std::make_unique<core::RijndaelIp>(sim_, mode);
+    ip_ = std::make_unique<core::RijndaelIp>(sim_, mode, spec.key_bits);
     bus_ = std::make_unique<core::BusDriver>(sim_, *ip_);
     bus_->reset();
   } else {
@@ -117,8 +120,9 @@ BehavioralEngine::BehavioralEngine(const arch::VariantSpec& spec, core::IpMode m
 
 // --- NetlistEngine -----------------------------------------------------------
 
-std::shared_ptr<const netlist::Netlist> make_ip_netlist(core::IpMode mode) {
-  return std::make_shared<const netlist::Netlist>(core::synthesize_ip(mode, /*sbox_as_rom=*/true));
+std::shared_ptr<const netlist::Netlist> make_ip_netlist(core::IpMode mode, int key_bits) {
+  return std::make_shared<const netlist::Netlist>(core::synthesize_ip(
+      mode, netlist::SboxStyle::kRom, netlist::MixColStyle::kXtime, key_bits));
 }
 
 std::shared_ptr<const netlist::Netlist> make_variant_netlist(const arch::VariantSpec& spec,
@@ -140,19 +144,21 @@ NetlistEngine::NetlistEngine(std::shared_ptr<const netlist::Netlist> nl,
 }
 
 std::uint64_t NetlistEngine::load_key(std::span<const std::uint8_t> key) {
-  if (key.size() != 16) throw std::invalid_argument("NetlistEngine: key must be 16 bytes");
+  if (static_cast<int>(key.size()) * 8 != spec_.key_bits)
+    throw std::invalid_argument("NetlistEngine: key must be " +
+                                std::to_string(spec_.key_bits / 8) + " bytes for " + spec_.name());
   const std::uint64_t setup =
       static_cast<std::uint64_t>(spec_.key_setup_cycles(mode_));
   drv_.load_key(key, static_cast<int>(setup));
   std::copy(key.begin(), key.end(), resident_key_.begin());
-  has_resident_key_ = true;
+  resident_key_len_ = key.size();
   ++counters_.key_writes;
   counters_.key_setup_cycles += setup;
   return setup;
 }
 
 bool NetlistEngine::key_resident(std::span<const std::uint8_t> key) const {
-  return has_resident_key_ && key.size() == 16 &&
+  return resident_key_len_ != 0 && key.size() == resident_key_len_ &&
          std::equal(key.begin(), key.end(), resident_key_.begin());
 }
 
@@ -170,13 +176,13 @@ void NetlistEngine::run_pass(std::span<const std::uint8_t> in, std::span<std::ui
   // cycle counted under mix_cycles (matching VariantIp's attribution).
   const std::uint64_t bytesub_per_round =
       spec_.is_iterative() ? core::RijndaelIp::kCyclesPerRound - 1 : 0;
+  const std::uint64_t rounds = static_cast<std::uint64_t>(spec_.nr());
   const bool dec = mode_ == core::IpMode::kDecrypt || (mode_ == core::IpMode::kBoth && !encrypt);
   counters_.data_writes += n;
   counters_.idle_cycles += n;  // the load edge executes in kIdle (block start)
-  counters_.bytesub_cycles +=
-      static_cast<std::uint64_t>(core::RijndaelIp::kRounds) * bytesub_per_round * n;
-  counters_.mix_cycles += static_cast<std::uint64_t>(core::RijndaelIp::kRounds) * n;
-  counters_.rounds_done += static_cast<std::uint64_t>(core::RijndaelIp::kRounds) * n;
+  counters_.bytesub_cycles += rounds * bytesub_per_round * n;
+  counters_.mix_cycles += rounds * n;
+  counters_.rounds_done += rounds * n;
   (dec ? counters_.blocks_dec : counters_.blocks_enc) += n;
 }
 

@@ -10,7 +10,7 @@
 //
 // Cycle-cost semantics (see docs/engine.md for the full contract):
 //
-//   * SoftwareEngine    — aes::Aes128, zero-cycle functional model: cycles()
+//   * SoftwareEngine    — aes::Rijndael, zero-cycle functional model: cycles()
 //                         and last_latency() are always 0; the work counters
 //                         (blocks, rounds) still advance.
 //   * BehavioralEngine  — Simulator + RijndaelIp + GenericBusDriver; every
@@ -71,8 +71,10 @@ class CipherEngine {
   virtual core::IpMode mode() const noexcept = 0;
 
   // --- key management --------------------------------------------------------
-  /// Install a 16-byte key; returns the key-setup cycles spent (40 on
-  /// decrypt-capable cycle engines, else 0).
+  /// Install a 16/24/32-byte key (AES-128/192/256); returns the key-setup
+  /// cycles spent (4*Nr on decrypt-capable cycle engines, else 0).  Cycle
+  /// engines are built for one geometry and reject keys of another size;
+  /// the software engine re-derives its geometry from the key length.
   virtual std::uint64_t load_key(std::span<const std::uint8_t> key) = 0;
   /// True when `key` is installed and ready — a rekey() would cost 0 cycles.
   virtual bool key_resident(std::span<const std::uint8_t> key) const = 0;
@@ -178,7 +180,9 @@ class CipherEngine {
   bool staged_encrypt_ = true;
 };
 
-/// Zero-cycle functional reference: aes::Aes128 behind the engine contract.
+/// Zero-cycle functional reference: aes::Rijndael behind the engine
+/// contract.  Geometry-agnostic: the key length of each load_key selects
+/// AES-128/192/256 (cycle engines fix their geometry at construction).
 class SoftwareEngine final : public CipherEngine {
  public:
   explicit SoftwareEngine(core::IpMode mode = core::IpMode::kBoth) : mode_(mode) {}
@@ -204,9 +208,11 @@ class SoftwareEngine final : public CipherEngine {
 
  private:
   core::IpMode mode_;
-  std::optional<aes::Aes128> aes_;
-  std::optional<aes::TTableAes128> ttable_;  ///< batch path, built per key
-  std::array<std::uint8_t, 16> resident_key_{};
+  std::optional<aes::Rijndael> aes_;
+  std::optional<aes::TTableRijndael> ttable_;  ///< batch path, built per key
+  std::array<std::uint8_t, 32> resident_key_{};
+  std::size_t resident_key_len_ = 0;
+  int rounds_ = 10;  ///< Nr of the resident key's geometry
   core::IpCounters counters_;
 };
 
@@ -226,12 +232,14 @@ class BehavioralEngine final : public CipherEngine {
   const arch::VariantSpec& variant() const noexcept { return spec_; }
 
   std::uint64_t load_key(std::span<const std::uint8_t> key) override {
+    check_key_length(key);
     return var_bus_ ? var_bus_->load_key(key) : bus_->load_key(key);
   }
   bool key_resident(std::span<const std::uint8_t> key) const override {
     return var_bus_ ? var_bus_->key_resident(key) : bus_->key_resident(key);
   }
   std::uint64_t rekey(std::span<const std::uint8_t> key) override {
+    check_key_length(key);
     return var_bus_ ? var_bus_->rekey(key) : bus_->rekey(key);
   }
 
@@ -264,6 +272,14 @@ class BehavioralEngine final : public CipherEngine {
   }
 
  private:
+  /// The core's geometry is fixed at construction; a key of any other
+  /// length is a caller bug, caught before it reaches the bus.
+  void check_key_length(std::span<const std::uint8_t> key) const {
+    if (static_cast<int>(key.size()) * 8 != spec_.key_bits)
+      throw std::invalid_argument("engine: " + spec_.name() + " takes a " +
+                                  std::to_string(spec_.key_bits / 8) + "-byte key");
+  }
+
   hdl::Simulator sim_;
   arch::VariantSpec spec_;
   core::IpMode mode_;
@@ -276,8 +292,9 @@ class BehavioralEngine final : public CipherEngine {
 
 /// Synthesize the IP netlist an engine (or a farm of them) will evaluate.
 /// Immutable and thread-safe to share: each engine gets its own Evaluator
-/// state over the common gate graph.
-std::shared_ptr<const netlist::Netlist> make_ip_netlist(core::IpMode mode);
+/// state over the common gate graph.  `key_bits` selects the Rijndael key
+/// size the core is built for (128/192/256).
+std::shared_ptr<const netlist::Netlist> make_ip_netlist(core::IpMode mode, int key_bits = 128);
 
 /// Synthesize the gate netlist of any variant-family member, sharable the
 /// same way (farms cache one per variant name).
@@ -344,8 +361,8 @@ class NetlistEngine final : public CipherEngine {
   core::IpMode mode_;
   core::GateIpBatchDriver drv_;
   std::uint64_t last_latency_ = 0;
-  std::array<std::uint8_t, 16> resident_key_{};
-  bool has_resident_key_ = false;
+  std::array<std::uint8_t, 32> resident_key_{};
+  std::size_t resident_key_len_ = 0;
   core::IpCounters counters_;
 };
 

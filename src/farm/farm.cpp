@@ -47,24 +47,37 @@ const char* mode_name(Mode m) noexcept {
 // whole locking story.
 class WorkerContext {
  public:
-  WorkerContext(std::function<std::unique_ptr<engine::CipherEngine>()> make, const char* lbl,
-                unsigned seed)
+  using KbFactory = std::function<std::unique_ptr<engine::CipherEngine>(int)>;
+
+  WorkerContext(KbFactory make, const char* lbl, unsigned seed, int key_bits)
       : factory(std::move(make)),
         label(lbl),
-        engine(factory()),
-        cipher(*engine),
+        primary_bits(key_bits),
+        engine(factory(primary_bits)),
         spot_rng(seed * 2654435761u + 1u) {}
 
-  /// Install a fresh (already keyed) engine. Rebinding the cipher adapter
-  /// is mandatory — it holds a raw pointer into the old engine. Factory and
-  /// label only change on a kind swap, not on a same-kind heal.
-  void adopt(std::unique_ptr<engine::CipherEngine> fresh,
-             std::function<std::unique_ptr<engine::CipherEngine>()> new_factory,
-             const char* new_label) {
+  /// The engine that runs a `bits`-bit key: the worker's primary engine
+  /// when the size matches its configured geometry, else a lazily built
+  /// sibling of the same kind/variant geared for `bits` (cached until the
+  /// next swap or heal).  Cycle engines are built for one key size, so a
+  /// key-length mix on one worker costs one engine per distinct size.
+  engine::CipherEngine& engine_for(int bits) {
+    if (bits == primary_bits) return *engine;
+    auto& slot = siblings[bits];
+    if (!slot) slot = factory(bits);
+    return *slot;
+  }
+
+  /// Install a fresh primary engine, dropping every sibling (they were
+  /// built by the old factory). Factory, label and geometry only change on
+  /// a kind/variant swap, not on a same-kind heal.
+  void adopt(std::unique_ptr<engine::CipherEngine> fresh, KbFactory new_factory,
+             const char* new_label, int new_primary_bits) {
     engine = std::move(fresh);
-    cipher = engine::EngineBlockCipher(*engine);
+    siblings.clear();
     if (new_factory) factory = std::move(new_factory);
     if (new_label) label = new_label;
+    if (new_primary_bits) primary_bits = new_primary_bits;
   }
 
   /// Bernoulli(fraction) draw for the spot-check policy.
@@ -73,13 +86,17 @@ class WorkerContext {
     return std::uniform_real_distribution<double>(0.0, 1.0)(spot_rng) < fraction;
   }
 
-  std::function<std::unique_ptr<engine::CipherEngine>()> factory;
+  KbFactory factory;
   const char* label;  ///< static-duration engine name for stats
+  int primary_bits;   ///< the configured geometry (siblings carry the rest)
   std::unique_ptr<engine::CipherEngine> engine;
-  engine::EngineBlockCipher cipher;
-  Key128 last_key{};     ///< most recent key this worker ran — swap replays it
+  std::map<int, std::unique_ptr<engine::CipherEngine>> siblings;  ///< by key bits
+  KeyBytes last_key{};   ///< most recent key this worker ran — swap replays it
   bool has_key = false;
   std::minstd_rand spot_rng;
+  // Adaptive spot-check state (FarmConfig::spot_check_boost_fraction).
+  bool boosted = false;
+  std::uint64_t clean_streak = 0;  ///< consecutive clean checks while boosted
 };
 
 Farm::Farm(const FarmConfig& cfg) : cfg_(cfg), sessions_(cfg.workers, cfg.max_sessions) {
@@ -87,19 +104,22 @@ Farm::Farm(const FarmConfig& cfg) : cfg_(cfg), sessions_(cfg.workers, cfg.max_se
   if (cfg_.ctr_chunk_blocks == 0) cfg_.ctr_chunk_blocks = 1;
   worker_factories_.resize(static_cast<std::size_t>(cfg_.workers));
   worker_labels_.resize(static_cast<std::size_t>(cfg_.workers));
+  worker_key_bits_.assign(static_cast<std::size_t>(cfg_.workers), 128);
   if (cfg_.engine_factory) {
-    engine_factory_ = cfg_.engine_factory;
+    // Custom factories are key-size-blind: the one engine they build must
+    // accept whatever key lengths the traffic carries.
     for (int i = 0; i < cfg_.workers; ++i) {
-      worker_factories_[static_cast<std::size_t>(i)] = engine_factory_;
+      worker_factories_[static_cast<std::size_t>(i)] =
+          [make = cfg_.engine_factory](int) { return make(); };
       worker_labels_[static_cast<std::size_t>(i)] = engine_name_;
     }
   } else {
     engine_name_ = engine::kind_name(cfg_.engine);
-    engine_factory_ = factory_for(cfg_.engine, arch::VariantSpec{});
     for (int i = 0; i < cfg_.workers; ++i) {
       const arch::VariantSpec v = variant_for_worker(i);
       worker_factories_[static_cast<std::size_t>(i)] = factory_for(cfg_.engine, v);
       worker_labels_[static_cast<std::size_t>(i)] = engine_label(cfg_.engine, v);
+      worker_key_bits_[static_cast<std::size_t>(i)] = v.key_bits;
     }
   }
   worker_engine_ = std::make_unique<std::atomic<const char*>[]>(
@@ -212,7 +232,8 @@ std::future<Result> Farm::submit_fanout(Request req) {
 void Farm::worker_main(int index) {
   WorkerContext ctx(worker_factories_[static_cast<std::size_t>(index)],
                     worker_labels_[static_cast<std::size_t>(index)],
-                    static_cast<unsigned>(index));
+                    static_cast<unsigned>(index),
+                    worker_key_bits_[static_cast<std::size_t>(index)]);
   auto& queue = *queues_[static_cast<std::size_t>(index)];
   // Drain a burst per wake-up: under load a lane-packed engine (netlist)
   // then sees back-to-back jobs without a queue round-trip between them,
@@ -236,8 +257,12 @@ void Farm::execute(Job& job, WorkerContext& ctx, int index) {
   queue_wait_us_hist_.record(static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(t_start - job.t_submit).count()));
   try {
-    const std::uint64_t c0 = ctx.engine->cycles();
-    const std::uint64_t setup = ctx.engine->rekey(job.key);
+    // The job's key length picks the engine: the worker's primary core
+    // when it matches, else a same-variant sibling geared for that size.
+    engine::CipherEngine& eng = ctx.engine_for(job.key.bits());
+    engine::EngineBlockCipher cipher(eng);
+    const std::uint64_t c0 = eng.cycles();
+    const std::uint64_t setup = eng.rekey(job.key.view());
     ctx.last_key = job.key;  // swap_engine replays this onto the fresh engine
     ctx.has_key = true;
     const std::span<const std::uint8_t, aes::kBlock> iv(job.iv.data(), aes::kBlock);
@@ -248,28 +273,35 @@ void Farm::execute(Job& job, WorkerContext& ctx, int index) {
     std::vector<std::uint8_t> out;
     switch (job.mode) {
       case Mode::kEcb:
-        out = engine::ecb_crypt_batched(*ctx.engine, job.payload, job.encrypt);
+        out = engine::ecb_crypt_batched(eng, job.payload, job.encrypt);
         break;
       case Mode::kCbc:
-        out = job.encrypt ? aes::cbc_encrypt(ctx.cipher, iv, job.payload)
-                          : engine::cbc_decrypt_batched(*ctx.engine, iv, job.payload);
+        out = job.encrypt ? aes::cbc_encrypt(cipher, iv, job.payload)
+                          : engine::cbc_decrypt_batched(eng, iv, job.payload);
         break;
       case Mode::kCtr:
-        out = engine::ctr_crypt_batched(*ctx.engine, iv, job.payload);
+        out = engine::ctr_crypt_batched(eng, iv, job.payload);
         break;
     }
     // Capture the cycle delta now: a heal below replaces the engine (and
     // its cycle counter) before the accounting lines run.
-    const std::uint64_t cycles = ctx.engine->cycles() - c0;
+    const std::uint64_t cycles = eng.cycles() - c0;
 
     // Spot-check policy: re-run a sampled fraction of jobs through the
-    // software oracle. A mismatch means the *engine* is corrupted (SEU,
-    // chaos injection) — the client gets the oracle's bytes either way, so
-    // corruption is contained to this worker and never observable outside.
+    // software oracle (the geometry-matched aes::Rijndael). A mismatch
+    // means the *engine* is corrupted (SEU, chaos injection) — the client
+    // gets the oracle's bytes either way, so corruption is contained to
+    // this worker and never observable outside.  The adaptive controller:
+    // a mismatch raises this worker's sampling to the boost rate until
+    // spot_check_decay_jobs consecutive checks come back clean.
     bool replayed = false;
-    if (cfg_.spot_check_fraction > 0.0 && ctx.sample(cfg_.spot_check_fraction)) {
+    const double base_rate = cfg_.spot_check_fraction;
+    const double boost_rate = std::max(cfg_.spot_check_boost_fraction, base_rate);
+    const double rate = ctx.boosted ? boost_rate : base_rate;
+    if (rate > 0.0 && ctx.sample(rate)) {
       spot_checks_.fetch_add(1, std::memory_order_relaxed);
-      aes::Aes128 ref(job.key);
+      if (ctx.boosted) spot_boost_checks_.fetch_add(1, std::memory_order_relaxed);
+      const aes::Rijndael ref = aes::Rijndael::for_key(job.key.view());
       std::vector<std::uint8_t> expected;
       switch (job.mode) {
         case Mode::kEcb:
@@ -289,6 +321,14 @@ void Farm::execute(Job& job, WorkerContext& ctx, int index) {
         replayed_jobs_.fetch_add(1, std::memory_order_relaxed);
         out = std::move(expected);  // answer with the correct bytes
         replayed = true;
+        if (cfg_.spot_check_boost_fraction > 0.0) {
+          if (!ctx.boosted) {
+            ctx.boosted = true;
+            spot_boosts_.fetch_add(1, std::memory_order_relaxed);
+            workers_boosted_.fetch_add(1, std::memory_order_relaxed);
+          }
+          ctx.clean_streak = 0;
+        }
         if (cfg_.heal_on_mismatch) {
           // Quarantine-and-heal inline, between jobs, on the owning thread:
           // no other thread can touch this engine, so the rebuild is
@@ -297,6 +337,10 @@ void Farm::execute(Job& job, WorkerContext& ctx, int index) {
           heals_.fetch_add(1, std::memory_order_relaxed);
           quarantines_.fetch_add(1, std::memory_order_relaxed);
         }
+      } else if (ctx.boosted && ++ctx.clean_streak >= cfg_.spot_check_decay_jobs) {
+        ctx.boosted = false;
+        ctx.clean_streak = 0;
+        workers_boosted_.fetch_sub(1, std::memory_order_relaxed);
       }
     }
 
@@ -372,37 +416,45 @@ arch::VariantSpec Farm::variant_for_worker(int index) const {
   return cfg_.worker_variants[static_cast<std::size_t>(index) % cfg_.worker_variants.size()];
 }
 
-std::function<std::unique_ptr<engine::CipherEngine>()> Farm::factory_for(
+std::shared_ptr<const netlist::Netlist> Farm::netlist_for(const arch::VariantSpec& spec) {
+  // Synthesize once per variant (and key size — the name carries the @192/
+  // @256 suffix), ever: the construction-time netlists and every later
+  // swap or wide-key sibling share the same immutable gate graphs. The
+  // paper core keeps its dedicated slot (shared_netlist()) because the
+  // chaos injector classifies fault sites against it.
+  std::lock_guard lk(netlist_mu_);
+  if (spec == arch::VariantSpec{}) {
+    if (!shared_netlist_) shared_netlist_ = engine::make_ip_netlist(core::IpMode::kBoth);
+    return shared_netlist_;
+  }
+  auto& slot = variant_netlists_[spec.name()];
+  if (!slot) slot = engine::make_variant_netlist(spec, core::IpMode::kBoth);
+  return slot;
+}
+
+std::function<std::unique_ptr<engine::CipherEngine>(int)> Farm::factory_for(
     engine::EngineKind kind, const arch::VariantSpec& variant) {
   switch (kind) {
     case engine::EngineKind::kSoftware:
-      // Variant-blind: every family member computes the same function.
-      return []() -> std::unique_ptr<engine::CipherEngine> {
+      // Variant- and geometry-blind: one software engine runs any key size.
+      return [](int) -> std::unique_ptr<engine::CipherEngine> {
         return std::make_unique<engine::SoftwareEngine>(core::IpMode::kBoth);
       };
     case engine::EngineKind::kBehavioral:
-      return [variant]() -> std::unique_ptr<engine::CipherEngine> {
-        return std::make_unique<engine::BehavioralEngine>(variant, core::IpMode::kBoth);
+      return [variant](int key_bits) -> std::unique_ptr<engine::CipherEngine> {
+        arch::VariantSpec v = variant;
+        v.key_bits = key_bits;
+        return std::make_unique<engine::BehavioralEngine>(v, core::IpMode::kBoth);
       };
     case engine::EngineKind::kNetlist: {
-      // Synthesize once per variant, ever: the construction-time netlists
-      // and every later swap share the same immutable gate graphs. The
-      // paper core keeps its dedicated slot (shared_netlist()) because the
-      // chaos injector classifies fault sites against it.
-      std::shared_ptr<const netlist::Netlist> nl;
-      {
-        std::lock_guard lk(netlist_mu_);
-        if (variant == arch::VariantSpec{}) {
-          if (!shared_netlist_) shared_netlist_ = engine::make_ip_netlist(core::IpMode::kBoth);
-          nl = shared_netlist_;
-        } else {
-          auto& slot = variant_netlists_[variant.name()];
-          if (!slot) slot = engine::make_variant_netlist(variant, core::IpMode::kBoth);
-          nl = slot;
-        }
-      }
-      return [nl, variant]() -> std::unique_ptr<engine::CipherEngine> {
-        return std::make_unique<engine::NetlistEngine>(nl, variant, core::IpMode::kBoth);
+      // Pre-synthesize the variant's own geometry so swap_engine pays the
+      // synthesis on the control plane; other key sizes synthesize lazily
+      // (on the worker, first wide-key job) into the same cache.
+      netlist_for(variant);
+      return [this, variant](int key_bits) -> std::unique_ptr<engine::CipherEngine> {
+        arch::VariantSpec v = variant;
+        v.key_bits = key_bits;
+        return std::make_unique<engine::NetlistEngine>(netlist_for(v), v, core::IpMode::kBoth);
       };
     }
   }
@@ -421,9 +473,11 @@ void Farm::push_control(int worker, std::function<void(WorkerContext&, int)> fn)
 
 std::uint64_t Farm::heal_worker(WorkerContext& ctx, int index) {
   const auto t0 = std::chrono::steady_clock::now();
-  auto fresh = ctx.factory();
-  if (ctx.has_key) fresh->load_key(ctx.last_key);
-  ctx.adopt(std::move(fresh), {}, nullptr);  // same kind, same factory
+  auto fresh = ctx.factory(ctx.primary_bits);
+  ctx.adopt(std::move(fresh), {}, nullptr, 0);  // same kind, factory, geometry
+  // Replay the key onto the engine that matches its size (a sibling is
+  // rebuilt lazily here when the last key was a different geometry).
+  if (ctx.has_key) ctx.engine_for(ctx.last_key.bits()).load_key(ctx.last_key.view());
   worker_engine_[static_cast<std::size_t>(index)].store(ctx.label, std::memory_order_relaxed);
   return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
                                         std::chrono::steady_clock::now() - t0)
@@ -438,22 +492,23 @@ std::future<SwapReport> Farm::swap_engine(int worker, engine::EngineKind kind,
                                           const arch::VariantSpec& variant) {
   auto factory = factory_for(kind, variant);  // synthesis (if any) happens HERE, not on the worker
   const char* label = engine_label(kind, variant);
+  const int primary_bits = variant.key_bits;
   auto prom = std::make_shared<std::promise<SwapReport>>();
   auto future = prom->get_future();
-  push_control(worker, [this, factory = std::move(factory), label, prom](WorkerContext& ctx,
-                                                                         int index) {
+  push_control(worker, [this, factory = std::move(factory), label, primary_bits,
+                        prom](WorkerContext& ctx, int index) {
     try {
       SwapReport rep;
       rep.worker = index;
       rep.from = ctx.label;
       rep.to = label;
       const auto t0 = std::chrono::steady_clock::now();
-      auto fresh = factory();
+      auto fresh = factory(primary_bits);
+      ctx.adopt(std::move(fresh), factory, label, primary_bits);
       if (ctx.has_key) {
-        rep.setup_cycles = fresh->load_key(ctx.last_key);
+        rep.setup_cycles = ctx.engine_for(ctx.last_key.bits()).load_key(ctx.last_key.view());
         rep.key_replayed = true;
       }
-      ctx.adopt(std::move(fresh), factory, label);
       rep.pause_us = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
                                                                 t0)
@@ -529,6 +584,9 @@ FarmStats Farm::stats() const {
   s.spot_checks = spot_checks_.load(std::memory_order_relaxed);
   s.spot_mismatches = spot_mismatches_.load(std::memory_order_relaxed);
   s.replayed_jobs = replayed_jobs_.load(std::memory_order_relaxed);
+  s.spot_boosts = spot_boosts_.load(std::memory_order_relaxed);
+  s.spot_boost_checks = spot_boost_checks_.load(std::memory_order_relaxed);
+  s.workers_boosted = workers_boosted_.load(std::memory_order_relaxed);
   s.sessions_migrated = sc.sessions_migrated;
   s.workers_enabled = sessions_.workers_enabled();
   s.swap_pause_us = swap_pause_us_hist_.snapshot();
@@ -630,6 +688,10 @@ std::string FarmStats::report(double clock_ns) const {
         static_cast<unsigned long long>(spot_checks),
         static_cast<unsigned long long>(replayed_jobs),
         static_cast<unsigned long long>(sessions_migrated));
+  if (spot_boosts)
+    add("  adaptive:  %llu boost episodes, %llu boosted checks, %d workers boosted now\n",
+        static_cast<unsigned long long>(spot_boosts),
+        static_cast<unsigned long long>(spot_boost_checks), workers_boosted);
   add("  simulated: %.2f cycles/block (ideal 50), %llu setup cycles, makespan %llu cycles\n",
       cycles_per_block(), static_cast<unsigned long long>(total_setup_cycles),
       static_cast<unsigned long long>(max_worker_cycles));
@@ -707,6 +769,9 @@ void FarmStats::write_json(std::ostream& os, double clock_ns) const {
   j.key("spot_checks").value(spot_checks);
   j.key("spot_mismatches").value(spot_mismatches);
   j.key("replayed_jobs").value(replayed_jobs);
+  j.key("spot_boosts").value(spot_boosts);
+  j.key("spot_boost_checks").value(spot_boost_checks);
+  j.key("workers_boosted").value(workers_boosted);
   j.key("sessions_migrated").value(sessions_migrated);
   j.key("workers_enabled").value(workers_enabled);
   j.key("swap_pause_us");

@@ -93,13 +93,20 @@ struct FarmConfig {
   /// before touching the next job. 0 disables checking (the default).
   double spot_check_fraction = 0.0;
   bool heal_on_mismatch = true;
+  /// Adaptive spot-check controller: after a mismatch the worker samples at
+  /// `spot_check_boost_fraction` (clamped up to at least the base rate)
+  /// until `spot_check_decay_jobs` consecutive clean checks pass, then
+  /// decays back to the base rate.  0 keeps the static policy.  Boost
+  /// episodes and boosted checks are counted in FarmStats / FleetStatus.
+  double spot_check_boost_fraction = 0.0;
+  std::uint64_t spot_check_decay_jobs = 64;
 };
 
 struct Request {
   std::uint64_t session_id = 0;
   Mode mode = Mode::kCbc;
   bool encrypt = true;           ///< CTR ignores this (XOR is symmetric)
-  Key128 key{};
+  KeyBytes key{};                ///< 16/24/32 bytes: the length picks AES-128/192/256
   Key128 iv{};                   ///< IV (CBC) / initial counter (CTR); unused by ECB
   std::vector<std::uint8_t> payload;  ///< whole blocks for ECB/CBC; any length for CTR
 };
@@ -212,7 +219,7 @@ class Farm {
   struct Job {
     Mode mode = Mode::kEcb;
     bool encrypt = true;
-    Key128 key{};
+    KeyBytes key{};
     Key128 iv{};  ///< IV, or this chunk's starting counter
     std::vector<std::uint8_t> payload;
     bool key_hot_predicted = false;
@@ -243,22 +250,28 @@ class Farm {
 
   /// The variant worker `index` is configured to run.
   arch::VariantSpec variant_for_worker(int index) const;
-  /// Factory for `kind` running `variant`, sharing (and lazily caching)
-  /// the farm-wide per-variant netlists.
-  std::function<std::unique_ptr<engine::CipherEngine>()> factory_for(
+  /// Factory for `kind` running `variant` at any requested key size (the
+  /// int argument overrides variant.key_bits), sharing (and lazily adding
+  /// to) the farm-wide per-variant netlist cache.  The netlist for the
+  /// variant's own key size is synthesized eagerly, so swap_engine pays
+  /// synthesis on the control plane, not the worker.
+  std::function<std::unique_ptr<engine::CipherEngine>(int)> factory_for(
       engine::EngineKind kind, const arch::VariantSpec& variant);
+  /// The shared immutable netlist for `spec` (synthesizes on first use).
+  std::shared_ptr<const netlist::Netlist> netlist_for(const arch::VariantSpec& spec);
   /// Front-push a control job onto `worker`'s queue (range-checked).
   void push_control(int worker, std::function<void(WorkerContext&, int)> fn);
   /// Inline quarantine-rebuild on the owning thread; returns the pause in us.
   std::uint64_t heal_worker(WorkerContext& ctx, int index);
 
   FarmConfig cfg_;
-  std::function<std::unique_ptr<engine::CipherEngine>()> engine_factory_;
   const char* engine_name_ = "custom";  ///< for stats; kind name or "custom"
   /// Per-worker engine factory + label (the configured variant mix);
-  /// filled at construction, read by each worker at thread start.
-  std::vector<std::function<std::unique_ptr<engine::CipherEngine>()>> worker_factories_;
+  /// filled at construction, read by each worker at thread start.  Each
+  /// factory takes the key size (bits) the engine must be geared for.
+  std::vector<std::function<std::unique_ptr<engine::CipherEngine>(int)>> worker_factories_;
   std::vector<const char*> worker_labels_;
+  std::vector<int> worker_key_bits_;  ///< each worker's configured (primary) key size
   SessionTable sessions_;
   std::vector<std::unique_ptr<BoundedQueue<Job>>> queues_;
   std::vector<WorkerCounters> counters_;
@@ -289,6 +302,9 @@ class Farm {
   std::atomic<std::uint64_t> spot_checks_{0};
   std::atomic<std::uint64_t> spot_mismatches_{0};
   std::atomic<std::uint64_t> replayed_jobs_{0};
+  std::atomic<std::uint64_t> spot_boosts_{0};        ///< adaptive boost episodes entered
+  std::atomic<std::uint64_t> spot_boost_checks_{0};  ///< checks sampled at the boosted rate
+  std::atomic<int> workers_boosted_{0};              ///< gauge: workers currently boosted
   obs::Histogram swap_pause_us_hist_;
   /// Per-worker engine label, written by the owner on swap/heal, read by
   /// stats(); values are static-duration kind names (or "custom").

@@ -8,7 +8,7 @@ SessionTable::SessionTable(int workers, std::size_t max_sessions)
     : slots_(workers > 0 ? static_cast<std::size_t>(workers) : 1),
       max_sessions_(max_sessions ? max_sessions : 1) {}
 
-int SessionTable::touch_slot_with_key_locked(const Key128& key) {
+int SessionTable::touch_slot_with_key_locked(const KeyBytes& key) {
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (slots_[i].enabled && slots_[i].key && *slots_[i].key == key) {
       slots_[i].last_used = ++tick_;
@@ -18,7 +18,7 @@ int SessionTable::touch_slot_with_key_locked(const Key128& key) {
   return -1;
 }
 
-int SessionTable::evict_lru_slot_locked(const Key128& key) {
+int SessionTable::evict_lru_slot_locked(const KeyBytes& key) {
   // LRU victim among enabled slots; if every worker is disabled, fall back
   // to a plain LRU over all of them — routing must never deadlock.
   std::size_t victim = slots_.size();
@@ -36,7 +36,7 @@ int SessionTable::evict_lru_slot_locked(const Key128& key) {
   return static_cast<int>(victim);
 }
 
-void SessionTable::insert_session_locked(std::uint64_t session_id, const Key128& key,
+void SessionTable::insert_session_locked(std::uint64_t session_id, const KeyBytes& key,
                                          int worker) {
   if (sessions_.size() >= max_sessions_ && !sessions_.count(session_id)) {
     auto lru = sessions_.begin();
@@ -51,7 +51,7 @@ void SessionTable::insert_session_locked(std::uint64_t session_id, const Key128&
   s.last_used = ++tick_;
 }
 
-SessionTable::Route SessionTable::route(std::uint64_t session_id, const Key128& key) {
+SessionTable::Route SessionTable::route(std::uint64_t session_id, const KeyBytes& key) {
   std::lock_guard lk(mu_);
   Route r;
 
@@ -85,7 +85,7 @@ SessionTable::Route SessionTable::route(std::uint64_t session_id, const Key128& 
   return r;
 }
 
-int SessionTable::next_round_robin(const Key128& key) {
+int SessionTable::next_round_robin(const KeyBytes& key) {
   std::lock_guard lk(mu_);
   // Skip quarantined workers; after a full lap with none enabled, take the
   // next slot regardless (same never-deadlock fallback as routing).

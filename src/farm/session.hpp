@@ -18,16 +18,52 @@
 // submit path, never inside a worker's simulation loop.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 namespace aesip::farm {
 
 using Key128 = std::array<std::uint8_t, 16>;
+
+/// A Rijndael key of any supported length (16/24/32 bytes; the length
+/// selects AES-128/192/256).  Fixed-capacity value type: the unused tail
+/// stays zero, so the defaulted comparison is contents-and-length.  The
+/// implicit array constructors keep 128-bit call sites terse.
+struct KeyBytes {
+  std::array<std::uint8_t, 32> bytes{};
+  std::uint8_t len = 16;
+
+  KeyBytes() = default;
+  KeyBytes(const std::array<std::uint8_t, 16>& k) { assign(k); }
+  KeyBytes(const std::array<std::uint8_t, 24>& k) { assign(k); }
+  KeyBytes(const std::array<std::uint8_t, 32>& k) { assign(k); }
+
+  /// nullopt unless `key` has a legal Rijndael key length.
+  static std::optional<KeyBytes> from(std::span<const std::uint8_t> key) {
+    if (key.size() != 16 && key.size() != 24 && key.size() != 32) return std::nullopt;
+    KeyBytes k;
+    k.assign(key);
+    return k;
+  }
+
+  std::span<const std::uint8_t> view() const noexcept { return {bytes.data(), len}; }
+  int bits() const noexcept { return static_cast<int>(len) * 8; }
+
+  friend bool operator==(const KeyBytes&, const KeyBytes&) = default;
+
+ private:
+  void assign(std::span<const std::uint8_t> key) {
+    bytes.fill(0);
+    std::copy(key.begin(), key.end(), bytes.begin());
+    len = static_cast<std::uint8_t>(key.size());
+  }
+};
 
 class SessionTable {
  public:
@@ -48,12 +84,12 @@ class SessionTable {
   SessionTable(int workers, std::size_t max_sessions);
 
   /// Pick the worker for one request of `session_id` under `key`.
-  Route route(std::uint64_t session_id, const Key128& key);
+  Route route(std::uint64_t session_id, const KeyBytes& key);
 
   /// Affinity-free worker pick for fan-out chunks: round-robin over all
   /// slots (a CTR fan-out deliberately trades key reuse for parallelism).
   /// Marks the slot as re-keyed if it did not hold `key`.
-  int next_round_robin(const Key128& key);
+  int next_round_robin(const KeyBytes& key);
 
   /// Drop a session binding (connection closed). No-op if unknown.
   void end_session(std::uint64_t session_id);
@@ -71,19 +107,19 @@ class SessionTable {
 
  private:
   struct Slot {
-    std::optional<Key128> key;
+    std::optional<KeyBytes> key;
     std::uint64_t last_used = 0;  ///< LRU tick
     bool enabled = true;          ///< quarantined workers take no new routes
   };
   struct Session {
-    Key128 key{};
+    KeyBytes key{};
     int worker = 0;
     std::uint64_t last_used = 0;  ///< LRU tick for the session table
   };
 
-  int touch_slot_with_key_locked(const Key128& key);  ///< -1 if no slot holds it
-  int evict_lru_slot_locked(const Key128& key);
-  void insert_session_locked(std::uint64_t session_id, const Key128& key, int worker);
+  int touch_slot_with_key_locked(const KeyBytes& key);  ///< -1 if no slot holds it
+  int evict_lru_slot_locked(const KeyBytes& key);
+  void insert_session_locked(std::uint64_t session_id, const KeyBytes& key, int worker);
 
   mutable std::mutex mu_;
   std::vector<Slot> slots_;

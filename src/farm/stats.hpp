@@ -72,6 +72,9 @@ struct FarmStats {
   std::uint64_t spot_checks = 0;      ///< jobs re-run through the software oracle
   std::uint64_t spot_mismatches = 0;  ///< of which the engine's output was wrong
   std::uint64_t replayed_jobs = 0;    ///< jobs answered with the oracle's (correct) bytes
+  std::uint64_t spot_boosts = 0;      ///< adaptive boost episodes (mismatch -> boosted rate)
+  std::uint64_t spot_boost_checks = 0;///< spot checks sampled at the boosted rate
+  int workers_boosted = 0;            ///< gauge: workers currently sampling boosted
   std::uint64_t sessions_migrated = 0;///< sessions re-routed off a quarantined worker
   int workers_enabled = 0;            ///< gauge: workers currently taking routes
   obs::HistogramSnapshot swap_pause_us;  ///< worker pause per swap/heal (engine rebuild + key replay)

@@ -36,6 +36,9 @@ FleetStatus FleetController::status() const {
   st.spot_checks = s.spot_checks;
   st.spot_mismatches = s.spot_mismatches;
   st.replayed_jobs = s.replayed_jobs;
+  st.spot_boosts = s.spot_boosts;
+  st.spot_boost_checks = s.spot_boost_checks;
+  st.workers_boosted = s.workers_boosted;
   st.sessions_migrated = s.sessions_migrated;
   st.swap_pause_p50_us = static_cast<double>(s.swap_pause_us.percentile(0.50));
   st.swap_pause_max_us = static_cast<double>(s.swap_pause_us.max);
@@ -66,6 +69,10 @@ std::string FleetStatus::report() const {
       static_cast<unsigned long long>(spot_mismatches),
       static_cast<unsigned long long>(replayed_jobs),
       static_cast<unsigned long long>(sessions_migrated));
+  if (spot_boosts)
+    add("  adaptive:   %llu boosts, %llu boosted checks, %d workers boosted now\n",
+        static_cast<unsigned long long>(spot_boosts),
+        static_cast<unsigned long long>(spot_boost_checks), workers_boosted);
   if (swaps || heals)
     add("  swap pause: p50 %.0f us, max %.0f us\n", swap_pause_p50_us, swap_pause_max_us);
   for (const auto& w : per_worker)
@@ -85,6 +92,9 @@ void FleetStatus::write_json(std::ostream& os) const {
   j.key("spot_checks").value(spot_checks);
   j.key("spot_mismatches").value(spot_mismatches);
   j.key("replayed_jobs").value(replayed_jobs);
+  j.key("spot_boosts").value(spot_boosts);
+  j.key("spot_boost_checks").value(spot_boost_checks);
+  j.key("workers_boosted").value(workers_boosted);
   j.key("sessions_migrated").value(sessions_migrated);
   j.key("swap_pause_p50_us").value(swap_pause_p50_us);
   j.key("swap_pause_max_us").value(swap_pause_max_us);

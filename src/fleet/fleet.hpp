@@ -50,6 +50,9 @@ struct FleetStatus {
   std::uint64_t spot_checks = 0;
   std::uint64_t spot_mismatches = 0;
   std::uint64_t replayed_jobs = 0;
+  std::uint64_t spot_boosts = 0;       ///< adaptive controller: boost episodes entered
+  std::uint64_t spot_boost_checks = 0; ///< checks sampled at the boosted rate
+  int workers_boosted = 0;             ///< gauge: workers currently boosted
   std::uint64_t sessions_migrated = 0;
   double swap_pause_p50_us = 0;
   double swap_pause_max_us = 0;

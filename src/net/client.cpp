@@ -38,13 +38,17 @@ Client::~Client() {
   if (conn_) conn_->close();
 }
 
-void Client::set_key(const farm::Key128& key) {
+void Client::set_key(std::span<const std::uint8_t> key) {
+  if (key.size() != 16 && key.size() != 24 && key.size() != 32)
+    throw std::invalid_argument("net: key must be 16, 24 or 32 bytes");
   const std::uint32_t seq = next_seq_++;
   send(Op::kSetKey, seq, std::vector<std::uint8_t>(key.begin(), key.end()));
   wait_control(Op::kKeyOk, seq);
 }
 
-void Client::rekey(const farm::Key128& key) {
+void Client::rekey(std::span<const std::uint8_t> key) {
+  if (key.size() != 16 && key.size() != 24 && key.size() != 32)
+    throw std::invalid_argument("net: key must be 16, 24 or 32 bytes");
   const std::uint32_t seq = next_seq_++;
   send(Op::kRekey, seq, std::vector<std::uint8_t>(key.begin(), key.end()));
   wait_control(Op::kKeyOk, seq);

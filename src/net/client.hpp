@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -69,10 +70,12 @@ class Client {
   /// Data frames submitted and not yet answered.
   std::size_t in_flight() const noexcept { return in_flight_; }
 
-  /// Install the session key (kSetKey, waits for kKeyOk).
-  void set_key(const farm::Key128& key);
+  /// Install the session key (kSetKey, waits for kKeyOk). 16/24/32 bytes
+  /// select AES-128/192/256; any other length throws std::invalid_argument
+  /// before touching the wire.
+  void set_key(std::span<const std::uint8_t> key);
   /// Same wire cost as set_key; names the farm's re-key fast path.
-  void rekey(const farm::Key128& key);
+  void rekey(std::span<const std::uint8_t> key);
 
   // --- blocking data calls -------------------------------------------------
   std::vector<std::uint8_t> enc_blocks(bool cbc, const farm::Key128& iv,

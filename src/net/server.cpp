@@ -43,7 +43,7 @@ struct Server::Connection {
 
   bool got_hello = false;
   std::uint64_t session_id = 0;
-  std::optional<farm::Key128> key;
+  std::optional<farm::KeyBytes> key;  ///< 16/24/32 bytes; absent before kSetKey
 
   struct InFlight {
     std::uint32_t seq = 0;
@@ -204,13 +204,13 @@ bool Server::handle_frame(Connection& c, Frame&& f) {
     }
     case Op::kSetKey:
     case Op::kRekey: {
-      if (f.payload.size() != 16) {
-        send_error(c, f.seq, ErrorCode::kBadPayload, "key must be 16 bytes", /*fatal=*/false);
+      const auto key = farm::KeyBytes::from(f.payload);
+      if (!key) {
+        send_error(c, f.seq, ErrorCode::kBadPayload, "key must be 16, 24 or 32 bytes",
+                   /*fatal=*/false);
         return true;
       }
-      farm::Key128 key{};
-      std::copy(f.payload.begin(), f.payload.end(), key.begin());
-      c.key = key;
+      c.key = *key;
       send_frame(c, Op::kKeyOk, f.seq, f.flags, {});
       return true;
     }

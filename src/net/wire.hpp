@@ -26,8 +26,9 @@
 //
 // Request payloads (client -> server):
 //   kHello      empty (future: feature negotiation in flags)
-//   kSetKey     16-byte AES-128 key (installs the session key)
-//   kRekey      16-byte key (same as kSetKey; names the farm's fast path)
+//   kSetKey     16/24/32-byte key (installs the session key; the length
+//               selects AES-128/192/256 — anything else is kBadPayload)
+//   kRekey      same layout as kSetKey; names the farm's re-key fast path
 //   kEncBlocks  [u8 mode: 0=ECB 1=CBC][16B iv][N x 16B data]
 //   kDecBlocks  same layout, decrypt direction
 //   kCtrStream  [16B initial counter][data, any length >= 1]
@@ -116,7 +117,7 @@ enum class ErrorCode : std::uint16_t {
   kBadCrc = 3,
   kOversized = 4,
   kUnknownOpcode = 5,
-  kBadPayload = 6,     ///< payload too short / not whole blocks / empty
+  kBadPayload = 6,     ///< payload too short / bad key length / not whole blocks
   kNoKey = 7,          ///< data frame before kSetKey
   kNotHello = 8,       ///< first frame of a connection must be kHello
   kWindowExceeded = 9, ///< more unanswered data frames than kHelloOk granted

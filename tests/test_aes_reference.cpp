@@ -202,6 +202,33 @@ TEST(KeySchedule, Aes128FirstAndLastWords) {
   EXPECT_EQ(w[43], 0xa60c63b6U);
 }
 
+TEST(KeySchedule, Aes192ExpansionWords) {
+  // FIPS-197 Appendix A.2 for key 8e73b0f7...6b7b (Nk=6: the rcon boundary
+  // falls every 6 words, so w[6] is the first generated word).
+  const auto key = from_hex("8e73b0f7da0e6452c810f32b809079e562f8ead2522c6b7b");
+  const auto g = aes::Geometry::make(128, 192);
+  const auto w = aes::expand_key(g, key);
+  ASSERT_EQ(w.size(), 52u);
+  EXPECT_EQ(w[6], 0xf7910cfeU);   // fe0c91f7
+  EXPECT_EQ(w[7], 0xa5f50224U);   // 2402f5a5
+  EXPECT_EQ(w[50], 0x0472cc8eU);  // 8ecc7204
+  EXPECT_EQ(w[51], 0x02220001U);  // 01002202
+}
+
+TEST(KeySchedule, Aes256ExpansionWords) {
+  // FIPS-197 Appendix A.3 for key 603deb10...dff4 (Nk=8: the extra SubWord
+  // lands at i % 8 == 4, exercised by every generated half-stride).
+  const auto key = from_hex(
+      "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+  const auto g = aes::Geometry::make(128, 256);
+  const auto w = aes::expand_key(g, key);
+  ASSERT_EQ(w.size(), 60u);
+  EXPECT_EQ(w[8], 0x1154a39bU);   // 9ba35411
+  EXPECT_EQ(w[9], 0xaf25698eU);   // 8e6925af
+  EXPECT_EQ(w[58], 0x44f36d04U);  // 046df344
+  EXPECT_EQ(w[59], 0x1e636c70U);  // 706c631e
+}
+
 TEST(KeySchedule, KstranMatchesExpansionBoundary) {
   const auto key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
   const auto g = aes::Geometry::make(128, 128);

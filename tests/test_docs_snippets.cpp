@@ -262,4 +262,46 @@ TEST(DocsFleet, ChaosExampleRunsAsDocumented) {
   EXPECT_GE(st.heals, 1u);
 }
 
+// --- docs/keysizes.md: AES-256 from reference to RTL to wire --------------
+
+TEST(DocsKeysizes, Aes256ExampleRunsAsDocumented) {
+  std::array<std::uint8_t, 32> key{};                  // 00 01 02 ... 1f
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = static_cast<std::uint8_t>(i);
+  std::array<std::uint8_t, 16> pt{};                   // 00 11 22 ... ff
+  for (std::size_t i = 0; i < pt.size(); ++i) pt[i] = static_cast<std::uint8_t>(0x11 * i);
+
+  // Software reference: the key length selects the geometry.
+  const aes::Rijndael ref = aes::Rijndael::for_key(key);   // Nk=8, Nr=14
+  std::array<std::uint8_t, 16> ct{};
+  ref.encrypt_block(pt, ct);                // FIPS-197 C.3: 8ea2b7ca...
+  const std::array<std::uint8_t, 16> fips_c3{0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf,
+                                             0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49, 0x60, 0x89};
+  EXPECT_EQ(ct, fips_c3);
+
+  // The paper's core, re-geometried: 5 cycles/round x 14 rounds.
+  const auto spec = arch::VariantSpec::parse("paper@256").value();
+  EXPECT_EQ(spec.nr(), 14);
+  EXPECT_EQ(spec.block_latency_cycles(), 70);
+  EXPECT_EQ(spec.key_setup_cycles(core::IpMode::kBoth), 56);
+  auto e = engine::make_engine(engine::EngineKind::kBehavioral, spec);
+  e->load_key(key);                         // 56-cycle decrypt key setup
+  EXPECT_EQ(e->process_block(pt, /*encrypt=*/true), ct);
+  EXPECT_EQ(e->last_latency(), 70u);
+
+  // Over the wire: a 32-byte kSetKey payload IS the AES-256 select.
+  net::LoopbackTransport transport;
+  net::ServerConfig cfg;
+  cfg.farm.workers = 1;
+  cfg.farm.engine = engine::EngineKind::kSoftware;
+  net::Server server(transport, "demo256", cfg);
+  server.start();
+  net::Client client(transport, "demo256", /*session_id=*/1);
+  client.set_key(key);
+  const auto wire_ct = client.enc_blocks(/*cbc=*/false, /*iv=*/{},
+                                         {pt.begin(), pt.end()});
+  client.bye();
+  server.stop();
+  EXPECT_EQ(wire_ct, std::vector<std::uint8_t>(ct.begin(), ct.end()));
+}
+
 }  // namespace

@@ -296,6 +296,95 @@ TEST(EngineConformance, VariantNetlistBatchVectors) {
   EXPECT_EQ(back, plain);
 }
 
+// FIPS-197 Appendix C.2 (192) / C.3 (256) plus the per-size Monte Carlo
+// chain on every engine kind, each held to the iterative core's
+// generalized cycle contracts (5*Nr latency, 4*Nr decrypt key setup).
+TEST(EngineConformance, WideKeySuitesAcrossEngines) {
+  for (const int kb : {192, 256}) {
+    arch::VariantSpec spec;  // the paper's iterative core at this key size
+    spec.key_bits = kb;
+    for (const auto kind :
+         {EngineKind::kSoftware, EngineKind::kBehavioral, EngineKind::kNetlist}) {
+      const auto e = engine::make_engine(kind, spec);
+      const int mc = kind == EngineKind::kNetlist ? 4 : 1000;
+      const auto r = engine::run_conformance(
+          *e, engine::timing_for_variant(spec, core::IpMode::kBoth), mc);
+      EXPECT_TRUE(r.ok()) << kb << "-bit " << e->name() << ": "
+                          << (r.messages.empty() ? "" : r.messages.front());
+      EXPECT_GT(r.checks, 0) << kb << "-bit " << e->name();
+    }
+  }
+}
+
+// The behavioral model and the synthesized netlist implement the same FSM
+// at every geometry: identical cycle totals for an identical run.
+TEST(EngineConformance, WideKeyCycleParity) {
+  for (const int kb : {192, 256}) {
+    arch::VariantSpec spec;
+    spec.key_bits = kb;
+    const auto behavioral = engine::make_engine(EngineKind::kBehavioral, spec);
+    const auto netlist = engine::make_engine(EngineKind::kNetlist, spec);
+    const auto expect = engine::timing_for_variant(spec, core::IpMode::kBoth);
+    const auto rb = engine::run_conformance(*behavioral, expect, /*monte_carlo_iters=*/2);
+    const auto rn = engine::run_conformance(*netlist, expect, /*monte_carlo_iters=*/2);
+    ASSERT_TRUE(rb.ok()) << kb << ": " << (rb.messages.empty() ? "" : rb.messages.front());
+    ASSERT_TRUE(rn.ok()) << kb << ": " << (rn.messages.empty() ? "" : rn.messages.front());
+    EXPECT_EQ(rb.checks, rn.checks) << kb;
+    EXPECT_EQ(rb.total_cycles, rn.total_cycles) << kb;
+  }
+}
+
+// Batch == scalar (bytes and cycles) at every key size on every engine.
+TEST(EngineConformance, WideKeyBatchMatchesScalar) {
+  const auto plain = pattern_bytes(9 * 16);  // partial batch, one netlist pass
+  for (const int kb : {192, 256}) {
+    arch::VariantSpec spec;
+    spec.key_bits = kb;
+    std::vector<std::uint8_t> key(static_cast<std::size_t>(kb / 8));
+    std::iota(key.begin(), key.end(), std::uint8_t{0});
+    for (const auto kind :
+         {EngineKind::kSoftware, EngineKind::kBehavioral, EngineKind::kNetlist}) {
+      const auto scalar = engine::make_engine(kind, spec);
+      const auto batched = engine::make_engine(kind, spec);
+      scalar->load_key(key);
+      batched->load_key(key);
+      std::vector<std::uint8_t> want(plain.size());
+      for (std::size_t i = 0; i < plain.size(); i += 16) {
+        const auto r = scalar->process_block(
+            std::span<const std::uint8_t>(plain.data() + i, 16), /*encrypt=*/true);
+        std::copy(r.begin(), r.end(), want.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+      std::vector<std::uint8_t> got(plain.size()), back(plain.size());
+      batched->process_batch(plain, got, /*encrypt=*/true);
+      EXPECT_EQ(got, want) << kb << "-bit " << scalar->name();
+      EXPECT_EQ(batched->cycles(), scalar->cycles()) << kb << "-bit " << scalar->name();
+      batched->process_batch(got, back, /*encrypt=*/false);
+      EXPECT_EQ(back, plain) << kb << "-bit " << scalar->name();
+    }
+  }
+}
+
+// Cycle engines are geometry-fixed at construction: a key of any other
+// length is a contract violation, not a silent reconfiguration. The
+// software engine is geometry-blind and accepts all three.
+TEST(EngineConformance, GeometryFixedEnginesRejectMismatchedKeys) {
+  arch::VariantSpec spec;
+  spec.key_bits = 192;
+  const std::vector<std::uint8_t> k16(16), k24(24), k32(32), k20(20);
+  for (const auto kind : {EngineKind::kBehavioral, EngineKind::kNetlist}) {
+    const auto e = engine::make_engine(kind, spec);
+    EXPECT_NO_THROW(e->load_key(k24)) << e->name();
+    EXPECT_THROW(e->load_key(k16), std::invalid_argument) << e->name();
+    EXPECT_THROW(e->load_key(k32), std::invalid_argument) << e->name();
+    EXPECT_THROW(e->load_key(k20), std::invalid_argument) << e->name();
+  }
+  const auto sw = engine::make_engine(EngineKind::kSoftware);
+  EXPECT_NO_THROW(sw->load_key(k16));
+  EXPECT_NO_THROW(sw->load_key(k24));
+  EXPECT_NO_THROW(sw->load_key(k32));
+  EXPECT_THROW(sw->load_key(k20), std::invalid_argument);
+}
+
 // The engine factory's name round-trip, including the CLI aliases.
 TEST(EngineConformance, KindNamesRoundTrip) {
   for (const auto kind :

@@ -20,6 +20,7 @@
 #include "farm/session.hpp"
 
 namespace aes = aesip::aes;
+namespace engine = aesip::engine;
 namespace farm = aesip::farm;
 
 namespace {
@@ -38,7 +39,7 @@ std::vector<std::uint8_t> random_payload(std::mt19937& rng, std::size_t bytes) {
 
 /// What the farm must produce, computed the boring way.
 std::vector<std::uint8_t> reference(const farm::Request& req) {
-  const aes::Aes128 cipher(req.key);
+  const aes::Rijndael cipher = aes::Rijndael::for_key(req.key.view());
   const std::span<const std::uint8_t, 16> iv(req.iv.data(), 16);
   switch (req.mode) {
     case farm::Mode::kEcb:
@@ -201,6 +202,67 @@ TEST(Farm, MatchesReferenceAcrossModesDirectionsAndSessions) {
   EXPECT_GT(st.key_hits, 0u);  // six sessions over three cores must re-hit keys
   EXPECT_EQ(st.rejected, 0u);
   EXPECT_LE(st.queue_high_water, cfg.queue_capacity);
+}
+
+// One farm, three geometries: sessions carry 16/24/32-byte keys and every
+// job runs on a matching-geometry engine (cycle engines build sibling
+// engines lazily per key size), bit-exact against the per-size oracle.
+TEST(Farm, MixedKeySizesMatchPerGeometryOracle) {
+  for (const auto kind :
+       {engine::EngineKind::kSoftware, engine::EngineKind::kBehavioral}) {
+    farm::FarmConfig cfg;
+    cfg.workers = 2;
+    cfg.engine = kind;
+    farm::Farm f(cfg);
+
+    std::mt19937 rng(17);
+    std::vector<farm::Request> reqs;
+    std::vector<std::vector<std::uint8_t>> expect;
+    for (int i = 0; i < 18; ++i) {
+      const int bits = 128 + 64 * (i % 3);
+      std::array<std::uint8_t, 32> raw{};
+      for (auto& b : raw) b = static_cast<std::uint8_t>(rng());
+      farm::Request req;
+      req.session_id = static_cast<std::uint64_t>(i % 6);
+      req.key = *farm::KeyBytes::from(
+          std::span(raw).first(static_cast<std::size_t>(bits / 8)));
+      EXPECT_EQ(req.key.bits(), bits);
+      for (auto& b : req.iv) b = static_cast<std::uint8_t>(rng());
+      req.mode = static_cast<farm::Mode>(i % 3);
+      req.encrypt = (i % 2) == 0;
+      req.payload.resize(req.mode == farm::Mode::kCtr ? 37 : 48);
+      for (auto& b : req.payload) b = static_cast<std::uint8_t>(rng());
+      expect.push_back(reference(req));
+      reqs.push_back(std::move(req));
+    }
+    std::vector<std::future<farm::Result>> futures;
+    for (auto& r : reqs) futures.push_back(f.submit(r));
+    for (std::size_t i = 0; i < futures.size(); ++i)
+      EXPECT_EQ(futures[i].get().data, expect[i])
+          << engine::kind_name(kind) << " request " << i << " ("
+          << reqs[i].key.bits() << "-bit)";
+    EXPECT_EQ(f.stats().requests, reqs.size());
+  }
+}
+
+// KeyBytes itself: length-aware equality and the validating constructor.
+TEST(Farm, KeyBytesLengthSemantics) {
+  std::array<std::uint8_t, 16> a16{};
+  std::array<std::uint8_t, 24> a24{};
+  std::array<std::uint8_t, 32> a32{};
+  const farm::KeyBytes k16 = a16, k24 = a24, k32 = a32;
+  EXPECT_EQ(k16.bits(), 128);
+  EXPECT_EQ(k24.bits(), 192);
+  EXPECT_EQ(k32.bits(), 256);
+  // Same bytes, different lengths: distinct keys (a session table slot
+  // holding the zero AES-128 key must not hit for the zero AES-192 key).
+  EXPECT_FALSE(k16 == k24);
+  EXPECT_FALSE(k24 == k32);
+  EXPECT_TRUE(k16 == farm::KeyBytes(a16));
+  EXPECT_EQ(k24.view().size(), 24u);
+  EXPECT_FALSE(farm::KeyBytes::from(std::vector<std::uint8_t>(20)).has_value());
+  EXPECT_FALSE(farm::KeyBytes::from(std::vector<std::uint8_t>(0)).has_value());
+  EXPECT_TRUE(farm::KeyBytes::from(std::vector<std::uint8_t>(24)).has_value());
 }
 
 TEST(Farm, CtrFanoutIsBitExactIncludingRaggedTail) {

@@ -9,6 +9,7 @@
 #include <future>
 #include <memory>
 #include <random>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -43,7 +44,7 @@ farm::Request make_request(std::mt19937& rng, std::uint64_t session,
 }
 
 std::vector<std::uint8_t> oracle(const farm::Request& req) {
-  const aes::Aes128 ref(req.key);
+  const aes::Rijndael ref = aes::Rijndael::for_key(req.key.view());
   const std::span<const std::uint8_t, 16> iv(req.iv.data(), 16);
   switch (req.mode) {
     case farm::Mode::kEcb:
@@ -231,6 +232,65 @@ TEST(FleetSpotCheck, MismatchReplaysBitExactAndHeals) {
   EXPECT_EQ(res.data, expect);
   EXPECT_FALSE(res.replayed);
   EXPECT_EQ(f.stats().spot_mismatches, 1u);
+}
+
+// The adaptive controller: a mismatch flips the worker to the boosted
+// sampling rate; spot_check_decay_jobs consecutive clean checks decay it
+// back. Counters surface through FarmStats, FleetStatus and its JSON.
+TEST(FleetSpotCheck, AdaptiveBoostRaisesThenDecays) {
+  farm::FarmConfig cfg;
+  cfg.workers = 1;
+  cfg.spot_check_fraction = 1.0;  // deterministic detection for the test
+  cfg.spot_check_boost_fraction = 1.0;
+  cfg.spot_check_decay_jobs = 3;
+  cfg.heal_on_mismatch = true;
+  cfg.engine_factory = [] { return std::make_unique<FaultyEngine>(); };
+  farm::Farm f(cfg);
+  fleet::FleetController ctl(f);
+
+  std::mt19937 rng(9);
+  farm::Key128 key;
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng());
+
+  ASSERT_TRUE(f.inject_fault(0, 0).get());
+  auto req = make_request(rng, 1, key);
+  auto res = f.process(std::move(req));
+  EXPECT_TRUE(res.replayed);
+
+  auto st = f.stats();
+  EXPECT_EQ(st.spot_boosts, 1u);
+  EXPECT_EQ(st.workers_boosted, 1);
+
+  // The heal rebuilt a clean engine: three clean boosted checks, then decay.
+  for (int i = 0; i < 3; ++i) {
+    auto clean = make_request(rng, 1, key);
+    const auto expect = oracle(clean);
+    const auto r = f.process(std::move(clean));
+    EXPECT_EQ(r.data, expect);
+    EXPECT_FALSE(r.replayed);
+  }
+  st = f.stats();
+  EXPECT_EQ(st.spot_boosts, 1u);  // one episode, not re-entered per check
+  EXPECT_EQ(st.spot_boost_checks, 3u);
+  EXPECT_EQ(st.workers_boosted, 0);
+
+  // A second mismatch opens a second episode.
+  ASSERT_TRUE(f.inject_fault(0, 0).get());
+  auto again = make_request(rng, 1, key);
+  EXPECT_TRUE(f.process(std::move(again)).replayed);
+  st = f.stats();
+  EXPECT_EQ(st.spot_boosts, 2u);
+  EXPECT_EQ(st.workers_boosted, 1);
+
+  // FleetStatus mirrors the counters, in the struct and in the JSON.
+  const auto status = ctl.status();
+  EXPECT_EQ(status.spot_boosts, 2u);
+  EXPECT_EQ(status.spot_boost_checks, 3u);
+  EXPECT_EQ(status.workers_boosted, 1);
+  std::ostringstream os;
+  status.write_json(os);
+  EXPECT_NE(os.str().find("\"spot_boosts\": 2"), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("\"workers_boosted\": 1"), std::string::npos) << os.str();
 }
 
 TEST(FleetSpotCheck, HealOffStillReplaysFromOracle) {

@@ -6,6 +6,7 @@
 // wrong output.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <chrono>
 #include <cstring>
 #include <optional>
@@ -13,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "aes/cipher.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "net/transport.hpp"
@@ -432,6 +434,51 @@ TEST(ServerAbuse, MalformedDataPayloadsAreRejectedCleanly) {
   const auto res = peer.read_frame();
   ASSERT_TRUE(res.has_value());
   EXPECT_EQ(res->op, net::Op::kResult);
+}
+
+TEST(ServerAbuse, KeyLengthsValidatedOnTheWire) {
+  AbuseServer s;
+  auto peer = s.peer();
+  peer.write_frame(make_req(net::Op::kHello, 0));
+  ASSERT_TRUE(peer.read_frame().has_value());
+
+  // Anything that is not exactly 16/24/32 bytes is kBadPayload — including
+  // the empty key and off-by-one lengths around every legal size.
+  std::uint32_t seq = 1;
+  for (const std::size_t n : {0u, 1u, 15u, 17u, 23u, 25u, 31u, 33u, 64u}) {
+    for (const auto op : {net::Op::kSetKey, net::Op::kRekey}) {
+      peer.write_frame(make_req(op, seq, std::vector<std::uint8_t>(n, 0x5a)));
+      const auto err = peer.read_frame();
+      ASSERT_TRUE(err.has_value()) << "len " << n;
+      EXPECT_EQ(err->op, net::Op::kError) << "len " << n;
+      EXPECT_EQ(error_code_of(*err), net::ErrorCode::kBadPayload) << "len " << n;
+      ++seq;
+    }
+  }
+
+  // All three legal lengths install (and none of the rejections was fatal):
+  // a data frame after each 16/24/32-byte key is answered with the matching
+  // geometry's bytes.
+  for (const std::size_t n : {16u, 24u, 32u}) {
+    const std::vector<std::uint8_t> key(n, static_cast<std::uint8_t>(n));
+    peer.write_frame(make_req(net::Op::kSetKey, seq, key));
+    const auto keyok = peer.read_frame();
+    ASSERT_TRUE(keyok.has_value()) << "len " << n;
+    EXPECT_EQ(keyok->op, net::Op::kKeyOk) << "len " << n;
+    ++seq;
+
+    std::vector<std::uint8_t> payload(17 + 16);  // ECB, one zero block
+    peer.write_frame(make_req(net::Op::kEncBlocks, seq, payload));
+    const auto res = peer.read_frame();
+    ASSERT_TRUE(res.has_value()) << "len " << n;
+    ASSERT_EQ(res->op, net::Op::kResult) << "len " << n;
+    const auto ref = aesip::aes::Rijndael::for_key(key);
+    std::array<std::uint8_t, 16> want{};
+    ref.encrypt_block(std::array<std::uint8_t, 16>{}, want);
+    EXPECT_TRUE(std::equal(want.begin(), want.end(), res->payload.begin()))
+        << "len " << n;
+    ++seq;
+  }
 }
 
 TEST(ServerAbuse, WindowOverrunIsCutOff) {

@@ -343,7 +343,9 @@ TEST(NetlistBatch, FarmBatchDispatchMatchesReference) {
   for (int i = 0; i < 9; ++i) {
     farm::Request req;
     req.session_id = static_cast<std::uint64_t>(i % 3);
-    for (auto& b : req.key) b = static_cast<std::uint8_t>(rng() + i % 3);
+    farm::Key128 kb;
+    for (auto& b : kb) b = static_cast<std::uint8_t>(rng() + i % 3);
+    req.key = kb;
     for (auto& b : req.iv) b = static_cast<std::uint8_t>(rng());
     const std::size_t blocks = (i == 8) ? 96 : 2 + i;  // the last one fans out
     req.mode = (i % 3 == 0) ? farm::Mode::kEcb : (i % 3 == 1) ? farm::Mode::kCbc
@@ -352,7 +354,7 @@ TEST(NetlistBatch, FarmBatchDispatchMatchesReference) {
     if (i == 8) req.mode = farm::Mode::kCtr;
     req.payload = random_bytes(blocks * 16, 500 + static_cast<std::uint32_t>(i));
 
-    const aes::Aes128 ref(std::span<const std::uint8_t, 16>(req.key.data(), 16));
+    const aes::Rijndael ref = aes::Rijndael::for_key(req.key.view());
     const std::span<const std::uint8_t, 16> iv(req.iv.data(), 16);
     std::vector<std::uint8_t> want;
     switch (req.mode) {

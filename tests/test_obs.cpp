@@ -329,7 +329,9 @@ TEST(Tracer, ChromeTraceJsonIsWellFormed) {
 farm::Request small_request(std::uint64_t session, std::mt19937& rng) {
   farm::Request req;
   req.session_id = session;
-  for (auto& b : req.key) b = static_cast<std::uint8_t>(session + 1);
+  farm::Key128 kb;
+  for (auto& b : kb) b = static_cast<std::uint8_t>(session + 1);
+  req.key = kb;
   for (auto& b : req.iv) b = static_cast<std::uint8_t>(rng());
   req.mode = farm::Mode::kCbc;
   req.payload.resize(32);

@@ -162,11 +162,33 @@ const char* variant_name(core::IpMode m) {
   return m == core::IpMode::kEncrypt ? "encrypt" : m == core::IpMode::kDecrypt ? "decrypt" : "both";
 }
 
+/// Parse --keybits. Returns 128/192/256, or 0 for "mix" (only when
+/// `allow_mix`); `fallback` supplies the default spelling.
+int keybits_of(const Args& args, const char* fallback, bool allow_mix = false) {
+  const std::string kb = arg_or(args, "keybits", fallback);
+  if (allow_mix && (kb == "mix" || kb == "mixed")) return 0;
+  if (kb == "128" || kb == "192" || kb == "256") return std::stoi(kb);
+  die(std::string("--keybits must be 128, 192 or 256") + (allow_mix ? " or mix" : ""));
+}
+
+/// A deterministic 16/24/32-byte key drawn from `rng`.
+farm::KeyBytes random_keybytes(std::mt19937& rng, int bits) {
+  std::array<std::uint8_t, 32> raw{};
+  for (auto& b : raw) b = static_cast<std::uint8_t>(rng());
+  return *farm::KeyBytes::from(
+      std::span(raw).first(static_cast<std::size_t>(bits / 8)));
+}
+
 // --- crypt -----------------------------------------------------------------------
 
 int cmd_crypt(bool encrypting, const Args& args) {
   const auto key = from_hex(arg_or(args, "key", ""));
-  if (key.size() != 16) die("--key must be 32 hex digits (AES-128)");
+  if (key.size() != 16 && key.size() != 24 && key.size() != 32)
+    die("--key must be 32, 48 or 64 hex digits (AES-128/192/256)");
+  // --keybits is redundant with the key length but catches pasted-key bugs.
+  if (args.count("keybits") &&
+      keybits_of(args, "") != static_cast<int>(key.size()) * 8)
+    die("--keybits disagrees with the --key length");
   const std::string mode = arg_or(args, "mode", "cbc");
   const std::string engine = arg_or(args, "engine", "ttable");
   const std::string in_path = arg_or(args, "in", "");
@@ -219,7 +241,9 @@ int cmd_crypt(bool encrypting, const Args& args) {
     aes::TTableAes128 fast(key);
     output = run(fast);
   } else if (const auto kind = engine::kind_from_name(engine)) {
-    const auto e = engine::make_engine(*kind);
+    arch::VariantSpec spec;  // the paper's iterative core at this key size
+    spec.key_bits = static_cast<int>(key.size()) * 8;
+    const auto e = engine::make_engine(*kind, spec);
     e->load_key(key);
     output = run_batched(*e);
     if (e->cycles()) detail += ", " + std::to_string(e->cycles()) + " simulated cycles";
@@ -352,16 +376,20 @@ int cmd_farm(const Args& args) {
   cfg.spot_check_fraction = std::stod(arg_or(args, "spot-check", "0"));
   if (cfg.spot_check_fraction < 0 || cfg.spot_check_fraction > 1)
     die("--spot-check must be in [0,1]");
+  const int keybits = keybits_of(args, "128", /*allow_mix=*/true);
 
   farm::Farm f(cfg);
   std::mt19937 rng(seed);
-  std::vector<farm::Key128> keys(static_cast<std::size_t>(n_keys));
-  for (auto& k : keys)
-    for (auto& b : k) b = static_cast<std::uint8_t>(rng());
+  std::vector<farm::KeyBytes> keys;
+  for (int k = 0; k < n_keys; ++k) {
+    const int bits = keybits ? keybits : 128 + 64 * (k % 3);  // mix: round-robin
+    keys.push_back(random_keybytes(rng, bits));
+  }
 
-  std::printf("farm: %d workers (%s engine), %zu queue slots each, %d session keys, "
-              "target %llu blocks\n",
+  std::printf("farm: %d workers (%s engine), %zu queue slots each, %d session keys "
+              "(%s-bit), target %llu blocks\n",
               cfg.workers, engine::kind_name(cfg.engine), cfg.queue_capacity, n_keys,
+              keybits ? std::to_string(keybits).c_str() : "mixed 128/192/256",
               static_cast<unsigned long long>(target_blocks));
 
   // Outstanding futures are bounded so a huge --blocks run doesn't hold
@@ -406,7 +434,7 @@ int cmd_farm(const Args& args) {
 
     Pending p;
     if (requests % 64 == 0) {  // sample for bit-exact verification
-      const aes::Aes128 ref(req.key);
+      const aes::Rijndael ref = aes::Rijndael::for_key(req.key.view());
       const std::span<const std::uint8_t, 16> iv(req.iv.data(), 16);
       switch (req.mode) {
         case farm::Mode::kEcb:
@@ -432,7 +460,7 @@ int cmd_farm(const Args& args) {
 
   const auto st = f.stats();
   std::fputs(st.report(cfg.clock_ns).c_str(), stdout);
-  std::printf("verified %llu sampled requests against aes::Aes128: %s\n",
+  std::printf("verified %llu sampled requests against aes::Rijndael: %s\n",
               static_cast<unsigned long long>(verified),
               mismatches ? "MISMATCH" : "all bit-exact");
   if (!json_path.empty()) {
@@ -694,6 +722,9 @@ int cmd_metrics(const Args& args) {
       j.key("quarantines").value(fst->quarantines);
       j.key("spot_checks").value(fst->spot_checks);
       j.key("spot_mismatches").value(fst->spot_mismatches);
+      j.key("spot_boosts").value(fst->spot_boosts);
+      j.key("spot_boost_checks").value(fst->spot_boost_checks);
+      j.key("workers_boosted").value(fst->workers_boosted);
       j.key("replayed_jobs").value(fst->replayed_jobs);
       j.key("sessions_migrated").value(fst->sessions_migrated);
       j.key("workers_enabled").value(fst->workers_enabled);
@@ -733,6 +764,15 @@ int cmd_serve(const Args& args) {
   if (cfg.farm.spot_check_fraction < 0 || cfg.farm.spot_check_fraction > 1)
     die("--spot-check must be in [0,1]");
   cfg.admin = arg_or(args, "admin", "yes") != "no";
+  // The workers' native key geometry. Sessions with other key lengths are
+  // still served (the farm builds matching-geometry sibling engines
+  // lazily); --keybits just picks which size pays no sibling setup.
+  const int keybits = keybits_of(args, "128");
+  if (keybits != 128) {
+    arch::VariantSpec vs;  // the paper's iterative core at this key size
+    vs.key_bits = keybits;
+    cfg.farm.worker_variants = {vs};
+  }
   cfg.chaos_seed =
       static_cast<std::uint32_t>(std::stoul(arg_or(args, "chaos-seed", "0x5eed"), nullptr, 0));
   const std::string trace_path = arg_or(args, "trace", "");
@@ -745,10 +785,11 @@ int cmd_serve(const Args& args) {
   std::signal(SIGINT, serve_signal_handler);
   std::signal(SIGTERM, serve_signal_handler);
 
-  std::printf("aesip serve: aesip-wire-v1 on %s (%d workers, %s engine, window %zu, "
-              "admin %s, spot-check %.0f%%)\n",
+  std::printf("aesip serve: aesip-wire-v1 on %s (%d workers, %s engine, AES-%d native, "
+              "window %zu, admin %s, spot-check %.0f%%)\n",
               server.address().c_str(), cfg.farm.workers, engine::kind_name(cfg.farm.engine),
-              cfg.window, cfg.admin ? "on" : "off", 100.0 * cfg.farm.spot_check_fraction);
+              keybits, cfg.window, cfg.admin ? "on" : "off",
+              100.0 * cfg.farm.spot_check_fraction);
   std::printf("aesip serve: SIGINT/SIGTERM drain gracefully\n");
   std::fflush(stdout);
   server.run();
@@ -806,6 +847,10 @@ int cmd_loadgen(const Args& args) {
   const std::uint32_t seed =
       static_cast<std::uint32_t>(std::stoul(arg_or(args, "seed", "1")));
   if (n_sessions < 1 || max_blocks < 1) die("--sessions and --blocks must be >= 1");
+  // Default "mix": session s runs AES-128/192/256 round-robin so one run
+  // exercises every geometry the server can hold (keys travel on the wire;
+  // the farm picks the engine geometry from the key length per job).
+  const int keybits = keybits_of(args, "mix", /*allow_mix=*/true);
 
   auto transport = net::make_tcp_transport();
 
@@ -848,10 +893,10 @@ int cmd_loadgen(const Args& args) {
         std::fprintf(stderr, "loadgen: session %d FIPS-197 Appendix B MISMATCH\n", sid);
       }
 
-      farm::Key128 key;
-      for (auto& b : key) b = static_cast<std::uint8_t>(rng());
-      client.rekey(key);
-      const aes::Aes128 ref(key);
+      const int bits = keybits ? keybits : 128 + 64 * (sid % 3);
+      const farm::KeyBytes key = random_keybytes(rng, bits);
+      client.rekey(key.view());
+      const aes::Rijndael ref = aes::Rijndael::for_key(key.view());
 
       struct Outstanding {
         std::uint32_t seq;
@@ -956,9 +1001,10 @@ int cmd_loadgen(const Args& args) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   const auto blocks = total_blocks.load();
-  std::printf("loadgen: %d sessions, %llu requests, %llu blocks in %.3f s "
-              "(%.0f blocks/s), seed %u\n",
-              n_sessions, static_cast<unsigned long long>(total_requests.load()),
+  std::printf("loadgen: %d sessions (%s-bit keys), %llu requests, %llu blocks in "
+              "%.3f s (%.0f blocks/s), seed %u\n",
+              n_sessions, keybits ? std::to_string(keybits).c_str() : "mixed 128/192/256",
+              static_cast<unsigned long long>(total_requests.load()),
               static_cast<unsigned long long>(blocks), secs,
               secs > 0 ? static_cast<double>(blocks) / secs : 0.0, seed);
   if (chaos)
@@ -980,7 +1026,7 @@ int cmd_loadgen(const Args& args) {
   // failed to collect every response (collect_one would have thrown).
   const bool ok =
       mismatches.load() == 0 && failures.load() == 0 && chaos_failures.load() == 0;
-  std::printf("loadgen: verification vs aes::Aes128: %s (%llu corrupted frames, "
+  std::printf("loadgen: verification vs aes::Rijndael: %s (%llu corrupted frames, "
               "%d lost/failed sessions)\n",
               ok ? "all bit-exact" : "FAILED",
               static_cast<unsigned long long>(mismatches.load()), failures.load());
@@ -1094,7 +1140,8 @@ int cmd_selftest() {
 void usage() {
   std::puts(
       "usage: aesip <command> [options]\n"
-      "  encrypt|decrypt --key HEX32 [--mode ecb|cbc|ctr] [--iv HEX32]\n"
+      "  encrypt|decrypt --key HEX (32/48/64 digits) [--keybits 128|192|256]\n"
+      "                  [--mode ecb|cbc|ctr] [--iv HEX32]\n"
       "                  [--engine ttable|sw|behavioral|netlist] [--batch N]\n"
       "                  --in FILE --out FILE   (batch: blocks per engine pass,\n"
       "                  default 64 = full netlist lane width)\n"
@@ -1104,15 +1151,20 @@ void usage() {
       "  seu      [--runs N] [--seed S] [--tmr yes|no]\n"
       "  power    [--variant encrypt|both] [--device NAME]\n"
       "  farm     [--workers N] [--engine sw|behavioral|netlist] [--sessions N]\n"
-      "           [--blocks N] [--queue N] [--keys N] [--seed S] [--spot-check F]\n"
+      "           [--blocks N] [--queue N] [--keys N] [--keybits 128|192|256|mix]\n"
+      "           [--seed S] [--spot-check F]\n"
       "           [--json FILE] [--trace FILE]\n"
       "  metrics  [--blocks N] [--engine sw|behavioral|netlist] [--farm yes|no]\n"
       "           [--workers N] [--json FILE|-] [--trace FILE]\n"
       "  serve    [--listen HOST:PORT] [--workers N] [--engine sw|behavioral|netlist]\n"
       "           [--window N] [--queue N] [--idle-ms MS] [--trace FILE]\n"
       "           [--spot-check F] [--admin yes|no] [--chaos-seed S]\n"
+      "           [--keybits 128|192|256]  (native worker geometry; other key\n"
+      "           sizes are served via lazily built sibling engines)\n"
       "           (aesip-wire-v1 server over the IP farm; docs/net.md)\n"
       "  loadgen  [--connect HOST:PORT] [--sessions N] [--requests N] [--blocks N]\n"
+      "           [--keybits 128|192|256|mix] (default mix: sessions rotate key\n"
+      "           sizes round-robin, each verified against its matching oracle)\n"
       "           [--seed S] [--chaos]   (verified client traffic against aesip\n"
       "           serve; --chaos fires seeded fleet mutations mid-traffic and\n"
       "           self-hosts a spot-checked server when --connect is omitted)\n"

@@ -180,6 +180,40 @@ for f in "$repo"/BENCH_*.json; do
       echo "check_bench: $name: Pareto gate failed (meets_target is not true)" >&2
       fail=1
     fi
+
+    # The key-size sweep (docs/keysizes.md): the paper's iterative core at
+    # AES-128/192/256.  One row per key size, key-setup cycles strictly
+    # increasing with key size (the 4*Nr inverse-schedule pass: 40/48/56),
+    # and the sweep's own meets_target (which also folds in latency = 5*Nr
+    # and per-row bit-exactness/cycle conformance, re-checked globally by
+    # the bit_exact/cycle_conformant greps above).
+    for needle in \
+      '"key_sizes": [' \
+      '"key_size_sweep": {'
+    do
+      if ! grep -qF "$needle" "$f"; then
+        echo "check_bench: $name: missing $needle" >&2
+        fail=1
+      fi
+    done
+    ksection=$(sed -n '/"key_sizes": \[/,/\]/p' "$f")
+    krows=$(printf '%s' "$ksection" | grep -cF '"key_bits": ')
+    if [ "$krows" -lt 3 ]; then
+      echo "check_bench: $name: expected 3 key-size rows (128/192/256), found $krows" >&2
+      fail=1
+    fi
+    prev=-1
+    for v in $(printf '%s' "$ksection" | sed -n 's/.*"key_setup_cycles": \([0-9][0-9]*\).*/\1/p'); do
+      if [ "$v" -le "$prev" ]; then
+        echo "check_bench: $name: key-setup cycles not monotone in key size ($prev -> $v)" >&2
+        fail=1
+      fi
+      prev=$v
+    done
+    if ! sed -n '/"key_size_sweep": {/,/}/p' "$f" | grep -qF '"meets_target": true'; then
+      echo "check_bench: $name: key-size sweep gate failed (meets_target is not true)" >&2
+      fail=1
+    fi
   fi
 
   if [ "$stem" = "farm" ]; then

@@ -50,6 +50,8 @@ for needle in \
   '"swaps": 0' \
   '"heals": 0' \
   '"spot_checks": 0' \
+  '"spot_boosts": 0' \
+  '"workers_boosted": 0' \
   '"workers_enabled": 2'
 do
   if ! echo "$fout" | grep -qF "$needle"; then
