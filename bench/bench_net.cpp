@@ -17,14 +17,19 @@
 // envelope; schema documented in docs/benchmarks.md).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <future>
+#include <memory>
 #include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "aes/cipher.hpp"
+#include "aes/modes.hpp"
 #include "farm/farm.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
@@ -138,6 +143,109 @@ double run_loopback(aesip::engine::EngineKind engine, int workers, int sessions,
   return secs;
 }
 
+// --- v2 sections: epoll scaling, the cluster sweep, UDP vs TCP ---------------
+
+/// The verified workload through real sockets: `sessions` clients against
+/// an in-process server (or sharded cluster), every response compared to
+/// aes::Aes128, bounded client concurrency so 10k sessions fit any host.
+struct NetRun {
+  double secs = 0;
+  std::uint64_t total_blocks = 0;
+  std::uint64_t lost_frames = 0;  ///< missing or bit-inexact responses
+  std::uint64_t redirects = 0;
+  bool drained = false;  ///< every node stopped with zero in-flight frames
+};
+
+NetRun run_sockets(net::Transport& transport, int n_nodes, int server_threads,
+                   int sessions, std::uint64_t requests, std::size_t blocks,
+                   int concurrency) {
+  std::vector<std::unique_ptr<net::Server>> nodes;
+  std::vector<std::string> addrs;
+  for (int n = 0; n < n_nodes; ++n) {
+    net::ServerConfig cfg;
+    cfg.farm.workers = 2;
+    cfg.farm.engine = aesip::engine::EngineKind::kSoftware;
+    cfg.farm.queue_capacity = 128;
+    cfg.window = 32;
+    cfg.threads = server_threads;
+    if (n_nodes > 1) {
+      net::ClusterConfig cc;
+      cc.node_id = "bench-n" + std::to_string(n);
+      cc.seeds = addrs;
+      cc.gossip_interval = std::chrono::milliseconds(20);
+      cfg.cluster = std::move(cc);
+    }
+    nodes.push_back(std::make_unique<net::Server>(transport, "127.0.0.1:0", cfg));
+    addrs.push_back(nodes.back()->address());
+    nodes.back()->start();
+  }
+  if (n_nodes > 1) {
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    for (const auto& node : nodes)
+      while (node->director()->alive_count(std::chrono::steady_clock::now()) <
+                 static_cast<std::size_t>(n_nodes) &&
+             std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  NetRun out;
+  std::atomic<std::uint64_t> lost{0}, redirects{0};
+  std::atomic<int> next_session{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  const int pool = std::min(concurrency, sessions);
+  for (int w = 0; w < pool; ++w)
+    threads.emplace_back([&] {
+      for (int s = next_session.fetch_add(1); s < sessions;
+           s = next_session.fetch_add(1)) {
+        const auto sid = static_cast<std::uint64_t>(s) + 1;
+        try {
+          net::Client client(transport, addrs[static_cast<std::size_t>(s) %
+                                              addrs.size()],
+                             sid);
+          const auto key = session_key(sid);
+          client.set_key(key);
+          const aesip::aes::Aes128 ref(key);
+          const auto payload = request_payload(blocks, static_cast<std::uint32_t>(sid));
+          const auto expect = aesip::aes::ecb_encrypt(ref, payload);
+          const farm::Key128 iv{};
+          std::deque<std::uint32_t> pending;
+          std::uint64_t bad = 0;
+          for (std::uint64_t r = 0; r < requests; ++r) {
+            pending.push_back(client.submit_enc(false, iv, payload));
+            while (pending.size() >= client.window()) {
+              if (client.wait(pending.front()) != expect) ++bad;
+              pending.pop_front();
+            }
+          }
+          while (!pending.empty()) {
+            if (client.wait(pending.front()) != expect) ++bad;
+            pending.pop_front();
+          }
+          client.drain();
+          lost += bad;
+          redirects += client.redirects();
+          client.bye();
+        } catch (const std::exception&) {
+          lost += requests;  // the whole session counts as lost frames
+        }
+      }
+    });
+  for (auto& t : threads) t.join();
+  out.secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  out.total_blocks = static_cast<std::uint64_t>(sessions) * requests * blocks;
+  out.lost_frames = lost.load();
+  out.redirects = redirects.load();
+
+  out.drained = true;  // graceful: every node answers its in-flight frames
+  for (auto& node : nodes) {
+    node->stop();
+    const auto st = node->stats();
+    if (st.in_flight != 0 || st.protocol_errors != 0) out.drained = false;
+  }
+  return out;
+}
+
 void print_and_dump() {
   // --- the gate: behavioral engine, 4 workers --------------------------------
   const int workers = 4;
@@ -194,9 +302,88 @@ void print_and_dump() {
   }
   std::printf("\n");
 
+  // --- v2: epoll-worker scaling (TCP, real sockets) --------------------------
+  // threads=4 must beat threads=1 by >= 2x — but only hosts with >= 4
+  // hardware threads can show wall-clock scaling; below that the section
+  // is skipped with a reason (same contract as the farm bench's
+  // wall-scaling gate).
+  const unsigned hw = std::thread::hardware_concurrency();
+  auto tcp = net::make_tcp_transport();
+  bool epoll_skipped = true;
+  std::string epoll_reason;
+  double epoll_1_bps = 0, epoll_4_bps = 0, epoll_ratio = 0;
+  bool epoll_meets = false;
+  if (hw >= 4) {
+    epoll_skipped = false;
+    const auto one = run_sockets(*tcp, 1, /*threads=*/1, 8, 64, 8, 8);
+    const auto four = run_sockets(*tcp, 1, /*threads=*/4, 8, 64, 8, 8);
+    epoll_1_bps = static_cast<double>(one.total_blocks) / one.secs;
+    epoll_4_bps = static_cast<double>(four.total_blocks) / four.secs;
+    epoll_ratio = epoll_1_bps > 0 ? epoll_4_bps / epoll_1_bps : 0.0;
+    epoll_meets = epoll_ratio >= 2.0 && one.lost_frames == 0 && four.lost_frames == 0;
+    std::printf("epoll scaling (tcp, sw engine): 1 thread %10.0f blk/s, 4 threads "
+                "%10.0f blk/s, ratio %.2f (target >= 2.0) -> %s\n\n",
+                epoll_1_bps, epoll_4_bps, epoll_ratio, epoll_meets ? "ok" : "BELOW TARGET");
+  } else {
+    epoll_reason = "host has " + std::to_string(hw) +
+                   " hardware threads; event-loop scaling needs >= 4";
+    std::printf("epoll scaling: skipped (%s)\n\n", epoll_reason.c_str());
+  }
+
+  // --- v2: cluster sweep, nodes x sessions -----------------------------------
+  // The scaling rows (1k/10k sessions, 4 nodes) only run where the host
+  // can carry them; every row that runs must drain gracefully with zero
+  // lost frames — that pair is the gate, throughput is the observation.
+  struct ClusterRow {
+    int nodes = 0;
+    int sessions = 0;
+    bool skipped = false;
+    std::string reason;
+    NetRun run;
+  };
+  std::vector<ClusterRow> cluster_rows;
+  std::printf("cluster sweep (tcp, sw engine, 16 req x 4 blk per session):\n");
+  std::printf("  %-6s  %-9s  %12s  %6s  %8s\n", "nodes", "sessions", "blocks/s", "lost",
+              "redirect");
+  for (const int n_nodes : {1, 2, 4}) {
+    for (const int sessions : {64, 1000, 10000}) {
+      ClusterRow row;
+      row.nodes = n_nodes;
+      row.sessions = sessions;
+      if (sessions > 64 && hw < 4) {
+        row.skipped = true;
+        row.reason = "host has " + std::to_string(hw) +
+                     " hardware threads; the " + std::to_string(sessions) +
+                     "-session scale row needs >= 4";
+        std::printf("  %-6d  %-9d  %12s  (%s)\n", n_nodes, sessions, "skipped",
+                    row.reason.c_str());
+      } else {
+        row.run = run_sockets(*tcp, n_nodes, /*threads=*/1, sessions, 16, 4,
+                              /*concurrency=*/64);
+        std::printf("  %-6d  %-9d  %12.0f  %6llu  %8llu\n", n_nodes, sessions,
+                    static_cast<double>(row.run.total_blocks) / row.run.secs,
+                    static_cast<unsigned long long>(row.run.lost_frames),
+                    static_cast<unsigned long long>(row.run.redirects));
+      }
+      cluster_rows.push_back(std::move(row));
+    }
+  }
+  std::printf("\n");
+
+  // --- v2: UDP netchan vs TCP, same verified workload ------------------------
+  auto udp = net::make_udp_transport();
+  const auto tcp_run = run_sockets(*tcp, 1, 1, 8, 32, 4, 8);
+  const auto udp_run = run_sockets(*udp, 1, 1, 8, 32, 4, 8);
+  const double tcp_bps = static_cast<double>(tcp_run.total_blocks) / tcp_run.secs;
+  const double udp_bps = static_cast<double>(udp_run.total_blocks) / udp_run.secs;
+  std::printf("udp vs tcp (8 sessions x 32 req x 4 blk): tcp %10.0f blk/s (lost %llu), "
+              "udp %10.0f blk/s (lost %llu)\n\n",
+              tcp_bps, static_cast<unsigned long long>(tcp_run.lost_frames), udp_bps,
+              static_cast<unsigned long long>(udp_run.lost_frames));
+
   std::ofstream jf("BENCH_net.json");
   aesip::report::JsonWriter j(jf);
-  aesip::report::begin_bench_envelope(j, "net", 1);
+  aesip::report::begin_bench_envelope(j, "net", 2);
   j.begin_object();  // config
   j.key("clock_ns").value(kClockNs);
   j.key("workers").value(workers);
@@ -228,6 +415,53 @@ void print_and_dump() {
     j.end_object();
   }
   j.end_array();
+
+  // --- v2 payload ------------------------------------------------------------
+  j.key("epoll").begin_object();
+  if (epoll_skipped) {
+    j.key("skipped").value(true);
+    j.key("reason").value(epoll_reason);
+  } else {
+    j.key("threads_1_blocks_per_sec").value(epoll_1_bps);
+    j.key("threads_4_blocks_per_sec").value(epoll_4_bps);
+    j.key("ratio").value(epoll_ratio);
+    j.key("target_ratio").value(2.0);
+    j.key("meets_target").value(epoll_meets);
+  }
+  j.end_object();
+
+  j.key("cluster").begin_array();
+  for (const auto& row : cluster_rows) {
+    j.begin_object();
+    j.key("nodes").value(row.nodes);
+    j.key("sessions").value(row.sessions);
+    if (row.skipped) {
+      j.key("skipped").value(true);
+      j.key("reason").value(row.reason);
+    } else {
+      j.key("total_blocks").value(row.run.total_blocks);
+      j.key("wall_seconds").value(row.run.secs);
+      j.key("blocks_per_sec").value(static_cast<double>(row.run.total_blocks) / row.run.secs);
+      j.key("redirects_followed").value(row.run.redirects);
+      j.key("lost_frames").value(row.run.lost_frames);
+      j.key("drained").value(row.run.drained);
+    }
+    j.end_object();
+  }
+  j.end_array();
+
+  j.key("udp_vs_tcp").begin_object();
+  j.key("sessions").value(8);
+  j.key("requests_per_session").value(32);
+  j.key("blocks_per_request").value(4);
+  j.key("tcp_blocks_per_sec").value(tcp_bps);
+  j.key("udp_blocks_per_sec").value(udp_bps);
+  j.key("tcp_lost_frames").value(tcp_run.lost_frames);
+  j.key("udp_lost_frames").value(udp_run.lost_frames);
+  j.key("lost_frames").value(tcp_run.lost_frames + udp_run.lost_frames);
+  j.key("drained").value(tcp_run.drained && udp_run.drained);
+  j.end_object();
+
   j.end_object();
   std::printf("wrote BENCH_net.json\n\n");
 }

@@ -1,0 +1,236 @@
+#include "cluster/director.hpp"
+
+#include <algorithm>
+
+namespace aesip::cluster {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& v, std::uint16_t x) {
+  v.push_back(static_cast<std::uint8_t>(x));
+  v.push_back(static_cast<std::uint8_t>(x >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  for (int i = 0; i < 4; ++i) v.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& v, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) v.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+}
+
+void put_str(std::vector<std::uint8_t>& v, const std::string& s) {
+  put_u16(v, static_cast<std::uint16_t>(std::min<std::size_t>(s.size(), 0xffff)));
+  v.insert(v.end(), s.begin(), s.begin() + static_cast<std::ptrdiff_t>(
+                                   std::min<std::size_t>(s.size(), 0xffff)));
+}
+
+/// Bounds-checked cursor over a view blob; any overrun poisons the read
+/// and merge_view rejects the whole blob.
+struct Reader {
+  std::span<const std::uint8_t> d;
+  std::size_t off = 0;
+  bool ok = true;
+
+  std::uint16_t u16() {
+    if (off + 2 > d.size()) { ok = false; return 0; }
+    const std::uint16_t x = static_cast<std::uint16_t>(d[off] | (d[off + 1] << 8));
+    off += 2;
+    return x;
+  }
+  std::uint32_t u32() {
+    if (off + 4 > d.size()) { ok = false; return 0; }
+    std::uint32_t x = 0;
+    for (int i = 0; i < 4; ++i) x |= static_cast<std::uint32_t>(d[off + static_cast<std::size_t>(i)]) << (8 * i);
+    off += 4;
+    return x;
+  }
+  std::uint64_t u64() {
+    if (off + 8 > d.size()) { ok = false; return 0; }
+    std::uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) x |= static_cast<std::uint64_t>(d[off + static_cast<std::size_t>(i)]) << (8 * i);
+    off += 8;
+    return x;
+  }
+  std::uint8_t u8() {
+    if (off + 1 > d.size()) { ok = false; return 0; }
+    return d[off++];
+  }
+  std::string str() {
+    const std::size_t n = u16();
+    if (!ok || off + n > d.size()) { ok = false; return {}; }
+    std::string s(d.begin() + static_cast<std::ptrdiff_t>(off),
+                  d.begin() + static_cast<std::ptrdiff_t>(off + n));
+    off += n;
+    return s;
+  }
+};
+
+}  // namespace
+
+Director::Director(DirectorConfig cfg, clock::time_point now)
+    : cfg_(std::move(cfg)), ring_(cfg_.ring_vnodes) {
+  Entry self;
+  self.address = cfg_.self_address;
+  self.heartbeat = 1;
+  self.serving = true;
+  self.last_advance = now;
+  nodes_.emplace(cfg_.self_id, std::move(self));
+}
+
+void Director::tick(clock::time_point now) {
+  std::lock_guard lk(mu_);
+  Entry& self = nodes_[cfg_.self_id];
+  ++self.heartbeat;
+  self.last_advance = now;
+}
+
+std::vector<std::uint8_t> Director::encode_view() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::uint8_t> out;
+  put_u32(out, static_cast<std::uint32_t>(nodes_.size()));
+  for (const auto& [id, e] : nodes_) {
+    put_str(out, id);
+    put_str(out, e.address);
+    put_u64(out, e.heartbeat);
+    out.push_back(e.serving ? 1 : 0);
+  }
+  return out;
+}
+
+bool Director::merge_view(std::span<const std::uint8_t> blob, clock::time_point now) {
+  Reader r{blob};
+  const std::uint32_t count = r.u32();
+  if (!r.ok || count > 4096) return false;
+
+  // Decode fully before touching state: a truncated blob merges nothing.
+  struct Row {
+    std::string id, address;
+    std::uint64_t heartbeat;
+    bool serving;
+  };
+  std::vector<Row> rows;
+  rows.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Row row;
+    row.id = r.str();
+    row.address = r.str();
+    row.heartbeat = r.u64();
+    row.serving = r.u8() != 0;
+    if (!r.ok || row.id.empty()) return false;
+    rows.push_back(std::move(row));
+  }
+
+  std::lock_guard lk(mu_);
+  for (auto& row : rows) {
+    auto [it, inserted] = nodes_.try_emplace(row.id);
+    Entry& e = it->second;
+    // Higher heartbeat wins — including for ourselves, except that only WE
+    // are authoritative for our own entry: a peer echoing a stale view of
+    // us must not roll back our serving flag.
+    if (row.id == cfg_.self_id) {
+      if (inserted) nodes_.erase(it);  // defensive; self always pre-exists
+      continue;
+    }
+    if (inserted || row.heartbeat > e.heartbeat) {
+      e.address = std::move(row.address);
+      e.heartbeat = row.heartbeat;
+      e.serving = row.serving;
+      e.last_advance = now;  // the counter advanced: someone heard from it
+    }
+  }
+  return true;
+}
+
+bool Director::alive_locked(const std::string& id, const Entry& e,
+                            clock::time_point now) const {
+  if (!e.serving) return false;
+  if (id == cfg_.self_id) return true;  // we vouch for ourselves
+  return now - e.last_advance < cfg_.suspect_after;
+}
+
+const Ring& Director::ring_locked(clock::time_point now) const {
+  std::vector<std::string> alive;
+  for (const auto& [id, e] : nodes_)
+    if (alive_locked(id, e, now)) alive.push_back(id);
+  if (alive != ring_members_) {
+    Ring fresh(cfg_.ring_vnodes);
+    for (const auto& id : alive) fresh.add_node(id);
+    ring_ = std::move(fresh);
+    ring_members_ = std::move(alive);
+  }
+  return ring_;
+}
+
+std::string Director::owner(std::uint64_t session_id, clock::time_point now) const {
+  std::lock_guard lk(mu_);
+  return ring_locked(now).owner(session_id);
+}
+
+std::string Director::address_of(const std::string& node_id) const {
+  std::lock_guard lk(mu_);
+  const auto it = nodes_.find(node_id);
+  return it == nodes_.end() ? std::string{} : it->second.address;
+}
+
+std::optional<std::string> Director::pick_peer(clock::time_point now) {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> candidates;
+  for (const auto& [id, e] : nodes_) {
+    if (id == cfg_.self_id || e.address.empty()) continue;
+    if (alive_locked(id, e, now)) candidates.push_back(e.address);
+  }
+  // Seeds we have not resolved to a member yet: keep knocking so a
+  // late-started or recovered node is rediscovered.
+  for (const auto& seed : cfg_.seeds) {
+    if (seed == cfg_.self_address) continue;
+    const bool known = std::any_of(nodes_.begin(), nodes_.end(), [&](const auto& kv) {
+      return kv.second.address == seed && alive_locked(kv.first, kv.second, now);
+    });
+    if (!known && std::find(candidates.begin(), candidates.end(), seed) == candidates.end())
+      candidates.push_back(seed);
+  }
+  if (candidates.empty()) return std::nullopt;
+  return candidates[peer_rr_++ % candidates.size()];
+}
+
+void Director::set_self_serving(bool serving) {
+  std::lock_guard lk(mu_);
+  Entry& self = nodes_[cfg_.self_id];
+  if (self.serving != serving) {
+    self.serving = serving;
+    ++self.heartbeat;  // make the change outrank every stale echo of us
+  }
+}
+
+bool Director::self_serving() const {
+  std::lock_guard lk(mu_);
+  const auto it = nodes_.find(cfg_.self_id);
+  return it != nodes_.end() && it->second.serving;
+}
+
+std::vector<NodeView> Director::view(clock::time_point now) const {
+  std::lock_guard lk(mu_);
+  std::vector<NodeView> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, e] : nodes_) {
+    NodeView v;
+    v.id = id;
+    v.address = e.address;
+    v.heartbeat = e.heartbeat;
+    v.serving = e.serving;
+    v.alive = alive_locked(id, e, now);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::size_t Director::alive_count(clock::time_point now) const {
+  std::lock_guard lk(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, e] : nodes_)
+    if (alive_locked(id, e, now)) ++n;
+  return n;
+}
+
+}  // namespace aesip::cluster

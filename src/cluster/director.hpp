@@ -1,0 +1,116 @@
+// cluster::Director — each node's view of cluster membership, synced by
+// gossip and projected onto a consistent-hash Ring.
+//
+// Every node runs one Director. It tracks, per node: the advertised
+// address, a monotonically increasing heartbeat counter, and a serving
+// flag. Liveness is inferred, never declared: a node bumps its own
+// heartbeat each gossip tick, and a peer counts as alive while its
+// heartbeat keeps advancing — if no gossip path has advanced it within
+// `suspect_after`, the peer is suspected dead and drops out of the ring.
+// A node draining for shutdown sets serving=false, which gossip spreads,
+// so it leaves the ring *gracefully* (peers redirect its sessions) before
+// it ever goes silent.
+//
+// Views travel as an opaque binary blob (encode_view/merge_view) inside
+// kGossip frames. Merging is a pointwise max over heartbeats: the entry
+// with the higher counter wins, ties keep what we have. That makes merge
+// commutative, associative, and idempotent — gossip order, duplication,
+// and loss cannot corrupt the membership, only delay it.
+//
+// Seeds are bootstrap addresses, not members: a node gossips at a seed
+// address until whoever answers introduces themselves (their view names
+// their id), after which they are a normal tracked node.
+//
+// Pure state machine: no sockets, no threads, clock passed in explicitly.
+// The Server owns the gossip loop that dials peers (src/net/server.cpp);
+// tests drive the Director with fake clocks. All methods are internally
+// locked — worker threads ask for owners while the gossip thread merges.
+#pragma once
+
+#include "cluster/ring.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace aesip::cluster {
+
+struct DirectorConfig {
+  std::string self_id;
+  std::string self_address;           ///< what peers should dial
+  std::vector<std::string> seeds;     ///< bootstrap addresses (may include self)
+  std::chrono::milliseconds suspect_after{1500};
+  std::size_t ring_vnodes = 64;
+};
+
+struct NodeView {
+  std::string id;
+  std::string address;
+  std::uint64_t heartbeat = 0;
+  bool serving = true;
+  bool alive = false;  ///< derived: serving and heartbeat still advancing
+};
+
+class Director {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Director(DirectorConfig cfg, clock::time_point now);
+
+  /// One gossip tick: advance our own heartbeat.
+  void tick(clock::time_point now);
+
+  /// Serialize the full known view (for a kGossip payload).
+  std::vector<std::uint8_t> encode_view() const;
+
+  /// Merge a peer's view: per node, the higher heartbeat wins; an advance
+  /// refreshes that node's liveness clock. Returns false on a malformed
+  /// blob (nothing merged).
+  bool merge_view(std::span<const std::uint8_t> blob, clock::time_point now);
+
+  /// The node id owning this session on the ring of *alive* nodes.
+  /// Empty when no node is alive (the caller serves locally rather than
+  /// bouncing sessions into the void).
+  std::string owner(std::uint64_t session_id, clock::time_point now) const;
+
+  /// Advertised address of a node id; empty if unknown.
+  std::string address_of(const std::string& node_id) const;
+
+  /// Next address to gossip with: round-robins over alive peers and
+  /// still-unresolved seed addresses. nullopt when there is nobody.
+  std::optional<std::string> pick_peer(clock::time_point now);
+
+  /// Drain/resume: a non-serving node stays in the view (so the flag
+  /// spreads) but leaves the ring.
+  void set_self_serving(bool serving);
+  bool self_serving() const;
+
+  std::vector<NodeView> view(clock::time_point now) const;
+  std::size_t alive_count(clock::time_point now) const;
+  const std::string& self_id() const noexcept { return cfg_.self_id; }
+  const std::string& self_address() const noexcept { return cfg_.self_address; }
+
+ private:
+  struct Entry {
+    std::string address;
+    std::uint64_t heartbeat = 0;
+    bool serving = true;
+    clock::time_point last_advance{};
+  };
+
+  bool alive_locked(const std::string& id, const Entry& e, clock::time_point now) const;
+  const Ring& ring_locked(clock::time_point now) const;
+
+  DirectorConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> nodes_;       ///< by node id, self included
+  std::size_t peer_rr_ = 0;                  ///< pick_peer round-robin cursor
+  mutable Ring ring_;                        ///< cached over the alive set
+  mutable std::vector<std::string> ring_members_;  ///< what ring_ was built from
+};
+
+}  // namespace aesip::cluster

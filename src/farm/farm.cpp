@@ -651,6 +651,67 @@ bool Farm::write_chrome_trace(std::ostream& os) const {
 
 // --- FarmStats rendering ----------------------------------------------------------
 
+void FarmStats::merge_from(const FarmStats& other) {
+  workers += other.workers;
+  if (engine.empty())
+    engine = other.engine;
+  else if (!other.engine.empty() && other.engine != engine)
+    engine = "mixed";
+
+  requests += other.requests;
+  blocks += other.blocks;
+  rejected += other.rejected;
+  ctr_fanouts += other.ctr_fanouts;
+  ctr_chunks += other.ctr_chunks;
+
+  key_hits += other.key_hits;
+  key_loads += other.key_loads;
+  session_evictions += other.session_evictions;
+  sessions_live += other.sessions_live;
+
+  queue_capacity += other.queue_capacity;
+  queue_high_water = std::max(queue_high_water, other.queue_high_water);
+  queue_depth.merge(other.queue_depth);
+  queue_wait_us.merge(other.queue_wait_us);
+
+  swaps += other.swaps;
+  heals += other.heals;
+  quarantines += other.quarantines;
+  spot_checks += other.spot_checks;
+  spot_mismatches += other.spot_mismatches;
+  replayed_jobs += other.replayed_jobs;
+  spot_boosts += other.spot_boosts;
+  spot_boost_checks += other.spot_boost_checks;
+  workers_boosted += other.workers_boosted;
+  sessions_migrated += other.sessions_migrated;
+  workers_enabled += other.workers_enabled;
+  swap_pause_us.merge(other.swap_pause_us);
+
+  trace_events += other.trace_events;
+  trace_dropped += other.trace_dropped;
+
+  // Nodes run concurrently: the cluster's wall time is the longest node's,
+  // and the simulated makespan is the slowest core anywhere.
+  wall_seconds = std::max(wall_seconds, other.wall_seconds);
+  total_cycles += other.total_cycles;
+  max_worker_cycles = std::max(max_worker_cycles, other.max_worker_cycles);
+  total_setup_cycles += other.total_setup_cycles;
+
+  // Percentile summaries cannot merge exactly; weighted mean + max bounds.
+  const auto n1 = latency.samples, n2 = other.latency.samples;
+  if (n1 + n2 > 0)
+    latency.mean_us = (latency.mean_us * static_cast<double>(n1) +
+                       other.latency.mean_us * static_cast<double>(n2)) /
+                      static_cast<double>(n1 + n2);
+  latency.p50_us = std::max(latency.p50_us, other.latency.p50_us);
+  latency.p90_us = std::max(latency.p90_us, other.latency.p90_us);
+  latency.p99_us = std::max(latency.p99_us, other.latency.p99_us);
+  latency.max_us = std::max(latency.max_us, other.latency.max_us);
+  latency.samples = n1 + n2;
+
+  per_worker.insert(per_worker.end(), other.per_worker.begin(), other.per_worker.end());
+}
+
 std::string FarmStats::report(double clock_ns) const {
   char line[192];
   std::string out;

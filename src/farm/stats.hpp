@@ -114,6 +114,16 @@ struct FarmStats {
     return total ? static_cast<double>(key_hits) / static_cast<double>(total) : 0.0;
   }
 
+  /// Fold another farm's stats into this one — the cluster-wide roll-up
+  /// (`aesip fleet status --nodes`). Counters and cycle totals add;
+  /// gauges that count resources (workers, sessions_live, queue_capacity)
+  /// add; high-water marks and makespan take the max; histograms merge
+  /// exactly (log2 buckets align). LatencyStats percentiles cannot merge
+  /// exactly from summaries alone: mean is weighted by samples, the p50/
+  /// p90/p99/max fields take the max — an upper bound, never an
+  /// under-report. per_worker lists concatenate in call order.
+  void merge_from(const FarmStats& other);
+
   /// Human-readable multi-line report (clock_ns scales the simulated-domain
   /// figures; the paper's Acex1K column is 14 ns).
   std::string report(double clock_ns = 14.0) const;

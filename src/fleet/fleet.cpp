@@ -61,8 +61,9 @@ std::string FleetStatus::report() const {
     std::snprintf(line, sizeof line, fmt, args...);
     out += line;
   };
-  add("fleet: %d workers (%d enabled), %llu swaps, %llu heals, %llu quarantines\n", workers,
-      workers_enabled, static_cast<unsigned long long>(swaps),
+  add("fleet%s%s: %d workers (%d enabled), %llu swaps, %llu heals, %llu quarantines\n",
+      node.empty() ? "" : "@", node.c_str(), workers, workers_enabled,
+      static_cast<unsigned long long>(swaps),
       static_cast<unsigned long long>(heals), static_cast<unsigned long long>(quarantines));
   add("  spot-check: %llu checked, %llu mismatched, %llu replayed; %llu sessions migrated\n",
       static_cast<unsigned long long>(spot_checks),
@@ -84,6 +85,7 @@ std::string FleetStatus::report() const {
 void FleetStatus::write_json(std::ostream& os) const {
   report::JsonWriter j(os);
   j.begin_object();
+  if (!node.empty()) j.key("node").value(node);
   j.key("workers").value(workers);
   j.key("workers_enabled").value(workers_enabled);
   j.key("swaps").value(swaps);

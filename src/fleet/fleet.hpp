@@ -42,6 +42,7 @@ struct WorkerStatus {
 /// Point-in-time fleet health: the reconfiguration counters plus one row
 /// per worker. A plain value — safe to serialize off the snapshot thread.
 struct FleetStatus {
+  std::string node;  ///< cluster node id ("" when not clustered) — labels roll-up rows
   int workers = 0;
   int workers_enabled = 0;
   std::uint64_t swaps = 0;

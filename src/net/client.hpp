@@ -1,9 +1,13 @@
 // aesip-wire-v1 client: one connection, one session, pipelined requests.
 //
 // connect() retries with exponential backoff (servers come up while
-// clients start — the loadgen races `aesip serve` by design), then runs
-// the kHello handshake and learns the server's flow-control contract
-// (window, max payload). Data calls come in two shapes:
+// clients start — the loadgen races `aesip serve` by design). The retry
+// budget is doubly bounded: at most `connect_attempts` tries AND at most
+// `connect_wait_max` total sleeping; exhausting either throws
+// WireError(kConnectFailed) whose message carries the last underlying
+// failure (including the transport's strerror text). Then the kHello
+// handshake learns the server's flow-control contract (window, max
+// payload). Data calls come in two shapes:
 //
 //   * blocking: enc_blocks()/dec_blocks()/ctr_stream() submit and wait —
 //     the simple one-outstanding-request client;
@@ -12,6 +16,16 @@
 //     lands. Responses may arrive out of order; the client matches them
 //     by seq, so callers can keep `window` frames in flight — which is
 //     what it takes to keep a multi-worker farm busy over one connection.
+//
+// Cluster redirects: a sharded server answers kRedirect (payload = the
+// owning node's address) instead of serving a session it does not own.
+// With `follow_redirects` the client transparently reconnects there,
+// replays the handshake, re-installs the session key, and re-sends every
+// frame not yet answered (it keeps a copy of each request until its
+// response arrives) — callers just see their wait() return, possibly a
+// little later. Hops are bounded by `max_redirects` per operation; a
+// `pinned` client advertises kFlagPinned at kHello and is never
+// redirected (gossip and node-targeted tooling use this).
 //
 // A kError response surfaces as WireError (carrying the ErrorCode); any
 // transport failure or malformed server frame throws std::runtime_error.
@@ -39,7 +53,11 @@ struct ClientConfig {
   int connect_attempts = 8;
   std::chrono::milliseconds backoff_initial{5};   ///< doubles per retry
   std::chrono::milliseconds backoff_max{500};
+  std::chrono::milliseconds connect_wait_max{2000};  ///< cap on total backoff sleep
   std::chrono::milliseconds io_timeout{10000};    ///< per blocking wait
+  bool follow_redirects = true;  ///< chase kRedirect to the owning node
+  int max_redirects = 4;         ///< hop bound per operation
+  bool pinned = false;           ///< kFlagPinned on kHello: never redirected
 };
 
 /// A kError frame from the server, as an exception.
@@ -69,6 +87,10 @@ class Client {
   std::uint32_t max_payload() const noexcept { return max_payload_; }
   /// Data frames submitted and not yet answered.
   std::size_t in_flight() const noexcept { return in_flight_; }
+  /// kRedirect hops followed over this client's lifetime.
+  std::uint64_t redirects() const noexcept { return redirects_; }
+  /// Address currently connected to (changes when a redirect is followed).
+  const std::string& server_address() const noexcept { return address_; }
 
   /// Install the session key (kSetKey, waits for kKeyOk). 16/24/32 bytes
   /// select AES-128/192/256; any other length throws std::invalid_argument
@@ -106,6 +128,10 @@ class Client {
   void drain();
   /// The farm stats JSON (kStats -> kStatsOk payload).
   std::string stats_json();
+  /// Trade membership views with a clustered server (kGossip ->
+  /// kGossipOk); returns the server's encoded view. Throws
+  /// WireError(kNotClustered) against a standalone server.
+  std::vector<std::uint8_t> gossip(std::vector<std::uint8_t> view);
   /// Polite goodbye (kBye -> kByeOk); the connection is unusable after.
   void bye();
 
@@ -135,8 +161,15 @@ class Client {
   /// Wait for the control ack `ack` to seq `seq`; returns its payload.
   std::vector<std::uint8_t> wait_control(Op ack, std::uint32_t seq);
   void on_frame(Frame&& f);
+  /// Reconnect at `target`, re-handshake, re-key, replay the unanswered.
+  void do_redirect(const std::string& target);
+  void send_hello();
+  /// Blocking mini-exchange used only during redirects (pump would recurse).
+  Frame read_one_frame(std::chrono::steady_clock::time_point deadline);
 
   ClientConfig cfg_;
+  Transport* transport_;
+  std::string address_;  ///< where we are connected now
   std::unique_ptr<Conn> conn_;
   FrameDecoder decoder_;
   std::uint64_t session_id_;
@@ -144,10 +177,15 @@ class Client {
   std::uint32_t window_ = 1;
   std::uint32_t max_payload_ = 0;
   std::size_t in_flight_ = 0;
+  std::uint64_t redirects_ = 0;
   std::vector<std::uint8_t> outbuf_;
   std::size_t out_off_ = 0;
   std::set<std::uint32_t> data_seqs_;         ///< submitted data frames awaiting response
   std::map<std::uint32_t, Frame> completed_;  ///< responses not yet collected
+  std::map<std::uint32_t, Frame> pending_;    ///< sent, unanswered — the replay buffer
+  std::vector<std::uint8_t> key_;             ///< last installed key, for re-keying
+  bool redirect_pending_ = false;
+  std::string redirect_target_;
 };
 
 }  // namespace aesip::net

@@ -1,0 +1,220 @@
+#include "net/netchan.hpp"
+
+#include "net/wire.hpp"  // crc32, put/get helpers
+
+namespace aesip::net::netchan {
+
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& v, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) v.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> v, std::size_t off) {
+  std::uint64_t x = 0;
+  for (int i = 0; i < 8; ++i)
+    x |= static_cast<std::uint64_t>(v[off + static_cast<std::size_t>(i)]) << (8 * i);
+  return x;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_packet(const Packet& p) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kPacketOverhead + p.payload.size());
+  put_u32(out, kMagic);
+  out.push_back(static_cast<std::uint8_t>(p.type));
+  out.push_back(0);  // flags, reserved
+  put_u16(out, static_cast<std::uint16_t>(p.payload.size()));
+  put_u32(out, p.conv);
+  put_u32(out, p.seq);
+  put_u32(out, p.ack);
+  put_u32(out, p.ack_bits);
+  put_u64(out, p.cookie);
+  out.insert(out.end(), p.payload.begin(), p.payload.end());
+  put_u32(out, crc32(out));
+  return out;
+}
+
+bool decode_packet(std::span<const std::uint8_t> d, Packet& out) {
+  if (d.size() < kPacketOverhead) return false;
+  if (get_u32(d, 0) != kMagic) return false;
+  const std::size_t len = get_u16(d, 6);
+  if (d.size() != kPacketOverhead + len) return false;
+  if (get_u32(d, kPacketHeader + len) != crc32(d.subspan(0, kPacketHeader + len)))
+    return false;
+  const std::uint8_t ty = d[4];
+  if (ty < 1 || ty > 7) return false;
+  out.type = static_cast<PacketType>(ty);
+  out.conv = get_u32(d, 8);
+  out.seq = get_u32(d, 12);
+  out.ack = get_u32(d, 16);
+  out.ack_bits = get_u32(d, 20);
+  out.cookie = get_u64(d, 24);
+  out.payload.assign(d.begin() + kPacketHeader,
+                     d.begin() + static_cast<std::ptrdiff_t>(kPacketHeader + len));
+  return true;
+}
+
+std::uint64_t make_cookie(std::string_view addr, std::uint64_t secret,
+                          std::uint64_t epoch) noexcept {
+  // Keyed-hash sandwich over (secret, addr, epoch, secret): enough mixing
+  // that neither addr nor epoch can be solved for without the secret.
+  std::uint64_t h = splitmix64(secret ^ fnv1a64(addr));
+  h = splitmix64(h ^ epoch);
+  return splitmix64(h ^ secret);
+}
+
+bool cookie_valid(std::uint64_t cookie, std::string_view addr, std::uint64_t secret,
+                  std::uint64_t epoch_now) noexcept {
+  if (cookie == make_cookie(addr, secret, epoch_now)) return true;
+  return epoch_now > 0 && cookie == make_cookie(addr, secret, epoch_now - 1);
+}
+
+Channel::Channel(ChannelConfig cfg) : cfg_(cfg) {
+  if (cfg_.mtu_payload == 0) cfg_.mtu_payload = 1;
+  if (cfg_.window == 0) cfg_.window = 1;
+}
+
+std::size_t Channel::send(std::span<const std::uint8_t> bytes) {
+  std::size_t accepted = 0;
+  while (accepted < bytes.size() && tx_.size() < cfg_.window) {
+    const std::size_t n = std::min(cfg_.mtu_payload, bytes.size() - accepted);
+    Segment seg;
+    seg.seq = tx_next_++;
+    seg.bytes.assign(bytes.begin() + static_cast<std::ptrdiff_t>(accepted),
+                     bytes.begin() + static_cast<std::ptrdiff_t>(accepted + n));
+    tx_.push_back(std::move(seg));
+    accepted += n;
+  }
+  return accepted;
+}
+
+std::size_t Channel::receive(std::span<std::uint8_t> out) {
+  const std::size_t n = std::min(out.size(), rx_ready_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = rx_ready_.front();
+    rx_ready_.pop_front();
+  }
+  return n;
+}
+
+std::uint32_t Channel::ack_bits() const {
+  // Bit i: segment rx_next_ + i already arrived (it is in the stash).
+  // rx_next_ itself is by definition missing, so bit positions index from
+  // the first gap — the selective window that unblocks retransmission of
+  // exactly the lost segment.
+  std::uint32_t bits = 0;
+  for (int i = 0; i < 32; ++i)
+    if (stash_.count(rx_next_ + static_cast<std::uint32_t>(i))) bits |= 1u << i;
+  return bits;
+}
+
+void Channel::apply_acks(const Packet& p) {
+  for (auto it = tx_.begin(); it != tx_.end();) {
+    const std::int32_t past_cum = static_cast<std::int32_t>(it->seq - p.ack);
+    bool acked = past_cum <= 0;
+    if (!acked && p.ack_bits) {
+      const std::uint32_t d = it->seq - (p.ack + 1);
+      acked = d < 32 && ((p.ack_bits >> d) & 1u);
+    }
+    it = acked ? tx_.erase(it) : ++it;
+  }
+}
+
+void Channel::on_packet(const Packet& p, clock::time_point) {
+  apply_acks(p);
+  if (p.type == PacketType::kBye) {
+    peer_closed_ = true;
+    return;
+  }
+  if (p.type != PacketType::kData) return;
+
+  const std::int32_t d = static_cast<std::int32_t>(p.seq - rx_next_);
+  if (d < 0) {
+    // Already delivered: our ack was lost. Re-ack so the peer stops.
+    ++stats_.dups;
+  } else if (d == 0) {
+    ++stats_.segs_received;
+    rx_ready_.insert(rx_ready_.end(), p.payload.begin(), p.payload.end());
+    ++rx_next_;
+    // Drain everything the gap was holding back.
+    for (auto it = stash_.find(rx_next_); it != stash_.end(); it = stash_.find(rx_next_)) {
+      rx_ready_.insert(rx_ready_.end(), it->second.begin(), it->second.end());
+      stash_.erase(it);
+      ++rx_next_;
+    }
+  } else if (static_cast<std::uint32_t>(d) < cfg_.window * 4 &&
+             stash_.size() < cfg_.recv_stash_max) {
+    if (stash_.emplace(p.seq, p.payload).second) {
+      ++stats_.segs_received;
+      ++stats_.out_of_order;
+    } else {
+      ++stats_.dups;
+    }
+  }
+  // else: past the stash bound; drop, the peer retransmits.
+  ack_pending_ = true;
+}
+
+bool Channel::poll_outgoing(Packet& out, clock::time_point now) {
+  if (dead_) return false;
+  for (auto& seg : tx_) {
+    if (seg.sends != 0 && now - seg.last_send < cfg_.rto) continue;
+    if (seg.sends > cfg_.max_resend) {
+      dead_ = true;  // the peer is gone; stop pretending
+      return false;
+    }
+    out = Packet{};
+    out.type = PacketType::kData;
+    out.seq = seg.seq;
+    out.ack = cum_ack();
+    out.ack_bits = ack_bits();
+    out.payload = seg.bytes;
+    seg.sends == 0 ? ++stats_.segs_sent : ++stats_.segs_resent;
+    ++seg.sends;
+    seg.last_send = now;
+    ack_pending_ = false;  // the data packet carried the ack
+    return true;
+  }
+  if (ack_pending_) {
+    out = Packet{};
+    out.type = PacketType::kAck;
+    out.ack = cum_ack();
+    out.ack_bits = ack_bits();
+    ack_pending_ = false;
+    ++stats_.acks_sent;
+    return true;
+  }
+  return false;
+}
+
+std::optional<Channel::clock::time_point> Channel::next_deadline() const {
+  if (dead_) return std::nullopt;
+  std::optional<clock::time_point> earliest;
+  for (const auto& seg : tx_) {
+    if (seg.sends == 0) return clock::time_point::min();  // sendable right now
+    const auto due = seg.last_send + cfg_.rto;
+    if (!earliest || due < *earliest) earliest = due;
+  }
+  if (ack_pending_) return clock::time_point::min();
+  return earliest;
+}
+
+}  // namespace aesip::net::netchan

@@ -1,0 +1,175 @@
+// aesip-netchan-v1: a reliable, ordered byte stream over lossy datagrams.
+//
+// The wire protocol (wire.hpp) assumes a byte stream; UDP gives neither
+// order nor delivery. This layer closes the gap the way game-engine
+// netchans do — sequence numbers, cumulative + selective acks, timed
+// retransmission — so the unchanged FrameCodec (and every opcode above
+// it) runs verbatim over datagrams. Packet layout (all integers LE):
+//
+//   offset size  field
+//   0      4     magic  "ANC1" (0x41 0x4E 0x43 0x31)
+//   4      1     type   (PacketType)
+//   5      1     flags  (reserved, 0)
+//   6      2     payload_len
+//   8      4     conv   (connection id the server assigned at kAccept)
+//   12     4     seq    (kData: segment number; else 0)
+//   16     4     ack    (cumulative: every segment <= ack was received)
+//   20     4     ack_bits (bit i set: segment ack+1+i was received — the
+//                selective window that keeps one lost datagram from
+//                stalling everything behind it)
+//   24     8     cookie (handshake types only; 0 in data/ack)
+//   32     len   payload
+//   32+len 4     crc32  (IEEE 802.3 over bytes [0, 32+len)) — a mangled
+//                datagram is dropped here, never fed to the stream
+//
+// Handshake (stateless on the server until the cookie proves the source):
+//
+//   client                          server
+//   kChallengeReq     ->
+//                     <-  kChallenge{cookie = H(addr, secret, epoch)}
+//   kConnect{cookie}  ->            (verify cookie; only now allocate)
+//                     <-  kAccept{conv}
+//
+// The server computes the cookie from the datagram's source address, a
+// process-local secret and the current epoch — it stores nothing, so a
+// spoofed source costs the attacker a reply and the server an HMAC-style
+// hash, never memory. Cookies from the current or previous epoch verify
+// (a client mid-handshake across a rotation still connects); anything
+// older is stale and rejected.
+//
+// Channel is the per-connection reliability engine, pure and clock-
+// explicit: bytes in via send(), packets out via poll_outgoing(), packets
+// in via on_packet(), bytes out via receive(). No sockets, no threads, no
+// hidden time — tests drive it through a seeded packet mangler and a fake
+// clock (tests/test_cluster.cpp). udp.cpp owns the sockets.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace aesip::net::netchan {
+
+inline constexpr std::uint32_t kMagic = 0x31434e41u;  // "ANC1" little-endian
+inline constexpr std::size_t kPacketHeader = 32;
+inline constexpr std::size_t kPacketTrailer = 4;  // the CRC
+inline constexpr std::size_t kPacketOverhead = kPacketHeader + kPacketTrailer;
+
+enum class PacketType : std::uint8_t {
+  kChallengeReq = 1,
+  kChallenge = 2,
+  kConnect = 3,
+  kAccept = 4,
+  kData = 5,
+  kAck = 6,
+  kBye = 7,
+};
+
+struct Packet {
+  PacketType type = PacketType::kData;
+  std::uint32_t conv = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint32_t ack_bits = 0;
+  std::uint64_t cookie = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+std::vector<std::uint8_t> encode_packet(const Packet& p);
+
+/// Decode + verify one datagram. False on anything malformed (short, bad
+/// magic, bad CRC, length mismatch) — the caller drops the datagram.
+bool decode_packet(std::span<const std::uint8_t> datagram, Packet& out);
+
+/// The stateless handshake cookie: a keyed hash of the peer's address
+/// string, the listener's secret, and a coarse time epoch. Not a
+/// cryptographic MAC — it gates state allocation against address
+/// spoofing, it does not authenticate sessions.
+std::uint64_t make_cookie(std::string_view addr, std::uint64_t secret,
+                          std::uint64_t epoch) noexcept;
+
+/// Accept cookies minted this epoch or the previous one (a handshake
+/// straddling a rotation still completes); anything older is stale.
+bool cookie_valid(std::uint64_t cookie, std::string_view addr, std::uint64_t secret,
+                  std::uint64_t epoch_now) noexcept;
+
+struct ChannelConfig {
+  std::size_t mtu_payload = 1164;  ///< data bytes per kData packet
+  std::size_t window = 64;         ///< max unacked outgoing segments
+  std::chrono::milliseconds rto{25};
+  std::size_t max_resend = 400;    ///< resend cap per segment; past it the
+                                   ///< channel declares the peer dead
+  std::size_t recv_stash_max = 256;  ///< out-of-order segments held
+};
+
+/// One direction pair of reliable byte stream over unreliable packets.
+class Channel {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  explicit Channel(ChannelConfig cfg = {});
+
+  // --- byte-stream side ------------------------------------------------------
+  /// Queue bytes for the peer; returns how many were accepted (0 when the
+  /// send window is full — the caller's kWouldBlock).
+  std::size_t send(std::span<const std::uint8_t> bytes);
+  /// Pop in-order received bytes; 0 when none are ready.
+  std::size_t receive(std::span<std::uint8_t> out);
+
+  // --- packet side -----------------------------------------------------------
+  /// Feed one verified kData/kAck/kBye packet from the peer.
+  void on_packet(const Packet& p, clock::time_point now);
+  /// Next packet due (new data, retransmit, or a pure ack). False: nothing
+  /// to send right now.
+  bool poll_outgoing(Packet& out, clock::time_point now);
+  /// Earliest instant poll_outgoing could produce a retransmit; nullopt
+  /// when nothing is in flight and no ack is owed.
+  std::optional<clock::time_point> next_deadline() const;
+
+  // --- state -----------------------------------------------------------------
+  bool idle() const { return tx_.empty() && !ack_pending_; }     ///< all sent data acked
+  bool peer_closed() const { return peer_closed_; }              ///< kBye received
+  bool dead() const { return dead_; }                            ///< resend cap blown
+  bool recv_drained() const { return rx_ready_.empty() && stash_.empty(); }
+
+  struct Stats {
+    std::uint64_t segs_sent = 0;      ///< first transmissions
+    std::uint64_t segs_resent = 0;    ///< RTO retransmissions
+    std::uint64_t segs_received = 0;  ///< in-window data segments accepted
+    std::uint64_t dups = 0;           ///< duplicate segments dropped
+    std::uint64_t out_of_order = 0;   ///< segments stashed past a gap
+    std::uint64_t acks_sent = 0;      ///< pure kAck packets emitted
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void apply_acks(const Packet& p);
+  std::uint32_t cum_ack() const noexcept { return rx_next_ - 1; }
+  std::uint32_t ack_bits() const;
+
+  ChannelConfig cfg_;
+  Stats stats_;
+
+  struct Segment {
+    std::uint32_t seq = 0;
+    std::vector<std::uint8_t> bytes;
+    clock::time_point last_send{};  ///< min(): never sent
+    std::size_t sends = 0;
+  };
+  std::deque<Segment> tx_;       ///< unacked, ascending seq (front = oldest)
+  std::uint32_t tx_next_ = 1;    ///< seq for the next new segment
+
+  std::uint32_t rx_next_ = 1;    ///< next in-order segment expected
+  std::map<std::uint32_t, std::vector<std::uint8_t>> stash_;  ///< past-gap segments
+  std::deque<std::uint8_t> rx_ready_;  ///< delivered, in-order bytes
+  bool ack_pending_ = false;
+  bool peer_closed_ = false;
+  bool dead_ = false;
+};
+
+}  // namespace aesip::net::netchan

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "aes/modes.hpp"
+#include "net/client.hpp"
 
 namespace aesip::net {
 
@@ -33,15 +34,42 @@ std::uint64_t us_since(std::chrono::steady_clock::time_point from) {
 
 }  // namespace
 
+/// One event-loop thread's world: the connections it owns exclusively, the
+/// inbox the acceptor feeds it through (the only cross-thread touch point),
+/// and the readiness set it sleeps on. With threads == 1 there is exactly
+/// one Loop and the acceptor/worker split collapses back into one thread.
+struct Server::Loop {
+  int index = 0;
+  std::vector<std::unique_ptr<Connection>> conns;
+  std::mutex inbox_mu;
+  std::vector<std::unique_ptr<Conn>> inbox;  ///< accepted, not yet adopted
+  std::atomic<std::size_t> live{0};  ///< conns + inbox; the acceptor's drain gate
+  std::unique_ptr<ReadinessSet> readiness = make_readiness_set();
+  std::vector<int> watch;  ///< native handles, rebuilt when the conn set changes
+  bool watch_dirty = true;
+  std::thread thread;
+
+  /// Per-thread share of the global counters (relaxed; read by stats()).
+  struct PerThread {
+    std::atomic<std::uint64_t> connections_adopted{0};
+    std::atomic<std::uint64_t> frames_received{0};
+    std::atomic<std::uint64_t> responses_sent{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+  } pt;
+};
+
 /// Everything the loop knows about one connection. Owned exclusively by
-/// the event-loop thread.
+/// one event-loop thread for its whole life.
 struct Server::Connection {
   std::unique_ptr<Conn> conn;
+  Loop* owner = nullptr;
   FrameDecoder decoder;
   std::vector<std::uint8_t> outbuf;  ///< encoded frames awaiting write
   std::size_t out_off = 0;           ///< bytes of outbuf already written
 
   bool got_hello = false;
+  bool pinned = false;  ///< kFlagPinned on kHello: never redirect this one
   std::uint64_t session_id = 0;
   std::optional<farm::KeyBytes> key;  ///< 16/24/32 bytes; absent before kSetKey
 
@@ -86,23 +114,41 @@ struct Server::Connection {
 };
 
 Server::Server(Transport& transport, const std::string& address, ServerConfig cfg)
-    : cfg_(std::move(cfg)), farm_(cfg_.farm), chaos_(farm_, cfg_.chaos_seed),
-      listener_(transport.listen(address)), address_(listener_->address()),
-      start_(std::chrono::steady_clock::now()) {
+    : cfg_(std::move(cfg)), transport_(&transport), farm_(cfg_.farm),
+      chaos_(farm_, cfg_.chaos_seed), listener_(transport.listen(address)),
+      address_(listener_->address()), start_(std::chrono::steady_clock::now()) {
   if (cfg_.window == 0) cfg_.window = 1;
-  if (cfg_.tracing) tracer_ = std::make_unique<obs::Tracer>(1, cfg_.trace_capacity);
+  if (cfg_.threads < 1) cfg_.threads = 1;
+  if (cfg_.tracing)
+    tracer_ = std::make_unique<obs::Tracer>(static_cast<std::size_t>(cfg_.threads),
+                                            cfg_.trace_capacity);
+  for (int i = 0; i < cfg_.threads; ++i) {
+    loops_.push_back(std::make_unique<Loop>());
+    loops_.back()->index = i;
+  }
+  if (cfg_.cluster) {
+    cluster::DirectorConfig dc;
+    dc.self_id = cfg_.cluster->node_id;
+    dc.self_address = cfg_.cluster->advertise.empty() ? address_ : cfg_.cluster->advertise;
+    dc.seeds = cfg_.cluster->seeds;
+    dc.suspect_after = cfg_.cluster->suspect_after;
+    dc.ring_vnodes = cfg_.cluster->ring_vnodes;
+    director_ = std::make_unique<cluster::Director>(std::move(dc),
+                                                    std::chrono::steady_clock::now());
+    counters_.cluster_nodes_alive.store(1, std::memory_order_relaxed);
+  }
 }
 
 Server::~Server() { stop(); }
 
 void Server::start() {
   if (running_.exchange(true)) return;
-  thread_ = std::thread([this] { loop(); });
+  thread_ = std::thread([this] { serve(); });
 }
 
 void Server::run() {
   if (running_.exchange(true)) return;
-  loop();
+  serve();
 }
 
 void Server::stop() {
@@ -111,15 +157,225 @@ void Server::stop() {
   running_.store(false);
 }
 
-bool Server::accept_new() {
-  bool any = false;
-  while (auto c = listener_->accept()) {
-    conns_.push_back(std::make_unique<Connection>(std::move(c), cfg_.max_payload));
-    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-    counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
-    any = true;
+void Server::serve() {
+  if (director_) {
+    gossip_stop_.store(false, std::memory_order_release);
+    gossip_thread_ = std::thread([this] { gossip_loop(); });
   }
-  return any;
+  if (cfg_.threads == 1) {
+    serve_single(*loops_[0]);
+  } else {
+    for (auto& lp : loops_) {
+      Loop* p = lp.get();
+      p->thread = std::thread([this, p] { worker_loop(*p); });
+    }
+    acceptor_loop();
+    for (auto& lp : loops_)
+      if (lp->thread.joinable()) lp->thread.join();
+  }
+  if (director_) {
+    gossip_stop_.store(true, std::memory_order_release);
+    if (gossip_thread_.joinable()) gossip_thread_.join();
+  }
+  listener_->close();
+}
+
+/// Move accepted connections from the acceptor's inbox into this loop's
+/// exclusive set. The mutex hand-off is the happens-before edge that makes
+/// lock-free ownership afterwards sound.
+bool Server::adopt_inbox(Loop& lp) {
+  std::vector<std::unique_ptr<Conn>> batch;
+  {
+    std::lock_guard lk(lp.inbox_mu);
+    batch.swap(lp.inbox);
+  }
+  for (auto& c : batch) {
+    auto conn = std::make_unique<Connection>(std::move(c), cfg_.max_payload);
+    conn->owner = &lp;
+    lp.conns.push_back(std::move(conn));
+    lp.pt.connections_adopted.fetch_add(1, std::memory_order_relaxed);
+    lp.watch_dirty = true;
+  }
+  return !batch.empty();
+}
+
+bool Server::service_conns(Loop& lp, bool draining) {
+  bool progress = false;
+  for (auto& cp : lp.conns) {
+    Connection& c = *cp;
+    if (draining) c.closing = true;
+    progress |= service_reads(c);
+    progress |= retry_deferred(c);
+    progress |= reap_completions(c);
+    progress |= flush_writes(c);
+  }
+  return progress;
+}
+
+/// Close what is finished: dead connections immediately; closing/EOF ones
+/// once every accepted frame is answered and every byte written (the
+/// zero-loss contract); idle ones at the timeout.
+bool Server::close_finished(Loop& lp, bool draining) {
+  bool progress = false;
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = lp.conns.begin(); it != lp.conns.end();) {
+    Connection& c = **it;
+    bool drop = c.dead;
+    if (!drop && (c.closing || c.eof) && c.quiesced() && c.flushed()) drop = true;
+    if (!drop && !draining && c.quiesced() && c.flushed() &&
+        now - c.last_activity > cfg_.idle_timeout) {
+      counters_.idle_closes.fetch_add(1, std::memory_order_relaxed);
+      drop = true;
+    }
+    if (drop) {
+      if (c.got_hello) counters_.sessions_active.fetch_sub(1, std::memory_order_relaxed);
+      counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+      counters_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+      c.conn->close();
+      it = lp.conns.erase(it);
+      lp.live.fetch_sub(1, std::memory_order_acq_rel);
+      lp.watch_dirty = true;
+      progress = true;
+    } else {
+      ++it;
+    }
+  }
+  return progress;
+}
+
+/// Nothing moved: sleep until I/O or a completion can change that. With
+/// work in flight, waiting on the oldest future wakes on the common case
+/// (completions); otherwise the readiness set (or, single-threaded, the
+/// listener) wakes on bytes, and the poll interval bounds the rest.
+void Server::idle_wait(Loop& lp) {
+  Connection* waiting = nullptr;
+  for (auto& cp : lp.conns)
+    if (!cp->in_flight.empty()) {
+      waiting = cp.get();
+      break;
+    }
+  if (waiting) {
+    waiting->in_flight.front().future.wait_for(cfg_.poll_interval);
+    return;
+  }
+  if (cfg_.threads == 1) {
+    // Single-thread mode: the listener's wait doubles as the connection
+    // wait (loopback wakes on any hub activity) — the pre-threading shape.
+    listener_->wait(cfg_.poll_interval);
+    return;
+  }
+  if (lp.watch_dirty) {
+    lp.watch.clear();
+    for (auto& cp : lp.conns) lp.watch.push_back(cp->conn->native_handle());
+    lp.readiness->rebuild(lp.watch);
+    lp.watch_dirty = false;
+  }
+  lp.readiness->wait(cfg_.poll_interval);
+}
+
+/// threads == 1: accept and serve on one thread (the original event loop).
+void Server::serve_single(Loop& lp) {
+  for (;;) {
+    const bool draining = draining_.load(std::memory_order_acquire);
+    bool progress = false;
+
+    if (!draining) {
+      while (auto c = listener_->accept()) {
+        {
+          std::lock_guard lk(lp.inbox_mu);
+          lp.inbox.push_back(std::move(c));
+        }
+        lp.live.fetch_add(1, std::memory_order_acq_rel);
+        counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+        counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
+        progress = true;
+      }
+    }
+    progress |= adopt_inbox(lp);
+    progress |= service_conns(lp, draining);
+    progress |= close_finished(lp, draining);
+
+    if (draining && lp.conns.empty()) break;
+    if (!progress) idle_wait(lp);
+  }
+}
+
+/// threads > 1: this thread only accepts and distributes round-robin; the
+/// worker loops own every connection after the inbox hand-off.
+void Server::acceptor_loop() {
+  std::size_t rr = 0;
+  for (;;) {
+    const bool draining = draining_.load(std::memory_order_acquire);
+    bool progress = false;
+    if (!draining) {
+      while (auto c = listener_->accept()) {
+        Loop& lp = *loops_[rr++ % loops_.size()];
+        {
+          std::lock_guard lk(lp.inbox_mu);
+          lp.inbox.push_back(std::move(c));
+        }
+        lp.live.fetch_add(1, std::memory_order_acq_rel);
+        counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+        counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
+        progress = true;
+      }
+    } else {
+      std::size_t total = 0;
+      for (auto& lp : loops_) total += lp->live.load(std::memory_order_acquire);
+      if (total == 0) break;
+    }
+    if (!progress) listener_->wait(cfg_.poll_interval);
+  }
+}
+
+void Server::worker_loop(Loop& lp) {
+  for (;;) {
+    const bool draining = draining_.load(std::memory_order_acquire);
+    bool progress = adopt_inbox(lp);
+    progress |= service_conns(lp, draining);
+    progress |= close_finished(lp, draining);
+
+    if (draining && lp.conns.empty() && lp.live.load(std::memory_order_acquire) == 0)
+      break;
+    if (!progress) idle_wait(lp);
+  }
+}
+
+/// The membership side-channel: tick our heartbeat, dial one peer, trade
+/// views. A pinned client (never redirected) carries the kGossip frame;
+/// failures are swallowed — an unreachable peer's heartbeat simply stops
+/// advancing and suspicion does the rest. Gossip never takes the node down.
+void Server::gossip_loop() {
+  const ClusterConfig& cl = *cfg_.cluster;
+  while (!gossip_stop_.load(std::memory_order_acquire)) {
+    const auto now = std::chrono::steady_clock::now();
+    if (draining_.load(std::memory_order_acquire) && director_->self_serving())
+      director_->set_self_serving(false);  // leave the ring before going silent
+    director_->tick(now);
+    counters_.cluster_nodes_alive.store(director_->alive_count(now),
+                                        std::memory_order_relaxed);
+    if (const auto peer = director_->pick_peer(now)) {
+      counters_.gossip_rounds.fetch_add(1, std::memory_order_relaxed);
+      try {
+        ClientConfig cc;
+        cc.connect_attempts = 1;
+        cc.io_timeout = std::chrono::milliseconds(750);
+        cc.pinned = true;
+        cc.follow_redirects = false;
+        Client peer_client(*transport_, *peer, cluster::hash64(cl.node_id), cc);
+        const auto reply = peer_client.gossip(director_->encode_view());
+        director_->merge_view(reply, std::chrono::steady_clock::now());
+        peer_client.bye();
+      } catch (const std::exception&) {
+      }
+    }
+    auto remaining = cl.gossip_interval;
+    while (remaining.count() > 0 && !gossip_stop_.load(std::memory_order_acquire)) {
+      const auto slice = std::min(remaining, std::chrono::milliseconds(10));
+      std::this_thread::sleep_for(slice);
+      remaining -= slice;
+    }
+  }
 }
 
 bool Server::service_reads(Connection& c) {
@@ -140,6 +396,7 @@ bool Server::service_reads(Connection& c) {
       any = true;
       c.last_activity = std::chrono::steady_clock::now();
       counters_.bytes_in.fetch_add(r.n, std::memory_order_relaxed);
+      c.owner->pt.bytes_in.fetch_add(r.n, std::memory_order_relaxed);
       c.decoder.feed(std::span<const std::uint8_t>(buf, r.n));
     } else if (r.status == IoStatus::kEof) {
       c.eof = true;
@@ -172,8 +429,29 @@ bool Server::service_reads(Connection& c) {
   return any;
 }
 
+/// Does another node own this frame's session? If so, answer kRedirect
+/// with the owner's address and wind the connection down — everything
+/// already accepted still completes and flushes first, so nothing is lost;
+/// the client replays its unanswered frames at the owner.
+bool Server::maybe_redirect(Connection& c, const Frame& f) {
+  if (!director_ || c.pinned) return false;
+  if (f.op == Op::kHello && (f.flags & kFlagPinned)) return false;
+  const auto now = std::chrono::steady_clock::now();
+  const std::uint64_t sid = f.op == Op::kHello ? f.session_id : c.session_id;
+  const std::string owner = director_->owner(sid, now);
+  if (owner.empty() || owner == director_->self_id()) return false;
+  const std::string addr = director_->address_of(owner);
+  if (addr.empty()) return false;
+  counters_.redirects_sent.fetch_add(1, std::memory_order_relaxed);
+  send_frame(c, Op::kRedirect, f.seq, f.flags,
+             std::vector<std::uint8_t>(addr.begin(), addr.end()));
+  c.closing = true;
+  return true;
+}
+
 bool Server::handle_frame(Connection& c, Frame&& f) {
   counters_.frames_received.fetch_add(1, std::memory_order_relaxed);
+  c.owner->pt.frames_received.fetch_add(1, std::memory_order_relaxed);
   c.last_activity = std::chrono::steady_clock::now();
 
   if (!is_request_op(f.op)) {
@@ -193,8 +471,10 @@ bool Server::handle_frame(Connection& c, Frame&& f) {
 
   switch (f.op) {
     case Op::kHello: {
+      if (maybe_redirect(c, f)) return false;
       if (!c.got_hello) counters_.sessions_active.fetch_add(1, std::memory_order_relaxed);
       c.got_hello = true;
+      c.pinned = (f.flags & kFlagPinned) != 0;
       c.session_id = f.session_id;
       std::vector<std::uint8_t> p;
       put_u32(p, static_cast<std::uint32_t>(cfg_.max_payload));
@@ -204,6 +484,7 @@ bool Server::handle_frame(Connection& c, Frame&& f) {
     }
     case Op::kSetKey:
     case Op::kRekey: {
+      if (maybe_redirect(c, f)) return false;
       const auto key = farm::KeyBytes::from(f.payload);
       if (!key) {
         send_error(c, f.seq, ErrorCode::kBadPayload, "key must be 16, 24 or 32 bytes",
@@ -217,6 +498,7 @@ bool Server::handle_frame(Connection& c, Frame&& f) {
     case Op::kEncBlocks:
     case Op::kDecBlocks:
     case Op::kCtrStream:
+      if (maybe_redirect(c, f)) return false;
       handle_data_frame(c, std::move(f));
       return true;
     case Op::kStats: {
@@ -225,6 +507,22 @@ bool Server::handle_frame(Connection& c, Frame&& f) {
       const std::string s = os.str();
       send_frame(c, Op::kStatsOk, f.seq, f.flags,
                  std::vector<std::uint8_t>(s.begin(), s.end()));
+      return true;
+    }
+    case Op::kGossip: {
+      if (!director_) {
+        send_error(c, f.seq, ErrorCode::kNotClustered, "server is not clustered",
+                   /*fatal=*/false);
+        return true;
+      }
+      counters_.gossip_frames.fetch_add(1, std::memory_order_relaxed);
+      const auto now = std::chrono::steady_clock::now();
+      if (!director_->merge_view(f.payload, now)) {
+        send_error(c, f.seq, ErrorCode::kBadPayload, "malformed gossip view",
+                   /*fatal=*/false);
+        return true;
+      }
+      send_frame(c, Op::kGossipOk, f.seq, f.flags, director_->encode_view());
       return true;
     }
     case Op::kAdminFleetStatus:
@@ -255,7 +553,7 @@ bool Server::handle_frame(Connection& c, Frame&& f) {
 /// The fleet admin plane. Quarantine and status answer inline; swap and
 /// inject execute on the target worker's own thread, so the response is
 /// parked as a PendingAdmin the reap pass polls — the loop never blocks on
-/// a worker.
+/// a worker. admin_mu_ serializes the fleet facade across event loops.
 bool Server::handle_admin_frame(Connection& c, Frame&& f) {
   if (!cfg_.admin) {
     send_error(c, f.seq, ErrorCode::kAdminDisabled, "admin plane disabled", /*fatal=*/false);
@@ -267,7 +565,12 @@ bool Server::handle_admin_frame(Connection& c, Frame&& f) {
   switch (f.op) {
     case Op::kAdminFleetStatus: {
       std::ostringstream os;
-      fleet_.status().write_json(os);
+      {
+        std::lock_guard lk(admin_mu_);
+        fleet::FleetStatus st = fleet_.status();
+        if (cfg_.cluster) st.node = cfg_.cluster->node_id;
+        st.write_json(os);
+      }
       const std::string s = os.str();
       send_frame(c, Op::kAdminStatusOk, f.seq, f.flags,
                  std::vector<std::uint8_t>(s.begin(), s.end()));
@@ -303,7 +606,10 @@ bool Server::handle_admin_frame(Connection& c, Frame&& f) {
         targets.push_back(f.payload[0]);
       }
       auto futures = std::make_shared<std::vector<std::future<farm::SwapReport>>>();
-      for (const int w : targets) futures->push_back(farm_.swap_engine(w, kind, variant));
+      {
+        std::lock_guard lk(admin_mu_);
+        for (const int w : targets) futures->push_back(farm_.swap_engine(w, kind, variant));
+      }
       std::string to = engine::kind_name(kind);
       if (!(variant == arch::VariantSpec{})) to += ":" + variant.name();
       c.admin_pending.push_back(Connection::PendingAdmin{
@@ -336,10 +642,19 @@ bool Server::handle_admin_frame(Connection& c, Frame&& f) {
       }
       const int w = f.payload[0];
       const bool resume = f.payload[1] == 1;
-      if (resume)
-        fleet_.resume(w);
-      else
-        fleet_.quarantine(w);
+      bool serving = true;
+      {
+        std::lock_guard lk(admin_mu_);
+        if (resume)
+          fleet_.resume(w);
+        else
+          fleet_.quarantine(w);
+        serving = farm_.stats().workers_enabled > 0;
+      }
+      // Cluster tie-in: a node whose last worker is quarantined cannot do
+      // work — leave the ring so gossip re-homes its sessions; resuming a
+      // worker rejoins. (No-op when not clustered.)
+      if (director_) director_->set_self_serving(serving);
       const std::string s =
           "worker " + std::to_string(w) + (resume ? " resumed" : " quarantined");
       send_frame(c, Op::kAdminOk, f.seq, f.flags, std::vector<std::uint8_t>(s.begin(), s.end()));
@@ -353,16 +668,21 @@ bool Server::handle_admin_frame(Connection& c, Frame&& f) {
       }
       int w = f.payload[0];
       if (w == 0xff) {
-        w = static_cast<int>(next_chaos_worker_++ % static_cast<unsigned>(workers));
+        w = static_cast<int>(next_chaos_worker_.fetch_add(1, std::memory_order_relaxed) %
+                             static_cast<unsigned>(workers));
       } else if (w >= workers) {
         send_error(c, f.seq, ErrorCode::kBadWorker, "worker index out of range",
                    /*fatal=*/false);
         return true;
       }
       std::uint32_t site = get_u32(f.payload, 1);
-      if (site == 0xffffffffu)
-        site = static_cast<std::uint32_t>(chaos_.corrupting_site());
-      auto fut = std::make_shared<std::future<bool>>(farm_.inject_fault(w, site));
+      std::shared_ptr<std::future<bool>> fut;
+      {
+        std::lock_guard lk(admin_mu_);
+        if (site == 0xffffffffu)
+          site = static_cast<std::uint32_t>(chaos_.corrupting_site());
+        fut = std::make_shared<std::future<bool>>(farm_.inject_fault(w, site));
+      }
       c.admin_pending.push_back(Connection::PendingAdmin{
           f.seq, f.flags, [fut, w, site]() -> std::optional<std::string> {
             if (fut->wait_for(std::chrono::seconds(0)) != std::future_status::ready)
@@ -483,6 +803,7 @@ bool Server::reap_completions(Connection& c) {
       farm::Result r = inf.future.get();
       send_frame(c, Op::kResult, inf.seq, inf.flags, std::move(r.data));
       counters_.responses_sent.fetch_add(1, std::memory_order_relaxed);
+      c.owner->pt.responses_sent.fetch_add(1, std::memory_order_relaxed);
     } catch (const std::exception& e) {
       send_error(c, inf.seq, ErrorCode::kInternal, e.what(), /*fatal=*/false);
     }
@@ -492,10 +813,10 @@ bool Server::reap_completions(Connection& c) {
       e.ts_us = us_since(start_) - latency_us;
       e.dur_us = static_cast<std::uint32_t>(latency_us);
       e.name = inf.trace_name;
-      e.track = 0;
+      e.track = static_cast<std::uint16_t>(c.owner->index);
       e.arg = inf.blocks;
       e.arg2 = c.session_id;
-      tracer_->record(0, e);
+      tracer_->record(static_cast<std::size_t>(c.owner->index), e);
     }
     c.in_flight.erase(c.in_flight.begin() + static_cast<std::ptrdiff_t>(i));
     counters_.in_flight.fetch_sub(1, std::memory_order_relaxed);
@@ -518,6 +839,7 @@ bool Server::reap_completions(Connection& c) {
     send_frame(c, Op::kAdminOk, it->seq, it->flags,
                std::vector<std::uint8_t>(done->begin(), done->end()));
     counters_.responses_sent.fetch_add(1, std::memory_order_relaxed);
+    c.owner->pt.responses_sent.fetch_add(1, std::memory_order_relaxed);
     it = c.admin_pending.erase(it);
     any = true;
   }
@@ -539,6 +861,7 @@ bool Server::flush_writes(Connection& c) {
     if (r.status == IoStatus::kOk) {
       c.out_off += r.n;
       counters_.bytes_out.fetch_add(r.n, std::memory_order_relaxed);
+      c.owner->pt.bytes_out.fetch_add(r.n, std::memory_order_relaxed);
       any = true;
     } else if (r.status == IoStatus::kWouldBlock) {
       break;
@@ -573,68 +896,6 @@ void Server::send_error(Connection& c, std::uint32_t seq, ErrorCode code,
   if (fatal) c.closing = true;
 }
 
-void Server::loop() {
-  for (;;) {
-    const bool draining = draining_.load(std::memory_order_acquire);
-    bool progress = false;
-
-    if (!draining) progress |= accept_new();
-
-    for (auto& cp : conns_) {
-      Connection& c = *cp;
-      if (draining) c.closing = true;
-      progress |= service_reads(c);
-      progress |= retry_deferred(c);
-      progress |= reap_completions(c);
-      progress |= flush_writes(c);
-    }
-
-    // Close what is finished: dead connections immediately; closing/EOF
-    // ones once every accepted frame is answered and every byte written
-    // (the zero-loss contract); idle ones at the timeout.
-    const auto now = std::chrono::steady_clock::now();
-    for (auto it = conns_.begin(); it != conns_.end();) {
-      Connection& c = **it;
-      bool drop = c.dead;
-      if (!drop && (c.closing || c.eof) && c.quiesced() && c.flushed()) drop = true;
-      if (!drop && !draining && c.quiesced() && c.flushed() &&
-          now - c.last_activity > cfg_.idle_timeout) {
-        counters_.idle_closes.fetch_add(1, std::memory_order_relaxed);
-        drop = true;
-      }
-      if (drop) {
-        if (c.got_hello) counters_.sessions_active.fetch_sub(1, std::memory_order_relaxed);
-        counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
-        counters_.connections_closed.fetch_add(1, std::memory_order_relaxed);
-        c.conn->close();
-        it = conns_.erase(it);
-        progress = true;
-      } else {
-        ++it;
-      }
-    }
-
-    if (draining && conns_.empty()) break;
-
-    if (!progress) {
-      // Nothing moved: sleep until I/O or a completion can change that.
-      // With work in flight, waiting on the oldest future wakes on the
-      // common case (completions) and the poll interval bounds the rest.
-      Connection* waiting = nullptr;
-      for (auto& cp : conns_)
-        if (!cp->in_flight.empty()) {
-          waiting = cp.get();
-          break;
-        }
-      if (waiting)
-        waiting->in_flight.front().future.wait_for(cfg_.poll_interval);
-      else
-        listener_->wait(cfg_.poll_interval);
-    }
-  }
-  listener_->close();
-}
-
 ServerStats Server::stats() const {
   ServerStats s;
   s.connections_accepted = counters_.connections_accepted.load(std::memory_order_relaxed);
@@ -654,11 +915,27 @@ ServerStats Server::stats() const {
   s.bytes_in = counters_.bytes_in.load(std::memory_order_relaxed);
   s.bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
   s.in_flight = counters_.in_flight.load(std::memory_order_relaxed);
+  s.redirects_sent = counters_.redirects_sent.load(std::memory_order_relaxed);
+  s.gossip_frames = counters_.gossip_frames.load(std::memory_order_relaxed);
+  s.gossip_rounds = counters_.gossip_rounds.load(std::memory_order_relaxed);
+  s.cluster_nodes_alive = counters_.cluster_nodes_alive.load(std::memory_order_relaxed);
+  if (director_) s.node_id = director_->self_id();
+  s.poller = loops_.empty() ? "" : loops_[0]->readiness->name();
   s.request_latency_us = request_latency_us_.snapshot();
   s.session_in_flight = session_in_flight_.snapshot();
   if (tracer_) {
     s.trace_events = tracer_->recorded();
     s.trace_dropped = tracer_->dropped();
+  }
+  for (const auto& lp : loops_) {
+    ServerThreadStats t;
+    t.thread = lp->index;
+    t.connections_adopted = lp->pt.connections_adopted.load(std::memory_order_relaxed);
+    t.frames_received = lp->pt.frames_received.load(std::memory_order_relaxed);
+    t.responses_sent = lp->pt.responses_sent.load(std::memory_order_relaxed);
+    t.bytes_in = lp->pt.bytes_in.load(std::memory_order_relaxed);
+    t.bytes_out = lp->pt.bytes_out.load(std::memory_order_relaxed);
+    s.per_thread.push_back(t);
   }
   return s;
 }

@@ -1,11 +1,32 @@
 // The wire-protocol server: aesip-wire-v1 sessions mapped onto farm::Farm.
 //
-// One event-loop thread owns every connection (accept, read, decode,
-// respond, flush); the farm's worker threads own the cores. The two meet
-// only through Farm::submit/try_submit and the std::future each returns —
-// the same decoupling the paper builds in hardware (bus I/O overlapped
-// with cipher compute) reproduced at the service layer: the loop keeps
-// sockets full while the cores run flat out.
+// Event-loop threading (ServerConfig::threads): with 1 thread, a single
+// loop owns everything — accept, read, decode, respond, flush — exactly
+// the shape earlier PRs shipped. With N > 1, an acceptor thread hands
+// each new connection to one of N worker loops round-robin, and each
+// worker owns its connections outright: no locks on the hot path, no
+// sharing — a connection lives its whole life on one loop, the same
+// exclusive-ownership rule the farm uses for engine state. Workers sleep
+// on a ReadinessSet (epoll on Linux, poll elsewhere) built from their
+// connections' native handles, so an idle worker costs O(ready) per
+// wakeup, not O(watched) — that is what lets one process carry thousands
+// of mostly-idle sessions. The two meet the farm only through
+// Farm::submit/try_submit and the std::future each returns — the same
+// decoupling the paper builds in hardware (bus I/O overlapped with cipher
+// compute) reproduced at the service layer.
+//
+// Clustering (ServerConfig::cluster): several `aesip serve` processes
+// shard sessions by consistent hash (cluster::Ring over gossiped
+// membership, src/cluster/). Each server answers frames for sessions it
+// owns; a frame for a session another node owns gets kRedirect carrying
+// the owner's address, and the client reconnects there and replays its
+// unanswered frames — zero loss across the move. kGossip frames (and a
+// background gossip thread dialing one peer per interval) keep every
+// node's membership view converging; a node whose last worker is
+// quarantined stops serving, gossip spreads the fact, and its sessions
+// re-home onto the survivors. Pinned connections (kFlagPinned on kHello)
+// are never redirected — that is how gossip itself, and deliberate
+// cross-node tooling, talk to a specific node.
 //
 // Per-session flow control: kHelloOk grants a window of at most
 // `ServerConfig::window` unanswered data frames. A client that overruns it
@@ -37,12 +58,17 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "cluster/director.hpp"
 #include "farm/farm.hpp"
 #include "fleet/fleet.hpp"
+#include "net/poller.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "obs/histogram.hpp"
@@ -50,8 +76,20 @@
 
 namespace aesip::net {
 
+/// Multi-node sharding: who this node is, who to gossip with.
+struct ClusterConfig {
+  std::string node_id;              ///< unique across the cluster
+  std::string advertise;            ///< address peers/clients dial; defaults to
+                                    ///< the resolved listen address
+  std::vector<std::string> seeds;   ///< bootstrap peer addresses
+  std::chrono::milliseconds gossip_interval{100};
+  std::chrono::milliseconds suspect_after{1500};
+  std::size_t ring_vnodes = 64;
+};
+
 struct ServerConfig {
   farm::FarmConfig farm;            ///< workers, engine kind, queue bounds
+  int threads = 1;                  ///< event-loop threads (1 = fully inline)
   std::size_t window = 32;          ///< max unanswered data frames per session
   std::size_t max_payload = kDefaultMaxPayload;
   std::chrono::milliseconds idle_timeout{30000};
@@ -63,6 +101,18 @@ struct ServerConfig {
   bool admin = true;
   /// Seed for the chaos injector's site classification + worker picks.
   std::uint32_t chaos_seed = 0x5eed;
+  /// Join a multi-node cluster (gossip membership + session sharding).
+  std::optional<ClusterConfig> cluster;
+};
+
+/// One event-loop thread's share of the work (all monotonic).
+struct ServerThreadStats {
+  int thread = 0;
+  std::uint64_t connections_adopted = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t responses_sent = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
 };
 
 /// Point-in-time server counters (monotonic unless marked as a gauge).
@@ -84,10 +134,17 @@ struct ServerStats {
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   std::uint64_t in_flight = 0;            ///< gauge: frames submitted, not answered
+  std::uint64_t redirects_sent = 0;       ///< frames bounced to their owning node
+  std::uint64_t gossip_frames = 0;        ///< kGossip requests served
+  std::uint64_t gossip_rounds = 0;        ///< outbound gossip dials attempted
+  std::uint64_t cluster_nodes_alive = 0;  ///< gauge; 0 when not clustered
+  std::string node_id;                    ///< empty when not clustered
+  std::string poller;                     ///< ReadinessSet backend ("epoll"/"poll")
   obs::HistogramSnapshot request_latency_us;  ///< frame decoded -> response queued
   obs::HistogramSnapshot session_in_flight;   ///< window occupancy per data frame
   std::uint64_t trace_events = 0;
   std::uint64_t trace_dropped = 0;
+  std::vector<ServerThreadStats> per_thread;  ///< one entry per event-loop thread
 };
 
 class Server {
@@ -117,6 +174,8 @@ class Server {
 
   ServerStats stats() const;
   farm::FarmStats farm_stats() const { return farm_.stats(); }
+  /// The membership directory, or nullptr when not clustered.
+  const cluster::Director* director() const noexcept { return director_.get(); }
 
   /// Per-frame server timeline (requires ServerConfig::tracing); false if
   /// tracing is off. Chrome trace_event JSON, like Farm::write_chrome_trace.
@@ -124,13 +183,23 @@ class Server {
 
  private:
   struct Connection;
+  struct Loop;
 
-  void loop();
-  bool accept_new();
+  void serve();
+  void serve_single(Loop& lp);
+  void acceptor_loop();
+  void worker_loop(Loop& lp);
+  bool adopt_inbox(Loop& lp);
+  bool service_conns(Loop& lp, bool draining);
+  bool close_finished(Loop& lp, bool draining);
+  void idle_wait(Loop& lp);
+  void gossip_loop();
+
   bool service_reads(Connection& c);
   bool handle_frame(Connection& c, Frame&& f);
   bool handle_admin_frame(Connection& c, Frame&& f);
   void handle_data_frame(Connection& c, Frame&& f);
+  bool maybe_redirect(Connection& c, const Frame& f);
   bool retry_deferred(Connection& c);
   bool reap_completions(Connection& c);
   bool flush_writes(Connection& c);
@@ -141,18 +210,23 @@ class Server {
   bool submit_request(Connection& c, Frame& f);
 
   ServerConfig cfg_;
+  Transport* transport_;  ///< for the gossip thread's outbound dials
   farm::Farm farm_;
-  fleet::FleetController fleet_{farm_};  ///< admin facade (loop-thread only)
+  fleet::FleetController fleet_{farm_};  ///< admin facade (guarded by admin_mu_)
   fleet::ChaosInjector chaos_;           ///< site classification for kAdminInject
+  std::mutex admin_mu_;                  ///< fleet_/chaos_ may be hit from any loop
   std::unique_ptr<Listener> listener_;
   std::string address_;
-  std::vector<std::unique_ptr<Connection>> conns_;
-  unsigned next_chaos_worker_ = 0;  ///< rotation for kAdminInject worker 0xFF
+  std::unique_ptr<cluster::Director> director_;  ///< null when not clustered
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::atomic<unsigned> next_chaos_worker_{0};  ///< rotation for kAdminInject 0xFF
   std::atomic<bool> draining_{false};
   std::atomic<bool> running_{false};
   std::thread thread_;
+  std::thread gossip_thread_;
+  std::atomic<bool> gossip_stop_{false};
 
-  // Counters are written by the loop thread, read by anyone (relaxed
+  // Counters are written by the loop threads, read by anyone (relaxed
   // atomics, same pattern as the farm's WorkerCounters).
   struct Counters {
     std::atomic<std::uint64_t> connections_accepted{0};
@@ -172,6 +246,10 @@ class Server {
     std::atomic<std::uint64_t> bytes_in{0};
     std::atomic<std::uint64_t> bytes_out{0};
     std::atomic<std::uint64_t> in_flight{0};
+    std::atomic<std::uint64_t> redirects_sent{0};
+    std::atomic<std::uint64_t> gossip_frames{0};
+    std::atomic<std::uint64_t> gossip_rounds{0};
+    std::atomic<std::uint64_t> cluster_nodes_alive{0};
   } counters_;
   obs::Histogram request_latency_us_;
   obs::Histogram session_in_flight_;

@@ -128,6 +128,8 @@ class TcpConn final : public Conn {
 
   std::string peer() const override { return peer_; }
 
+  int native_handle() const noexcept override { return fd_; }
+
  private:
   bool poll_one(short events, std::chrono::milliseconds timeout) {
     if (fd_ < 0) return true;  // closed counts as "readable" (EOF) either way

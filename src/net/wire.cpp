@@ -19,6 +19,7 @@ const char* op_name(Op op) noexcept {
     case Op::kAdminSwapEngine: return "admin_swap_engine";
     case Op::kAdminQuarantine: return "admin_quarantine";
     case Op::kAdminInject: return "admin_inject";
+    case Op::kGossip: return "gossip";
     case Op::kHelloOk: return "hello_ok";
     case Op::kKeyOk: return "key_ok";
     case Op::kResult: return "result";
@@ -27,6 +28,8 @@ const char* op_name(Op op) noexcept {
     case Op::kByeOk: return "bye_ok";
     case Op::kAdminStatusOk: return "admin_status_ok";
     case Op::kAdminOk: return "admin_ok";
+    case Op::kRedirect: return "redirect";
+    case Op::kGossipOk: return "gossip_ok";
     case Op::kError: return "error";
   }
   return "?";
@@ -47,6 +50,7 @@ bool is_request_op(Op op) noexcept {
     case Op::kAdminSwapEngine:
     case Op::kAdminQuarantine:
     case Op::kAdminInject:
+    case Op::kGossip:
       return true;
     default:
       return false;
@@ -69,6 +73,8 @@ const char* error_code_name(ErrorCode c) noexcept {
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kAdminDisabled: return "admin_disabled";
     case ErrorCode::kBadWorker: return "bad_worker";
+    case ErrorCode::kConnectFailed: return "connect_failed";
+    case ErrorCode::kNotClustered: return "not_clustered";
   }
   return "?";
 }

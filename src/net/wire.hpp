@@ -39,6 +39,10 @@
 //
 // Admin plane (fleet control; see docs/fleet.md — servers may refuse these
 // with kAdminDisabled when not operating as an admin endpoint):
+//   kGossip     cluster membership exchange (docs/cluster.md): the payload
+//               is the sender's encoded Director view -> kGossipOk carries
+//               the receiver's view back. Refused with kNotClustered at a
+//               server running without --cluster.
 //   kAdminFleetStatus  empty -> kAdminStatusOk carries the fleet JSON
 //   kAdminSwapEngine   [u8 worker, 0xFF = all][u8 EngineKind: 0=sw
 //                      1=behavioral 2=netlist][optional variant name bytes,
@@ -59,6 +63,13 @@
 //   kResult     the output bytes of the matching request
 //   kAdminStatusOk  fleet status JSON (utf-8)
 //   kAdminOk    utf-8 summary of the executed admin action
+//   kRedirect   utf-8 address of the node that owns this session on the
+//               cluster's hash ring; the client reconnects there and
+//               replays its unanswered frames (zero lost frames). Sent in
+//               place of the normal response when a clustered server is
+//               asked about a session it does not own, unless the request
+//               set kFlagPinned (control channels: gossip, admin tools).
+//   kGossipOk   the receiver's encoded Director view
 //   kError      [u16 ErrorCode][utf-8 message]
 #pragma once
 
@@ -77,6 +88,12 @@ inline constexpr std::size_t kHeaderSize = 24;
 inline constexpr std::size_t kTrailerSize = 4;  // the CRC
 inline constexpr std::size_t kDefaultMaxPayload = 1u << 20;
 
+/// Frame flag: pin this session to the node addressed, even on a cluster
+/// where the hash ring says another node owns the session id. Control
+/// connections (gossip exchanges, `aesip fleet` targeting one node) set
+/// it; data sessions leave it clear so kRedirect can route them.
+inline constexpr std::uint16_t kFlagPinned = 0x0001;
+
 enum class Op : std::uint8_t {
   // client -> server
   kHello = 0x01,
@@ -92,6 +109,7 @@ enum class Op : std::uint8_t {
   kAdminSwapEngine = 0x0B,
   kAdminQuarantine = 0x0C,
   kAdminInject = 0x0D,
+  kGossip = 0x0E,
   // server -> client
   kHelloOk = 0x81,
   kKeyOk = 0x82,
@@ -101,6 +119,8 @@ enum class Op : std::uint8_t {
   kByeOk = 0x89,
   kAdminStatusOk = 0x8A,
   kAdminOk = 0x8B,
+  kRedirect = 0x8C,
+  kGossipOk = 0x8E,
   kError = 0xEE,
 };
 
@@ -125,6 +145,9 @@ enum class ErrorCode : std::uint16_t {
   kInternal = 11,
   kAdminDisabled = 12, ///< admin opcode at a server not exposing the admin plane
   kBadWorker = 13,     ///< admin frame names a worker index the farm lacks
+  kConnectFailed = 14, ///< client-side: every connect attempt failed (carries
+                       ///< the last errno in the message; never on the wire)
+  kNotClustered = 15,  ///< kGossip at a server running without --cluster
 };
 
 const char* error_code_name(ErrorCode c) noexcept;

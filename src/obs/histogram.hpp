@@ -41,6 +41,18 @@ struct HistogramSnapshot {
     return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
   }
 
+  /// Fold another snapshot into this one — counts, sums and buckets add,
+  /// max takes the larger. Exact (log2 buckets align by construction), so
+  /// per-node/per-thread distributions aggregate without losing shape;
+  /// the cluster fleet roll-up leans on this.
+  void merge(const HistogramSnapshot& other) noexcept {
+    count += other.count;
+    sum += other.sum;
+    if (other.max > max) max = other.max;
+    for (int b = 0; b < kBuckets; ++b)
+      buckets[static_cast<std::size_t>(b)] += other.buckets[static_cast<std::size_t>(b)];
+  }
+
   /// Value at quantile `p` in [0,1]: the upper bound of the bucket holding
   /// the rank, clamped to the observed max.
   std::uint64_t percentile(double p) const {

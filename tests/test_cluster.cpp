@@ -1,0 +1,930 @@
+// The cluster stack, bottom to top: consistent-hash Ring invariants,
+// gossip Director convergence, the aesip-netchan-v1 codec/cookie/Channel
+// reliability engine under a seeded packet mangler and a fake clock, the
+// UDP transport end to end (handshake, chaos, stale-cookie rejection),
+// the multi-threaded epoll server's per-thread fan-in, and multi-node
+// sharding: redirect following, pinning, and cross-node session
+// migration with zero lost frames.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <optional>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aes/cipher.hpp"
+#include "aes/modes.hpp"
+#include "cluster/director.hpp"
+#include "cluster/ring.hpp"
+#include "net/client.hpp"
+#include "net/netchan.hpp"
+#include "net/server.hpp"
+#include "net/transport.hpp"
+
+namespace net = aesip::net;
+namespace netchan = aesip::net::netchan;
+namespace cluster = aesip::cluster;
+namespace farm = aesip::farm;
+namespace aes = aesip::aes;
+
+using namespace std::chrono_literals;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+/// Mixed verified traffic (same shape as test_net.cpp's helper, plus a
+/// ClientConfig and a redirect-count out-param for the sharding tests).
+/// Returns the number of responses that differed from aes::Aes128.
+int run_verified_session(net::Transport& transport, const std::string& address,
+                         std::uint64_t sid, int requests, std::uint32_t seed,
+                         net::ClientConfig ccfg = {}, std::uint64_t* redirects_out = nullptr) {
+  net::Client client(transport, address, sid, ccfg);
+  std::mt19937 rng(seed);
+  farm::Key128 key;
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng());
+  client.set_key(key);
+  const aes::Aes128 ref(key);
+
+  int mismatches = 0;
+  struct Outstanding {
+    std::uint32_t seq;
+    std::vector<std::uint8_t> expect;
+  };
+  std::deque<Outstanding> outstanding;
+  const auto collect = [&] {
+    auto o = std::move(outstanding.front());
+    outstanding.pop_front();
+    if (client.wait(o.seq) != o.expect) ++mismatches;
+  };
+
+  for (int r = 0; r < requests; ++r) {
+    farm::Key128 iv;
+    for (auto& b : iv) b = static_cast<std::uint8_t>(rng());
+    const std::span<const std::uint8_t, 16> ivs(iv.data(), 16);
+    const int mode = static_cast<int>(rng() % 3);
+    std::size_t bytes = (1 + rng() % 6) * aes::kBlock;
+    if (mode == 2) bytes -= rng() % aes::kBlock;
+    std::vector<std::uint8_t> data(bytes);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+
+    Outstanding o;
+    if (mode == 2) {
+      o.expect = aes::ctr_crypt(ref, ivs, data);
+      o.seq = client.submit_ctr(iv, std::move(data));
+    } else if (rng() & 1) {
+      o.expect = mode ? aes::cbc_encrypt(ref, ivs, data) : aes::ecb_encrypt(ref, data);
+      o.seq = client.submit_enc(mode == 1, iv, std::move(data));
+    } else {
+      o.expect = mode ? aes::cbc_decrypt(ref, ivs, data) : aes::ecb_decrypt(ref, data);
+      o.seq = client.submit_dec(mode == 1, iv, std::move(data));
+    }
+    outstanding.push_back(std::move(o));
+    while (outstanding.size() >= client.window()) collect();
+  }
+  while (!outstanding.empty()) collect();
+  client.drain();
+  if (redirects_out) *redirects_out = client.redirects();
+  client.bye();
+  return mismatches;
+}
+
+net::ServerConfig cluster_cfg(const std::string& node_id, std::vector<std::string> seeds,
+                              int workers = 1) {
+  net::ServerConfig cfg;
+  cfg.farm.workers = workers;
+  cfg.farm.engine = aesip::engine::EngineKind::kSoftware;
+  net::ClusterConfig cc;
+  cc.node_id = node_id;
+  cc.seeds = std::move(seeds);
+  cc.gossip_interval = 20ms;
+  cc.suspect_after = 1000ms;
+  cfg.cluster = std::move(cc);
+  return cfg;
+}
+
+/// Poll until `pred()` or `deadline` passes; membership convergence is
+/// asynchronous (gossip), so tests wait on the directors, never sleep blind.
+template <typename Pred>
+bool wait_until(Pred&& pred, std::chrono::milliseconds deadline) {
+  const auto end = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < end) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+// ---------------------------------------------------------------------------
+// cluster::Ring
+// ---------------------------------------------------------------------------
+
+TEST(ClusterRing, DeterministicAndFullCoverage) {
+  cluster::Ring a(64), b(64);
+  for (const char* id : {"alpha", "beta", "gamma"}) {
+    a.add_node(id);
+    b.add_node(id);
+  }
+  std::map<std::string, int> load;
+  for (std::uint64_t sid = 1; sid <= 3000; ++sid) {
+    const std::string& owner = a.owner(sid);
+    EXPECT_EQ(owner, b.owner(sid)) << "ownership must be a pure function of membership";
+    ++load[owner];
+  }
+  // Every node owns a real share: vnodes smooth the arcs, so no node
+  // should fall below a loose 1/10th of fair (fair = 1000 here).
+  ASSERT_EQ(load.size(), 3u);
+  for (const auto& [id, n] : load) EXPECT_GT(n, 100) << id << " starved";
+}
+
+TEST(ClusterRing, MinimalDisruptionOnMembershipChange) {
+  cluster::Ring r(64);
+  r.add_node("n0");
+  r.add_node("n1");
+  r.add_node("n2");
+  std::map<std::uint64_t, std::string> before;
+  for (std::uint64_t sid = 1; sid <= 2000; ++sid) before[sid] = r.owner(sid);
+
+  r.remove_node("n1");
+  int moved = 0;
+  for (const auto& [sid, owner] : before) {
+    const std::string& now = r.owner(sid);
+    if (owner != "n1") {
+      EXPECT_EQ(now, owner) << "removing n1 must not move sid " << sid;
+    } else {
+      EXPECT_NE(now, "n1");
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0);  // n1 owned something
+
+  // Adding it back restores the original map exactly (same hash points).
+  r.add_node("n1");
+  for (const auto& [sid, owner] : before) EXPECT_EQ(r.owner(sid), owner);
+}
+
+TEST(ClusterRing, EmptyAndSingleNode) {
+  cluster::Ring r(8);
+  EXPECT_EQ(r.owner(42), "");
+  EXPECT_EQ(r.node_count(), 0u);
+  r.add_node("solo");
+  EXPECT_TRUE(r.contains("solo"));
+  for (std::uint64_t sid = 0; sid < 100; ++sid) EXPECT_EQ(r.owner(sid), "solo");
+  r.remove_node("solo");
+  EXPECT_EQ(r.owner(7), "");
+}
+
+// ---------------------------------------------------------------------------
+// cluster::Director (pure state machine, fake clock)
+// ---------------------------------------------------------------------------
+
+TEST(ClusterDirector, GossipConvergesSuspectsAndDrains) {
+  using clk = cluster::Director::clock;
+  clk::time_point now = clk::now();
+
+  cluster::DirectorConfig ca{"a", "addr-a", {"addr-b"}, 500ms, 16};
+  cluster::DirectorConfig cb{"b", "addr-b", {}, 500ms, 16};
+  cluster::Director a(ca, now), b(cb, now);
+  EXPECT_EQ(a.alive_count(now), 1u);  // just self
+
+  // One exchange each way: both learn both.
+  a.tick(now);
+  b.tick(now);
+  EXPECT_TRUE(b.merge_view(a.encode_view(), now));
+  EXPECT_TRUE(a.merge_view(b.encode_view(), now));
+  EXPECT_EQ(a.alive_count(now), 2u);
+  EXPECT_EQ(b.alive_count(now), 2u);
+  EXPECT_EQ(a.address_of("b"), "addr-b");
+
+  // Merge is idempotent; a garbage blob merges nothing and reports it.
+  EXPECT_TRUE(a.merge_view(b.encode_view(), now));
+  EXPECT_EQ(a.alive_count(now), 2u);
+  const std::vector<std::uint8_t> garbage{0xde, 0xad, 0xbe};
+  EXPECT_FALSE(a.merge_view(garbage, now));
+
+  // Owners agree across nodes once views agree.
+  for (std::uint64_t sid = 1; sid <= 200; ++sid)
+    EXPECT_EQ(a.owner(sid, now), b.owner(sid, now));
+
+  // b stops gossiping: past suspect_after its heartbeat stops advancing
+  // and it drops out of a's ring — every session re-homes onto a.
+  now += 600ms;
+  a.tick(now);
+  EXPECT_EQ(a.alive_count(now), 1u);
+  for (std::uint64_t sid = 1; sid <= 50; ++sid) EXPECT_EQ(a.owner(sid, now), "a");
+
+  // A *draining* node spreads serving=false while its heartbeat still
+  // advances: it stays in the view but leaves the ring.
+  b.tick(now);
+  b.set_self_serving(false);
+  EXPECT_FALSE(b.self_serving());
+  b.tick(now);
+  EXPECT_TRUE(a.merge_view(b.encode_view(), now));
+  EXPECT_EQ(a.alive_count(now), 1u);
+  bool saw_b = false;
+  for (const auto& nv : a.view(now))
+    if (nv.id == "b") {
+      saw_b = true;
+      EXPECT_FALSE(nv.serving);
+      EXPECT_FALSE(nv.alive);
+    }
+  EXPECT_TRUE(saw_b);
+}
+
+// ---------------------------------------------------------------------------
+// netchan packet codec + cookies
+// ---------------------------------------------------------------------------
+
+TEST(Netchan, PacketCodecRoundtrip) {
+  netchan::Packet p;
+  p.type = netchan::PacketType::kData;
+  p.conv = 0xdeadbeefu;
+  p.seq = 41;
+  p.ack = 39;
+  p.ack_bits = 0b1011;
+  p.cookie = 0x0123456789abcdefull;
+  p.payload = {1, 2, 3, 4, 5, 250, 251, 252};
+
+  const auto bytes = netchan::encode_packet(p);
+  EXPECT_EQ(bytes.size(), netchan::kPacketOverhead + p.payload.size());
+
+  netchan::Packet q;
+  ASSERT_TRUE(netchan::decode_packet(bytes, q));
+  EXPECT_EQ(q.type, p.type);
+  EXPECT_EQ(q.conv, p.conv);
+  EXPECT_EQ(q.seq, p.seq);
+  EXPECT_EQ(q.ack, p.ack);
+  EXPECT_EQ(q.ack_bits, p.ack_bits);
+  EXPECT_EQ(q.cookie, p.cookie);
+  EXPECT_EQ(q.payload, p.payload);
+}
+
+TEST(Netchan, PacketCodecRejectsEveryCorruption) {
+  netchan::Packet p;
+  p.type = netchan::PacketType::kData;
+  p.conv = 7;
+  p.seq = 1;
+  p.payload.assign(16, 0xa5);
+  const auto good = netchan::encode_packet(p);
+
+  netchan::Packet out;
+  // Any single flipped byte — header, payload, or the CRC itself — must
+  // fail the CRC (or the magic/length checks before it).
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    auto bad = good;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(netchan::decode_packet(bad, out)) << "flip at byte " << i;
+  }
+  // Truncation at every length short of the full datagram.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(
+        netchan::decode_packet(std::span<const std::uint8_t>(good.data(), len), out))
+        << "truncated to " << len;
+  }
+  // Trailing garbage means payload_len disagrees with the datagram size.
+  auto padded = good;
+  padded.push_back(0);
+  EXPECT_FALSE(netchan::decode_packet(padded, out));
+  EXPECT_TRUE(netchan::decode_packet(good, out));  // the original still decodes
+}
+
+TEST(Netchan, CookieEpochWindow) {
+  const std::string addr = "10.1.2.3:5555";
+  const std::uint64_t secret = 0x5eedf00dULL;
+  const std::uint64_t epoch = 1000;
+  const std::uint64_t c = netchan::make_cookie(addr, secret, epoch);
+
+  EXPECT_EQ(c, netchan::make_cookie(addr, secret, epoch));  // deterministic
+  EXPECT_TRUE(netchan::cookie_valid(c, addr, secret, epoch));      // current
+  EXPECT_TRUE(netchan::cookie_valid(c, addr, secret, epoch + 1));  // previous
+  EXPECT_FALSE(netchan::cookie_valid(c, addr, secret, epoch + 2)) << "stale must fail";
+  EXPECT_FALSE(netchan::cookie_valid(c, addr, secret, epoch - 1)) << "future must fail";
+  EXPECT_FALSE(netchan::cookie_valid(c, "10.1.2.3:5556", secret, epoch));  // wrong addr
+  EXPECT_FALSE(netchan::cookie_valid(c, addr, secret + 1, epoch));         // wrong secret
+  EXPECT_FALSE(netchan::cookie_valid(c ^ 1, addr, secret, epoch));         // bit-flipped
+}
+
+// ---------------------------------------------------------------------------
+// netchan::Channel — the reliability engine, driven by a fake clock
+// ---------------------------------------------------------------------------
+
+/// Shuttle every due packet from one channel into the other, optionally
+/// through a seeded mangler (drop / duplicate / hold-one-back reorder —
+/// the same misbehaviors udp.cpp's chaos Mangler injects at the socket).
+struct LossyWire {
+  std::mt19937 rng;
+  double drop = 0, dup = 0, reorder = 0;
+  std::optional<netchan::Packet> held;
+
+  explicit LossyWire(std::uint32_t seed, double dr = 0, double du = 0, double re = 0)
+      : rng(seed), drop(dr), dup(du), reorder(re) {}
+
+  double roll() { return std::uniform_real_distribution<double>(0.0, 1.0)(rng); }
+
+  void transfer(netchan::Channel& from, netchan::Channel& to,
+                netchan::Channel::clock::time_point now) {
+    netchan::Packet p;
+    while (from.poll_outgoing(p, now)) {
+      if (roll() < drop) continue;
+      if (!held && roll() < reorder) {
+        held = p;  // swapped with whatever goes out next
+        continue;
+      }
+      const bool twice = roll() < dup;
+      to.on_packet(p, now);
+      if (twice) to.on_packet(p, now);
+      if (held) {
+        to.on_packet(*held, now);
+        held.reset();
+      }
+    }
+  }
+};
+
+TEST(NetchanChannel, LosslessInOrderDelivery) {
+  netchan::ChannelConfig cc;
+  cc.mtu_payload = 100;
+  cc.window = 8;
+  netchan::Channel a(cc), b(cc);
+  auto now = netchan::Channel::clock::now();
+  LossyWire wire(1);  // no loss
+
+  std::mt19937 rng(11);
+  std::vector<std::uint8_t> sent(4096);
+  for (auto& v : sent) v = static_cast<std::uint8_t>(rng());
+
+  std::vector<std::uint8_t> got;
+  std::size_t off = 0;
+  std::uint8_t buf[512];
+  for (int iter = 0; iter < 1000 && (got.size() < sent.size() || !a.idle()); ++iter) {
+    if (off < sent.size())
+      off += a.send(std::span<const std::uint8_t>(sent.data() + off, sent.size() - off));
+    wire.transfer(a, b, now);
+    wire.transfer(b, a, now);
+    for (std::size_t n; (n = b.receive(buf)) > 0;) got.insert(got.end(), buf, buf + n);
+    now += 1ms;
+  }
+  EXPECT_EQ(got, sent);
+  EXPECT_TRUE(a.idle());
+  EXPECT_TRUE(b.recv_drained());
+  EXPECT_EQ(a.stats().segs_resent, 0u) << "a lossless wire must never retransmit";
+  EXPECT_EQ(b.stats().dups, 0u);
+  EXPECT_EQ(b.stats().out_of_order, 0u);
+  EXPECT_EQ(a.stats().segs_sent, (sent.size() + cc.mtu_payload - 1) / cc.mtu_payload);
+}
+
+TEST(NetchanChannel, MtuBoundarySegmentation) {
+  // mtu_payload-1 / exact / +1 bytes must become 1 / 1 / 2 segments: the
+  // fragmentation boundary is where an off-by-one would corrupt streams.
+  for (const auto& [bytes, segs] :
+       std::vector<std::pair<std::size_t, std::uint64_t>>{{63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}}) {
+    netchan::ChannelConfig cc;
+    cc.mtu_payload = 64;
+    netchan::Channel ch(cc);
+    const auto now = netchan::Channel::clock::now();
+    std::vector<std::uint8_t> data(bytes, 0x3c);
+    ASSERT_EQ(ch.send(data), bytes);
+
+    std::uint64_t emitted = 0;
+    std::size_t payload_total = 0;
+    netchan::Packet p;
+    while (ch.poll_outgoing(p, now)) {
+      ASSERT_EQ(p.type, netchan::PacketType::kData);
+      EXPECT_LE(p.payload.size(), cc.mtu_payload);
+      ++emitted;
+      payload_total += p.payload.size();
+    }
+    EXPECT_EQ(emitted, segs) << bytes << " bytes";
+    EXPECT_EQ(payload_total, bytes) << "no byte lost or invented at the boundary";
+    EXPECT_EQ(ch.stats().segs_sent, segs);
+  }
+}
+
+TEST(NetchanChannel, DuplicateSegmentDeliveredExactlyOnce) {
+  netchan::Channel a, b;
+  const auto now = netchan::Channel::clock::now();
+  const std::vector<std::uint8_t> msg{'o', 'n', 'c', 'e'};
+  a.send(msg);
+  netchan::Packet p;
+  ASSERT_TRUE(a.poll_outgoing(p, now));
+  b.on_packet(p, now);
+  b.on_packet(p, now);  // the duplicate
+  EXPECT_EQ(b.stats().segs_received, 1u);
+  EXPECT_EQ(b.stats().dups, 1u);
+  std::uint8_t buf[64];
+  EXPECT_EQ(b.receive(buf), msg.size());
+  EXPECT_TRUE(std::equal(msg.begin(), msg.end(), buf));
+  EXPECT_EQ(b.receive(buf), 0u) << "the duplicate must not deliver again";
+}
+
+TEST(NetchanChannel, SurvivesSeededLossDupAndReorder) {
+  netchan::ChannelConfig cc;
+  cc.mtu_payload = 128;
+  cc.window = 8;
+  cc.rto = 5ms;
+  netchan::Channel a(cc), b(cc);
+  auto now = netchan::Channel::clock::now();
+  LossyWire ab(0xc0ffee, 0.10, 0.10, 0.10);  // a -> b mangled
+  LossyWire ba(0xf00d, 0.10, 0.10, 0.10);    // acks mangled too
+
+  std::mt19937 rng(99);
+  std::vector<std::uint8_t> sent(16384);
+  for (auto& v : sent) v = static_cast<std::uint8_t>(rng());
+
+  std::vector<std::uint8_t> got;
+  std::size_t off = 0;
+  std::uint8_t buf[1024];
+  for (int iter = 0; iter < 50000 && (got.size() < sent.size() || !a.idle()); ++iter) {
+    if (off < sent.size())
+      off += a.send(std::span<const std::uint8_t>(sent.data() + off, sent.size() - off));
+    ab.transfer(a, b, now);
+    ba.transfer(b, a, now);
+    for (std::size_t n; (n = b.receive(buf)) > 0;) got.insert(got.end(), buf, buf + n);
+    now += 1ms;  // fake time: every RTO expiry is exercised, no wall clock
+  }
+  ASSERT_EQ(got.size(), sent.size()) << "stream stalled under chaos";
+  EXPECT_EQ(got, sent) << "bytes must arrive intact and in order";
+  EXPECT_TRUE(a.idle());
+  EXPECT_FALSE(a.dead());
+  // The chaos must actually have exercised the machinery it claims to.
+  EXPECT_GT(a.stats().segs_resent, 0u) << "drops should have forced retransmits";
+  EXPECT_GT(b.stats().dups, 0u) << "dup injection + retransmit overlap";
+  EXPECT_GT(b.stats().out_of_order, 0u) << "reorder should have stashed segments";
+}
+
+TEST(NetchanChannel, ResendCapDeclaresPeerDead) {
+  netchan::ChannelConfig cc;
+  cc.rto = 1ms;
+  cc.max_resend = 3;
+  netchan::Channel a(cc);
+  auto now = netchan::Channel::clock::now();
+  const std::vector<std::uint8_t> msg{1, 2, 3};
+  a.send(msg);
+  netchan::Packet p;
+  for (int i = 0; i < 20 && !a.dead(); ++i) {
+    while (a.poll_outgoing(p, now)) {
+    }  // black hole: nothing ever acked
+    now += 2ms;
+  }
+  EXPECT_TRUE(a.dead()) << "a silent peer must be declared dead at the resend cap";
+  EXPECT_GE(a.stats().segs_resent, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// UDP transport end to end
+// ---------------------------------------------------------------------------
+
+TEST(UdpTransport, VerifiedSessionsEndToEnd) {
+  net::UdpConfig ucfg;
+  ucfg.rto = 10ms;
+  auto transport = net::make_udp_transport(ucfg);
+  net::ServerConfig scfg;
+  scfg.farm.workers = 2;
+  scfg.farm.engine = aesip::engine::EngineKind::kSoftware;
+  net::Server server(*transport, "127.0.0.1:0", scfg);
+  server.start();
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int s = 0; s < 2; ++s)
+    threads.emplace_back([&, s] {
+      mismatches += run_verified_session(*transport, server.address(),
+                                         static_cast<std::uint64_t>(s) + 1, 32,
+                                         500 + static_cast<std::uint32_t>(s));
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  server.stop();
+  const auto st = server.stats();
+  EXPECT_EQ(st.connections_accepted, 2u);
+  EXPECT_EQ(st.protocol_errors, 0u) << "netchan must hand the codec a clean byte stream";
+  EXPECT_EQ(st.responses_sent, st.data_frames);
+}
+
+TEST(UdpTransport, ChaosDropDupReorderZeroLoss) {
+  // The socket-level mangler (seeded, deterministic) drops/dups/reorders
+  // real datagrams — handshake included — and the stream above must still
+  // be bit-exact. This is the UDP answer to the loadgen's zero-loss gate.
+  net::UdpConfig ucfg;
+  ucfg.rto = 5ms;
+  ucfg.chaos = net::UdpChaos{.seed = 0xbadca5e, .drop = 0.05, .dup = 0.05, .reorder = 0.05};
+  auto transport = net::make_udp_transport(ucfg);
+  net::ServerConfig scfg;
+  scfg.farm.workers = 2;
+  scfg.farm.engine = aesip::engine::EngineKind::kSoftware;
+  net::Server server(*transport, "127.0.0.1:0", scfg);
+  server.start();
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int s = 0; s < 2; ++s)
+    threads.emplace_back([&, s] {
+      mismatches += run_verified_session(*transport, server.address(),
+                                         static_cast<std::uint64_t>(s) + 1, 24,
+                                         700 + static_cast<std::uint32_t>(s));
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0) << "chaos may slow the stream, never corrupt it";
+
+  server.stop();
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+}
+
+TEST(UdpTransport, StaleCookieRejectedStateless) {
+  // Drive the handshake with a raw socket so we can forge cookies. The
+  // server must hand out state for a valid cookie and silently drop a
+  // stale one (minted two epochs ago) — without ever allocating.
+  net::UdpConfig ucfg;
+  ucfg.secret = 0x5eedf00dULL;  // known secret so the test can mint cookies
+  auto transport = net::make_udp_transport(ucfg);
+  auto listener = transport->listen("127.0.0.1:0");
+  const std::string addr = listener->address();
+  const int port = std::stoi(addr.substr(addr.rfind(':') + 1));
+
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa), 0);
+  sockaddr_in self{};
+  socklen_t slen = sizeof self;
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&self), &slen), 0);
+  const std::string self_addr =
+      "127.0.0.1:" + std::to_string(ntohs(self.sin_port));  // how the server keys us
+
+  const auto send_packet = [&](const netchan::Packet& p) {
+    const auto bytes = netchan::encode_packet(p);
+    ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+  };
+  // The listener only pumps inside wait()/accept(); interleave that with
+  // polling our socket.
+  const auto recv_packet = [&](netchan::Packet& out) {
+    for (int i = 0; i < 500; ++i) {
+      listener->wait(1ms);
+      pollfd pf{fd, POLLIN, 0};
+      if (::poll(&pf, 1, 0) == 1) {
+        std::uint8_t buf[2048];
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n > 0 &&
+            netchan::decode_packet(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)), out))
+          return true;
+      }
+    }
+    return false;
+  };
+
+  // Stale cookie: minted with the same formula udp.cpp uses, two epochs
+  // back — outside the current-or-previous acceptance window.
+  const auto ms_now = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+  const std::uint64_t epoch =
+      static_cast<std::uint64_t>(ms_now / ucfg.cookie_epoch.count());
+  netchan::Packet stale;
+  stale.type = netchan::PacketType::kConnect;
+  stale.cookie = netchan::make_cookie(self_addr, ucfg.secret, epoch >= 2 ? epoch - 2 : epoch + 7);
+  send_packet(stale);
+  netchan::Packet reply;
+  EXPECT_FALSE(recv_packet(reply)) << "a stale cookie must be dropped silently";
+  EXPECT_EQ(listener->accept(), nullptr) << "no state may be allocated for a stale cookie";
+
+  // Forged cookie (right shape, wrong secret): same silent drop.
+  netchan::Packet forged;
+  forged.type = netchan::PacketType::kConnect;
+  forged.cookie = netchan::make_cookie(self_addr, ucfg.secret ^ 0xff, epoch);
+  send_packet(forged);
+  EXPECT_FALSE(recv_packet(reply));
+  EXPECT_EQ(listener->accept(), nullptr);
+
+  // The honest handshake on the very same socket still completes.
+  netchan::Packet req;
+  req.type = netchan::PacketType::kChallengeReq;
+  send_packet(req);
+  ASSERT_TRUE(recv_packet(reply));
+  ASSERT_EQ(reply.type, netchan::PacketType::kChallenge);
+  netchan::Packet conn;
+  conn.type = netchan::PacketType::kConnect;
+  conn.cookie = reply.cookie;
+  send_packet(conn);
+  ASSERT_TRUE(recv_packet(reply));
+  EXPECT_EQ(reply.type, netchan::PacketType::kAccept);
+  std::unique_ptr<net::Conn> accepted;
+  for (int i = 0; i < 500 && !accepted; ++i) {
+    listener->wait(1ms);
+    accepted = listener->accept();
+  }
+  ASSERT_NE(accepted, nullptr) << "a valid cookie must produce the connection";
+  EXPECT_EQ(accepted->peer(), self_addr);
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-threaded epoll server
+// ---------------------------------------------------------------------------
+
+TEST(EpollServer, PerThreadFanInAccountsForEverything) {
+  auto transport = net::make_tcp_transport();
+  net::ServerConfig cfg;
+  cfg.farm.workers = 2;
+  cfg.farm.engine = aesip::engine::EngineKind::kSoftware;
+  cfg.threads = 4;  // acceptor + 4 worker loops, round-robin adoption
+  net::Server server(*transport, "127.0.0.1:0", cfg);
+  server.start();
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int s = 0; s < 8; ++s)
+    threads.emplace_back([&, s] {
+      mismatches += run_verified_session(*transport, server.address(),
+                                         static_cast<std::uint64_t>(s) + 1, 16,
+                                         900 + static_cast<std::uint32_t>(s));
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  server.stop();
+  const auto st = server.stats();
+  EXPECT_TRUE(st.poller == "epoll" || st.poller == "poll") << st.poller;
+  ASSERT_EQ(st.per_thread.size(), 4u);
+
+  // Per-thread counters must partition the totals exactly: every
+  // connection was adopted by exactly one loop, every frame read and
+  // every response written on exactly one loop.
+  std::uint64_t adopted = 0, frames = 0, responses = 0, bytes_in = 0, bytes_out = 0;
+  for (const auto& t : st.per_thread) {
+    adopted += t.connections_adopted;
+    frames += t.frames_received;
+    responses += t.responses_sent;
+    bytes_in += t.bytes_in;
+    bytes_out += t.bytes_out;
+  }
+  EXPECT_EQ(adopted, st.connections_accepted);
+  EXPECT_EQ(frames, st.frames_received);
+  EXPECT_EQ(responses, st.responses_sent + st.errors_sent);
+  EXPECT_EQ(bytes_in, st.bytes_in);
+  EXPECT_EQ(bytes_out, st.bytes_out);
+  // Round-robin adoption: 8 connections over 4 loops = 2 each.
+  for (const auto& t : st.per_thread)
+    EXPECT_EQ(t.connections_adopted, 2u) << "loop " << t.thread;
+  EXPECT_EQ(st.responses_sent, st.data_frames);
+  EXPECT_EQ(st.protocol_errors, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-node sharding
+// ---------------------------------------------------------------------------
+
+TEST(ClusterSharding, ThreeNodesRedirectAndServeBitExact) {
+  auto transport = net::make_tcp_transport();
+
+  // Bring up three clustered nodes, each seeding off the earlier ones.
+  std::vector<std::unique_ptr<net::Server>> nodes;
+  std::vector<std::string> addrs;
+  for (int n = 0; n < 3; ++n) {
+    auto cfg = cluster_cfg("n" + std::to_string(n), addrs);
+    nodes.push_back(std::make_unique<net::Server>(*transport, "127.0.0.1:0", cfg));
+    addrs.push_back(nodes.back()->address());
+    nodes.back()->start();
+  }
+  for (const auto& node : nodes)
+    ASSERT_TRUE(wait_until(
+        [&] {
+          return node->director()->alive_count(std::chrono::steady_clock::now()) == 3u;
+        },
+        5000ms))
+        << "gossip membership did not converge";
+
+  // Every session dials a fixed node regardless of owner; the ring plus
+  // kRedirect must land it on the right one, bit-exact.
+  std::atomic<int> mismatches{0};
+  std::atomic<std::uint64_t> hops{0};
+  std::vector<std::thread> threads;
+  for (int s = 0; s < 6; ++s)
+    threads.emplace_back([&, s] {
+      std::uint64_t r = 0;
+      mismatches += run_verified_session(*transport, addrs[static_cast<std::size_t>(s) % 3],
+                                         static_cast<std::uint64_t>(s) + 1, 12,
+                                         1100 + static_cast<std::uint32_t>(s), {}, &r);
+      hops += r;
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // With 6 sessions hashed over 3 nodes and blind dialing, some must have
+  // been redirected — and every hop a client followed is one a node sent.
+  std::uint64_t sent = 0, served = 0;
+  for (auto& node : nodes) {
+    node->stop();
+    const auto st = node->stats();
+    sent += st.redirects_sent;
+    served += st.data_frames;
+    EXPECT_EQ(st.protocol_errors, 0u);
+    EXPECT_GT(st.gossip_rounds, 0u) << st.node_id << " never gossiped";
+  }
+  EXPECT_GT(hops.load(), 0u);
+  EXPECT_EQ(sent, hops.load());
+  EXPECT_GT(served, 0u);
+}
+
+TEST(ClusterSharding, PinnedClientIsNeverRedirected) {
+  auto transport = net::make_tcp_transport();
+  std::vector<std::unique_ptr<net::Server>> nodes;
+  std::vector<std::string> addrs;
+  for (int n = 0; n < 2; ++n) {
+    auto cfg = cluster_cfg("n" + std::to_string(n), addrs);
+    nodes.push_back(std::make_unique<net::Server>(*transport, "127.0.0.1:0", cfg));
+    addrs.push_back(nodes.back()->address());
+    nodes.back()->start();
+  }
+  for (const auto& node : nodes)
+    ASSERT_TRUE(wait_until(
+        [&] {
+          return node->director()->alive_count(std::chrono::steady_clock::now()) == 2u;
+        },
+        5000ms));
+
+  // Find a session n0 does NOT own; a pinned client talking to n0 must be
+  // served there anyway (this is how node-targeted tooling works).
+  cluster::Ring ring(64);
+  ring.add_node("n0");
+  ring.add_node("n1");
+  std::uint64_t foreign_sid = 0;
+  for (std::uint64_t sid = 1; sid < 1000; ++sid)
+    if (ring.owner(sid) == "n1") {
+      foreign_sid = sid;
+      break;
+    }
+  ASSERT_NE(foreign_sid, 0u);
+
+  net::ClientConfig pinned;
+  pinned.pinned = true;
+  std::uint64_t redirects = ~0ull;
+  EXPECT_EQ(run_verified_session(*transport, addrs[0], foreign_sid, 8, 1300, pinned,
+                                 &redirects),
+            0);
+  EXPECT_EQ(redirects, 0u) << "kFlagPinned must suppress redirects";
+  for (auto& node : nodes) node->stop();
+  EXPECT_GT(nodes[0]->stats().data_frames, 0u) << "n0 must have served the pinned session";
+  EXPECT_EQ(nodes[0]->stats().redirects_sent, 0u);
+}
+
+TEST(ClusterSharding, QuarantineLastWorkerMigratesSessionsZeroLoss) {
+  // The migration story end to end: quarantining a node's only farm
+  // worker stops it serving; gossip spreads the fact; a live session
+  // mid-stream gets kRedirect, replays onto the survivor, and not one
+  // frame is lost or corrupted.
+  auto transport = net::make_tcp_transport();
+  std::vector<std::unique_ptr<net::Server>> nodes;
+  std::vector<std::string> addrs;
+  for (int n = 0; n < 2; ++n) {
+    auto cfg = cluster_cfg("n" + std::to_string(n), addrs, /*workers=*/1);
+    nodes.push_back(std::make_unique<net::Server>(*transport, "127.0.0.1:0", cfg));
+    addrs.push_back(nodes.back()->address());
+    nodes.back()->start();
+  }
+  for (const auto& node : nodes)
+    ASSERT_TRUE(wait_until(
+        [&] {
+          return node->director()->alive_count(std::chrono::steady_clock::now()) == 2u;
+        },
+        5000ms));
+
+  // A session n1 owns, dialed directly at n1: no redirect yet.
+  cluster::Ring ring(64);
+  ring.add_node("n0");
+  ring.add_node("n1");
+  std::uint64_t sid = 0;
+  for (std::uint64_t s = 1; s < 1000; ++s)
+    if (ring.owner(s) == "n1") {
+      sid = s;
+      break;
+    }
+  ASSERT_NE(sid, 0u);
+
+  net::Client client(*transport, addrs[1], sid);
+  std::mt19937 rng(1500);
+  farm::Key128 key;
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng());
+  client.set_key(key);
+  const aes::Aes128 ref(key);
+
+  int mismatches = 0;
+  const auto one_request = [&] {
+    std::vector<std::uint8_t> data(aes::kBlock * (1 + rng() % 4));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    const auto expect = aes::ecb_encrypt(ref, data);
+    farm::Key128 iv{};
+    if (client.enc_blocks(false, iv, std::move(data)) != expect) ++mismatches;
+  };
+  for (int r = 0; r < 8; ++r) one_request();
+  EXPECT_EQ(client.redirects(), 0u) << "dialing the owner directly needs no hop";
+
+  // Quarantine n1's only worker through the admin plane (pinned client, so
+  // the admin traffic itself is never bounced away from its target).
+  {
+    net::ClientConfig pinned;
+    pinned.pinned = true;
+    net::Client admin(*transport, addrs[1], 0xad31ull, pinned);
+    admin.fleet_quarantine(0, /*resume=*/false);
+    admin.bye();
+  }
+
+  // n1 drops out of both rings: immediately out of its own (serving flag
+  // is local), out of n0's once gossip delivers the news.
+  ASSERT_TRUE(wait_until(
+      [&] {
+        const auto now = std::chrono::steady_clock::now();
+        return !nodes[1]->director()->self_serving() &&
+               nodes[0]->director()->alive_count(now) == 1u;
+      },
+      5000ms))
+      << "quarantine did not propagate through gossip";
+
+  // Same client, same session, no manual reconnect: the next frames hit
+  // n1, bounce, replay on n0 — and every byte still verifies.
+  for (int r = 0; r < 8; ++r) one_request();
+  client.drain();
+  EXPECT_EQ(mismatches, 0) << "migration corrupted frames";
+  EXPECT_GE(client.redirects(), 1u);
+  EXPECT_EQ(client.server_address(), addrs[0]) << "the session must land on the survivor";
+  client.bye();
+
+  for (auto& node : nodes) node->stop();
+  EXPECT_GE(nodes[1]->stats().redirects_sent, 1u);
+  EXPECT_GT(nodes[0]->stats().data_frames, 0u) << "the survivor served the migrated tail";
+  EXPECT_EQ(nodes[0]->stats().protocol_errors, 0u);
+  EXPECT_EQ(nodes[1]->stats().protocol_errors, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Client connect backoff + wire gossip error path
+// ---------------------------------------------------------------------------
+
+TEST(ClusterClient, ConnectBackoffIsDoublyBoundedAndCarriesTheError) {
+  auto transport = net::make_tcp_transport();
+  // Grab a port that refuses connections: bind + close, then dial it.
+  std::string dead_addr;
+  {
+    auto probe = transport->listen("127.0.0.1:0");
+    dead_addr = probe->address();
+    probe->close();
+  }
+
+  net::ClientConfig cfg;
+  cfg.connect_attempts = 1000;             // attempts alone would spin forever...
+  cfg.backoff_initial = 2ms;
+  cfg.backoff_max = 20ms;
+  cfg.connect_wait_max = 150ms;            // ...so the wall-clock cap must bite
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    net::Client client(*transport, dead_addr, 1, cfg);
+    FAIL() << "connect to a dead port must throw";
+  } catch (const net::WireError& e) {
+    EXPECT_EQ(e.code(), net::ErrorCode::kConnectFailed);
+    // The message must carry the last underlying failure, not just "failed".
+    EXPECT_NE(std::string(e.what()).find("connect"), std::string::npos) << e.what();
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed, 2000ms) << "total wait must be capped by connect_wait_max";
+}
+
+TEST(ClusterClient, GossipAgainstStandaloneServerIsNotClustered) {
+  net::LoopbackTransport transport;
+  net::ServerConfig cfg;
+  cfg.farm.workers = 1;
+  cfg.farm.engine = aesip::engine::EngineKind::kSoftware;
+  net::Server server(transport, "svc", cfg);  // no ClusterConfig
+  server.start();
+  EXPECT_EQ(server.director(), nullptr);
+
+  net::Client client(transport, "svc", 1);
+  try {
+    client.gossip({1, 2, 3});
+    FAIL() << "kGossip at a standalone server must be refused";
+  } catch (const net::WireError& e) {
+    EXPECT_EQ(e.code(), net::ErrorCode::kNotClustered);
+  }
+  client.bye();
+  server.stop();
+}
+
+}  // namespace

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "aes/cipher.hpp"
@@ -192,6 +194,52 @@ TEST(DocsNet, LoopbackExampleRunsAsDocumented) {
   aes::Aes128 ref(key);
   EXPECT_EQ(ct, aes::cbc_encrypt(ref, iv, padded));
   EXPECT_EQ(server.stats().protocol_errors, 0u);
+}
+
+// --- docs/cluster.md: the two-node sharded cluster worked example ---------
+
+TEST(DocsCluster, TwoNodeExampleRunsAsDocumented) {
+  const auto key = doc_key();
+  const farm::Key128 iv{};
+  const std::vector<std::uint8_t> blocks(32, 0xa5);
+
+  auto transport = net::make_tcp_transport();
+
+  net::ServerConfig cfg;                         // node 0
+  cfg.farm.workers = 1;
+  cfg.farm.engine = engine::EngineKind::kSoftware;
+  cfg.cluster = net::ClusterConfig{.node_id = "n0"};
+  cfg.cluster->gossip_interval = std::chrono::milliseconds(20);
+  net::Server n0(*transport, "127.0.0.1:0", cfg);
+  n0.start();
+
+  cfg.cluster = net::ClusterConfig{              // node 1 seeds off n0
+      .node_id = "n1", .seeds = {n0.address()}};
+  cfg.cluster->gossip_interval = std::chrono::milliseconds(20);
+  net::Server n1(*transport, "127.0.0.1:0", cfg);
+  n1.start();
+
+  // ... wait until both directors report alive_count == 2 ...
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (const net::Server* s : {&n0, &n1})
+    while (s->director()->alive_count(std::chrono::steady_clock::now()) < 2 &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_EQ(n0.director()->alive_count(std::chrono::steady_clock::now()), 2u);
+
+  // Dial either node; the ring + kRedirect land the session on its owner.
+  net::Client client(*transport, n0.address(), /*session_id=*/42);
+  client.set_key(key);
+  auto ct = client.enc_blocks(/*cbc=*/false, iv, blocks);  // maybe 1 hop
+  client.bye();                       // client.redirects() says how many
+  EXPECT_LE(client.redirects(), 1u);
+
+  // The shard move is a routing detail, not a cipher change.
+  aes::Aes128 ref(key);
+  EXPECT_EQ(ct, aes::ecb_encrypt(ref, blocks));
+  n1.stop();
+  n0.stop();
+  EXPECT_EQ(n0.stats().protocol_errors + n1.stats().protocol_errors, 0u);
 }
 
 // --- docs/variants.md: naming a point on the Pareto curve ------------------

@@ -137,6 +137,28 @@ std::string arg_or(const Args& a, const std::string& key, const std::string& fal
   return it == a.end() ? fallback : it->second;
 }
 
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto comma = s.find(',', start);
+    const auto end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// The transport every networked subcommand shares: TCP by default,
+/// aesip-netchan-v1 over UDP with --udp (--mtu caps the datagram size).
+std::unique_ptr<net::Transport> transport_of(const Args& args) {
+  if (arg_or(args, "udp", "no") == "no") return net::make_tcp_transport();
+  net::UdpConfig ucfg;
+  ucfg.mtu = std::stoul(arg_or(args, "mtu", "1200"));
+  return net::make_udp_transport(ucfg);
+}
+
 std::vector<std::uint8_t> read_file(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) die("cannot read " + path);
@@ -652,6 +674,45 @@ int cmd_metrics(const Args& args) {
     die("--trace requires --farm yes");
   }
 
+  // --- optional net section: a clustered multi-threaded server probed in
+  // process, so the per-thread and cluster counters land in the JSON -----------
+  std::optional<net::ServerStats> nst;
+  if (arg_or(args, "net", "no") == "yes") {
+    const int net_threads = std::stoi(arg_or(args, "net-threads", "2"));
+    if (net_threads < 1) die("--net-threads must be >= 1");
+    auto nt = net::make_tcp_transport();
+    net::ServerConfig scfg;
+    scfg.farm.workers = 2;
+    scfg.farm.engine = engine::EngineKind::kSoftware;
+    scfg.threads = net_threads;
+    net::ClusterConfig cc;  // one-node cluster: counters live, nothing redirects
+    cc.node_id = "metrics-n0";
+    scfg.cluster = cc;
+    net::Server srv(*nt, "127.0.0.1:0", scfg);
+    srv.start();
+    for (int s = 0; s < 3; ++s) {
+      net::Client c(*nt, srv.address(), static_cast<std::uint64_t>(s) + 1);
+      farm::Key128 key, iv{};
+      for (auto& b : key) b = static_cast<std::uint8_t>(rng());
+      c.set_key(key);
+      for (int r = 0; r < 8; ++r)
+        c.enc_blocks(/*cbc=*/false, iv, std::vector<std::uint8_t>(32, static_cast<std::uint8_t>(r)));
+      c.drain();
+      c.bye();
+    }
+    srv.stop();
+    nst = srv.stats();
+    if (text) {
+      std::printf("\nnet (%d event-loop threads, %s readiness, node %s):\n", net_threads,
+                  nst->poller.c_str(), nst->node_id.c_str());
+      for (const auto& t : nst->per_thread)
+        std::printf("  thread %d: %llu conns adopted, %llu frames, %llu responses\n", t.thread,
+                    static_cast<unsigned long long>(t.connections_adopted),
+                    static_cast<unsigned long long>(t.frames_received),
+                    static_cast<unsigned long long>(t.responses_sent));
+    }
+  }
+
   // --- JSON (schema: docs/benchmarks.md) -------------------------------------
   if (!json_path.empty()) {
     std::ofstream jfile;
@@ -734,6 +795,33 @@ int cmd_metrics(const Args& args) {
       j.end_array();
       j.end_object();
     }
+
+    if (nst) {
+      j.key("net").begin_object();
+      j.key("threads").value(static_cast<std::uint64_t>(nst->per_thread.size()));
+      j.key("poller").value(nst->poller);
+      j.key("node_id").value(nst->node_id);
+      j.key("cluster_nodes_alive").value(nst->cluster_nodes_alive);
+      j.key("connections_accepted").value(nst->connections_accepted);
+      j.key("frames_received").value(nst->frames_received);
+      j.key("responses_sent").value(nst->responses_sent);
+      j.key("redirects_sent").value(nst->redirects_sent);
+      j.key("gossip_frames").value(nst->gossip_frames);
+      j.key("gossip_rounds").value(nst->gossip_rounds);
+      j.key("per_thread").begin_array();
+      for (const auto& t : nst->per_thread) {
+        j.begin_object();
+        j.key("thread").value(t.thread);
+        j.key("connections_adopted").value(t.connections_adopted);
+        j.key("frames_received").value(t.frames_received);
+        j.key("responses_sent").value(t.responses_sent);
+        j.key("bytes_in").value(t.bytes_in);
+        j.key("bytes_out").value(t.bytes_out);
+        j.end_object();
+      }
+      j.end_array();
+      j.end_object();
+    }
     j.end_object();
     if (text && !json_to_stdout)
       std::printf("\nmetrics written to %s\n", json_path.c_str());
@@ -779,17 +867,40 @@ int cmd_serve(const Args& args) {
   if (!trace_path.empty()) cfg.tracing = true;
   const std::string address = arg_or(args, "listen", "127.0.0.1:0");
 
-  auto transport = net::make_tcp_transport();
+  cfg.threads = std::stoi(arg_or(args, "threads", "1"));
+  if (cfg.threads < 1) die("--threads must be >= 1");
+  // --cluster joins a multi-node shard: this node gossips membership with
+  // --seeds and serves only the sessions the consistent-hash ring assigns
+  // it, bouncing the rest with kRedirect (docs/cluster.md).
+  if (arg_or(args, "cluster", "no") != "no") {
+    net::ClusterConfig cc;
+    cc.node_id = arg_or(args, "node-id", address);
+    cc.advertise = arg_or(args, "advertise", "");
+    cc.seeds = split_csv(arg_or(args, "seeds", ""));
+    cc.gossip_interval = std::chrono::milliseconds(std::stol(arg_or(args, "gossip-ms", "100")));
+    cc.suspect_after = std::chrono::milliseconds(std::stol(arg_or(args, "suspect-ms", "1500")));
+    cc.ring_vnodes = std::stoul(arg_or(args, "vnodes", "64"));
+    cfg.cluster = cc;
+  }
+
+  auto transport = transport_of(args);
   net::Server server(*transport, address, cfg);
   g_serve_instance.store(&server, std::memory_order_release);
   std::signal(SIGINT, serve_signal_handler);
   std::signal(SIGTERM, serve_signal_handler);
 
-  std::printf("aesip serve: aesip-wire-v1 on %s (%d workers, %s engine, AES-%d native, "
+  std::printf("aesip serve: aesip-wire-v1 on %s via %s (%d workers, %s engine, AES-%d native, "
               "window %zu, admin %s, spot-check %.0f%%)\n",
-              server.address().c_str(), cfg.farm.workers, engine::kind_name(cfg.farm.engine),
-              keybits, cfg.window, cfg.admin ? "on" : "off",
-              100.0 * cfg.farm.spot_check_fraction);
+              server.address().c_str(), transport->name(), cfg.farm.workers,
+              engine::kind_name(cfg.farm.engine), keybits, cfg.window,
+              cfg.admin ? "on" : "off", 100.0 * cfg.farm.spot_check_fraction);
+  if (cfg.threads > 1)
+    std::printf("aesip serve: %d event-loop threads (%s readiness)\n", cfg.threads,
+                server.stats().poller.c_str());
+  if (cfg.cluster)
+    std::printf("aesip serve: cluster node '%s' (%zu seeds, gossip every %lld ms)\n",
+                cfg.cluster->node_id.c_str(), cfg.cluster->seeds.size(),
+                static_cast<long long>(cfg.cluster->gossip_interval.count()));
   std::printf("aesip serve: SIGINT/SIGTERM drain gracefully\n");
   std::fflush(stdout);
   server.run();
@@ -808,6 +919,17 @@ int cmd_serve(const Args& args) {
               static_cast<unsigned long long>(st.request_latency_us.percentile(0.50)),
               static_cast<unsigned long long>(st.request_latency_us.percentile(0.99)),
               static_cast<unsigned long long>(st.request_latency_us.max));
+  for (const auto& t : st.per_thread)
+    if (st.per_thread.size() > 1)
+      std::printf("  thread %d: %llu conns adopted, %llu frames, %llu responses\n", t.thread,
+                  static_cast<unsigned long long>(t.connections_adopted),
+                  static_cast<unsigned long long>(t.frames_received),
+                  static_cast<unsigned long long>(t.responses_sent));
+  if (cfg.cluster)
+    std::printf("  cluster: %llu redirects sent, %llu gossip frames, %llu gossip rounds\n",
+                static_cast<unsigned long long>(st.redirects_sent),
+                static_cast<unsigned long long>(st.gossip_frames),
+                static_cast<unsigned long long>(st.gossip_rounds));
   const auto fst = server.farm_stats();
   if (fst.swaps || fst.heals || fst.quarantines || fst.spot_checks)
     std::printf("  fleet: %llu swaps, %llu heals, %llu quarantines, %llu spot-checks "
@@ -839,8 +961,6 @@ int cmd_loadgen(const Args& args) {
   // the admin plane on. Exit 0 means zero corrupted and zero lost frames.
   const bool chaos = arg_or(args, "chaos", "no") != "no";
   std::string address = arg_or(args, "connect", "");
-  if (address.empty() && !chaos)
-    die("--connect host:port is required (the aesip serve address)");
   const int n_sessions = std::stoi(arg_or(args, "sessions", chaos ? "2" : "4"));
   const std::uint64_t n_requests = std::stoull(arg_or(args, "requests", chaos ? "24" : "64"));
   const std::size_t max_blocks = std::stoul(arg_or(args, "blocks", chaos ? "4" : "8"));
@@ -852,7 +972,62 @@ int cmd_loadgen(const Args& args) {
   // the farm picks the engine geometry from the key length per job).
   const int keybits = keybits_of(args, "mix", /*allow_mix=*/true);
 
-  auto transport = net::make_tcp_transport();
+  auto transport = transport_of(args);
+
+  // --nodes N self-hosts an N-node cluster in-process (gossip-linked,
+  // consistent-hash sharded); --nodes A,B,C targets servers already
+  // running. Either way each session round-robins its first dial across
+  // the nodes and follows kRedirect to the owner — the sharding itself is
+  // part of what gets verified.
+  std::vector<std::string> node_addrs;
+  std::vector<std::unique_ptr<net::Server>> cluster_nodes;
+  const std::string nodes_arg = arg_or(args, "nodes", "");
+  if (!nodes_arg.empty()) {
+    if (nodes_arg.find_first_not_of("0123456789") == std::string::npos) {
+      const int n_nodes = std::stoi(nodes_arg);
+      if (n_nodes < 1) die("--nodes must be >= 1");
+      if (!address.empty()) die("--nodes N self-hosts; drop --connect or pass addresses");
+      for (int n = 0; n < n_nodes; ++n) {
+        net::ServerConfig scfg;
+        scfg.farm.workers = std::stoi(arg_or(args, "workers", "2"));
+        const std::string engine_name = arg_or(args, "engine", chaos ? "netlist" : "sw");
+        if (const auto kind = engine::kind_from_name(engine_name)) scfg.farm.engine = *kind;
+        else die("unknown engine '" + engine_name + "' (sw|behavioral|netlist)");
+        scfg.farm.spot_check_fraction = chaos ? 1.0 : 0.0;
+        scfg.threads = std::stoi(arg_or(args, "threads", "1"));
+        scfg.admin = true;
+        scfg.chaos_seed = seed + static_cast<std::uint32_t>(n);
+        net::ClusterConfig cc;
+        cc.node_id = "n" + std::to_string(n);
+        cc.gossip_interval = std::chrono::milliseconds(25);
+        cc.seeds = node_addrs;  // each node bootstraps off the ones already up
+        scfg.cluster = cc;
+        auto srv = std::make_unique<net::Server>(*transport, "127.0.0.1:0", scfg);
+        srv->start();
+        node_addrs.push_back(srv->address());
+        cluster_nodes.push_back(std::move(srv));
+      }
+      // Traffic before membership converges would redirect to a partial
+      // ring; wait until every node sees all N alive.
+      const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      for (const auto& srv : cluster_nodes)
+        while (srv->director()->alive_count(std::chrono::steady_clock::now()) <
+               static_cast<std::size_t>(n_nodes)) {
+          if (std::chrono::steady_clock::now() > deadline)
+            die("cluster membership did not converge");
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      std::printf("loadgen: self-hosted %d-node cluster (%s transport):", n_nodes,
+                  transport->name());
+      for (const auto& a : node_addrs) std::printf(" %s", a.c_str());
+      std::printf("\n");
+    } else {
+      node_addrs = split_csv(nodes_arg);
+    }
+  }
+  if (address.empty() && !node_addrs.empty()) address = node_addrs.front();
+  if (address.empty() && !chaos)
+    die("--connect host:port or --nodes is required (an aesip serve address)");
 
   std::unique_ptr<net::Server> self_hosted;
   if (address.empty()) {
@@ -872,6 +1047,7 @@ int cmd_loadgen(const Args& args) {
                 address.c_str(), scfg.farm.workers, engine::kind_name(scfg.farm.engine));
   }
   std::atomic<std::uint64_t> total_requests{0}, total_blocks{0}, mismatches{0};
+  std::atomic<std::uint64_t> total_redirects{0};
   std::atomic<int> failures{0};
 
   // One thread per session: each connects (with the client's retry/backoff,
@@ -879,7 +1055,10 @@ int cmd_loadgen(const Args& args) {
   // the server's window full with random verified traffic.
   const auto session_main = [&](int sid) {
     try {
-      net::Client client(*transport, address, static_cast<std::uint64_t>(sid) + 1);
+      const std::string& dial =
+          node_addrs.empty() ? address
+                             : node_addrs[static_cast<std::size_t>(sid) % node_addrs.size()];
+      net::Client client(*transport, dial, static_cast<std::uint64_t>(sid) + 1);
       std::mt19937 rng(seed + static_cast<std::uint32_t>(sid) * 7919);
 
       farm::Key128 fips_key, zero_iv{};
@@ -941,6 +1120,7 @@ int cmd_loadgen(const Args& args) {
 
       client.drain();  // the zero-loss barrier: everything above is answered
       client.bye();
+      total_redirects.fetch_add(client.redirects());
     } catch (const std::exception& e) {
       failures.fetch_add(1);
       std::fprintf(stderr, "loadgen: session %d failed: %s\n", sid, e.what());
@@ -958,7 +1138,11 @@ int cmd_loadgen(const Args& args) {
   if (chaos) {
     chaos_thread = std::thread([&] {
       try {
-        net::Client admin(*transport, address, 0xf1ee7);
+        // Pinned: the chaos driver targets this node deliberately and must
+        // never be bounced to the session's ring owner.
+        net::ClientConfig acfg;
+        acfg.pinned = true;
+        net::Client admin(*transport, address, 0xf1ee7, acfg);
         int step = 0;
         while (!traffic_done.load(std::memory_order_acquire)) {
           switch (step++ % 7) {
@@ -991,9 +1175,20 @@ int cmd_loadgen(const Args& args) {
     });
   }
 
+  // Sessions run on a bounded pool (--concurrency) so --sessions 10000
+  // costs 10000 connections, not 10000 simultaneous threads.
+  const int concurrency =
+      std::min(n_sessions, std::stoi(arg_or(args, "concurrency", "256")));
+  if (concurrency < 1) die("--concurrency must be >= 1");
+  std::atomic<int> next_session{0};
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
-  for (int s = 0; s < n_sessions; ++s) threads.emplace_back(session_main, s);
+  for (int w = 0; w < concurrency; ++w)
+    threads.emplace_back([&] {
+      for (int s = next_session.fetch_add(1); s < n_sessions;
+           s = next_session.fetch_add(1))
+        session_main(s);
+    });
   for (auto& t : threads) t.join();
   traffic_done.store(true, std::memory_order_release);
   if (chaos_thread.joinable()) chaos_thread.join();
@@ -1011,6 +1206,27 @@ int cmd_loadgen(const Args& args) {
     std::printf("loadgen: chaos: %llu admin operations (inject/swap/quarantine), "
                 "%d driver failures; reproduce with --chaos --seed %u\n",
                 static_cast<unsigned long long>(chaos_events), chaos_failures.load(), seed);
+  if (!node_addrs.empty())
+    std::printf("loadgen: cluster: %llu redirects followed across %zu nodes\n",
+                static_cast<unsigned long long>(total_redirects.load()), node_addrs.size());
+  if (!cluster_nodes.empty()) {
+    for (auto& n : cluster_nodes) n->stop();
+    farm::FarmStats merged;
+    std::uint64_t redirects_sent = 0, gossip_rounds = 0;
+    for (std::size_t i = 0; i < cluster_nodes.size(); ++i) {
+      const auto st = cluster_nodes[i]->stats();
+      redirects_sent += st.redirects_sent;
+      gossip_rounds += st.gossip_rounds;
+      if (i == 0) merged = cluster_nodes[i]->farm_stats();
+      else merged.merge_from(cluster_nodes[i]->farm_stats());
+    }
+    std::printf("loadgen: cluster roll-up: %zu nodes, %llu requests, %llu blocks served, "
+                "%llu redirects sent, %llu gossip rounds\n",
+                cluster_nodes.size(), static_cast<unsigned long long>(merged.requests),
+                static_cast<unsigned long long>(merged.blocks),
+                static_cast<unsigned long long>(redirects_sent),
+                static_cast<unsigned long long>(gossip_rounds));
+  }
   if (self_hosted) {
     self_hosted->stop();
     const auto fst = self_hosted->farm_stats();
@@ -1038,7 +1254,10 @@ int cmd_loadgen(const Args& args) {
 void fleet_usage() {
   std::puts(
       "usage: aesip fleet <subcommand> --connect HOST:PORT [options]\n"
-      "  status                                  fleet health snapshot (JSON)\n"
+      "  status [--nodes A,B,C]                  fleet health snapshot (JSON);\n"
+      "                                          --nodes polls every cluster node\n"
+      "                                          into an aesip-cluster-fleet-v1\n"
+      "                                          envelope (rows tagged by node id)\n"
       "  swap   [--worker N|all] --engine KIND [--variant NAME]\n"
       "                                          hot-swap live engine(s);\n"
       "                                          KIND: sw|behavioral|netlist\n"
@@ -1060,11 +1279,35 @@ int cmd_fleet(int argc, char** argv) {
   }
   const std::string sub = argv[2];
   const Args args = parse_args(argc, argv, 3);
+  auto transport = transport_of(args);
+
+  // Fleet clients are pinned (kFlagPinned): they target the node they
+  // dialed, never the session's ring owner.
+  net::ClientConfig fcfg;
+  fcfg.pinned = true;
+
+  // `fleet status --nodes A,B,C` polls every node of a cluster and wraps
+  // the per-node snapshots (each tagged "node": id) in one envelope.
+  const std::string nodes = arg_or(args, "nodes", "");
+  if (sub == "status" && !nodes.empty()) {
+    std::string out = "{\"schema\": \"aesip-cluster-fleet-v1\", \"nodes\": [";
+    bool first = true;
+    for (const auto& addr : split_csv(nodes)) {
+      net::Client c(*transport, addr, 0xf1ee7, fcfg);
+      out += first ? "" : ", ";
+      first = false;
+      out += c.fleet_status_json();
+      c.bye();
+    }
+    out += "]}";
+    std::puts(out.c_str());
+    return 0;
+  }
+
   const std::string address = arg_or(args, "connect", "");
   if (address.empty()) die("--connect host:port is required (an aesip serve address)");
 
-  auto transport = net::make_tcp_transport();
-  net::Client client(*transport, address, 0xf1ee7);
+  net::Client client(*transport, address, 0xf1ee7, fcfg);
 
   int rc = 0;
   if (sub == "status") {
@@ -1155,14 +1398,26 @@ void usage() {
       "           [--seed S] [--spot-check F]\n"
       "           [--json FILE] [--trace FILE]\n"
       "  metrics  [--blocks N] [--engine sw|behavioral|netlist] [--farm yes|no]\n"
-      "           [--workers N] [--json FILE|-] [--trace FILE]\n"
+      "           [--workers N] [--net yes|no] [--net-threads N]\n"
+      "           [--json FILE|-] [--trace FILE]  (--net probes an in-process\n"
+      "           multi-threaded server for the per-thread/cluster counters)\n"
       "  serve    [--listen HOST:PORT] [--workers N] [--engine sw|behavioral|netlist]\n"
+      "           [--threads N] (event-loop threads: epoll/poll readiness)\n"
+      "           [--udp] [--mtu N] (aesip-netchan-v1 over UDP instead of TCP)\n"
+      "           [--cluster --node-id ID --seeds A,B --advertise ADDR]\n"
+      "           [--gossip-ms MS] [--suspect-ms MS] [--vnodes N]\n"
+      "           (join a sharded multi-node cluster; docs/cluster.md)\n"
       "           [--window N] [--queue N] [--idle-ms MS] [--trace FILE]\n"
       "           [--spot-check F] [--admin yes|no] [--chaos-seed S]\n"
       "           [--keybits 128|192|256]  (native worker geometry; other key\n"
       "           sizes are served via lazily built sibling engines)\n"
       "           (aesip-wire-v1 server over the IP farm; docs/net.md)\n"
       "  loadgen  [--connect HOST:PORT] [--sessions N] [--requests N] [--blocks N]\n"
+      "           [--nodes N|A,B,C] (N self-hosts an N-node sharded cluster;\n"
+      "           a list round-robins sessions over running nodes — either\n"
+      "           way clients follow kRedirect to each session's owner)\n"
+      "           [--udp] [--threads N] [--concurrency N] (session thread pool\n"
+      "           cap, default 256 — 10k sessions != 10k threads)\n"
       "           [--keybits 128|192|256|mix] (default mix: sessions rotate key\n"
       "           sizes round-robin, each verified against its matching oracle)\n"
       "           [--seed S] [--chaos]   (verified client traffic against aesip\n"
@@ -1171,6 +1426,7 @@ void usage() {
       "  fleet    status|swap|quarantine|resume|inject --connect HOST:PORT\n"
       "           (live fleet admin: hot-swap engines, quarantine workers,\n"
       "           inject SEUs; `aesip fleet --help` for options; docs/fleet.md)\n"
+      "           status --nodes A,B,C polls a whole cluster into one envelope\n"
       "  selftest    (engine conformance: FIPS-197 vectors + cycle parity)\n"
       "  help | --help | -h");
 }

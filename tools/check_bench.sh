@@ -70,10 +70,61 @@ for f in "$repo"/BENCH_*.json; do
         fail=1
       fi
     done
-    if ! grep -qF '"meets_target": true' "$f"; then
+    if ! sed -n '/"gate": {/,/}/p' "$f" | grep -qF '"meets_target": true'; then
       echo "check_bench: $name: wire-tax gate failed (meets_target is not true)" >&2
       fail=1
     fi
+
+    # v2 payload (docs/cluster.md): epoll scaling, the nodes x sessions
+    # cluster sweep, and the UDP-vs-TCP row.
+    for needle in \
+      '"epoll": {' \
+      '"cluster": [' \
+      '"udp_vs_tcp": {'
+    do
+      if ! grep -qF "$needle" "$f"; then
+        echo "check_bench: $name: missing $needle" >&2
+        fail=1
+      fi
+    done
+    # Zero-frame-loss and graceful drain at every scale that ran: any
+    # non-zero lost_frames or a failed drain anywhere in the file fails.
+    if grep -q '"lost_frames": [^0]' "$f"; then
+      echo "check_bench: $name: lost frames in a cluster/udp row:" >&2
+      grep '"lost_frames": [^0]' "$f" >&2
+      fail=1
+    fi
+    if grep -qF '"drained": false' "$f"; then
+      echo "check_bench: $name: a row did not drain gracefully" >&2
+      fail=1
+    fi
+    # The epoll gate: measured and met, or skipped with a reason (hosts
+    # with < 4 hardware threads cannot show event-loop scaling).
+    esection=$(sed -n '/"epoll": {/,/}/p' "$f")
+    if printf '%s' "$esection" | grep -qF '"skipped": true'; then
+      if ! printf '%s' "$esection" | grep -qF '"reason": "'; then
+        echo "check_bench: $name: epoll scaling skipped without a reason" >&2
+        fail=1
+      fi
+    elif ! printf '%s' "$esection" | grep -qF '"meets_target": true'; then
+      echo "check_bench: $name: epoll scaling gate failed (meets_target is not true)" >&2
+      fail=1
+    fi
+    # Every skipped sweep row must carry a reason (count them: rows and
+    # sections are one-per-line in the writer's output).
+    n_skip=$(grep -cF '"skipped": true' "$f")
+    n_reason=$(grep -cF '"reason": "' "$f")
+    if [ "$n_reason" -lt "$n_skip" ]; then
+      echo "check_bench: $name: $n_skip skipped rows but only $n_reason reasons" >&2
+      fail=1
+    fi
+    # The UDP-vs-TCP row must report both transports.
+    for needle in '"tcp_blocks_per_sec": ' '"udp_blocks_per_sec": '; do
+      if ! grep -qF "$needle" "$f"; then
+        echo "check_bench: $name: missing $needle" >&2
+        fail=1
+      fi
+    done
   fi
 
   if [ "$stem" = "simspeed" ]; then

@@ -64,5 +64,35 @@ if [ "$fail" -ne 0 ]; then
   echo "check_metrics: FAILED" >&2
   exit 1
 fi
-echo "check_metrics: OK (5 cycles/round, 50 cycles/block, 40-cycle key setup, fleet counters)"
+
+# The net section (docs/cluster.md): a live multi-threaded server behind
+# `--net yes` must report its poller backend, per-event-loop-thread
+# counters, and the cluster identity/gossip counters dashboards shard by.
+nout=$("$aesip" metrics --blocks 4 --farm no --net yes --net-threads 2 --json - 2>&1)
+if [ $? -ne 0 ]; then
+  echo "check_metrics: aesip metrics --net yes failed" >&2
+  echo "$nout" >&2
+  exit 1
+fi
+for needle in \
+  '"net": {' \
+  '"threads": 2' \
+  '"poller": "' \
+  '"node_id": "metrics-n0"' \
+  '"cluster_nodes_alive": 1' \
+  '"redirects_sent": 0' \
+  '"per_thread": [' \
+  '"connections_adopted": '
+do
+  if ! echo "$nout" | grep -qF "$needle"; then
+    echo "check_metrics: missing $needle in the net section" >&2
+    fail=1
+  fi
+done
+if [ "$fail" -ne 0 ]; then
+  echo "$nout" >&2
+  echo "check_metrics: FAILED" >&2
+  exit 1
+fi
+echo "check_metrics: OK (5 cycles/round, 50 cycles/block, 40-cycle key setup, fleet + net counters)"
 exit 0
