@@ -169,10 +169,12 @@ void print_and_dump_scaling() {
 
   // Engine sweep: the same workload shape through each CipherEngine kind.
   // The sw and behavioral engines run a real workload. The netlist engine
-  // evaluates the synthesized gate network per cycle; with the 64-lane
-  // BatchEvaluator behind it (plus batched worker dispatch filling the
-  // lanes) it now affords a real slice — 1024 blocks, ~20x what the scalar
-  // evaluator could cover in the same wall time.
+  // evaluates the synthesized gate network per cycle; with the lane-packed
+  // BatchEvaluator behind it (runtime dispatch picks the widest backend
+  // the host can run — recorded per row below — plus batched worker
+  // dispatch filling the lanes) it now affords a real slice — 1024 blocks,
+  // well beyond what the scalar evaluator could cover in the same wall
+  // time.
   struct EngineRow {
     const char* name;
     std::uint64_t target;
@@ -186,16 +188,18 @@ void print_and_dump_scaling() {
         std::pair{aesip::engine::EngineKind::kNetlist, std::uint64_t{1024}}}) {
     EngineRow row{aesip::engine::kind_name(kind), target,
                   run_point(4, target, false, kind)};
-    std::printf("    %-10s  %8llu blocks   %10.0f blocks/s wall   %6.1f cycles/block\n",
+    std::printf("    %-10s  %8llu blocks   %10.0f blocks/s wall   %6.1f cycles/block"
+                "   (%s backend, %zu lanes)\n",
                 row.name, static_cast<unsigned long long>(row.stats.blocks),
-                row.stats.blocks_per_wall_sec(), row.stats.cycles_per_block());
+                row.stats.blocks_per_wall_sec(), row.stats.cycles_per_block(),
+                row.stats.batch_backend.c_str(), row.stats.batch_lanes);
     engine_rows.push_back(std::move(row));
   }
   std::printf("\n");
 
   std::ofstream jf("BENCH_farm.json");
   aesip::report::JsonWriter j(jf);
-  aesip::report::begin_bench_envelope(j, "farm", 3);
+  aesip::report::begin_bench_envelope(j, "farm", 4);
   j.begin_object();  // config
   j.key("clock_ns").value(kClockNs);
   j.key("target_blocks").value(kTargetBlocks);
@@ -221,6 +225,8 @@ void print_and_dump_scaling() {
     j.begin_object();
     j.key("engine").value(row.name);
     j.key("workers").value(4);
+    j.key("batch_backend").value(s.batch_backend);
+    j.key("batch_lanes").value(s.batch_lanes);
     j.key("blocks").value(s.blocks);
     j.key("blocks_per_wall_sec").value(s.blocks_per_wall_sec());
     j.key("cycles_per_block").value(s.cycles_per_block());

@@ -143,7 +143,8 @@ std::optional<GateIpDriver::StreamResult> GateIpDriver::stream(std::span<const s
 
 // --- GateIpBatchDriver -------------------------------------------------------
 
-GateIpBatchDriver::GateIpBatchDriver(const netlist::Netlist& nl) : ev_(nl) {
+GateIpBatchDriver::GateIpBatchDriver(const netlist::Netlist& nl, const netlist::BatchConfig& cfg)
+    : ev_(nl, cfg) {
   for (const auto& pi : nl.inputs()) by_name_[pi.name] = pi.net;
   for (const auto& po : nl.outputs()) out_by_name_[po.name] = po.net;
   for (int i = 0; i < 128; ++i) {
@@ -159,26 +160,36 @@ GateIpBatchDriver::GateIpBatchDriver(const netlist::Netlist& nl) : ev_(nl) {
 
 void GateIpBatchDriver::set_din_lanes(std::span<const std::uint8_t> in, std::size_t n) {
   using Word = netlist::BatchEvaluator::Word;
+  constexpr std::size_t kWordLanes = netlist::BatchEvaluator::kBaseLanes;
+  const std::size_t stride = ev_.stride();
   for (int k = 0; k < 16; ++k)
     for (int b = 0; b < 8; ++b) {
-      Word w = 0;
-      for (std::size_t lane = 0; lane < kLanes; ++lane) {
-        // Inactive lanes replicate lane 0 so every lane clocks real data.
-        const std::size_t src = lane < n ? lane : 0;
-        w |= Word{(in[16 * src + static_cast<std::size_t>(k)] >> b) & 1U} << lane;
+      for (std::size_t g = 0; g < stride; ++g) {
+        Word w = 0;
+        for (std::size_t l = 0; l < kWordLanes; ++l) {
+          // Inactive lanes replicate lane 0 so every lane clocks real data.
+          const std::size_t lane = g * kWordLanes + l;
+          const std::size_t src = lane < n ? lane : 0;
+          w |= Word{(in[16 * src + static_cast<std::size_t>(k)] >> b) & 1U} << l;
+        }
+        ev_.set_word(din_[static_cast<std::size_t>(8 * k + b)], w, g);
       }
-      ev_.set_word(din_[static_cast<std::size_t>(8 * k + b)], w);
     }
 }
 
 void GateIpBatchDriver::read_dout_lanes(std::span<std::uint8_t> out, std::size_t n) const {
+  constexpr std::size_t kWordLanes = netlist::BatchEvaluator::kBaseLanes;
   for (std::size_t i = 0; i < 16 * n; ++i) out[i] = 0;
   for (int k = 0; k < 16; ++k)
     for (int b = 0; b < 8; ++b) {
-      const auto w = ev_.word(dout_[static_cast<std::size_t>(8 * k + b)]);
-      for (std::size_t lane = 0; lane < n; ++lane)
-        if ((w >> lane) & 1U)
-          out[16 * lane + static_cast<std::size_t>(k)] |= static_cast<std::uint8_t>(1U << b);
+      for (std::size_t g = 0; g * kWordLanes < n; ++g) {
+        const auto w = ev_.word(dout_[static_cast<std::size_t>(8 * k + b)], g);
+        const std::size_t top = std::min(n - g * kWordLanes, kWordLanes);
+        for (std::size_t l = 0; l < top; ++l)
+          if ((w >> l) & 1U)
+            out[16 * (g * kWordLanes + l) + static_cast<std::size_t>(k)] |=
+                static_cast<std::uint8_t>(1U << b);
+      }
     }
 }
 
@@ -217,8 +228,9 @@ void GateIpBatchDriver::load_key(std::span<const std::uint8_t> key, int setup_cy
 std::optional<GateIpBatchDriver::BatchResult> GateIpBatchDriver::process_batch(
     std::span<const std::uint8_t> in, std::span<std::uint8_t> out, std::size_t n, bool encrypt,
     int watchdog_cycles) {
-  if (n < 1 || n > kLanes)
-    throw std::invalid_argument("GateIpBatchDriver: batch size must be 1..64");
+  if (n < 1 || n > lanes())
+    throw std::invalid_argument("GateIpBatchDriver: batch size must be 1.." +
+                                std::to_string(lanes()));
   if (in.size() < 16 * n || out.size() < 16 * n)
     throw std::invalid_argument("GateIpBatchDriver: need 16 bytes per lane");
   if (has_input("encdec")) set_broadcast("encdec", encrypt);

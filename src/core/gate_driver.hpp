@@ -85,12 +85,13 @@ class GateIpDriver {
 };
 
 /// Bit-parallel twin of GateIpDriver: the same Table 1 protocol against the
-/// same netlist, but through netlist::BatchEvaluator — up to 64 independent
-/// blocks per pass, one per lane.  Control inputs (setup/wr_*/encdec) are
-/// broadcast to every lane, so the FSM state is identical across lanes and
-/// data_ok can be sampled from lane 0.  The din/dout buses carry per-lane
-/// block data (the lane packing transpose lives in set_din_lanes /
-/// read_dout_lanes).
+/// same netlist, but through netlist::BatchEvaluator — lanes() independent
+/// blocks per pass, one per lane (64 on the portable uint64 backend, up to
+/// 512 on AVX-512; see netlist/batch_backend.hpp for the runtime
+/// dispatch).  Control inputs (setup/wr_*/encdec) are broadcast to every
+/// lane, so the FSM state is identical across lanes and data_ok can be
+/// sampled from lane 0.  The din/dout buses carry per-lane block data (the
+/// lane packing transpose lives in set_din_lanes / read_dout_lanes).
 ///
 /// Cycle accounting: each simulated clock during a process_batch() pass
 /// advances cycles() by the number of ACTIVE lanes, so a full sequence of
@@ -101,11 +102,13 @@ class GateIpDriver {
 /// count once.
 class GateIpBatchDriver {
  public:
-  static constexpr std::size_t kLanes = netlist::BatchEvaluator::kLanes;
-
   /// Binds to a synthesized IP netlist (must expose the Table 1 ports).
-  /// The netlist must outlive the driver.
-  explicit GateIpBatchDriver(const netlist::Netlist& nl);
+  /// The netlist must outlive the driver.  `cfg` forces a batch backend /
+  /// shard-thread count; the default auto-detects the widest one.
+  explicit GateIpBatchDriver(const netlist::Netlist& nl, const netlist::BatchConfig& cfg = {});
+
+  /// Blocks per pass — the resolved backend's lane count.
+  std::size_t lanes() const noexcept { return ev_.lanes(); }
 
   bool has_input(const std::string& name) const { return by_name_.count(name) != 0; }
   /// Drive a control input to the same value in every lane.
@@ -138,7 +141,7 @@ class GateIpBatchDriver {
   struct BatchResult {
     int cycles;  ///< per-lane latency, load edge -> data_ok (same in every lane)
   };
-  /// Process `n` (1..kLanes) blocks in one pass, one per lane: `in` holds
+  /// Process `n` (1..lanes()) blocks in one pass, one per lane: `in` holds
   /// 16*n input bytes, `out` receives 16*n result bytes.  Inactive lanes
   /// ride along with replicated lane-0 data.  nullopt if data_ok never
   /// rises (watchdog) — a gate-level hang, as in GateIpDriver::process.

@@ -9,12 +9,16 @@ namespace aesip::engine {
 
 namespace {
 
-std::size_t clamp_batch(std::size_t batch) { return batch ? batch : 1; }
+/// 0 = the engine's native lane width (full batches on any backend).
+std::size_t clamp_batch(const CipherEngine& e, std::size_t batch) {
+  if (batch == 0) batch = e.batch_lanes();
+  return batch ? batch : 1;
+}
 
 /// Feed `in` to the engine's batch path in caller-capped chunks.
 void batched(CipherEngine& e, std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
              bool encrypt, std::size_t batch) {
-  const std::size_t chunk_bytes = clamp_batch(batch) * aes::kBlock;
+  const std::size_t chunk_bytes = clamp_batch(e, batch) * aes::kBlock;
   for (std::size_t off = 0; off < in.size(); off += chunk_bytes) {
     const std::size_t len = std::min(chunk_bytes, in.size() - off);
     e.process_batch(in.subspan(off, len), out.subspan(off, len), encrypt);

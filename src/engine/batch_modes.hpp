@@ -3,7 +3,8 @@
 // The aes:: mode templates drive one block at a time through the
 // BlockCipher128 concept; these helpers route the block-parallel parts of
 // each mode through the engine's batch path instead, so a lane-packed
-// engine (NetlistEngine: 64 blocks per gate-level pass) sees full batches:
+// engine (NetlistEngine: batch_lanes() blocks per gate-level pass — 64 on
+// the portable backend, up to 512 on AVX-512) sees full batches:
 //
 //   * ECB — every block is independent: straight chunked process_batch.
 //   * CBC decrypt — the block cipher inputs are the ciphertext blocks,
@@ -18,7 +19,9 @@
 // Every helper is bit-identical to its aes:: counterpart for any engine
 // (the default process_batch is a process_block loop), and takes a `batch`
 // cap — the most blocks handed to one process_batch call — so the CLI's
-// --batch N can bound latency per pass.
+// --batch N can bound latency per pass.  `batch = 0` (the default) means
+// "the engine's own lane width": every pass is exactly one full
+// e.batch_lanes() batch, whatever backend the engine resolved.
 #pragma once
 
 #include <cstdint>
@@ -31,20 +34,20 @@ namespace aesip::engine {
 
 /// ECB over whole blocks. Precondition: data.size() % 16 == 0.
 std::vector<std::uint8_t> ecb_crypt_batched(CipherEngine& e, std::span<const std::uint8_t> data,
-                                            bool encrypt, std::size_t batch = 64);
+                                            bool encrypt, std::size_t batch = 0);
 
 /// CBC decryption over whole blocks (encrypt is a chain — use
 /// aes::cbc_encrypt through EngineBlockCipher).
 std::vector<std::uint8_t> cbc_decrypt_batched(CipherEngine& e,
                                               std::span<const std::uint8_t, 16> iv,
                                               std::span<const std::uint8_t> data,
-                                              std::size_t batch = 64);
+                                              std::size_t batch = 0);
 
 /// CTR over any length; same big-endian full-width counter convention as
 /// aes::ctr_crypt (encryption and decryption are the same operation).
 std::vector<std::uint8_t> ctr_crypt_batched(CipherEngine& e,
                                             std::span<const std::uint8_t, 16> initial_counter,
                                             std::span<const std::uint8_t> data,
-                                            std::size_t batch = 64);
+                                            std::size_t batch = 0);
 
 }  // namespace aesip::engine

@@ -130,12 +130,14 @@ std::shared_ptr<const netlist::Netlist> make_variant_netlist(const arch::Variant
   return std::make_shared<const netlist::Netlist>(arch::synthesize_variant(spec, mode));
 }
 
-NetlistEngine::NetlistEngine(std::shared_ptr<const netlist::Netlist> nl, core::IpMode mode)
-    : NetlistEngine(std::move(nl), arch::VariantSpec{}, mode) {}
+NetlistEngine::NetlistEngine(std::shared_ptr<const netlist::Netlist> nl, core::IpMode mode,
+                             const netlist::BatchConfig& cfg)
+    : NetlistEngine(std::move(nl), arch::VariantSpec{}, mode, cfg) {}
 
 NetlistEngine::NetlistEngine(std::shared_ptr<const netlist::Netlist> nl,
-                             const arch::VariantSpec& spec, core::IpMode mode)
-    : nl_(std::move(nl)), spec_(spec), mode_(mode), drv_(*nl_) {
+                             const arch::VariantSpec& spec, core::IpMode mode,
+                             const netlist::BatchConfig& cfg)
+    : nl_(std::move(nl)), spec_(spec), mode_(mode), drv_(*nl_, cfg) {
   // Mirror BehavioralEngine's construction-time reset() pulse: one setup
   // edge plus one idle edge, so cycle counts line up from cycle 0.
   drv_.reset();
@@ -184,6 +186,10 @@ void NetlistEngine::run_pass(std::span<const std::uint8_t> in, std::span<std::ui
   counters_.mix_cycles += rounds * n;
   counters_.rounds_done += rounds * n;
   (dec ? counters_.blocks_dec : counters_.blocks_enc) += n;
+}
+
+const char* NetlistEngine::batch_backend() const noexcept {
+  return netlist::backend_name(drv_.evaluator().backend());
 }
 
 std::size_t NetlistEngine::fault_sites() const noexcept {

@@ -125,6 +125,11 @@ class CipherEngine {
   /// Blocks the engine can genuinely process per pass (1 unless batched).
   virtual std::size_t batch_lanes() const noexcept { return 1; }
 
+  /// Name of the bit-parallel lane backend behind process_batch ("none"
+  /// when blocks go one at a time; NetlistEngine reports its resolved
+  /// netlist::BatchBackend — "u64", "neon", "avx2", "avx512" or "jit").
+  virtual const char* batch_backend() const noexcept { return "none"; }
+
   /// Occupancy accounting for the batch path: how full the engine's lanes
   /// ran.  A "pass" is one execution-resource dispatch (one evaluator pass
   /// for the netlist engine; one block for loop engines), so
@@ -304,19 +309,23 @@ std::shared_ptr<const netlist::Netlist> make_variant_netlist(const arch::Variant
 /// The synthesized gate netlist behind the engine contract, driven through
 /// netlist::BatchEvaluator with the same Table 1 handshake the behavioral
 /// bus driver performs — cycle counts match BehavioralEngine exactly.  A
-/// scalar process_block is a 1-lane batch; process_batch packs up to 64
-/// blocks per evaluator pass (the bit-parallel fast path, ~proportional
-/// speedup with occupancy).  The scalar netlist::Evaluator remains the
+/// scalar process_block is a 1-lane batch; process_batch packs up to
+/// batch_lanes() blocks per evaluator pass (the bit-parallel fast path,
+/// ~proportional speedup with occupancy; 64 lanes on the portable uint64
+/// backend, up to 512 on AVX-512 — runtime-dispatched, see
+/// netlist/batch_backend.hpp).  The scalar netlist::Evaluator remains the
 /// oracle for SEU/power campaigns — this engine never uses it.
 class NetlistEngine final : public CipherEngine {
  public:
-  NetlistEngine(std::shared_ptr<const netlist::Netlist> nl, core::IpMode mode);
+  NetlistEngine(std::shared_ptr<const netlist::Netlist> nl, core::IpMode mode,
+                const netlist::BatchConfig& cfg = {});
   explicit NetlistEngine(core::IpMode mode = core::IpMode::kBoth)
       : NetlistEngine(make_ip_netlist(mode), mode) {}
   /// Any variant-family member over an already-synthesized netlist (`nl`
   /// must be the gate graph of `spec` — farms pass their per-variant cache).
+  /// `cfg` overrides the batch backend / shard threads (testing knob).
   NetlistEngine(std::shared_ptr<const netlist::Netlist> nl, const arch::VariantSpec& spec,
-                core::IpMode mode);
+                core::IpMode mode, const netlist::BatchConfig& cfg = {});
   /// Synthesizing convenience for one-off variant engines.
   NetlistEngine(const arch::VariantSpec& spec, core::IpMode mode)
       : NetlistEngine(make_variant_netlist(spec, mode), spec, mode) {}
@@ -328,10 +337,11 @@ class NetlistEngine final : public CipherEngine {
   std::uint64_t load_key(std::span<const std::uint8_t> key) override;
   bool key_resident(std::span<const std::uint8_t> key) const override;
 
-  /// Lane-packed batch: up to 64 blocks per gate-level pass.
+  /// Lane-packed batch: up to batch_lanes() blocks per gate-level pass.
   void process_batch(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
                      bool encrypt = true) override;
-  std::size_t batch_lanes() const noexcept override { return core::GateIpBatchDriver::kLanes; }
+  std::size_t batch_lanes() const noexcept override { return drv_.lanes(); }
+  const char* batch_backend() const noexcept override;
 
   std::uint64_t cycles() const noexcept override { return drv_.cycles(); }
   std::uint64_t last_latency() const noexcept override { return last_latency_; }

@@ -234,6 +234,9 @@ void Farm::worker_main(int index) {
                     worker_labels_[static_cast<std::size_t>(index)],
                     static_cast<unsigned>(index),
                     worker_key_bits_[static_cast<std::size_t>(index)]);
+  // All workers of one farm resolve the same backend; last write wins.
+  batch_backend_.store(ctx.engine->batch_backend(), std::memory_order_relaxed);
+  batch_lanes_.store(ctx.engine->batch_lanes(), std::memory_order_relaxed);
   auto& queue = *queues_[static_cast<std::size_t>(index)];
   // Drain a burst per wake-up: under load a lane-packed engine (netlist)
   // then sees back-to-back jobs without a queue round-trip between them,
@@ -566,6 +569,10 @@ FarmStats Farm::stats() const {
   FarmStats s;
   s.workers = cfg_.workers;
   s.engine = engine_name_;
+  if (const char* bb = batch_backend_.load(std::memory_order_relaxed)) {
+    s.batch_backend = bb;
+    s.batch_lanes = batch_lanes_.load(std::memory_order_relaxed);
+  }
   s.queue_capacity = cfg_.queue_capacity;
   s.requests = requests_done_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
@@ -652,6 +659,10 @@ bool Farm::write_chrome_trace(std::ostream& os) const {
 // --- FarmStats rendering ----------------------------------------------------------
 
 void FarmStats::merge_from(const FarmStats& other) {
+  if (other.batch_lanes > batch_lanes) {
+    batch_lanes = other.batch_lanes;
+    batch_backend = other.batch_backend;
+  }
   workers += other.workers;
   if (engine.empty())
     engine = other.engine;
@@ -721,6 +732,8 @@ std::string FarmStats::report(double clock_ns) const {
   };
   add("farm: %d workers (%s engine), queue capacity %zu (high water %zu)\n", workers,
       engine.c_str(), queue_capacity, queue_high_water);
+  add("  batch:     %s backend, %zu lanes per engine pass\n", batch_backend.c_str(),
+      batch_lanes);
   if (queue_depth.count)
     add("  queues:    depth p50 %llu p99 %llu max %llu; wait p50 %llu us p99 %llu us "
         "max %llu us\n",
@@ -807,6 +820,8 @@ void FarmStats::write_json(std::ostream& os, double clock_ns) const {
   j.begin_object();
   j.key("workers").value(workers);
   j.key("engine").value(engine);
+  j.key("batch_backend").value(batch_backend);
+  j.key("batch_lanes").value(batch_lanes);
   j.key("requests").value(requests);
   j.key("blocks").value(blocks);
   j.key("rejected").value(rejected);

@@ -266,6 +266,12 @@ class Farm {
 
   FarmConfig cfg_;
   const char* engine_name_ = "custom";  ///< for stats; kind name or "custom"
+  /// The lane backend behind the workers' process_batch ("none" until the
+  /// first worker engine is built; netlist engines report their resolved
+  /// netlist::BatchBackend).  Published by worker threads at engine
+  /// construction, read lock-free by stats().
+  std::atomic<const char*> batch_backend_{nullptr};
+  std::atomic<std::size_t> batch_lanes_{0};
   /// Per-worker engine factory + label (the configured variant mix);
   /// filled at construction, read by each worker at thread start.  Each
   /// factory takes the key size (bits) the engine must be geared for.

@@ -44,6 +44,8 @@ struct LatencyStats {
 struct FarmStats {
   int workers = 0;
   std::string engine;  ///< CipherEngine kind the workers run ("custom" for factories)
+  std::string batch_backend = "none";  ///< lane backend behind process_batch
+  std::size_t batch_lanes = 1;         ///< blocks per engine pass on that backend
 
   // traffic
   std::uint64_t requests = 0;   ///< client requests completed

@@ -30,6 +30,8 @@ FleetStatus FleetController::status() const {
   FleetStatus st;
   st.workers = s.workers;
   st.workers_enabled = s.workers_enabled;
+  st.batch_backend = s.batch_backend;
+  st.batch_lanes = s.batch_lanes;
   st.swaps = s.swaps;
   st.heals = s.heals;
   st.quarantines = s.quarantines;
@@ -65,6 +67,8 @@ std::string FleetStatus::report() const {
       node.empty() ? "" : "@", node.c_str(), workers, workers_enabled,
       static_cast<unsigned long long>(swaps),
       static_cast<unsigned long long>(heals), static_cast<unsigned long long>(quarantines));
+  add("  batch:      %s backend, %zu lanes per engine pass\n", batch_backend.c_str(),
+      batch_lanes);
   add("  spot-check: %llu checked, %llu mismatched, %llu replayed; %llu sessions migrated\n",
       static_cast<unsigned long long>(spot_checks),
       static_cast<unsigned long long>(spot_mismatches),
@@ -88,6 +92,8 @@ void FleetStatus::write_json(std::ostream& os) const {
   if (!node.empty()) j.key("node").value(node);
   j.key("workers").value(workers);
   j.key("workers_enabled").value(workers_enabled);
+  j.key("batch_backend").value(batch_backend);
+  j.key("batch_lanes").value(batch_lanes);
   j.key("swaps").value(swaps);
   j.key("heals").value(heals);
   j.key("quarantines").value(quarantines);

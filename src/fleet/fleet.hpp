@@ -45,6 +45,8 @@ struct FleetStatus {
   std::string node;  ///< cluster node id ("" when not clustered) — labels roll-up rows
   int workers = 0;
   int workers_enabled = 0;
+  std::string batch_backend = "none";  ///< lane backend behind the workers' batch path
+  std::size_t batch_lanes = 1;         ///< blocks per engine pass on that backend
   std::uint64_t swaps = 0;
   std::uint64_t heals = 0;
   std::uint64_t quarantines = 0;

@@ -1,0 +1,67 @@
+// Runtime-dispatched lane-word backends for netlist::BatchEvaluator.
+//
+// The batch evaluator's lane word is no longer a fixed uint64_t: at
+// construction it picks the widest vector unit the host offers — AVX-512
+// (512 lanes per pass), AVX2 (256), NEON (128) — and falls back to the
+// portable 64-lane uint64 path, which doubles as the oracle-adjacent
+// baseline the BENCH_simspeed ≥4x gate measures against.  An experimental
+// kJit backend lowers the compiled tape to straight-line C++ built once at
+// startup (batch_jit.hpp).
+//
+// Selection order, resolved once per evaluator:
+//   1. BatchConfig::backend, when set (tests force specific backends);
+//   2. the AESIP_BATCH_BACKEND environment variable
+//      (u64 | neon | avx2 | avx512 | jit) — the override knob the
+//      backend-forcing ctest matrix uses;
+//   3. detect_backend(): the widest *native* backend the CPU supports
+//      (CPUID via __builtin_cpu_supports; never jit).
+// Forcing an unsupported backend throws — the test matrix probes
+// backend_supported() first and skips with a reason instead.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace aesip::netlist {
+
+enum class BatchBackend : std::uint8_t { kU64, kNeon, kAvx2, kAvx512, kJit };
+
+/// Per-evaluator knobs (engine constructors pass this through; default is
+/// full auto-detection).
+struct BatchConfig {
+  /// Backend override; nullopt = env var, then widest native.
+  std::optional<BatchBackend> backend{};
+  /// Tape-shard worker threads for one settle pass (levelization-cut
+  /// sharding).  0 = AESIP_BATCH_THREADS env var, else 1 (no pool).
+  int threads = 0;
+};
+
+/// Stable lowercase name ("u64", "neon", "avx2", "avx512", "jit") — the
+/// spelling AESIP_BATCH_BACKEND accepts and bench/metrics JSON reports.
+const char* backend_name(BatchBackend b) noexcept;
+std::optional<BatchBackend> backend_from_name(std::string_view name) noexcept;
+
+/// Simulation lanes per pass on `b`: 64 x its word stride.
+std::size_t backend_lanes(BatchBackend b) noexcept;
+
+/// True when this host can run `b`: compiled in AND the CPU advertises the
+/// feature (AVX2 / AVX-512F+BW), or, for kJit, a working C++ toolchain was
+/// probed (cached).  kU64 is always supported.
+bool backend_supported(BatchBackend b);
+
+/// Widest supported NATIVE backend (never kJit), ignoring overrides.
+BatchBackend detect_backend();
+
+/// The AESIP_BATCH_BACKEND override, if set to a recognized name.
+std::optional<BatchBackend> env_forced_backend();
+
+/// Resolve a config to the backend an evaluator will run: override > env >
+/// detect.  Throws std::runtime_error when an explicit request names an
+/// unsupported backend.
+BatchBackend resolve_backend(const BatchConfig& cfg);
+
+/// Resolve BatchConfig::threads (env fallback), clamped to [1, 64].
+int resolve_shard_threads(const BatchConfig& cfg);
+
+}  // namespace aesip::netlist

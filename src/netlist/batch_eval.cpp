@@ -1,6 +1,14 @@
 #include "netlist/batch_eval.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <numeric>
 #include <stdexcept>
+#include <thread>
+
+#include "netlist/batch_jit.hpp"
+#include "netlist/batch_kernels.hpp"
 
 namespace aesip::netlist {
 
@@ -14,20 +22,45 @@ struct Node {
   std::size_t index;
 };
 
+const batchdetail::Kernels* kernels_for(BatchBackend b) {
+  switch (b) {
+    case BatchBackend::kU64: return batchdetail::kernels_u64();
+    case BatchBackend::kNeon: return batchdetail::kernels_neon();
+    case BatchBackend::kAvx2: return batchdetail::kernels_avx2();
+    case BatchBackend::kAvx512: return batchdetail::kernels_avx512();
+    case BatchBackend::kJit: return nullptr;  // settles through the module
+  }
+  return nullptr;
+}
+
 }  // namespace
 
-BatchEvaluator::BatchEvaluator(const Netlist& nl)
+/// Persistent shard workers.  One settle is a lockstep walk over the
+/// levelization bands: every participant (main thread included) processes
+/// its contiguous chunk of the band, then meets the others at the barrier
+/// before the next band may read this band's outputs.  The pool is parked
+/// on the same barrier between settles.
+struct BatchEvaluator::Pool {
+  explicit Pool(int nthreads) : gate(nthreads) {}
+  std::barrier<> gate;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+};
+
+BatchEvaluator::BatchEvaluator(const Netlist& nl, const BatchConfig& cfg)
     : nl_(nl),
-      words_(nl.net_count(), 0),
+      backend_(resolve_backend(cfg)),
+      stride_(backend_lanes(backend_) / kBaseLanes),
+      slots_(nl.net_count()),
       const0_word_(nl.const0()),
       const1_word_(nl.const1()) {
   const auto& cells = nl.cells();
-  const auto& roms = nl.roms();
+  const auto& netlist_roms = nl.roms();
 
   // Same producer map + Kahn sort as the scalar Evaluator: DFF outputs are
   // state sources, constants are fixed, everything else is scheduled.
   std::vector<Node> nodes;
-  nodes.reserve(cells.size() + roms.size());
+  nodes.reserve(cells.size() + netlist_roms.size());
   std::vector<std::int32_t> producer(nl.net_count(), -1);
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
@@ -39,18 +72,23 @@ BatchEvaluator::BatchEvaluator(const Netlist& nl)
     producer[c.out] = static_cast<std::int32_t>(nodes.size());
     nodes.push_back(Node{false, i});
   }
-  for (std::size_t i = 0; i < roms.size(); ++i) {
-    for (const NetId o : roms[i].out) producer[o] = static_cast<std::int32_t>(nodes.size());
+  for (std::size_t i = 0; i < netlist_roms.size(); ++i) {
+    for (const NetId o : netlist_roms[i].out) producer[o] = static_cast<std::int32_t>(nodes.size());
     nodes.push_back(Node{true, i});
+    RomSpec spec{};
+    for (int k = 0; k < 8; ++k) {
+      spec.addr[k] = netlist_roms[i].addr[static_cast<std::size_t>(k)];
+      spec.out[k] = netlist_roms[i].out[static_cast<std::size_t>(k)];
+    }
+    spec.table = netlist_roms[i].table.data();
+    roms_.push_back(spec);
   }
-  dff_state_.assign(dffs_.size(), 0);
-  dff_sample_.assign(dffs_.size(), 0);
 
   std::vector<int> pending(nodes.size(), 0);
   std::vector<std::vector<std::int32_t>> consumers(nodes.size());
   auto each_fanin = [&](const Node& n, auto&& fn) {
     if (n.is_rom) {
-      for (const NetId a : roms[n.index].addr) fn(a);
+      for (const NetId a : netlist_roms[n.index].addr) fn(a);
     } else {
       const Cell& c = cells[n.index];
       for (int k = 0; k < c.fanin_count(); ++k)
@@ -113,13 +151,51 @@ BatchEvaluator::BatchEvaluator(const Netlist& nl)
   if (scheduled != nodes.size())
     throw std::runtime_error("netlist::BatchEvaluator: combinational cycle detected");
 
-  words_[const1_word_] = ~Word{0};
+  build_levels();
+
+  // Backend hookup.  The slot count is final only now (LUT temporaries),
+  // so physical storage allocates here.
+  words_.assign(slots_ * stride_, 0);
+  dff_state_.assign(dffs_.size() * stride_, 0);
+  dff_sample_.assign(dffs_.size() * stride_, 0);
+  if (backend_ == BatchBackend::kJit) {
+    jit_ = batchdetail::jit_compile(tape_, stride_);
+    if (!jit_->ok())
+      throw std::runtime_error("netlist::BatchEvaluator: " + jit_->error());
+  } else {
+    kern_ = kernels_for(backend_);
+    if (!kern_)  // resolve_backend() already vetted support; belt and braces
+      throw std::runtime_error("netlist::BatchEvaluator: backend kernels missing");
+  }
+
+  // The shard pool applies to the interpreted backends only (the JIT
+  // settle is one straight-line function).
+  shard_threads_ = backend_ == BatchBackend::kJit ? 1 : resolve_shard_threads(cfg);
+  if (shard_threads_ > 1 && !tape_.empty()) {
+    pool_ = std::make_unique<Pool>(shard_threads_);
+    for (int tid = 1; tid < shard_threads_; ++tid)
+      pool_->workers.emplace_back([this, tid] {
+        for (;;) {
+          pool_->gate.arrive_and_wait();  // settle begins (or shutdown)
+          if (pool_->stop.load(std::memory_order_acquire)) return;
+          run_levels(tid);
+          pool_->gate.arrive_and_wait();  // settle complete
+        }
+      });
+  } else {
+    shard_threads_ = 1;
+  }
+
+  broadcast(const1_word_, true);
   reset();
 }
 
-std::uint32_t BatchEvaluator::new_temp() {
-  words_.push_back(0);
-  return static_cast<std::uint32_t>(words_.size() - 1);
+BatchEvaluator::~BatchEvaluator() {
+  if (pool_) {
+    pool_->stop.store(true, std::memory_order_release);
+    pool_->gate.arrive_and_wait();  // release parked workers into the stop check
+    for (auto& t : pool_->workers) t.join();
+  }
 }
 
 std::uint32_t BatchEvaluator::emit(OpKind kind, std::uint32_t dst, std::uint32_t a,
@@ -161,6 +237,56 @@ std::uint32_t BatchEvaluator::compile_lut(std::uint16_t mask, int arity,
   return emit(OpKind::kMux, d, sel, lo, hi);
 }
 
+// Longest-path level per op over the word-slot dependency graph, then a
+// stable sort into level bands.  Any level order is a valid topological
+// order (an op's operands are produced at strictly lower levels), and ops
+// within one band are mutually independent — the shard-cut rule: a worker
+// may evaluate any chunk of a band concurrently with the others, as long
+// as every worker passes the barrier before the next band starts.
+void BatchEvaluator::build_levels() {
+  std::vector<std::uint32_t> slot_level(slots_, 0);
+  std::vector<std::uint32_t> op_level(tape_.size(), 0);
+  std::uint32_t max_level = 0;
+  for (std::size_t i = 0; i < tape_.size(); ++i) {
+    const Op& op = tape_[i];
+    std::uint32_t lvl = 0;
+    if (op.kind == OpKind::kRom) {
+      for (const std::uint32_t a : roms_[op.dst].addr) lvl = std::max(lvl, slot_level[a]);
+      ++lvl;
+      for (const std::uint32_t o : roms_[op.dst].out) slot_level[o] = lvl;
+    } else {
+      lvl = slot_level[op.a];
+      if (op.kind != OpKind::kCopy && op.kind != OpKind::kNot)
+        lvl = std::max(lvl, slot_level[op.b]);
+      if (op.kind == OpKind::kMux) lvl = std::max(lvl, slot_level[op.c]);
+      ++lvl;
+      slot_level[op.dst] = lvl;
+    }
+    op_level[i] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+
+  std::vector<std::uint32_t> order(tape_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t x, std::uint32_t y) {
+    return op_level[x] < op_level[y];
+  });
+  std::vector<Op> sorted;
+  sorted.reserve(tape_.size());
+  for (const std::uint32_t i : order) sorted.push_back(tape_[i]);
+  tape_ = std::move(sorted);
+
+  level_starts_.assign(max_level + 1, 0);  // levels are 1-based when any op exists
+  for (const std::uint32_t i : order) ++level_starts_[op_level[i] - 1];
+  std::uint32_t off = 0;
+  for (auto& s : level_starts_) {
+    const std::uint32_t n = s;
+    s = off;
+    off += n;
+  }
+  level_starts_.push_back(off);
+}
+
 void BatchEvaluator::set_bus(const Bus& b, std::size_t lane, std::uint64_t value) {
   for (std::size_t i = 0; i < b.size(); ++i) set(b[i], lane, (value >> i) & 1U);
 }
@@ -176,80 +302,88 @@ void BatchEvaluator::broadcast_bus(const Bus& b, std::uint64_t value) {
   for (std::size_t i = 0; i < b.size(); ++i) broadcast(b[i], (value >> i) & 1U);
 }
 
-void BatchEvaluator::settle() {
-  Word* const w = words_.data();
-  const auto& roms = nl_.roms();
-  for (const Op& op : tape_) {
-    switch (op.kind) {
-      case OpKind::kCopy:
-        w[op.dst] = w[op.a];
-        break;
-      case OpKind::kNot:
-        w[op.dst] = ~w[op.a];
-        break;
-      case OpKind::kAnd:
-        w[op.dst] = w[op.a] & w[op.b];
-        break;
-      case OpKind::kAndn:
-        w[op.dst] = ~w[op.a] & w[op.b];
-        break;
-      case OpKind::kOr:
-        w[op.dst] = w[op.a] | w[op.b];
-        break;
-      case OpKind::kOrn:
-        w[op.dst] = ~w[op.a] | w[op.b];
-        break;
-      case OpKind::kXor:
-        w[op.dst] = w[op.a] ^ w[op.b];
-        break;
-      case OpKind::kMux:
-        w[op.dst] = (w[op.a] & w[op.c]) | (~w[op.a] & w[op.b]);
-        break;
-      case OpKind::kRom: {
-        // Transposed gather: pull each lane's 8 address bits out of the
-        // address lane words, look the byte up, scatter its bits back.
-        const Rom& r = roms[op.dst];
-        Word a[8];
-        Word o[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-        for (int i = 0; i < 8; ++i) a[i] = w[r.addr[static_cast<std::size_t>(i)]];
-        for (std::size_t lane = 0; lane < kLanes; ++lane) {
-          std::size_t addr = 0;
-          for (int i = 0; i < 8; ++i) addr |= ((a[i] >> lane) & 1U) << i;
-          const std::uint8_t data = r.table[addr];
-          for (int i = 0; i < 8; ++i) o[i] |= Word{(data >> i) & 1U} << lane;
-        }
-        for (int i = 0; i < 8; ++i) w[r.out[static_cast<std::size_t>(i)]] = o[i];
-        break;
-      }
-    }
+void BatchEvaluator::settle_range(std::size_t begin, std::size_t end) {
+  kern_->settle(tape_.data(), begin, end, words_.data(), roms_.data());
+}
+
+void BatchEvaluator::run_levels(int tid) {
+  const std::size_t T = static_cast<std::size_t>(shard_threads_);
+  for (std::size_t l = 0; l + 1 < level_starts_.size(); ++l) {
+    const std::size_t s = level_starts_[l];
+    const std::size_t e = level_starts_[l + 1];
+    const std::size_t per = (e - s + T - 1) / T;
+    const std::size_t b = std::min(s + static_cast<std::size_t>(tid) * per, e);
+    const std::size_t f = std::min(b + per, e);
+    if (b < f) settle_range(b, f);
+    pool_->gate.arrive_and_wait();
   }
+}
+
+void BatchEvaluator::jit_rom_thunk(void* ctx, unsigned rom) {
+  auto* self = static_cast<BatchEvaluator*>(ctx);
+  const RomSpec& r = self->roms_[rom];
+  // The JIT stride matches the AVX-512 kernels'; reuse their byte-mask
+  // gather when the host has it, the portable transpose path otherwise.
+  static const batchdetail::RomGatherFn wide =
+      backend_supported(BatchBackend::kAvx512) ? batchdetail::rom_gather_avx512() : nullptr;
+  if (wide)
+    wide(r, self->words_.data(), self->stride_);
+  else
+    batchdetail::rom_gather_transpose(r, self->words_.data(), self->stride_);
+}
+
+void BatchEvaluator::settle() {
+  if (jit_) {
+    jit_->settle()(words_.data(), this, &BatchEvaluator::jit_rom_thunk);
+    return;
+  }
+  if (pool_) {
+    pool_->gate.arrive_and_wait();  // release the parked workers
+    run_levels(0);
+    pool_->gate.arrive_and_wait();  // all bands complete
+    return;
+  }
+  settle_range(0, tape_.size());
 }
 
 void BatchEvaluator::clock() {
   // Sample every enabled D first (pre-edge values in every lane), then
-  // publish, then settle — Evaluator::clock() semantics, 64 lanes wide.
-  for (std::size_t i = 0; i < dffs_.size(); ++i) {
-    const Dff& f = dffs_[i];
-    const Word d = words_[f.d];
-    if (f.enable == kNoWord) {
-      dff_sample_[i] = d;
-    } else {
-      const Word en = words_[f.enable];
-      dff_sample_[i] = (en & d) | (~en & dff_state_[i]);
-    }
-  }
-  for (std::size_t i = 0; i < dffs_.size(); ++i) {
-    dff_state_[i] = dff_sample_[i];
-    words_[dffs_[i].q] = dff_state_[i];
-  }
+  // publish, then settle — Evaluator::clock() semantics, lanes() wide.
+  if (kern_)
+    kern_->clock_dffs(dffs_.data(), dffs_.size(), words_.data(), dff_state_.data(),
+                      dff_sample_.data());
+  else
+    batchdetail::clock_dffs_generic(dffs_.data(), dffs_.size(), words_.data(),
+                                    dff_state_.data(), dff_sample_.data(), stride_);
   settle();
 }
 
 void BatchEvaluator::reset() {
   for (std::size_t i = 0; i < dffs_.size(); ++i) {
-    dff_state_[i] = 0;
-    words_[dffs_[i].q] = 0;
+    for (std::size_t g = 0; g < stride_; ++g) dff_state_[i * stride_ + g] = 0;
+    publish_dff(i);
   }
+}
+
+void BatchEvaluator::publish_dff(std::size_t index) {
+  for (std::size_t g = 0; g < stride_; ++g)
+    words_[dffs_[index].q * stride_ + g] = dff_state_[index * stride_ + g];
+}
+
+void BatchEvaluator::flip_dff(std::size_t index) {
+  for (std::size_t g = 0; g < stride_; ++g) dff_state_[index * stride_ + g] ^= ~Word{0};
+  publish_dff(index);
+}
+
+void BatchEvaluator::flip_dff_lane(std::size_t index, std::size_t lane) {
+  dff_state_[index * stride_ + lane / kBaseLanes] ^= Word{1} << (lane % kBaseLanes);
+  publish_dff(index);
+}
+
+void BatchEvaluator::flip_dff_mask(std::size_t index, std::span<const Word> mask) {
+  const std::size_t n = std::min(mask.size(), stride_);
+  for (std::size_t g = 0; g < n; ++g) dff_state_[index * stride_ + g] ^= mask[g];
+  publish_dff(index);
 }
 
 }  // namespace aesip::netlist

@@ -1,0 +1,177 @@
+#include "netlist/batch_jit.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define AESIP_JIT_POSIX 1
+#else
+#define AESIP_JIT_POSIX 0
+#endif
+
+namespace aesip::netlist::batchdetail {
+
+namespace {
+
+#if AESIP_JIT_POSIX
+
+/// Scratch directory + generated files, removed on scope exit (the .so
+/// stays mapped after dlopen, so unlinking it is safe).
+struct TempDir {
+  std::string path;
+  std::vector<std::string> files;
+  ~TempDir() {
+    for (const auto& f : files) ::unlink(f.c_str());
+    if (!path.empty()) ::rmdir(path.c_str());
+  }
+};
+
+bool make_temp_dir(TempDir& dir) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base && *base ? base : "/tmp") + "/aesip-jit-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (!::mkdtemp(buf.data())) return false;
+  dir.path.assign(buf.data());
+  return true;
+}
+
+bool write_file(TempDir& dir, const std::string& name, const std::string& text) {
+  const std::string full = dir.path + "/" + name;
+  std::FILE* f = std::fopen(full.c_str(), "w");
+  if (!f) return false;
+  dir.files.push_back(full);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+/// Compile `src` in `dir` to jit.so; on failure, return false with the
+/// compiler's stderr in `error`.
+bool compile_so(TempDir& dir, const std::string& error_tag, std::string& error) {
+  const char* cxx = std::getenv("AESIP_JIT_CXX");
+  if (!cxx || !*cxx) cxx = "c++";
+  const std::string err_file = dir.path + "/cc.err";
+  dir.files.push_back(err_file);
+  dir.files.push_back(dir.path + "/jit.so");
+  const std::string cmd = std::string(cxx) + " -O1 -march=native -fPIC -shared -o " + dir.path +
+                          "/jit.so " + dir.path + "/jit.cpp 2> " + err_file;
+  const int rc = std::system(cmd.c_str());
+  if (rc == 0) return true;
+  std::string diag;
+  if (std::FILE* f = std::fopen(err_file.c_str(), "r")) {
+    char line[512];
+    for (int i = 0; i < 4 && std::fgets(line, sizeof line, f); ++i) diag += line;
+    std::fclose(f);
+  }
+  error = error_tag + ": compiler exited " + std::to_string(rc) +
+          (diag.empty() ? std::string() : (" — " + diag));
+  return false;
+}
+
+std::string lower_tape(const std::vector<Op>& tape, std::size_t stride) {
+  std::ostringstream out;
+  out << "// generated straight-line settle for the aesip batch tape\n"
+         "typedef unsigned long long u64;\n"
+         "typedef u64 V __attribute__((vector_size("
+      << 8 * stride
+      << "), may_alias, aligned(8)));\n"
+         "#define W(i) (*(V*)(w + "
+      << stride
+      << "ull * (i)))\n"
+         "extern \"C\" void aesip_jit_settle(u64* w, void* ctx,\n"
+         "                                   void (*rom_fn)(void* ctx, unsigned rom)) {\n";
+  for (const Op& op : tape) {
+    switch (op.kind) {
+      case OpKind::kCopy:
+        out << "  W(" << op.dst << ") = W(" << op.a << ");\n";
+        break;
+      case OpKind::kNot:
+        out << "  W(" << op.dst << ") = ~W(" << op.a << ");\n";
+        break;
+      case OpKind::kAnd:
+        out << "  W(" << op.dst << ") = W(" << op.a << ") & W(" << op.b << ");\n";
+        break;
+      case OpKind::kAndn:
+        out << "  W(" << op.dst << ") = ~W(" << op.a << ") & W(" << op.b << ");\n";
+        break;
+      case OpKind::kOr:
+        out << "  W(" << op.dst << ") = W(" << op.a << ") | W(" << op.b << ");\n";
+        break;
+      case OpKind::kOrn:
+        out << "  W(" << op.dst << ") = ~W(" << op.a << ") | W(" << op.b << ");\n";
+        break;
+      case OpKind::kXor:
+        out << "  W(" << op.dst << ") = W(" << op.a << ") ^ W(" << op.b << ");\n";
+        break;
+      case OpKind::kMux:
+        out << "  W(" << op.dst << ") = (W(" << op.a << ") & W(" << op.c << ")) | (~W(" << op.a
+            << ") & W(" << op.b << "));\n";
+        break;
+      case OpKind::kRom:
+        out << "  rom_fn(ctx, " << op.dst << "u);\n";
+        break;
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+#endif  // AESIP_JIT_POSIX
+
+}  // namespace
+
+JitModule::~JitModule() {
+#if AESIP_JIT_POSIX
+  if (handle_) ::dlclose(handle_);
+#endif
+}
+
+std::unique_ptr<JitModule> jit_compile(const std::vector<Op>& tape, std::size_t stride) {
+  std::unique_ptr<JitModule> mod(new JitModule);
+#if AESIP_JIT_POSIX
+  TempDir dir;
+  if (!make_temp_dir(dir)) {
+    mod->error_ = "jit: mkdtemp failed";
+    return mod;
+  }
+  if (!write_file(dir, "jit.cpp", lower_tape(tape, stride))) {
+    mod->error_ = "jit: cannot write generated source";
+    return mod;
+  }
+  if (!compile_so(dir, "jit", mod->error_)) return mod;
+  void* handle = ::dlopen((dir.path + "/jit.so").c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!handle) {
+    const char* e = ::dlerror();
+    mod->error_ = std::string("jit: dlopen failed") + (e ? std::string(": ") + e : "");
+    return mod;
+  }
+  mod->handle_ = handle;
+  mod->settle_ = reinterpret_cast<JitModule::SettleFn>(::dlsym(handle, "aesip_jit_settle"));
+  if (!mod->settle_) mod->error_ = "jit: aesip_jit_settle not found in compiled module";
+#else
+  mod->error_ = "jit: unsupported platform (no dlopen)";
+#endif
+  return mod;
+}
+
+bool jit_toolchain_available() {
+#if AESIP_JIT_POSIX
+  static std::once_flag once;
+  static bool available = false;
+  std::call_once(once, [] {
+    // Probe with a one-op tape: the full toolchain round trip, cached.
+    std::vector<Op> tape{Op{OpKind::kCopy, 0, 1, 0, 0}};
+    available = jit_compile(tape, 8)->ok();
+  });
+  return available;
+#else
+  return false;
+#endif
+}
+
+}  // namespace aesip::netlist::batchdetail

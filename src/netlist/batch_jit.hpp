@@ -1,0 +1,55 @@
+// Experimental kJit backend: lower the compiled tape to straight-line C++.
+//
+// The tape is SSA-like, so lowering is mechanical: every word op becomes
+// one GCC-vector-extension statement over an 8-word (512-lane) value, the
+// host compiler's -march=native picks the actual ISA, and the interpreter
+// dispatch disappears entirely.  The generated translation unit is built
+// ONCE at evaluator construction with the system toolchain and dlopen()ed;
+// ROM ops stay as callbacks into the evaluator (the gather already has a
+// vectorized implementation — no point compiling 256-byte tables inline).
+//
+// Everything degrades gracefully: no toolchain / no dlopen / compile error
+// => jit_compile() returns a module whose error() explains why, and
+// backend_supported(BatchBackend::kJit) is false (the ctest matrix skips
+// with that reason).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netlist/batch_tape.hpp"
+
+namespace aesip::netlist::batchdetail {
+
+class JitModule {
+ public:
+  /// rom_fn(ctx, rom_index) is invoked in tape position for every kRom op.
+  using SettleFn = void (*)(std::uint64_t* w, void* ctx, void (*rom_fn)(void* ctx, unsigned rom));
+
+  ~JitModule();
+  JitModule(const JitModule&) = delete;
+  JitModule& operator=(const JitModule&) = delete;
+
+  bool ok() const noexcept { return settle_ != nullptr; }
+  const std::string& error() const noexcept { return error_; }
+  SettleFn settle() const noexcept { return settle_; }
+
+ private:
+  friend std::unique_ptr<JitModule> jit_compile(const std::vector<Op>& tape, std::size_t stride);
+  JitModule() = default;
+
+  SettleFn settle_ = nullptr;
+  void* handle_ = nullptr;  // dlopen handle
+  std::string error_;
+};
+
+/// Lower `tape` (operand slots scaled by `stride` words) to C++, compile,
+/// and load.  Never throws on toolchain failure — check ok()/error().
+std::unique_ptr<JitModule> jit_compile(const std::vector<Op>& tape, std::size_t stride);
+
+/// Cached probe: can this process compile + dlopen a trivial module?
+bool jit_toolchain_available();
+
+}  // namespace aesip::netlist::batchdetail

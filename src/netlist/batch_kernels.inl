@@ -1,0 +1,82 @@
+// Templated kernel bodies, instantiated once per backend TU.
+//
+// The policy `O` supplies the vector type V (covering exactly O::kStride
+// 64-bit words), load/store, the bitwise ops, and the backend's ROM
+// gather.  Each tape op compiles to one load/op/store group; kMux is the
+// only three-input op (AVX-512 folds it into a single vpternlogq).
+//
+// Included (not compiled standalone) by batch_kernels_{u64,neon,avx2,
+// avx512}.cpp AFTER the policy definition, inside
+// aesip::netlist::batchdetail.
+
+template <class O>
+void settle_range(const Op* ops, std::size_t begin, std::size_t end, Word* w,
+                  const RomSpec* roms) {
+  constexpr std::size_t S = O::kStride;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Op& op = ops[i];
+    if (op.kind == OpKind::kRom) {
+      O::rom(roms[op.dst], w);
+      continue;
+    }
+    Word* d = w + std::size_t{op.dst} * S;
+    const Word* a = w + std::size_t{op.a} * S;
+    const Word* b = w + std::size_t{op.b} * S;
+    switch (op.kind) {
+      case OpKind::kCopy:
+        O::store(d, O::load(a));
+        break;
+      case OpKind::kNot:
+        O::store(d, O::vnot(O::load(a)));
+        break;
+      case OpKind::kAnd:
+        O::store(d, O::vand(O::load(a), O::load(b)));
+        break;
+      case OpKind::kAndn:  // ~a & b
+        O::store(d, O::vandn(O::load(a), O::load(b)));
+        break;
+      case OpKind::kOr:
+        O::store(d, O::vor(O::load(a), O::load(b)));
+        break;
+      case OpKind::kOrn:  // ~a | b
+        O::store(d, O::vorn(O::load(a), O::load(b)));
+        break;
+      case OpKind::kXor:
+        O::store(d, O::vxor(O::load(a), O::load(b)));
+        break;
+      case OpKind::kMux: {  // (a & c) | (~a & b)
+        const Word* c = w + std::size_t{op.c} * S;
+        O::store(d, O::vmux(O::load(a), O::load(b), O::load(c)));
+        break;
+      }
+      case OpKind::kRom:
+        break;  // handled above
+    }
+  }
+}
+
+template <class O>
+void clock_dffs_t(const Dff* dffs, std::size_t n, Word* w, Word* state, Word* sample) {
+  constexpr std::size_t S = O::kStride;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Dff& f = dffs[i];
+    const Word* d = w + std::size_t{f.d} * S;
+    Word* smp = sample + i * S;
+    if (f.enable == kNoWord) {
+      O::store(smp, O::load(d));
+    } else {
+      const Word* en = w + std::size_t{f.enable} * S;
+      const Word* st = state + i * S;
+      // en ? d : state — the same bit-select as kMux.
+      O::store(smp, O::vmux(O::load(en), O::load(st), O::load(d)));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Dff& f = dffs[i];
+    Word* st = state + i * S;
+    Word* q = w + std::size_t{f.q} * S;
+    const auto v = O::load(sample + i * S);
+    O::store(st, v);
+    O::store(q, v);
+  }
+}

@@ -142,7 +142,7 @@ TEST(DocsBackend, ImplementationFlowRunsAsDocumented) {
   EXPECT_GT(report.throughput_mbps(128, 50), 0.0);
 }
 
-// --- docs/netlist.md: 64 lanes through one settle -------------------------
+// --- docs/netlist.md: lanes() simulations through one settle --------------
 
 TEST(DocsNetlist, BatchEvaluatorExampleRunsAsDocumented) {
   aesip::netlist::Netlist nl;
@@ -150,13 +150,17 @@ TEST(DocsNetlist, BatchEvaluatorExampleRunsAsDocumented) {
   const auto out = aesip::netlist::synth_xtime(nl, in);
   nl.add_output_bus(out, "y");
 
-  aesip::netlist::BatchEvaluator batch(nl);   // compiles the tape once
-  for (std::size_t lane = 0; lane < 64; ++lane)
-    batch.set_bus(in, lane, lane * 3 % 256);  // 64 different inputs
-  batch.settle();                             // one pass, 64 results
+  // The default config auto-detects the widest native backend; force one
+  // (or a shard-pool size) with BatchConfig / AESIP_BATCH_BACKEND.
+  aesip::netlist::BatchEvaluator batch(nl);     // compiles the tape once
+  const std::size_t lanes = batch.lanes();      // 64 .. 512, backend-dependent
+  EXPECT_GE(lanes, 64u);
+  for (std::size_t lane = 0; lane < lanes; ++lane)
+    batch.set_bus(in, lane, lane * 3 % 256);    // every lane a different input
+  batch.settle();                               // ONE pass, `lanes` results
 
-  aesip::netlist::Evaluator oracle(nl);       // the scalar oracle agrees
-  for (std::size_t lane = 0; lane < 64; ++lane) {
+  aesip::netlist::Evaluator oracle(nl);         // the scalar oracle agrees
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
     oracle.set_bus(in, lane * 3 % 256);
     oracle.settle();
     EXPECT_EQ(oracle.get_bus(out), batch.get_bus(out, lane)) << lane;

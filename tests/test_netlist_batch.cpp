@@ -1,10 +1,16 @@
-// BatchEvaluator vs. Evaluator: the 64-lane compiled tape must agree
+// BatchEvaluator vs. Evaluator: the lane-packed compiled tape must agree
 // bit-for-bit with the scalar interpreter on every netlist this repository
 // can produce — every synthesized datapath block (all cell kinds, ROMs),
 // random LUT networks over every arity, clock-enabled flip-flops with
-// per-lane enables, and the full IP through the Table 1 protocol at every
-// partial batch width. The scalar evaluator is the oracle; any divergence
+// per-lane enables, and the full IP through the Table 1 protocol across
+// partial batch widths. The scalar evaluator is the oracle; any divergence
 // here is a compile bug in the tape, not a netlist bug.
+//
+// The whole suite runs against whatever backend AESIP_BATCH_BACKEND forces
+// (the ctest matrix runs it once per compiled-in backend: u64, avx2,
+// avx512, jit — and neon on aarch64).  When the forced backend is not
+// supported on this host, every test skips with the reason, mirroring the
+// hw<4 skips elsewhere in the suite.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -23,6 +29,8 @@
 #include "core/gate_driver.hpp"
 #include "core/ip_synth.hpp"
 #include "farm/farm.hpp"
+#include "fleet/fleet.hpp"
+#include "netlist/batch_backend.hpp"
 #include "netlist/batch_eval.hpp"
 #include "netlist/eval.hpp"
 #include "netlist/netlist.hpp"
@@ -32,6 +40,7 @@ namespace nlist = aesip::netlist;
 namespace aes = aesip::aes;
 namespace core = aesip::core;
 namespace farm = aesip::farm;
+namespace fleet = aesip::fleet;
 using nlist::BatchEvaluator;
 using nlist::Bus;
 using nlist::Evaluator;
@@ -39,25 +48,41 @@ using nlist::Netlist;
 
 namespace {
 
-constexpr std::size_t kLanes = BatchEvaluator::kLanes;
+/// Base fixture: skip with a reason when AESIP_BATCH_BACKEND forces a
+/// backend this host cannot run (the backend-matrix ctest rows rely on
+/// this — same shape as the hw<4 conformance skips).
+class NetlistBatch : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (const auto forced = nlist::env_forced_backend();
+        forced && !nlist::backend_supported(*forced))
+      GTEST_SKIP() << "batch backend '" << nlist::backend_name(*forced)
+                   << "' is not supported on this host";
+  }
+};
 
-/// Drive every primary input with an independent random 64-lane word, then
-/// check every primary output in every lane against the scalar evaluator
-/// fed the corresponding lane's bits. Purely combinational netlists only.
+/// Drive every primary input with independent random data in EVERY lane
+/// word (so a wide backend's upper words are exercised, not just word 0),
+/// then check every primary output in every lane against the scalar
+/// evaluator fed the corresponding lane's bits. Combinational only.
 void check_comb_parity(const Netlist& nl, std::uint32_t seed, int rounds = 4) {
   Evaluator scalar(nl);
   BatchEvaluator batch(nl);
   std::mt19937_64 rng(seed);
   for (int r = 0; r < rounds; ++r) {
-    std::vector<std::pair<nlist::NetId, std::uint64_t>> stim;
+    std::vector<std::pair<nlist::NetId, std::vector<std::uint64_t>>> stim;
     for (const auto& pin : nl.inputs()) {
-      const std::uint64_t w = rng();
-      batch.set_word(pin.net, w);
-      stim.emplace_back(pin.net, w);
+      std::vector<std::uint64_t> words(batch.stride());
+      for (std::size_t wi = 0; wi < words.size(); ++wi) {
+        words[wi] = rng();
+        batch.set_word(pin.net, words[wi], wi);
+      }
+      stim.emplace_back(pin.net, std::move(words));
     }
     batch.settle();
-    for (std::size_t lane = 0; lane < kLanes; ++lane) {
-      for (const auto& [net, w] : stim) scalar.set(net, (w >> lane) & 1U);
+    for (std::size_t lane = 0; lane < batch.lanes(); ++lane) {
+      for (const auto& [net, words] : stim)
+        scalar.set(net, (words[lane / 64] >> (lane % 64)) & 1U);
       scalar.settle();
       for (const auto& pout : nl.outputs())
         ASSERT_EQ(scalar.get(pout.net), batch.get(pout.net, lane))
@@ -79,7 +104,7 @@ std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint32_t seed) {
 // combinational cell kind the generators emit: primitive gates (xtime,
 // MixColumn), pure wiring (ShiftRows), ROM macros, and the kLut networks of
 // the Shannon and composite-field S-boxes.
-TEST(NetlistBatch, SynthesizedBlocksMatchScalar) {
+TEST_F(NetlistBatch, SynthesizedBlocksMatchScalar) {
   struct Block {
     const char* name;
     void (*build)(Netlist&);
@@ -172,7 +197,7 @@ TEST(NetlistBatch, SynthesizedBlocksMatchScalar) {
 // Random pre-mapped LUT networks across every legal arity (1..4) with
 // random truth tables — the Shannon expansion's constant-cofactor collapse
 // paths all get hit somewhere in here.
-TEST(NetlistBatch, RandomLutNetworksMatchScalar) {
+TEST_F(NetlistBatch, RandomLutNetworksMatchScalar) {
   for (std::uint32_t seed = 0; seed < 8; ++seed) {
     SCOPED_TRACE(seed);
     Netlist nl;
@@ -201,7 +226,7 @@ TEST(NetlistBatch, RandomLutNetworksMatchScalar) {
 // Sequential parity: flip-flops with and without clock-enables, where the
 // enables differ per lane — so lanes genuinely diverge. One BatchEvaluator
 // against 64 independent scalar evaluators over several clocks.
-TEST(NetlistBatch, ClockEnableDffsDivergePerLane) {
+TEST_F(NetlistBatch, ClockEnableDffsDivergePerLane) {
   Netlist nl;
   const Bus d = nl.add_input_bus("d", 4);
   const nlist::NetId en0 = nl.add_input("en0");
@@ -214,22 +239,27 @@ TEST(NetlistBatch, ClockEnableDffsDivergePerLane) {
   nl.add_output_bus(q, "q");
 
   BatchEvaluator batch(nl);
+  const std::size_t lanes = batch.lanes();
   std::vector<std::unique_ptr<Evaluator>> scalars;
-  for (std::size_t lane = 0; lane < kLanes; ++lane)
+  for (std::size_t lane = 0; lane < lanes; ++lane)
     scalars.push_back(std::make_unique<Evaluator>(nl));
 
   std::mt19937_64 rng(42);
   for (int cycle = 0; cycle < 8; ++cycle) {
-    std::vector<std::pair<nlist::NetId, std::uint64_t>> stim;
+    std::vector<std::pair<nlist::NetId, std::vector<std::uint64_t>>> stim;
     for (const auto& pin : nl.inputs()) {
-      const std::uint64_t w = rng();
-      batch.set_word(pin.net, w);
-      stim.emplace_back(pin.net, w);
+      std::vector<std::uint64_t> words(batch.stride());
+      for (std::size_t wi = 0; wi < words.size(); ++wi) {
+        words[wi] = rng();
+        batch.set_word(pin.net, words[wi], wi);
+      }
+      stim.emplace_back(pin.net, std::move(words));
     }
-    for (std::size_t lane = 0; lane < kLanes; ++lane)
-      for (const auto& [net, w] : stim) scalars[lane]->set(net, (w >> lane) & 1U);
+    for (std::size_t lane = 0; lane < lanes; ++lane)
+      for (const auto& [net, words] : stim)
+        scalars[lane]->set(net, (words[lane / 64] >> (lane % 64)) & 1U);
     batch.clock();
-    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
       scalars[lane]->clock();
       for (const auto& pout : nl.outputs())
         ASSERT_EQ(scalars[lane]->get(pout.net), batch.get(pout.net, lane))
@@ -240,7 +270,7 @@ TEST(NetlistBatch, ClockEnableDffsDivergePerLane) {
   // reset() zeroes and publishes Q in every lane without settling — the
   // scalar evaluator's exact contract.
   batch.reset();
-  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
     scalars[lane]->reset();
     for (const nlist::NetId n : q) {
       ASSERT_FALSE(batch.get(n, lane)) << "lane " << lane;
@@ -253,7 +283,7 @@ TEST(NetlistBatch, ClockEnableDffsDivergePerLane) {
 // normal builder API only produces DAGs; add_lut_with_out (the
 // transformation-pass escape hatch) can miswire a loop — x = AND(a, y),
 // y = AND(a, x) — and both constructors must refuse it identically.
-TEST(NetlistBatch, CombinationalCycleRejectionParity) {
+TEST_F(NetlistBatch, CombinationalCycleRejectionParity) {
   Netlist nl;
   const nlist::NetId a = nl.add_input("a");
   const nlist::NetId x = nl.new_net();
@@ -271,7 +301,7 @@ TEST(NetlistBatch, CombinationalCycleRejectionParity) {
 // 1..63 (and 64): ciphertexts must match the software reference bit for
 // bit, per-lane latency must match the scalar gate driver, and the cycle
 // counter must advance by exactly active-lanes x scalar-cycles-per-block.
-TEST(NetlistBatch, FullIpPartialBatchesMatchReference) {
+TEST_F(NetlistBatch, FullIpPartialBatchesMatchReference) {
   const auto nl = core::synthesize_ip(core::IpMode::kBoth, /*sbox_as_rom=*/true);
   core::GateIpBatchDriver batch(nl);
   core::GateIpDriver scalar(nl);
@@ -289,8 +319,17 @@ TEST(NetlistBatch, FullIpPartialBatchesMatchReference) {
   ASSERT_TRUE(r0.has_value());
   const int scalar_latency = r0->cycles;
 
+  // Every width through 64 (the historical sweep), then a handful of wide
+  // widths up to the backend's full lane count.
+  std::vector<std::size_t> widths;
+  for (std::size_t n = 1; n <= std::min<std::size_t>(64, batch.lanes()); ++n)
+    widths.push_back(n);
+  if (batch.lanes() > 64)
+    for (const std::size_t n :
+         {std::size_t{65}, batch.lanes() / 2, batch.lanes() - 1, batch.lanes()})
+      widths.push_back(n);
   std::uint32_t seed = 100;
-  for (std::size_t n = 1; n <= core::GateIpBatchDriver::kLanes; ++n) {
+  for (const std::size_t n : widths) {
     const auto plain = random_bytes(16 * n, seed++);
     std::vector<std::uint8_t> got(16 * n);
     const std::uint64_t before = batch.cycles();
@@ -312,7 +351,8 @@ TEST(NetlistBatch, FullIpPartialBatchesMatchReference) {
   }
 
   // Decrypt parity against the scalar gate driver on a handful of widths.
-  for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{17}, std::size_t{64}}) {
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{3}, std::size_t{17}, batch.lanes()}) {
     const auto cipher = random_bytes(16 * n, seed++);
     std::vector<std::uint8_t> got(16 * n);
     const auto r = batch.process_batch(cipher, got, n, /*encrypt=*/false);
@@ -331,7 +371,7 @@ TEST(NetlistBatch, FullIpPartialBatchesMatchReference) {
 // The farm's batched dispatch end to end: 4 netlist workers draining
 // multi-job batches, verified against the software reference across
 // ECB/CBC/CTR — including a CTR payload large enough to fan out.
-TEST(NetlistBatch, FarmBatchDispatchMatchesReference) {
+TEST_F(NetlistBatch, FarmBatchDispatchMatchesReference) {
   farm::FarmConfig cfg;
   cfg.workers = 4;
   cfg.dispatch_batch = 8;
@@ -387,7 +427,7 @@ TEST(NetlistBatch, FarmBatchDispatchMatchesReference) {
 // clean ciphertext. This is what lets the fleet's chaos machinery
 // (fleet::ChaosInjector, seu/live.hpp) classify sites on the scalar
 // evaluator and trust the classification for batch-mode engines.
-TEST(NetlistBatch, SeuFlipParityScalarVsLaneZero) {
+TEST_F(NetlistBatch, SeuFlipParityScalarVsLaneZero) {
   const auto nl = core::synthesize_ip(core::IpMode::kEncrypt, /*sbox_as_rom=*/true);
   core::GateIpDriver scalar(nl);
   core::GateIpBatchDriver batch(nl);
@@ -416,7 +456,7 @@ TEST(NetlistBatch, SeuFlipParityScalarVsLaneZero) {
     // The standby upset, between blocks: scalar and batch lane 0 only.
     scalar.evaluator().flip_dff(site);
     scalar.evaluator().settle();
-    batch.evaluator().flip_dff(site, /*lanes=*/1);
+    batch.evaluator().flip_dff_lane(site, 0);
     batch.evaluator().settle();
 
     const auto sres =
@@ -447,4 +487,159 @@ TEST(NetlistBatch, SeuFlipParityScalarVsLaneZero) {
   // The sweep must have exercised at least one genuinely corrupting flip,
   // or the parity claim was tested only on masked sites.
   EXPECT_GT(corrupting, 0);
+}
+
+// Per-lane SEU isolation at wide widths: a flip targeted at one lane —
+// including lanes above 63, in the upper words of a wide backend — may
+// corrupt only that lane. Every other lane of a full-width batch must keep
+// producing bit-clean ciphertext, or the lane-mask plumbing leaks across
+// the 64-lane word boundary.
+TEST_F(NetlistBatch, SeuFlipLaneIsolationAtWideWidths) {
+  const auto nl = core::synthesize_ip(core::IpMode::kEncrypt, /*sbox_as_rom=*/true);
+  core::GateIpBatchDriver batch(nl);
+  const std::size_t lanes = batch.lanes();
+
+  const auto key = random_bytes(16, 51);
+  const aes::Aes128 ref(std::span<const std::uint8_t, 16>(key.data(), 16));
+  const bool setup = batch.has_input("encdec");
+
+  const auto plain = random_bytes(16 * lanes, 52);
+  std::vector<std::uint8_t> clean(16 * lanes);
+  for (std::size_t blk = 0; blk < lanes; ++blk)
+    ref.encrypt_block(std::span<const std::uint8_t, 16>(plain.data() + 16 * blk, 16),
+                      std::span<std::uint8_t, 16>(clean.data() + 16 * blk, 16));
+
+  const std::size_t n_dffs = batch.evaluator().dff_count();
+  ASSERT_GT(n_dffs, 0u);
+  std::mt19937 rng(53);
+
+  // Lane picks that straddle every interesting word boundary.
+  std::vector<std::size_t> targets{0, lanes - 1};
+  if (lanes > 64) {
+    targets.push_back(63);
+    targets.push_back(64);  // first lane of word 1
+    targets.push_back(lanes / 2);
+  }
+  int corrupting = 0;
+  for (const std::size_t lane : targets) {
+    for (int trial = 0; trial < 6; ++trial) {
+      const std::size_t site = rng() % n_dffs;
+      batch.reset();
+      batch.load_key(key, setup);
+      batch.evaluator().flip_dff_lane(site, lane);
+      batch.evaluator().settle();
+
+      std::vector<std::uint8_t> got(16 * lanes);
+      const auto r = batch.process_batch(plain, got, lanes, /*encrypt=*/true);
+      if (!r.has_value()) continue;  // flip hung the (shared) FSM; resync next trial
+      for (std::size_t blk = 0; blk < lanes; ++blk) {
+        if (blk == lane) {
+          if (!std::equal(clean.begin() + static_cast<std::ptrdiff_t>(16 * blk),
+                          clean.begin() + static_cast<std::ptrdiff_t>(16 * blk + 16),
+                          got.begin() + static_cast<std::ptrdiff_t>(16 * blk)))
+            ++corrupting;
+          continue;  // the targeted lane is allowed to corrupt
+        }
+        ASSERT_TRUE(std::equal(clean.begin() + static_cast<std::ptrdiff_t>(16 * blk),
+                               clean.begin() + static_cast<std::ptrdiff_t>(16 * blk + 16),
+                               got.begin() + static_cast<std::ptrdiff_t>(16 * blk)))
+            << "site " << site << " flipped in lane " << lane << " leaked into lane " << blk;
+      }
+    }
+  }
+  // The sweep must have seen at least one real corruption, or isolation was
+  // only ever tested on masked flips.
+  EXPECT_GT(corrupting, 0);
+}
+
+// flip_dff_mask with a multi-word mask: exactly the selected lanes may
+// diverge; lanes whose mask bits are clear stay bit-clean — in every word.
+TEST_F(NetlistBatch, SeuFlipMaskSelectsExactLanes) {
+  const auto nl = core::synthesize_ip(core::IpMode::kEncrypt, /*sbox_as_rom=*/true);
+  core::GateIpBatchDriver batch(nl);
+  const std::size_t lanes = batch.lanes();
+  const std::size_t words = lanes / 64;
+
+  const auto key = random_bytes(16, 61);
+  const aes::Aes128 ref(std::span<const std::uint8_t, 16>(key.data(), 16));
+  const bool setup = batch.has_input("encdec");
+
+  const auto plain = random_bytes(16 * lanes, 62);
+  std::vector<std::uint8_t> clean(16 * lanes);
+  for (std::size_t blk = 0; blk < lanes; ++blk)
+    ref.encrypt_block(std::span<const std::uint8_t, 16>(plain.data() + 16 * blk, 16),
+                      std::span<std::uint8_t, 16>(clean.data() + 16 * blk, 16));
+
+  // Select lane 5 of the first word and lane 7 of the last word (the same
+  // lane twice when the backend is 64 wide).
+  std::vector<std::uint64_t> mask(words, 0);
+  mask.front() |= std::uint64_t{1} << 5;
+  mask.back() |= std::uint64_t{1} << 7;
+  std::vector<std::size_t> selected{5, (words - 1) * 64 + 7};
+
+  const std::size_t n_dffs = batch.evaluator().dff_count();
+  std::mt19937 rng(63);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t site = rng() % n_dffs;
+    batch.reset();
+    batch.load_key(key, setup);
+    batch.evaluator().flip_dff_mask(site, mask);
+    batch.evaluator().settle();
+
+    std::vector<std::uint8_t> got(16 * lanes);
+    const auto r = batch.process_batch(plain, got, lanes, /*encrypt=*/true);
+    if (!r.has_value()) continue;
+    for (std::size_t blk = 0; blk < lanes; ++blk) {
+      if (std::find(selected.begin(), selected.end(), blk) != selected.end()) continue;
+      ASSERT_TRUE(std::equal(clean.begin() + static_cast<std::ptrdiff_t>(16 * blk),
+                             clean.begin() + static_cast<std::ptrdiff_t>(16 * blk + 16),
+                             got.begin() + static_cast<std::ptrdiff_t>(16 * blk)))
+          << "site " << site << " mask leaked into unselected lane " << blk;
+    }
+  }
+}
+
+// The fleet's chaos machinery against THIS backend: ChaosInjector flips
+// every lane of a live wide engine (Farm::inject_fault -> flip_dff), the
+// farm's spot-check catches the corruption, and every response stays
+// bit-exact. Runs once per backend through the ctest matrix.
+TEST_F(NetlistBatch, ChaosInjectionHealsOnWideEngines) {
+  farm::FarmConfig cfg;
+  cfg.workers = 1;
+  cfg.engine = aesip::engine::EngineKind::kNetlist;
+  cfg.spot_check_fraction = 1.0;
+  farm::Farm f(cfg);
+  fleet::ChaosInjector chaos(f, /*seed=*/0x51de);
+
+  std::mt19937 rng(71);
+  farm::Key128 key{};
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng());
+
+  auto fresh_request = [&](std::size_t blocks) {
+    farm::Request req;
+    req.session_id = 1;
+    req.key = key;
+    req.mode = farm::Mode::kEcb;
+    req.encrypt = true;
+    req.payload = random_bytes(blocks * 16, rng());
+    return req;
+  };
+  const aes::Rijndael ref =
+      aes::Rijndael::for_key(std::span<const std::uint8_t>(key.data(), key.size()));
+
+  ASSERT_EQ(f.process(fresh_request(1)).worker, 0);  // warm the key
+
+  bool detected = false;
+  for (int attempt = 0; attempt < 12 && !detected; ++attempt) {
+    const auto ev = chaos.inject(0);
+    ASSERT_TRUE(ev.injected) << "netlist engine refused the flip";
+    for (int i = 0; i < 2; ++i) {
+      auto req = fresh_request(3);
+      const auto expect = aes::ecb_encrypt(ref, req.payload);
+      const auto res = f.process(std::move(req));
+      ASSERT_EQ(res.data, expect) << "corrupted bytes reached the client";
+      detected |= res.replayed;
+    }
+  }
+  EXPECT_TRUE(detected) << "no injection was ever caught by the spot-check";
 }

@@ -219,8 +219,9 @@ int cmd_crypt(bool encrypting, const Args& args) {
   std::vector<std::uint8_t> iv_vec = from_hex(arg_or(args, "iv", std::string(32, '0')));
   if (iv_vec.size() != 16) die("--iv must be 32 hex digits");
   const std::span<const std::uint8_t, 16> iv(iv_vec.data(), 16);
-  const unsigned long batch = std::stoul(arg_or(args, "batch", "64"));
-  if (batch < 1) die("--batch must be >= 1");
+  // 0 = the engine's own lane width (64 on the portable netlist backend,
+  // up to 512 on AVX-512 — whatever the runtime dispatch resolved).
+  const unsigned long batch = std::stoul(arg_or(args, "batch", "0"));
 
   const auto input = read_file(in_path);
 
@@ -238,8 +239,9 @@ int cmd_crypt(bool encrypting, const Args& args) {
   };
 
   // The block-parallel legs of each mode route through the engine's batch
-  // path in --batch-capped passes (64 gate-level lanes on the netlist
-  // engine); CBC encryption is a chain and stays block-at-a-time.
+  // path in --batch-capped passes (full gate-level lane width on the
+  // netlist engine by default); CBC encryption is a chain and stays
+  // block-at-a-time.
   auto run_batched = [&](engine::CipherEngine& e) -> std::vector<std::uint8_t> {
     if (mode == "ecb") {
       return encrypting
@@ -272,8 +274,8 @@ int cmd_crypt(bool encrypting, const Args& args) {
     const auto& bs = e->batch_stats();
     if (bs.passes) {
       char occ[64];
-      std::snprintf(occ, sizeof occ, ", lane occupancy %.1f/%zu", bs.mean_lanes(),
-                    e->batch_lanes());
+      std::snprintf(occ, sizeof occ, ", lane occupancy %.1f/%zu (%s backend)",
+                    bs.mean_lanes(), e->batch_lanes(), e->batch_backend());
       detail += occ;
     }
   } else {
@@ -551,6 +553,9 @@ int cmd_metrics(const Args& args) {
       die("metrics: engine round-trip mismatch");
   }
 
+  const char* batch_backend = eng->batch_backend();
+  const std::size_t batch_lanes = eng->batch_lanes();
+
   const core::IpCounters ipc = eng->counters();
   // Bus-master-side accounting exists only where there is a bus.
   const auto* behavioral = dynamic_cast<const engine::BehavioralEngine*>(eng.get());
@@ -651,6 +656,8 @@ int cmd_metrics(const Args& args) {
     fst = f.stats();
     if (text) {
       std::printf("\nfarm (%d workers, tracing on, 256 requests):\n", fcfg.workers);
+      std::printf("  batch: %s backend, %zu lanes per engine pass\n",
+                  fst->batch_backend.c_str(), fst->batch_lanes);
       std::printf("  queue wait us: p50 %llu  p99 %llu  max %llu\n",
                   static_cast<unsigned long long>(fst->queue_wait_us.percentile(0.50)),
                   static_cast<unsigned long long>(fst->queue_wait_us.percentile(0.99)),
@@ -725,6 +732,8 @@ int cmd_metrics(const Args& args) {
     j.begin_object();
     j.key("schema").value("aesip-metrics-v1");
     j.key("engine").value(eng->name());
+    j.key("batch_backend").value(batch_backend);
+    j.key("batch_lanes").value(batch_lanes);
     j.key("blocks_per_direction").value(n_blocks);
     j.key("invariants_ok").value(ok);
 
@@ -768,6 +777,8 @@ int cmd_metrics(const Args& args) {
     if (fst) {
       j.key("farm").begin_object();
       j.key("workers").value(fst->workers);
+      j.key("batch_backend").value(fst->batch_backend);
+      j.key("batch_lanes").value(fst->batch_lanes);
       j.key("requests").value(fst->requests);
       j.key("blocks").value(fst->blocks);
       j.key("key_hit_rate").value(fst->key_hit_rate());
@@ -1387,7 +1398,7 @@ void usage() {
       "                  [--mode ecb|cbc|ctr] [--iv HEX32]\n"
       "                  [--engine ttable|sw|behavioral|netlist] [--batch N]\n"
       "                  --in FILE --out FILE   (batch: blocks per engine pass,\n"
-      "                  default 64 = full netlist lane width)\n"
+      "                  default 0 = the engine's full lane width)\n"
       "  flow     [--variant encrypt|decrypt|both] [--device NAME]\n"
       "  export   [--variant V] [--format verilog|blif] [--sbox rom|logic]\n"
       "           [--mapped yes|no] --out FILE\n"

@@ -128,12 +128,20 @@ for f in "$repo"/BENCH_*.json; do
   fi
 
   if [ "$stem" = "simspeed" ]; then
-    # The 64-lane batch-evaluation gate (docs/netlist.md): the netlist_batch
-    # section must be present and must pass — >= 20x per-block speedup over
-    # the scalar evaluator at full lane occupancy.
+    # The batch-evaluation gates (docs/netlist.md), payload v4: the
+    # netlist_batch section must name the resolved backend and lane width,
+    # carry per-backend rows (skipped rows need a reason), pass the
+    # historical >= 20x speedup over the scalar evaluator, and pass the
+    # SIMD widening gate — widest native backend >= 4x over the u64
+    # baseline — unless the host has no SIMD backend, in which case the
+    # simd section must say so explicitly.
     for needle in \
       '"netlist_batch": {' \
+      '"backend": "' \
+      '"lanes": ' \
       '"speedup_per_block": ' \
+      '"simd": {' \
+      '"backends": [' \
       '"occupancy_sweep": ['
     do
       if ! grep -qF "$needle" "$f"; then
@@ -141,9 +149,40 @@ for f in "$repo"/BENCH_*.json; do
         fail=1
       fi
     done
-    if ! sed -n '/"netlist_batch": {/,/"occupancy_sweep"/p' "$f" \
+    # The scalar gate: top of the netlist_batch section, before the simd
+    # sub-object opens.
+    if ! sed -n '/"netlist_batch": {/,/"simd": {/p' "$f" \
         | grep -qF '"meets_target": true'; then
       echo "check_bench: $name: netlist batch gate failed (meets_target is not true)" >&2
+      fail=1
+    fi
+    # The SIMD widening gate: measured and met, or skipped with a reason.
+    ssection=$(sed -n '/"simd": {/,/}/p' "$f")
+    if printf '%s' "$ssection" | grep -qF '"skipped": true'; then
+      if ! printf '%s' "$ssection" | grep -qF '"reason": "'; then
+        echo "check_bench: $name: simd gate skipped without a reason" >&2
+        fail=1
+      fi
+    else
+      if ! printf '%s' "$ssection" | grep -qF '"speedup_vs_u64": '; then
+        echo "check_bench: $name: simd gate missing speedup_vs_u64" >&2
+        fail=1
+      fi
+      if ! printf '%s' "$ssection" | grep -qF '"meets_target": true'; then
+        echo "check_bench: $name: SIMD widening gate failed (meets_target is not true)" >&2
+        fail=1
+      fi
+    fi
+    # Per-backend rows: a measured row must be bit-exact; a skipped row
+    # must carry a reason (counted file-wide like the net bench does).
+    if grep -qF '"bit_exact": false' "$f"; then
+      echo "check_bench: $name: a backend row is not bit-exact" >&2
+      fail=1
+    fi
+    n_skip=$(grep -cF '"skipped": true' "$f")
+    n_reason=$(grep -cF '"reason": "' "$f")
+    if [ "$n_reason" -lt "$n_skip" ]; then
+      echo "check_bench: $name: $n_skip skipped rows but only $n_reason reasons" >&2
       fail=1
     fi
   fi
@@ -286,6 +325,13 @@ for f in "$repo"/BENCH_*.json; do
         fail=1
       fi
     fi
+    # v4: every engine-sweep row records the engine's batch geometry.
+    for needle in '"batch_backend": "' '"batch_lanes": '; do
+      if ! grep -qF "$needle" "$f"; then
+        echo "check_bench: $name: missing $needle (engine rows must record batch geometry)" >&2
+        fail=1
+      fi
+    done
   fi
 done
 

@@ -22,7 +22,9 @@ for needle in \
   '"invariants_ok": true' \
   '"cycles_per_round": 5' \
   '"cycles_per_block": 50' \
-  '"key_setup_cycles_per_load": 40'
+  '"key_setup_cycles_per_load": 40' \
+  '"batch_backend": "none"' \
+  '"batch_lanes": 1'
 do
   if ! echo "$out" | grep -qF "$needle"; then
     echo "check_metrics: missing $needle" >&2
@@ -47,6 +49,8 @@ if [ $? -ne 0 ]; then
 fi
 for needle in \
   '"fleet": {' \
+  '"batch_backend": "' \
+  '"batch_lanes": ' \
   '"swaps": 0' \
   '"heals": 0' \
   '"spot_checks": 0' \
@@ -61,6 +65,30 @@ do
 done
 if [ "$fail" -ne 0 ]; then
   echo "$fout" >&2
+  echo "check_metrics: FAILED" >&2
+  exit 1
+fi
+
+# A netlist engine forced onto the portable backend must report exactly
+# that backend and its 64-lane geometry — the deterministic pin for the
+# batch_backend / batch_lanes keys (the unforced value is host-dependent).
+uout=$(AESIP_BATCH_BACKEND=u64 "$aesip" metrics --blocks 4 --farm no --engine netlist --json - 2>&1)
+if [ $? -ne 0 ]; then
+  echo "check_metrics: aesip metrics --engine netlist (u64 backend) failed" >&2
+  echo "$uout" >&2
+  exit 1
+fi
+for needle in \
+  '"batch_backend": "u64"' \
+  '"batch_lanes": 64'
+do
+  if ! echo "$uout" | grep -qF "$needle"; then
+    echo "check_metrics: missing $needle in the forced-u64 netlist run" >&2
+    fail=1
+  fi
+done
+if [ "$fail" -ne 0 ]; then
+  echo "$uout" >&2
   echo "check_metrics: FAILED" >&2
   exit 1
 fi
@@ -94,5 +122,5 @@ if [ "$fail" -ne 0 ]; then
   echo "check_metrics: FAILED" >&2
   exit 1
 fi
-echo "check_metrics: OK (5 cycles/round, 50 cycles/block, 40-cycle key setup, fleet + net counters)"
+echo "check_metrics: OK (5 cycles/round, 50 cycles/block, 40-cycle key setup, batch backend keys, fleet + net counters)"
 exit 0
